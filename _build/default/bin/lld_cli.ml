@@ -1,0 +1,285 @@
+(* Command-line driver for the ARU/LLD reproduction. *)
+
+module Geometry = Lld_disk.Geometry
+module Fault = Lld_disk.Fault
+module Disk = Lld_disk.Disk
+module Clock = Lld_sim.Clock
+module Config = Lld_core.Config
+module Lld = Lld_core.Lld
+module Recovery = Lld_core.Recovery
+module Counters = Lld_core.Counters
+module Fs = Lld_minixfs.Fs
+module Fsck = Lld_minixfs.Fsck
+module Setup = Lld_workload.Setup
+module Smallfile = Lld_workload.Smallfile
+module Largefile = Lld_workload.Largefile
+module Aru_churn = Lld_workload.Aru_churn
+module Torture = Lld_workload.Torture
+module Experiment = Lld_harness.Experiment
+
+open Cmdliner
+
+let variant_conv =
+  let parse = function
+    | "old" -> Ok Setup.Old
+    | "new" -> Ok Setup.New
+    | "new-delete" -> Ok Setup.New_delete
+    | s -> Error (`Msg (Printf.sprintf "unknown variant %S" s))
+  in
+  let print ppf v = Format.fprintf ppf "%s" (Setup.variant_label v) in
+  Arg.conv (parse, print)
+
+let variant_arg =
+  Arg.(
+    value
+    & opt variant_conv Setup.New
+    & info [ "variant" ] ~docv:"VARIANT"
+        ~doc:"LLD variant: $(b,old), $(b,new), or $(b,new-delete) (paper Table 1).")
+
+let segments_arg =
+  Arg.(
+    value
+    & opt int 200
+    & info [ "segments" ] ~docv:"N"
+        ~doc:"Partition size in 0.5 MB segments (paper: 800 = 400 MB).")
+
+let geom_of segments = Geometry.v ~num_segments:segments ()
+
+(* ------------------------------------------------------------- repro *)
+
+let repro full scale =
+  let s =
+    if full then Experiment.full
+    else
+      match scale with
+      | None -> Experiment.quick
+      | Some f ->
+        { Experiment.full with Experiment.files = f; bytes = f; arus = f /. 5. }
+  in
+  Experiment.run_all Format.std_formatter s
+
+let repro_cmd =
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Paper-sized workloads.")
+  in
+  let scale =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "scale" ] ~docv:"F" ~doc:"Workload multiplier (default quick).")
+  in
+  Cmd.v
+    (Cmd.info "repro" ~doc:"Reproduce every table and figure of the paper.")
+    Term.(const repro $ full $ scale)
+
+(* --------------------------------------------------------- smallfile *)
+
+let smallfile variant segments files bytes =
+  let inst = Setup.make ~geom:(geom_of segments) variant in
+  let r =
+    Smallfile.run inst { Smallfile.file_count = files; file_bytes = bytes; dirs = 1 }
+  in
+  Printf.printf "variant: %s, %d files x %d bytes\n"
+    (Setup.variant_label variant) files bytes;
+  let phase name (p : Smallfile.phase) =
+    Printf.printf "  %-14s %10.1f files/s  (%.3f s virtual)\n" name
+      p.Smallfile.files_per_sec
+      (float_of_int p.Smallfile.elapsed_ns /. 1e9)
+  in
+  phase "create+write" r.Smallfile.create_write;
+  phase "read" r.Smallfile.read;
+  phase "delete" r.Smallfile.delete
+
+let smallfile_cmd =
+  let files =
+    Arg.(value & opt int 1000 & info [ "files" ] ~docv:"N" ~doc:"File count.")
+  in
+  let bytes =
+    Arg.(value & opt int 1024 & info [ "bytes" ] ~docv:"N" ~doc:"File size.")
+  in
+  Cmd.v
+    (Cmd.info "smallfile" ~doc:"Run the small-file benchmark (Figure 5).")
+    Term.(const smallfile $ variant_arg $ segments_arg $ files $ bytes)
+
+(* --------------------------------------------------------- largefile *)
+
+let largefile variant segments mbytes =
+  let inst = Setup.make ~geom:(geom_of segments) variant in
+  let r =
+    Largefile.run inst
+      { Largefile.paper with Largefile.file_bytes = mbytes * 1024 * 1024 }
+  in
+  Printf.printf "variant: %s, %d MB file\n" (Setup.variant_label variant) mbytes;
+  List.iter
+    (fun (p : Largefile.phase) ->
+      Printf.printf "  %-8s %8.2f MB/s\n" p.Largefile.label p.Largefile.mb_per_sec)
+    (Largefile.phases r)
+
+let largefile_cmd =
+  let mbytes =
+    Arg.(value & opt int 16 & info [ "mbytes" ] ~docv:"N" ~doc:"File size in MB.")
+  in
+  Cmd.v
+    (Cmd.info "largefile" ~doc:"Run the large-file benchmark (Figure 6).")
+    Term.(const largefile $ variant_arg $ segments_arg $ mbytes)
+
+(* --------------------------------------------------------- aru-bench *)
+
+let aru_bench variant segments count =
+  let _, lld = Setup.make_raw ~geom:(geom_of segments) variant in
+  let r = Aru_churn.run lld { Aru_churn.count } in
+  Printf.printf
+    "%d ARUs on %s LLD: %.2f us/ARU, %d segments written\n" r.Aru_churn.count
+    (Setup.variant_label variant) r.Aru_churn.latency_us
+    r.Aru_churn.segments_written
+
+let aru_bench_cmd =
+  let count =
+    Arg.(
+      value & opt int 100_000
+      & info [ "count" ] ~docv:"N" ~doc:"Begin/End pairs (paper: 500000).")
+  in
+  Cmd.v
+    (Cmd.info "aru-bench" ~doc:"Measure Begin/End ARU latency (paper 5.3).")
+    Term.(const aru_bench $ variant_arg $ segments_arg $ count)
+
+(* -------------------------------------------------------- crash-demo *)
+
+let crash_demo no_arus segments crash_after =
+  let variant = if no_arus then Setup.Old else Setup.New in
+  let geom =
+    Geometry.v ~segment_bytes:(32 * 1024)
+      ~num_segments:(max 64 (segments * 4)) ()
+  in
+  let inst = Setup.make ~geom variant in
+  Printf.printf "configuration: %s (%s)\n"
+    (Setup.variant_label variant)
+    (if no_arus then "creates NOT bracketed in ARUs" else "one ARU per create");
+  Fault.schedule_crash (Disk.fault inst.Setup.disk)
+    (Fault.After_writes crash_after);
+  let created = ref 0 in
+  (try
+     for i = 0 to 499 do
+       Fs.mkdir inst.Setup.fs (Printf.sprintf "/d%03d" i);
+       Fs.create inst.Setup.fs (Printf.sprintf "/d%03d/file" i);
+       incr created
+     done;
+     Fs.flush inst.Setup.fs
+   with Fault.Crashed -> ());
+  Printf.printf "crash injected after %d segment writes (%d creates started)\n"
+    crash_after !created;
+  let lld, report = Lld.recover ~config:(Setup.lld_config variant) inst.Setup.disk in
+  Format.printf "recovery: %a@." Recovery.pp_report report;
+  let fs = Fs.mount ~config:(Setup.fs_config variant) lld in
+  let check = Fsck.run fs in
+  Format.printf "fsck: %a@." Fsck.pp_report check;
+  if not (Fsck.ok check) then begin
+    let repaired = Fsck.run ~repair:true fs in
+    Format.printf "fsck --repair: fixed %d problem(s)@." repaired.Fsck.repaired;
+    Format.printf "fsck again: %a@." Fsck.pp_report (Fsck.run fs)
+  end
+
+let crash_demo_cmd =
+  let no_arus =
+    Arg.(
+      value & flag
+      & info [ "no-arus" ]
+          ~doc:"Run the old configuration (no ARU bracketing) to show the \
+                inconsistencies ARUs prevent.")
+  in
+  let crash_after =
+    Arg.(
+      value & opt int 7
+      & info [ "crash-after" ] ~docv:"N"
+          ~doc:"Crash after this many segment writes.")
+  in
+  Cmd.v
+    (Cmd.info "crash-demo"
+       ~doc:"Crash mid-workload, recover, and run fsck (paper 5.1).")
+    Term.(const crash_demo $ no_arus $ segments_arg $ crash_after)
+
+(* ----------------------------------------------------------- torture *)
+
+let torture no_arus seeds operations crash_points =
+  let with_arus = not no_arus in
+  let failures = ref 0 in
+  for seed = 1 to seeds do
+    let r =
+      Torture.run ~with_arus { Torture.seed; operations; crash_points }
+    in
+    List.iter
+      (fun (o : Torture.outcome) ->
+        if not o.Torture.consistent then begin
+          incr failures;
+          Printf.printf "seed %d, crash@%d: %d problem(s), e.g. %s\n" seed
+            o.Torture.crash_after
+            (List.length o.Torture.problems)
+            (match o.Torture.problems with
+            | p :: _ -> Format.asprintf "%a" Lld_minixfs.Fsck.pp_problem p
+            | [] -> "?")
+        end)
+      r.Torture.outcomes;
+    Printf.printf "seed %d: %s (%d crash points)\n%!" seed
+      (if r.Torture.all_consistent then "consistent at every crash point"
+       else "INCONSISTENCIES FOUND")
+      crash_points
+  done;
+  if with_arus && !failures > 0 then exit 1;
+  if (not with_arus) && !failures > 0 then
+    Printf.printf
+      "(inconsistencies are expected without ARUs: that is the point)\n"
+
+let torture_cmd =
+  let no_arus =
+    Arg.(value & flag & info [ "no-arus" ] ~doc:"Use the old configuration.")
+  in
+  let seeds =
+    Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Workload seeds.")
+  in
+  let operations =
+    Arg.(
+      value & opt int 300
+      & info [ "operations" ] ~docv:"N" ~doc:"Operations per workload.")
+  in
+  let crash_points =
+    Arg.(
+      value & opt int 24
+      & info [ "crash-points" ] ~docv:"N" ~doc:"Crash points per seed.")
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:
+         "Crash-consistency torture: random FS workloads x crash points, \
+          fsck after every recovery.")
+    Term.(const torture $ no_arus $ seeds $ operations $ crash_points)
+
+(* -------------------------------------------------------------- info *)
+
+let show_info segments =
+  let geom = geom_of segments in
+  let module L = Lld_core.Disk_layout in
+  Printf.printf "partition: %d segments x %d KB = %d MB\n"
+    geom.Geometry.num_segments
+    (geom.Geometry.segment_bytes / 1024)
+    (Geometry.total_bytes geom / 1024 / 1024);
+  Printf.printf "checkpoint regions: 2 x %d segments\n" (L.region_segments geom);
+  Printf.printf "log segments: %d (first at %d)\n" (L.log_count geom)
+    (L.log_first geom);
+  Printf.printf "logical block capacity: %d x 4 KB\n" (L.block_capacity geom)
+
+let info_cmd =
+  Cmd.v
+    (Cmd.info "info" ~doc:"Show partition layout for a given size.")
+    Term.(const show_info $ segments_arg)
+
+let () =
+  let doc = "Atomic Recovery Units / log-structured Logical Disk reproduction" in
+  let cmd =
+    Cmd.group
+      (Cmd.info "lld" ~version:"1.0.0" ~doc)
+      [
+        repro_cmd; smallfile_cmd; largefile_cmd; aru_bench_cmd; crash_demo_cmd;
+        torture_cmd; info_cmd;
+      ]
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/atomic_file_create.ml: Format Lld_core Lld_disk Lld_minixfs Lld_sim Printf

@@ -1,0 +1,1 @@
+examples/bank_ledger.ml: Array Bytes Lld_core Lld_disk Lld_sim Lld_util Printf

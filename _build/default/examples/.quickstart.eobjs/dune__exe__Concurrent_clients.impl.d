@@ -1,0 +1,1 @@
+examples/concurrent_clients.ml: Bytes List Lld_core Lld_disk Lld_sim Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Format Lld_core Lld_disk Lld_sim Printf String

@@ -1,0 +1,1 @@
+examples/two_disks.ml: Bytes List Lld_core Lld_disk Lld_jld Lld_minixfs Lld_sim Printf

@@ -1,0 +1,1 @@
+lib/core/aru.ml: Link_log Record Types

@@ -1,0 +1,1 @@
+lib/core/aru.mli: Link_log Record Types

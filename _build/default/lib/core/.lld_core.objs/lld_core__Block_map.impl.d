@@ -1,0 +1,1 @@
+lib/core/block_map.ml: Array Format List Record Types

@@ -1,0 +1,1 @@
+lib/core/block_map.mli: Record Types

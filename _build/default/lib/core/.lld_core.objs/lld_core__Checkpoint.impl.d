@@ -1,0 +1,1 @@
+lib/core/checkpoint.ml: Bytes Disk_layout Errors Int64 List Lld_disk Lld_util Printf Summary Types

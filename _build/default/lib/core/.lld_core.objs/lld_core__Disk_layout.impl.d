@@ -1,0 +1,1 @@
+lib/core/disk_layout.ml: Lld_disk

@@ -1,0 +1,1 @@
+lib/core/disk_layout.mli: Lld_disk

@@ -1,0 +1,1 @@
+lib/core/ld_intf.ml: Counters Lld_sim Summary Types

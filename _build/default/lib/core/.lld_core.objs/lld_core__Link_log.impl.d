@@ -1,0 +1,1 @@
+lib/core/link_log.ml: Format List Summary Types

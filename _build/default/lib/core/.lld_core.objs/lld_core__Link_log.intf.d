@@ -1,0 +1,1 @@
+lib/core/link_log.mli: Format Summary Types

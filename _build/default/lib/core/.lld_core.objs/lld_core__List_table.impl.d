@@ -1,0 +1,1 @@
+lib/core/list_table.ml: Hashtbl Int List Record Types

@@ -1,0 +1,1 @@
+lib/core/list_table.mli: Record Types

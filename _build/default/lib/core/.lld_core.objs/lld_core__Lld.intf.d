@@ -1,0 +1,1 @@
+lib/core/lld.mli: Config Counters Lld_disk Lld_sim Recovery Summary Types

@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Block_map Checkpoint Disk_layout Errors Format Hashtbl Int List List_table Lld_disk Option Record Segment Splice Summary Types

@@ -1,0 +1,1 @@
+lib/core/recovery.mli: Block_map Format List_table Lld_disk

@@ -1,0 +1,1 @@
+lib/core/segment.ml: Bytes Errors Hashtbl Int64 List Lld_disk Lld_util Option Summary Types

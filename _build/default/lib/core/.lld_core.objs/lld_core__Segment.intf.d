@@ -1,0 +1,1 @@
+lib/core/segment.mli: Lld_disk Summary Types

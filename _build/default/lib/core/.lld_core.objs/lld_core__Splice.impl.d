@@ -1,0 +1,1 @@
+lib/core/splice.ml: Errors Format Record Summary Types

@@ -1,0 +1,1 @@
+lib/core/summary.ml: Errors Format Int64 Lld_util Printf Types

@@ -1,0 +1,53 @@
+type t = {
+  id : Types.Aru_id.t;
+  mutable shadow_blocks : Record.block option;
+  mutable shadow_lists : Record.list_r option;
+  log : Link_log.t;
+  mutable owned_lists : Record.list_r list;
+  mutable freed_blocks : Types.Block_id.t list;
+  mutable freed_lists : Types.List_id.t list;
+}
+
+let create id =
+  {
+    id;
+    shadow_blocks = None;
+    shadow_lists = None;
+    log = Link_log.create ();
+    owned_lists = [];
+    freed_blocks = [];
+    freed_lists = [];
+  }
+
+let push_shadow_block t r =
+  r.Record.next_same_state <- t.shadow_blocks;
+  t.shadow_blocks <- Some r
+
+let push_shadow_list t r =
+  r.Record.l_next_same_state <- t.shadow_lists;
+  t.shadow_lists <- Some r
+
+let iter_shadow_blocks t f =
+  let rec loop = function
+    | None -> ()
+    | Some r ->
+      let next = r.Record.next_same_state in
+      f r;
+      loop next
+  in
+  loop t.shadow_blocks
+
+let iter_shadow_lists t f =
+  let rec loop = function
+    | None -> ()
+    | Some r ->
+      let next = r.Record.l_next_same_state in
+      f r;
+      loop next
+  in
+  loop t.shadow_lists
+
+let shadow_block_count t =
+  let n = ref 0 in
+  iter_shadow_blocks t (fun _ -> incr n);
+  !n

@@ -1,0 +1,35 @@
+(** The in-memory record of one active atomic recovery unit.
+
+    Owns the heads of the ARU's shadow same-state chains (paper Figure
+    4) and its list-operation log.  In sequential ("old LLD") mode the
+    shadow chains stay empty and [freed_*] collects identifiers
+    deallocated inside the ARU, recycled only at EndARU so a Simple
+    re-allocation of the same identifier can never be reordered before
+    the ARU's buffered deallocation during recovery replay. *)
+
+type t = {
+  id : Types.Aru_id.t;
+  mutable shadow_blocks : Record.block option;
+      (** head of the same-state chain of this ARU's shadow block records *)
+  mutable shadow_lists : Record.list_r option;
+  log : Link_log.t;
+  mutable owned_lists : Record.list_r list;
+      (** lists this ARU allocated: their owner mark is cleared at
+          EndARU so scavengers leave committed empty lists alone *)
+  mutable freed_blocks : Types.Block_id.t list;  (** sequential mode only *)
+  mutable freed_lists : Types.List_id.t list;  (** sequential mode only *)
+}
+
+val create : Types.Aru_id.t -> t
+
+val push_shadow_block : t -> Record.block -> unit
+(** Prepend to the shadow chain (the record must not be on any chain). *)
+
+val push_shadow_list : t -> Record.list_r -> unit
+
+val iter_shadow_blocks : t -> (Record.block -> unit) -> unit
+(** In chain order (most recently created first). *)
+
+val iter_shadow_lists : t -> (Record.list_r -> unit) -> unit
+
+val shadow_block_count : t -> int

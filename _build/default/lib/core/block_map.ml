@@ -1,0 +1,49 @@
+type t = {
+  records : Record.block array;
+  mutable free : int list; (* ascending; allocation takes the head *)
+  mutable allocated : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Block_map.create: capacity must be positive";
+  let records =
+    Array.init capacity (fun i -> Record.fresh_block (Types.Block_id.of_int i))
+  in
+  let free = List.init capacity (fun i -> i) in
+  { records; free; allocated = 0 }
+
+let capacity t = Array.length t.records
+
+let in_range t b =
+  let i = Types.Block_id.to_int b in
+  i >= 0 && i < Array.length t.records
+
+let anchor t b =
+  if not (in_range t b) then
+    invalid_arg
+      (Format.asprintf "Block_map.anchor: %a out of range" Types.Block_id.pp b);
+  t.records.(Types.Block_id.to_int b)
+
+let alloc_id t =
+  match t.free with
+  | [] -> None
+  | i :: rest ->
+    t.free <- rest;
+    t.allocated <- t.allocated + 1;
+    Some (Types.Block_id.of_int i)
+
+let release_id t b =
+  t.free <- Types.Block_id.to_int b :: t.free;
+  t.allocated <- t.allocated - 1
+
+let rebuild_free t =
+  let free = ref [] in
+  let allocated = ref 0 in
+  for i = Array.length t.records - 1 downto 0 do
+    if t.records.(i).Record.alloc then incr allocated else free := i :: !free
+  done;
+  t.free <- !free;
+  t.allocated <- !allocated
+
+let iter t f = Array.iter f t.records
+let allocated_count t = t.allocated

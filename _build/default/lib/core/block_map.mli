@@ -1,0 +1,35 @@
+(** The block-number-map: one persistent record per logical block
+    (paper §2, Figure 3), plus the free-identifier pool.
+
+    The persistent records are the anchors of the same-id chains of
+    alternative versions. *)
+
+type t
+
+val create : capacity:int -> t
+(** All blocks initially free. *)
+
+val capacity : t -> int
+
+val anchor : t -> Types.Block_id.t -> Record.block
+(** The persistent record.  Raises [Invalid_argument] for an identifier
+    outside the logical capacity. *)
+
+val in_range : t -> Types.Block_id.t -> bool
+
+val alloc_id : t -> Types.Block_id.t option
+(** Pop a free identifier (lowest-numbered available); [None] when the
+    logical block space is exhausted. *)
+
+val release_id : t -> Types.Block_id.t -> unit
+(** Return an identifier to the pool.  Callers guarantee it is not
+    allocated in any state. *)
+
+val rebuild_free : t -> unit
+(** Reset the pool from the persistent records' allocation flags (used
+    after recovery). *)
+
+val iter : t -> (Record.block -> unit) -> unit
+(** Over all persistent records, in increasing identifier order. *)
+
+val allocated_count : t -> int

@@ -1,0 +1,267 @@
+module Codec = Lld_util.Bytes_codec
+module Geometry = Lld_disk.Geometry
+module Disk = Lld_disk.Disk
+
+type pending_entry = { pe_op : Summary.op; pe_seg : int }
+
+type block_entry = {
+  b_id : int;
+  b_member : int option;
+  b_succ : int option;
+  b_phys : (int * int) option;
+  b_stamp : int;
+}
+
+type list_entry = {
+  l_id : int;
+  l_first : int option;
+  l_last : int option;
+  l_stamp : int;
+  l_owner : int option;
+}
+
+type snapshot = {
+  ckpt_id : int;
+  covered_seq : int;
+  next_seq : int;
+  stamp : int;
+  next_aru : int;
+  blocks : block_entry list;
+  lists : list_entry list;
+  pending : (int * pending_entry list) list;
+  free_order : int list;
+}
+
+let empty =
+  {
+    ckpt_id = 1;
+    covered_seq = 0;
+    next_seq = 1;
+    stamp = 1;
+    next_aru = 1;
+    blocks = [];
+    lists = [];
+    pending = [];
+    free_order = [];
+  }
+
+let payload_version = 1
+
+let opt w = function
+  | None -> Codec.Writer.u32 w 0
+  | Some i -> Codec.Writer.u32 w (i + 1)
+
+let read_opt r =
+  match Codec.Reader.u32 r with 0 -> None | n -> Some (n - 1)
+
+let encode snap =
+  let w = Codec.Writer.create ~capacity:65536 () in
+  let module W = Codec.Writer in
+  W.u32 w payload_version;
+  W.u64 w (Int64.of_int snap.ckpt_id);
+  W.u64 w (Int64.of_int snap.covered_seq);
+  W.u64 w (Int64.of_int snap.next_seq);
+  W.u64 w (Int64.of_int snap.stamp);
+  W.u64 w (Int64.of_int snap.next_aru);
+  W.u32 w (List.length snap.blocks);
+  List.iter
+    (fun b ->
+      W.u32 w b.b_id;
+      opt w b.b_member;
+      opt w b.b_succ;
+      (match b.b_phys with
+      | None -> W.u8 w 0
+      | Some (seg, slot) ->
+        W.u8 w 1;
+        W.u32 w seg;
+        W.u32 w slot);
+      W.u64 w (Int64.of_int b.b_stamp))
+    snap.blocks;
+  W.u32 w (List.length snap.lists);
+  List.iter
+    (fun l ->
+      W.u32 w l.l_id;
+      opt w l.l_first;
+      opt w l.l_last;
+      W.u64 w (Int64.of_int l.l_stamp);
+      opt w l.l_owner)
+    snap.lists;
+  W.u32 w (List.length snap.pending);
+  List.iter
+    (fun (aru, entries) ->
+      W.u32 w aru;
+      W.u32 w (List.length entries);
+      List.iter
+        (fun pe ->
+          Summary.encode w
+            { Summary.stream = Summary.In_aru (Types.Aru_id.of_int aru);
+              op = pe.pe_op };
+          W.u32 w pe.pe_seg)
+        entries)
+    snap.pending;
+  W.u32 w (List.length snap.free_order);
+  List.iter (W.u32 w) snap.free_order;
+  W.contents w
+
+let decode buf =
+  let r = Codec.Reader.of_bytes buf in
+  let module R = Codec.Reader in
+  try
+    let version = R.u32 r in
+    if version <> payload_version then
+      raise (Errors.Corrupt (Printf.sprintf "checkpoint version %d" version));
+    let ckpt_id = Int64.to_int (R.u64 r) in
+    let covered_seq = Int64.to_int (R.u64 r) in
+    let next_seq = Int64.to_int (R.u64 r) in
+    let stamp = Int64.to_int (R.u64 r) in
+    let next_aru = Int64.to_int (R.u64 r) in
+    let nblocks = R.u32 r in
+    let blocks =
+      List.init nblocks (fun _ ->
+          let b_id = R.u32 r in
+          let b_member = read_opt r in
+          let b_succ = read_opt r in
+          let b_phys =
+            match R.u8 r with
+            | 0 -> None
+            | 1 ->
+              let seg = R.u32 r in
+              let slot = R.u32 r in
+              Some (seg, slot)
+            | n -> raise (Errors.Corrupt (Printf.sprintf "phys tag %d" n))
+          in
+          { b_id; b_member; b_succ; b_phys; b_stamp = Int64.to_int (R.u64 r) })
+    in
+    let nlists = R.u32 r in
+    let lists =
+      List.init nlists (fun _ ->
+          let l_id = R.u32 r in
+          let l_first = read_opt r in
+          let l_last = read_opt r in
+          let l_stamp = Int64.to_int (R.u64 r) in
+          { l_id; l_first; l_last; l_stamp; l_owner = read_opt r })
+    in
+    let npending = R.u32 r in
+    let pending =
+      List.init npending (fun _ ->
+          let aru = R.u32 r in
+          let n = R.u32 r in
+          let entries =
+            List.init n (fun _ ->
+                let entry = Summary.decode r in
+                let pe_seg = R.u32 r in
+                { pe_op = entry.Summary.op; pe_seg })
+          in
+          (aru, entries))
+    in
+    let nfree = R.u32 r in
+    let free_order = List.init nfree (fun _ -> R.u32 r) in
+    {
+      ckpt_id; covered_seq; next_seq; stamp; next_aru; blocks; lists; pending;
+      free_order;
+    }
+  with Codec.Truncated -> raise (Errors.Corrupt "truncated checkpoint payload")
+
+(* Chunk format (one chunk per region segment, only the used prefix is
+   meaningful): magic u32, ckpt_id u64, chunk_index u32, chunk_count u32,
+   payload_len u32 (this chunk), total_len u32, payload, checksum u64 at
+   a fixed position right after the payload. *)
+let chunk_magic = 0x4c4c4443 (* "LLDC" *)
+let chunk_header_bytes = 28
+let chunk_trailer_bytes = 8
+
+let chunk_capacity geom =
+  geom.Geometry.segment_bytes - chunk_header_bytes - chunk_trailer_bytes
+
+let write disk ~region snap =
+  let geom = Disk.geometry disk in
+  let payload = encode snap in
+  let total_len = Bytes.length payload in
+  let cap = chunk_capacity geom in
+  let chunk_count = max 1 ((total_len + cap - 1) / cap) in
+  if chunk_count > Disk_layout.region_segments geom then raise Errors.Disk_full;
+  let first = Disk_layout.region_first geom ~region in
+  for i = 0 to chunk_count - 1 do
+    let off = i * cap in
+    let len = min cap (total_len - off) in
+    let image = Bytes.make geom.Geometry.segment_bytes '\000' in
+    Codec.set_u32 image 0 chunk_magic;
+    Codec.set_u32 image 4 (snap.ckpt_id land 0xffffffff);
+    Codec.set_u32 image 8 (snap.ckpt_id lsr 32);
+    Codec.set_u32 image 12 i;
+    Codec.set_u32 image 16 chunk_count;
+    Codec.set_u32 image 20 len;
+    Codec.set_u32 image 24 total_len;
+    Bytes.blit payload off image chunk_header_bytes len;
+    let sum = Codec.hash64 ~pos:0 ~len:(chunk_header_bytes + len) image in
+    let cksum_off = chunk_header_bytes + len in
+    Codec.set_u32 image cksum_off (Int64.to_int (Int64.logand sum 0xffffffffL));
+    Codec.set_u32 image (cksum_off + 4)
+      (Int64.to_int (Int64.logand (Int64.shift_right_logical sum 32) 0xffffffffL));
+    Disk.write disk ~offset:(Geometry.segment_offset geom (first + i)) image
+  done
+
+let read_chunk geom image =
+  if Codec.get_u32 image 0 <> chunk_magic then None
+  else begin
+    let ckpt_id = Codec.get_u32 image 4 lor (Codec.get_u32 image 8 lsl 32) in
+    let index = Codec.get_u32 image 12 in
+    let count = Codec.get_u32 image 16 in
+    let len = Codec.get_u32 image 20 in
+    let total_len = Codec.get_u32 image 24 in
+    if len > chunk_capacity geom || count > Disk_layout.region_segments geom then
+      None
+    else begin
+      let cksum_off = chunk_header_bytes + len in
+      let stored =
+        Int64.logor
+          (Int64.of_int (Codec.get_u32 image cksum_off))
+          (Int64.shift_left (Int64.of_int (Codec.get_u32 image (cksum_off + 4))) 32)
+      in
+      if not (Int64.equal stored (Codec.hash64 ~pos:0 ~len:cksum_off image)) then None
+      else
+        Some (ckpt_id, index, count, total_len, Bytes.sub image chunk_header_bytes len)
+    end
+  end
+
+let read_region disk ~region =
+  let geom = Disk.geometry disk in
+  let first = Disk_layout.region_first geom ~region in
+  let read_seg i =
+    Disk.read disk
+      ~offset:(Geometry.segment_offset geom (first + i))
+      ~length:geom.Geometry.segment_bytes
+  in
+  match read_chunk geom (read_seg 0) with
+  | None -> None
+  | Some (ckpt_id, 0, count, total_len, chunk0) ->
+    let rec gather i acc =
+      if i = count then Some (List.rev acc)
+      else
+        match read_chunk geom (read_seg i) with
+        | Some (id, idx, cnt, tot, payload)
+          when id = ckpt_id && idx = i && cnt = count && tot = total_len ->
+          gather (i + 1) (payload :: acc)
+        | Some _ | None -> None
+    in
+    (match gather 1 [ chunk0 ] with
+    | None -> None
+    | Some chunks ->
+      let payload = Bytes.concat Bytes.empty chunks in
+      if Bytes.length payload <> total_len then None
+      else begin
+        match decode payload with
+        | snap -> Some snap
+        | exception Errors.Corrupt _ -> None
+      end)
+  | Some (_, _, _, _, _) -> None
+
+let read_best disk =
+  let candidates =
+    List.filter_map (fun region -> read_region disk ~region) [ 0; 1 ]
+  in
+  match candidates with
+  | [] -> None
+  | [ s ] -> Some s
+  | [ a; b ] -> Some (if a.ckpt_id >= b.ckpt_id then a else b)
+  | _ -> assert false

@@ -1,0 +1,77 @@
+(** Checkpoints of the persistent state.
+
+    A checkpoint bounds recovery: it captures the block-number-map and
+    list-table as of a log position, so recovery restores it and replays
+    only later segments.  It also enables cleaning — a log segment may
+    be reused only once a checkpoint covers its summary (DESIGN.md
+    §5.3).
+
+    Checkpoints additionally capture the {e pending} ARU entries: the
+    [In_aru] summary entries already emitted (in covered segments) whose
+    commit record has not yet been written.  Recovery re-buffers them,
+    so an ARU whose commit record lands after the checkpoint still
+    commits atomically, and one that never commits is still discarded
+    wholesale.
+
+    Two fixed regions at the front of the partition are written
+    alternately; each chunk carries a checksum, so a crash during a
+    checkpoint write leaves the other region's checkpoint intact. *)
+
+type pending_entry = {
+  pe_op : Summary.op;
+  pe_seg : int;
+      (** disk segment whose summary held the entry ([Write] slots are
+          relative to it) *)
+}
+
+type block_entry = {
+  b_id : int;
+  b_member : int option;
+  b_succ : int option;
+  b_phys : (int * int) option;  (** (segment, slot) *)
+  b_stamp : int;
+}
+
+type list_entry = {
+  l_id : int;
+  l_first : int option;
+  l_last : int option;
+  l_stamp : int;
+  l_owner : int option;
+      (** allocating ARU if it was still active at checkpoint time *)
+}
+
+type snapshot = {
+  ckpt_id : int;  (** monotonically increasing across checkpoints *)
+  covered_seq : int;  (** all segments with seq <= this are captured *)
+  next_seq : int;
+  stamp : int;
+  next_aru : int;
+  blocks : block_entry list;  (** allocated blocks only *)
+  lists : list_entry list;  (** existing lists only *)
+  pending : (int * pending_entry list) list;
+      (** ARU id -> its buffered entries, in emission order *)
+  free_order : int list;
+      (** disk segment indices in the exact order the log will use them
+          next; recovery reads only these (in order) to find the log
+          tail instead of scanning the whole partition *)
+}
+
+val empty : snapshot
+(** The snapshot written by [mkfs]: [ckpt_id = 1], nothing allocated. *)
+
+val encode : snapshot -> bytes
+val decode : bytes -> snapshot
+(** Raises [Errors.Corrupt] on malformed input. *)
+
+val write : Lld_disk.Disk.t -> region:int -> snapshot -> unit
+(** Serialise into the region's segments.  Raises [Errors.Disk_full]
+    when the payload exceeds the region (only possible with enormous
+    pending-ARU state). *)
+
+val read_region : Lld_disk.Disk.t -> region:int -> snapshot option
+(** [None] when the region holds no complete, checksummed checkpoint. *)
+
+val read_best : Lld_disk.Disk.t -> snapshot option
+(** The valid checkpoint with the highest [ckpt_id] across both
+    regions. *)

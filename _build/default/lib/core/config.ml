@@ -1,0 +1,36 @@
+type mode = Sequential | Concurrent
+type visibility = Any_shadow | Committed_only | Own_shadow
+
+type t = {
+  mode : mode;
+  visibility : visibility;
+  cost : Lld_sim.Cost.t;
+  cache_blocks : int;
+  readahead : bool;
+  auto_clean : bool;
+  clean_reserve_segments : int;
+  checkpoint_interval_segments : int;
+}
+
+let default =
+  {
+    mode = Concurrent;
+    visibility = Own_shadow;
+    cost = Lld_sim.Cost.sparc5_70;
+    cache_blocks = 2048;
+    readahead = true;
+    auto_clean = true;
+    clean_reserve_segments = 4;
+    checkpoint_interval_segments = 0;
+  }
+
+let old_lld = { default with mode = Sequential }
+
+let pp_mode ppf = function
+  | Sequential -> Format.fprintf ppf "sequential"
+  | Concurrent -> Format.fprintf ppf "concurrent"
+
+let pp_visibility ppf = function
+  | Any_shadow -> Format.fprintf ppf "any-shadow"
+  | Committed_only -> Format.fprintf ppf "committed-only"
+  | Own_shadow -> Format.fprintf ppf "own-shadow"

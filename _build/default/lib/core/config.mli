@@ -1,0 +1,42 @@
+(** Configuration of a logical-disk instance. *)
+
+(** Which LLD implementation to run (paper Table 1):
+    [Sequential] is the original prototype — single stream, no shadow
+    states, at most one open ARU; [Concurrent] is the paper's new
+    prototype with full shadow/committed/persistent versioning. *)
+type mode = Sequential | Concurrent
+
+(** Read-visibility options for concurrent ARUs (paper §3.3, listed in
+    increasing isolation): [Any_shadow] returns the most recent shadow
+    version across all ARUs; [Committed_only] always returns the
+    committed version; [Own_shadow] (the paper's choice, option 3)
+    returns the reader's own shadow version inside an ARU and the
+    committed version otherwise. *)
+type visibility = Any_shadow | Committed_only | Own_shadow
+
+type t = {
+  mode : mode;
+  visibility : visibility;
+  cost : Lld_sim.Cost.t;
+  cache_blocks : int;  (** LRU capacity of the persistent-read cache *)
+  readahead : bool;
+      (** fetch the whole segment on a cache miss that continues a
+          sequential physical read pattern *)
+  auto_clean : bool;
+  clean_reserve_segments : int;
+      (** run the cleaner when free segments drop below this *)
+  checkpoint_interval_segments : int;
+      (** checkpoint after this many sealed segments (when no ARU is
+          active); 0 disables periodic checkpoints (the cleaner still
+          checkpoints) *)
+}
+
+val default : t
+(** Concurrent mode, [Own_shadow] visibility, SPARC-5/70 cost model,
+    8 MB cache, readahead on, auto-clean on. *)
+
+val old_lld : t
+(** The "old" baseline: sequential mode; everything else as {!default}. *)
+
+val pp_mode : Format.formatter -> mode -> unit
+val pp_visibility : Format.formatter -> visibility -> unit

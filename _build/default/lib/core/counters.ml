@@ -1,0 +1,128 @@
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable new_blocks : int;
+  mutable delete_blocks : int;
+  mutable new_lists : int;
+  mutable delete_lists : int;
+  mutable arus_begun : int;
+  mutable arus_committed : int;
+  mutable arus_aborted : int;
+  mutable record_creates : int;
+  mutable record_transitions : int;
+  mutable mesh_hops : int;
+  mutable pred_search_hops : int;
+  mutable summary_entries : int;
+  mutable link_log_appends : int;
+  mutable link_log_replays : int;
+  mutable replay_skips : int;
+  mutable segments_written : int;
+  mutable segments_cleaned : int;
+  mutable blocks_copied_clean : int;
+  mutable checkpoints : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable readaheads : int;
+  mutable flushes : int;
+}
+
+let create () =
+  {
+    reads = 0;
+    writes = 0;
+    new_blocks = 0;
+    delete_blocks = 0;
+    new_lists = 0;
+    delete_lists = 0;
+    arus_begun = 0;
+    arus_committed = 0;
+    arus_aborted = 0;
+    record_creates = 0;
+    record_transitions = 0;
+    mesh_hops = 0;
+    pred_search_hops = 0;
+    summary_entries = 0;
+    link_log_appends = 0;
+    link_log_replays = 0;
+    replay_skips = 0;
+    segments_written = 0;
+    segments_cleaned = 0;
+    blocks_copied_clean = 0;
+    checkpoints = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    readaheads = 0;
+    flushes = 0;
+  }
+
+let reset t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.new_blocks <- 0;
+  t.delete_blocks <- 0;
+  t.new_lists <- 0;
+  t.delete_lists <- 0;
+  t.arus_begun <- 0;
+  t.arus_committed <- 0;
+  t.arus_aborted <- 0;
+  t.record_creates <- 0;
+  t.record_transitions <- 0;
+  t.mesh_hops <- 0;
+  t.pred_search_hops <- 0;
+  t.summary_entries <- 0;
+  t.link_log_appends <- 0;
+  t.link_log_replays <- 0;
+  t.replay_skips <- 0;
+  t.segments_written <- 0;
+  t.segments_cleaned <- 0;
+  t.blocks_copied_clean <- 0;
+  t.checkpoints <- 0;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0;
+  t.readaheads <- 0;
+  t.flushes <- 0
+
+let copy t =
+  {
+    reads = t.reads;
+    writes = t.writes;
+    new_blocks = t.new_blocks;
+    delete_blocks = t.delete_blocks;
+    new_lists = t.new_lists;
+    delete_lists = t.delete_lists;
+    arus_begun = t.arus_begun;
+    arus_committed = t.arus_committed;
+    arus_aborted = t.arus_aborted;
+    record_creates = t.record_creates;
+    record_transitions = t.record_transitions;
+    mesh_hops = t.mesh_hops;
+    pred_search_hops = t.pred_search_hops;
+    summary_entries = t.summary_entries;
+    link_log_appends = t.link_log_appends;
+    link_log_replays = t.link_log_replays;
+    replay_skips = t.replay_skips;
+    segments_written = t.segments_written;
+    segments_cleaned = t.segments_cleaned;
+    blocks_copied_clean = t.blocks_copied_clean;
+    checkpoints = t.checkpoints;
+    cache_hits = t.cache_hits;
+    cache_misses = t.cache_misses;
+    readaheads = t.readaheads;
+    flushes = t.flushes;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>reads %d, writes %d, new-blocks %d, delete-blocks %d@,\
+     new-lists %d, delete-lists %d@,\
+     ARUs: begun %d, committed %d, aborted %d@,\
+     records: created %d, transitions %d, mesh hops %d, pred-search hops %d@,\
+     log: summary entries %d, link-log appends %d, replays %d (skipped %d)@,\
+     segments written %d, cleaned %d (blocks copied %d), checkpoints %d@,\
+     cache: hits %d, misses %d, readaheads %d, flushes %d@]"
+    t.reads t.writes t.new_blocks t.delete_blocks t.new_lists t.delete_lists
+    t.arus_begun t.arus_committed t.arus_aborted t.record_creates
+    t.record_transitions t.mesh_hops t.pred_search_hops t.summary_entries
+    t.link_log_appends t.link_log_replays t.replay_skips t.segments_written
+    t.segments_cleaned t.blocks_copied_clean t.checkpoints t.cache_hits
+    t.cache_misses t.readaheads t.flushes

@@ -1,0 +1,39 @@
+(** Operation counters of a logical-disk instance.
+
+    Counters record the meta-data work the cost model charges for, so
+    tests can assert {e why} a configuration is slower (e.g. deletion
+    performs predecessor searches; the improved policy performs fewer —
+    paper §5.3). *)
+
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable new_blocks : int;
+  mutable delete_blocks : int;
+  mutable new_lists : int;
+  mutable delete_lists : int;
+  mutable arus_begun : int;
+  mutable arus_committed : int;
+  mutable arus_aborted : int;
+  mutable record_creates : int;
+  mutable record_transitions : int;
+  mutable mesh_hops : int;
+  mutable pred_search_hops : int;
+  mutable summary_entries : int;
+  mutable link_log_appends : int;
+  mutable link_log_replays : int;
+  mutable replay_skips : int;  (** conflicting merge operations skipped *)
+  mutable segments_written : int;
+  mutable segments_cleaned : int;
+  mutable blocks_copied_clean : int;
+  mutable checkpoints : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable readaheads : int;
+  mutable flushes : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

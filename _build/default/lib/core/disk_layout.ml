@@ -1,0 +1,28 @@
+module Geometry = Lld_disk.Geometry
+
+let region_count = 2
+
+(* Worst-case checkpoint payload: every block allocated (31 B each) and
+   the maximum number of lists existing (22 B each), plus fixed header
+   fields; the bound uses the raw partition block count, which exceeds
+   the exposed capacity. Two spare segments absorb pending-ARU entries
+   (DESIGN.md §5.3). *)
+let region_segments geom =
+  let bound = Geometry.total_blocks geom in
+  let worst = 4096 + (bound * (31 + 22)) in
+  let usable = geom.Geometry.segment_bytes - 64 in
+  ((worst + usable - 1) / usable) + 2
+
+let region_first geom ~region =
+  if region < 0 || region >= region_count then invalid_arg "Disk_layout.region_first";
+  region * region_segments geom
+
+let log_first geom = region_count * region_segments geom
+
+let log_count geom =
+  let n = geom.Geometry.num_segments - log_first geom in
+  if n < 4 then invalid_arg "Disk_layout: partition too small for a log";
+  n
+
+let block_capacity geom = log_count geom * Geometry.blocks_per_segment geom
+let max_lists geom = block_capacity geom

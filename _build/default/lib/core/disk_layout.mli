@@ -1,0 +1,28 @@
+(** Partition layout: checkpoint regions and the segment log.
+
+    The partition starts with two checkpoint regions (written
+    alternately, so one valid checkpoint always survives a crash),
+    followed by the log segments.  Region size is derived from the
+    geometry alone so that the largest possible checkpoint fits; both
+    the writer and recovery compute the same layout. *)
+
+val region_count : int
+(** Always 2. *)
+
+val region_segments : Lld_disk.Geometry.t -> int
+(** Segments per checkpoint region. *)
+
+val region_first : Lld_disk.Geometry.t -> region:int -> int
+(** First segment index of checkpoint region 0 or 1. *)
+
+val log_first : Lld_disk.Geometry.t -> int
+(** Index of the first log segment. *)
+
+val log_count : Lld_disk.Geometry.t -> int
+
+val block_capacity : Lld_disk.Geometry.t -> int
+(** Logical blocks the partition exposes (one per log-segment slot). *)
+
+val max_lists : Lld_disk.Geometry.t -> int
+(** Cap on simultaneously existing lists (equal to the block capacity:
+    every non-empty list holds at least one block). *)

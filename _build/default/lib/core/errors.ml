@@ -1,0 +1,21 @@
+exception Unallocated_block of Types.Block_id.t
+exception Unallocated_list of Types.List_id.t
+exception Unknown_aru of Types.Aru_id.t
+exception Aru_already_active
+exception Block_not_on_list of Types.Block_id.t
+exception Disk_full
+exception Corrupt of string
+
+let pp_exn ppf = function
+  | Unallocated_block b ->
+    Format.fprintf ppf "block %a is not allocated" Types.Block_id.pp b
+  | Unallocated_list l ->
+    Format.fprintf ppf "list %a is not allocated" Types.List_id.pp l
+  | Unknown_aru a -> Format.fprintf ppf "ARU %a is not active" Types.Aru_id.pp a
+  | Aru_already_active ->
+    Format.fprintf ppf "an ARU is already active (sequential mode)"
+  | Block_not_on_list b ->
+    Format.fprintf ppf "block %a is not on the list" Types.Block_id.pp b
+  | Disk_full -> Format.fprintf ppf "logical disk is full"
+  | Corrupt msg -> Format.fprintf ppf "corrupt on-disk state: %s" msg
+  | e -> Format.fprintf ppf "%s" (Printexc.to_string e)

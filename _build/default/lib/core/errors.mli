@@ -1,0 +1,30 @@
+(** Exceptions raised by the logical disk system.
+
+    Client programming errors (operating on identifiers that are not
+    allocated, or on a finished ARU) raise; environmental conditions the
+    client must handle (a full disk) also raise, with a dedicated
+    constructor.  Crash and media failures surface as the
+    {!Lld_disk.Fault} exceptions of the underlying device. *)
+
+exception Unallocated_block of Types.Block_id.t
+(** The block is not allocated in the state the operation addresses. *)
+
+exception Unallocated_list of Types.List_id.t
+exception Unknown_aru of Types.Aru_id.t
+(** The ARU identifier does not name an active ARU. *)
+
+exception Aru_already_active
+(** Sequential mode only: BeginARU while another ARU is open. *)
+
+exception Block_not_on_list of Types.Block_id.t
+(** A list operation named a block that is not a member of the list. *)
+
+exception Disk_full
+(** No free segment (after cleaning) or no free logical identifier. *)
+
+exception Corrupt of string
+(** Recovery found on-disk state it cannot interpret. *)
+
+val pp_exn : Format.formatter -> exn -> unit
+(** Human-readable rendering of the exceptions above (falls back to
+    [Printexc.to_string]). *)

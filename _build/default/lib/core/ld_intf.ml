@@ -1,0 +1,67 @@
+(** The Logical Disk interface, as a signature.
+
+    The paper's second design advantage of LD (§2) is that
+    "implementations can be exchanged transparently, without changing
+    applications" — several file systems can share one implementation
+    and one file system can run on several.  This signature captures the
+    operations clients program against; {!Lld} (the log-structured
+    implementation the paper evaluates) satisfies it, and so does the
+    journaling update-in-place implementation in [lib/jld] (the kind of
+    alternative §5.4 anticipates).  The Minix file system is a functor
+    over it. *)
+
+module type S = sig
+  type t
+
+  (** {1 Atomic recovery units} *)
+
+  val begin_aru : t -> Types.Aru_id.t
+  val end_aru : t -> Types.Aru_id.t -> unit
+  val abort_aru : t -> Types.Aru_id.t -> unit
+  val with_aru : t -> (Types.Aru_id.t -> 'a) -> 'a
+
+  (** {1 The LD operations} *)
+
+  val new_list : t -> ?aru:Types.Aru_id.t -> unit -> Types.List_id.t
+
+  val new_block :
+    t ->
+    ?aru:Types.Aru_id.t ->
+    list:Types.List_id.t ->
+    pred:Summary.pred ->
+    unit ->
+    Types.Block_id.t
+
+  val write : t -> ?aru:Types.Aru_id.t -> Types.Block_id.t -> bytes -> unit
+  val read : t -> ?aru:Types.Aru_id.t -> Types.Block_id.t -> bytes
+  val delete_block : t -> ?aru:Types.Aru_id.t -> Types.Block_id.t -> unit
+  val delete_list : t -> ?aru:Types.Aru_id.t -> Types.List_id.t -> unit
+  val flush : t -> unit
+
+  (** {1 Introspection} *)
+
+  val list_exists : t -> ?aru:Types.Aru_id.t -> Types.List_id.t -> bool
+  val block_allocated : t -> ?aru:Types.Aru_id.t -> Types.Block_id.t -> bool
+
+  val block_member :
+    t -> ?aru:Types.Aru_id.t -> Types.Block_id.t -> Types.List_id.t option
+
+  val list_blocks :
+    t -> ?aru:Types.Aru_id.t -> Types.List_id.t -> Types.Block_id.t list
+
+  val lists : t -> Types.List_id.t list
+  val capacity : t -> int
+  val allocated_blocks : t -> int
+  val block_bytes : t -> int
+
+  (** {1 Maintenance} *)
+
+  val scavenge : t -> int
+  val orphan_blocks : t -> Types.Block_id.t list
+
+  (** {1 Measurement} *)
+
+  val clock : t -> Lld_sim.Clock.t
+  val cost_model : t -> Lld_sim.Cost.t
+  val counters : t -> Counters.t
+end

@@ -1,0 +1,31 @@
+type op =
+  | Insert of {
+      list : Types.List_id.t;
+      block : Types.Block_id.t;
+      pred : Summary.pred;
+    }
+  | Delete_block of { block : Types.Block_id.t }
+  | Delete_list of { list : Types.List_id.t }
+
+type t = { mutable rev : op list; mutable length : int }
+
+let create () = { rev = []; length = 0 }
+
+let add t op =
+  t.rev <- op :: t.rev;
+  t.length <- t.length + 1
+
+let length t = t.length
+let to_list t = List.rev t.rev
+
+let pp_op ppf = function
+  | Insert { list; block; pred } ->
+    Format.fprintf ppf "insert %a into %a (%s)" Types.Block_id.pp block
+      Types.List_id.pp list
+      (match pred with
+      | Summary.Head -> "head"
+      | Summary.After p -> Format.asprintf "after %a" Types.Block_id.pp p)
+  | Delete_block { block } ->
+    Format.fprintf ppf "delete-block %a" Types.Block_id.pp block
+  | Delete_list { list } ->
+    Format.fprintf ppf "delete-list %a" Types.List_id.pp list

@@ -1,0 +1,28 @@
+(** The per-ARU list-operation log (paper §4).
+
+    List operations inside an ARU execute against the ARU's shadow state
+    without generating segment-summary entries; each appends an entry
+    here.  On commit the log is replayed, in order, against the
+    committed state, which generates the summary entries and merges
+    concurrent versions of the same list deterministically. *)
+
+type op =
+  | Insert of {
+      list : Types.List_id.t;
+      block : Types.Block_id.t;
+      pred : Summary.pred;
+    }
+  | Delete_block of { block : Types.Block_id.t }
+      (** unlink from its list (if any) and deallocate *)
+  | Delete_list of { list : Types.List_id.t }
+
+type t
+
+val create : unit -> t
+val add : t -> op -> unit
+val length : t -> int
+
+val to_list : t -> op list
+(** Entries in append order. *)
+
+val pp_op : Format.formatter -> op -> unit

@@ -1,0 +1,1432 @@
+module Clock = Lld_sim.Clock
+module Cost = Lld_sim.Cost
+module Geometry = Lld_disk.Geometry
+module Disk = Lld_disk.Disk
+module Lru = Lld_util.Lru
+
+type t = {
+  config : Config.t;
+  disk : Disk.t;
+  geom : Geometry.t;
+  clock : Clock.t;
+  blocks : Block_map.t;
+  lists : List_table.t;
+  mutable committed_blocks : Record.block option;
+  mutable committed_lists : Record.list_r option;
+  arus : (int, Aru.t) Hashtbl.t;
+  mutable next_aru : int;
+  mutable seq_aru : Aru.t option; (* sequential mode's single open ARU *)
+  mutable stamp : int;
+  mutable open_seg : Segment.t option;
+  mutable next_seq : int;
+  free_segs : int Queue.t;
+  sealed : bool array; (* per disk segment: written and not yet freed *)
+  live : int array; (* per disk segment: persistent block slots referenced *)
+  cache : bytes Lru.t;
+  mutable last_read_gslot : int;
+  mutable seq_read_run : int; (* consecutive sequential physical reads *)
+  counters : Counters.t;
+  mutable ckpt_id : int;
+  mutable ckpt_region : int; (* region to write next *)
+  mutable sealed_since_ckpt : int;
+  pending : (int, Checkpoint.pending_entry list) Hashtbl.t;
+  (* reversed emission order; mirrors recovery's per-ARU buffers *)
+  mutable in_cleaning : bool;
+  mutable in_checkpoint : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+
+let cost t = t.config.Config.cost
+let cpu t ns = Clock.charge t.clock Clock.Cpu ns
+let concurrent t = t.config.Config.mode = Config.Concurrent
+
+let next_stamp t =
+  t.stamp <- t.stamp + 1;
+  t.stamp
+
+let block_bytes t = t.geom.Geometry.block_bytes
+let bps t = Geometry.blocks_per_segment t.geom
+let counters t = t.counters
+let clock t = t.clock
+let config t = t.config
+let cost_model t = t.config.Config.cost
+let disk t = t.disk
+let capacity t = Block_map.capacity t.blocks
+let allocated_blocks t = Block_map.allocated_count t.blocks
+let free_segments t = Queue.length t.free_segs
+
+type who = [ `Simple | `In of Aru.t ]
+
+let resolve_who t = function
+  | None -> `Simple
+  | Some aid -> (
+    match Hashtbl.find_opt t.arus (Types.Aru_id.to_int aid) with
+    | Some a -> `In a
+    | None -> raise (Errors.Unknown_aru aid))
+
+let owner_active t o = Hashtbl.mem t.arus (Types.Aru_id.to_int o)
+
+(* Allocation-owner visibility (paper §3.3): a block/list allocated
+   inside an ARU is invisible to everyone else until the ARU ends. *)
+let owner_visible t who owner =
+  match owner with
+  | None -> true
+  | Some o -> (
+    if not (owner_active t o) then true
+    else
+      match who with
+      | `In (a : Aru.t) -> Types.Aru_id.equal a.Aru.id o
+      | `Simple -> false)
+
+(* Durability bookkeeping for committed records touched by simple
+   operations: the record may be promoted once the given segment is on
+   disk.  A fresh alternative record carries [max_int] ("not yet
+   determined"), which the first note replaces. *)
+let set_durable_block (r : Record.block) seq =
+  r.Record.durable_seq <-
+    (if r.Record.durable_seq = max_int then seq else max r.Record.durable_seq seq)
+
+let set_durable_list (r : Record.list_r) seq =
+  r.Record.l_durable_seq <-
+    (if r.Record.l_durable_seq = max_int then seq
+     else max r.Record.l_durable_seq seq)
+
+(* ------------------------------------------------------------------ *)
+(* Segment lifecycle                                                   *)
+
+let current_seq t =
+  match t.open_seg with Some s -> Segment.seq s | None -> t.next_seq
+
+let cache_invalidate_segment t idx =
+  let base = idx * bps t in
+  for i = 0 to bps t - 1 do
+    Lru.remove t.cache (base + i)
+  done
+
+let rec open_new t =
+  if
+    (not t.in_cleaning) && t.config.Config.auto_clean
+    && Queue.length t.free_segs < t.config.Config.clean_reserve_segments
+  then clean_internal t ~target_free:(t.config.Config.clean_reserve_segments * 2);
+  match Queue.take_opt t.free_segs with
+  | None -> raise Errors.Disk_full
+  | Some idx ->
+    cache_invalidate_segment t idx;
+    let seg = Segment.create t.geom ~seq:t.next_seq ~disk_index:idx in
+    t.next_seq <- t.next_seq + 1;
+    t.open_seg <- Some seg;
+    seg
+
+and get_open t = match t.open_seg with Some s -> s | None -> open_new t
+
+(* Promote committed records whose durability requirement is met:
+   the committed -> persistent transition (paper §3.1). *)
+and promote_upto t upto_seq =
+  let c = cost t in
+  let promote_block (r : Record.block) =
+    let anchor = Block_map.anchor t.blocks r.Record.id in
+    (match anchor.Record.phys with
+    | Some p -> t.live.(p.Record.seg_index) <- t.live.(p.Record.seg_index) - 1
+    | None -> ());
+    if r.Record.alloc then begin
+      anchor.Record.alloc <- true;
+      anchor.Record.member_of <- r.Record.member_of;
+      anchor.Record.successor <- r.Record.successor;
+      anchor.Record.phys <- r.Record.phys;
+      (match r.Record.phys with
+      | Some p -> t.live.(p.Record.seg_index) <- t.live.(p.Record.seg_index) + 1
+      | None -> ());
+      anchor.Record.stamp <- r.Record.stamp;
+      anchor.Record.alloc_owner <- r.Record.alloc_owner
+    end
+    else begin
+      anchor.Record.alloc <- false;
+      anchor.Record.member_of <- None;
+      anchor.Record.successor <- None;
+      anchor.Record.phys <- None;
+      anchor.Record.stamp <- r.Record.stamp;
+      anchor.Record.alloc_owner <- None
+    end;
+    Record.remove_alt_block ~anchor r;
+    t.counters.Counters.record_transitions <-
+      t.counters.Counters.record_transitions + 1;
+    cpu t c.Cost.record_transition_ns
+  in
+  let promote_list (r : Record.list_r) =
+    let anchor = List_table.anchor t.lists r.Record.lid in
+    anchor.Record.exists <- r.Record.exists;
+    anchor.Record.first <- r.Record.first;
+    anchor.Record.last <- r.Record.last;
+    anchor.Record.lstamp <- r.Record.lstamp;
+    anchor.Record.l_owner <- (if r.Record.exists then r.Record.l_owner else None);
+    Record.remove_alt_list ~anchor r;
+    t.counters.Counters.record_transitions <-
+      t.counters.Counters.record_transitions + 1;
+    cpu t c.Cost.record_transition_ns
+  in
+  let rec filter_blocks node =
+    match node with
+    | None -> None
+    | Some (r : Record.block) ->
+      let rest = filter_blocks r.Record.next_same_state in
+      if r.Record.durable_seq <= upto_seq then begin
+        promote_block r;
+        r.Record.next_same_state <- None;
+        rest
+      end
+      else begin
+        r.Record.next_same_state <- rest;
+        Some r
+      end
+  in
+  let rec filter_lists node =
+    match node with
+    | None -> None
+    | Some (r : Record.list_r) ->
+      let rest = filter_lists r.Record.l_next_same_state in
+      if r.Record.l_durable_seq <= upto_seq then begin
+        promote_list r;
+        r.Record.l_next_same_state <- None;
+        rest
+      end
+      else begin
+        r.Record.l_next_same_state <- rest;
+        Some r
+      end
+  in
+  t.committed_blocks <- filter_blocks t.committed_blocks;
+  t.committed_lists <- filter_lists t.committed_lists
+
+and seal t =
+  match t.open_seg with
+  | None -> ()
+  | Some s when Segment.is_empty s ->
+    (* never written: return the slot unused *)
+    t.open_seg <- None;
+    t.next_seq <- t.next_seq - 1;
+    Queue.push (Segment.disk_index s) t.free_segs
+  | Some s ->
+    let image = Segment.seal s in
+    let idx = Segment.disk_index s in
+    Disk.write t.disk ~offset:(Geometry.segment_offset t.geom idx) image;
+    t.counters.Counters.segments_written <-
+      t.counters.Counters.segments_written + 1;
+    t.sealed.(idx) <- true;
+    (* the sealed segment's blocks are the most recently used data *)
+    let base = idx * bps t in
+    for slot = 0 to Segment.slots_used s - 1 do
+      Lru.add t.cache (base + slot) (Segment.read_slot s ~slot)
+    done;
+    t.open_seg <- None;
+    t.sealed_since_ckpt <- t.sealed_since_ckpt + 1;
+    promote_upto t (Segment.seq s);
+    maybe_auto_checkpoint t
+
+and flush t =
+  t.counters.Counters.flushes <- t.counters.Counters.flushes + 1;
+  seal t
+
+and maybe_auto_checkpoint t =
+  let interval = t.config.Config.checkpoint_interval_segments in
+  if
+    interval > 0
+    && t.sealed_since_ckpt >= interval
+    && (not t.in_checkpoint) && (not t.in_cleaning)
+    && t.seq_aru = None
+  then checkpoint_internal t
+
+(* Write a checkpoint of the persistent state (plus pending ARU
+   entries); see Checkpoint. *)
+and checkpoint_internal ?(extra_free = []) t =
+  t.in_checkpoint <- true;
+  Fun.protect ~finally:(fun () -> t.in_checkpoint <- false) @@ fun () ->
+  seal t;
+  let blocks = ref [] in
+  Block_map.iter t.blocks (fun r ->
+      if r.Record.alloc then
+        blocks :=
+          {
+            Checkpoint.b_id = Types.Block_id.to_int r.Record.id;
+            b_member = Option.map Types.List_id.to_int r.Record.member_of;
+            b_succ = Option.map Types.Block_id.to_int r.Record.successor;
+            b_phys =
+              Option.map
+                (fun (p : Record.phys) -> (p.Record.seg_index, p.Record.slot))
+                r.Record.phys;
+            b_stamp = r.Record.stamp;
+          }
+          :: !blocks);
+  let lists = ref [] in
+  List_table.iter t.lists (fun r ->
+      if r.Record.exists then begin
+        let l_owner =
+          match r.Record.l_owner with
+          | Some o when owner_active t o -> Some (Types.Aru_id.to_int o)
+          | Some _ | None -> None
+        in
+        lists :=
+          {
+            Checkpoint.l_id = Types.List_id.to_int r.Record.lid;
+            l_first = Option.map Types.Block_id.to_int r.Record.first;
+            l_last = Option.map Types.Block_id.to_int r.Record.last;
+            l_stamp = r.Record.lstamp;
+            l_owner;
+          }
+          :: !lists
+      end);
+  let pending =
+    Hashtbl.fold (fun aru rev acc -> (aru, List.rev rev) :: acc) t.pending []
+  in
+  let free_order =
+    List.rev (Queue.fold (fun acc idx -> idx :: acc) [] t.free_segs)
+    @ extra_free
+  in
+  t.ckpt_id <- t.ckpt_id + 1;
+  let snap =
+    {
+      Checkpoint.ckpt_id = t.ckpt_id;
+      covered_seq = t.next_seq - 1;
+      next_seq = t.next_seq;
+      stamp = t.stamp;
+      next_aru = t.next_aru;
+      blocks = List.rev !blocks;
+      lists = List.rev !lists;
+      pending;
+      free_order;
+    }
+  in
+  Checkpoint.write t.disk ~region:t.ckpt_region snap;
+  t.ckpt_region <- 1 - t.ckpt_region;
+  t.sealed_since_ckpt <- 0;
+  t.counters.Counters.checkpoints <- t.counters.Counters.checkpoints + 1
+
+(* ------------------------------------------------------------------ *)
+(* Segment cleaning                                                    *)
+
+and clean_internal t ~target_free =
+  if t.in_cleaning then ()
+  else begin
+    t.in_cleaning <- true;
+    Fun.protect ~finally:(fun () -> t.in_cleaning <- false) @@ fun () ->
+    if t.seq_aru <> None then
+      (* the sequential prototype cannot checkpoint (and therefore not
+         clean) with an open ARU; DESIGN.md §5.3 *)
+      raise Errors.Disk_full;
+    flush t;
+    (* Clean in batches.  A batch's relocation copies must fit in the
+       space that is free right now (minus one spare segment), or the
+       relocation itself would run out of segments mid-way. *)
+    let progress = ref true in
+    while Queue.length t.free_segs < target_free && !progress do
+      let victims = ref [] in
+      let copies = ref 0 in
+      let budget = max 0 ((Queue.length t.free_segs - 1) * bps t) in
+      let is_candidate idx = t.sealed.(idx) && not (List.mem idx !victims) in
+      let pick () =
+        let best = ref None in
+        for idx = Disk_layout.log_first t.geom
+            to t.geom.Geometry.num_segments - 1 do
+          if is_candidate idx then
+            match !best with
+            | None -> best := Some idx
+            | Some b -> if t.live.(idx) < t.live.(b) then best := Some idx
+        done;
+        !best
+      in
+      let batch_full = ref false in
+      while
+        (not !batch_full)
+        && Queue.length t.free_segs + List.length !victims
+           - ((!copies + bps t - 1) / bps t)
+           < target_free
+      do
+        match pick () with
+        | Some idx
+          when t.live.(idx) < bps t && !copies + t.live.(idx) <= budget ->
+          victims := idx :: !victims;
+          copies := !copies + t.live.(idx)
+        | Some _ | None -> batch_full := true
+      done;
+      (* a batch that reclaims nothing net makes no progress *)
+      let gain = List.length !victims - ((!copies + bps t - 1) / bps t) in
+      if !victims = [] || gain <= 0 then progress := false
+      else begin
+        List.iter (relocate_live_blocks t) !victims;
+        flush t;
+        (* the victims join the free queue right after this checkpoint,
+           so they must already appear in its free order *)
+        checkpoint_internal t ~extra_free:(List.rev !victims);
+        List.iter
+          (fun idx ->
+            if t.live.(idx) <> 0 then
+              raise
+                (Errors.Corrupt
+                   (Printf.sprintf
+                      "cleaner: segment %d still has %d live blocks" idx
+                      t.live.(idx)));
+            t.sealed.(idx) <- false;
+            cache_invalidate_segment t idx;
+            Queue.push idx t.free_segs)
+          !victims;
+        t.counters.Counters.segments_cleaned <-
+          t.counters.Counters.segments_cleaned + List.length !victims
+      end
+    done;
+    if Queue.length t.free_segs = 0 then raise Errors.Disk_full
+  end
+
+(* Copy every live block out of the victim segment into the open
+   stream, preserving stamps so replay ordering is untouched. *)
+and relocate_live_blocks t victim =
+  let c = cost t in
+  Block_map.iter t.blocks (fun anchor ->
+      match anchor.Record.phys with
+      | Some p when p.Record.seg_index = victim ->
+        let data =
+          Disk.read t.disk
+            ~offset:
+              (Geometry.segment_offset t.geom victim
+              + (p.Record.slot * block_bytes t))
+            ~length:(block_bytes t)
+        in
+        let seq, phys =
+          emit_write t ~allow_cross_scope:true ~stream:Summary.Simple
+            ~block:anchor.Record.id ~data ~stamp:anchor.Record.stamp ()
+        in
+        (if concurrent t then begin
+           let r = committed_get t anchor.Record.id in
+           r.Record.phys <- Some phys;
+           r.Record.stamp <- anchor.Record.stamp;
+           set_durable_block r seq
+         end
+         else begin
+           t.live.(victim) <- t.live.(victim) - 1;
+           t.live.(phys.Record.seg_index) <- t.live.(phys.Record.seg_index) + 1;
+           anchor.Record.phys <- Some phys
+         end);
+        t.counters.Counters.blocks_copied_clean <-
+          t.counters.Counters.blocks_copied_clean + 1;
+        cpu t c.Cost.record_lookup_ns
+      | Some _ | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Emitting summary entries                                            *)
+
+and pending_push t aru op seg =
+  let key = Types.Aru_id.to_int aru in
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.pending key) in
+  Hashtbl.replace t.pending key ({ Checkpoint.pe_op = op; pe_seg = seg } :: prev)
+
+and emit_entry t ~stream op =
+  let entry = { Summary.stream; op } in
+  let size = Summary.encoded_size entry in
+  let s =
+    let s0 = get_open t in
+    if Segment.has_room s0 ~data_blocks:0 ~entry_bytes:size then s0
+    else begin
+      seal t;
+      get_open t
+    end
+  in
+  Segment.add_entry s entry;
+  t.counters.Counters.summary_entries <- t.counters.Counters.summary_entries + 1;
+  cpu t (cost t).Cost.summary_entry_ns;
+  (match stream with
+  | Summary.In_aru a -> pending_push t a op (Segment.disk_index s)
+  | Summary.Simple -> ());
+  Segment.seq s
+
+(* Write one block of data into the open stream together with its
+   summary entry (kept atomic with respect to segment boundaries).
+   [charge_copy:false] models the commit-time shadow->committed data
+   transition, where the already-copied shadow buffer is donated to the
+   segment rather than copied again (DESIGN.md §5.4).
+   [allow_cross_scope] says whether the write may coalesce into a slot
+   last written by a different stream: true for simple writes (they
+   apply unconditionally at replay) and for commit-time merges (the
+   reservation in [end_aru] guarantees the commit record lands in the
+   same segment); false for the sequential prototype's in-ARU writes,
+   whose commit record may be segments away. *)
+and emit_write t ?(charge_copy = true) ~allow_cross_scope ~stream ~block ~data
+    ~stamp () =
+  let scope =
+    match stream with
+    | Summary.Simple -> Segment.Simple_scope
+    | Summary.In_aru a -> Segment.Aru_scope a
+  in
+  let op = Summary.Write { block; slot = 0; stamp } in
+  let size = Summary.encoded_size { Summary.stream; op } in
+  let s =
+    let s0 = get_open t in
+    if Segment.has_room s0 ~data_blocks:1 ~entry_bytes:size then s0
+    else begin
+      seal t;
+      get_open t
+    end
+  in
+  let slot = Segment.put_block s ~scope ~allow_cross_scope block data in
+  if charge_copy then cpu t (cost t).Cost.block_copy_ns;
+  let op = Summary.Write { block; slot; stamp } in
+  Segment.add_entry s { Summary.stream; op };
+  t.counters.Counters.summary_entries <- t.counters.Counters.summary_entries + 1;
+  cpu t (cost t).Cost.summary_entry_ns;
+  (match stream with
+  | Summary.In_aru a -> pending_push t a op (Segment.disk_index s)
+  | Summary.Simple -> ());
+  (Segment.seq s, { Record.seg_index = Segment.disk_index s; slot })
+
+(* ------------------------------------------------------------------ *)
+(* Version views                                                       *)
+
+and hops_charge t n =
+  if n > 0 then begin
+    t.counters.Counters.mesh_hops <- t.counters.Counters.mesh_hops + n;
+    cpu t (n * (cost t).Cost.mesh_hop_ns)
+  end
+
+(* Committed view of a block: the committed alternative record, falling
+   back to the persistent anchor.  In sequential mode the anchor is the
+   single authoritative record. *)
+and committed_peek t b =
+  let anchor = Block_map.anchor t.blocks b in
+  if not (concurrent t) then anchor
+  else begin
+    let r, hops = Record.find_block ~anchor Record.Committed in
+    hops_charge t hops;
+    Option.value r ~default:anchor
+  end
+
+and committed_get t b =
+  let anchor = Block_map.anchor t.blocks b in
+  if not (concurrent t) then anchor
+  else begin
+    let r, hops = Record.find_block ~anchor Record.Committed in
+    hops_charge t hops;
+    match r with
+    | Some r -> r
+    | None ->
+      let alt = Record.alt_block Record.Committed ~from:anchor in
+      Record.insert_alt_block ~anchor alt;
+      alt.Record.next_same_state <- t.committed_blocks;
+      t.committed_blocks <- Some alt;
+      t.counters.Counters.record_creates <-
+        t.counters.Counters.record_creates + 1;
+      cpu t (cost t).Cost.record_create_ns;
+      alt
+  end
+
+and committed_peek_list t l =
+  let anchor = List_table.anchor t.lists l in
+  if not (concurrent t) then anchor
+  else begin
+    let r, hops = Record.find_list ~anchor Record.Committed in
+    hops_charge t hops;
+    Option.value r ~default:anchor
+  end
+
+and committed_get_list t l =
+  let anchor = List_table.anchor t.lists l in
+  if not (concurrent t) then anchor
+  else begin
+    let r, hops = Record.find_list ~anchor Record.Committed in
+    hops_charge t hops;
+    match r with
+    | Some r -> r
+    | None ->
+      let alt = Record.alt_list Record.Committed ~from:anchor in
+      Record.insert_alt_list ~anchor alt;
+      alt.Record.l_next_same_state <- t.committed_lists;
+      t.committed_lists <- Some alt;
+      t.counters.Counters.record_creates <-
+        t.counters.Counters.record_creates + 1;
+      cpu t (cost t).Cost.record_create_ns;
+      alt
+  end
+
+(* Shadow view for an ARU: shadow record, else committed, else
+   persistent (the standardized search of paper §3.3). *)
+and shadow_peek t (a : Aru.t) b =
+  let anchor = Block_map.anchor t.blocks b in
+  let r, hops = Record.find_block ~anchor (Record.Shadow a.Aru.id) in
+  hops_charge t hops;
+  match r with Some r -> r | None -> committed_peek t b
+
+and shadow_get t (a : Aru.t) b =
+  let anchor = Block_map.anchor t.blocks b in
+  let r, hops = Record.find_block ~anchor (Record.Shadow a.Aru.id) in
+  hops_charge t hops;
+  match r with
+  | Some r -> r
+  | None ->
+    let from = committed_peek t b in
+    let alt = Record.alt_block (Record.Shadow a.Aru.id) ~from in
+    Record.insert_alt_block ~anchor alt;
+    Aru.push_shadow_block a alt;
+    t.counters.Counters.record_creates <- t.counters.Counters.record_creates + 1;
+    cpu t (cost t).Cost.record_create_ns;
+    alt
+
+and shadow_peek_list t (a : Aru.t) l =
+  let anchor = List_table.anchor t.lists l in
+  let r, hops = Record.find_list ~anchor (Record.Shadow a.Aru.id) in
+  hops_charge t hops;
+  match r with Some r -> r | None -> committed_peek_list t l
+
+and shadow_get_list t (a : Aru.t) l =
+  let anchor = List_table.anchor t.lists l in
+  let r, hops = Record.find_list ~anchor (Record.Shadow a.Aru.id) in
+  hops_charge t hops;
+  match r with
+  | Some r -> r
+  | None ->
+    let from = committed_peek_list t l in
+    let alt = Record.alt_list (Record.Shadow a.Aru.id) ~from in
+    Record.insert_alt_list ~anchor alt;
+    Aru.push_shadow_list a alt;
+    t.counters.Counters.record_creates <- t.counters.Counters.record_creates + 1;
+    cpu t (cost t).Cost.record_create_ns;
+    alt
+
+(* The record a Read (or introspection) sees, per the configured
+   visibility option (paper §3.3). *)
+and visible_block t (who : who) b =
+  let anchor = Block_map.anchor t.blocks b in
+  if not (concurrent t) then anchor
+  else begin
+    cpu t (cost t).Cost.version_search_ns;
+    match (t.config.Config.visibility, who) with
+    | Config.Own_shadow, `In a -> shadow_peek t a b
+    | Config.Own_shadow, `Simple | Config.Committed_only, _ ->
+      committed_peek t b
+    | Config.Any_shadow, _ -> (
+      let r, hops = Record.newest_shadow_block ~anchor in
+      hops_charge t hops;
+      match r with Some r -> r | None -> committed_peek t b)
+  end
+
+and visible_list t (who : who) l =
+  if not (concurrent t) then List_table.anchor t.lists l
+  else begin
+    cpu t (cost t).Cost.version_search_ns;
+    match (t.config.Config.visibility, who) with
+    | (Config.Own_shadow | Config.Any_shadow), `In a -> shadow_peek_list t a l
+    | (Config.Own_shadow | Config.Any_shadow), `Simple
+    | Config.Committed_only, (`Simple | `In _) ->
+      committed_peek_list t l
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Durability sinks and splice contexts                                *)
+
+and note_block_simple t (r : Record.block) =
+  if concurrent t then set_durable_block r (current_seq t)
+
+and note_list_simple t (r : Record.list_r) =
+  if concurrent t then set_durable_list r (current_seq t)
+
+and pred_hop t () =
+  t.counters.Counters.pred_search_hops <-
+    t.counters.Counters.pred_search_hops + 1;
+  cpu t (cost t).Cost.pred_search_hop_ns
+
+(* Splice context over the committed state for simple operations. *)
+and committed_ctx t =
+  {
+    Splice.peek_block = (fun b -> committed_peek t b);
+    get_block =
+      (fun b ->
+        let r = committed_get t b in
+        note_block_simple t r;
+        r);
+    peek_list = (fun l -> committed_peek_list t l);
+    get_list =
+      (fun l ->
+        let r = committed_get_list t l in
+        note_list_simple t r;
+        r);
+    on_pred_hop = pred_hop t;
+  }
+
+(* Splice context over the committed state during commit replay: every
+   touched record is collected so EndARU can stamp it with the commit
+   record's segment. *)
+and commit_ctx t collected_b collected_l =
+  {
+    Splice.peek_block = (fun b -> committed_peek t b);
+    get_block =
+      (fun b ->
+        let r = committed_get t b in
+        r.Record.durable_seq <- max_int;
+        collected_b := r :: !collected_b;
+        r);
+    peek_list = (fun l -> committed_peek_list t l);
+    get_list =
+      (fun l ->
+        let r = committed_get_list t l in
+        r.Record.l_durable_seq <- max_int;
+        collected_l := r :: !collected_l;
+        r);
+    on_pred_hop = pred_hop t;
+  }
+
+and shadow_ctx t (a : Aru.t) =
+  {
+    Splice.peek_block = (fun b -> shadow_peek t a b);
+    get_block = (fun b -> shadow_get t a b);
+    peek_list = (fun l -> shadow_peek_list t a l);
+    get_list = (fun l -> shadow_get_list t a l);
+    on_pred_hop = pred_hop t;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reading data                                                        *)
+
+and read_phys t (p : Record.phys) =
+  let bb = block_bytes t in
+  match t.open_seg with
+  | Some s when Segment.disk_index s = p.Record.seg_index ->
+    Segment.read_slot s ~slot:p.Record.slot
+  | Some _ | None -> (
+    let gslot = (p.Record.seg_index * bps t) + p.Record.slot in
+    match Lru.find t.cache gslot with
+    | Some data ->
+      t.counters.Counters.cache_hits <- t.counters.Counters.cache_hits + 1;
+      if gslot = t.last_read_gslot + 1 then
+        t.seq_read_run <- t.seq_read_run + 1
+      else t.seq_read_run <- 0;
+      t.last_read_gslot <- gslot;
+      Bytes.copy data
+    | None ->
+      t.counters.Counters.cache_misses <- t.counters.Counters.cache_misses + 1;
+      if gslot = t.last_read_gslot + 1 then
+        t.seq_read_run <- t.seq_read_run + 1
+      else t.seq_read_run <- 0;
+      t.last_read_gslot <- gslot;
+      (* prefetch only on an established sequential run: a lone +1
+         coincidence (adjacent meta blocks) must not drag in 0.5 MB *)
+      let sequential = t.seq_read_run >= 3 in
+      if t.config.Config.readahead && sequential then begin
+        (* fetch the whole segment in one request (paper §2: segments
+           are the unit of disk transfer) *)
+        let image =
+          Disk.read t.disk
+            ~offset:(Geometry.segment_offset t.geom p.Record.seg_index)
+            ~length:t.geom.Geometry.segment_bytes
+        in
+        t.counters.Counters.readaheads <- t.counters.Counters.readaheads + 1;
+        let base = p.Record.seg_index * bps t in
+        for i = 0 to bps t - 1 do
+          Lru.add t.cache (base + i) (Bytes.sub image (i * bb) bb)
+        done;
+        Bytes.sub image (p.Record.slot * bb) bb
+      end
+      else begin
+        let data =
+          Disk.read t.disk
+            ~offset:
+              (Geometry.segment_offset t.geom p.Record.seg_index
+              + (p.Record.slot * bb))
+            ~length:bb
+        in
+        Lru.add t.cache gslot (Bytes.copy data);
+        data
+      end)
+
+(* ------------------------------------------------------------------ *)
+
+let require_visible_block t who (r : Record.block) =
+  if not (r.Record.alloc && owner_visible t who r.Record.alloc_owner) then
+    raise (Errors.Unallocated_block r.Record.id)
+
+let require_visible_list t who (r : Record.list_r) =
+  if not (r.Record.exists && owner_visible t who r.Record.l_owner) then
+    raise (Errors.Unallocated_list r.Record.lid)
+
+let dispatch t =
+  cpu t (cost t).Cost.op_dispatch_ns;
+  cpu t (cost t).Cost.record_lookup_ns
+
+(* ------------------------------------------------------------------ *)
+(* The LD interface                                                    *)
+
+let begin_aru t =
+  dispatch t;
+  if t.config.Config.mode = Config.Sequential && t.seq_aru <> None then
+    raise Errors.Aru_already_active;
+  t.counters.Counters.arus_begun <- t.counters.Counters.arus_begun + 1;
+  let id = Types.Aru_id.of_int t.next_aru in
+  t.next_aru <- t.next_aru + 1;
+  let a = Aru.create id in
+  (match t.config.Config.mode with
+  | Config.Sequential ->
+    t.seq_aru <- Some a;
+    cpu t ((cost t).Cost.aru_begin_ns / 2)
+  | Config.Concurrent -> cpu t (cost t).Cost.aru_begin_ns);
+  Hashtbl.replace t.arus (Types.Aru_id.to_int id) a;
+  id
+
+let new_list t ?aru () =
+  dispatch t;
+  t.counters.Counters.new_lists <- t.counters.Counters.new_lists + 1;
+  let who = resolve_who t aru in
+  let lid =
+    match List_table.alloc_id t.lists with
+    | Some l -> l
+    | None -> raise Errors.Disk_full
+  in
+  let stamp = next_stamp t in
+  let r = committed_get_list t lid in
+  r.Record.exists <- true;
+  r.Record.first <- None;
+  r.Record.last <- None;
+  r.Record.lstamp <- stamp;
+  let owner = match who with `In a -> Some a.Aru.id | `Simple -> None in
+  r.Record.l_owner <- owner;
+  (match who with
+  | `In a -> a.Aru.owned_lists <- r :: a.Aru.owned_lists
+  | `Simple -> ());
+  let seq =
+    emit_entry t ~stream:Summary.Simple
+      (Summary.New_list { list = lid; stamp; owner })
+  in
+  if concurrent t then set_durable_list r seq;
+  lid
+
+let new_block t ?aru ~list ~pred () =
+  dispatch t;
+  t.counters.Counters.new_blocks <- t.counters.Counters.new_blocks + 1;
+  let who = resolve_who t aru in
+  (* validate against the view the insertion will run in *)
+  let view_list, view_block =
+    match (t.config.Config.mode, who) with
+    | Config.Concurrent, `In a ->
+      ((fun l -> shadow_peek_list t a l), fun b -> shadow_peek t a b)
+    | (Config.Concurrent | Config.Sequential), (`Simple | `In _) ->
+      ((fun l -> committed_peek_list t l), fun b -> committed_peek t b)
+  in
+  require_visible_list t who (view_list list);
+  (match pred with
+  | Summary.Head -> ()
+  | Summary.After p ->
+    let pr = view_block p in
+    require_visible_block t who pr;
+    if pr.Record.member_of <> Some list then raise (Errors.Block_not_on_list p));
+  let bid =
+    match Block_map.alloc_id t.blocks with
+    | Some b -> b
+    | None -> raise Errors.Disk_full
+  in
+  let stamp = next_stamp t in
+  (* allocation always happens in the committed state (paper §3.3) *)
+  let c = committed_get t bid in
+  c.Record.alloc <- true;
+  c.Record.member_of <- None;
+  c.Record.successor <- None;
+  c.Record.phys <- None;
+  c.Record.data <- None;
+  c.Record.stamp <- stamp;
+  c.Record.alloc_owner <-
+    (match who with `In a -> Some a.Aru.id | `Simple -> None);
+  let seq =
+    emit_entry t ~stream:Summary.Simple (Summary.Alloc { block = bid; list; stamp })
+  in
+  if concurrent t then set_durable_block c seq;
+  (* insertion: shadow state inside a concurrent ARU, committed state
+     otherwise *)
+  (match (t.config.Config.mode, who) with
+  | Config.Concurrent, `In a ->
+    (match Splice.insert (shadow_ctx t a) ~list ~block:bid ~pred with
+    | `Applied -> ()
+    | `Skipped ->
+      raise (Errors.Corrupt "new_block: validated insertion was skipped"));
+    Link_log.add a.Aru.log (Link_log.Insert { list; block = bid; pred });
+    t.counters.Counters.link_log_appends <-
+      t.counters.Counters.link_log_appends + 1;
+    cpu t (cost t).Cost.link_log_append_ns
+  | (Config.Concurrent | Config.Sequential), (`Simple | `In _) ->
+    (match Splice.insert (committed_ctx t) ~list ~block:bid ~pred with
+    | `Applied -> ()
+    | `Skipped ->
+      raise (Errors.Corrupt "new_block: validated insertion was skipped"));
+    let stream =
+      match who with
+      | `In a -> Summary.In_aru a.Aru.id (* sequential-mode ARU *)
+      | `Simple -> Summary.Simple
+    in
+    let seq = emit_entry t ~stream (Summary.Link { list; block = bid; pred }) in
+    if concurrent t then set_durable_block c seq);
+  bid
+
+let write t ?aru block data =
+  if Bytes.length data <> block_bytes t then
+    invalid_arg "Lld.write: data must be exactly one block";
+  dispatch t;
+  t.counters.Counters.writes <- t.counters.Counters.writes + 1;
+  let who = resolve_who t aru in
+  let stamp = next_stamp t in
+  match (t.config.Config.mode, who) with
+  | Config.Concurrent, `In a ->
+    let peek = shadow_peek t a block in
+    require_visible_block t who peek;
+    let r = shadow_get t a block in
+    r.Record.data <- Some (Bytes.copy data);
+    cpu t (cost t).Cost.block_copy_ns;
+    r.Record.stamp <- stamp
+  | (Config.Concurrent | Config.Sequential), (`Simple | `In _) ->
+    let peek = committed_peek t block in
+    require_visible_block t who peek;
+    let stream, allow_cross_scope =
+      match who with
+      | `In a -> (Summary.In_aru a.Aru.id, false)
+      | `Simple -> (Summary.Simple, true)
+    in
+    let seq, phys = emit_write t ~allow_cross_scope ~stream ~block ~data ~stamp () in
+    let r = committed_get t block in
+    if not (concurrent t) then begin
+      (match r.Record.phys with
+      | Some old ->
+        t.live.(old.Record.seg_index) <- t.live.(old.Record.seg_index) - 1
+      | None -> ());
+      t.live.(phys.Record.seg_index) <- t.live.(phys.Record.seg_index) + 1
+    end
+    else set_durable_block r seq;
+    r.Record.phys <- Some phys;
+    r.Record.data <- None;
+    r.Record.stamp <- stamp
+
+let read t ?aru block =
+  dispatch t;
+  t.counters.Counters.reads <- t.counters.Counters.reads + 1;
+  cpu t (cost t).Cost.block_read_cpu_ns;
+  let who = resolve_who t aru in
+  let r = visible_block t who block in
+  require_visible_block t who r;
+  match r.Record.data with
+  | Some d -> Bytes.copy d
+  | None -> (
+    match r.Record.phys with
+    | Some p -> read_phys t p
+    | None -> Bytes.make (block_bytes t) '\000')
+
+let release_block_id t ~deferred bid =
+  match deferred with
+  | Some (a : Aru.t) -> a.Aru.freed_blocks <- bid :: a.Aru.freed_blocks
+  | None -> Block_map.release_id t.blocks bid
+
+let release_list_id t ~deferred lid =
+  match deferred with
+  | Some (a : Aru.t) -> a.Aru.freed_lists <- lid :: a.Aru.freed_lists
+  | None -> List_table.release_id t.lists lid
+
+let delete_block t ?aru block =
+  dispatch t;
+  t.counters.Counters.delete_blocks <- t.counters.Counters.delete_blocks + 1;
+  let who = resolve_who t aru in
+  let stamp = next_stamp t in
+  match (t.config.Config.mode, who) with
+  | Config.Concurrent, `In a ->
+    let peek = shadow_peek t a block in
+    require_visible_block t who peek;
+    (match peek.Record.member_of with
+    | Some l -> (
+      match Splice.unlink (shadow_ctx t a) ~list:l ~block with
+      | `Applied -> ()
+      | `Skipped -> raise (Errors.Block_not_on_list block))
+    | None -> ());
+    let r = shadow_get t a block in
+    r.Record.alloc <- false;
+    r.Record.member_of <- None;
+    r.Record.successor <- None;
+    r.Record.data <- None;
+    r.Record.phys <- None;
+    r.Record.stamp <- stamp;
+    Link_log.add a.Aru.log (Link_log.Delete_block { block });
+    t.counters.Counters.link_log_appends <-
+      t.counters.Counters.link_log_appends + 1;
+    cpu t (cost t).Cost.link_log_append_ns
+  | (Config.Concurrent | Config.Sequential), (`Simple | `In _) ->
+    let peek = committed_peek t block in
+    require_visible_block t who peek;
+    let stream =
+      match who with
+      | `In a -> Summary.In_aru a.Aru.id
+      | `Simple -> Summary.Simple
+    in
+    (match peek.Record.member_of with
+    | Some l ->
+      (match Splice.unlink (committed_ctx t) ~list:l ~block with
+      | `Applied -> ()
+      | `Skipped -> raise (Errors.Block_not_on_list block));
+      ignore (emit_entry t ~stream (Summary.Unlink { list = l; block }))
+    | None -> ());
+    let r = committed_get t block in
+    if not (concurrent t) then begin
+      match r.Record.phys with
+      | Some old ->
+        t.live.(old.Record.seg_index) <- t.live.(old.Record.seg_index) - 1
+      | None -> ()
+    end;
+    r.Record.alloc <- false;
+    r.Record.member_of <- None;
+    r.Record.successor <- None;
+    r.Record.phys <- None;
+    r.Record.data <- None;
+    r.Record.stamp <- stamp;
+    r.Record.alloc_owner <- None;
+    let seq = emit_entry t ~stream (Summary.Dealloc { block; stamp }) in
+    if concurrent t then set_durable_block r seq;
+    let deferred = match who with `In a -> Some a | `Simple -> None in
+    release_block_id t ~deferred block
+
+let delete_list t ?aru list =
+  dispatch t;
+  t.counters.Counters.delete_lists <- t.counters.Counters.delete_lists + 1;
+  let who = resolve_who t aru in
+  match (t.config.Config.mode, who) with
+  | Config.Concurrent, `In a ->
+    let peek = shadow_peek_list t a list in
+    require_visible_list t who peek;
+    (* lazily mark the list deleted in the shadow state; its members
+       are deallocated when the log replays at commit (this is what
+       makes the improved deletion policy cheap, paper §5.3) *)
+    let r = shadow_get_list t a list in
+    r.Record.exists <- false;
+    r.Record.first <- None;
+    r.Record.last <- None;
+    Link_log.add a.Aru.log (Link_log.Delete_list { list });
+    t.counters.Counters.link_log_appends <-
+      t.counters.Counters.link_log_appends + 1;
+    cpu t (cost t).Cost.link_log_append_ns
+  | (Config.Concurrent | Config.Sequential), (`Simple | `In _) ->
+    let peek = committed_peek_list t list in
+    require_visible_list t who peek;
+    let deferred = match who with `In a -> Some a | `Simple -> None in
+    (match
+       Splice.delete_list (committed_ctx t) ~list ~dealloc:(fun br ->
+           if not (concurrent t) then begin
+             match br.Record.phys with
+             | Some old ->
+               t.live.(old.Record.seg_index) <- t.live.(old.Record.seg_index) - 1
+             | None -> ()
+           end;
+           br.Record.phys <- None;
+           br.Record.data <- None;
+           br.Record.alloc_owner <- None;
+           release_block_id t ~deferred br.Record.id)
+     with
+    | `Applied -> ()
+    | `Skipped -> raise (Errors.Unallocated_list list));
+    let stream =
+      match who with
+      | `In a -> Summary.In_aru a.Aru.id
+      | `Simple -> Summary.Simple
+    in
+    ignore (emit_entry t ~stream (Summary.Delete_list { list }));
+    release_list_id t ~deferred list
+
+(* ------------------------------------------------------------------ *)
+(* Commit and abort                                                    *)
+
+let replay_log_op t (a : Aru.t) ctx op =
+  t.counters.Counters.link_log_replays <-
+    t.counters.Counters.link_log_replays + 1;
+  cpu t (cost t).Cost.link_log_replay_ns;
+  let skipped () =
+    t.counters.Counters.replay_skips <- t.counters.Counters.replay_skips + 1
+  in
+  let stream = Summary.In_aru a.Aru.id in
+  match op with
+  | Link_log.Insert { list; block; pred } -> (
+    match Splice.insert ctx ~list ~block ~pred with
+    | `Applied -> ignore (emit_entry t ~stream (Summary.Link { list; block; pred }))
+    | `Skipped -> skipped ())
+  | Link_log.Delete_block { block } ->
+    let peek = committed_peek t block in
+    if not peek.Record.alloc then skipped ()
+    else begin
+      (match peek.Record.member_of with
+      | Some l -> (
+        match Splice.unlink ctx ~list:l ~block with
+        | `Applied ->
+          ignore (emit_entry t ~stream (Summary.Unlink { list = l; block }))
+        | `Skipped -> skipped ())
+      | None -> ());
+      let r = ctx.Splice.get_block block in
+      r.Record.alloc <- false;
+      r.Record.member_of <- None;
+      r.Record.successor <- None;
+      r.Record.phys <- None;
+      r.Record.data <- None;
+      r.Record.alloc_owner <- None;
+      let stamp = next_stamp t in
+      r.Record.stamp <- stamp;
+      ignore (emit_entry t ~stream (Summary.Dealloc { block; stamp }));
+      Block_map.release_id t.blocks block
+    end
+  | Link_log.Delete_list { list } -> (
+    match
+      Splice.delete_list ctx ~list ~dealloc:(fun br ->
+          br.Record.phys <- None;
+          br.Record.data <- None;
+          br.Record.alloc_owner <- None;
+          Block_map.release_id t.blocks br.Record.id)
+    with
+    | `Applied ->
+      ignore (emit_entry t ~stream (Summary.Delete_list { list }));
+      List_table.release_id t.lists list
+    | `Skipped -> skipped ())
+
+let end_aru t aid =
+  dispatch t;
+  let a =
+    match Hashtbl.find_opt t.arus (Types.Aru_id.to_int aid) with
+    | Some a -> a
+    | None -> raise (Errors.Unknown_aru aid)
+  in
+  (match t.config.Config.mode with
+  | Config.Sequential ->
+    (* the old prototype: operations already ran in the single merged
+       stream; the commit record makes them atomic *)
+    cpu t ((cost t).Cost.aru_commit_ns / 4);
+    ignore (emit_entry t ~stream:Summary.Simple (Summary.Commit { aru = aid }));
+    Hashtbl.remove t.pending (Types.Aru_id.to_int aid);
+    List.iter (Block_map.release_id t.blocks) a.Aru.freed_blocks;
+    List.iter (List_table.release_id t.lists) a.Aru.freed_lists;
+    t.seq_aru <- None
+  | Config.Concurrent ->
+    cpu t (cost t).Cost.aru_commit_ns;
+    (* Reservation: the whole merge — replayed entries, shadow data and
+       the commit record — must land in one segment, or the merge must
+       start on a fresh segment it has to itself.  Either way no sealed
+       segment can carry this ARU's slot overwrites without its commit
+       record, which is what makes cross-scope slot coalescing sound
+       (see Segment.scope). *)
+    let data_bound = Aru.shadow_block_count a in
+    let entry_bound = (32 * (Link_log.length a.Aru.log + data_bound)) + 64 in
+    (match t.open_seg with
+    | Some s
+      when not (Segment.has_room s ~data_blocks:data_bound ~entry_bytes:entry_bound)
+      ->
+      seal t
+    | Some _ | None -> ());
+    let collected_b = ref [] in
+    let collected_l = ref [] in
+    let ctx = commit_ctx t collected_b collected_l in
+    (* 1. replay the list-operation log in the committed state,
+       generating the summary entries (paper §4) *)
+    List.iter (replay_log_op t a ctx) (Link_log.to_list a.Aru.log);
+    (* 2. merge shadow data versions into the committed state *)
+    Aru.iter_shadow_blocks a (fun r ->
+        let anchor = Block_map.anchor t.blocks r.Record.id in
+        Record.remove_alt_block ~anchor r;
+        t.counters.Counters.record_transitions <-
+          t.counters.Counters.record_transitions + 1;
+        cpu t (cost t).Cost.record_transition_ns;
+        match r.Record.data with
+        | Some d when r.Record.alloc ->
+          let cnow = committed_peek t r.Record.id in
+          (* the shadow version replaces the committed version only if
+             it is more recent (paper §3.1) *)
+          if cnow.Record.alloc && r.Record.stamp >= cnow.Record.stamp then begin
+            let seq, phys =
+              emit_write t ~charge_copy:false ~allow_cross_scope:true
+                ~stream:(Summary.In_aru aid) ~block:r.Record.id ~data:d
+                ~stamp:r.Record.stamp ()
+            in
+            ignore seq;
+            let c = ctx.Splice.get_block r.Record.id in
+            c.Record.phys <- Some phys;
+            c.Record.data <- None;
+            c.Record.stamp <- r.Record.stamp
+          end
+          else
+            t.counters.Counters.replay_skips <-
+              t.counters.Counters.replay_skips + 1
+        | Some _ | None -> ());
+    Aru.iter_shadow_lists a (fun r ->
+        let anchor = List_table.anchor t.lists r.Record.lid in
+        Record.remove_alt_list ~anchor r;
+        t.counters.Counters.record_transitions <-
+          t.counters.Counters.record_transitions + 1;
+        cpu t (cost t).Cost.record_transition_ns);
+    (* 3. the commit record *)
+    let commit_seq =
+      emit_entry t ~stream:Summary.Simple (Summary.Commit { aru = aid })
+    in
+    Hashtbl.remove t.pending (Types.Aru_id.to_int aid);
+    (* 4. everything the commit touched becomes durable together with
+       the commit record *)
+    List.iter
+      (fun (r : Record.block) -> r.Record.durable_seq <- commit_seq)
+      !collected_b;
+    List.iter
+      (fun (r : Record.list_r) -> r.Record.l_durable_seq <- commit_seq)
+      !collected_l);
+  (* the commit makes this ARU's list allocations ordinary committed
+     lists: clear the owner marks so scavengers leave them alone *)
+  List.iter
+    (fun (r : Record.list_r) ->
+      (match r.Record.l_owner with
+      | Some o when Types.Aru_id.equal o aid -> r.Record.l_owner <- None
+      | Some _ | None -> ());
+      let anchor = List_table.anchor t.lists r.Record.lid in
+      match anchor.Record.l_owner with
+      | Some o when Types.Aru_id.equal o aid -> anchor.Record.l_owner <- None
+      | Some _ | None -> ())
+    a.Aru.owned_lists;
+  Hashtbl.remove t.arus (Types.Aru_id.to_int aid);
+  t.counters.Counters.arus_committed <- t.counters.Counters.arus_committed + 1
+
+let abort_aru t aid =
+  dispatch t;
+  if t.config.Config.mode = Config.Sequential then
+    invalid_arg "Lld.abort_aru: not supported by the sequential prototype";
+  let a =
+    match Hashtbl.find_opt t.arus (Types.Aru_id.to_int aid) with
+    | Some a -> a
+    | None -> raise (Errors.Unknown_aru aid)
+  in
+  Aru.iter_shadow_blocks a (fun r ->
+      let anchor = Block_map.anchor t.blocks r.Record.id in
+      Record.remove_alt_block ~anchor r);
+  Aru.iter_shadow_lists a (fun r ->
+      let anchor = List_table.anchor t.lists r.Record.lid in
+      Record.remove_alt_list ~anchor r);
+  Hashtbl.remove t.arus (Types.Aru_id.to_int aid);
+  t.counters.Counters.arus_aborted <- t.counters.Counters.arus_aborted + 1
+
+let with_aru t f =
+  let aru = begin_aru t in
+  match f aru with
+  | v ->
+    end_aru t aru;
+    v
+  | exception e ->
+    (match t.config.Config.mode with
+    | Config.Concurrent -> abort_aru t aru
+    | Config.Sequential -> end_aru t aru);
+    raise e
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+
+let list_exists t ?aru list =
+  let who = resolve_who t aru in
+  let r = visible_list t who list in
+  r.Record.exists && owner_visible t who r.Record.l_owner
+
+let block_allocated t ?aru block =
+  let who = resolve_who t aru in
+  if not (Block_map.in_range t.blocks block) then false
+  else begin
+    let r = visible_block t who block in
+    r.Record.alloc && owner_visible t who r.Record.alloc_owner
+  end
+
+let block_member t ?aru block =
+  let who = resolve_who t aru in
+  let r = visible_block t who block in
+  if r.Record.alloc && owner_visible t who r.Record.alloc_owner then
+    r.Record.member_of
+  else None
+
+let list_blocks t ?aru list =
+  let who = resolve_who t aru in
+  let lrec = visible_list t who list in
+  require_visible_list t who lrec;
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some b ->
+      let br = visible_block t who b in
+      walk (b :: acc) br.Record.successor
+  in
+  walk [] lrec.Record.first
+
+let lists t =
+  let acc = ref [] in
+  List_table.iter t.lists (fun anchor ->
+      let r =
+        if concurrent t then
+          match Record.find_list ~anchor Record.Committed with
+          | Some r, _ -> r
+          | None, _ -> anchor
+        else anchor
+      in
+      if r.Record.exists then acc := r.Record.lid :: !acc);
+  List.rev !acc
+
+let aru_active t aid = Hashtbl.mem t.arus (Types.Aru_id.to_int aid)
+
+let active_arus t =
+  Hashtbl.fold (fun k _ acc -> Types.Aru_id.of_int k :: acc) t.arus []
+  |> List.sort Types.Aru_id.compare
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance                                                         *)
+
+let checkpoint t =
+  if t.config.Config.mode = Config.Sequential && t.seq_aru <> None then
+    raise Errors.Aru_already_active;
+  checkpoint_internal t
+
+let clean t ~target_free = clean_internal t ~target_free
+
+let orphan_blocks t =
+  flush t;
+  let acc = ref [] in
+  Block_map.iter t.blocks (fun anchor ->
+      let orphaned =
+        anchor.Record.alloc
+        && anchor.Record.member_of = None
+        && (match anchor.Record.alloc_owner with
+           | None -> true
+           | Some o -> not (owner_active t o))
+      in
+      if orphaned then acc := anchor.Record.id :: !acc);
+  List.rev !acc
+
+let scavenge t =
+  flush t;
+  let freed = ref 0 in
+  (* still-empty lists allocated by an ARU that is no longer active *)
+  let dead_lists = ref [] in
+  List_table.iter t.lists (fun anchor ->
+      match anchor.Record.l_owner with
+      | Some o
+        when anchor.Record.exists && anchor.Record.first = None
+             && not (owner_active t o) ->
+        dead_lists := anchor.Record.lid :: !dead_lists
+      | Some _ | None -> ());
+  List.iter
+    (fun lid ->
+      delete_list t lid;
+      incr freed)
+    !dead_lists;
+  Block_map.iter t.blocks (fun anchor ->
+      let orphaned =
+        anchor.Record.alloc
+        && anchor.Record.member_of = None
+        && (match anchor.Record.alloc_owner with
+           | None -> true
+           | Some o -> not (owner_active t o))
+      in
+      if orphaned then begin
+        let stamp = next_stamp t in
+        let r = committed_get t anchor.Record.id in
+        (if not (concurrent t) then
+           match r.Record.phys with
+           | Some old ->
+             t.live.(old.Record.seg_index) <- t.live.(old.Record.seg_index) - 1
+           | None -> ());
+        r.Record.alloc <- false;
+        r.Record.member_of <- None;
+        r.Record.successor <- None;
+        r.Record.phys <- None;
+        r.Record.data <- None;
+        r.Record.alloc_owner <- None;
+        r.Record.stamp <- stamp;
+        let seq =
+          emit_entry t ~stream:Summary.Simple
+            (Summary.Dealloc { block = anchor.Record.id; stamp })
+        in
+        if concurrent t then set_durable_block r seq;
+        Block_map.release_id t.blocks anchor.Record.id;
+        incr freed
+      end);
+  !freed
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let make ~config ~disk ~blocks ~lists ~next_seq ~stamp ~next_aru ~ckpt_id =
+  let geom = Disk.geometry disk in
+  let t =
+    {
+      config;
+      disk;
+      geom;
+      clock = Disk.clock disk;
+      blocks;
+      lists;
+      committed_blocks = None;
+      committed_lists = None;
+      arus = Hashtbl.create 16;
+      next_aru;
+      seq_aru = None;
+      stamp;
+      open_seg = None;
+      next_seq;
+      free_segs = Queue.create ();
+      sealed = Array.make geom.Geometry.num_segments false;
+      live = Array.make geom.Geometry.num_segments 0;
+      cache = Lru.create ~capacity:(max 16 config.Config.cache_blocks);
+      last_read_gslot = min_int;
+      seq_read_run = 0;
+      counters = Counters.create ();
+      ckpt_id;
+      ckpt_region = 0;
+      sealed_since_ckpt = 0;
+      pending = Hashtbl.create 16;
+      in_cleaning = false;
+      in_checkpoint = false;
+    }
+  in
+  t
+
+let create ?(config = Config.default) disk =
+  let geom = Disk.geometry disk in
+  (* a reused disk may hold stale segments with arbitrary sequence
+     numbers; start above all of them so recovery never replays relics *)
+  let max_stale = ref 0 in
+  for i = Disk_layout.log_first geom to geom.Geometry.num_segments - 1 do
+    let image =
+      Disk.read disk
+        ~offset:(Geometry.segment_offset geom i)
+        ~length:geom.Geometry.segment_bytes
+    in
+    match Segment.parse geom image with
+    | Some p when p.Segment.p_seq > !max_stale -> max_stale := p.Segment.p_seq
+    | Some _ | None -> ()
+  done;
+  let blocks = Block_map.create ~capacity:(Disk_layout.block_capacity geom) in
+  let lists = List_table.create ~max_lists:(Disk_layout.max_lists geom) in
+  let t =
+    make ~config ~disk ~blocks ~lists ~next_seq:(!max_stale + 1) ~stamp:1
+      ~next_aru:1 ~ckpt_id:0
+  in
+  (* the free queue must be populated before the first checkpoint: its
+     order is what recovery follows to find the log tail *)
+  for i = Disk_layout.log_first geom to geom.Geometry.num_segments - 1 do
+    Queue.push i t.free_segs
+  done;
+  (* both regions get the empty state so no stale checkpoint survives *)
+  checkpoint_internal t;
+  checkpoint_internal t;
+  t
+
+let recover ?(config = Config.default) disk =
+  Lld_disk.Fault.reset_after_recovery (Disk.fault disk);
+  let restored = Recovery.run disk in
+  let geom = Disk.geometry disk in
+  let t =
+    make ~config ~disk ~blocks:restored.Recovery.r_blocks
+      ~lists:restored.Recovery.r_lists ~next_seq:restored.Recovery.r_next_seq
+      ~stamp:restored.Recovery.r_stamp ~next_aru:restored.Recovery.r_next_aru
+      ~ckpt_id:restored.Recovery.r_report.Recovery.checkpoint_id
+  in
+  (* rebuild segment liveness from the recovered block map *)
+  Block_map.iter t.blocks (fun r ->
+      match r.Record.phys with
+      | Some p -> t.live.(p.Record.seg_index) <- t.live.(p.Record.seg_index) + 1
+      | None -> ());
+  for i = Disk_layout.log_first geom to geom.Geometry.num_segments - 1 do
+    if t.live.(i) > 0 then t.sealed.(i) <- true else Queue.push i t.free_segs
+  done;
+  (* a fresh checkpoint makes every unreferenced log segment free; it
+     must not overwrite the region just recovered from, or a crash
+     during this write would lose both checkpoints *)
+  t.ckpt_region <- 1 - restored.Recovery.r_report.Recovery.checkpoint_region;
+  checkpoint_internal t;
+  (t, restored.Recovery.r_report)

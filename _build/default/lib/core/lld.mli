@@ -1,0 +1,151 @@
+(** The log-structured Logical Disk with concurrent atomic recovery
+    units — the system the paper builds and evaluates.
+
+    The interface is the LD interface of the paper (§2–§3): logical
+    blocks organised into ordered lists, with [Read] / [Write] /
+    [NewBlock] / [DeleteBlock] / [NewList] / [DeleteList] / [Flush],
+    extended with [BeginARU] / [EndARU].  Passing [?aru] to an operation
+    executes it inside that atomic recovery unit; omitting it makes the
+    operation {e simple} — an ARU by itself.
+
+    Failure semantics: after a crash, {!recover} restores exactly the
+    most recent persistent state — every ARU whose commit record reached
+    the disk in full, and no operation of any other ARU (except
+    identifier allocations, which recovery's consistency sweep releases
+    again; paper §3.3).
+
+    Concurrency control is the client's responsibility (paper §3):
+    the implementation is single-threaded and ARUs are isolated only in
+    the visibility sense of {!Config.visibility}. *)
+
+type t
+
+(** {1 Formatting, mounting, recovering} *)
+
+val create : ?config:Config.t -> Lld_disk.Disk.t -> t
+(** Format the disk (mkfs): writes initial checkpoints and starts an
+    empty logical disk.  Previous contents become unreachable. *)
+
+val recover : ?config:Config.t -> Lld_disk.Disk.t -> t * Recovery.report
+(** Mount after a crash (or clean shutdown): restores the most recent
+    persistent state, discards uncommitted ARUs, runs the consistency
+    sweep, and writes a fresh checkpoint.  Raises [Errors.Corrupt] on an
+    unformatted disk. *)
+
+(** {1 The LD interface} *)
+
+val begin_aru : t -> Types.Aru_id.t
+(** Open an atomic recovery unit.  In sequential mode raises
+    [Errors.Aru_already_active] when one is already open. *)
+
+val end_aru : t -> Types.Aru_id.t -> unit
+(** Commit: replay the ARU's list-operation log in the committed state,
+    merge its shadow data versions, and write the commit record (paper
+    §4).  Raises [Errors.Unknown_aru] if not active. *)
+
+val abort_aru : t -> Types.Aru_id.t -> unit
+(** Discard the ARU's shadow state.  Blocks and lists it allocated
+    remain allocated (paper §3.3) until {!scavenge} or recovery frees
+    them.  Concurrent mode only; raises [Invalid_argument] in sequential
+    mode. *)
+
+val with_aru : t -> (Types.Aru_id.t -> 'a) -> 'a
+(** [with_aru t f] brackets [f] in an ARU: commits on normal return,
+    aborts (concurrent mode) and re-raises on exception.  In sequential
+    mode an exception still commits the already-applied operations —
+    the old prototype cannot undo (one more reason the paper built the
+    new one). *)
+
+val new_list : t -> ?aru:Types.Aru_id.t -> unit -> Types.List_id.t
+(** Allocate a new, empty list.  Allocation always happens in the
+    committed state, even inside an ARU.  Raises [Errors.Disk_full]. *)
+
+val new_block :
+  t ->
+  ?aru:Types.Aru_id.t ->
+  list:Types.List_id.t ->
+  pred:Summary.pred ->
+  unit ->
+  Types.Block_id.t
+(** Allocate a block and insert it into [list] at [pred].  The
+    allocation is committed immediately; the insertion belongs to the
+    ARU's shadow state when [?aru] is given (paper §3.3). *)
+
+val write : t -> ?aru:Types.Aru_id.t -> Types.Block_id.t -> bytes -> unit
+(** Write one full block of data.  Raises [Invalid_argument] on a wrong
+    size, [Errors.Unallocated_block] when the block is not allocated in
+    the addressed state. *)
+
+val read : t -> ?aru:Types.Aru_id.t -> Types.Block_id.t -> bytes
+(** Read a block according to the configured visibility (paper §3.3).
+    A block that was never written reads as zeroes. *)
+
+val delete_block : t -> ?aru:Types.Aru_id.t -> Types.Block_id.t -> unit
+(** Remove the block from its list (predecessor search!) and deallocate
+    it. *)
+
+val delete_list : t -> ?aru:Types.Aru_id.t -> Types.List_id.t -> unit
+(** Deallocate every block still on the list (walking from the head — no
+    predecessor searches), then the list.  The cheap deletion path of
+    paper §5.3. *)
+
+val flush : t -> unit
+(** Ensure all committed data and meta-data are persistent: seals and
+    writes the open segment (paper §2's [Flush]). *)
+
+(** {1 Introspection} *)
+
+val list_exists : t -> ?aru:Types.Aru_id.t -> Types.List_id.t -> bool
+val block_allocated : t -> ?aru:Types.Aru_id.t -> Types.Block_id.t -> bool
+
+val block_member :
+  t -> ?aru:Types.Aru_id.t -> Types.Block_id.t -> Types.List_id.t option
+
+val list_blocks :
+  t -> ?aru:Types.Aru_id.t -> Types.List_id.t -> Types.Block_id.t list
+(** Members in list order.  Raises [Errors.Unallocated_list]. *)
+
+val lists : t -> Types.List_id.t list
+(** All lists existing in the committed state, ascending. *)
+
+val aru_active : t -> Types.Aru_id.t -> bool
+val active_arus : t -> Types.Aru_id.t list
+
+val capacity : t -> int
+(** Logical blocks this disk exposes. *)
+
+val allocated_blocks : t -> int
+val block_bytes : t -> int
+
+(** {1 Maintenance} *)
+
+val checkpoint : t -> unit
+(** Flush, then write a checkpoint, bounding recovery replay.  Safe at
+    any time in concurrent mode (pending ARU entries travel with the
+    checkpoint); in sequential mode raises [Errors.Aru_already_active]
+    while an ARU is open — the old prototype must quiesce (DESIGN.md
+    §5.3). *)
+
+val clean : t -> target_free:int -> unit
+(** Run the segment cleaner until at least [target_free] segments are
+    free.  Raises [Errors.Disk_full] when nothing can be reclaimed. *)
+
+val scavenge : t -> int
+(** Free blocks left allocated by aborted ARUs (allocated, on no list,
+    owner no longer active); returns how many were freed. *)
+
+val orphan_blocks : t -> Types.Block_id.t list
+(** The blocks {!scavenge} would free, without freeing them (flushes
+    first so the committed state is authoritative). *)
+
+(** {1 Measurement} *)
+
+val counters : t -> Counters.t
+val clock : t -> Lld_sim.Clock.t
+val config : t -> Config.t
+
+val cost_model : t -> Lld_sim.Cost.t
+(** Equal to [(config t).cost]; part of {!Ld_intf.S}. *)
+
+val disk : t -> Lld_disk.Disk.t
+val free_segments : t -> int

@@ -1,0 +1,174 @@
+type version = Persistent | Committed | Shadow of Types.Aru_id.t
+
+let version_equal a b =
+  match (a, b) with
+  | Persistent, Persistent | Committed, Committed -> true
+  | Shadow x, Shadow y -> Types.Aru_id.equal x y
+  | (Persistent | Committed | Shadow _), _ -> false
+
+type phys = { seg_index : int; slot : int }
+
+type block = {
+  id : Types.Block_id.t;
+  version : version;
+  mutable alloc : bool;
+  mutable member_of : Types.List_id.t option;
+  mutable successor : Types.Block_id.t option;
+  mutable phys : phys option;
+  mutable data : bytes option;
+  mutable stamp : int;
+  mutable alloc_owner : Types.Aru_id.t option;
+  mutable durable_seq : int;
+  mutable next_same_id : block option;
+  mutable next_same_state : block option;
+}
+
+type list_r = {
+  lid : Types.List_id.t;
+  lversion : version;
+  mutable exists : bool;
+  mutable first : Types.Block_id.t option;
+  mutable last : Types.Block_id.t option;
+  mutable lstamp : int;
+  mutable l_owner : Types.Aru_id.t option;
+  mutable l_durable_seq : int;
+  mutable l_next_same_id : list_r option;
+  mutable l_next_same_state : list_r option;
+}
+
+let fresh_block id =
+  {
+    id;
+    version = Persistent;
+    alloc = false;
+    member_of = None;
+    successor = None;
+    phys = None;
+    data = None;
+    stamp = 0;
+    alloc_owner = None;
+    durable_seq = 0;
+    next_same_id = None;
+    next_same_state = None;
+  }
+
+let fresh_list lid =
+  {
+    lid;
+    lversion = Persistent;
+    exists = false;
+    first = None;
+    last = None;
+    lstamp = 0;
+    l_owner = None;
+    l_durable_seq = 0;
+    l_next_same_id = None;
+    l_next_same_state = None;
+  }
+
+let alt_block version ~from =
+  {
+    id = from.id;
+    version;
+    alloc = from.alloc;
+    member_of = from.member_of;
+    successor = from.successor;
+    phys = from.phys;
+    data = None;
+    stamp = from.stamp;
+    alloc_owner = from.alloc_owner;
+    durable_seq = max_int;
+    next_same_id = None;
+    next_same_state = None;
+  }
+
+let alt_list version ~from =
+  {
+    lid = from.lid;
+    lversion = version;
+    exists = from.exists;
+    first = from.first;
+    last = from.last;
+    lstamp = from.lstamp;
+    l_owner = from.l_owner;
+    l_durable_seq = max_int;
+    l_next_same_id = None;
+    l_next_same_state = None;
+  }
+
+let insert_alt_block ~anchor alt =
+  alt.next_same_id <- anchor.next_same_id;
+  anchor.next_same_id <- Some alt
+
+let remove_alt_block ~anchor alt =
+  let rec loop prev =
+    match prev.next_same_id with
+    | None -> ()
+    | Some r when r == alt ->
+      prev.next_same_id <- alt.next_same_id;
+      alt.next_same_id <- None
+    | Some r -> loop r
+  in
+  loop anchor
+
+let find_block ~anchor version =
+  let rec loop node hops =
+    match node with
+    | None -> (None, hops)
+    | Some r when version_equal r.version version -> (Some r, hops)
+    | Some r -> loop r.next_same_id (hops + 1)
+  in
+  if version_equal version Persistent then (Some anchor, 0)
+  else loop anchor.next_same_id 1
+
+let newest_shadow_block ~anchor =
+  let rec loop node hops best =
+    match node with
+    | None -> (best, hops)
+    | Some r ->
+      let best =
+        match (r.version, best) with
+        | Shadow _, None -> Some r
+        | Shadow _, Some b when r.stamp > b.stamp -> Some r
+        | (Shadow _ | Persistent | Committed), _ -> best
+      in
+      loop r.next_same_id (hops + 1) best
+  in
+  loop anchor.next_same_id 0 None
+
+let alt_block_count ~anchor =
+  let rec loop node n =
+    match node with None -> n | Some r -> loop r.next_same_id (n + 1)
+  in
+  loop anchor.next_same_id 0
+
+let insert_alt_list ~anchor alt =
+  alt.l_next_same_id <- anchor.l_next_same_id;
+  anchor.l_next_same_id <- Some alt
+
+let remove_alt_list ~anchor alt =
+  let rec loop prev =
+    match prev.l_next_same_id with
+    | None -> ()
+    | Some r when r == alt ->
+      prev.l_next_same_id <- alt.l_next_same_id;
+      alt.l_next_same_id <- None
+    | Some r -> loop r
+  in
+  loop anchor
+
+let find_list ~anchor version =
+  let rec loop node hops =
+    match node with
+    | None -> (None, hops)
+    | Some r when version_equal r.lversion version -> (Some r, hops)
+    | Some r -> loop r.l_next_same_id (hops + 1)
+  in
+  if version_equal version Persistent then (Some anchor, 0)
+  else loop anchor.l_next_same_id 1
+
+let alt_list_count ~anchor =
+  let rec loop node n =
+    match node with None -> n | Some r -> loop r.l_next_same_id (n + 1)
+  in
+  loop anchor.l_next_same_id 0

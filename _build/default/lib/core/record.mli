@@ -1,0 +1,98 @@
+(** Versioned block and list records, and the in-memory mesh.
+
+    A logical block (or list) can be live in up to [n + 2] versions for
+    [n] active ARUs: one persistent, one committed, one shadow per ARU
+    (paper §3.3).  The persistent version is the anchor stored in the
+    block-number-map / list-table; committed and shadow versions are
+    {e alternative records}, members of two perpendicular singly-linked
+    lists (paper §4, Figure 4):
+
+    - the {b same-id} chain, anchored at the persistent record, holding
+      all alternative versions of one logical identifier;
+    - the {b same-state} chain, anchored at the committed-state head or
+      at an ARU record, holding all records belonging to one state.
+
+    This module owns the record types and the same-id chain; same-state
+    chains are managed by their owners ({!Aru}, [Lld]). *)
+
+type version = Persistent | Committed | Shadow of Types.Aru_id.t
+
+val version_equal : version -> version -> bool
+
+(** Physical location of a block's data: a slot within a disk segment
+    (which may be the open, in-memory segment). *)
+type phys = { seg_index : int; slot : int }
+
+type block = {
+  id : Types.Block_id.t;
+  version : version;
+  mutable alloc : bool;
+  mutable member_of : Types.List_id.t option;
+      (** the list this block is linked into, if any *)
+  mutable successor : Types.Block_id.t option;
+  mutable phys : phys option;  (** where this version's data lives on disk *)
+  mutable data : bytes option;
+      (** in-memory data for this version (shadow writes); [None] falls
+          through to [phys] *)
+  mutable stamp : int;  (** time of the last Write of this version *)
+  mutable alloc_owner : Types.Aru_id.t option;
+      (** the active ARU that allocated the block; other clients neither
+          see nor can re-allocate it until the owner commits (paper §3.3) *)
+  mutable durable_seq : int;
+      (** segment sequence number that must reach disk before this
+          committed record may become persistent; [max_int] while the
+          record is shadow or part of an uncommitted ARU *)
+  mutable next_same_id : block option;
+  mutable next_same_state : block option;
+}
+
+type list_r = {
+  lid : Types.List_id.t;
+  lversion : version;
+  mutable exists : bool;
+  mutable first : Types.Block_id.t option;
+  mutable last : Types.Block_id.t option;
+  mutable lstamp : int;
+  mutable l_owner : Types.Aru_id.t option;
+  mutable l_durable_seq : int;
+  mutable l_next_same_id : list_r option;
+  mutable l_next_same_state : list_r option;
+}
+
+(** {2 Construction} *)
+
+val fresh_block : Types.Block_id.t -> block
+(** A free persistent anchor. *)
+
+val fresh_list : Types.List_id.t -> list_r
+
+val alt_block : version -> from:block -> block
+(** An alternative record initialised from another version's meta-data
+    ([data] is not copied; it stays with the source version). *)
+
+val alt_list : version -> from:list_r -> list_r
+
+(** {2 Same-id chain}
+
+    Search results report the number of links followed, so the caller
+    can charge {!Lld_sim.Cost.mesh_hop_ns} per hop. *)
+
+val insert_alt_block : anchor:block -> block -> unit
+(** Push an alternative record onto the anchor's same-id chain. *)
+
+val remove_alt_block : anchor:block -> block -> unit
+(** Physical-equality removal; no-op when absent. *)
+
+val find_block : anchor:block -> version -> block option * int
+(** The record of exactly this version, and hops walked. *)
+
+val newest_shadow_block : anchor:block -> block option * int
+(** The shadow record with the greatest stamp across all ARUs
+    (visibility option 1, paper §3.3). *)
+
+val alt_block_count : anchor:block -> int
+
+val insert_alt_list : anchor:list_r -> list_r -> unit
+val remove_alt_list : anchor:list_r -> list_r -> unit
+val find_list : anchor:list_r -> version -> list_r option * int
+val alt_list_count : anchor:list_r -> int

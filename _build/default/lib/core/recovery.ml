@@ -1,0 +1,327 @@
+module Geometry = Lld_disk.Geometry
+module Disk = Lld_disk.Disk
+module Fault = Lld_disk.Fault
+
+type report = {
+  checkpoint_id : int;
+  checkpoint_region : int;  (* region the restored checkpoint came from *)
+  covered_seq : int;
+  segments_replayed : int;
+  invalid_segments : int;
+  entries_applied : int;
+  arus_committed : int;
+  arus_discarded : int;
+  entries_discarded : int;
+  replay_skips : int;
+  blocks_scavenged : int;
+  lists_scavenged : int;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>checkpoint %d (covers seq %d)@,\
+     segments: %d replayed, %d invalid@,\
+     entries applied %d (skipped %d)@,\
+     ARUs: %d committed, %d discarded (%d entries)@,\
+     blocks scavenged %d@]"
+    r.checkpoint_id r.covered_seq r.segments_replayed r.invalid_segments
+    r.entries_applied r.replay_skips r.arus_committed r.arus_discarded
+    r.entries_discarded (r.blocks_scavenged + r.lists_scavenged)
+
+type restored = {
+  r_blocks : Block_map.t;
+  r_lists : List_table.t;
+  r_next_seq : int;
+  r_stamp : int;
+  r_next_aru : int;
+  r_report : report;
+}
+
+type state = {
+  blocks : Block_map.t;
+  lists : List_table.t;
+  buffers : (int, Checkpoint.pending_entry list) Hashtbl.t; (* reverse order *)
+  committed_arus : (int, unit) Hashtbl.t;
+  mutable applied : int;
+  mutable skips : int;
+  mutable committed : int;
+  mutable max_stamp : int;
+  mutable max_aru : int;
+}
+
+let persistent_ctx st =
+  {
+    Splice.peek_block = (fun b -> Block_map.anchor st.blocks b);
+    get_block = (fun b -> Block_map.anchor st.blocks b);
+    peek_list = (fun l -> List_table.anchor st.lists l);
+    get_list = (fun l -> List_table.anchor st.lists l);
+    on_pred_hop = ignore;
+  }
+
+let note_stamp st stamp = if stamp > st.max_stamp then st.max_stamp <- stamp
+
+let count_outcome st = function
+  | `Applied -> st.applied <- st.applied + 1
+  | `Skipped -> st.skips <- st.skips + 1
+
+(* Apply one operation to the persistent state.  This function mirrors
+   the committed-state semantics of the runtime exactly (see Splice). *)
+let rec apply_op st ~seg op =
+  let ctx = persistent_ctx st in
+  match op with
+  | Summary.Alloc { block; list = _; stamp } ->
+    let r = Block_map.anchor st.blocks block in
+    r.Record.alloc <- true;
+    r.Record.member_of <- None;
+    r.Record.successor <- None;
+    r.Record.phys <- None;
+    r.Record.stamp <- stamp;
+    note_stamp st stamp;
+    st.applied <- st.applied + 1
+  | Summary.Write { block; slot; stamp } ->
+    let r = Block_map.anchor st.blocks block in
+    if r.Record.alloc && stamp >= r.Record.stamp then begin
+      r.Record.phys <- Some { Record.seg_index = seg; slot };
+      r.Record.stamp <- stamp;
+      st.applied <- st.applied + 1
+    end
+    else st.skips <- st.skips + 1;
+    note_stamp st stamp
+  | Summary.Link { list; block; pred } ->
+    count_outcome st (Splice.insert ctx ~list ~block ~pred)
+  | Summary.Unlink { list; block } ->
+    count_outcome st (Splice.unlink ctx ~list ~block)
+  | Summary.New_list { list; stamp; owner } ->
+    let r = List_table.anchor st.lists list in
+    r.Record.exists <- true;
+    r.Record.first <- None;
+    r.Record.last <- None;
+    r.Record.lstamp <- stamp;
+    r.Record.l_owner <- owner;
+    note_stamp st stamp;
+    st.applied <- st.applied + 1
+  | Summary.Delete_list { list } ->
+    let dealloc br = br.Record.phys <- None in
+    count_outcome st (Splice.delete_list ctx ~list ~dealloc)
+  | Summary.Dealloc { block; stamp } ->
+    let r = Block_map.anchor st.blocks block in
+    if r.Record.alloc then begin
+      (* a block is deallocated together with its list membership; a
+         Dealloc entry follows the Unlink (or stands alone for a block
+         never linked) *)
+      r.Record.alloc <- false;
+      r.Record.member_of <- None;
+      r.Record.successor <- None;
+      r.Record.phys <- None;
+      r.Record.stamp <- stamp;
+      st.applied <- st.applied + 1
+    end
+    else st.skips <- st.skips + 1;
+    note_stamp st stamp
+  | Summary.Commit { aru } ->
+    let key = Types.Aru_id.to_int aru in
+    let buffered =
+      match Hashtbl.find_opt st.buffers key with
+      | None -> []
+      | Some rev -> List.rev rev
+    in
+    Hashtbl.remove st.buffers key;
+    Hashtbl.replace st.committed_arus key ();
+    List.iter
+      (fun pe -> apply_op st ~seg:pe.Checkpoint.pe_seg pe.Checkpoint.pe_op)
+      buffered;
+    st.committed <- st.committed + 1;
+    st.applied <- st.applied + 1
+
+let replay_entry st ~seg (entry : Summary.t) =
+  (match entry.Summary.stream with
+  | Summary.In_aru a ->
+    let i = Types.Aru_id.to_int a in
+    if i >= st.max_aru then st.max_aru <- i + 1
+  | Summary.Simple -> ());
+  match (entry.Summary.stream, entry.Summary.op) with
+  | Summary.Simple, op -> apply_op st ~seg op
+  | Summary.In_aru aru, op ->
+    let key = Types.Aru_id.to_int aru in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt st.buffers key) in
+    Hashtbl.replace st.buffers key
+      ({ Checkpoint.pe_op = op; pe_seg = seg } :: prev)
+
+let restore_checkpoint geom snap =
+  let blocks = Block_map.create ~capacity:(Disk_layout.block_capacity geom) in
+  let lists = List_table.create ~max_lists:(Disk_layout.max_lists geom) in
+  List.iter
+    (fun (b : Checkpoint.block_entry) ->
+      let r = Block_map.anchor blocks (Types.Block_id.of_int b.b_id) in
+      r.Record.alloc <- true;
+      r.Record.member_of <- Option.map Types.List_id.of_int b.b_member;
+      r.Record.successor <- Option.map Types.Block_id.of_int b.b_succ;
+      r.Record.phys <-
+        Option.map
+          (fun (seg, slot) -> { Record.seg_index = seg; slot })
+          b.b_phys;
+      r.Record.stamp <- b.b_stamp)
+    snap.Checkpoint.blocks;
+  List.iter
+    (fun (l : Checkpoint.list_entry) ->
+      let r = List_table.anchor lists (Types.List_id.of_int l.l_id) in
+      r.Record.exists <- true;
+      r.Record.first <- Option.map Types.Block_id.of_int l.l_first;
+      r.Record.last <- Option.map Types.Block_id.of_int l.l_last;
+      r.Record.lstamp <- l.l_stamp;
+      r.Record.l_owner <- Option.map Types.Aru_id.of_int l.l_owner)
+    snap.Checkpoint.lists;
+  (blocks, lists)
+
+let scavenge st =
+  let n = ref 0 in
+  Block_map.iter st.blocks (fun r ->
+      if r.Record.alloc && r.Record.member_of = None then begin
+        r.Record.alloc <- false;
+        r.Record.successor <- None;
+        r.Record.phys <- None;
+        incr n
+      end);
+  !n
+
+(* Free still-empty lists whose allocating ARU never committed (the
+   list-space analogue of the paper's block consistency sweep). *)
+let scavenge_lists st =
+  let n = ref 0 in
+  List_table.iter st.lists (fun r ->
+      match r.Record.l_owner with
+      | Some o when Hashtbl.mem st.committed_arus (Types.Aru_id.to_int o) ->
+        r.Record.l_owner <- None
+      | Some _ when r.Record.exists && r.Record.first = None ->
+        r.Record.exists <- false;
+        r.Record.l_owner <- None;
+        incr n
+      | Some _ | None -> ());
+  !n
+
+let read_region_safe disk ~region =
+  match Checkpoint.read_region disk ~region with
+  | snap -> snap
+  | exception Fault.Media_error _ -> None
+
+let run disk =
+  let geom = Disk.geometry disk in
+  let snap, region =
+    match (read_region_safe disk ~region:0, read_region_safe disk ~region:1) with
+    | None, None ->
+      raise (Errors.Corrupt "no valid checkpoint: disk not formatted")
+    | Some a, None -> (a, 0)
+    | None, Some b -> (b, 1)
+    | Some a, Some b ->
+      if a.Checkpoint.ckpt_id >= b.Checkpoint.ckpt_id then (a, 0) else (b, 1)
+  in
+  let blocks, lists = restore_checkpoint geom snap in
+  let buffers = Hashtbl.create 16 in
+  List.iter
+    (fun (aru, entries) -> Hashtbl.replace buffers aru (List.rev entries))
+    snap.Checkpoint.pending;
+  let st =
+    {
+      blocks;
+      lists;
+      buffers;
+      committed_arus = Hashtbl.create 16;
+      applied = 0;
+      skips = 0;
+      committed = 0;
+      max_stamp = snap.Checkpoint.stamp;
+      max_aru = snap.Checkpoint.next_aru;
+    }
+  in
+  (* Find and replay the log tail.  The checkpoint records the exact
+     order in which free segments will be used, so recovery reads along
+     that order until the sequence numbers stop being contiguous (a
+     torn, stale or unwritten segment ends the stream there).  A
+     checkpoint without the order (never produced by this
+     implementation, but tolerated) falls back to scanning the whole
+     partition. *)
+  let invalid = ref 0 in
+  let expected = ref (snap.Checkpoint.covered_seq + 1) in
+  let replayed = ref 0 in
+  let read_segment i =
+    match
+      Disk.read disk
+        ~offset:(Geometry.segment_offset geom i)
+        ~length:geom.Geometry.segment_bytes
+    with
+    | image -> Some image
+    | exception Fault.Media_error _ ->
+      incr invalid;
+      None
+  in
+  (match snap.Checkpoint.free_order with
+  | _ :: _ as order ->
+    let continue = ref true in
+    List.iter
+      (fun i ->
+        if !continue then begin
+          match Option.map (Segment.parse geom) (read_segment i) with
+          | Some (Some p) when p.Segment.p_seq = !expected ->
+            incr expected;
+            incr replayed;
+            List.iter (replay_entry st ~seg:i) p.Segment.p_entries
+          | Some (Some _) | Some None | None ->
+            (* stale contents, torn write, or a media error: the stream
+               ends here *)
+            if !continue then incr invalid;
+            continue := false
+        end)
+      order
+  | [] ->
+    let parsed = ref [] in
+    for i = Disk_layout.log_first geom to geom.Geometry.num_segments - 1 do
+      match Option.map (Segment.parse geom) (read_segment i) with
+      | Some (Some p) when p.Segment.p_seq > snap.Checkpoint.covered_seq ->
+        parsed := (p.Segment.p_seq, i, p) :: !parsed
+      | Some (Some _) -> ()
+      | Some None | None -> incr invalid
+    done;
+    let ordered =
+      List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) !parsed
+    in
+    List.iter
+      (fun (seq, disk_index, p) ->
+        if seq = !expected then begin
+          incr expected;
+          incr replayed;
+          List.iter (replay_entry st ~seg:disk_index) p.Segment.p_entries
+        end)
+      ordered);
+  (* ARUs whose commit record never reached disk are discarded. *)
+  let discarded_arus = Hashtbl.length st.buffers in
+  let discarded_entries =
+    Hashtbl.fold (fun _ l acc -> acc + List.length l) st.buffers 0
+  in
+  let scavenged = scavenge st in
+  let lists_scavenged = scavenge_lists st in
+  Block_map.rebuild_free st.blocks;
+  List_table.rebuild_free st.lists;
+  let report =
+    {
+      checkpoint_id = snap.Checkpoint.ckpt_id;
+      checkpoint_region = region;
+      covered_seq = snap.Checkpoint.covered_seq;
+      segments_replayed = !replayed;
+      invalid_segments = !invalid;
+      entries_applied = st.applied;
+      arus_committed = st.committed;
+      arus_discarded = discarded_arus;
+      entries_discarded = discarded_entries;
+      replay_skips = st.skips;
+      blocks_scavenged = scavenged;
+      lists_scavenged;
+    }
+  in
+  {
+    r_blocks = st.blocks;
+    r_lists = st.lists;
+    r_next_seq = max snap.Checkpoint.next_seq !expected;
+    r_stamp = st.max_stamp + 1;
+    r_next_aru = st.max_aru;
+    r_report = report;
+  }

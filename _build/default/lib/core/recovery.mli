@@ -1,0 +1,46 @@
+(** Crash recovery: checkpoint restore + segment-summary replay.
+
+    Recovery is always to the most recent {e persistent} version (paper
+    §3.1): the best checkpoint is restored, then the summaries of all
+    later segments are replayed in log order.  [Simple] entries apply at
+    their position; [In_aru] entries are buffered per ARU and applied
+    only when that ARU's commit record is reached — ARUs whose commit
+    record never reached disk are discarded wholesale.  Replay stops at
+    the first gap in the sequence numbers (a torn or unwritten segment),
+    preserving the order of the operation stream.
+
+    Afterwards, the consistency sweep frees blocks that are allocated
+    but on no list — the remains of allocations performed inside
+    ARUs that never committed (paper §3.3). *)
+
+type report = {
+  checkpoint_id : int;
+  checkpoint_region : int;
+      (** which of the two regions held the checkpoint used *)
+  covered_seq : int;  (** log position the checkpoint captured *)
+  segments_replayed : int;
+  invalid_segments : int;  (** torn, unreadable, or stale *)
+  entries_applied : int;
+  arus_committed : int;  (** from buffered entries (incl. checkpoint-pending) *)
+  arus_discarded : int;
+  entries_discarded : int;
+  replay_skips : int;  (** conflicting merge operations skipped, see {!Splice} *)
+  blocks_scavenged : int;
+  lists_scavenged : int;
+      (** still-empty lists of ARUs that never committed *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+type restored = {
+  r_blocks : Block_map.t;
+  r_lists : List_table.t;
+  r_next_seq : int;  (** sequence number for the next segment *)
+  r_stamp : int;  (** operation timestamp to resume from *)
+  r_next_aru : int;
+  r_report : report;
+}
+
+val run : Lld_disk.Disk.t -> restored
+(** Raises [Errors.Corrupt] when no valid checkpoint exists (the disk
+    was never formatted). *)

@@ -1,0 +1,151 @@
+module Codec = Lld_util.Bytes_codec
+module Geometry = Lld_disk.Geometry
+
+(* Trailing header: magic u32, seq u64, summary_len u32, entry_count u32,
+   slots_used u32, checksum u64 (over everything before the checksum). *)
+let header_bytes = 32
+let magic = 0x4c4c4453 (* "LLDS" *)
+
+type scope = Simple_scope | Aru_scope of Types.Aru_id.t
+
+type t = {
+  geom : Geometry.t;
+  seq : int;
+  disk_index : int;
+  image : bytes; (* data slots are blitted here as they arrive *)
+  slot_of : (int, int * scope) Hashtbl.t; (* block id -> current slot *)
+  mutable slots_used : int;
+  mutable entries_rev : Summary.t list;
+  mutable entry_count : int;
+  mutable summary_bytes : int;
+}
+
+let create geom ~seq ~disk_index =
+  {
+    geom;
+    seq;
+    disk_index;
+    image = Bytes.make geom.Geometry.segment_bytes '\000';
+    slot_of = Hashtbl.create 64;
+    slots_used = 0;
+    entries_rev = [];
+    entry_count = 0;
+    summary_bytes = 0;
+  }
+
+let seq t = t.seq
+let disk_index t = t.disk_index
+let is_empty t = t.slots_used = 0 && t.entry_count = 0
+let slots_used t = t.slots_used
+let summary_bytes t = t.summary_bytes
+let entry_count t = t.entry_count
+
+let has_room t ~data_blocks ~entry_bytes =
+  let data = (t.slots_used + data_blocks) * t.geom.Geometry.block_bytes in
+  data + t.summary_bytes + entry_bytes + header_bytes
+  <= t.geom.Geometry.segment_bytes
+
+let slot_of_block t block =
+  Option.map fst (Hashtbl.find_opt t.slot_of (Types.Block_id.to_int block))
+
+let scope_equal a b =
+  match (a, b) with
+  | Simple_scope, Simple_scope -> true
+  | Aru_scope x, Aru_scope y -> Types.Aru_id.equal x y
+  | (Simple_scope | Aru_scope _), _ -> false
+
+let put_block t ~scope ~allow_cross_scope block data =
+  let bb = t.geom.Geometry.block_bytes in
+  if Bytes.length data <> bb then
+    invalid_arg "Segment.put_block: data must be exactly one block";
+  let key = Types.Block_id.to_int block in
+  let reusable =
+    match Hashtbl.find_opt t.slot_of key with
+    | Some (slot, prev) when allow_cross_scope || scope_equal prev scope ->
+      Some slot
+    | Some _ | None -> None
+  in
+  let slot =
+    match reusable with
+    | Some slot -> slot
+    | None ->
+      if not (has_room t ~data_blocks:1 ~entry_bytes:0) then
+        invalid_arg "Segment.put_block: no room";
+      let slot = t.slots_used in
+      t.slots_used <- slot + 1;
+      slot
+  in
+  Hashtbl.replace t.slot_of key (slot, scope);
+  Bytes.blit data 0 t.image (slot * bb) bb;
+  slot
+
+let read_slot t ~slot =
+  if slot < 0 || slot >= t.slots_used then invalid_arg "Segment.read_slot";
+  let bb = t.geom.Geometry.block_bytes in
+  Bytes.sub t.image (slot * bb) bb
+
+let add_entry t entry =
+  let size = Summary.encoded_size entry in
+  if not (has_room t ~data_blocks:0 ~entry_bytes:size) then
+    invalid_arg "Segment.add_entry: no room";
+  t.entries_rev <- entry :: t.entries_rev;
+  t.entry_count <- t.entry_count + 1;
+  t.summary_bytes <- t.summary_bytes + size
+
+let entries t = List.rev t.entries_rev
+
+let seal t =
+  let total = t.geom.Geometry.segment_bytes in
+  let w = Codec.Writer.create ~capacity:(t.summary_bytes + 16) () in
+  List.iter (Summary.encode w) (entries t);
+  let summary = Codec.Writer.contents w in
+  let summary_len = Bytes.length summary in
+  assert (summary_len = t.summary_bytes);
+  let summary_off = total - header_bytes - summary_len in
+  Bytes.blit summary 0 t.image summary_off summary_len;
+  let h = total - header_bytes in
+  Codec.set_u32 t.image h magic;
+  Codec.set_u32 t.image (h + 4) (t.seq land 0xffffffff);
+  Codec.set_u32 t.image (h + 8) (t.seq lsr 32);
+  Codec.set_u32 t.image (h + 12) summary_len;
+  Codec.set_u32 t.image (h + 16) t.entry_count;
+  Codec.set_u32 t.image (h + 20) t.slots_used;
+  let checksum = Codec.hash64 ~pos:0 ~len:(total - 8) t.image in
+  Codec.set_u32 t.image (h + 24) (Int64.to_int (Int64.logand checksum 0xffffffffL));
+  Codec.set_u32 t.image (h + 28)
+    (Int64.to_int (Int64.logand (Int64.shift_right_logical checksum 32) 0xffffffffL));
+  t.image
+
+type parsed = { p_seq : int; p_entries : Summary.t list; p_image : bytes }
+
+let parse geom image =
+  let total = geom.Geometry.segment_bytes in
+  if Bytes.length image <> total then invalid_arg "Segment.parse: bad image size";
+  let h = total - header_bytes in
+  if Codec.get_u32 image h <> magic then None
+  else begin
+    let stored =
+      Int64.logor
+        (Int64.of_int (Codec.get_u32 image (h + 24)))
+        (Int64.shift_left (Int64.of_int (Codec.get_u32 image (h + 28))) 32)
+    in
+    if not (Int64.equal stored (Codec.hash64 ~pos:0 ~len:(total - 8) image)) then None
+    else begin
+      let seq = Codec.get_u32 image (h + 4) lor (Codec.get_u32 image (h + 8) lsl 32) in
+      let summary_len = Codec.get_u32 image (h + 12) in
+      let entry_count = Codec.get_u32 image (h + 16) in
+      let r = Codec.Reader.of_bytes ~pos:(h - summary_len) ~len:summary_len image in
+      let rec decode_all n acc =
+        if n = 0 then List.rev acc else decode_all (n - 1) (Summary.decode r :: acc)
+      in
+      match decode_all entry_count [] with
+      | entries -> Some { p_seq = seq; p_entries = entries; p_image = image }
+      | exception (Codec.Truncated | Errors.Corrupt _) -> None
+    end
+  end
+
+let parsed_slot geom parsed ~slot =
+  let bb = geom.Geometry.block_bytes in
+  if slot < 0 || (slot + 1) * bb > Bytes.length parsed.p_image then
+    invalid_arg "Segment.parsed_slot";
+  Bytes.sub parsed.p_image (slot * bb) bb

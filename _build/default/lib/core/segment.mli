@@ -1,0 +1,77 @@
+(** The open segment buffer and the on-disk segment format.
+
+    A segment is filled in main memory and written to disk in a single
+    operation (paper §2).  Data blocks occupy fixed 4 KB slots growing
+    from the front; summary entries accumulate and are serialised at the
+    back, next to a trailing header.  Either region can exhaust the
+    segment first — a workload of pure meta-data operations produces
+    segments that are almost entirely summary (the paper's ARU-latency
+    experiment writes 24 such segments for 500,000 commit records).
+
+    The trailing header carries a checksum over the whole segment, so a
+    torn write (power loss mid-segment) is detected at recovery no
+    matter what the segment's disk slot previously contained. *)
+
+type t
+
+val create : Lld_disk.Geometry.t -> seq:int -> disk_index:int -> t
+(** A fresh, empty buffer destined for disk segment [disk_index], with
+    log sequence number [seq]. *)
+
+val seq : t -> int
+val disk_index : t -> int
+val is_empty : t -> bool
+val slots_used : t -> int
+val summary_bytes : t -> int
+val entry_count : t -> int
+
+val has_room : t -> data_blocks:int -> entry_bytes:int -> bool
+(** Whether [data_blocks] more slots plus [entry_bytes] more summary
+    bytes fit. *)
+
+(** Which stream wrote a slot last.  Slot reuse across scopes is only
+    sound when the writer's commit record is guaranteed to land in this
+    same segment (see [Lld.end_aru]'s reservation); otherwise a sealed
+    segment could expose an uncommitted ARU's bytes through an earlier,
+    durable entry that shares the slot. *)
+type scope = Simple_scope | Aru_scope of Types.Aru_id.t
+
+val slot_of_block : t -> Types.Block_id.t -> int option
+(** The slot currently holding this block's data in the open segment,
+    if any. *)
+
+val put_block :
+  t -> scope:scope -> allow_cross_scope:bool -> Types.Block_id.t -> bytes -> int
+(** Store block data and return its slot.  The block's existing slot is
+    reused when [allow_cross_scope] is true or the previous writer had
+    the same scope; otherwise a fresh slot is taken (the old slot keeps
+    its bytes for the entries that reference it).  Raises
+    [Invalid_argument] when there is no room (callers must check
+    {!has_room}) or when the data is not exactly one block. *)
+
+val read_slot : t -> slot:int -> bytes
+(** Copy of the data in an occupied slot. *)
+
+val add_entry : t -> Summary.t -> unit
+(** Append a summary entry.  Raises [Invalid_argument] when there is no
+    room. *)
+
+val entries : t -> Summary.t list
+(** Entries in append order. *)
+
+val seal : t -> bytes
+(** Serialise to the full segment image (data + summary + header). *)
+
+(** {2 Reading sealed segments (recovery, cleaner)} *)
+
+type parsed = {
+  p_seq : int;
+  p_entries : Summary.t list;  (** in append order *)
+  p_image : bytes;  (** the full segment image, for slot reads *)
+}
+
+val parse : Lld_disk.Geometry.t -> bytes -> parsed option
+(** [None] when the image has no valid header or fails its checksum
+    (an unwritten or torn segment). *)
+
+val parsed_slot : Lld_disk.Geometry.t -> parsed -> slot:int -> bytes

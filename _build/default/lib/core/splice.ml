@@ -1,0 +1,118 @@
+type ctx = {
+  peek_block : Types.Block_id.t -> Record.block;
+  get_block : Types.Block_id.t -> Record.block;
+  peek_list : Types.List_id.t -> Record.list_r;
+  get_list : Types.List_id.t -> Record.list_r;
+  on_pred_hop : unit -> unit;
+}
+
+type outcome = [ `Applied | `Skipped ]
+
+let insert ctx ~list ~block ~pred =
+  let lrec = ctx.peek_list list in
+  let brec = ctx.peek_block block in
+  if not lrec.Record.exists then `Skipped
+  else if (not brec.Record.alloc) || brec.Record.member_of <> None then `Skipped
+  else begin
+    match pred with
+    | Summary.Head ->
+      let lrec = ctx.get_list list in
+      let brec = ctx.get_block block in
+      brec.Record.member_of <- Some list;
+      brec.Record.successor <- lrec.Record.first;
+      (match lrec.Record.first with
+      | None -> lrec.Record.last <- Some block
+      | Some _ -> ());
+      lrec.Record.first <- Some block;
+      `Applied
+    | Summary.After p ->
+      let prec_ = ctx.peek_block p in
+      if prec_.Record.member_of <> Some list then `Skipped
+      else begin
+        let lrec = ctx.get_list list in
+        let brec = ctx.get_block block in
+        let prec_ = ctx.get_block p in
+        brec.Record.member_of <- Some list;
+        brec.Record.successor <- prec_.Record.successor;
+        prec_.Record.successor <- Some block;
+        (match lrec.Record.last with
+        | Some l when Types.Block_id.equal l p -> lrec.Record.last <- Some block
+        | Some _ | None -> ());
+        `Applied
+      end
+  end
+
+let unlink ctx ~list ~block =
+  let lrec = ctx.peek_list list in
+  let brec = ctx.peek_block block in
+  if not lrec.Record.exists then `Skipped
+  else if brec.Record.member_of <> Some list then `Skipped
+  else begin
+    let succ = brec.Record.successor in
+    (match lrec.Record.first with
+    | Some f when Types.Block_id.equal f block ->
+      let lrec = ctx.get_list list in
+      lrec.Record.first <- succ;
+      (match lrec.Record.last with
+      | Some l when Types.Block_id.equal l block -> lrec.Record.last <- None
+      | Some _ | None -> ())
+    | Some _ | None ->
+      (* predecessor search from the head of the list *)
+      let rec search cur =
+        ctx.on_pred_hop ();
+        let crec = ctx.peek_block cur in
+        match crec.Record.successor with
+        | Some s when Types.Block_id.equal s block -> cur
+        | Some s -> search s
+        | None ->
+          (* member_of said the block is on this list; a broken chain is
+             an internal invariant violation *)
+          raise
+            (Errors.Corrupt
+               (Format.asprintf "list %a chain broken before %a"
+                  Types.List_id.pp list Types.Block_id.pp block))
+      in
+      let p =
+        match lrec.Record.first with
+        | Some f -> search f
+        | None ->
+          raise
+            (Errors.Corrupt
+               (Format.asprintf "list %a empty but %a claims membership"
+                  Types.List_id.pp list Types.Block_id.pp block))
+      in
+      let prec_ = ctx.get_block p in
+      prec_.Record.successor <- succ;
+      let lrec = ctx.get_list list in
+      (match lrec.Record.last with
+      | Some l when Types.Block_id.equal l block -> lrec.Record.last <- Some p
+      | Some _ | None -> ()));
+    let brec = ctx.get_block block in
+    brec.Record.member_of <- None;
+    brec.Record.successor <- None;
+    `Applied
+  end
+
+let delete_list ctx ~list ~dealloc =
+  let lrec = ctx.peek_list list in
+  if not lrec.Record.exists then `Skipped
+  else begin
+    let rec walk cur =
+      match cur with
+      | None -> ()
+      | Some b ->
+        let brec = ctx.get_block b in
+        let next = brec.Record.successor in
+        brec.Record.member_of <- None;
+        brec.Record.successor <- None;
+        brec.Record.alloc <- false;
+        dealloc brec;
+        walk next
+    in
+    walk lrec.Record.first;
+    let lrec = ctx.get_list list in
+    lrec.Record.exists <- false;
+    lrec.Record.first <- None;
+    lrec.Record.last <- None;
+    `Applied
+  end

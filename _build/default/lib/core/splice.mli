@@ -1,0 +1,54 @@
+(** List manipulation shared by every state.
+
+    The same insert / unlink / delete-list logic runs against three
+    different views: an ARU's shadow state (operations inside an ARU),
+    the committed state (simple operations and commit-time replay of the
+    list-operation log), and the persistent state (recovery replay).
+    A {!ctx} bundles the view's accessors:
+
+    - [peek_*] returns the record as currently visible in the view
+      without materialising a new version (used while walking);
+    - [get_*] returns a record that may be mutated in the view
+      (performing copy-on-write into the target state when needed).
+
+    Operations are {e best-effort} on conflicting states: an operation
+    that is infeasible in the target view (inserting a block that is
+    already on a list, unlinking a non-member, …) returns [`Skipped].
+    This makes commit-time merging of concurrent ARUs deterministic, and
+    — because recovery replays the identical entry sequence against the
+    identically-evolving state — recovery reaches the same result as the
+    run-time committed state.  Clients that follow the paper's locking
+    contract never trigger a skip. *)
+
+type ctx = {
+  peek_block : Types.Block_id.t -> Record.block;
+  get_block : Types.Block_id.t -> Record.block;
+  peek_list : Types.List_id.t -> Record.list_r;
+  get_list : Types.List_id.t -> Record.list_r;
+  on_pred_hop : unit -> unit;  (** charged per predecessor-search hop *)
+}
+
+type outcome = [ `Applied | `Skipped ]
+
+val insert :
+  ctx -> list:Types.List_id.t -> block:Types.Block_id.t -> pred:Summary.pred ->
+  outcome
+(** Link an allocated block into the list at the given position.
+    Skipped when the list does not exist, the block is already a member
+    of some list, or the predecessor is not a member of the list. *)
+
+val unlink :
+  ctx -> list:Types.List_id.t -> block:Types.Block_id.t -> outcome
+(** Remove the block from the list (predecessor search from the head;
+    this search is the deletion cost the paper's "improved deletion"
+    avoids, §5.3).  Skipped when the block is not a member. *)
+
+val delete_list :
+  ctx ->
+  list:Types.List_id.t ->
+  dealloc:(Record.block -> unit) ->
+  outcome
+(** Walk the list from its head, calling [dealloc] on each member (the
+    callback marks the block free and emits its log entry), then mark
+    the list itself deleted.  No predecessor searches are needed —
+    the cheap deletion path. *)

@@ -1,0 +1,173 @@
+module Codec = Lld_util.Bytes_codec
+
+type stream = Simple | In_aru of Types.Aru_id.t
+type pred = Head | After of Types.Block_id.t
+
+type op =
+  | Alloc of { block : Types.Block_id.t; list : Types.List_id.t; stamp : int }
+  | Write of { block : Types.Block_id.t; slot : int; stamp : int }
+  | Link of { list : Types.List_id.t; block : Types.Block_id.t; pred : pred }
+  | Unlink of { list : Types.List_id.t; block : Types.Block_id.t }
+  | New_list of {
+      list : Types.List_id.t;
+      stamp : int;
+      owner : Types.Aru_id.t option;
+    }
+  | Delete_list of { list : Types.List_id.t }
+  | Dealloc of { block : Types.Block_id.t; stamp : int }
+  | Commit of { aru : Types.Aru_id.t }
+
+type t = { stream : stream; op : op }
+
+(* Wire layout: [stream tag u8][aru u32 if tagged][op tag u8][fields].
+   Stamps are u64 to survive long histories; ids and slots are u32. *)
+
+let stream_size = function Simple -> 1 | In_aru _ -> 5
+
+let op_size = function
+  | Alloc _ -> 1 + 4 + 4 + 8
+  | Write _ -> 1 + 4 + 4 + 8
+  | Link { pred = Head; _ } -> 1 + 4 + 4 + 1
+  | Link { pred = After _; _ } -> 1 + 4 + 4 + 1 + 4
+  | Unlink _ -> 1 + 4 + 4
+  | New_list { owner = None; _ } -> 1 + 4 + 8 + 1
+  | New_list { owner = Some _; _ } -> 1 + 4 + 8 + 1 + 4
+  | Delete_list _ -> 1 + 4
+  | Dealloc _ -> 1 + 4 + 8
+  | Commit _ -> 1 + 4
+
+let encoded_size t = stream_size t.stream + op_size t.op
+
+let encode w t =
+  let module W = Codec.Writer in
+  (match t.stream with
+  | Simple -> W.u8 w 0
+  | In_aru a ->
+    W.u8 w 1;
+    W.u32 w (Types.Aru_id.to_int a));
+  match t.op with
+  | Alloc { block; list; stamp } ->
+    W.u8 w 1;
+    W.u32 w (Types.Block_id.to_int block);
+    W.u32 w (Types.List_id.to_int list);
+    W.u64 w (Int64.of_int stamp)
+  | Write { block; slot; stamp } ->
+    W.u8 w 2;
+    W.u32 w (Types.Block_id.to_int block);
+    W.u32 w slot;
+    W.u64 w (Int64.of_int stamp)
+  | Link { list; block; pred } -> (
+    W.u8 w 3;
+    W.u32 w (Types.List_id.to_int list);
+    W.u32 w (Types.Block_id.to_int block);
+    match pred with
+    | Head -> W.u8 w 0
+    | After p ->
+      W.u8 w 1;
+      W.u32 w (Types.Block_id.to_int p))
+  | Unlink { list; block } ->
+    W.u8 w 4;
+    W.u32 w (Types.List_id.to_int list);
+    W.u32 w (Types.Block_id.to_int block)
+  | New_list { list; stamp; owner } -> (
+    W.u8 w 5;
+    W.u32 w (Types.List_id.to_int list);
+    W.u64 w (Int64.of_int stamp);
+    match owner with
+    | None -> W.u8 w 0
+    | Some a ->
+      W.u8 w 1;
+      W.u32 w (Types.Aru_id.to_int a))
+  | Delete_list { list } ->
+    W.u8 w 6;
+    W.u32 w (Types.List_id.to_int list)
+  | Dealloc { block; stamp } ->
+    W.u8 w 7;
+    W.u32 w (Types.Block_id.to_int block);
+    W.u64 w (Int64.of_int stamp)
+  | Commit { aru } ->
+    W.u8 w 8;
+    W.u32 w (Types.Aru_id.to_int aru)
+
+let decode r =
+  let module R = Codec.Reader in
+  let stream =
+    match R.u8 r with
+    | 0 -> Simple
+    | 1 -> In_aru (Types.Aru_id.of_int (R.u32 r))
+    | n -> raise (Errors.Corrupt (Printf.sprintf "summary stream tag %d" n))
+  in
+  let block () = Types.Block_id.of_int (R.u32 r) in
+  let list () = Types.List_id.of_int (R.u32 r) in
+  let stamp () = Int64.to_int (R.u64 r) in
+  let op =
+    match R.u8 r with
+    | 1 ->
+      let b = block () in
+      let l = list () in
+      Alloc { block = b; list = l; stamp = stamp () }
+    | 2 ->
+      let b = block () in
+      let slot = R.u32 r in
+      Write { block = b; slot; stamp = stamp () }
+    | 3 -> (
+      let l = list () in
+      let b = block () in
+      match R.u8 r with
+      | 0 -> Link { list = l; block = b; pred = Head }
+      | 1 -> Link { list = l; block = b; pred = After (block ()) }
+      | n -> raise (Errors.Corrupt (Printf.sprintf "link pred tag %d" n)))
+    | 4 ->
+      let l = list () in
+      Unlink { list = l; block = block () }
+    | 5 ->
+      let l = list () in
+      let st = stamp () in
+      let owner =
+        match R.u8 r with
+        | 0 -> None
+        | 1 -> Some (Types.Aru_id.of_int (R.u32 r))
+        | n -> raise (Errors.Corrupt (Printf.sprintf "new-list owner tag %d" n))
+      in
+      New_list { list = l; stamp = st; owner }
+    | 6 -> Delete_list { list = list () }
+    | 7 ->
+      let b = block () in
+      Dealloc { block = b; stamp = stamp () }
+    | 8 -> Commit { aru = Types.Aru_id.of_int (R.u32 r) }
+    | n -> raise (Errors.Corrupt (Printf.sprintf "summary op tag %d" n))
+  in
+  { stream; op }
+
+let pp_pred ppf = function
+  | Head -> Format.fprintf ppf "head"
+  | After b -> Format.fprintf ppf "after %a" Types.Block_id.pp b
+
+let pp_op ppf = function
+  | Alloc { block; list; stamp } ->
+    Format.fprintf ppf "alloc %a in %a @%d" Types.Block_id.pp block
+      Types.List_id.pp list stamp
+  | Write { block; slot; stamp } ->
+    Format.fprintf ppf "write %a slot %d @%d" Types.Block_id.pp block slot stamp
+  | Link { list; block; pred } ->
+    Format.fprintf ppf "link %a into %a %a" Types.Block_id.pp block
+      Types.List_id.pp list pp_pred pred
+  | Unlink { list; block } ->
+    Format.fprintf ppf "unlink %a from %a" Types.Block_id.pp block
+      Types.List_id.pp list
+  | New_list { list; stamp; owner } ->
+    Format.fprintf ppf "new-list %a @%d%a" Types.List_id.pp list stamp
+      (fun ppf -> function
+        | None -> ()
+        | Some a -> Format.fprintf ppf " by %a" Types.Aru_id.pp a)
+      owner
+  | Delete_list { list } ->
+    Format.fprintf ppf "delete-list %a" Types.List_id.pp list
+  | Dealloc { block; stamp } ->
+    Format.fprintf ppf "dealloc %a @%d" Types.Block_id.pp block stamp
+  | Commit { aru } -> Format.fprintf ppf "commit %a" Types.Aru_id.pp aru
+
+let pp ppf t =
+  match t.stream with
+  | Simple -> pp_op ppf t.op
+  | In_aru a -> Format.fprintf ppf "[%a] %a" Types.Aru_id.pp a pp_op t.op

@@ -1,0 +1,62 @@
+(** Segment-summary entries: LLD's on-disk operation log.
+
+    Every meta-data mutation appends an entry to the summary of the open
+    segment; crash recovery replays entries in log order to rebuild the
+    block-number-map and the list-table (paper §2, §4).
+
+    Entries are tagged with the stream they belong to.  [Simple] entries
+    take effect at their log position.  [In_aru] entries are generated
+    when the ARU commits (the list-operation log is re-executed in the
+    committed state, paper §4) and therefore appear contiguously,
+    terminated by the ARU's [Commit] entry; recovery buffers them and
+    applies them only if the [Commit] entry made it to disk — this is
+    what makes the ARU failure-atomic.
+
+    Allocations are the deliberate exception: [Alloc] and [New_list]
+    performed inside an ARU are emitted immediately with the [Simple]
+    tag, because allocation always happens in the committed state
+    (paper §3.3); blocks allocated by an ARU that never committed are
+    freed by the recovery consistency sweep. *)
+
+type stream = Simple | In_aru of Types.Aru_id.t
+
+(** Insertion point of a block within a list. *)
+type pred = Head | After of Types.Block_id.t
+
+type op =
+  | Alloc of { block : Types.Block_id.t; list : Types.List_id.t; stamp : int }
+      (** block allocated (for insertion into [list]) *)
+  | Write of { block : Types.Block_id.t; slot : int; stamp : int }
+      (** block data written to data slot [slot] of the segment whose
+          summary holds this entry *)
+  | Link of { list : Types.List_id.t; block : Types.Block_id.t; pred : pred }
+      (** block inserted into the list after [pred] *)
+  | Unlink of { list : Types.List_id.t; block : Types.Block_id.t }
+      (** block removed from the list *)
+  | New_list of {
+      list : Types.List_id.t;
+      stamp : int;
+      owner : Types.Aru_id.t option;
+          (** the ARU that allocated the list, if any: lets recovery
+              free still-empty lists of ARUs that never committed *)
+    }
+  | Delete_list of { list : Types.List_id.t }
+      (** deallocate every block still on the list, then the list itself
+          (the "improved deletion" path, paper §5.3) *)
+  | Dealloc of { block : Types.Block_id.t; stamp : int }
+  | Commit of { aru : Types.Aru_id.t }
+      (** commit record: all earlier [In_aru] entries of this ARU take
+          effect *)
+
+type t = { stream : stream; op : op }
+
+val encoded_size : t -> int
+(** Exact number of bytes {!encode} will append. *)
+
+val encode : Lld_util.Bytes_codec.Writer.t -> t -> unit
+
+val decode : Lld_util.Bytes_codec.Reader.t -> t
+(** Raises [Errors.Corrupt] on an unknown tag,
+    [Lld_util.Bytes_codec.Truncated] on short input. *)
+
+val pp : Format.formatter -> t -> unit

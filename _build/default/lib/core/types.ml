@@ -1,0 +1,38 @@
+module type ID = sig
+  type t
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make_id (P : sig
+  val prefix : string
+end) : ID = struct
+  type t = int
+
+  let of_int i =
+    if i < 0 then invalid_arg (P.prefix ^ "_id.of_int: negative");
+    i
+
+  let to_int i = i
+  let equal = Int.equal
+  let compare = Int.compare
+  let hash = Hashtbl.hash
+  let pp ppf i = Format.fprintf ppf "%s%d" P.prefix i
+end
+
+module Block_id = Make_id (struct
+  let prefix = "b"
+end)
+
+module List_id = Make_id (struct
+  let prefix = "l"
+end)
+
+module Aru_id = Make_id (struct
+  let prefix = "aru"
+end)

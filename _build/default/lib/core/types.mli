@@ -1,0 +1,27 @@
+(** Identifier types of the Logical Disk name-spaces.
+
+    Logical blocks, block lists and atomic recovery units each get a
+    distinct abstract identifier type so they cannot be confused at
+    compile time. *)
+
+module type ID = sig
+  type t
+
+  val of_int : int -> t
+  (** Raises [Invalid_argument] on negative input. *)
+
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Block_id : ID
+(** Logical block number. *)
+
+module List_id : ID
+(** Logical block-list identifier. *)
+
+module Aru_id : ID
+(** Atomic-recovery-unit identifier. *)

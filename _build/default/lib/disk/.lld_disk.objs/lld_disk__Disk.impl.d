@@ -1,0 +1,1 @@
+lib/disk/disk.ml: Bytes Fault Geometry Lld_sim Timing

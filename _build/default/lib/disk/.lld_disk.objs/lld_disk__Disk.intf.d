@@ -1,0 +1,1 @@
+lib/disk/disk.mli: Fault Geometry Lld_sim Timing

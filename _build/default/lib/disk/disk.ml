@@ -1,0 +1,89 @@
+type counters = {
+  writes : int;
+  reads : int;
+  bytes_written : int;
+  bytes_read : int;
+}
+
+type t = {
+  geom : Geometry.t;
+  timing : Timing.t;
+  fault : Fault.t;
+  clock : Lld_sim.Clock.t;
+  store : bytes;
+  mutable last_end : int; (* byte position after the previous request; -1 = cold *)
+  mutable writes : int;
+  mutable reads : int;
+  mutable bytes_written : int;
+  mutable bytes_read : int;
+}
+
+let create ?(timing = Timing.hp_c3010) ?fault ~clock geom =
+  let fault = match fault with Some f -> f | None -> Fault.none () in
+  {
+    geom;
+    timing;
+    fault;
+    clock;
+    store = Bytes.make (Geometry.total_bytes geom) '\000';
+    last_end = -1;
+    writes = 0;
+    reads = 0;
+    bytes_written = 0;
+    bytes_read = 0;
+  }
+
+let geometry t = t.geom
+let fault t = t.fault
+let clock t = t.clock
+
+let check_range t ~offset ~length =
+  if offset < 0 || length < 0 || offset + length > Bytes.length t.store then
+    invalid_arg "Disk: request outside the partition"
+
+let charge t ~offset ~length =
+  let ns =
+    Timing.request_ns t.timing t.geom ~last_end:t.last_end ~offset ~length
+  in
+  Lld_sim.Clock.charge t.clock Lld_sim.Clock.Io ns;
+  t.last_end <- offset + length
+
+let write t ~offset data =
+  let length = Bytes.length data in
+  check_range t ~offset ~length;
+  match Fault.on_write t.fault ~length with
+  | `Ok ->
+    charge t ~offset ~length;
+    Bytes.blit data 0 t.store offset length;
+    t.writes <- t.writes + 1;
+    t.bytes_written <- t.bytes_written + length
+  | `Torn keep ->
+    (* the prefix reached the medium before power was lost *)
+    charge t ~offset ~length:keep;
+    Bytes.blit data 0 t.store offset keep;
+    t.writes <- t.writes + 1;
+    t.bytes_written <- t.bytes_written + keep;
+    raise Fault.Crashed
+
+let read t ~offset ~length =
+  check_range t ~offset ~length;
+  if Fault.crashed t.fault then raise Fault.Crashed;
+  Fault.check_read t.fault ~offset ~length;
+  charge t ~offset ~length;
+  t.reads <- t.reads + 1;
+  t.bytes_read <- t.bytes_read + length;
+  Bytes.sub t.store offset length
+
+let counters t =
+  {
+    writes = t.writes;
+    reads = t.reads;
+    bytes_written = t.bytes_written;
+    bytes_read = t.bytes_read;
+  }
+
+let reset_counters t =
+  t.writes <- 0;
+  t.reads <- 0;
+  t.bytes_written <- 0;
+  t.bytes_read <- 0

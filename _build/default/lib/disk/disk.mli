@@ -1,0 +1,40 @@
+(** The simulated block device.
+
+    An in-memory byte store standing in for the paper's HP C3010
+    partition accessed through the SunOS raw-disk interface.  Every
+    request charges mechanical latency from {!Timing} to the shared
+    virtual {!Lld_sim.Clock}, and passes through the {!Fault} plan, so
+    crash and media-failure behaviour is deterministic. *)
+
+type t
+
+val create :
+  ?timing:Timing.t -> ?fault:Fault.t -> clock:Lld_sim.Clock.t -> Geometry.t -> t
+(** A zero-filled partition. Default timing is {!Timing.hp_c3010};
+    default fault plan is {!Fault.none}. *)
+
+val geometry : t -> Geometry.t
+val fault : t -> Fault.t
+val clock : t -> Lld_sim.Clock.t
+
+val write : t -> offset:int -> bytes -> unit
+(** Write the bytes at the byte offset.  Raises [Fault.Crashed] at a
+    scheduled crash point; on a torn write the scheduled prefix reaches
+    the medium before the exception. Raises [Invalid_argument] when the
+    range exceeds the partition. *)
+
+val read : t -> offset:int -> length:int -> bytes
+(** Raises [Fault.Media_error] when the range overlaps an injected media
+    failure; raises [Fault.Crashed] while the device is crashed. *)
+
+(** {2 Statistics} *)
+
+type counters = {
+  writes : int;
+  reads : int;
+  bytes_written : int;
+  bytes_read : int;
+}
+
+val counters : t -> counters
+val reset_counters : t -> unit

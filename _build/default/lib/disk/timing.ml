@@ -1,0 +1,60 @@
+type t = {
+  min_seek_ns : int;
+  avg_seek_ns : int;
+  rotation_ns : int;
+  settle_ns : int;
+  transfer_bytes_per_sec : int;
+}
+
+let hp_c3010 =
+  {
+    min_seek_ns = 2_500_000;
+    avg_seek_ns = 11_500_000;
+    rotation_ns = 11_111_111 (* 5400 rpm *);
+    settle_ns = 200_000;
+    transfer_bytes_per_sec = 2_350_000;
+  }
+
+let instant =
+  {
+    min_seek_ns = 0;
+    avg_seek_ns = 0;
+    rotation_ns = 0;
+    settle_ns = 0;
+    transfer_bytes_per_sec = max_int;
+  }
+
+(* Seek time grows with the square root of the cylinder distance, scaled
+   so that a random seek (expected normalised distance ~1/3, sqrt ~0.52)
+   costs [avg_seek_ns]. *)
+let seek_ns t geom ~from_cyl ~to_cyl ~total_cyl =
+  if from_cyl = to_cyl then 0
+  else begin
+    ignore geom;
+    let d = float_of_int (abs (to_cyl - from_cyl)) /. float_of_int (max 1 total_cyl) in
+    let scaled =
+      float_of_int (t.avg_seek_ns - t.min_seek_ns) *. (sqrt d /. 0.52)
+    in
+    t.min_seek_ns + int_of_float (min scaled (1.8 *. float_of_int t.avg_seek_ns))
+  end
+
+let transfer_ns t length =
+  if t.transfer_bytes_per_sec = max_int then 0
+  else
+    int_of_float (float_of_int length /. float_of_int t.transfer_bytes_per_sec *. 1e9)
+
+let request_ns t geom ~last_end ~offset ~length =
+  let total_cyl = Geometry.cylinder_of_offset geom (Geometry.total_bytes geom - 1) + 1 in
+  let position_ns =
+    if last_end < 0 then t.avg_seek_ns + (t.rotation_ns / 2)
+    else if offset = last_end then t.settle_ns
+    else
+      let from_cyl = Geometry.cylinder_of_offset geom last_end in
+      let to_cyl = Geometry.cylinder_of_offset geom offset in
+      let seek = seek_ns t geom ~from_cyl ~to_cyl ~total_cyl in
+      if seek = 0 then
+        (* same cylinder, different position: partial rotation *)
+        t.settle_ns + (t.rotation_ns / 4)
+      else seek + (t.rotation_ns / 2)
+  in
+  position_ns + transfer_ns t length

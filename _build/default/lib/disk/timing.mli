@@ -1,0 +1,27 @@
+(** Mechanical timing model of the evaluation disk.
+
+    Approximates the HP C3010 used in the paper: SCSI-II, 5400 rpm
+    (11.1 ms revolution), 11.5 ms average seek, a sustained media rate
+    of ~2.35 MB/s at the partition.  Request cost is
+    [seek(distance) + rotational latency + transfer], where sequential
+    requests (next byte after the previous request) pay no seek and only
+    a small settle delay. *)
+
+type t = {
+  min_seek_ns : int;  (** track-to-track seek *)
+  avg_seek_ns : int;  (** average (random) seek; the curve is scaled to hit this *)
+  rotation_ns : int;  (** one full revolution *)
+  settle_ns : int;  (** head settle on sequential continuation *)
+  transfer_bytes_per_sec : int;
+}
+
+val hp_c3010 : t
+
+val instant : t
+(** Zero-latency model for pure-correctness tests. *)
+
+val request_ns :
+  t -> Geometry.t -> last_end:int -> offset:int -> length:int -> int
+(** Virtual duration of a request of [length] bytes at byte [offset],
+    when the previous request ended at byte [last_end].  [last_end < 0]
+    means cold start (full average positioning cost). *)

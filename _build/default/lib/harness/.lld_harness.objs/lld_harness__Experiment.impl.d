@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Array Bytes Format Fun List Lld_core Lld_disk Lld_jld Lld_minixdisk Lld_minixfs Lld_sim Lld_workload Printf Report

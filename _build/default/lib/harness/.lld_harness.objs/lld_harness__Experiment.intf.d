@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Format Lld_core Lld_disk Lld_workload

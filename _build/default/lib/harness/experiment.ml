@@ -1,0 +1,691 @@
+module Geometry = Lld_disk.Geometry
+module Config = Lld_core.Config
+module Counters = Lld_core.Counters
+module Lld = Lld_core.Lld
+module Recovery = Lld_core.Recovery
+module Fault = Lld_disk.Fault
+module Disk = Lld_disk.Disk
+module Clock = Lld_sim.Clock
+module Setup = Lld_workload.Setup
+module Smallfile = Lld_workload.Smallfile
+module Largefile = Lld_workload.Largefile
+module Aru_churn = Lld_workload.Aru_churn
+module Concurrent = Lld_workload.Concurrent
+module Mixed = Lld_workload.Mixed
+module Fs = Lld_minixfs.Fs
+
+type scale = {
+  files : float;
+  bytes : float;
+  arus : float;
+  geom : Lld_disk.Geometry.t;
+}
+
+let full = { files = 1.0; bytes = 1.0; arus = 1.0; geom = Geometry.paper }
+
+let quick =
+  {
+    files = 0.05;
+    bytes = 0.05;
+    arus = 0.02;
+    geom = Geometry.v ~num_segments:200 ();
+  }
+
+(* ------------------------------------------------------------------ *)
+(* F5                                                                  *)
+
+type fig5_row = {
+  f5_variant : Setup.variant;
+  f5_result : Smallfile.result;
+}
+
+let small_params scale =
+  [
+    Smallfile.scaled Smallfile.paper_1k scale.files;
+    Smallfile.scaled Smallfile.paper_10k scale.files;
+  ]
+
+let figure5 scale =
+  List.concat_map
+    (fun params ->
+      List.map
+        (fun variant ->
+          let inst = Setup.make ~geom:scale.geom variant in
+          { f5_variant = variant; f5_result = Smallfile.run inst params })
+        Setup.all_variants)
+    (small_params scale)
+
+let size_label (p : Smallfile.params) =
+  Printf.sprintf "%d x %dKB" p.Smallfile.file_count (p.Smallfile.file_bytes / 1024)
+
+let find_old rows (p : Smallfile.params) =
+  List.find
+    (fun r -> r.f5_variant = Setup.Old && r.f5_result.Smallfile.params = p)
+    rows
+
+let print_figure5 ppf rows =
+  let params =
+    List.sort_uniq compare (List.map (fun r -> r.f5_result.Smallfile.params) rows)
+  in
+  let table_rows =
+    List.concat_map
+      (fun p ->
+        let old = find_old rows p in
+        let base ph = ph.Smallfile.files_per_sec in
+        List.filter_map
+          (fun r ->
+            if r.f5_result.Smallfile.params <> p then None
+            else begin
+              let res = r.f5_result in
+              let ph sel = sel res in
+              let cell sel_new sel_old =
+                let v = (sel_new : Smallfile.phase).Smallfile.files_per_sec in
+                Printf.sprintf "%s (%s)" (Report.f1 v)
+                  (Report.pct ~baseline:(base sel_old) v)
+              in
+              Some
+                [
+                  size_label p;
+                  Setup.variant_label r.f5_variant;
+                  cell
+                    (ph (fun r -> r.Smallfile.create_write))
+                    old.f5_result.Smallfile.create_write;
+                  cell (ph (fun r -> r.Smallfile.read)) old.f5_result.Smallfile.read;
+                  cell
+                    (ph (fun r -> r.Smallfile.delete))
+                    old.f5_result.Smallfile.delete;
+                ]
+            end)
+          rows)
+      params
+  in
+  Report.table ppf
+    ~title:
+      "Figure 5: small-file throughput in files/second (diff vs old; paper: \
+       create 4.0-7.2%, delete 17.9-20.5% with improved deletion)"
+    ~header:[ "workload"; "variant"; "create+write"; "read"; "delete" ]
+    table_rows
+
+(* ------------------------------------------------------------------ *)
+(* F6                                                                  *)
+
+type fig6_row = {
+  f6_variant : Setup.variant;
+  f6_result : Largefile.result;
+}
+
+let figure6 scale =
+  let params = Largefile.scaled Largefile.paper scale.bytes in
+  List.map
+    (fun variant ->
+      let inst = Setup.make ~geom:scale.geom variant in
+      { f6_variant = variant; f6_result = Largefile.run inst params })
+    [ Setup.Old; Setup.New ]
+
+let print_figure6 ppf rows =
+  let old =
+    List.find (fun r -> r.f6_variant = Setup.Old) rows
+  in
+  let table_rows =
+    List.map
+      (fun r ->
+        let cells =
+          List.map2
+            (fun (ph : Largefile.phase) (base : Largefile.phase) ->
+              Printf.sprintf "%s (%s)"
+                (Report.f2 ph.Largefile.mb_per_sec)
+                (Report.pct ~baseline:base.Largefile.mb_per_sec
+                   ph.Largefile.mb_per_sec))
+            (Largefile.phases r.f6_result)
+            (Largefile.phases old.f6_result)
+        in
+        Setup.variant_label r.f6_variant :: cells)
+      rows
+  in
+  Report.table ppf
+    ~title:
+      "Figure 6: large-file throughput in MB/second (diff vs old; paper: \
+       write1 2.9%, others 0.2-0.7%)"
+    ~header:[ "variant"; "write1"; "read1"; "write2"; "read2"; "read3" ]
+    table_rows
+
+(* ------------------------------------------------------------------ *)
+(* L1                                                                  *)
+
+let aru_latency scale =
+  let _, lld = Setup.make_raw ~geom:scale.geom Setup.New in
+  let count =
+    max 1000
+      (int_of_float (float_of_int Aru_churn.paper.Aru_churn.count *. scale.arus))
+  in
+  Aru_churn.run lld { Aru_churn.count }
+
+let print_aru_latency ppf (r : Aru_churn.result) =
+  Report.table ppf
+    ~title:
+      "ARU latency (paper 5.3: 78.47 us/ARU, 24 segments for 500,000 ARUs)"
+    ~header:[ "ARUs"; "latency (us)"; "segments written"; "segments/100k ARUs" ]
+    [
+      [
+        string_of_int r.Aru_churn.count;
+        Report.f2 r.Aru_churn.latency_us;
+        string_of_int r.Aru_churn.segments_written;
+        Report.f1
+          (float_of_int r.Aru_churn.segments_written
+          /. float_of_int r.Aru_churn.count *. 100_000.);
+      ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* A1                                                                  *)
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let print_summary ppf rows =
+  let overheads sel variant =
+    List.filter_map
+      (fun r ->
+        if r.f5_variant <> variant then None
+        else begin
+          let p = r.f5_result.Smallfile.params in
+          let old = find_old rows p in
+          let v = (sel r.f5_result : Smallfile.phase).Smallfile.files_per_sec in
+          let b = (sel old.f5_result).Smallfile.files_per_sec in
+          Some ((b -. v) /. b *. 100.)
+        end)
+      rows
+  in
+  let create = overheads (fun r -> r.Smallfile.create_write) Setup.New in
+  let delete_improved = overheads (fun r -> r.Smallfile.delete) Setup.New_delete in
+  let avg = mean (create @ delete_improved) in
+  Report.table ppf
+    ~title:
+      "Summary (paper 5.4: average overhead about half-way between create \
+       4.0-7.2% and improved delete 17.9-20.5%)"
+    ~header:[ "metric"; "measured" ]
+    [
+      [ "create overhead (new vs old)";
+        Printf.sprintf "%.1f%% - %.1f%%"
+          (List.fold_left min infinity create)
+          (List.fold_left max neg_infinity create) ];
+      [ "delete overhead (new,delete vs old)";
+        Printf.sprintf "%.1f%% - %.1f%%"
+          (List.fold_left min infinity delete_improved)
+          (List.fold_left max neg_infinity delete_improved) ];
+      [ "average overhead"; Printf.sprintf "%.1f%%" avg ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* X1: visibility ablation                                             *)
+
+type visibility_row = {
+  x1_visibility : Config.visibility;
+  x1_result : Concurrent.result;
+}
+
+let visibility_ablation scale =
+  List.map
+    (fun visibility ->
+      let clock = Clock.create () in
+      let disk = Disk.create ~clock scale.geom in
+      let lld =
+        Lld.create ~config:{ Config.default with Config.visibility } disk
+      in
+      Lld.flush lld;
+      Clock.reset clock;
+      {
+        x1_visibility = visibility;
+        x1_result = Concurrent.run_interleaved lld Concurrent.default;
+      })
+    [ Config.Own_shadow; Config.Committed_only; Config.Any_shadow ]
+
+let print_visibility ppf rows =
+  let vis_label = function
+    | Config.Own_shadow -> "own-shadow (option 3, paper)"
+    | Config.Committed_only -> "committed-only (option 2)"
+    | Config.Any_shadow -> "any-shadow (option 1)"
+  in
+  Report.table ppf
+    ~title:
+      "Ablation X1: read-visibility options (paper 3.3) on the interleaved \
+       raw-LD workload (the Minix client itself requires option 3)"
+    ~header:[ "visibility"; "ops"; "us/op"; "record creates"; "mesh hops" ]
+    (List.map
+       (fun r ->
+         [
+           vis_label r.x1_visibility;
+           string_of_int r.x1_result.Concurrent.ops;
+           Report.f2 r.x1_result.Concurrent.us_per_op;
+           string_of_int r.x1_result.Concurrent.record_creates;
+           string_of_int r.x1_result.Concurrent.mesh_hops;
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* X2: deletion-policy ablation                                        *)
+
+let print_delete_ablation ppf rows =
+  let table_rows =
+    List.filter_map
+      (fun r ->
+        match r.f5_variant with
+        | Setup.Old -> None
+        | Setup.New | Setup.New_delete ->
+          let d = r.f5_result.Smallfile.delete in
+          Some
+            [
+              size_label r.f5_result.Smallfile.params;
+              Setup.variant_label r.f5_variant;
+              string_of_int d.Smallfile.pred_search_hops;
+              Report.f1
+                (float_of_int d.Smallfile.pred_search_hops
+                /. float_of_int d.Smallfile.files);
+            ])
+      rows
+  in
+  Report.table ppf
+    ~title:
+      "Ablation X2: predecessor-search cost of the deletion policies (paper \
+       5.3: longer lists -> longer searches; improved deletion avoids them)"
+    ~header:[ "workload"; "variant"; "pred-search hops"; "hops/file" ]
+    table_rows
+
+(* ------------------------------------------------------------------ *)
+(* X3: recovery cost                                                   *)
+
+type recovery_row = {
+  x3_files_written : int;
+  x3_crash_after_segments : int;
+  x3_recovery_ns : int;
+  x3_report : Recovery.report;
+}
+
+let recovery_cost scale =
+  let params =
+    Smallfile.scaled
+      { Smallfile.paper_1k with Smallfile.file_count = 2_000 }
+      scale.files
+  in
+  List.map
+    (fun checkpointed ->
+      let inst = Setup.make ~geom:scale.geom Setup.New in
+      let fs = inst.Setup.fs in
+      let body = Bytes.make 1024 'x' in
+      for i = 0 to params.Smallfile.file_count - 1 do
+        let path = Printf.sprintf "/f%06d" i in
+        Fs.create fs path;
+        Fs.write_file fs path ~off:0 body
+      done;
+      Fs.flush fs;
+      if checkpointed then Lld.checkpoint inst.Setup.lld;
+      let segments =
+        (Lld.counters inst.Setup.lld).Counters.segments_written
+      in
+      Fault.schedule_crash (Disk.fault inst.Setup.disk) (Fault.After_writes 0);
+      (try Disk.write inst.Setup.disk ~offset:0 (Bytes.make 1 'x')
+       with Fault.Crashed -> ());
+      let t0 = Clock.now_ns inst.Setup.clock in
+      let _lld, report = Lld.recover inst.Setup.disk in
+      {
+        x3_files_written = params.Smallfile.file_count;
+        x3_crash_after_segments = segments;
+        x3_recovery_ns = Clock.now_ns inst.Setup.clock - t0;
+        x3_report = report;
+      })
+    [ false; true ]
+
+let print_recovery ppf rows =
+  Report.table ppf
+    ~title:
+      "X3: recovery cost (checkpoints bound replay; the consistency sweep \
+       adds 'very little overhead', paper 3.3)"
+    ~header:
+      [
+        "files"; "segments"; "checkpointed"; "recovery (s)"; "replayed";
+        "ARUs committed"; "scavenged";
+      ]
+    (List.mapi
+       (fun i r ->
+         [
+           string_of_int r.x3_files_written;
+           string_of_int r.x3_crash_after_segments;
+           (if i = 0 then "no" else "yes");
+           Report.f2 (float_of_int r.x3_recovery_ns /. 1e9);
+           string_of_int r.x3_report.Recovery.segments_replayed;
+           string_of_int r.x3_report.Recovery.arus_committed;
+           string_of_int r.x3_report.Recovery.blocks_scavenged;
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* X4: concurrency                                                     *)
+
+type concurrency_result = {
+  x4_interleaved : Concurrent.result;
+  x4_serial : Concurrent.result;
+}
+
+let concurrency scale =
+  let params = Concurrent.default in
+  let run f =
+    let _, lld = Setup.make_raw ~geom:scale.geom Setup.New in
+    f lld params
+  in
+  {
+    x4_interleaved = run Concurrent.run_interleaved;
+    x4_serial = run Concurrent.run_serial;
+  }
+
+let print_concurrency ppf r =
+  let row label (c : Concurrent.result) =
+    [
+      label;
+      string_of_int c.Concurrent.ops;
+      Report.f2 c.Concurrent.us_per_op;
+      string_of_int c.Concurrent.record_creates;
+      string_of_int c.Concurrent.mesh_hops;
+    ]
+  in
+  Report.table ppf
+    ~title:
+      "X4: concurrent ARU streams, interleaved vs serial (same operations; \
+       isolation machinery cost)"
+    ~header:[ "schedule"; "ops"; "us/op"; "record creates"; "mesh hops" ]
+    [
+      row "interleaved" r.x4_interleaved;
+      row "serial" r.x4_serial;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* X5: mixed workload                                                  *)
+
+type mixed_row = {
+  x5_variant : Setup.variant;
+  x5_result : Mixed.result;
+}
+
+let mixed_workload scale =
+  let params =
+    {
+      Mixed.default with
+      Mixed.dirs = max 4 (int_of_float (20. *. sqrt scale.files));
+      files_per_dir = max 5 (int_of_float (25. *. sqrt scale.files));
+    }
+  in
+  List.map
+    (fun variant ->
+      let inst = Setup.make ~geom:scale.geom variant in
+      { x5_variant = variant; x5_result = Mixed.run inst params })
+    Setup.all_variants
+
+let print_mixed ppf rows =
+  let old = List.find (fun r -> r.x5_variant = Setup.Old) rows in
+  let phase_of r label =
+    List.find (fun (p : Mixed.phase) -> p.Mixed.label = label) r.x5_result.Mixed.phases
+  in
+  let labels =
+    List.map (fun (p : Mixed.phase) -> p.Mixed.label) old.x5_result.Mixed.phases
+  in
+  Report.table ppf
+    ~title:"X5: Andrew-style mixed workload, operations/second (diff vs old)"
+    ~header:("variant" :: labels)
+    (List.map
+       (fun r ->
+         Setup.variant_label r.x5_variant
+         :: List.map
+              (fun label ->
+                let p = phase_of r label in
+                let base = (phase_of old label).Mixed.ops_per_sec in
+                Printf.sprintf "%s (%s)"
+                  (Report.f1 p.Mixed.ops_per_sec)
+                  (Report.pct ~baseline:base p.Mixed.ops_per_sec))
+              labels)
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* W0: bandwidth context                                               *)
+
+type bandwidth_row = {
+  w0_label : string;
+  w0_mb_per_sec : float;
+  w0_fraction_of_raw : float;
+}
+
+let bandwidth_context scale =
+  let geom = scale.geom in
+  let mbytes =
+    max 4 (int_of_float (78.125 *. scale.bytes))
+  in
+  let total = mbytes * 1024 * 1024 in
+  let chunk = 64 * 1024 in
+  let body = Bytes.make chunk 'w' in
+  let mbps elapsed_ns =
+    float_of_int total /. (1024. *. 1024.) /. (float_of_int elapsed_ns /. 1e9)
+  in
+  (* 100 % reference: back-to-back segment-sized writes on the raw
+     device *)
+  let raw =
+    let clock = Clock.create () in
+    let disk = Disk.create ~clock geom in
+    let seg = geom.Lld_disk.Geometry.segment_bytes in
+    let image = Bytes.make seg 'r' in
+    let n = (total + seg - 1) / seg in
+    for i = 0 to n - 1 do
+      Disk.write disk ~offset:(i mod geom.Lld_disk.Geometry.num_segments * seg) image
+    done;
+    float_of_int (n * seg) /. (1024. *. 1024.)
+    /. (float_of_int (Clock.now_ns clock) /. 1e9)
+  in
+  let via_lld variant =
+    let inst = Setup.make ~geom ~inode_count:1024 variant in
+    Fs.create inst.Setup.fs "/big";
+    Clock.reset inst.Setup.clock;
+    let off = ref 0 in
+    while !off < total do
+      Fs.write_file inst.Setup.fs "/big" ~off:!off body;
+      off := !off + chunk
+    done;
+    Fs.flush inst.Setup.fs;
+    mbps (Clock.now_ns inst.Setup.clock)
+  in
+  let via_classic () =
+    let clock = Clock.create () in
+    let disk = Disk.create ~clock geom in
+    let fs = Lld_minixdisk.Classic.mkfs disk in
+    Lld_minixdisk.Classic.create fs "big";
+    Clock.reset clock;
+    let off = ref 0 in
+    while !off < total do
+      Lld_minixdisk.Classic.write_file fs "big" ~off:!off body;
+      off := !off + chunk
+    done;
+    Lld_minixdisk.Classic.flush fs;
+    mbps (Clock.now_ns clock)
+  in
+  let row label mb = { w0_label = label; w0_mb_per_sec = mb; w0_fraction_of_raw = mb /. raw } in
+  [
+    row "raw device (reference)" raw;
+    row "MinixLLD (new)" (via_lld Setup.New);
+    row "MinixLLD (old)" (via_lld Setup.Old);
+    row "classic Minix (in-place, sync meta)" (via_classic ());
+  ]
+
+let print_bandwidth ppf rows =
+  Report.table ppf
+    ~title:
+      "W0: sequential-write bandwidth context (paper 2: MinixLLD ~85% of \
+       bandwidth vs ~13% for Minix by itself)"
+    ~header:[ "substrate"; "MB/s"; "% of raw" ]
+    (List.map
+       (fun r ->
+         [
+           r.w0_label;
+           Report.f2 r.w0_mb_per_sec;
+           Printf.sprintf "%.0f%%" (r.w0_fraction_of_raw *. 100.);
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* X6: two Logical Disk implementations under one file system          *)
+
+module Minix_on_jld = Lld_minixfs.Fs_generic.Make (Lld_jld.Jld)
+
+type impl_row = { x6_impl : string; x6_phases : (string * float) list }
+
+(* The file-system operations each substrate exposes, as closures so one
+   driver measures both. *)
+type fsops = {
+  fo_create : string -> unit;
+  fo_write : string -> off:int -> bytes -> unit;
+  fo_read : string -> off:int -> len:int -> bytes;
+  fo_unlink : string -> unit;
+  fo_flush : unit -> unit;
+  fo_clock : Clock.t;
+}
+
+let implementation_driver scale ops =
+  let files = max 20 (int_of_float (2000. *. scale.files)) in
+  let body = Bytes.make 1024 'x' in
+  let phase label f =
+    let t0 = Clock.now_ns ops.fo_clock in
+    let n = f () in
+    ( label,
+      float_of_int n /. (float_of_int (Clock.now_ns ops.fo_clock - t0) /. 1e9) )
+  in
+  let small_cw =
+    phase "create+write (f/s)" (fun () ->
+        for i = 0 to files - 1 do
+          let p = Printf.sprintf "/f%06d" i in
+          ops.fo_create p;
+          ops.fo_write p ~off:0 body
+        done;
+        ops.fo_flush ();
+        files)
+  in
+  let small_r =
+    phase "read (f/s)" (fun () ->
+        for i = 0 to files - 1 do
+          ignore (ops.fo_read (Printf.sprintf "/f%06d" i) ~off:0 ~len:1024)
+        done;
+        files)
+  in
+  let small_d =
+    phase "delete (f/s)" (fun () ->
+        for i = 0 to files - 1 do
+          ops.fo_unlink (Printf.sprintf "/f%06d" i)
+        done;
+        ops.fo_flush ();
+        files)
+  in
+  (* one large file: sequential write, random rewrite, sequential read *)
+  let large_mb = max 2 (int_of_float (16. *. scale.bytes /. 0.05 *. 0.05)) in
+  let total = large_mb * 1024 * 1024 in
+  let chunk = Bytes.make 65536 'y' in
+  ops.fo_create "/big";
+  let mbs label f =
+    let t0 = Clock.now_ns ops.fo_clock in
+    f ();
+    ( label,
+      float_of_int total /. (1024. *. 1024.)
+      /. (float_of_int (Clock.now_ns ops.fo_clock - t0) /. 1e9) )
+  in
+  let w1 =
+    mbs "seq write (MB/s)" (fun () ->
+        let off = ref 0 in
+        while !off < total do
+          ops.fo_write "/big" ~off:!off chunk;
+          off := !off + 65536
+        done;
+        ops.fo_flush ())
+  in
+  let rng = Lld_sim.Rng.create ~seed:3 in
+  let order = Array.init (total / 4096) Fun.id in
+  Lld_sim.Rng.shuffle rng order;
+  let blockb = Bytes.make 4096 'z' in
+  let w2 =
+    mbs "random write (MB/s)" (fun () ->
+        Array.iter (fun i -> ops.fo_write "/big" ~off:(i * 4096) blockb) order;
+        ops.fo_flush ())
+  in
+  let r3 =
+    mbs "seq read after random write (MB/s)" (fun () ->
+        let off = ref 0 in
+        while !off < total do
+          ignore (ops.fo_read "/big" ~off:!off ~len:65536);
+          off := !off + 65536
+        done)
+  in
+  [ small_cw; small_r; small_d; w1; w2; r3 ]
+
+let implementation_comparison scale =
+  let lld_ops =
+    let inst = Setup.make ~geom:scale.geom Setup.New in
+    {
+      fo_create = Fs.create inst.Setup.fs;
+      fo_write = Fs.write_file inst.Setup.fs;
+      fo_read = Fs.read_file inst.Setup.fs;
+      fo_unlink = Fs.unlink inst.Setup.fs;
+      fo_flush = (fun () -> Fs.flush inst.Setup.fs);
+      fo_clock = inst.Setup.clock;
+    }
+  in
+  let jld_ops =
+    let module F = Minix_on_jld.Fs_impl in
+    let clock = Clock.create () in
+    let disk = Disk.create ~clock scale.geom in
+    let jld = Lld_jld.Jld.create disk in
+    let fs = F.mkfs jld in
+    Clock.reset clock;
+    {
+      fo_create = F.create fs;
+      fo_write = F.write_file fs;
+      fo_read = F.read_file fs;
+      fo_unlink = F.unlink fs;
+      fo_flush = (fun () -> F.flush fs);
+      fo_clock = clock;
+    }
+  in
+  [
+    { x6_impl = "LLD (log-structured)"; x6_phases = implementation_driver scale lld_ops };
+    { x6_impl = "JLD (in-place + journal)"; x6_phases = implementation_driver scale jld_ops };
+  ]
+
+let print_implementations ppf rows =
+  match rows with
+  | [] -> ()
+  | first :: _ ->
+    let labels = List.map fst first.x6_phases in
+    Report.table ppf
+      ~title:
+        "X6: the same Minix file system on two LD implementations (paper \
+         5.4: alternatives need a meta-data update log; layout drives the \
+         trade-offs)"
+      ~header:("implementation" :: labels)
+      (List.map
+         (fun r ->
+           r.x6_impl
+           :: List.map (fun (_, v) -> Report.f1 v) r.x6_phases)
+         rows)
+
+(* ------------------------------------------------------------------ *)
+
+let run_all ppf scale =
+  Format.fprintf ppf
+    "=== Atomic Recovery Units reproduction: %s scale ===@."
+    (if scale.files >= 1.0 then "full (paper)" else "reduced");
+  let f5 = figure5 scale in
+  print_figure5 ppf f5;
+  let f6 = figure6 scale in
+  print_figure6 ppf f6;
+  print_aru_latency ppf (aru_latency scale);
+  print_summary ppf f5;
+  print_visibility ppf (visibility_ablation scale);
+  print_delete_ablation ppf f5;
+  print_recovery ppf (recovery_cost scale);
+  print_concurrency ppf (concurrency scale);
+  print_mixed ppf (mixed_workload scale);
+  print_implementations ppf (implementation_comparison scale);
+  print_bandwidth ppf (bandwidth_context scale);
+  Format.fprintf ppf "@."

@@ -1,0 +1,152 @@
+(** The per-experiment reproduction index (DESIGN.md §4).
+
+    Each [figure*]/[table*] function runs the corresponding paper
+    experiment on the simulated testbed and returns structured results;
+    each [print_*] renders them the way the paper reports them
+    (throughput bars of Figures 5 and 6 become throughput tables with
+    percent differences against the "old" baseline).
+
+    A {!scale} shrinks the workloads for quick runs; {!full} reproduces
+    the paper's exact parameters. *)
+
+type scale = {
+  files : float;  (** multiplier on small-file counts *)
+  bytes : float;  (** multiplier on the large-file size *)
+  arus : float;  (** multiplier on the ARU-latency count *)
+  geom : Lld_disk.Geometry.t;  (** partition used for the runs *)
+}
+
+val full : scale
+(** The paper's parameters on the paper's 400 MB partition. *)
+
+val quick : scale
+(** ~5 % sized workloads on a 100 MB partition — seconds, not minutes. *)
+
+(** {1 F5 — Figure 5: small-file throughput} *)
+
+type fig5_row = {
+  f5_variant : Lld_workload.Setup.variant;
+  f5_result : Lld_workload.Smallfile.result;
+}
+
+val figure5 : scale -> fig5_row list
+(** Three variants × two file sizes (10,000 × 1 KB, 1,000 × 10 KB). *)
+
+val print_figure5 : Format.formatter -> fig5_row list -> unit
+
+(** {1 F6 — Figure 6: large-file throughput} *)
+
+type fig6_row = {
+  f6_variant : Lld_workload.Setup.variant;
+  f6_result : Lld_workload.Largefile.result;
+}
+
+val figure6 : scale -> fig6_row list
+(** Variants old and new. *)
+
+val print_figure6 : Format.formatter -> fig6_row list -> unit
+
+(** {1 L1 — §5.3 ARU latency} *)
+
+val aru_latency : scale -> Lld_workload.Aru_churn.result
+val print_aru_latency : Format.formatter -> Lld_workload.Aru_churn.result -> unit
+
+(** {1 A1 — §5.4 average-overhead summary} *)
+
+val print_summary : Format.formatter -> fig5_row list -> unit
+(** The paper's closing claim: average concurrent-ARU overhead roughly
+    half-way between the create and delete overheads. *)
+
+(** {1 X1 — ablation: read-visibility options}
+
+    Runs the raw-LD concurrency workload under each of the paper's
+    three read-visibility options (§3.3).  The Minix client itself
+    requires option 3 — inside an ARU it must see its own meta-data
+    writes — which is itself a finding: the weaker options restrict
+    which clients can bracket multi-step updates. *)
+
+type visibility_row = {
+  x1_visibility : Lld_core.Config.visibility;
+  x1_result : Lld_workload.Concurrent.result;
+}
+
+val visibility_ablation : scale -> visibility_row list
+val print_visibility : Format.formatter -> visibility_row list -> unit
+
+(** {1 X2 — ablation: deletion policy predecessor searches} *)
+
+val print_delete_ablation : Format.formatter -> fig5_row list -> unit
+(** Derived from the F5 runs: predecessor-search hops per deleted file. *)
+
+(** {1 X3 — recovery cost} *)
+
+type recovery_row = {
+  x3_files_written : int;
+  x3_crash_after_segments : int;
+  x3_recovery_ns : int;
+  x3_report : Lld_core.Recovery.report;
+}
+
+val recovery_cost : scale -> recovery_row list
+val print_recovery : Format.formatter -> recovery_row list -> unit
+
+(** {1 X4 — concurrency: interleaved vs serial ARU streams} *)
+
+type concurrency_result = {
+  x4_interleaved : Lld_workload.Concurrent.result;
+  x4_serial : Lld_workload.Concurrent.result;
+}
+
+val concurrency : scale -> concurrency_result
+val print_concurrency : Format.formatter -> concurrency_result -> unit
+
+(** {1 X5 — Andrew-style mixed workload}
+
+    The general file-system benchmark complementing the
+    micro-benchmarks, run on all three variants. *)
+
+type mixed_row = {
+  x5_variant : Lld_workload.Setup.variant;
+  x5_result : Lld_workload.Mixed.result;
+}
+
+val mixed_workload : scale -> mixed_row list
+val print_mixed : Format.formatter -> mixed_row list -> unit
+
+(** {1 W0 — §2 bandwidth context: MinixLLD vs the conventional Minix}
+
+    The paper's background quotes the original Logical Disk result:
+    MinixLLD utilises ~85 % of the disk's write bandwidth where the
+    Minix file system by itself reaches ~13 %.  This experiment writes
+    one large file sequentially through three substrates — the raw
+    device (the 100 % reference), MinixLLD, and the update-in-place
+    classic Minix of {!Lld_minixdisk.Classic} — and reports each as a
+    fraction of raw. *)
+
+type bandwidth_row = {
+  w0_label : string;
+  w0_mb_per_sec : float;
+  w0_fraction_of_raw : float;
+}
+
+val bandwidth_context : scale -> bandwidth_row list
+val print_bandwidth : Format.formatter -> bandwidth_row list -> unit
+
+(** {1 X6 — LLD vs JLD: two Logical Disk implementations}
+
+    The paper's §5.4 closes by predicting that other LD implementations
+    need "at least a meta-data update log" to support ARUs with similar
+    performance.  [lib/jld] is such an implementation (update-in-place +
+    write-ahead journal); this experiment runs the Minix file system —
+    unchanged, via the {!Lld_minixfs.Fs_generic} functor — on both and
+    compares the evaluation's workload phases. *)
+
+type impl_row = { x6_impl : string; x6_phases : (string * float) list }
+
+val implementation_comparison : scale -> impl_row list
+val print_implementations : Format.formatter -> impl_row list -> unit
+
+(** {1 Everything} *)
+
+val run_all : Format.formatter -> scale -> unit
+(** Run and print every experiment above, in order. *)

@@ -1,0 +1,28 @@
+let widths header rows =
+  let n = List.length header in
+  let w = Array.make n 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> if i < n then w.(i) <- max w.(i) (String.length cell)) row)
+    (header :: rows);
+  w
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let table ppf ~title ~header rows =
+  let w = widths header rows in
+  let total = Array.fold_left ( + ) 0 w + (2 * (Array.length w - 1)) in
+  Format.fprintf ppf "@.%s@.%s@." title (String.make (max total (String.length title)) '-');
+  let print_row row =
+    let cells = List.mapi (fun i cell -> pad w.(i) cell) row in
+    Format.fprintf ppf "%s@." (String.concat "  " cells)
+  in
+  print_row header;
+  List.iter print_row rows
+
+let pct ~baseline v =
+  if baseline = 0. then "n/a"
+  else Printf.sprintf "%+.1f%%" ((baseline -. v) /. baseline *. 100.)
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v

@@ -1,0 +1,19 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+val table :
+  Format.formatter ->
+  title:string ->
+  header:string list ->
+  string list list ->
+  unit
+(** Render an aligned table with a title rule. *)
+
+val pct : baseline:float -> float -> string
+(** Percent difference of a throughput against the baseline, signed:
+    ["+7.2%"] means 7.2 % slower than the baseline. *)
+
+val f1 : float -> string
+(** One decimal. *)
+
+val f2 : float -> string
+(** Two decimals. *)

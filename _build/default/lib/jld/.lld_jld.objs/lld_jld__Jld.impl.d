@@ -1,0 +1,1 @@
+lib/jld/jld.ml: Bytes Fun Hashtbl Int Int64 List Lld_core Lld_disk Lld_sim Lld_util Option

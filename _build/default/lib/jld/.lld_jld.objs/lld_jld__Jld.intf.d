@@ -1,0 +1,1 @@
+lib/jld/jld.mli: Lld_core Lld_disk Lld_sim

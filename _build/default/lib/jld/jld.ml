@@ -1,0 +1,1136 @@
+module Codec = Lld_util.Bytes_codec
+module Lru = Lld_util.Lru
+module Clock = Lld_sim.Clock
+module Cost = Lld_sim.Cost
+module Geometry = Lld_disk.Geometry
+module Disk = Lld_disk.Disk
+module Types = Lld_core.Types
+module Errors = Lld_core.Errors
+module Summary = Lld_core.Summary
+module Record = Lld_core.Record
+module Splice = Lld_core.Splice
+module Link_log = Lld_core.Link_log
+module Aru = Lld_core.Aru
+module Block_map = Lld_core.Block_map
+module List_table = Lld_core.List_table
+module Counters = Lld_core.Counters
+
+type config = {
+  cost : Cost.t;
+  cache_blocks : int;
+  buffer_blocks : int;
+  journal_fraction : float;
+  dirty_limit_blocks : int;
+}
+
+let default_config =
+  {
+    cost = Cost.sparc5_70;
+    cache_blocks = 2048;
+    buffer_blocks = 64;
+    journal_fraction = 0.25;
+    dirty_limit_blocks = 2048;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* On-disk layout (all units are blocks)                               *)
+
+type layout = {
+  journal_first : int;
+  journal_blocks : int;
+  table_blocks : int; (* per region *)
+  table_a_first : int;
+  table_b_first : int;
+  data_first : int;
+  capacity : int;
+}
+
+let sb_magic = 0x4a4c4421 (* "JLD!" *)
+
+let layout_of ~total_blocks ~journal_fraction =
+  let journal_blocks = max 16 (int_of_float (float_of_int total_blocks *. journal_fraction)) in
+  (* worst-case table payload, as in Disk_layout: 31 B per block entry,
+     22 B per list entry, plus chunk header slack *)
+  let bb = 4096 in
+  let cap_bound = total_blocks in
+  let table_blocks = ((cap_bound * (31 + 22)) + 4096 + bb - 1) / bb in
+  let journal_first = 1 in
+  let table_a_first = journal_first + journal_blocks in
+  let table_b_first = table_a_first + table_blocks in
+  let data_first = table_b_first + table_blocks in
+  let capacity = total_blocks - data_first in
+  if capacity < 16 then invalid_arg "Jld: partition too small";
+  {
+    journal_first;
+    journal_blocks;
+    table_blocks;
+    table_a_first;
+    table_b_first;
+    data_first;
+    capacity;
+  }
+
+let encode_superblock bb l =
+  let b = Bytes.make bb '\000' in
+  Codec.set_u32 b 0 sb_magic;
+  Codec.set_u32 b 4 1 (* version *);
+  Codec.set_u32 b 8 l.journal_first;
+  Codec.set_u32 b 12 l.journal_blocks;
+  Codec.set_u32 b 16 l.table_blocks;
+  Codec.set_u32 b 20 l.table_a_first;
+  Codec.set_u32 b 24 l.table_b_first;
+  Codec.set_u32 b 28 l.data_first;
+  Codec.set_u32 b 32 l.capacity;
+  b
+
+let decode_superblock b =
+  if Codec.get_u32 b 0 <> sb_magic then
+    raise (Errors.Corrupt "no JLD superblock");
+  {
+    journal_first = Codec.get_u32 b 8;
+    journal_blocks = Codec.get_u32 b 12;
+    table_blocks = Codec.get_u32 b 16;
+    table_a_first = Codec.get_u32 b 20;
+    table_b_first = Codec.get_u32 b 24;
+    data_first = Codec.get_u32 b 28;
+    capacity = Codec.get_u32 b 32;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  config : config;
+  disk : Disk.t;
+  geom : Geometry.t;
+  clock : Clock.t;
+  layout : layout;
+  blocks : Block_map.t; (* the anchors ARE the committed state *)
+  lists : List_table.t;
+  arus : (int, Aru.t) Hashtbl.t;
+  mutable next_aru : int;
+  mutable stamp : int;
+  (* journal *)
+  mutable epoch : int;
+  mutable jptr : int; (* blocks used within the journal region *)
+  mutable jseq : int; (* next chunk sequence number *)
+  mutable pend : (Summary.t * bytes option) list; (* reversed *)
+  mutable pend_entries : int;
+  mutable pend_entry_bytes : int;
+  mutable pend_data : int;
+  (* committed data not yet written home *)
+  dirty : (int, bytes) Hashtbl.t;
+  cache : bytes Lru.t;
+  counters : Counters.t;
+  mutable in_commit : bool;
+}
+
+let clock t = t.clock
+let cost_model t = t.config.cost
+let counters t = t.counters
+let capacity t = t.layout.capacity
+let allocated_blocks t = Block_map.allocated_count t.blocks
+let block_bytes t = t.geom.Geometry.block_bytes
+
+let cpu t ns = Clock.charge t.clock Clock.Cpu ns
+
+let next_stamp t =
+  t.stamp <- t.stamp + 1;
+  t.stamp
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+
+let chunk_header_bytes = 36 (* magic, epoch, seq, entry_count, entries_len, data_count *)
+let chunk_trailer_bytes = 8
+
+let pend_chunk_blocks t =
+  let bb = block_bytes t in
+  let bytes =
+    chunk_header_bytes + t.pend_entry_bytes + (t.pend_data * bb)
+    + chunk_trailer_bytes
+  in
+  (bytes + bb - 1) / bb
+
+(* A reserve so that one full buffer can always be flushed before a
+   checkpoint frees the journal. *)
+let journal_reserve t = t.config.buffer_blocks + 4
+
+let journal_remaining t = t.layout.journal_blocks - t.jptr
+
+let flush_chunk t =
+  if t.pend_entries > 0 then begin
+    let bb = block_bytes t in
+    let entries = List.rev t.pend in
+    let w = Codec.Writer.create ~capacity:(t.pend_entry_bytes + 64) () in
+    List.iter (fun (e, _) -> Summary.encode w e) entries;
+    let encoded = Codec.Writer.contents w in
+    let blocks = pend_chunk_blocks t in
+    if blocks > journal_remaining t then
+      (* the reserve invariant should make this impossible *)
+      raise Errors.Disk_full;
+    let image = Bytes.make (blocks * bb) '\000' in
+    Codec.set_u32 image 0 0x4a43484b (* "JCHK" *);
+    Codec.set_u32 image 4 (t.epoch land 0xffffffff);
+    Codec.set_u32 image 8 (t.epoch lsr 32);
+    Codec.set_u32 image 12 (t.jseq land 0xffffffff);
+    Codec.set_u32 image 16 (t.jseq lsr 32);
+    Codec.set_u32 image 20 t.pend_entries;
+    Codec.set_u32 image 24 (Bytes.length encoded);
+    Codec.set_u32 image 28 t.pend_data;
+    Bytes.blit encoded 0 image chunk_header_bytes (Bytes.length encoded);
+    let data_off = chunk_header_bytes + Bytes.length encoded in
+    let idx = ref 0 in
+    List.iter
+      (fun (_, payload) ->
+        match payload with
+        | Some d ->
+          Bytes.blit d 0 image (data_off + (!idx * bb)) bb;
+          incr idx
+        | None -> ())
+      entries;
+    let sum_off = Bytes.length image - chunk_trailer_bytes in
+    let sum = Codec.hash64 ~pos:0 ~len:sum_off image in
+    Codec.set_u32 image sum_off (Int64.to_int (Int64.logand sum 0xffffffffL));
+    Codec.set_u32 image (sum_off + 4)
+      (Int64.to_int (Int64.logand (Int64.shift_right_logical sum 32) 0xffffffffL));
+    Disk.write t.disk
+      ~offset:((t.layout.journal_first + t.jptr) * bb)
+      image;
+    t.jptr <- t.jptr + blocks;
+    t.jseq <- t.jseq + 1;
+    t.counters.Counters.segments_written <-
+      t.counters.Counters.segments_written + 1;
+    t.pend <- [];
+    t.pend_entries <- 0;
+    t.pend_entry_bytes <- 0;
+    t.pend_data <- 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Tables                                                              *)
+
+let table_magic = 0x4a544142 (* "JTAB" *)
+
+let write_tables t =
+  let bb = block_bytes t in
+  let blocks = ref [] in
+  Block_map.iter t.blocks (fun r ->
+      if r.Record.alloc then
+        blocks :=
+          {
+            Lld_core.Checkpoint.b_id = Types.Block_id.to_int r.Record.id;
+            b_member = Option.map Types.List_id.to_int r.Record.member_of;
+            b_succ = Option.map Types.Block_id.to_int r.Record.successor;
+            b_phys = None;
+            b_stamp = r.Record.stamp;
+          }
+          :: !blocks);
+  let lists = ref [] in
+  List_table.iter t.lists (fun r ->
+      if r.Record.exists then
+        lists :=
+          {
+            Lld_core.Checkpoint.l_id = Types.List_id.to_int r.Record.lid;
+            l_first = Option.map Types.Block_id.to_int r.Record.first;
+            l_last = Option.map Types.Block_id.to_int r.Record.last;
+            l_stamp = r.Record.lstamp;
+            l_owner =
+              (match r.Record.l_owner with
+              | Some o when Hashtbl.mem t.arus (Types.Aru_id.to_int o) ->
+                Some (Types.Aru_id.to_int o)
+              | Some _ | None -> None);
+          }
+          :: !lists);
+  let snap =
+    {
+      Lld_core.Checkpoint.ckpt_id = t.epoch + 1;
+      covered_seq = 0;
+      next_seq = 1;
+      stamp = t.stamp;
+      next_aru = t.next_aru;
+      blocks = List.rev !blocks;
+      lists = List.rev !lists;
+      pending = [];
+      free_order = [];
+    }
+  in
+  let payload = Lld_core.Checkpoint.encode snap in
+  let header = 16 in
+  let total = header + Bytes.length payload + 8 in
+  let region_bytes = t.layout.table_blocks * bb in
+  if total > region_bytes then raise Errors.Disk_full;
+  let image = Bytes.make ((total + bb - 1) / bb * bb) '\000' in
+  Codec.set_u32 image 0 table_magic;
+  Codec.set_u32 image 4 ((t.epoch + 1) land 0xffffffff);
+  Codec.set_u32 image 8 ((t.epoch + 1) lsr 32);
+  Codec.set_u32 image 12 (Bytes.length payload);
+  Bytes.blit payload 0 image header (Bytes.length payload);
+  let sum_off = header + Bytes.length payload in
+  let sum = Codec.hash64 ~pos:0 ~len:sum_off image in
+  Codec.set_u32 image sum_off (Int64.to_int (Int64.logand sum 0xffffffffL));
+  Codec.set_u32 image (sum_off + 4)
+    (Int64.to_int (Int64.logand (Int64.shift_right_logical sum 32) 0xffffffffL));
+  let region =
+    if (t.epoch + 1) mod 2 = 0 then t.layout.table_a_first
+    else t.layout.table_b_first
+  in
+  Disk.write t.disk ~offset:(region * bb) image
+
+let read_tables disk bb layout region =
+  let head = Disk.read disk ~offset:(region * bb) ~length:bb in
+  if Codec.get_u32 head 0 <> table_magic then None
+  else begin
+    let epoch = Codec.get_u32 head 4 lor (Codec.get_u32 head 8 lsl 32) in
+    let len = Codec.get_u32 head 12 in
+    let total = 16 + len + 8 in
+    if total > layout.table_blocks * bb then None
+    else begin
+      let image = Disk.read disk ~offset:(region * bb) ~length:total in
+      let sum_off = 16 + len in
+      let stored =
+        Int64.logor
+          (Int64.of_int (Codec.get_u32 image sum_off))
+          (Int64.shift_left (Int64.of_int (Codec.get_u32 image (sum_off + 4))) 32)
+      in
+      if not (Int64.equal stored (Codec.hash64 ~pos:0 ~len:sum_off image)) then
+        None
+      else
+        match Lld_core.Checkpoint.decode (Bytes.sub image 16 len) with
+        | snap -> Some (epoch, snap)
+        | exception Errors.Corrupt _ -> None
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint: flush, write home, persist tables, restart journal      *)
+
+let apply_home t =
+  let bb = block_bytes t in
+  let dirty = Hashtbl.fold (fun b d acc -> (b, d) :: acc) t.dirty [] in
+  List.iter
+    (fun (b, d) ->
+      Disk.write t.disk ~offset:((t.layout.data_first + b) * bb) d;
+      Lru.add t.cache b (Bytes.copy d))
+    (List.sort (fun (a, _) (b, _) -> Int.compare a b) dirty);
+  Hashtbl.reset t.dirty
+
+let checkpoint t =
+  if t.in_commit then
+    raise (Errors.Corrupt "Jld.checkpoint: called during a commit");
+  flush_chunk t;
+  apply_home t;
+  write_tables t;
+  t.epoch <- t.epoch + 1;
+  t.jptr <- 0;
+  t.jseq <- 1;
+  t.counters.Counters.checkpoints <- t.counters.Counters.checkpoints + 1
+
+(* Ensure room for [blocks] more journal blocks (checkpointing if
+   needed, which is forbidden mid-commit — end_aru reserves ahead). *)
+let ensure_journal_room t blocks =
+  if journal_remaining t - journal_reserve t < blocks then begin
+    if t.in_commit then raise Errors.Disk_full;
+    checkpoint t
+  end
+
+let append t ?payload entry =
+  let c = t.config.cost in
+  t.pend <- (entry, payload) :: t.pend;
+  t.pend_entries <- t.pend_entries + 1;
+  t.pend_entry_bytes <- t.pend_entry_bytes + Summary.encoded_size entry;
+  (match payload with
+  | Some _ ->
+    t.pend_data <- t.pend_data + 1;
+    cpu t c.Cost.block_copy_ns
+  | None -> ());
+  t.counters.Counters.summary_entries <- t.counters.Counters.summary_entries + 1;
+  cpu t c.Cost.summary_entry_ns;
+  if t.pend_data >= t.config.buffer_blocks then begin
+    ensure_journal_room t (pend_chunk_blocks t);
+    flush_chunk t
+  end
+
+let flush t =
+  t.counters.Counters.flushes <- t.counters.Counters.flushes + 1;
+  ensure_journal_room t (pend_chunk_blocks t);
+  flush_chunk t
+
+(* ------------------------------------------------------------------ *)
+(* Views: anchors are the committed state; shadows hang off them       *)
+
+let owner_active t o = Hashtbl.mem t.arus (Types.Aru_id.to_int o)
+
+let resolve_who t = function
+  | None -> `Simple
+  | Some aid -> (
+    match Hashtbl.find_opt t.arus (Types.Aru_id.to_int aid) with
+    | Some a -> `In a
+    | None -> raise (Errors.Unknown_aru aid))
+
+let owner_visible t who owner =
+  match owner with
+  | None -> true
+  | Some o -> (
+    if not (owner_active t o) then true
+    else
+      match who with
+      | `In (a : Aru.t) -> Types.Aru_id.equal a.Aru.id o
+      | `Simple -> false)
+
+let hops_charge t n =
+  if n > 0 then begin
+    t.counters.Counters.mesh_hops <- t.counters.Counters.mesh_hops + n;
+    cpu t (n * t.config.cost.Cost.mesh_hop_ns)
+  end
+
+let shadow_peek t (a : Aru.t) b =
+  let anchor = Block_map.anchor t.blocks b in
+  let r, hops = Record.find_block ~anchor (Record.Shadow a.Aru.id) in
+  hops_charge t hops;
+  Option.value r ~default:anchor
+
+let shadow_get t (a : Aru.t) b =
+  let anchor = Block_map.anchor t.blocks b in
+  let r, hops = Record.find_block ~anchor (Record.Shadow a.Aru.id) in
+  hops_charge t hops;
+  match r with
+  | Some r -> r
+  | None ->
+    let alt = Record.alt_block (Record.Shadow a.Aru.id) ~from:anchor in
+    Record.insert_alt_block ~anchor alt;
+    Aru.push_shadow_block a alt;
+    t.counters.Counters.record_creates <- t.counters.Counters.record_creates + 1;
+    cpu t t.config.cost.Cost.record_create_ns;
+    alt
+
+let shadow_peek_list t (a : Aru.t) l =
+  let anchor = List_table.anchor t.lists l in
+  let r, hops = Record.find_list ~anchor (Record.Shadow a.Aru.id) in
+  hops_charge t hops;
+  Option.value r ~default:anchor
+
+let shadow_get_list t (a : Aru.t) l =
+  let anchor = List_table.anchor t.lists l in
+  let r, hops = Record.find_list ~anchor (Record.Shadow a.Aru.id) in
+  hops_charge t hops;
+  match r with
+  | Some r -> r
+  | None ->
+    let alt = Record.alt_list (Record.Shadow a.Aru.id) ~from:anchor in
+    Record.insert_alt_list ~anchor alt;
+    Aru.push_shadow_list a alt;
+    t.counters.Counters.record_creates <- t.counters.Counters.record_creates + 1;
+    cpu t t.config.cost.Cost.record_create_ns;
+    alt
+
+let pred_hop t () =
+  t.counters.Counters.pred_search_hops <- t.counters.Counters.pred_search_hops + 1;
+  cpu t t.config.cost.Cost.pred_search_hop_ns
+
+let committed_ctx t =
+  {
+    Splice.peek_block = (fun b -> Block_map.anchor t.blocks b);
+    get_block = (fun b -> Block_map.anchor t.blocks b);
+    peek_list = (fun l -> List_table.anchor t.lists l);
+    get_list = (fun l -> List_table.anchor t.lists l);
+    on_pred_hop = pred_hop t;
+  }
+
+let shadow_ctx t (a : Aru.t) =
+  {
+    Splice.peek_block = (fun b -> shadow_peek t a b);
+    get_block = (fun b -> shadow_get t a b);
+    peek_list = (fun l -> shadow_peek_list t a l);
+    get_list = (fun l -> shadow_get_list t a l);
+    on_pred_hop = pred_hop t;
+  }
+
+let visible_block t who b =
+  match who with
+  | `Simple -> Block_map.anchor t.blocks b
+  | `In a ->
+    cpu t t.config.cost.Cost.version_search_ns;
+    shadow_peek t a b
+
+let visible_list t who l =
+  match who with
+  | `Simple -> List_table.anchor t.lists l
+  | `In a ->
+    cpu t t.config.cost.Cost.version_search_ns;
+    shadow_peek_list t a l
+
+let require_visible_block t who (r : Record.block) =
+  if not (r.Record.alloc && owner_visible t who r.Record.alloc_owner) then
+    raise (Errors.Unallocated_block r.Record.id)
+
+let require_visible_list t who (r : Record.list_r) =
+  if not (r.Record.exists && owner_visible t who r.Record.l_owner) then
+    raise (Errors.Unallocated_list r.Record.lid)
+
+let dispatch t =
+  cpu t t.config.cost.Cost.op_dispatch_ns;
+  cpu t t.config.cost.Cost.record_lookup_ns
+
+(* Committed data write: journal entry + payload, dirty map update.
+   When too much committed data is waiting to go home, checkpoint (the
+   write-back bound a real buffer cache would impose). *)
+let committed_write t ~stream b data ~stamp =
+  if
+    (not t.in_commit)
+    && Hashtbl.length t.dirty >= t.config.dirty_limit_blocks
+  then checkpoint t;
+  let slot = t.pend_data in
+  append t ~payload:(Bytes.copy data)
+    { Summary.stream; op = Summary.Write { block = b; slot; stamp } };
+  Hashtbl.replace t.dirty (Types.Block_id.to_int b) (Bytes.copy data);
+  Lru.remove t.cache (Types.Block_id.to_int b);
+  let anchor = Block_map.anchor t.blocks b in
+  anchor.Record.stamp <- stamp
+
+(* ------------------------------------------------------------------ *)
+(* The LD interface                                                    *)
+
+let begin_aru t =
+  dispatch t;
+  t.counters.Counters.arus_begun <- t.counters.Counters.arus_begun + 1;
+  cpu t t.config.cost.Cost.aru_begin_ns;
+  let id = Types.Aru_id.of_int t.next_aru in
+  t.next_aru <- t.next_aru + 1;
+  Hashtbl.replace t.arus (Types.Aru_id.to_int id) (Aru.create id);
+  id
+
+let new_list t ?aru () =
+  dispatch t;
+  t.counters.Counters.new_lists <- t.counters.Counters.new_lists + 1;
+  let who = resolve_who t aru in
+  let lid =
+    match List_table.alloc_id t.lists with
+    | Some l -> l
+    | None -> raise Errors.Disk_full
+  in
+  let stamp = next_stamp t in
+  let owner = match who with `In a -> Some a.Aru.id | `Simple -> None in
+  let r = List_table.anchor t.lists lid in
+  r.Record.exists <- true;
+  r.Record.first <- None;
+  r.Record.last <- None;
+  r.Record.lstamp <- stamp;
+  r.Record.l_owner <- owner;
+  (match who with
+  | `In a -> a.Aru.owned_lists <- r :: a.Aru.owned_lists
+  | `Simple -> ());
+  append t { Summary.stream = Summary.Simple; op = Summary.New_list { list = lid; stamp; owner } };
+  lid
+
+let new_block t ?aru ~list ~pred () =
+  dispatch t;
+  t.counters.Counters.new_blocks <- t.counters.Counters.new_blocks + 1;
+  let who = resolve_who t aru in
+  (match who with
+  | `In a ->
+    require_visible_list t who (shadow_peek_list t a list);
+    (match pred with
+    | Summary.Head -> ()
+    | Summary.After p ->
+      let pr = shadow_peek t a p in
+      require_visible_block t who pr;
+      if pr.Record.member_of <> Some list then raise (Errors.Block_not_on_list p))
+  | `Simple ->
+    require_visible_list t who (List_table.anchor t.lists list);
+    (match pred with
+    | Summary.Head -> ()
+    | Summary.After p ->
+      let pr = Block_map.anchor t.blocks p in
+      require_visible_block t who pr;
+      if pr.Record.member_of <> Some list then raise (Errors.Block_not_on_list p)));
+  let bid =
+    match Block_map.alloc_id t.blocks with
+    | Some b -> b
+    | None -> raise Errors.Disk_full
+  in
+  let stamp = next_stamp t in
+  let anchor = Block_map.anchor t.blocks bid in
+  anchor.Record.alloc <- true;
+  anchor.Record.member_of <- None;
+  anchor.Record.successor <- None;
+  anchor.Record.stamp <- stamp;
+  anchor.Record.alloc_owner <-
+    (match who with `In a -> Some a.Aru.id | `Simple -> None);
+  append t
+    { Summary.stream = Summary.Simple; op = Summary.Alloc { block = bid; list; stamp } };
+  (match who with
+  | `In a ->
+    (match Splice.insert (shadow_ctx t a) ~list ~block:bid ~pred with
+    | `Applied -> ()
+    | `Skipped -> raise (Errors.Corrupt "Jld.new_block: validated insert skipped"));
+    Link_log.add a.Aru.log (Link_log.Insert { list; block = bid; pred });
+    t.counters.Counters.link_log_appends <- t.counters.Counters.link_log_appends + 1;
+    cpu t t.config.cost.Cost.link_log_append_ns
+  | `Simple ->
+    (match Splice.insert (committed_ctx t) ~list ~block:bid ~pred with
+    | `Applied -> ()
+    | `Skipped -> raise (Errors.Corrupt "Jld.new_block: validated insert skipped"));
+    append t
+      { Summary.stream = Summary.Simple; op = Summary.Link { list; block = bid; pred } });
+  bid
+
+let write t ?aru block data =
+  if Bytes.length data <> block_bytes t then
+    invalid_arg "Jld.write: data must be exactly one block";
+  dispatch t;
+  t.counters.Counters.writes <- t.counters.Counters.writes + 1;
+  let who = resolve_who t aru in
+  let stamp = next_stamp t in
+  match who with
+  | `In a ->
+    require_visible_block t who (shadow_peek t a block);
+    let r = shadow_get t a block in
+    r.Record.data <- Some (Bytes.copy data);
+    cpu t t.config.cost.Cost.block_copy_ns;
+    r.Record.stamp <- stamp
+  | `Simple ->
+    require_visible_block t who (Block_map.anchor t.blocks block);
+    committed_write t ~stream:Summary.Simple block data ~stamp
+
+let read t ?aru block =
+  dispatch t;
+  t.counters.Counters.reads <- t.counters.Counters.reads + 1;
+  cpu t t.config.cost.Cost.block_read_cpu_ns;
+  let who = resolve_who t aru in
+  let r = visible_block t who block in
+  require_visible_block t who r;
+  match r.Record.data with
+  | Some d -> Bytes.copy d
+  | None -> (
+    let key = Types.Block_id.to_int block in
+    match Hashtbl.find_opt t.dirty key with
+    | Some d -> Bytes.copy d
+    | None -> (
+      match Lru.find t.cache key with
+      | Some d ->
+        t.counters.Counters.cache_hits <- t.counters.Counters.cache_hits + 1;
+        Bytes.copy d
+      | None ->
+        t.counters.Counters.cache_misses <- t.counters.Counters.cache_misses + 1;
+        let bb = block_bytes t in
+        let d =
+          Disk.read t.disk ~offset:((t.layout.data_first + key) * bb) ~length:bb
+        in
+        Lru.add t.cache key (Bytes.copy d);
+        d))
+
+let delete_block t ?aru block =
+  dispatch t;
+  t.counters.Counters.delete_blocks <- t.counters.Counters.delete_blocks + 1;
+  let who = resolve_who t aru in
+  let stamp = next_stamp t in
+  match who with
+  | `In a ->
+    let peek = shadow_peek t a block in
+    require_visible_block t who peek;
+    (match peek.Record.member_of with
+    | Some l -> (
+      match Splice.unlink (shadow_ctx t a) ~list:l ~block with
+      | `Applied -> ()
+      | `Skipped -> raise (Errors.Block_not_on_list block))
+    | None -> ());
+    let r = shadow_get t a block in
+    r.Record.alloc <- false;
+    r.Record.member_of <- None;
+    r.Record.successor <- None;
+    r.Record.data <- None;
+    r.Record.stamp <- stamp;
+    Link_log.add a.Aru.log (Link_log.Delete_block { block });
+    t.counters.Counters.link_log_appends <- t.counters.Counters.link_log_appends + 1;
+    cpu t t.config.cost.Cost.link_log_append_ns
+  | `Simple ->
+    let anchor = Block_map.anchor t.blocks block in
+    require_visible_block t who anchor;
+    (match anchor.Record.member_of with
+    | Some l ->
+      (match Splice.unlink (committed_ctx t) ~list:l ~block with
+      | `Applied -> ()
+      | `Skipped -> raise (Errors.Block_not_on_list block));
+      append t
+        { Summary.stream = Summary.Simple; op = Summary.Unlink { list = l; block } }
+    | None -> ());
+    anchor.Record.alloc <- false;
+    anchor.Record.member_of <- None;
+    anchor.Record.successor <- None;
+    anchor.Record.alloc_owner <- None;
+    anchor.Record.stamp <- stamp;
+    Hashtbl.remove t.dirty (Types.Block_id.to_int block);
+    append t
+      { Summary.stream = Summary.Simple; op = Summary.Dealloc { block; stamp } };
+    Block_map.release_id t.blocks block
+
+let delete_list t ?aru list =
+  dispatch t;
+  t.counters.Counters.delete_lists <- t.counters.Counters.delete_lists + 1;
+  let who = resolve_who t aru in
+  match who with
+  | `In a ->
+    let peek = shadow_peek_list t a list in
+    require_visible_list t who peek;
+    let r = shadow_get_list t a list in
+    r.Record.exists <- false;
+    r.Record.first <- None;
+    r.Record.last <- None;
+    Link_log.add a.Aru.log (Link_log.Delete_list { list });
+    t.counters.Counters.link_log_appends <- t.counters.Counters.link_log_appends + 1;
+    cpu t t.config.cost.Cost.link_log_append_ns
+  | `Simple ->
+    require_visible_list t who (List_table.anchor t.lists list);
+    (match
+       Splice.delete_list (committed_ctx t) ~list ~dealloc:(fun br ->
+           Hashtbl.remove t.dirty (Types.Block_id.to_int br.Record.id);
+           br.Record.alloc_owner <- None;
+           Block_map.release_id t.blocks br.Record.id)
+     with
+    | `Applied -> ()
+    | `Skipped -> raise (Errors.Unallocated_list list));
+    append t { Summary.stream = Summary.Simple; op = Summary.Delete_list { list } };
+    List_table.release_id t.lists list
+
+(* ------------------------------------------------------------------ *)
+(* Commit / abort                                                      *)
+
+let replay_log_op t (a : Aru.t) op =
+  let c = t.config.cost in
+  t.counters.Counters.link_log_replays <- t.counters.Counters.link_log_replays + 1;
+  cpu t c.Cost.link_log_replay_ns;
+  let skipped () =
+    t.counters.Counters.replay_skips <- t.counters.Counters.replay_skips + 1
+  in
+  let stream = Summary.In_aru a.Aru.id in
+  let ctx = committed_ctx t in
+  match op with
+  | Link_log.Insert { list; block; pred } -> (
+    match Splice.insert ctx ~list ~block ~pred with
+    | `Applied -> append t { Summary.stream; op = Summary.Link { list; block; pred } }
+    | `Skipped -> skipped ())
+  | Link_log.Delete_block { block } ->
+    let anchor = Block_map.anchor t.blocks block in
+    if not anchor.Record.alloc then skipped ()
+    else begin
+      (match anchor.Record.member_of with
+      | Some l -> (
+        match Splice.unlink ctx ~list:l ~block with
+        | `Applied ->
+          append t { Summary.stream; op = Summary.Unlink { list = l; block } }
+        | `Skipped -> skipped ())
+      | None -> ());
+      anchor.Record.alloc <- false;
+      anchor.Record.member_of <- None;
+      anchor.Record.successor <- None;
+      anchor.Record.alloc_owner <- None;
+      let stamp = next_stamp t in
+      anchor.Record.stamp <- stamp;
+      Hashtbl.remove t.dirty (Types.Block_id.to_int block);
+      append t { Summary.stream; op = Summary.Dealloc { block; stamp } };
+      Block_map.release_id t.blocks block
+    end
+  | Link_log.Delete_list { list } -> (
+    match
+      Splice.delete_list ctx ~list ~dealloc:(fun br ->
+          Hashtbl.remove t.dirty (Types.Block_id.to_int br.Record.id);
+          br.Record.alloc_owner <- None;
+          Block_map.release_id t.blocks br.Record.id)
+    with
+    | `Applied ->
+      append t { Summary.stream; op = Summary.Delete_list { list } };
+      List_table.release_id t.lists list
+    | `Skipped -> skipped ())
+
+let end_aru t aid =
+  dispatch t;
+  let a =
+    match Hashtbl.find_opt t.arus (Types.Aru_id.to_int aid) with
+    | Some a -> a
+    | None -> raise (Errors.Unknown_aru aid)
+  in
+  cpu t t.config.cost.Cost.aru_commit_ns;
+  (* reserve journal room for the whole commit before starting it *)
+  let data_bound = Aru.shadow_block_count a in
+  ensure_journal_room t
+    (pend_chunk_blocks t + data_bound + 2 + t.config.buffer_blocks);
+  t.in_commit <- true;
+  Fun.protect ~finally:(fun () -> t.in_commit <- false) @@ fun () ->
+  List.iter (replay_log_op t a) (Link_log.to_list a.Aru.log);
+  Aru.iter_shadow_blocks a (fun r ->
+      let anchor = Block_map.anchor t.blocks r.Record.id in
+      Record.remove_alt_block ~anchor r;
+      t.counters.Counters.record_transitions <-
+        t.counters.Counters.record_transitions + 1;
+      cpu t t.config.cost.Cost.record_transition_ns;
+      match r.Record.data with
+      | Some d when r.Record.alloc ->
+        if anchor.Record.alloc && r.Record.stamp >= anchor.Record.stamp then
+          committed_write t ~stream:(Summary.In_aru aid) r.Record.id d
+            ~stamp:r.Record.stamp
+        else
+          t.counters.Counters.replay_skips <- t.counters.Counters.replay_skips + 1
+      | Some _ | None -> ());
+  Aru.iter_shadow_lists a (fun r ->
+      let anchor = List_table.anchor t.lists r.Record.lid in
+      Record.remove_alt_list ~anchor r;
+      t.counters.Counters.record_transitions <-
+        t.counters.Counters.record_transitions + 1;
+      cpu t t.config.cost.Cost.record_transition_ns);
+  append t { Summary.stream = Summary.Simple; op = Summary.Commit { aru = aid } };
+  List.iter
+    (fun (r : Record.list_r) ->
+      (match r.Record.l_owner with
+      | Some o when Types.Aru_id.equal o aid -> r.Record.l_owner <- None
+      | Some _ | None -> ());
+      let anchor = List_table.anchor t.lists r.Record.lid in
+      match anchor.Record.l_owner with
+      | Some o when Types.Aru_id.equal o aid -> anchor.Record.l_owner <- None
+      | Some _ | None -> ())
+    a.Aru.owned_lists;
+  Hashtbl.remove t.arus (Types.Aru_id.to_int aid);
+  t.counters.Counters.arus_committed <- t.counters.Counters.arus_committed + 1
+
+let abort_aru t aid =
+  dispatch t;
+  let a =
+    match Hashtbl.find_opt t.arus (Types.Aru_id.to_int aid) with
+    | Some a -> a
+    | None -> raise (Errors.Unknown_aru aid)
+  in
+  Aru.iter_shadow_blocks a (fun r ->
+      Record.remove_alt_block ~anchor:(Block_map.anchor t.blocks r.Record.id) r);
+  Aru.iter_shadow_lists a (fun r ->
+      Record.remove_alt_list ~anchor:(List_table.anchor t.lists r.Record.lid) r);
+  Hashtbl.remove t.arus (Types.Aru_id.to_int aid);
+  t.counters.Counters.arus_aborted <- t.counters.Counters.arus_aborted + 1
+
+let with_aru t f =
+  let aru = begin_aru t in
+  match f aru with
+  | v ->
+    end_aru t aru;
+    v
+  | exception e ->
+    abort_aru t aru;
+    raise e
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+
+let list_exists t ?aru list =
+  let who = resolve_who t aru in
+  let r = visible_list t who list in
+  r.Record.exists && owner_visible t who r.Record.l_owner
+
+let block_allocated t ?aru block =
+  let who = resolve_who t aru in
+  if not (Block_map.in_range t.blocks block) then false
+  else begin
+    let r = visible_block t who block in
+    r.Record.alloc && owner_visible t who r.Record.alloc_owner
+  end
+
+let block_member t ?aru block =
+  let who = resolve_who t aru in
+  let r = visible_block t who block in
+  if r.Record.alloc && owner_visible t who r.Record.alloc_owner then
+    r.Record.member_of
+  else None
+
+let list_blocks t ?aru list =
+  let who = resolve_who t aru in
+  let lrec = visible_list t who list in
+  require_visible_list t who lrec;
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some b ->
+      let br = visible_block t who b in
+      walk (b :: acc) br.Record.successor
+  in
+  walk [] lrec.Record.first
+
+let lists t =
+  let acc = ref [] in
+  List_table.iter t.lists (fun r ->
+      if r.Record.exists then acc := r.Record.lid :: !acc);
+  List.rev !acc
+
+let orphan_blocks t =
+  let acc = ref [] in
+  Block_map.iter t.blocks (fun anchor ->
+      let orphaned =
+        anchor.Record.alloc
+        && anchor.Record.member_of = None
+        && (match anchor.Record.alloc_owner with
+           | None -> true
+           | Some o -> not (owner_active t o))
+      in
+      if orphaned then acc := anchor.Record.id :: !acc);
+  List.rev !acc
+
+let scavenge t =
+  let freed = ref 0 in
+  let dead_lists = ref [] in
+  List_table.iter t.lists (fun anchor ->
+      match anchor.Record.l_owner with
+      | Some o
+        when anchor.Record.exists && anchor.Record.first = None
+             && not (owner_active t o) ->
+        dead_lists := anchor.Record.lid :: !dead_lists
+      | Some _ | None -> ());
+  List.iter
+    (fun lid ->
+      delete_list t lid;
+      incr freed)
+    !dead_lists;
+  List.iter
+    (fun bid ->
+      let anchor = Block_map.anchor t.blocks bid in
+      anchor.Record.alloc_owner <- None;
+      delete_block t bid;
+      incr freed)
+    (orphan_blocks t);
+  !freed
+
+(* ------------------------------------------------------------------ *)
+(* Construction and recovery                                           *)
+
+let make config disk layout =
+  let geom = Disk.geometry disk in
+  {
+    config;
+    disk;
+    geom;
+    clock = Disk.clock disk;
+    layout;
+    blocks = Block_map.create ~capacity:layout.capacity;
+    lists = List_table.create ~max_lists:layout.capacity;
+    arus = Hashtbl.create 16;
+    next_aru = 1;
+    stamp = 1;
+    epoch = 0;
+    jptr = 0;
+    jseq = 1;
+    pend = [];
+    pend_entries = 0;
+    pend_entry_bytes = 0;
+    pend_data = 0;
+    dirty = Hashtbl.create 256;
+    cache = Lru.create ~capacity:(max 16 config.cache_blocks);
+    counters = Counters.create ();
+    in_commit = false;
+  }
+
+let create ?(config = default_config) disk =
+  let geom = Disk.geometry disk in
+  let bb = geom.Geometry.block_bytes in
+  let total_blocks = Geometry.total_bytes geom / bb in
+  let layout =
+    layout_of ~total_blocks ~journal_fraction:config.journal_fraction
+  in
+  let t = make config disk layout in
+  Disk.write disk ~offset:0 (encode_superblock bb layout);
+  (* epoch 1 tables on both regions so stale state never resurfaces *)
+  write_tables t;
+  t.epoch <- 1;
+  write_tables t;
+  t.epoch <- 2;
+  t
+
+(* Journal replay: chunks in order, ARU entries buffered until their
+   commit record (same semantics as LLD's Recovery). *)
+let replay_journal t =
+  let bb = block_bytes t in
+  let buffers : (int, (Summary.op * bytes option) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let committed_arus = Hashtbl.create 16 in
+  let ctx = committed_ctx t in
+  let rec apply_op (op, payload) =
+    match op with
+    | Summary.Alloc { block; list = _; stamp } ->
+      let r = Block_map.anchor t.blocks block in
+      r.Record.alloc <- true;
+      r.Record.member_of <- None;
+      r.Record.successor <- None;
+      r.Record.stamp <- stamp;
+      if stamp >= t.stamp then t.stamp <- stamp + 1
+    | Summary.Write { block; slot = _; stamp } -> (
+      match payload with
+      | Some d ->
+        let r = Block_map.anchor t.blocks block in
+        if r.Record.alloc && stamp >= r.Record.stamp then begin
+          Hashtbl.replace t.dirty (Types.Block_id.to_int block) d;
+          r.Record.stamp <- stamp
+        end;
+        if stamp >= t.stamp then t.stamp <- stamp + 1
+      | None -> raise (Errors.Corrupt "journal Write without payload"))
+    | Summary.Link { list; block; pred } ->
+      ignore (Splice.insert ctx ~list ~block ~pred)
+    | Summary.Unlink { list; block } -> ignore (Splice.unlink ctx ~list ~block)
+    | Summary.New_list { list; stamp; owner } ->
+      let r = List_table.anchor t.lists list in
+      r.Record.exists <- true;
+      r.Record.first <- None;
+      r.Record.last <- None;
+      r.Record.lstamp <- stamp;
+      r.Record.l_owner <- owner;
+      if stamp >= t.stamp then t.stamp <- stamp + 1
+    | Summary.Delete_list { list } ->
+      ignore
+        (Splice.delete_list ctx ~list ~dealloc:(fun br ->
+             Hashtbl.remove t.dirty (Types.Block_id.to_int br.Record.id)))
+    | Summary.Dealloc { block; stamp } ->
+      let r = Block_map.anchor t.blocks block in
+      r.Record.alloc <- false;
+      r.Record.member_of <- None;
+      r.Record.successor <- None;
+      Hashtbl.remove t.dirty (Types.Block_id.to_int block);
+      if stamp >= t.stamp then t.stamp <- stamp + 1
+    | Summary.Commit { aru } ->
+      let key = Types.Aru_id.to_int aru in
+      Hashtbl.replace committed_arus key ();
+      let buffered =
+        Option.value ~default:[] (Hashtbl.find_opt buffers key)
+      in
+      Hashtbl.remove buffers key;
+      List.iter apply_op (List.rev buffered)
+  in
+  let chunks = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    if t.jptr >= t.layout.journal_blocks then stop := true
+    else begin
+      let head =
+        Disk.read t.disk ~offset:((t.layout.journal_first + t.jptr) * bb) ~length:bb
+      in
+      if Codec.get_u32 head 0 <> 0x4a43484b then stop := true
+      else begin
+        let epoch = Codec.get_u32 head 4 lor (Codec.get_u32 head 8 lsl 32) in
+        let seq = Codec.get_u32 head 12 lor (Codec.get_u32 head 16 lsl 32) in
+        let entry_count = Codec.get_u32 head 20 in
+        let entries_len = Codec.get_u32 head 24 in
+        let data_count = Codec.get_u32 head 28 in
+        let total =
+          chunk_header_bytes + entries_len + (data_count * bb)
+          + chunk_trailer_bytes
+        in
+        let blocks = (total + bb - 1) / bb in
+        if
+          epoch <> t.epoch || seq <> t.jseq
+          || t.jptr + blocks > t.layout.journal_blocks
+        then stop := true
+        else begin
+          let image =
+            Disk.read t.disk
+              ~offset:((t.layout.journal_first + t.jptr) * bb)
+              ~length:(blocks * bb)
+          in
+          let sum_off = Bytes.length image - chunk_trailer_bytes in
+          let stored =
+            Int64.logor
+              (Int64.of_int (Codec.get_u32 image sum_off))
+              (Int64.shift_left
+                 (Int64.of_int (Codec.get_u32 image (sum_off + 4)))
+                 32)
+          in
+          if not (Int64.equal stored (Codec.hash64 ~pos:0 ~len:sum_off image))
+          then stop := true
+          else begin
+            let r = Codec.Reader.of_bytes ~pos:chunk_header_bytes ~len:entries_len image in
+            let data_off = chunk_header_bytes + entries_len in
+            let entries =
+              List.init entry_count (fun _ -> Summary.decode r)
+            in
+            let next_payload = ref 0 in
+            List.iter
+              (fun (e : Summary.t) ->
+                let payload =
+                  match e.Summary.op with
+                  | Summary.Write _ ->
+                    let d =
+                      Bytes.sub image (data_off + (!next_payload * bb)) bb
+                    in
+                    incr next_payload;
+                    Some d
+                  | Summary.Alloc _ | Summary.Link _ | Summary.Unlink _
+                  | Summary.New_list _ | Summary.Delete_list _
+                  | Summary.Dealloc _ | Summary.Commit _ ->
+                    None
+                in
+                match e.Summary.stream with
+                | Summary.Simple -> apply_op (e.Summary.op, payload)
+                | Summary.In_aru a ->
+                  let key = Types.Aru_id.to_int a in
+                  if key >= t.next_aru then t.next_aru <- key + 1;
+                  Hashtbl.replace buffers key
+                    ((e.Summary.op, payload)
+                    :: Option.value ~default:[] (Hashtbl.find_opt buffers key)))
+              entries;
+            t.jptr <- t.jptr + blocks;
+            t.jseq <- t.jseq + 1;
+            incr chunks
+          end
+        end
+      end
+    end
+  done;
+  (* sweep: blocks of undone ARUs, still-empty lists of undone ARUs *)
+  Block_map.iter t.blocks (fun r ->
+      if r.Record.alloc && r.Record.member_of = None then begin
+        r.Record.alloc <- false;
+        r.Record.successor <- None;
+        Hashtbl.remove t.dirty (Types.Block_id.to_int r.Record.id)
+      end);
+  List_table.iter t.lists (fun r ->
+      match r.Record.l_owner with
+      | Some o when Hashtbl.mem committed_arus (Types.Aru_id.to_int o) ->
+        r.Record.l_owner <- None
+      | Some _ when r.Record.exists && r.Record.first = None ->
+        r.Record.exists <- false;
+        r.Record.l_owner <- None
+      | Some _ | None -> ());
+  !chunks
+
+let recover ?(config = default_config) disk =
+  Lld_disk.Fault.reset_after_recovery (Disk.fault disk);
+  let geom = Disk.geometry disk in
+  let bb = geom.Geometry.block_bytes in
+  let layout = decode_superblock (Disk.read disk ~offset:0 ~length:bb) in
+  let t = make config disk layout in
+  let a = read_tables disk bb layout layout.table_a_first in
+  let b = read_tables disk bb layout layout.table_b_first in
+  let epoch, snap =
+    match (a, b) with
+    | None, None -> raise (Errors.Corrupt "JLD: no valid tables")
+    | Some x, None | None, Some x -> x
+    | Some ((ea, _) as x), Some ((eb, _) as y) -> if ea >= eb then x else y
+  in
+  t.epoch <- epoch;
+  t.stamp <- snap.Lld_core.Checkpoint.stamp;
+  t.next_aru <- snap.Lld_core.Checkpoint.next_aru;
+  List.iter
+    (fun (b : Lld_core.Checkpoint.block_entry) ->
+      let r = Block_map.anchor t.blocks (Types.Block_id.of_int b.b_id) in
+      r.Record.alloc <- true;
+      r.Record.member_of <- Option.map Types.List_id.of_int b.b_member;
+      r.Record.successor <- Option.map Types.Block_id.of_int b.b_succ;
+      r.Record.stamp <- b.b_stamp)
+    snap.Lld_core.Checkpoint.blocks;
+  List.iter
+    (fun (l : Lld_core.Checkpoint.list_entry) ->
+      let r = List_table.anchor t.lists (Types.List_id.of_int l.l_id) in
+      r.Record.exists <- true;
+      r.Record.first <- Option.map Types.Block_id.of_int l.l_first;
+      r.Record.last <- Option.map Types.Block_id.of_int l.l_last;
+      r.Record.lstamp <- l.l_stamp;
+      r.Record.l_owner <- Option.map Types.Aru_id.of_int l.l_owner)
+    snap.Lld_core.Checkpoint.lists;
+  let chunks = replay_journal t in
+  Block_map.rebuild_free t.blocks;
+  List_table.rebuild_free t.lists;
+  (* a fresh checkpoint writes the recovered data home and restarts the
+     journal under a new epoch *)
+  checkpoint t;
+  (t, chunks)

@@ -1,0 +1,1 @@
+lib/minixdisk/classic.ml: Array Bytes Char Hashtbl Int List Lld_disk Lld_minixfs Lld_util String

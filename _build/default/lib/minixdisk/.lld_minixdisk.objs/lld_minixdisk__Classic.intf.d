@@ -1,0 +1,1 @@
+lib/minixdisk/classic.mli: Lld_disk

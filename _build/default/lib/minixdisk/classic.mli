@@ -1,0 +1,49 @@
+(** The conventional Minix file system, directly on the raw disk.
+
+    This is the baseline the paper's background quotes (§2, §5.2): the
+    original Logical Disk work measured the "Minix file system by
+    itself" at ~13 % of the disk bandwidth on writes, against
+    MinixLLD's 85 %.  It is everything LLD is not:
+
+    - update-in-place: a block lives at a fixed disk address; writing it
+      seeks there;
+    - free space tracked in inode and zone {e bitmaps} at the front of
+      the partition;
+    - file blocks addressed by per-inode {e zone pointers} (7 direct,
+      one indirect, one double-indirect);
+    - meta-data updates (bitmaps, inodes, indirect blocks, directory
+      blocks) are {e synchronous} — each is written to the disk
+      immediately, in update order, which is how conventional file
+      systems kept crash damage bounded (paper §3, §6 on FFS);
+    - file data goes through a small write-back cache.
+
+    The namespace is a single root directory — enough for the
+    bandwidth-context experiment (W0 in DESIGN.md §4); the full
+    hierarchical client of this repository is {!Lld_minixfs.Fs}. *)
+
+type t
+
+exception File_not_found of string
+exception File_exists of string
+exception No_space
+
+val mkfs : ?inode_count:int -> Lld_disk.Disk.t -> t
+(** Format: superblock, bitmaps, inode table, then the data zones. *)
+
+val mount : Lld_disk.Disk.t -> t
+(** Raises [Invalid_argument] when the superblock is not recognisable. *)
+
+val create : t -> string -> unit
+val unlink : t -> string -> unit
+val write_file : t -> string -> off:int -> bytes -> unit
+val read_file : t -> string -> off:int -> len:int -> bytes
+
+type stat = { size : int; blocks : int }
+
+val stat : t -> string -> stat
+val list : t -> string list
+
+val flush : t -> unit
+(** Write back all dirty data blocks (meta-data is already on disk). *)
+
+val disk : t -> Lld_disk.Disk.t

@@ -1,0 +1,1 @@
+lib/minixfs/dirent.ml: Bytes Layout Lld_util String

@@ -1,0 +1,1 @@
+lib/minixfs/fs.ml: Minix_make

@@ -1,0 +1,1 @@
+lib/minixfs/fs.mli: Dirent Inode Layout Lld_core Minix_make Superblock

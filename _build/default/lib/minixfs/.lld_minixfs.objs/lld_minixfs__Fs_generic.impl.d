@@ -1,0 +1,1 @@
+lib/minixfs/fs_generic.ml: Array Bytes Dirent Dump Fmt Format Hashtbl Inode Layout Lazy List Lld_core Lld_sim Lld_util Option Printf String Superblock

@@ -1,0 +1,1 @@
+lib/minixfs/fsck.ml: Minix_make

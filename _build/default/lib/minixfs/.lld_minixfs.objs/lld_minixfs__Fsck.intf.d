@@ -1,0 +1,1 @@
+lib/minixfs/fsck.mli: Format Fs

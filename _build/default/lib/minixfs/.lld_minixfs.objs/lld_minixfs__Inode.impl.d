@@ -1,0 +1,1 @@
+lib/minixfs/inode.ml: Layout Lld_core Lld_util

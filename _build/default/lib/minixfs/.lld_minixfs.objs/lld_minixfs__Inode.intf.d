@@ -1,0 +1,1 @@
+lib/minixfs/inode.mli: Layout Lld_core

@@ -1,0 +1,1 @@
+lib/minixfs/layout.ml: Printf

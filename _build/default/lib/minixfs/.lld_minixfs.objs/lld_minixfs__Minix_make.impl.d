@@ -1,0 +1,1 @@
+lib/minixfs/minix_make.ml: Fs_generic Lld_core

@@ -1,0 +1,1 @@
+lib/minixfs/superblock.ml: Bytes Layout Lld_core Lld_util

@@ -1,0 +1,1 @@
+lib/minixfs/superblock.mli: Lld_core

@@ -1,0 +1,16 @@
+(** Directory-entry codec: 16-byte Minix-style entries (u16 inode number
+    + 14-character name) packed into directory file data. *)
+
+type t = { ino : int; name : string }
+
+val valid_name : string -> bool
+(** Non-empty, at most {!Layout.name_max} characters, no ['/'] and no
+    NUL. *)
+
+val read : bytes -> off:int -> t option
+(** [None] for an empty slot (inode number 0). *)
+
+val write : bytes -> off:int -> t -> unit
+(** Raises [Invalid_argument] on an invalid name. *)
+
+val clear : bytes -> off:int -> unit

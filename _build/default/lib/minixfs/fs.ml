@@ -1,0 +1,1 @@
+include Minix_make.Applied.Fs_impl

@@ -1,0 +1,132 @@
+(** The Minix-like file system on top of the Logical Disk (MinixLLD,
+    paper §5.1).
+
+    Disk management lives entirely in LD; the file system only organises
+    files: an inode table, directories stored as files, and one LD list
+    per file.  File and directory creation and deletion are bracketed in
+    one ARU each when the {!aru_policy} asks for it — after a crash
+    either all of a file's meta-data exists or none of it does, and no
+    fsck is needed (paper §5.1).
+
+    Paths are absolute, ["/"]-separated, e.g. ["/dir/file0"].
+
+    This module is the functor {!Fs_generic.Make} applied to the
+    log-structured {!Lld_core.Lld}; the equation below is what lets
+    {!Fsck} (the sibling application) share the type. *)
+
+type t = Minix_make.Applied.Fs_impl.t
+
+(** Whether mutating meta-data operations run inside ARUs.  [No_arus]
+    reproduces the paper's "old" configuration (the unmodified Minix on
+    the original LLD). *)
+type aru_policy = No_arus | Per_operation
+
+(** How [unlink] deallocates file blocks (paper §5.3):
+    [Blocks_first] deallocates every block individually before deleting
+    the list — each deallocation pays a predecessor search;
+    [List_direct] deletes the list in one LD call (the improved policy
+    of the "new, delete" variant). *)
+type delete_policy = Blocks_first | List_direct
+
+type config = { aru_policy : aru_policy; delete_policy : delete_policy }
+
+val config_old : config
+(** [No_arus], [Blocks_first] — paper Table 1 "old". *)
+
+val config_new : config
+(** [Per_operation], [Blocks_first] — paper Table 1 "new". *)
+
+val config_new_delete : config
+(** [Per_operation], [List_direct] — paper Table 1 "new, delete". *)
+
+type stat = { ino : int; kind : Layout.kind; size : int; nlinks : int }
+
+exception Not_found_path of string
+exception Already_exists of string
+exception Not_a_directory of string
+exception Is_a_directory of string
+exception Directory_not_empty of string
+exception Invalid_name of string
+exception Out_of_inodes
+
+(** {1 Formatting and mounting} *)
+
+val mkfs : ?config:config -> ?inode_count:int -> Lld_core.Lld.t -> t
+(** Build a fresh file system on a freshly formatted logical disk.
+    [inode_count] defaults to a capacity-scaled value (at most 65536,
+    the dirent limit). *)
+
+val mount : ?config:config -> Lld_core.Lld.t -> t
+(** Mount an existing file system (e.g. after [Lld.recover]).  Raises
+    [Lld_core.Errors.Corrupt] if no valid superblock is found. *)
+
+(** {1 Operations} *)
+
+val create : t -> string -> unit
+(** Create an empty regular file (inode + data list + directory entry,
+    atomically under [Per_operation]). *)
+
+val mkdir : t -> string -> unit
+val unlink : t -> string -> unit
+(** Remove a regular file, deallocating its blocks per the configured
+    {!delete_policy}. *)
+
+val rmdir : t -> string -> unit
+(** Raises [Directory_not_empty]. *)
+
+val rename : t -> string -> string -> unit
+(** Atomically move (and, for regular files, replace) — directory-entry
+    removal, replacement deallocation, and insertion are one ARU under
+    [Per_operation].  Raises [Is_a_directory] when the destination is an
+    existing directory, [Invalid_name] when a directory would be moved
+    into its own subtree. *)
+
+val link : t -> string -> string -> unit
+(** [link t existing fresh] adds a hard link (regular files only:
+    raises [Is_a_directory] on directories).  The directory entry and
+    the link-count update are one ARU. *)
+
+val truncate : t -> string -> size:int -> unit
+(** Shrink (deallocating trailing blocks) or extend (the extension reads
+    as zeroes) a regular file, atomically under [Per_operation]. *)
+
+val write_file : t -> string -> off:int -> bytes -> unit
+(** Write (extending the file as needed; gaps read as zeroes). *)
+
+val read_file : t -> string -> off:int -> len:int -> bytes
+(** Reads at most [len] bytes (short at end-of-file). *)
+
+val readdir : t -> string -> string list
+(** Entry names, sorted. *)
+
+val stat : t -> string -> stat
+val exists : t -> string -> bool
+
+val flush : t -> unit
+(** LD Flush: make everything committed persistent. *)
+
+val lld : t -> Lld_core.Lld.t
+
+(** {1 Interfaces for consistency checking (see {!Fsck})} *)
+
+val superblock : t -> Superblock.t
+
+val iter_inodes : t -> (int -> Inode.t -> unit) -> unit
+(** Every inode slot (including free ones), ascending by number,
+    starting at {!Layout.root_ino}. *)
+
+val read_inode : t -> int -> Inode.t
+val dir_entries : t -> int -> Dirent.t list
+(** Raw entries of a directory given its inode number. *)
+
+(** {1 Repair hooks (used by {!Fsck} with [~repair:true])} *)
+
+val repair_remove_dirent : t -> dir:int -> string -> unit
+(** Clear a directory entry by name. *)
+
+val repair_free_inode : t -> int -> unit
+(** Free an inode, deleting its block list if it still exists.  No-op on
+    an already-free inode. *)
+
+val repair_set_nlinks : t -> int -> int -> unit
+(** [repair_set_nlinks t ino n] rewrites the link count. *)

@@ -1,0 +1,842 @@
+(* The Minix-like file system and its consistency checker, as a functor
+   over the Logical Disk signature: the same client runs unchanged on
+   the log-structured implementation (Lld) and on any alternative
+   implementation of Lld_core.Ld_intf.S — the interchangeability the
+   paper claims for LD (2).  The user-facing modules Fs and Fsck are
+   one shared application of this functor to Lld (see minix_make.ml);
+   lib/jld applies it to the journaling implementation. *)
+
+module Types = Lld_core.Types
+module Vec = Lld_util.Vec
+module Summary = Lld_core.Summary
+module Errors = Lld_core.Errors
+
+module Make (Ld : Lld_core.Ld_intf.S) = struct
+  module Fs_impl = struct
+
+    type aru_policy = No_arus | Per_operation
+    type delete_policy = Blocks_first | List_direct
+    type config = { aru_policy : aru_policy; delete_policy : delete_policy }
+
+    let config_old = { aru_policy = No_arus; delete_policy = Blocks_first }
+    let config_new = { aru_policy = Per_operation; delete_policy = Blocks_first }
+
+    let config_new_delete =
+      { aru_policy = Per_operation; delete_policy = List_direct }
+
+    type stat = { ino : int; kind : Layout.kind; size : int; nlinks : int }
+
+    exception Not_found_path of string
+    exception Already_exists of string
+    exception Not_a_directory of string
+    exception Is_a_directory of string
+    exception Directory_not_empty of string
+    exception Invalid_name of string
+    exception Out_of_inodes
+
+    (* Per-directory in-memory state: name -> (ino, byte offset of the
+       dirent), plus the free dirent slots within the current size. *)
+    type dir_state = {
+      entries : (string, int * int) Hashtbl.t;
+      mutable free_slots : int list;
+    }
+
+    type t = {
+      lld : Ld.t;
+      config : config;
+      sb : Superblock.t;
+      sb_block : Types.Block_id.t;
+      inode_blocks : Types.Block_id.t array;
+      mutable free_inodes : int list;
+      findex : (int, Types.Block_id.t Vec.t) Hashtbl.t;
+      dcache : (int, dir_state) Hashtbl.t;
+    }
+
+    let lld t = t.lld
+    let superblock t = t.sb
+    let flush t = Ld.flush t.lld
+    let bb = Layout.block_bytes
+
+    (* The Minix file-system code path itself costs CPU (path resolution,
+       dirent scanning) on the simulated testbed; it is charged once per
+       public operation and is identical across LLD variants. *)
+    let charge_op t =
+      Lld_sim.Clock.charge (Ld.clock t.lld) Lld_sim.Clock.Cpu
+        (Ld.cost_model t.lld).Lld_sim.Cost.fs_op_ns
+
+    (* ------------------------------------------------------------------ *)
+    (* ARU bracketing                                                      *)
+
+    let with_aru t f =
+      match t.config.aru_policy with
+      | No_arus -> f None
+      | Per_operation -> (
+        let a = Ld.begin_aru t.lld in
+        match f (Some a) with
+        | v ->
+          Ld.end_aru t.lld a;
+          v
+        | exception e ->
+          (* undo what we can and drop caches that may reflect the ARU's
+             shadow state *)
+          (try Ld.abort_aru t.lld a with Invalid_argument _ -> ());
+          Hashtbl.reset t.findex;
+          Hashtbl.reset t.dcache;
+          raise e)
+
+    (* ------------------------------------------------------------------ *)
+    (* Inodes                                                              *)
+
+    let check_ino t ino =
+      if ino < Layout.root_ino || ino >= t.sb.Superblock.inode_count then
+        raise (Errors.Corrupt (Printf.sprintf "inode %d out of range" ino))
+
+    let read_inode_aru t ?aru ino =
+      check_ino t ino;
+      let block = t.inode_blocks.(Inode.block_of_ino ino) in
+      Inode.read (Ld.read t.lld ?aru block) ~index:(Inode.index_of_ino ino)
+
+    let write_inode_aru t ?aru ino inode =
+      check_ino t ino;
+      let block = t.inode_blocks.(Inode.block_of_ino ino) in
+      let data = Ld.read t.lld ?aru block in
+      Inode.write data ~index:(Inode.index_of_ino ino) inode;
+      Ld.write t.lld ?aru block data
+
+    let read_inode t ino = read_inode_aru t ino
+
+    let alloc_inode t =
+      match t.free_inodes with
+      | [] -> raise Out_of_inodes
+      | ino :: rest ->
+        t.free_inodes <- rest;
+        ino
+
+    let release_inode t ino = t.free_inodes <- ino :: t.free_inodes
+
+    (* ------------------------------------------------------------------ *)
+    (* File block index                                                    *)
+
+    let file_blocks t ?aru (inode : Inode.t) ino =
+      match Hashtbl.find_opt t.findex ino with
+      | Some blocks -> blocks
+      | None ->
+        let blocks =
+          match inode.Inode.list with
+          | None -> Vec.create ()
+          | Some l -> Vec.of_list (Ld.list_blocks t.lld ?aru l)
+        in
+        Hashtbl.replace t.findex ino blocks;
+        blocks
+
+    let invalidate_file t ino = Hashtbl.remove t.findex ino
+
+    (* ------------------------------------------------------------------ *)
+    (* File I/O by inode                                                   *)
+
+    let file_read_ino t ?aru ino ~off ~len =
+      let inode = read_inode_aru t ?aru ino in
+      if off < 0 || len < 0 then invalid_arg "Fs.read_file: negative offset/length";
+      let len = max 0 (min len (inode.Inode.size - off)) in
+      if len = 0 then Bytes.empty
+      else begin
+        let blocks = file_blocks t ?aru inode ino in
+        let out = Bytes.make len '\000' in
+        let pos = ref off in
+        while !pos < off + len do
+          let bi = !pos / bb in
+          let boff = !pos mod bb in
+          let n = min (bb - boff) (off + len - !pos) in
+          (if bi < Vec.length blocks then
+             let data = Ld.read t.lld ?aru (Vec.get blocks bi) in
+             Bytes.blit data boff out (!pos - off) n);
+          pos := !pos + n
+        done;
+        out
+      end
+
+    (* Extend the file's list so it holds [needed] blocks (fresh blocks
+       read as zeroes).  A block's index within the file is its position on
+       the list, so even "holes" must be backed by allocated blocks. *)
+    let ensure_blocks t ?aru (inode : Inode.t) ino needed =
+      let list =
+        match inode.Inode.list with
+        | Some l -> l
+        | None -> raise (Errors.Corrupt (Printf.sprintf "inode %d has no list" ino))
+      in
+      let blocks = file_blocks t ?aru inode ino in
+      while Vec.length blocks < needed do
+        let pred =
+          match Vec.last blocks with
+          | None -> Summary.Head
+          | Some b -> Summary.After b
+        in
+        let b = Ld.new_block t.lld ?aru ~list ~pred () in
+        Vec.push blocks b
+      done;
+      blocks
+
+    let file_write_ino t ?aru ino ~off data =
+      if off < 0 then invalid_arg "Fs.write_file: negative offset";
+      let len = Bytes.length data in
+      let inode = read_inode_aru t ?aru ino in
+      let needed = (off + len + bb - 1) / bb in
+      let blocks = ensure_blocks t ?aru inode ino needed in
+      let pos = ref 0 in
+      while !pos < len do
+        let abs = off + !pos in
+        let bi = abs / bb in
+        let boff = abs mod bb in
+        let n = min (bb - boff) (len - !pos) in
+        let block = Vec.get blocks bi in
+        if n = bb then begin
+          (* full-block overwrite: no read-modify-write *)
+          Ld.write t.lld ?aru block (Bytes.sub data !pos bb)
+        end
+        else begin
+          let cur = Ld.read t.lld ?aru block in
+          Bytes.blit data !pos cur boff n;
+          Ld.write t.lld ?aru block cur
+        end;
+        pos := !pos + n
+      done;
+      if off + len > inode.Inode.size then
+        write_inode_aru t ?aru ino { inode with Inode.size = off + len }
+
+    (* ------------------------------------------------------------------ *)
+    (* Directories                                                         *)
+
+    let dir_state t ?aru dino =
+      match Hashtbl.find_opt t.dcache dino with
+      | Some st -> st
+      | None ->
+        let inode = read_inode_aru t ?aru dino in
+        let data = file_read_ino t ?aru dino ~off:0 ~len:inode.Inode.size in
+        let st = { entries = Hashtbl.create 64; free_slots = [] } in
+        let off = ref 0 in
+        while !off + Layout.dirent_bytes <= Bytes.length data do
+          (match Dirent.read data ~off:!off with
+          | Some e -> Hashtbl.replace st.entries e.Dirent.name (e.Dirent.ino, !off)
+          | None -> st.free_slots <- !off :: st.free_slots);
+          off := !off + Layout.dirent_bytes
+        done;
+        Hashtbl.replace t.dcache dino st;
+        st
+
+    let dir_lookup t ?aru dino name =
+      let st = dir_state t ?aru dino in
+      Hashtbl.find_opt st.entries name
+
+    let dirent_bytes_of e =
+      let b = Bytes.make Layout.dirent_bytes '\000' in
+      Dirent.write b ~off:0 e;
+      b
+
+    let dir_add t ?aru dino name ino =
+      let st = dir_state t ?aru dino in
+      let off =
+        match st.free_slots with
+        | o :: rest ->
+          st.free_slots <- rest;
+          o
+        | [] -> (read_inode_aru t ?aru dino).Inode.size
+      in
+      file_write_ino t ?aru dino ~off (dirent_bytes_of { Dirent.ino; name });
+      Hashtbl.replace st.entries name (ino, off)
+
+    let dir_remove t ?aru dino name =
+      let st = dir_state t ?aru dino in
+      match Hashtbl.find_opt st.entries name with
+      | None -> raise (Not_found_path name)
+      | Some (_, off) ->
+        file_write_ino t ?aru dino ~off (Bytes.make Layout.dirent_bytes '\000');
+        Hashtbl.remove st.entries name;
+        st.free_slots <- off :: st.free_slots
+
+    let dir_is_empty t ?aru dino =
+      Hashtbl.length (dir_state t ?aru dino).entries = 0
+
+    (* ------------------------------------------------------------------ *)
+    (* Paths                                                               *)
+
+    let split_path path =
+      if String.length path = 0 || path.[0] <> '/' then
+        raise (Invalid_name path);
+      List.filter (fun s -> s <> "") (String.split_on_char '/' path)
+
+    (* Resolve to the inode number, following directories. *)
+    let resolve t ?aru path =
+      let rec walk ino = function
+        | [] -> ino
+        | name :: rest -> (
+          let inode = read_inode_aru t ?aru ino in
+          if inode.Inode.kind <> Layout.Directory then raise (Not_a_directory path);
+          match dir_lookup t ?aru ino name with
+          | None -> raise (Not_found_path path)
+          | Some (child, _) -> walk child rest)
+      in
+      walk Layout.root_ino (split_path path)
+
+    (* Resolve to (parent directory inode, leaf name). *)
+    let resolve_parent t ?aru path =
+      match List.rev (split_path path) with
+      | [] -> raise (Invalid_name path)
+      | name :: rev_dirs ->
+        if not (Dirent.valid_name name) then raise (Invalid_name path);
+        let rec walk ino = function
+          | [] -> ino
+          | n :: rest -> (
+            let inode = read_inode_aru t ?aru ino in
+            if inode.Inode.kind <> Layout.Directory then
+              raise (Not_a_directory path);
+            match dir_lookup t ?aru ino n with
+            | None -> raise (Not_found_path path)
+            | Some (child, _) -> walk child rest)
+        in
+        let dino = walk Layout.root_ino (List.rev rev_dirs) in
+        (* the leaf's parent itself must be a directory, not just the
+           interior components *)
+        if (read_inode_aru t ?aru dino).Inode.kind <> Layout.Directory then
+          raise (Not_a_directory path);
+        (dino, name)
+
+    (* ------------------------------------------------------------------ *)
+    (* Operations                                                          *)
+
+    let create_node t path kind =
+      charge_op t;
+      let dino, name = resolve_parent t path in
+      if dir_lookup t dino name <> None then raise (Already_exists path);
+      with_aru t (fun aru ->
+          let ino = alloc_inode t in
+          let list = Ld.new_list t.lld ?aru () in
+          write_inode_aru t ?aru ino
+            { Inode.kind; nlinks = 1; size = 0; list = Some list };
+          dir_add t ?aru dino name ino)
+
+    let create t path = create_node t path Layout.Regular
+    let mkdir t path = create_node t path Layout.Directory
+
+    let delete_file_blocks t ?aru (inode : Inode.t) =
+      match inode.Inode.list with
+      | None -> ()
+      | Some list -> (
+        match t.config.delete_policy with
+        | List_direct -> Ld.delete_list t.lld ?aru list
+        | Blocks_first ->
+          (* the naive MinixLLD policy: deallocate each block, then the
+             emptied list.  Deallocating in reverse list order makes every
+             deallocation search the remaining list for a predecessor —
+             exactly the cost the paper's improved deletion avoids (§5.3). *)
+          let blocks = Ld.list_blocks t.lld ?aru list in
+          List.iter (fun b -> Ld.delete_block t.lld ?aru b) (List.rev blocks);
+          Ld.delete_list t.lld ?aru list)
+
+    (* Free the in-memory state of an inode that lost its last link. *)
+    let forget_inode t ino =
+      invalidate_file t ino;
+      Hashtbl.remove t.dcache ino;
+      release_inode t ino
+
+    (* Remove one directory entry to the inode; deallocate the file only
+       when this was its last link.  Returns whether the inode was freed. *)
+    let drop_link t ?aru ~dino ~name ~ino (inode : Inode.t) =
+      dir_remove t ?aru dino name;
+      if inode.Inode.kind = Layout.Regular && inode.Inode.nlinks > 1 then begin
+        write_inode_aru t ?aru ino
+          { inode with Inode.nlinks = inode.Inode.nlinks - 1 };
+        false
+      end
+      else begin
+        delete_file_blocks t ?aru inode;
+        write_inode_aru t ?aru ino Inode.free;
+        true
+      end
+
+    let unlink_node t path expect_dir =
+      charge_op t;
+      let dino, name = resolve_parent t path in
+      let ino =
+        match dir_lookup t dino name with
+        | None -> raise (Not_found_path path)
+        | Some (ino, _) -> ino
+      in
+      let inode = read_inode_aru t ino in
+      (match (inode.Inode.kind, expect_dir) with
+      | Layout.Directory, false -> raise (Is_a_directory path)
+      | Layout.Regular, true -> raise (Not_a_directory path)
+      | Layout.Free, _ ->
+        raise (Errors.Corrupt (Printf.sprintf "dirent to free inode %d" ino))
+      | Layout.Directory, true | Layout.Regular, false -> ());
+      if expect_dir && not (dir_is_empty t ino) then
+        raise (Directory_not_empty path);
+      let freed = with_aru t (fun aru -> drop_link t ?aru ~dino ~name ~ino inode) in
+      if freed then forget_inode t ino
+
+    let unlink t path = unlink_node t path false
+    let rmdir t path = unlink_node t path true
+
+    let rename t src dst =
+      charge_op t;
+      let sdino, sname = resolve_parent t src in
+      let sino =
+        match dir_lookup t sdino sname with
+        | None -> raise (Not_found_path src)
+        | Some (ino, _) -> ino
+      in
+      let sinode = read_inode_aru t sino in
+      let ddino, dname = resolve_parent t dst in
+      if sdino = ddino && sname = dname then () (* rename to itself: no-op *)
+      else begin
+      let replaced =
+        match dir_lookup t ddino dname with
+        | None -> None
+        | Some (rino, _) ->
+          let rinode = read_inode_aru t rino in
+          (match (rinode.Inode.kind, sinode.Inode.kind) with
+          | Layout.Directory, (Layout.Regular | Layout.Directory | Layout.Free) ->
+            raise (Is_a_directory dst)
+          | (Layout.Regular | Layout.Free), Layout.Directory ->
+            raise (Already_exists dst)
+          | Layout.Free, (Layout.Regular | Layout.Free) ->
+            raise (Errors.Corrupt (Printf.sprintf "dirent to free inode %d" rino))
+          | Layout.Regular, (Layout.Regular | Layout.Free) -> Some (rino, rinode))
+      in
+      match replaced with
+        | Some (rino, _) when rino = sino ->
+          (* both names link the same file: POSIX says do nothing *)
+          ()
+        | _ ->
+          (* a directory must not move into its own subtree *)
+          (if sinode.Inode.kind = Layout.Directory then begin
+             let rec is_strict_prefix a b =
+               match (a, b) with
+               | [], _ :: _ -> true
+               | x :: a', y :: b' -> String.equal x y && is_strict_prefix a' b'
+               | _, [] -> false
+             in
+             if is_strict_prefix (split_path src) (split_path dst) then
+               raise (Invalid_name dst)
+           end);
+          let freed_replacement =
+            with_aru t (fun aru ->
+                dir_remove t ?aru sdino sname;
+                let freed =
+                  match replaced with
+                  | Some (rino, rinode) ->
+                    if drop_link t ?aru ~dino:ddino ~name:dname ~ino:rino rinode
+                    then Some rino
+                    else None
+                  | None -> None
+                in
+                dir_add t ?aru ddino dname sino;
+                freed)
+          in
+          (match freed_replacement with
+          | Some rino -> forget_inode t rino
+          | None -> ())
+      end
+
+    let link t existing fresh =
+      charge_op t;
+      let ino = resolve t existing in
+      let inode = read_inode_aru t ino in
+      (match inode.Inode.kind with
+      | Layout.Directory -> raise (Is_a_directory existing)
+      | Layout.Free ->
+        raise (Errors.Corrupt (Printf.sprintf "resolved to free inode %d" ino))
+      | Layout.Regular -> ());
+      let dino, name = resolve_parent t fresh in
+      if dir_lookup t dino name <> None then raise (Already_exists fresh);
+      with_aru t (fun aru ->
+          dir_add t ?aru dino name ino;
+          write_inode_aru t ?aru ino
+            { inode with Inode.nlinks = inode.Inode.nlinks + 1 })
+
+    let truncate t path ~size =
+      charge_op t;
+      if size < 0 then invalid_arg "Fs.truncate: negative size";
+      let ino = resolve t path in
+      let inode = read_inode_aru t ino in
+      if inode.Inode.kind = Layout.Directory then raise (Is_a_directory path);
+      if size <> inode.Inode.size then
+        with_aru t (fun aru ->
+            let needed = (size + bb - 1) / bb in
+            (if size < inode.Inode.size then begin
+               let blocks = file_blocks t ?aru inode ino in
+               for i = Vec.length blocks - 1 downto needed do
+                 Ld.delete_block t.lld ?aru (Vec.get blocks i)
+               done;
+               Vec.truncate blocks needed;
+               (* zero the cut tail so a later extension reads zeroes *)
+               let tail = size mod bb in
+               if tail <> 0 && needed > 0 then begin
+                 let last = Vec.get blocks (needed - 1) in
+                 let data = Ld.read t.lld ?aru last in
+                 Bytes.fill data tail (bb - tail) '\000';
+                 Ld.write t.lld ?aru last data
+               end
+             end
+             else
+               (* a block's file position is its list position: extensions
+                  are backed by real (zero-reading) blocks *)
+               ignore (ensure_blocks t ?aru inode ino needed));
+            write_inode_aru t ?aru ino { inode with Inode.size = size })
+
+    let write_file t path ~off data =
+      charge_op t;
+      let ino = resolve t path in
+      let inode = read_inode_aru t ino in
+      if inode.Inode.kind = Layout.Directory then raise (Is_a_directory path);
+      file_write_ino t ino ~off data
+
+    let read_file t path ~off ~len =
+      charge_op t;
+      let ino = resolve t path in
+      let inode = read_inode_aru t ino in
+      if inode.Inode.kind = Layout.Directory then raise (Is_a_directory path);
+      file_read_ino t ino ~off ~len
+
+    let readdir t path =
+      charge_op t;
+      let ino = resolve t path in
+      let inode = read_inode_aru t ino in
+      if inode.Inode.kind <> Layout.Directory then raise (Not_a_directory path);
+      let st = dir_state t ino in
+      Hashtbl.fold (fun name _ acc -> name :: acc) st.entries []
+      |> List.sort String.compare
+
+    let stat t path =
+      charge_op t;
+      let ino = resolve t path in
+      let inode = read_inode_aru t ino in
+      {
+        ino;
+        kind = inode.Inode.kind;
+        size = inode.Inode.size;
+        nlinks = inode.Inode.nlinks;
+      }
+
+    let exists t path =
+      match resolve t path with
+      | _ -> true
+      | exception (Not_found_path _ | Not_a_directory _) -> false
+
+    (* ------------------------------------------------------------------ *)
+    (* Formatting and mounting                                             *)
+
+    let default_inode_count lld =
+      min 65536 (max 1024 (Ld.capacity lld / 6))
+
+    let scan_free_inodes t =
+      let free = ref [] in
+      let cached = Array.map (fun b -> lazy (Ld.read t.lld b)) t.inode_blocks in
+      for ino = t.sb.Superblock.inode_count - 1 downto Layout.root_ino + 1 do
+        let data = Lazy.force cached.(Inode.block_of_ino ino) in
+        let inode = Inode.read data ~index:(Inode.index_of_ino ino) in
+        if inode.Inode.kind = Layout.Free then free := ino :: !free
+      done;
+      t.free_inodes <- !free
+
+    let mkfs ?(config = config_new) ?inode_count lld =
+      let inode_count =
+        match inode_count with Some n -> min n 65536 | None -> default_inode_count lld
+      in
+      (* list 1: the superblock; list 2: the inode table *)
+      let sb_list = Ld.new_list lld () in
+      let sb_block = Ld.new_block lld ~list:sb_list ~pred:Summary.Head () in
+      let inode_list = Ld.new_list lld () in
+      let inode_block_count =
+        (inode_count + Layout.inodes_per_block - 1) / Layout.inodes_per_block
+      in
+      let inode_blocks = Array.make inode_block_count sb_block in
+      let pred = ref Summary.Head in
+      for i = 0 to inode_block_count - 1 do
+        let b = Ld.new_block lld ~list:inode_list ~pred:!pred () in
+        inode_blocks.(i) <- b;
+        pred := Summary.After b
+      done;
+      let sb =
+        { Superblock.inode_count; inode_list; root_ino = Layout.root_ino }
+      in
+      Ld.write lld sb_block (Superblock.encode sb);
+      let t =
+        {
+          lld;
+          config;
+          sb;
+          sb_block;
+          inode_blocks;
+          free_inodes = [];
+          findex = Hashtbl.create 256;
+          dcache = Hashtbl.create 64;
+        }
+      in
+      (* the root directory *)
+      let root_list = Ld.new_list lld () in
+      write_inode_aru t Layout.root_ino
+        { Inode.kind = Layout.Directory; nlinks = 1; size = 0; list = Some root_list };
+      Ld.flush lld;
+      t.free_inodes <-
+        List.init (inode_count - Layout.root_ino - 1) (fun i -> i + Layout.root_ino + 1);
+      t
+
+    let mount ?(config = config_new) lld =
+      let sb_list = Types.List_id.of_int 1 in
+      if not (Ld.list_exists lld sb_list) then
+        raise (Errors.Corrupt "no superblock list");
+      let sb_block =
+        match Ld.list_blocks lld sb_list with
+        | b :: _ -> b
+        | [] -> raise (Errors.Corrupt "superblock list is empty")
+      in
+      let sb = Superblock.decode (Ld.read lld sb_block) in
+      let inode_blocks = Array.of_list (Ld.list_blocks lld sb.Superblock.inode_list) in
+      let expected =
+        (sb.Superblock.inode_count + Layout.inodes_per_block - 1)
+        / Layout.inodes_per_block
+      in
+      if Array.length inode_blocks <> expected then
+        raise
+          (Errors.Corrupt
+             (Printf.sprintf "inode table has %d blocks, expected %d"
+                (Array.length inode_blocks) expected));
+      let t =
+        {
+          lld;
+          config;
+          sb;
+          sb_block;
+          inode_blocks;
+          free_inodes = [];
+          findex = Hashtbl.create 256;
+          dcache = Hashtbl.create 64;
+        }
+      in
+      scan_free_inodes t;
+      t
+
+    (* ------------------------------------------------------------------ *)
+    (* Interfaces for fsck                                                 *)
+
+    let iter_inodes t f =
+      let cached = Array.map (fun b -> lazy (Ld.read t.lld b)) t.inode_blocks in
+      for ino = Layout.root_ino to t.sb.Superblock.inode_count - 1 do
+        let data = Lazy.force cached.(Inode.block_of_ino ino) in
+        f ino (Inode.read data ~index:(Inode.index_of_ino ino))
+      done
+
+    let dir_entries t dino =
+      let inode = read_inode_aru t dino in
+      let data = file_read_ino t dino ~off:0 ~len:inode.Inode.size in
+      let acc = ref [] in
+      let off = ref 0 in
+      while !off + Layout.dirent_bytes <= Bytes.length data do
+        (match Dirent.read data ~off:!off with
+        | Some e -> acc := e :: !acc
+        | None -> ());
+        off := !off + Layout.dirent_bytes
+      done;
+      List.rev !acc
+
+    (* ------------------------------------------------------------------ *)
+    (* Repair hooks                                                        *)
+
+    let repair_remove_dirent t ~dir name = dir_remove t dir name
+
+    let repair_free_inode t ino =
+      let inode = read_inode_aru t ino in
+      if inode.Inode.kind <> Layout.Free then begin
+        (match inode.Inode.list with
+        | Some l when Ld.list_exists t.lld l -> Ld.delete_list t.lld l
+        | Some _ | None -> ());
+        write_inode_aru t ino Inode.free;
+        invalidate_file t ino;
+        Hashtbl.remove t.dcache ino;
+        release_inode t ino
+      end
+
+    let repair_set_nlinks t ino n =
+      let inode = read_inode_aru t ino in
+      if inode.Inode.kind <> Layout.Free then
+        write_inode_aru t ino { inode with Inode.nlinks = n }
+
+  end
+
+  module Fsck_impl = struct
+
+    type problem =
+      | Dangling_dirent of { dir : int; name : string; ino : int }
+      | Inode_without_list of { ino : int }
+      | Shared_list of { list : int; inos : int list }
+      | Size_mismatch of { ino : int; size : int; blocks : int }
+      | Unreachable_inode of { ino : int }
+      | Bad_nlinks of { ino : int; nlinks : int; refs : int }
+      | Orphan_list of { list : int }
+      | Orphan_block of { block : int }
+
+    let pp_problem ppf = function
+      | Dangling_dirent { dir; name; ino } ->
+        Format.fprintf ppf "dangling dirent %S in dir inode %d -> free inode %d"
+          name dir ino
+      | Inode_without_list { ino } ->
+        Format.fprintf ppf "inode %d references a non-existent list" ino
+      | Shared_list { list; inos } ->
+        Format.fprintf ppf "list %d shared by inodes %a" list
+          Fmt.(Dump.list int) inos
+      | Size_mismatch { ino; size; blocks } ->
+        Format.fprintf ppf "inode %d: size %d inconsistent with %d blocks" ino size
+          blocks
+      | Unreachable_inode { ino } ->
+        Format.fprintf ppf "inode %d allocated but unreachable from /" ino
+      | Bad_nlinks { ino; nlinks; refs } ->
+        Format.fprintf ppf "inode %d: nlinks %d but %d directory entries" ino
+          nlinks refs
+      | Orphan_list { list } ->
+        Format.fprintf ppf "list %d exists but no file references it" list
+      | Orphan_block { block } ->
+        Format.fprintf ppf "block %d allocated but on no list" block
+
+    type report = {
+      problems : problem list;
+      checked_inodes : int;
+      checked_lists : int;
+      repaired : int;
+    }
+
+    let ok r = r.problems = []
+
+    let pp_report ppf r =
+      if ok r then
+        Format.fprintf ppf "clean (%d inodes, %d lists checked)" r.checked_inodes
+          r.checked_lists
+      else
+        Format.fprintf ppf "@[<v>%d problem(s) (%d repaired):@,%a@]"
+          (List.length r.problems) r.repaired
+          (Format.pp_print_list pp_problem)
+          r.problems
+
+    let run ?(repair = false) fs =
+      let lld = Fs_impl.lld fs in
+      let sb = Fs_impl.superblock fs in
+      let problems = ref [] in
+      let repaired = ref 0 in
+      let note p = problems := p :: !problems in
+      let fix f =
+        if repair then begin
+          f ();
+          incr repaired
+        end
+      in
+      (* 1. inode-level checks: lists exist, are unshared, sizes match *)
+      let list_owner = Hashtbl.create 256 in
+      let allocated = Hashtbl.create 256 in
+      let checked_inodes = ref 0 in
+      Fs_impl.iter_inodes fs (fun ino inode ->
+          incr checked_inodes;
+          match inode.Inode.kind with
+          | Layout.Free -> ()
+          | Layout.Regular | Layout.Directory -> (
+            Hashtbl.replace allocated ino inode;
+            match inode.Inode.list with
+            | None -> note (Inode_without_list { ino })
+            | Some l ->
+              if not (Ld.list_exists lld l) then note (Inode_without_list { ino })
+              else begin
+                let key = Types.List_id.to_int l in
+                (match Hashtbl.find_opt list_owner key with
+                | Some prev ->
+                  note (Shared_list { list = key; inos = [ prev; ino ] })
+                | None -> Hashtbl.replace list_owner key ino);
+                let blocks = List.length (Ld.list_blocks lld l) in
+                let needed =
+                  (inode.Inode.size + Layout.block_bytes - 1) / Layout.block_bytes
+                in
+                (* trailing blocks beyond the recorded size are benign:
+                   plain writes are not bracketed in ARUs (paper §5.1), so a
+                   crash between a block append and the inode-size update
+                   leaves an extra block that reads never see and deletion
+                   frees.  Fewer blocks than the size claims is data loss. *)
+                if blocks < needed then
+                  note (Size_mismatch { ino; size = inode.Inode.size; blocks })
+              end));
+      (* 2. directory walk: dirents valid, reachability, link counts *)
+      let reachable = Hashtbl.create 256 in
+      let refs = Hashtbl.create 256 in
+      Hashtbl.replace reachable Layout.root_ino ();
+      let rec walk dino =
+        List.iter
+          (fun (e : Dirent.t) ->
+            let ino = e.Dirent.ino in
+            match Hashtbl.find_opt allocated ino with
+            | None ->
+              note (Dangling_dirent { dir = dino; name = e.Dirent.name; ino })
+            | Some inode ->
+              Hashtbl.replace refs ino
+                (1 + Option.value ~default:0 (Hashtbl.find_opt refs ino));
+              if not (Hashtbl.mem reachable ino) then begin
+                Hashtbl.replace reachable ino ();
+                if inode.Inode.kind = Layout.Directory then walk ino
+              end)
+          (Fs_impl.dir_entries fs dino)
+      in
+      (match Hashtbl.find_opt allocated Layout.root_ino with
+      | Some _ -> walk Layout.root_ino
+      | None -> note (Unreachable_inode { ino = Layout.root_ino }));
+      Hashtbl.iter
+        (fun ino (inode : Inode.t) ->
+          if not (Hashtbl.mem reachable ino) then note (Unreachable_inode { ino })
+          else if inode.Inode.kind = Layout.Regular then begin
+            let r = Option.value ~default:0 (Hashtbl.find_opt refs ino) in
+            if r <> inode.Inode.nlinks then
+              note (Bad_nlinks { ino; nlinks = inode.Inode.nlinks; refs = r })
+          end)
+        allocated;
+      (* 3. LD-level checks: every list belongs to the fs, no orphan blocks *)
+      let fs_lists = Hashtbl.create 256 in
+      Hashtbl.replace fs_lists 1 () (* the superblock list *);
+      Hashtbl.replace fs_lists (Types.List_id.to_int sb.Superblock.inode_list) ();
+      Hashtbl.iter (fun l _ -> Hashtbl.replace fs_lists l ()) list_owner;
+      let checked_lists = ref 0 in
+      List.iter
+        (fun l ->
+          incr checked_lists;
+          let key = Types.List_id.to_int l in
+          if not (Hashtbl.mem fs_lists key) then begin
+            note (Orphan_list { list = key });
+            fix (fun () -> Ld.delete_list lld l)
+          end)
+        (Ld.lists lld);
+      List.iter
+        (fun b -> note (Orphan_block { block = Types.Block_id.to_int b }))
+        (Ld.orphan_blocks lld);
+      if repair then repaired := !repaired + Ld.scavenge lld;
+      (* 4. repairs that need the full problem list *)
+      if repair then
+        List.iter
+          (function
+            | Dangling_dirent { dir; name; _ } ->
+              Fs_impl.repair_remove_dirent fs ~dir name;
+              incr repaired
+            | Unreachable_inode { ino } when ino <> Layout.root_ino ->
+              Fs_impl.repair_free_inode fs ino;
+              incr repaired
+            | Inode_without_list { ino } ->
+              Fs_impl.repair_free_inode fs ino;
+              incr repaired
+            | Bad_nlinks { ino; refs; _ } ->
+              Fs_impl.repair_set_nlinks fs ino refs;
+              incr repaired
+            | Unreachable_inode _ | Shared_list _ | Size_mismatch _
+            | Orphan_list _ | Orphan_block _ ->
+              ())
+          !problems;
+      {
+        problems = List.rev !problems;
+        checked_inodes = !checked_inodes;
+        checked_lists = !checked_lists;
+        repaired = !repaired;
+      }
+
+  end
+end

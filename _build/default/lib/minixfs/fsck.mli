@@ -1,0 +1,48 @@
+(** File-system consistency checker.
+
+    The paper's point (§5.1) is that with ARUs {e no} fsck is needed:
+    after recovery the file system is consistent by construction.  This
+    checker exists to {e demonstrate} that — tests and examples run it
+    after crashes to show a clean report under [Per_operation] and
+    inconsistencies under [No_arus] — and to repair the latter, playing
+    the role of the UNIX fsck the paper makes obsolete. *)
+
+type problem =
+  | Dangling_dirent of { dir : int; name : string; ino : int }
+      (** directory entry naming a free or out-of-range inode *)
+  | Inode_without_list of { ino : int }
+      (** allocated inode whose block list does not exist in LD *)
+  | Shared_list of { list : int; inos : int list }
+      (** two inodes claim the same block list *)
+  | Size_mismatch of { ino : int; size : int; blocks : int }
+      (** the inode's size needs more blocks than its list holds (data
+          loss); extra trailing blocks are benign — plain writes are not
+          bracketed in ARUs, see the paper §5.1 *)
+  | Unreachable_inode of { ino : int }
+      (** allocated inode not referenced by any directory *)
+  | Bad_nlinks of { ino : int; nlinks : int; refs : int }
+      (** a regular file's link count disagrees with the number of
+          directory entries referencing it *)
+  | Orphan_list of { list : int }
+      (** LD list referenced by no file-system object (e.g. created by
+          an ARU that never committed) *)
+  | Orphan_block of { block : int }
+      (** LD block allocated but on no list (aborted-ARU allocations) *)
+
+val pp_problem : Format.formatter -> problem -> unit
+
+type report = {
+  problems : problem list;
+  checked_inodes : int;
+  checked_lists : int;
+  repaired : int;  (** 0 unless [~repair:true] *)
+}
+
+val ok : report -> bool
+
+val pp_report : Format.formatter -> report -> unit
+
+val run : ?repair:bool -> Fs.t -> report
+(** Walk the whole file system and the LD name-spaces.  With
+    [~repair:true], dangling dirents are cleared, unreachable inodes
+    freed, orphan lists deleted and orphan blocks scavenged. *)

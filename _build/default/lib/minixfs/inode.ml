@@ -1,0 +1,35 @@
+module Codec = Lld_util.Bytes_codec
+
+type t = {
+  kind : Layout.kind;
+  nlinks : int;
+  size : int;
+  list : Lld_core.Types.List_id.t option;
+}
+
+let free = { kind = Layout.Free; nlinks = 0; size = 0; list = None }
+
+let read block ~index =
+  let off = index * Layout.inode_bytes in
+  let kind = Layout.kind_of_int (Codec.get_u16 block off) in
+  let nlinks = Codec.get_u16 block (off + 2) in
+  let size = Codec.get_u32 block (off + 4) in
+  let list =
+    match Codec.get_u32 block (off + 8) with
+    | 0 -> None
+    | l -> Some (Lld_core.Types.List_id.of_int l)
+  in
+  { kind; nlinks; size; list }
+
+let write block ~index t =
+  let off = index * Layout.inode_bytes in
+  Codec.set_u16 block off (Layout.kind_to_int t.kind);
+  Codec.set_u16 block (off + 2) t.nlinks;
+  Codec.set_u32 block (off + 4) t.size;
+  Codec.set_u32 block (off + 8)
+    (match t.list with
+    | None -> 0
+    | Some l -> Lld_core.Types.List_id.to_int l)
+
+let block_of_ino ino = ino / Layout.inodes_per_block
+let index_of_ino ino = ino mod Layout.inodes_per_block

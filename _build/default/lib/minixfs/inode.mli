@@ -1,0 +1,26 @@
+(** Inode codec: 32-byte records packed into the inode-table blocks.
+
+    An inode names the LD list holding the file's data blocks; there are
+    no direct/indirect block pointers (disk management belongs to LD,
+    paper §2). *)
+
+type t = {
+  kind : Layout.kind;
+  nlinks : int;
+  size : int;  (** bytes *)
+  list : Lld_core.Types.List_id.t option;  (** [None] iff never assigned *)
+}
+
+val free : t
+
+val read : bytes -> index:int -> t
+(** [read block ~index] decodes slot [index] of an inode-table block. *)
+
+val write : bytes -> index:int -> t -> unit
+(** Patch slot [index] in place. *)
+
+val block_of_ino : int -> int
+(** Which inode-table block holds this inode. *)
+
+val index_of_ino : int -> int
+(** Slot within that block. *)

@@ -1,0 +1,5 @@
+(* The single shared application of the file-system functor to the
+   log-structured Logical Disk.  Fs and Fsck both include from here so
+   their types and exceptions are the same modules. *)
+
+module Applied = Fs_generic.Make (Lld_core.Lld)

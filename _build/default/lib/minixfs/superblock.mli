@@ -1,0 +1,18 @@
+(** The superblock: the file system's root of trust.
+
+    Stored in the first block of LD list 1 (the first list [mkfs]
+    creates — LD list allocation is deterministic, so list 1 is the
+    file system's well-known entry point). *)
+
+type t = {
+  inode_count : int;
+  inode_list : Lld_core.Types.List_id.t;  (** list holding the inode table *)
+  root_ino : int;
+}
+
+val encode : t -> bytes
+(** One full block. *)
+
+val decode : bytes -> t
+(** Raises [Lld_core.Errors.Corrupt] on a bad magic or malformed
+    contents. *)

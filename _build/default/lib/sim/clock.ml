@@ -1,0 +1,26 @@
+type category = Cpu | Io
+
+type t = { mutable now : int; mutable cpu : int; mutable io : int }
+
+let create () = { now = 0; cpu = 0; io = 0 }
+let now_ns t = t.now
+
+let charge t cat ns =
+  if ns < 0 then invalid_arg "Clock.charge: negative duration";
+  t.now <- t.now + ns;
+  match cat with
+  | Cpu -> t.cpu <- t.cpu + ns
+  | Io -> t.io <- t.io + ns
+
+let total_ns t = function Cpu -> t.cpu | Io -> t.io
+
+let reset t =
+  t.now <- 0;
+  t.cpu <- 0;
+  t.io <- 0
+
+let pp ppf t =
+  Format.fprintf ppf "t=%.3fs (cpu %.3fs, io %.3fs)"
+    (float_of_int t.now /. 1e9)
+    (float_of_int t.cpu /. 1e9)
+    (float_of_int t.io /. 1e9)

@@ -1,0 +1,32 @@
+(** A virtual clock measuring simulated nanoseconds.
+
+    All time in the reproduction is virtual: the disk model charges
+    mechanical latencies and the cost model charges 1996-era CPU time to
+    the same clock, so reported throughput has the CPU/disk balance of
+    the paper's SPARC-5/70 testbed rather than of the machine running
+    the simulation (see DESIGN.md §2). *)
+
+type t
+
+(** Accounting category for a charge; totals are queryable per
+    category. *)
+type category =
+  | Cpu  (** meta-data manipulation, copies — the paper's "run-time overhead" *)
+  | Io  (** simulated disk mechanics: seek, rotation, transfer *)
+
+val create : unit -> t
+
+val now_ns : t -> int
+(** Total virtual nanoseconds elapsed since creation. *)
+
+val charge : t -> category -> int -> unit
+(** [charge t cat ns] advances the clock by [ns] (which must be
+    non-negative) and attributes it to [cat]. *)
+
+val total_ns : t -> category -> int
+(** Cumulative nanoseconds charged to the category. *)
+
+val reset : t -> unit
+(** Zero the clock and all category totals. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+type t = {
+  op_dispatch_ns : int;
+  record_lookup_ns : int;
+  record_create_ns : int;
+  record_transition_ns : int;
+  mesh_hop_ns : int;
+  pred_search_hop_ns : int;
+  summary_entry_ns : int;
+  link_log_append_ns : int;
+  link_log_replay_ns : int;
+  aru_begin_ns : int;
+  aru_commit_ns : int;
+  block_copy_ns : int;
+  block_read_cpu_ns : int;
+  version_search_ns : int;
+  fs_op_ns : int;
+}
+
+(* Calibration anchors (DESIGN.md §5.4):
+   - Begin+End of an empty ARU must cost ~78.47 us minus its share of
+     commit-record I/O (~11 us), i.e. ~67 us CPU:
+     2*op_dispatch + aru_begin + aru_commit + summary_entry = 67.0 us.
+   - block_copy: a 4 KB memcpy at ~60 MB/s on the SPARC-5/70.
+   - the remaining constants are a few hundred to a few thousand cycles
+     at 14.3 ns/cycle, sized so the small-file experiments land in the
+     paper's 4-7 % (create) and 18-25 % (delete) overhead bands. *)
+let sparc5_70 =
+  {
+    op_dispatch_ns = 500;
+    record_lookup_ns = 1_500;
+    record_create_ns = 15_000;
+    record_transition_ns = 10_000;
+    mesh_hop_ns = 300;
+    pred_search_hop_ns = 4_000;
+    summary_entry_ns = 5_000;
+    link_log_append_ns = 2_000;
+    link_log_replay_ns = 10_000;
+    aru_begin_ns = 10_000;
+    aru_commit_ns = 57_000;
+    block_copy_ns = 65_000;
+    block_read_cpu_ns = 10_000;
+    version_search_ns = 400;
+    fs_op_ns = 600_000;
+  }
+
+let free =
+  {
+    op_dispatch_ns = 0;
+    record_lookup_ns = 0;
+    record_create_ns = 0;
+    record_transition_ns = 0;
+    mesh_hop_ns = 0;
+    pred_search_hop_ns = 0;
+    summary_entry_ns = 0;
+    link_log_append_ns = 0;
+    link_log_replay_ns = 0;
+    aru_begin_ns = 0;
+    aru_commit_ns = 0;
+    block_copy_ns = 0;
+    block_read_cpu_ns = 0;
+    version_search_ns = 0;
+    fs_op_ns = 0;
+  }

@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every randomised workload and property test seeds its own generator
+    so experiments and failures reproduce exactly. *)
+
+type t
+
+val create : seed:int -> t
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] returns a uniform value in [\[0, bound)]. [bound] must
+    be positive. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** Derive an independent generator (for nested deterministic streams). *)

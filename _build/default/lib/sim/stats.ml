@@ -1,0 +1,42 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let summarize = function
+  | [] -> invalid_arg "Stats.summarize: empty sample"
+  | xs ->
+    let n = List.length xs in
+    let sum = List.fold_left ( +. ) 0. xs in
+    let mean = sum /. float_of_int n in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs in
+    let stddev = if n > 1 then sqrt (sq /. float_of_int (n - 1)) else 0. in
+    {
+      count = n;
+      mean;
+      stddev;
+      min = List.fold_left min infinity xs;
+      max = List.fold_left max neg_infinity xs;
+    }
+
+let percentile xs p =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty sample"
+  | _ ->
+    if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+    let sorted = List.sort compare xs in
+    let a = Array.of_list sorted in
+    let n = Array.length a in
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+
+let percent_diff ~baseline v =
+  if baseline = 0. then invalid_arg "Stats.percent_diff: zero baseline";
+  (baseline -. v) /. baseline *. 100.
+
+let throughput ~work ~elapsed_ns =
+  if elapsed_ns <= 0 then invalid_arg "Stats.throughput: non-positive time";
+  work /. (float_of_int elapsed_ns /. 1e9)

@@ -1,0 +1,1 @@
+lib/util/bytes_codec.ml: Buffer Bytes Char Int64 String

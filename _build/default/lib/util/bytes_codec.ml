@@ -1,0 +1,109 @@
+exception Truncated
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(capacity = 256) () = Buffer.create capacity
+  let length = Buffer.length
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+
+  let u16 t v =
+    u8 t v;
+    u8 t (v lsr 8)
+
+  let u32 t v =
+    u16 t (v land 0xffff);
+    u16 t ((v lsr 16) land 0xffff)
+
+  let u64 t v =
+    u32 t (Int64.to_int (Int64.logand v 0xffffffffL));
+    u32 t (Int64.to_int (Int64.logand (Int64.shift_right_logical v 32) 0xffffffffL))
+
+  let raw t b = Buffer.add_bytes t b
+  let string t s =
+    u16 t (String.length s);
+    Buffer.add_string t s
+
+  let contents t = Buffer.to_bytes t
+end
+
+module Reader = struct
+  type t = { buf : bytes; mutable pos : int; limit : int }
+
+  let of_bytes ?(pos = 0) ?len buf =
+    let limit = match len with None -> Bytes.length buf | Some l -> pos + l in
+    if pos < 0 || limit > Bytes.length buf then invalid_arg "Reader.of_bytes";
+    { buf; pos; limit }
+
+  let pos t = t.pos
+  let remaining t = t.limit - t.pos
+
+  let need t n = if t.limit - t.pos < n then raise Truncated
+
+  let u8 t =
+    need t 1;
+    let v = Char.code (Bytes.get t.buf t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let lo = u8 t in
+    let hi = u8 t in
+    lo lor (hi lsl 8)
+
+  let u32 t =
+    let lo = u16 t in
+    let hi = u16 t in
+    lo lor (hi lsl 16)
+
+  let u64 t =
+    let lo = u32 t in
+    let hi = u32 t in
+    Int64.logor (Int64.of_int lo)
+      (Int64.shift_left (Int64.of_int hi) 32)
+
+  let raw t n =
+    need t n;
+    let b = Bytes.sub t.buf t.pos n in
+    t.pos <- t.pos + n;
+    b
+
+  let string t =
+    let n = u16 t in
+    Bytes.to_string (raw t n)
+end
+
+let fnv1a ?(pos = 0) ?len buf =
+  let len = match len with None -> Bytes.length buf - pos | Some l -> l in
+  let h = ref 0xcbf29ce484222325L in
+  for i = pos to pos + len - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.get buf i)));
+    h := Int64.mul !h 0x100000001b3L
+  done;
+  !h
+
+let get_u16 b off = Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+
+let set_u16 b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff))
+
+let get_u32 b off = get_u16 b off lor (get_u16 b (off + 2) lsl 16)
+
+let set_u32 b off v =
+  set_u16 b off (v land 0xffff);
+  set_u16 b (off + 2) ((v lsr 16) land 0xffff)
+
+let hash64 ?(pos = 0) ?len buf =
+  let len = match len with None -> Bytes.length buf - pos | Some l -> l in
+  let h = ref 0xcbf29ce484222325L in
+  let words = len / 8 in
+  for i = 0 to words - 1 do
+    h := Int64.logxor !h (Bytes.get_int64_le buf (pos + (i * 8)));
+    h := Int64.mul !h 0x100000001b3L
+  done;
+  for i = pos + (words * 8) to pos + len - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.get buf i)));
+    h := Int64.mul !h 0x100000001b3L
+  done;
+  !h

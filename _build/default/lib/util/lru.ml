@@ -1,0 +1,82 @@
+(* Doubly-linked list threaded through a hash table: O(1) find/add/remove.
+   The list head is the most-recently-used entry. *)
+
+type 'a node = {
+  key : int;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  capacity : int;
+  table : (int, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { capacity; table = Hashtbl.create 64; head = None; tail = None; evictions = 0 }
+
+let detach t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some node ->
+    detach t node;
+    push_front t node;
+    Some node.value
+
+let mem t k = Hashtbl.mem t.table k
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some node ->
+    detach t node;
+    Hashtbl.remove t.table k
+
+let evict_tail t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+    detach t node;
+    Hashtbl.remove t.table node.key;
+    t.evictions <- t.evictions + 1
+
+let add t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+    node.value <- v;
+    detach t node;
+    push_front t node
+  | None ->
+    if Hashtbl.length t.table >= t.capacity then evict_tail t;
+    let node = { key = k; value = v; prev = None; next = None } in
+    Hashtbl.replace t.table k node;
+    push_front t node
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let length t = Hashtbl.length t.table
+let capacity t = t.capacity
+let evictions t = t.evictions

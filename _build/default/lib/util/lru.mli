@@ -1,0 +1,29 @@
+(** A small, generic LRU cache keyed by integers, used for the logical
+    disk's persistent-block read cache. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] holds at most [capacity] entries; inserting into a
+    full cache evicts the least-recently-used entry. [capacity] must be
+    positive. *)
+
+val find : 'a t -> int -> 'a option
+(** [find t k] returns the cached value and marks it most-recently used. *)
+
+val mem : 'a t -> int -> bool
+(** Membership test that does not change recency. *)
+
+val add : 'a t -> int -> 'a -> unit
+(** Insert or replace; the entry becomes most-recently used. *)
+
+val remove : 'a t -> int -> unit
+
+val clear : 'a t -> unit
+
+val length : 'a t -> int
+
+val capacity : 'a t -> int
+
+val evictions : 'a t -> int
+(** Number of entries evicted due to capacity since creation. *)

@@ -1,0 +1,49 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable length : int;
+}
+
+let create () = { data = [||]; length = 0 }
+
+let length t = t.length
+
+let check t i =
+  if i < 0 || i >= t.length then invalid_arg "Vec: index out of bounds"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i v =
+  check t i;
+  t.data.(i) <- v
+
+let grow t =
+  let cap = max 8 (2 * Array.length t.data) in
+  let data = Array.make cap t.data.(0) in
+  Array.blit t.data 0 data 0 t.length;
+  t.data <- data
+
+let push t v =
+  if t.length = Array.length t.data then
+    if t.length = 0 then t.data <- Array.make 8 v else grow t;
+  t.data.(t.length) <- v;
+  t.length <- t.length + 1
+
+let of_list l =
+  let t = create () in
+  List.iter (push t) l;
+  t
+
+let last t = if t.length = 0 then None else Some t.data.(t.length - 1)
+
+let truncate t n =
+  if n < 0 then invalid_arg "Vec.truncate: negative length";
+  if n < t.length then t.length <- n
+
+let to_list t = Array.to_list (Array.sub t.data 0 t.length)
+
+let iter f t =
+  for i = 0 to t.length - 1 do
+    f t.data.(i)
+  done

@@ -1,0 +1,26 @@
+(** A growable array (amortised O(1) append). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val of_list : 'a list -> 'a t
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+
+val last : 'a t -> 'a option
+
+val truncate : 'a t -> int -> unit
+(** [truncate t n] drops elements from index [n] on; no-op when [n >=
+    length t].  Raises [Invalid_argument] on negative [n]. *)
+
+val to_list : 'a t -> 'a list
+
+val iter : ('a -> unit) -> 'a t -> unit

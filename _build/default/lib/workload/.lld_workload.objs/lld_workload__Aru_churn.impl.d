@@ -1,0 +1,1 @@
+lib/workload/aru_churn.ml: Lld_core Lld_sim

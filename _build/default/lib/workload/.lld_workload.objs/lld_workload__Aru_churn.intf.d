@@ -1,0 +1,1 @@
+lib/workload/aru_churn.mli: Lld_core

@@ -1,0 +1,1 @@
+lib/workload/concurrent.ml: Bytes Char List Lld_core Lld_sim

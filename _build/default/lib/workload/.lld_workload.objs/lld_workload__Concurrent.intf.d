@@ -1,0 +1,1 @@
+lib/workload/concurrent.mli: Lld_core

@@ -1,0 +1,1 @@
+lib/workload/largefile.ml: Array Bytes Char Fun Lld_minixfs Lld_sim Setup

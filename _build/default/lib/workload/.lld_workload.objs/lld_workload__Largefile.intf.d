@@ -1,0 +1,1 @@
+lib/workload/largefile.mli: Setup

@@ -1,0 +1,1 @@
+lib/workload/mixed.ml: Bytes Char List Lld_minixfs Lld_sim Printf Setup

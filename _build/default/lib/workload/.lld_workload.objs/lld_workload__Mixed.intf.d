@@ -1,0 +1,1 @@
+lib/workload/mixed.mli: Setup

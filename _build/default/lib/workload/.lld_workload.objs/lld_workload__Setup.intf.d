@@ -1,0 +1,1 @@
+lib/workload/setup.mli: Lld_core Lld_disk Lld_minixfs Lld_sim

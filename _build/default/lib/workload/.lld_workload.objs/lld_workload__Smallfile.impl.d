@@ -1,0 +1,1 @@
+lib/workload/smallfile.ml: Bytes Char Lld_core Lld_minixfs Lld_sim Printf Setup

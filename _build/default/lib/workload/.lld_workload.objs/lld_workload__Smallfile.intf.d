@@ -1,0 +1,1 @@
+lib/workload/smallfile.mli: Setup

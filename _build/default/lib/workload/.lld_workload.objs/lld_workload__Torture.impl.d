@@ -1,0 +1,1 @@
+lib/workload/torture.ml: Bytes List Lld_core Lld_disk Lld_minixfs Lld_sim Printf

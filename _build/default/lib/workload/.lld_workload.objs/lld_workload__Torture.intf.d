@@ -1,0 +1,1 @@
+lib/workload/torture.mli: Lld_minixfs Lld_sim

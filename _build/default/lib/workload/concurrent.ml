@@ -1,0 +1,127 @@
+module Clock = Lld_sim.Clock
+module Rng = Lld_sim.Rng
+module Types = Lld_core.Types
+module Lld = Lld_core.Lld
+module Counters = Lld_core.Counters
+module Summary = Lld_core.Summary
+
+type params = { streams : int; ops_per_stream : int; seed : int }
+
+let default = { streams = 8; ops_per_stream = 200; seed = 7 }
+
+type result = {
+  params : params;
+  elapsed_ns : int;
+  ops : int;
+  us_per_op : float;
+  record_creates : int;
+  mesh_hops : int;
+}
+
+(* One client stream: a private list plus the blocks it put there. *)
+type stream = {
+  aru : Types.Aru_id.t;
+  list : Types.List_id.t;
+  mutable blocks : Types.Block_id.t list; (* reverse order *)
+  rng : Rng.t;
+  mutable remaining : int;
+}
+
+let block_bytes = 4096
+
+let start lld ~seed ~ops =
+  let aru = Lld.begin_aru lld in
+  let list = Lld.new_list lld ~aru () in
+  { aru; list; blocks = []; rng = Rng.create ~seed; remaining = ops }
+
+(* Execute one operation of the stream; returns false when done. *)
+let step lld s =
+  if s.remaining <= 0 then false
+  else begin
+    s.remaining <- s.remaining - 1;
+    (match (Rng.int s.rng 10, s.blocks) with
+    | (0 | 1 | 2 | 3), _ | _, [] ->
+      (* append a block *)
+      let pred =
+        match s.blocks with
+        | [] -> Summary.Head
+        | b :: _ -> Summary.After b
+      in
+      let b = Lld.new_block lld ~aru:s.aru ~list:s.list ~pred () in
+      s.blocks <- b :: s.blocks
+    | (4 | 5 | 6 | 7), b :: _ ->
+      (* write the most recent block *)
+      let data = Bytes.make block_bytes (Char.chr (Rng.int s.rng 256)) in
+      Lld.write lld ~aru:s.aru b data
+    | (8 | 9), b :: rest ->
+      (* read it back, occasionally delete it *)
+      ignore (Lld.read lld ~aru:s.aru b);
+      if Rng.int s.rng 3 = 0 then begin
+        Lld.delete_block lld ~aru:s.aru b;
+        s.blocks <- rest
+      end
+    | _, _ :: _ -> assert false);
+    true
+  end
+
+let finish lld s = Lld.end_aru lld s.aru
+
+let measure lld f =
+  let clock = Lld.clock lld in
+  let counters = Lld.counters lld in
+  let t0 = Clock.now_ns clock in
+  let creates0 = counters.Counters.record_creates in
+  let hops0 = counters.Counters.mesh_hops in
+  let ops = f () in
+  let elapsed_ns = Clock.now_ns clock - t0 in
+  ( elapsed_ns,
+    ops,
+    counters.Counters.record_creates - creates0,
+    counters.Counters.mesh_hops - hops0 )
+
+let mk_result params (elapsed_ns, ops, record_creates, mesh_hops) =
+  {
+    params;
+    elapsed_ns;
+    ops;
+    us_per_op = float_of_int elapsed_ns /. 1e3 /. float_of_int (max 1 ops);
+    record_creates;
+    mesh_hops;
+  }
+
+let run_interleaved lld p =
+  mk_result p
+    (measure lld (fun () ->
+         let streams =
+           List.init p.streams (fun i ->
+               start lld ~seed:(p.seed + i) ~ops:p.ops_per_stream)
+         in
+         let ops = ref 0 in
+         let progressed = ref true in
+         while !progressed do
+           progressed := false;
+           List.iter
+             (fun s ->
+               if step lld s then begin
+                 incr ops;
+                 progressed := true
+               end)
+             streams
+         done;
+         List.iter (finish lld) streams;
+         Lld.flush lld;
+         !ops))
+
+let run_serial lld p =
+  mk_result p
+    (measure lld (fun () ->
+         let ops = ref 0 in
+         for i = 0 to p.streams - 1 do
+           let s = start lld ~seed:(p.seed + i) ~ops:p.ops_per_stream in
+           while step lld s do
+             incr ops
+           done;
+           finish lld s
+         done;
+         Lld.flush lld;
+         !ops))

@@ -1,0 +1,33 @@
+(** A concurrency workload on the raw LD interface: [streams] logical
+    clients, each building and mutating its own list inside its own ARU,
+    interleaved round-robin; all commit at the end.
+
+    Exercises exactly the machinery that distinguishes the concurrent
+    prototype — one shadow state per stream, the n+2 version bound, and
+    commit-time merging — and measures its cost relative to running the
+    same operations serially (each stream in turn). *)
+
+type params = {
+  streams : int;
+  ops_per_stream : int;
+  seed : int;
+}
+
+val default : params
+(** 8 streams, 200 operations each. *)
+
+type result = {
+  params : params;
+  elapsed_ns : int;
+  ops : int;
+  us_per_op : float;
+  record_creates : int;
+  mesh_hops : int;
+}
+
+val run_interleaved : Lld_core.Lld.t -> params -> result
+(** Requires a concurrent-mode logical disk. *)
+
+val run_serial : Lld_core.Lld.t -> params -> result
+(** The same operations, one complete stream (begin..commit) at a
+    time.  Works in both modes. *)

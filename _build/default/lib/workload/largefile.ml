@@ -1,0 +1,103 @@
+module Clock = Lld_sim.Clock
+module Rng = Lld_sim.Rng
+module Fs = Lld_minixfs.Fs
+
+type params = { file_bytes : int; io_bytes : int; seed : int }
+
+let paper =
+  { file_bytes = 78_125 * 1024 (* 78.125 MB *); io_bytes = 64 * 1024; seed = 1 }
+
+let scaled p f =
+  let block = 4096 in
+  let bytes = int_of_float (float_of_int p.file_bytes *. f) in
+  { p with file_bytes = max block (bytes / block * block) }
+
+type phase = {
+  label : string;
+  bytes : int;
+  elapsed_ns : int;
+  mb_per_sec : float;
+}
+
+type result = {
+  params : params;
+  write1 : phase;
+  read1 : phase;
+  write2 : phase;
+  read2 : phase;
+  read3 : phase;
+}
+
+let phases r = [ r.write1; r.read1; r.write2; r.read2; r.read3 ]
+
+let file = "/bigfile"
+let block = 4096
+
+let measure inst label ~bytes f =
+  let clock = inst.Setup.clock in
+  let t0 = Clock.now_ns clock in
+  f ();
+  let elapsed_ns = Clock.now_ns clock - t0 in
+  {
+    label;
+    bytes;
+    elapsed_ns;
+    mb_per_sec =
+      float_of_int bytes /. (1024. *. 1024.)
+      /. (float_of_int elapsed_ns /. 1e9);
+  }
+
+let shuffled_blocks p ~salt =
+  let rng = Rng.create ~seed:(p.seed + salt) in
+  let n = p.file_bytes / block in
+  let order = Array.init n Fun.id in
+  Rng.shuffle rng order;
+  order
+
+let run inst p =
+  let fs = inst.Setup.fs in
+  let body = Bytes.init p.io_bytes (fun i -> Char.chr ((i * 31) land 0xff)) in
+  let block_body = Bytes.sub body 0 block in
+  Fs.create fs file;
+  let write1 =
+    measure inst "write1" ~bytes:p.file_bytes (fun () ->
+        let off = ref 0 in
+        while !off < p.file_bytes do
+          let n = min p.io_bytes (p.file_bytes - !off) in
+          Fs.write_file fs file ~off:!off (Bytes.sub body 0 n);
+          off := !off + n
+        done;
+        Fs.flush fs)
+  in
+  let read1 =
+    measure inst "read1" ~bytes:p.file_bytes (fun () ->
+        let off = ref 0 in
+        while !off < p.file_bytes do
+          let n = min p.io_bytes (p.file_bytes - !off) in
+          ignore (Fs.read_file fs file ~off:!off ~len:n);
+          off := !off + n
+        done)
+  in
+  let write2 =
+    measure inst "write2" ~bytes:p.file_bytes (fun () ->
+        Array.iter
+          (fun bi -> Fs.write_file fs file ~off:(bi * block) block_body)
+          (shuffled_blocks p ~salt:17);
+        Fs.flush fs)
+  in
+  let read2 =
+    measure inst "read2" ~bytes:p.file_bytes (fun () ->
+        Array.iter
+          (fun bi -> ignore (Fs.read_file fs file ~off:(bi * block) ~len:block))
+          (shuffled_blocks p ~salt:42))
+  in
+  let read3 =
+    measure inst "read3" ~bytes:p.file_bytes (fun () ->
+        let off = ref 0 in
+        while !off < p.file_bytes do
+          let n = min p.io_bytes (p.file_bytes - !off) in
+          ignore (Fs.read_file fs file ~off:!off ~len:n);
+          off := !off + n
+        done)
+  in
+  { params = p; write1; read1; write2; read2; read3 }

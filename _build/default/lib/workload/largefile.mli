@@ -1,0 +1,32 @@
+(** The large-file benchmark of paper §5.2 / Figure 6.
+
+    One 78.125 MB file is written sequentially (write1), read
+    sequentially (read1), re-written in random order (write2), read in
+    random order (read2), and finally read sequentially again (read3);
+    each phase reports MB/s on the virtual clock. *)
+
+type params = {
+  file_bytes : int;
+  io_bytes : int;  (** request size for the sequential phases *)
+  seed : int;  (** for the random-order phases *)
+}
+
+val paper : params
+(** 78.125 MB, 64 KB sequential requests, 4 KB random requests. *)
+
+val scaled : params -> float -> params
+
+type phase = { label : string; bytes : int; elapsed_ns : int; mb_per_sec : float }
+
+type result = {
+  params : params;
+  write1 : phase;
+  read1 : phase;
+  write2 : phase;
+  read2 : phase;
+  read3 : phase;
+}
+
+val phases : result -> phase list
+
+val run : Setup.instance -> params -> result

@@ -1,0 +1,89 @@
+module Clock = Lld_sim.Clock
+module Rng = Lld_sim.Rng
+module Fs = Lld_minixfs.Fs
+
+type params = { dirs : int; files_per_dir : int; file_bytes : int; seed : int }
+
+let default = { dirs = 20; files_per_dir = 25; file_bytes = 4096; seed = 11 }
+
+type phase = { label : string; ops : int; elapsed_ns : int; ops_per_sec : float }
+type result = { params : params; phases : phase list }
+
+let dir_path d = Printf.sprintf "/src%03d" d
+let file_path d f = Printf.sprintf "/src%03d/f%03d" d f
+
+let measure inst label f =
+  let clock = inst.Setup.clock in
+  let t0 = Clock.now_ns clock in
+  let ops = f () in
+  let elapsed_ns = Clock.now_ns clock - t0 in
+  {
+    label;
+    ops;
+    elapsed_ns;
+    ops_per_sec =
+      float_of_int ops /. (float_of_int (max 1 elapsed_ns) /. 1e9);
+  }
+
+let run inst (p : params) =
+  let fs = inst.Setup.fs in
+  let rng = Rng.create ~seed:p.seed in
+  let body =
+    Bytes.init p.file_bytes (fun i -> Char.chr ((i * 7) land 0xff))
+  in
+  let mkdir =
+    measure inst "mkdir" (fun () ->
+        for d = 0 to p.dirs - 1 do
+          Fs.mkdir fs (dir_path d)
+        done;
+        p.dirs)
+  in
+  let copy =
+    measure inst "copy" (fun () ->
+        for d = 0 to p.dirs - 1 do
+          for f = 0 to p.files_per_dir - 1 do
+            Fs.create fs (file_path d f);
+            Fs.write_file fs (file_path d f) ~off:0 body
+          done
+        done;
+        Fs.flush fs;
+        p.dirs * p.files_per_dir)
+  in
+  let stat =
+    measure inst "stat" (fun () ->
+        let n = ref 0 in
+        for d = 0 to p.dirs - 1 do
+          List.iter
+            (fun name ->
+              ignore (Fs.stat fs (dir_path d ^ "/" ^ name));
+              incr n)
+            (Fs.readdir fs (dir_path d))
+        done;
+        !n)
+  in
+  let read =
+    measure inst "read" (fun () ->
+        for d = 0 to p.dirs - 1 do
+          for f = 0 to p.files_per_dir - 1 do
+            ignore (Fs.read_file fs (file_path d f) ~off:0 ~len:p.file_bytes)
+          done
+        done;
+        p.dirs * p.files_per_dir)
+  in
+  let compile =
+    measure inst "compile" (fun () ->
+        for d = 0 to p.dirs - 1 do
+          (* read a random half of the directory's sources, then emit
+             one object file *)
+          for _ = 1 to p.files_per_dir / 2 do
+            let f = Rng.int rng p.files_per_dir in
+            ignore (Fs.read_file fs (file_path d f) ~off:0 ~len:p.file_bytes)
+          done;
+          let obj = dir_path d ^ "/out.o" in
+          Fs.create fs obj;
+          Fs.write_file fs obj ~off:0 body
+        done;
+        Fs.flush fs;
+        p.dirs)
+  in
+  { params = p; phases = [ mkdir; copy; stat; read; compile ] }

@@ -1,0 +1,31 @@
+(** An Andrew-style mixed workload: the original Logical Disk paper
+    complements the micro-benchmarks with a general file-system
+    benchmark; this is its equivalent here.
+
+    Five phases over a source tree of [dirs] directories with [files]
+    files each:
+
+    - {b mkdir}: create the directory tree;
+    - {b copy}: create and write every file;
+    - {b stat}: walk the tree, stat every file;
+    - {b read}: read every file in full;
+    - {b compile}: read every source file and write one "object" file
+      per directory (mixed read/write with creates).
+
+    Each phase reports operations/second on the virtual clock. *)
+
+type params = {
+  dirs : int;
+  files_per_dir : int;
+  file_bytes : int;
+  seed : int;
+}
+
+val default : params
+(** 20 directories × 25 files of 4 KB. *)
+
+type phase = { label : string; ops : int; elapsed_ns : int; ops_per_sec : float }
+
+type result = { params : params; phases : phase list }
+
+val run : Setup.instance -> params -> result

@@ -1,0 +1,50 @@
+module Clock = Lld_sim.Clock
+module Geometry = Lld_disk.Geometry
+module Disk = Lld_disk.Disk
+module Config = Lld_core.Config
+module Lld = Lld_core.Lld
+module Fs = Lld_minixfs.Fs
+
+type variant = Old | New | New_delete
+
+let variant_label = function
+  | Old -> "old"
+  | New -> "new"
+  | New_delete -> "new, delete"
+
+let all_variants = [ Old; New; New_delete ]
+
+let lld_config = function
+  | Old -> Config.old_lld
+  | New | New_delete -> Config.default
+
+let fs_config = function
+  | Old -> Fs.config_old
+  | New -> Fs.config_new
+  | New_delete -> Fs.config_new_delete
+
+type instance = {
+  disk : Lld_disk.Disk.t;
+  lld : Lld_core.Lld.t;
+  fs : Lld_minixfs.Fs.t;
+  clock : Lld_sim.Clock.t;
+}
+
+let make ?(geom = Geometry.paper) ?inode_count variant =
+  let clock = Clock.create () in
+  let disk = Disk.create ~clock geom in
+  let lld = Lld.create ~config:(lld_config variant) disk in
+  let fs = Fs.mkfs ~config:(fs_config variant) ?inode_count lld in
+  Fs.flush fs;
+  Clock.reset clock;
+  Lld_core.Counters.reset (Lld.counters lld);
+  { disk; lld; fs; clock }
+
+let make_raw ?(geom = Geometry.paper) variant =
+  let clock = Clock.create () in
+  let disk = Disk.create ~clock geom in
+  let lld = Lld.create ~config:(lld_config variant) disk in
+  Lld.flush lld;
+  Clock.reset clock;
+  Lld_core.Counters.reset (Lld.counters lld);
+  (disk, lld)

@@ -1,0 +1,28 @@
+(** Shared experiment setup: build a fresh MinixLLD instance (disk +
+    logical disk + file system) in one of the paper's three
+    configurations (Table 1), with the virtual clock zeroed after
+    formatting so measurements exclude setup. *)
+
+(** Paper Table 1. *)
+type variant = Old | New | New_delete
+
+val variant_label : variant -> string
+val all_variants : variant list
+
+val lld_config : variant -> Lld_core.Config.t
+val fs_config : variant -> Lld_minixfs.Fs.config
+
+type instance = {
+  disk : Lld_disk.Disk.t;
+  lld : Lld_core.Lld.t;
+  fs : Lld_minixfs.Fs.t;
+  clock : Lld_sim.Clock.t;
+}
+
+val make :
+  ?geom:Lld_disk.Geometry.t -> ?inode_count:int -> variant -> instance
+(** Default geometry is the paper's 400 MB partition. *)
+
+val make_raw :
+  ?geom:Lld_disk.Geometry.t -> variant -> Lld_disk.Disk.t * Lld_core.Lld.t
+(** Logical disk only, no file system (for the ARU-latency experiment). *)

@@ -1,0 +1,80 @@
+module Clock = Lld_sim.Clock
+module Stats = Lld_sim.Stats
+module Lld = Lld_core.Lld
+module Counters = Lld_core.Counters
+module Fs = Lld_minixfs.Fs
+
+type params = { file_count : int; file_bytes : int; dirs : int }
+
+let paper_1k = { file_count = 10_000; file_bytes = 1_024; dirs = 1 }
+let paper_10k = { file_count = 1_000; file_bytes = 10_240; dirs = 1 }
+
+let scaled p f =
+  { p with file_count = max 1 (int_of_float (float_of_int p.file_count *. f)) }
+
+type phase = {
+  files : int;
+  elapsed_ns : int;
+  files_per_sec : float;
+  pred_search_hops : int;
+}
+
+type result = {
+  params : params;
+  create_write : phase;
+  read : phase;
+  delete : phase;
+}
+
+let path p i =
+  if p.dirs <= 1 then Printf.sprintf "/f%06d" i
+  else Printf.sprintf "/d%03d/f%06d" (i mod p.dirs) i
+
+let measure_phase inst f =
+  let clock = inst.Setup.clock in
+  let counters = Lld.counters inst.Setup.lld in
+  let t0 = Clock.now_ns clock in
+  let hops0 = counters.Counters.pred_search_hops in
+  let files = f () in
+  let elapsed_ns = Clock.now_ns clock - t0 in
+  {
+    files;
+    elapsed_ns;
+    files_per_sec = Stats.throughput ~work:(float_of_int files) ~elapsed_ns;
+    pred_search_hops = counters.Counters.pred_search_hops - hops0;
+  }
+
+let run inst p =
+  let fs = inst.Setup.fs in
+  if p.dirs > 1 then
+    for d = 0 to p.dirs - 1 do
+      Fs.mkdir fs (Printf.sprintf "/d%03d" d)
+    done;
+  let body = Bytes.init p.file_bytes (fun i -> Char.chr (i land 0xff)) in
+  let create_write =
+    measure_phase inst (fun () ->
+        for i = 0 to p.file_count - 1 do
+          let path = path p i in
+          Fs.create fs path;
+          Fs.write_file fs path ~off:0 body
+        done;
+        Fs.flush fs;
+        p.file_count)
+  in
+  let read =
+    measure_phase inst (fun () ->
+        for i = 0 to p.file_count - 1 do
+          let got = Fs.read_file fs (path p i) ~off:0 ~len:p.file_bytes in
+          assert (Bytes.length got = p.file_bytes)
+        done;
+        p.file_count)
+  in
+  let delete =
+    measure_phase inst (fun () ->
+        for i = 0 to p.file_count - 1 do
+          Fs.unlink fs (path p i)
+        done;
+        Fs.flush fs;
+        p.file_count)
+  in
+  { params = p; create_write; read; delete }

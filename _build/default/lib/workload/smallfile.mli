@@ -1,0 +1,39 @@
+(** The small-file micro-benchmark of paper §5.2 / Figure 5.
+
+    Creates and writes [file_count] files of [file_bytes] each, then
+    reads them all, then deletes them all — reporting files/second for
+    each phase on the virtual clock.  Paper parameters: 10,000 × 1 KB
+    and 1,000 × 10 KB. *)
+
+type params = {
+  file_count : int;
+  file_bytes : int;
+  dirs : int;  (** files are spread across this many directories *)
+}
+
+val paper_1k : params
+(** 10,000 × 1 KB, one directory. *)
+
+val paper_10k : params
+(** 1,000 × 10 KB, one directory. *)
+
+val scaled : params -> float -> params
+(** Scale the file count (for quick runs). *)
+
+type phase = {
+  files : int;
+  elapsed_ns : int;
+  files_per_sec : float;
+  pred_search_hops : int;  (** during this phase *)
+}
+
+type result = {
+  params : params;
+  create_write : phase;
+  read : phase;
+  delete : phase;
+}
+
+val run : Setup.instance -> params -> result
+(** Runs all three phases on a fresh instance (the instance's clock is
+    assumed to be at the epoch). *)

@@ -1,0 +1,126 @@
+module Clock = Lld_sim.Clock
+module Geometry = Lld_disk.Geometry
+module Fault = Lld_disk.Fault
+module Disk = Lld_disk.Disk
+module Rng = Lld_sim.Rng
+module Lld = Lld_core.Lld
+module Fs = Lld_minixfs.Fs
+module Fsck = Lld_minixfs.Fsck
+
+type params = { seed : int; operations : int; crash_points : int }
+
+let default = { seed = 42; operations = 300; crash_points = 24 }
+
+type outcome = {
+  crash_after : int;
+  consistent : bool;
+  problems : Lld_minixfs.Fsck.problem list;
+  files_surviving : int;
+}
+
+type result = {
+  params : params;
+  outcomes : outcome list;
+  all_consistent : bool;
+}
+
+(* 32 KB segments: seals — the crash granularity — happen every few
+   operations. *)
+let geom = Geometry.v ~segment_bytes:(32 * 1024) ~num_segments:512 ()
+
+(* A deterministic mixed workload driven by its own generator.  Paths
+   come from a bounded namespace so operations collide realistically
+   (create over existing, delete missing, rename onto a file, ...).
+   Randomness is drawn in explicit, fixed order so runs reproduce. *)
+let workload ?(trace = fun (_ : string) -> ()) rng fs operations =
+  let dir d = Printf.sprintf "/d%d" (d mod 8) in
+  let file d f = Printf.sprintf "%s/f%d" (dir d) (f mod 12) in
+  for d = 0 to 7 do
+    try Fs.mkdir fs (dir d) with Fs.Already_exists _ -> ()
+  done;
+  for i = 1 to operations do
+    let d = Rng.int rng 8 in
+    let f = Rng.int rng 12 in
+    let ignore_fs_errors op =
+      try op () with
+      | Fs.Not_found_path _ | Fs.Already_exists _ | Fs.Is_a_directory _
+      | Fs.Not_a_directory _ | Fs.Directory_not_empty _ | Fs.Invalid_name _
+      | Fs.Out_of_inodes ->
+        ()
+    in
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 ->
+      trace (Printf.sprintf "%d create %s" i (file d f));
+      ignore_fs_errors (fun () -> Fs.create fs (file d f))
+    | 3 | 4 ->
+      let n = 512 + Rng.int rng 8192 in
+      trace (Printf.sprintf "%d write %s %d" i (file d f) n);
+      ignore_fs_errors (fun () ->
+          Fs.write_file fs (file d f) ~off:0 (Bytes.make n 'x'))
+    | 5 ->
+      trace (Printf.sprintf "%d unlink %s" i (file d f));
+      ignore_fs_errors (fun () -> Fs.unlink fs (file d f))
+    | 6 ->
+      let d2 = Rng.int rng 8 in
+      let f2 = Rng.int rng 12 in
+      trace (Printf.sprintf "%d rename %s -> %s" i (file d f) (file d2 f2));
+      ignore_fs_errors (fun () -> Fs.rename fs (file d f) (file d2 f2))
+    | 7 ->
+      let d2 = Rng.int rng 8 in
+      let f2 = Rng.int rng 12 in
+      trace (Printf.sprintf "%d link %s -> %s" i (file d f) (file d2 f2));
+      ignore_fs_errors (fun () -> Fs.link fs (file d f) (file d2 f2))
+    | 8 ->
+      let size = Rng.int rng 4096 in
+      trace (Printf.sprintf "%d truncate %s %d" i (file d f) size);
+      ignore_fs_errors (fun () -> Fs.truncate fs (file d f) ~size)
+    | _ ->
+      ignore_fs_errors (fun () ->
+          ignore (Fs.read_file fs (file d f) ~off:0 ~len:1024))
+  done;
+  Fs.flush fs
+
+let count_files fs =
+  List.fold_left
+    (fun acc d ->
+      match Fs.readdir fs ("/" ^ d) with
+      | entries -> acc + List.length entries
+      | exception Fs.Not_a_directory _ -> acc)
+    0 (Fs.readdir fs "/")
+
+let run ?(with_arus = true) ?trace (p : params) =
+  let lld_config =
+    if with_arus then Lld_core.Config.default else Lld_core.Config.old_lld
+  in
+  let fs_config = if with_arus then Fs.config_new else Fs.config_old in
+  let outcomes =
+    List.init p.crash_points (fun crash_after ->
+        let clock = Clock.create () in
+        let disk = Disk.create ~clock geom in
+        let lld = Lld.create ~config:lld_config disk in
+        let fs = Fs.mkfs ~config:fs_config ~inode_count:1024 lld in
+        Fs.flush fs;
+        Fault.schedule_crash (Disk.fault disk) (Fault.After_writes crash_after);
+        let rng = Rng.create ~seed:(p.seed + crash_after) in
+        (try
+           workload ?trace rng fs p.operations;
+           (* finished before the crash point: force the crash *)
+           Fault.schedule_crash (Disk.fault disk) (Fault.After_writes 0);
+           try Disk.write disk ~offset:0 (Bytes.make 1 'x')
+           with Fault.Crashed -> ()
+         with Fault.Crashed -> ());
+        let lld2, _report = Lld.recover ~config:lld_config disk in
+        let fs2 = Fs.mount ~config:fs_config lld2 in
+        let report = Fsck.run fs2 in
+        {
+          crash_after;
+          consistent = Fsck.ok report;
+          problems = report.Fsck.problems;
+          files_surviving = count_files fs2;
+        })
+  in
+  {
+    params = p;
+    outcomes;
+    all_consistent = List.for_all (fun o -> o.consistent) outcomes;
+  }

@@ -1,0 +1,45 @@
+(** Systematic crash-consistency torture.
+
+    Runs a randomized file-system workload (creates, writes, renames,
+    links, deletes across a directory tree) under each of a range of
+    crash points, recovers, mounts, and checks the file system with
+    {!Lld_minixfs.Fsck} — the exhaustive version of the paper's §5.1
+    claim.  Small segments make the crash granularity fine enough to
+    land inside individual operations.
+
+    Used by the property tests and by `lld_cli torture`. *)
+
+type params = {
+  seed : int;
+  operations : int;  (** workload length *)
+  crash_points : int;  (** crash after 0..crash_points-1 segment writes *)
+}
+
+val default : params
+
+type outcome = {
+  crash_after : int;
+  consistent : bool;
+  problems : Lld_minixfs.Fsck.problem list;
+  files_surviving : int;
+}
+
+type result = {
+  params : params;
+  outcomes : outcome list;
+  all_consistent : bool;
+}
+
+val workload :
+  ?trace:(string -> unit) ->
+  Lld_sim.Rng.t ->
+  Lld_minixfs.Fs.t ->
+  int ->
+  unit
+(** The raw workload, exposed for debugging and tests. *)
+
+val run :
+  ?with_arus:bool (** default true; false = the old configuration *) ->
+  ?trace:(string -> unit) (** called with a description of each operation *) ->
+  params ->
+  result

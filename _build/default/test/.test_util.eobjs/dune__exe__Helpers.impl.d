@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Bytes Fmt List Lld_core Lld_disk Lld_sim Printf String

@@ -1,0 +1,1 @@
+test/test_aru.ml: Alcotest Config Errors Helpers List Lld Lld_core Option Printf Summary Types

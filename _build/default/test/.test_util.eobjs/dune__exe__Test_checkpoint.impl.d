@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Bytes Disk Errors Geometry Helpers List Lld_core Lld_disk Types

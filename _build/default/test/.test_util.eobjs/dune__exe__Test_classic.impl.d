@@ -1,0 +1,1 @@
+test/test_classic.ml: Alcotest Bytes Char Lld_core Lld_disk Lld_minixdisk Lld_minixfs Lld_sim Printf

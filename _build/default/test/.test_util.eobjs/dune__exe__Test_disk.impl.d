@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Bytes Lld_disk Lld_sim Printf

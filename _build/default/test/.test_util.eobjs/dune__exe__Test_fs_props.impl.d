@@ -1,0 +1,1 @@
+test/test_fs_props.ml: Alcotest Bytes Char Helpers List Lld_minixfs Lld_sim Printf QCheck QCheck_alcotest String

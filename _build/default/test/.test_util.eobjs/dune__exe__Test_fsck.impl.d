@@ -1,0 +1,1 @@
+test/test_fsck.ml: Alcotest Bytes Char Config Disk Format Geometry Helpers List Lld Lld_disk Lld_minixfs Lld_workload Printf

@@ -1,0 +1,1 @@
+test/test_jld.ml: Alcotest Array Bytes Char Format Fun List Lld_core Lld_disk Lld_jld Lld_minixfs Lld_sim Printf

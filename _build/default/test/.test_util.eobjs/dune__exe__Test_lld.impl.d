@@ -1,0 +1,1 @@
+test/test_lld.ml: Alcotest Bytes Config Disk Errors Geometry Helpers List Lld Lld_core Lld_sim Option Printf Summary Types

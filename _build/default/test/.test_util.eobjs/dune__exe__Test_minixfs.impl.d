@@ -1,0 +1,1 @@
+test/test_minixfs.ml: Alcotest Bytes Char Config Format Helpers List Lld Lld_core Lld_minixfs Printf

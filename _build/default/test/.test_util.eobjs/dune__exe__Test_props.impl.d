@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Bytes Char Config Disk Errors Helpers List Lld Lld_core Lld_disk Lld_sim Lld_util Option QCheck QCheck_alcotest String Summary Types

@@ -1,0 +1,1 @@
+test/test_record.ml: Alcotest Bytes Hashtbl List Lld_core Option Printf

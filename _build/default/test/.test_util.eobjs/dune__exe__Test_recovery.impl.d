@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Array Bytes Config Disk Errors Geometry Helpers List Lld Lld_core Lld_disk Printf Summary

@@ -1,0 +1,1 @@
+test/test_segment.ml: Alcotest Bytes Char List Lld_core Lld_disk Printf

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fun Int64 List Lld_sim Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bytes Int64 List Lld_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Buffer Format List Lld_core Lld_disk Lld_harness Lld_minixfs Lld_sim Lld_workload Printf String

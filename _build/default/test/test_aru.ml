@@ -1,0 +1,392 @@
+open Helpers
+
+(* Semantics of concurrent atomic recovery units (paper §3). *)
+
+let test_shadow_isolated_until_commit () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Lld.write lld b (block_data 1);
+  let a = Lld.begin_aru lld in
+  Lld.write lld ~aru:a b (block_data 2);
+  (* option 3 visibility: the ARU sees its shadow, simple reads see the
+     committed version *)
+  check_data "ARU sees its shadow" (block_data 2) (Lld.read lld ~aru:a b);
+  check_data "simple read sees committed" (block_data 1) (Lld.read lld b);
+  Lld.end_aru lld a;
+  check_data "visible after commit" (block_data 2) (Lld.read lld b)
+
+let test_two_arus_isolated () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Lld.write lld b (block_data 0);
+  let a1 = Lld.begin_aru lld in
+  let a2 = Lld.begin_aru lld in
+  Lld.write lld ~aru:a1 b (block_data 1);
+  Lld.write lld ~aru:a2 b (block_data 2);
+  check_data "a1 sees its own" (block_data 1) (Lld.read lld ~aru:a1 b);
+  check_data "a2 sees its own" (block_data 2) (Lld.read lld ~aru:a2 b);
+  check_data "simple sees committed" (block_data 0) (Lld.read lld b);
+  (* ARUs serialize by EndARU, but data versions carry their write
+     stamps: the later write (a2's) wins regardless of commit order *)
+  Lld.end_aru lld a2;
+  Lld.end_aru lld a1;
+  check_data "later write stamp wins" (block_data 2) (Lld.read lld b)
+
+let test_aru_list_operations_isolated () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let b1 = append_block lld l in
+  let a = Lld.begin_aru lld in
+  let b2 = append_block ~aru:a lld l in
+  Alcotest.check block_ids "ARU sees insertion" [ b1; b2 ]
+    (Lld.list_blocks lld ~aru:a l);
+  Alcotest.check block_ids "others do not" [ b1 ] (Lld.list_blocks lld l);
+  Lld.end_aru lld a;
+  Alcotest.check block_ids "merged after commit" [ b1; b2 ]
+    (Lld.list_blocks lld l)
+
+let test_allocation_in_committed_state () =
+  (* paper §3.3: NewBlock inside an ARU allocates in the committed
+     state immediately, so concurrent ARUs can never get the same id;
+     but the allocation is invisible to others. *)
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let a1 = Lld.begin_aru lld in
+  let a2 = Lld.begin_aru lld in
+  let b1 = Lld.new_block lld ~aru:a1 ~list:l ~pred:Summary.Head () in
+  let b2 = Lld.new_block lld ~aru:a2 ~list:l ~pred:Summary.Head () in
+  Alcotest.(check bool) "distinct ids" false (Types.Block_id.equal b1 b2);
+  (* others cannot see (or touch) the un-committed allocation *)
+  Alcotest.(check bool) "invisible to simple" false (Lld.block_allocated lld b1);
+  Alcotest.(check bool) "invisible to the other ARU" false
+    (Lld.block_allocated lld ~aru:a2 b1);
+  Alcotest.(check bool) "visible to its owner" true
+    (Lld.block_allocated lld ~aru:a1 b1);
+  Alcotest.check_raises "other ARU cannot write it"
+    (Errors.Unallocated_block b1) (fun () ->
+      Lld.write lld ~aru:a2 b1 (block_data 9));
+  Lld.end_aru lld a1;
+  Alcotest.(check bool) "visible after commit" true (Lld.block_allocated lld b1);
+  Lld.end_aru lld a2
+
+let test_list_allocation_hidden_until_commit () =
+  let _, lld = fresh_lld () in
+  let a1 = Lld.begin_aru lld in
+  let a2 = Lld.begin_aru lld in
+  let l = Lld.new_list lld ~aru:a1 () in
+  Alcotest.(check bool) "visible to owner" true (Lld.list_exists lld ~aru:a1 l);
+  Alcotest.(check bool) "hidden from simple" false (Lld.list_exists lld l);
+  Alcotest.(check bool) "hidden from other ARUs" false
+    (Lld.list_exists lld ~aru:a2 l);
+  Alcotest.check_raises "others cannot populate it" (Errors.Unallocated_list l)
+    (fun () -> ignore (Lld.new_block lld ~aru:a2 ~list:l ~pred:Summary.Head ()));
+  Lld.end_aru lld a1;
+  Alcotest.(check bool) "visible after commit" true (Lld.list_exists lld l);
+  Lld.end_aru lld a2
+
+let test_write_after_own_shadow_delete_rejected () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  let a = Lld.begin_aru lld in
+  Lld.delete_block lld ~aru:a b;
+  Alcotest.check_raises "write to shadow-deleted block"
+    (Errors.Unallocated_block b) (fun () ->
+      Lld.write lld ~aru:a b (block_data 1));
+  Alcotest.check_raises "read of shadow-deleted block"
+    (Errors.Unallocated_block b) (fun () -> ignore (Lld.read lld ~aru:a b));
+  (* but the committed state still has it *)
+  Alcotest.(check bool) "committed still allocated" true
+    (Lld.block_allocated lld b);
+  Lld.end_aru lld a
+
+let test_delete_block_in_aru () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let b1 = append_block lld l in
+  let b2 = append_block lld l in
+  let a = Lld.begin_aru lld in
+  Lld.delete_block lld ~aru:a b1;
+  Alcotest.check block_ids "shadow sees deletion" [ b2 ]
+    (Lld.list_blocks lld ~aru:a l);
+  Alcotest.check block_ids "committed unchanged" [ b1; b2 ]
+    (Lld.list_blocks lld l);
+  Alcotest.(check bool) "still committed-allocated" true
+    (Lld.block_allocated lld b1);
+  Lld.end_aru lld a;
+  Alcotest.check block_ids "deletion merged" [ b2 ] (Lld.list_blocks lld l);
+  Alcotest.(check bool) "deallocated after commit" false
+    (Lld.block_allocated lld b1)
+
+let test_delete_list_in_aru () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let bs = List.init 3 (fun _ -> append_block lld l) in
+  let a = Lld.begin_aru lld in
+  Lld.delete_list lld ~aru:a l;
+  Alcotest.(check bool) "shadow sees list gone" false
+    (Lld.list_exists lld ~aru:a l);
+  Alcotest.(check bool) "committed still there" true (Lld.list_exists lld l);
+  Lld.end_aru lld a;
+  Alcotest.(check bool) "gone after commit" false (Lld.list_exists lld l);
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "members deallocated" false
+        (Lld.block_allocated lld b))
+    bs
+
+let test_abort_discards_shadow () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Lld.write lld b (block_data 1);
+  let a = Lld.begin_aru lld in
+  Lld.write lld ~aru:a b (block_data 2);
+  let b2 = Lld.new_block lld ~aru:a ~list:l ~pred:(Summary.After b) () in
+  Lld.abort_aru lld a;
+  check_data "write discarded" (block_data 1) (Lld.read lld b);
+  Alcotest.check block_ids "insertion discarded" [ b ] (Lld.list_blocks lld l);
+  (* the allocation itself survives the abort (paper §3.3)... *)
+  Alcotest.(check bool) "allocation survives" true (Lld.block_allocated lld b2);
+  Alcotest.(check (option int)) "but on no list" None
+    (Option.map Types.List_id.to_int (Lld.block_member lld b2));
+  (* ...until the scavenger frees it *)
+  let freed = Lld.scavenge lld in
+  Alcotest.(check int) "scavenged" 1 freed;
+  Alcotest.(check bool) "freed" false (Lld.block_allocated lld b2)
+
+let test_aru_ids_unique_and_tracked () =
+  let _, lld = fresh_lld () in
+  let a1 = Lld.begin_aru lld in
+  let a2 = Lld.begin_aru lld in
+  Alcotest.(check bool) "distinct" false (Types.Aru_id.equal a1 a2);
+  Alcotest.(check int) "two active" 2 (List.length (Lld.active_arus lld));
+  Lld.end_aru lld a1;
+  Alcotest.(check bool) "a1 inactive" false (Lld.aru_active lld a1);
+  Alcotest.(check bool) "a2 active" true (Lld.aru_active lld a2);
+  Lld.end_aru lld a2
+
+let test_end_unknown_aru_rejected () =
+  let _, lld = fresh_lld () in
+  let a = Lld.begin_aru lld in
+  Lld.end_aru lld a;
+  Alcotest.check_raises "double end" (Errors.Unknown_aru a) (fun () ->
+      Lld.end_aru lld a);
+  Alcotest.check_raises "op on finished aru" (Errors.Unknown_aru a) (fun () ->
+      ignore (Lld.new_list lld ~aru:a ()))
+
+let test_max_versions_bound () =
+  (* n active ARUs + committed + persistent = n + 2 versions (paper
+     §3.3): writing the same block in 3 ARUs plus a simple write keeps
+     exactly 3 shadow + 1 committed alternative records. *)
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Lld.write lld b (block_data 0);
+  let arus = List.init 3 (fun _ -> Lld.begin_aru lld) in
+  List.iteri (fun i a -> Lld.write lld ~aru:a b (block_data (i + 1))) arus;
+  List.iteri
+    (fun i a ->
+      check_data
+        (Printf.sprintf "aru %d sees its version" i)
+        (block_data (i + 1))
+        (Lld.read lld ~aru:a b))
+    arus;
+  check_data "committed version intact" (block_data 0) (Lld.read lld b);
+  List.iter (fun a -> Lld.end_aru lld a) arus
+
+let test_visibility_option_committed_only () =
+  let config = { Config.default with Config.visibility = Config.Committed_only } in
+  let _, lld = fresh_lld ~config () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Lld.write lld b (block_data 1);
+  let a = Lld.begin_aru lld in
+  Lld.write lld ~aru:a b (block_data 2);
+  (* option 2: even the writer reads the committed version *)
+  check_data "ARU reads committed" (block_data 1) (Lld.read lld ~aru:a b);
+  Lld.end_aru lld a;
+  check_data "after commit" (block_data 2) (Lld.read lld b)
+
+let test_visibility_option_any_shadow () =
+  let config = { Config.default with Config.visibility = Config.Any_shadow } in
+  let _, lld = fresh_lld ~config () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Lld.write lld b (block_data 1);
+  let a1 = Lld.begin_aru lld in
+  let a2 = Lld.begin_aru lld in
+  Lld.write lld ~aru:a1 b (block_data 2);
+  (* option 1: every reader sees the most recent shadow version *)
+  check_data "simple read sees a1's shadow" (block_data 2) (Lld.read lld b);
+  check_data "a2 sees a1's shadow" (block_data 2) (Lld.read lld ~aru:a2 b);
+  Lld.write lld ~aru:a2 b (block_data 3);
+  check_data "newest shadow wins" (block_data 3) (Lld.read lld b);
+  Lld.end_aru lld a1;
+  Lld.end_aru lld a2
+
+let test_sequential_mode_single_aru () =
+  let _, lld = fresh_lld ~config:Config.old_lld () in
+  let a = Lld.begin_aru lld in
+  Alcotest.check_raises "no concurrent ARUs in the old prototype"
+    Errors.Aru_already_active (fun () -> ignore (Lld.begin_aru lld));
+  Lld.end_aru lld a;
+  let a2 = Lld.begin_aru lld in
+  Lld.end_aru lld a2
+
+let test_sequential_mode_aru_updates_in_place () =
+  let _, lld = fresh_lld ~config:Config.old_lld () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Lld.write lld b (block_data 1);
+  let a = Lld.begin_aru lld in
+  Lld.write lld ~aru:a b (block_data 2);
+  (* the old prototype has a single stream: updates are immediately
+     visible to everyone *)
+  check_data "single stream" (block_data 2) (Lld.read lld b);
+  Lld.end_aru lld a
+
+let test_sequential_abort_unsupported () =
+  let _, lld = fresh_lld ~config:Config.old_lld () in
+  let a = Lld.begin_aru lld in
+  Alcotest.check_raises "abort unsupported"
+    (Invalid_argument "Lld.abort_aru: not supported by the sequential prototype")
+    (fun () -> Lld.abort_aru lld a);
+  Lld.end_aru lld a
+
+let test_with_aru_commits () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let b =
+    Lld.with_aru lld (fun aru ->
+        let b = Lld.new_block lld ~aru ~list:l ~pred:Summary.Head () in
+        Lld.write lld ~aru b (block_data 4);
+        b)
+  in
+  check_data "committed on return" (block_data 4) (Lld.read lld b);
+  Alcotest.(check int) "no ARU left active" 0
+    (List.length (Lld.active_arus lld))
+
+let test_with_aru_aborts_on_exception () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Lld.write lld b (block_data 1);
+  Alcotest.check_raises "exception propagates" Exit (fun () ->
+      Lld.with_aru lld (fun aru ->
+          Lld.write lld ~aru b (block_data 9);
+          raise Exit));
+  check_data "write rolled back" (block_data 1) (Lld.read lld b);
+  Alcotest.(check int) "no ARU left active" 0
+    (List.length (Lld.active_arus lld))
+
+let test_commit_replays_into_committed_state () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let a = Lld.begin_aru lld in
+  let b = Lld.new_block lld ~aru:a ~list:l ~pred:Summary.Head () in
+  Lld.write lld ~aru:a b (block_data 5);
+  let before = (Lld.counters lld).Lld_core.Counters.link_log_replays in
+  Lld.end_aru lld a;
+  let after = (Lld.counters lld).Lld_core.Counters.link_log_replays in
+  Alcotest.(check bool) "log was replayed" true (after > before);
+  check_data "data merged" (block_data 5) (Lld.read lld b)
+
+let test_conflicting_merge_is_deterministic () =
+  (* two ARUs delete the same block; the second commit's operations are
+     skipped rather than corrupting the list *)
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let b1 = append_block lld l in
+  let b2 = append_block lld l in
+  let a1 = Lld.begin_aru lld in
+  let a2 = Lld.begin_aru lld in
+  Lld.delete_block lld ~aru:a1 b1;
+  Lld.delete_block lld ~aru:a2 b1;
+  Lld.end_aru lld a1;
+  Lld.end_aru lld a2;
+  Alcotest.check block_ids "list consistent" [ b2 ] (Lld.list_blocks lld l);
+  Alcotest.(check bool) "skips recorded" true
+    ((Lld.counters lld).Lld_core.Counters.replay_skips > 0)
+
+let test_commit_spanning_segments () =
+  (* an ARU touching more data than one segment commits correctly *)
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let a = Lld.begin_aru lld in
+  let blocks =
+    List.init 200 (fun i ->
+        let b = append_block ~aru:a lld l in
+        Lld.write lld ~aru:a b (block_data i);
+        b)
+  in
+  Lld.end_aru lld a;
+  Lld.flush lld;
+  List.iteri
+    (fun i b -> check_data (Printf.sprintf "block %d" i) (block_data i) (Lld.read lld b))
+    blocks
+
+let () =
+  Alcotest.run "lld_aru"
+    [
+      ( "isolation",
+        [
+          Alcotest.test_case "shadow isolated until commit" `Quick
+            test_shadow_isolated_until_commit;
+          Alcotest.test_case "two ARUs isolated" `Quick test_two_arus_isolated;
+          Alcotest.test_case "list operations isolated" `Quick
+            test_aru_list_operations_isolated;
+          Alcotest.test_case "n+2 versions" `Quick test_max_versions_bound;
+        ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "allocation in committed state" `Quick
+            test_allocation_in_committed_state;
+          Alcotest.test_case "list allocation hidden until commit" `Quick
+            test_list_allocation_hidden_until_commit;
+        ] );
+      ( "deletion",
+        [
+          Alcotest.test_case "delete block in ARU" `Quick
+            test_delete_block_in_aru;
+          Alcotest.test_case "ops on shadow-deleted block rejected" `Quick
+            test_write_after_own_shadow_delete_rejected;
+          Alcotest.test_case "delete list in ARU" `Quick test_delete_list_in_aru;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "abort discards shadow" `Quick
+            test_abort_discards_shadow;
+          Alcotest.test_case "ids unique and tracked" `Quick
+            test_aru_ids_unique_and_tracked;
+          Alcotest.test_case "unknown ARU rejected" `Quick
+            test_end_unknown_aru_rejected;
+          Alcotest.test_case "with_aru commits" `Quick test_with_aru_commits;
+          Alcotest.test_case "with_aru aborts on exception" `Quick
+            test_with_aru_aborts_on_exception;
+          Alcotest.test_case "commit replays the link log" `Quick
+            test_commit_replays_into_committed_state;
+          Alcotest.test_case "conflicting merges deterministic" `Quick
+            test_conflicting_merge_is_deterministic;
+          Alcotest.test_case "commit spanning segments" `Quick
+            test_commit_spanning_segments;
+        ] );
+      ( "visibility-options",
+        [
+          Alcotest.test_case "option 2: committed only" `Quick
+            test_visibility_option_committed_only;
+          Alcotest.test_case "option 1: any shadow" `Quick
+            test_visibility_option_any_shadow;
+        ] );
+      ( "sequential-mode",
+        [
+          Alcotest.test_case "single ARU at a time" `Quick
+            test_sequential_mode_single_aru;
+          Alcotest.test_case "updates in place" `Quick
+            test_sequential_mode_aru_updates_in_place;
+          Alcotest.test_case "abort unsupported" `Quick
+            test_sequential_abort_unsupported;
+        ] );
+    ]

@@ -1,0 +1,175 @@
+open Helpers
+module Checkpoint = Lld_core.Checkpoint
+module Disk_layout = Lld_core.Disk_layout
+module Fault = Lld_disk.Fault
+
+let snapshot ?(ckpt_id = 5) ?(blocks = []) ?(lists = []) ?(pending = [])
+    ?(free_order = []) () =
+  {
+    Checkpoint.ckpt_id;
+    covered_seq = 42;
+    next_seq = 43;
+    stamp = 1000;
+    next_aru = 9;
+    blocks;
+    lists;
+    pending;
+    free_order;
+  }
+
+let block_entry i =
+  {
+    Checkpoint.b_id = i;
+    b_member = (if i mod 2 = 0 then Some (i / 2) else None);
+    b_succ = (if i mod 3 = 0 then Some (i + 1) else None);
+    b_phys = (if i mod 5 = 0 then None else Some (i mod 30, i mod 128));
+    b_stamp = i * 17;
+  }
+
+let list_entry i =
+  {
+    Checkpoint.l_id = i;
+    l_first = Some (i * 2);
+    l_last = Some ((i * 2) + 9);
+    l_stamp = i * 31;
+    l_owner = (if i mod 4 = 0 then Some (i + 100) else None);
+  }
+
+let test_encode_decode_empty () =
+  let s = snapshot () in
+  Alcotest.(check bool) "roundtrip" true (Checkpoint.decode (Checkpoint.encode s) = s)
+
+let test_encode_decode_populated () =
+  let s =
+    snapshot
+      ~blocks:(List.init 50 block_entry)
+      ~lists:(List.init 20 list_entry)
+      ~pending:
+        [
+          ( 3,
+            [
+              {
+                Checkpoint.pe_op =
+                  Lld_core.Summary.Dealloc
+                    { block = Types.Block_id.of_int 9; stamp = 77 };
+                pe_seg = 12;
+              };
+            ] );
+        ]
+      ~free_order:[ 10; 11; 12; 13 ] ()
+  in
+  Alcotest.(check bool) "roundtrip" true (Checkpoint.decode (Checkpoint.encode s) = s)
+
+let test_decode_rejects_garbage () =
+  Alcotest.check_raises "truncated"
+    (Errors.Corrupt "truncated checkpoint payload") (fun () ->
+      ignore (Checkpoint.decode (Bytes.make 3 'x')))
+
+let test_region_write_read () =
+  let disk = fresh_disk () in
+  let s = snapshot ~blocks:(List.init 10 block_entry) () in
+  Checkpoint.write disk ~region:0 s;
+  Alcotest.(check bool) "region 0 readable" true
+    (Checkpoint.read_region disk ~region:0 = Some s);
+  Alcotest.(check bool) "region 1 still empty" true
+    (Checkpoint.read_region disk ~region:1 = None)
+
+let test_read_best_prefers_newer () =
+  let disk = fresh_disk () in
+  Checkpoint.write disk ~region:0 (snapshot ~ckpt_id:5 ());
+  Checkpoint.write disk ~region:1 (snapshot ~ckpt_id:9 ());
+  (match Checkpoint.read_best disk with
+  | Some s -> Alcotest.(check int) "newest wins" 9 s.Checkpoint.ckpt_id
+  | None -> Alcotest.fail "no checkpoint found");
+  Checkpoint.write disk ~region:0 (snapshot ~ckpt_id:12 ());
+  match Checkpoint.read_best disk with
+  | Some s -> Alcotest.(check int) "alternation" 12 s.Checkpoint.ckpt_id
+  | None -> Alcotest.fail "no checkpoint found"
+
+let test_torn_checkpoint_write_falls_back () =
+  let disk = fresh_disk () in
+  Checkpoint.write disk ~region:0 (snapshot ~ckpt_id:5 ());
+  Checkpoint.write disk ~region:1 (snapshot ~ckpt_id:6 ());
+  (* region 0 is being rewritten with ckpt 7 when power fails *)
+  Fault.schedule_crash (Disk.fault disk)
+    (Fault.During_write { write_index = 0; keep_bytes = 64 });
+  (try Checkpoint.write disk ~region:0 (snapshot ~ckpt_id:7 ())
+   with Fault.Crashed -> ());
+  Fault.reset_after_recovery (Disk.fault disk);
+  match Checkpoint.read_best disk with
+  | Some s ->
+    Alcotest.(check int) "survivor used" 6 s.Checkpoint.ckpt_id
+  | None -> Alcotest.fail "lost both checkpoints"
+
+let test_multi_chunk_checkpoint () =
+  (* enough block entries to spill across several region segments *)
+  let disk = fresh_disk () in
+  let geom = Disk.geometry disk in
+  let entries_needed = (2 * geom.Geometry.segment_bytes / 22) + 100 in
+  let s = snapshot ~blocks:(List.init entries_needed block_entry) () in
+  Checkpoint.write disk ~region:1 s;
+  Alcotest.(check bool) "multi-chunk roundtrip" true
+    (Checkpoint.read_region disk ~region:1 = Some s)
+
+let test_oversized_checkpoint_rejected () =
+  let disk = fresh_disk () in
+  let geom = Disk.geometry disk in
+  let region_bytes =
+    Lld_core.Disk_layout.region_segments geom * geom.Geometry.segment_bytes
+  in
+  let entries = (region_bytes / 22) + 10_000 in
+  let s = snapshot ~blocks:(List.init entries block_entry) () in
+  Alcotest.check_raises "does not fit" Errors.Disk_full (fun () ->
+      Checkpoint.write disk ~region:0 s)
+
+let test_layout_properties () =
+  List.iter
+    (fun geom ->
+      let r = Disk_layout.region_segments geom in
+      Alcotest.(check bool) "regions positive" true (r > 0);
+      Alcotest.(check int) "region 1 after region 0" r
+        (Disk_layout.region_first geom ~region:1);
+      Alcotest.(check int) "log after regions" (2 * r)
+        (Disk_layout.log_first geom);
+      Alcotest.(check int) "partition fully used"
+        geom.Geometry.num_segments
+        (Disk_layout.log_first geom + Disk_layout.log_count geom);
+      Alcotest.(check int) "capacity matches log size"
+        (Disk_layout.log_count geom * Geometry.blocks_per_segment geom)
+        (Disk_layout.block_capacity geom))
+    [ Geometry.small; Geometry.paper; Geometry.v ~num_segments:64 () ]
+
+let test_layout_too_small_rejected () =
+  Alcotest.check_raises "tiny partition"
+    (Invalid_argument "Disk_layout: partition too small for a log") (fun () ->
+      ignore (Disk_layout.log_count (Geometry.v ~num_segments:7 ())))
+
+let () =
+  Alcotest.run "lld_checkpoint"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "empty roundtrip" `Quick test_encode_decode_empty;
+          Alcotest.test_case "populated roundtrip" `Quick
+            test_encode_decode_populated;
+          Alcotest.test_case "rejects garbage" `Quick test_decode_rejects_garbage;
+        ] );
+      ( "regions",
+        [
+          Alcotest.test_case "write/read region" `Quick test_region_write_read;
+          Alcotest.test_case "best prefers newest" `Quick
+            test_read_best_prefers_newer;
+          Alcotest.test_case "torn write falls back" `Quick
+            test_torn_checkpoint_write_falls_back;
+          Alcotest.test_case "multi-chunk payloads" `Quick
+            test_multi_chunk_checkpoint;
+          Alcotest.test_case "oversized rejected" `Quick
+            test_oversized_checkpoint_rejected;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "layout properties" `Quick test_layout_properties;
+          Alcotest.test_case "too-small partition rejected" `Quick
+            test_layout_too_small_rejected;
+        ] );
+    ]

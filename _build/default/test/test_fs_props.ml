@@ -1,0 +1,309 @@
+(* Model-based property testing of the Minix-like file system: random
+   operation sequences run against both the real FS and a trivial
+   in-memory specification (paths -> file identity -> content, so hard
+   links alias correctly); every observable is compared, then the FS is
+   flushed, remounted, and compared again. *)
+
+open Helpers
+module Fs = Lld_minixfs.Fs
+module Fsck = Lld_minixfs.Fsck
+module Layout = Lld_minixfs.Layout
+module Rng = Lld_sim.Rng
+
+module Spec = struct
+  type node = Dir | File of int (* file identity *)
+
+  type t = {
+    mutable nodes : (string * node) list; (* path -> node *)
+    mutable contents : (int * bytes) list; (* identity -> content *)
+    mutable next_id : int;
+  }
+
+  let empty () = { nodes = [ ("/", Dir) ]; contents = []; next_id = 0 }
+  let find t path = List.assoc_opt path t.nodes
+
+  let parent path =
+    match String.rindex_opt path '/' with
+    | Some 0 -> "/"
+    | Some i -> String.sub path 0 i
+    | None -> invalid_arg "Spec.parent"
+
+  let children t path =
+    let prefix = if path = "/" then "/" else path ^ "/" in
+    List.filter_map
+      (fun (p, _) ->
+        if
+          p <> "/"
+          && String.length p > String.length prefix
+          && String.sub p 0 (String.length prefix) = prefix
+          && not (String.contains_from p (String.length prefix) '/')
+        then Some (String.sub p (String.length prefix)
+                     (String.length p - String.length prefix))
+        else None)
+      t.nodes
+    |> List.sort String.compare
+
+  let content t id = List.assoc id t.contents
+
+  let set_content t id data =
+    t.contents <- (id, data) :: List.remove_assoc id t.contents
+
+  let refcount t id =
+    List.length (List.filter (fun (_, n) -> n = File id) t.nodes)
+
+  let mkdir t path =
+    if find t path <> None then Error `Exists
+    else if find t (parent path) <> Some Dir then Error `Bad_parent
+    else begin
+      t.nodes <- (path, Dir) :: t.nodes;
+      Ok ()
+    end
+
+  let create t path =
+    if find t path <> None then Error `Exists
+    else if find t (parent path) <> Some Dir then Error `Bad_parent
+    else begin
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      t.nodes <- (path, File id) :: t.nodes;
+      set_content t id Bytes.empty;
+      Ok ()
+    end
+
+  let write t path ~off data =
+    match find t path with
+    | Some (File id) ->
+      let old = content t id in
+      let size = max (Bytes.length old) (off + Bytes.length data) in
+      let buf = Bytes.make size '\000' in
+      Bytes.blit old 0 buf 0 (Bytes.length old);
+      Bytes.blit data 0 buf off (Bytes.length data);
+      set_content t id buf;
+      Ok ()
+    | Some Dir -> Error `Is_dir
+    | None -> Error `Missing
+
+  let truncate t path ~size =
+    match find t path with
+    | Some (File id) ->
+      let old = content t id in
+      let buf = Bytes.make size '\000' in
+      Bytes.blit old 0 buf 0 (min size (Bytes.length old));
+      set_content t id buf;
+      Ok ()
+    | Some Dir -> Error `Is_dir
+    | None -> Error `Missing
+
+  let unlink t path =
+    match find t path with
+    | Some (File id) ->
+      t.nodes <- List.remove_assoc path t.nodes;
+      if refcount t id = 0 then
+        t.contents <- List.remove_assoc id t.contents;
+      Ok ()
+    | Some Dir -> Error `Is_dir
+    | None -> Error `Missing
+
+  let rmdir t path =
+    match find t path with
+    | Some Dir when path <> "/" ->
+      if children t path <> [] then Error `Not_empty
+      else begin
+        t.nodes <- List.remove_assoc path t.nodes;
+        Ok ()
+      end
+    | Some Dir -> Error `Is_dir
+    | Some (File _) -> Error `Not_dir
+    | None -> Error `Missing
+
+  let link t existing fresh =
+    match (find t existing, find t fresh, find t (parent fresh)) with
+    | Some (File id), None, Some Dir ->
+      t.nodes <- (fresh, File id) :: t.nodes;
+      Ok ()
+    | Some Dir, _, _ -> Error `Is_dir
+    | None, _, _ -> Error `Missing
+    | _, Some _, _ -> Error `Exists
+    | _, _, (Some (File _) | None) -> Error `Bad_parent
+
+  let rename t src dst =
+    match (find t src, find t dst) with
+    | None, _ -> Error `Missing
+    | Some src_node, dst_node -> (
+      if src = dst then Ok ()
+      else
+        match (src_node, dst_node) with
+        | File id, Some (File id2) when id = id2 -> Ok () (* same file *)
+        | _, Some Dir -> Error `Is_dir
+        | Dir, Some (File _) -> Error `Exists
+        | Dir, None
+          when String.length dst > String.length src
+               && String.sub dst 0 (String.length src + 1) = src ^ "/" ->
+          Error `Into_self
+        | (File _ | Dir), _ when find t (parent dst) <> Some Dir ->
+          Error `Bad_parent
+        | Dir, None ->
+          (* move the subtree *)
+          t.nodes <-
+            List.map
+              (fun (p, n) ->
+                if p = src then (dst, n)
+                else if
+                  String.length p > String.length src
+                  && String.sub p 0 (String.length src + 1) = src ^ "/"
+                then
+                  ( dst ^ String.sub p (String.length src)
+                      (String.length p - String.length src),
+                    n )
+                else (p, n))
+              t.nodes;
+          Ok ()
+        | File id, (Some (File _) | None) ->
+          (match dst_node with
+          | Some (File old_id) ->
+            t.nodes <- List.remove_assoc dst t.nodes;
+            if refcount t old_id = 0 then
+              t.contents <- List.remove_assoc old_id t.contents
+          | Some Dir | None -> ());
+          t.nodes <- (dst, File id) :: List.remove_assoc src t.nodes;
+          Ok ())
+end
+
+(* ------------------------------------------------------------------ *)
+
+let some_paths rng =
+  let d () = Printf.sprintf "/dir%d" (Rng.int rng 4) in
+  let leaf () = Printf.sprintf "f%d" (Rng.int rng 6) in
+  match Rng.int rng 4 with
+  | 0 -> d ()
+  | 1 -> Printf.sprintf "/top%d" (Rng.int rng 6)
+  | _ -> d () ^ "/" ^ leaf ()
+
+let apply_both fs spec op =
+  (* run the op on both; both must agree on success/failure class *)
+  let fs_result f =
+    match f () with
+    | () -> Ok ()
+    | exception Fs.Already_exists _ -> Error `Exists
+    | exception Fs.Not_found_path _ -> Error `Missing
+    | exception Fs.Is_a_directory _ -> Error `Is_dir
+    | exception Fs.Not_a_directory _ -> Error `Bad_parent
+    | exception Fs.Directory_not_empty _ -> Error `Not_empty
+    | exception Fs.Invalid_name _ -> Error `Into_self
+  in
+  let agree label a b =
+    let tag = function
+      | Ok () -> "ok"
+      | Error `Exists -> "exists"
+      | Error `Missing -> "missing"
+      | Error `Is_dir -> "is-dir"
+      | Error `Not_dir -> "not-dir"
+      | Error `Bad_parent -> "bad-parent"
+      | Error `Not_empty -> "not-empty"
+      | Error `Into_self -> "into-self"
+    in
+    (* `Not_dir vs `Bad_parent and `Is_dir distinctions are allowed to
+       differ in flavour but not in success/failure *)
+    if (a = Ok ()) <> (b = Ok ()) then
+      Alcotest.failf "%s: fs %s vs spec %s" label (tag a) (tag b)
+  in
+  match op with
+  | `Mkdir p -> agree ("mkdir " ^ p) (fs_result (fun () -> Fs.mkdir fs p)) (Spec.mkdir spec p)
+  | `Create p ->
+    agree ("create " ^ p) (fs_result (fun () -> Fs.create fs p)) (Spec.create spec p)
+  | `Write (p, off, data) ->
+    agree ("write " ^ p)
+      (fs_result (fun () -> Fs.write_file fs p ~off data))
+      (Spec.write spec p ~off data)
+  | `Truncate (p, size) ->
+    agree ("truncate " ^ p)
+      (fs_result (fun () -> Fs.truncate fs p ~size))
+      (Spec.truncate spec p ~size)
+  | `Unlink p ->
+    agree ("unlink " ^ p) (fs_result (fun () -> Fs.unlink fs p)) (Spec.unlink spec p)
+  | `Rmdir p ->
+    agree ("rmdir " ^ p) (fs_result (fun () -> Fs.rmdir fs p)) (Spec.rmdir spec p)
+  | `Link (a, b) ->
+    agree
+      (Printf.sprintf "link %s %s" a b)
+      (fs_result (fun () -> Fs.link fs a b))
+      (Spec.link spec a b)
+  | `Rename (a, b) ->
+    agree
+      (Printf.sprintf "rename %s %s" a b)
+      (fs_result (fun () -> Fs.rename fs a b))
+      (Spec.rename spec a b)
+
+let random_op rng =
+  let p () = some_paths rng in
+  match Rng.int rng 12 with
+  | 0 | 1 -> `Mkdir (p ())
+  | 2 | 3 | 4 -> `Create (p ())
+  | 5 | 6 ->
+    `Write (p (), Rng.int rng 6000, Bytes.make (1 + Rng.int rng 6000)
+              (Char.chr (65 + Rng.int rng 26)))
+  | 7 -> `Truncate (p (), Rng.int rng 9000)
+  | 8 -> `Unlink (p ())
+  | 9 -> `Rmdir (p ())
+  | 10 -> `Link (p (), p ())
+  | _ -> `Rename (p (), p ())
+
+(* Compare everything observable. *)
+let rec compare_tree fs spec path =
+  let fs_children = List.sort String.compare (Fs.readdir fs path) in
+  let spec_children = Spec.children spec path in
+  if fs_children <> spec_children then
+    Alcotest.failf "readdir %s: fs [%s] spec [%s]" path
+      (String.concat ";" fs_children)
+      (String.concat ";" spec_children);
+  List.iter
+    (fun name ->
+      let child = (if path = "/" then "" else path) ^ "/" ^ name in
+      match Spec.find spec child with
+      | Some Spec.Dir ->
+        if (Fs.stat fs child).Fs.kind <> Layout.Directory then
+          Alcotest.failf "%s: expected directory" child;
+        compare_tree fs spec child
+      | Some (Spec.File id) ->
+        let expect = Spec.content spec id in
+        let st = Fs.stat fs child in
+        if st.Fs.kind <> Layout.Regular then
+          Alcotest.failf "%s: expected regular file" child;
+        if st.Fs.size <> Bytes.length expect then
+          Alcotest.failf "%s: size %d, spec %d" child st.Fs.size
+            (Bytes.length expect);
+        if st.Fs.nlinks <> Spec.refcount spec id then
+          Alcotest.failf "%s: nlinks %d, spec %d" child st.Fs.nlinks
+            (Spec.refcount spec id);
+        let got = Fs.read_file fs child ~off:0 ~len:(Bytes.length expect) in
+        if not (Bytes.equal got expect) then
+          Alcotest.failf "%s: content mismatch" child
+      | None -> Alcotest.failf "%s: in fs but not in spec" child)
+    fs_children
+
+let fs_model_scenario seed =
+  let _, lld = fresh_lld () in
+  let fs = Fs.mkfs ~inode_count:512 lld in
+  let spec = Spec.empty () in
+  let rng = Rng.create ~seed in
+  for _ = 1 to 120 do
+    apply_both fs spec (random_op rng)
+  done;
+  compare_tree fs spec "/";
+  let report = Fsck.run fs in
+  if not (Fsck.ok report) then
+    Alcotest.failf "fsck: %a" Fsck.pp_report report;
+  (* flush, remount: the persistent state must be the same tree *)
+  Fs.flush fs;
+  let fs2 = Fs.mount (Fs.lld fs) in
+  compare_tree fs2 spec "/";
+  true
+
+let fs_model =
+  QCheck.Test.make ~name:"FS equals spec under random operations" ~count:30
+    QCheck.(int_range 0 100_000)
+    fs_model_scenario
+
+let () =
+  Alcotest.run "lld_fs_props"
+    [ ("model", [ QCheck_alcotest.to_alcotest fs_model ]) ]

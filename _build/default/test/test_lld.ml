@@ -1,0 +1,304 @@
+open Helpers
+
+let test_new_list_and_blocks () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  Alcotest.(check bool) "list exists" true (Lld.list_exists lld l);
+  Alcotest.check block_ids "empty" [] (Lld.list_blocks lld l);
+  let b1 = append_block lld l in
+  let b2 = append_block lld l in
+  Alcotest.check block_ids "order" [ b1; b2 ] (Lld.list_blocks lld l)
+
+let test_first_list_id_is_one () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  Alcotest.(check int) "well-known first list" 1 (Types.List_id.to_int l)
+
+let test_insert_at_head_and_middle () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let b1 = Lld.new_block lld ~list:l ~pred:Summary.Head () in
+  let b0 = Lld.new_block lld ~list:l ~pred:Summary.Head () in
+  let b2 = Lld.new_block lld ~list:l ~pred:(Summary.After b1) () in
+  Alcotest.check block_ids "head/middle insertion" [ b0; b1; b2 ]
+    (Lld.list_blocks lld l)
+
+let test_write_read_roundtrip () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Lld.write lld b (block_data 1);
+  check_data "read back" (block_data 1) (Lld.read lld b);
+  Lld.write lld b (block_data 2);
+  check_data "overwrite" (block_data 2) (Lld.read lld b)
+
+let test_unwritten_block_reads_zero () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Alcotest.(check bytes) "zeroes" (Bytes.make block_bytes '\000') (Lld.read lld b)
+
+let test_read_after_flush () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Lld.write lld b (block_data 7);
+  Lld.flush lld;
+  check_data "read from persistent storage" (block_data 7) (Lld.read lld b)
+
+let test_wrong_block_size_rejected () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Alcotest.check_raises "short write"
+    (Invalid_argument "Lld.write: data must be exactly one block") (fun () ->
+      Lld.write lld b (Bytes.make 100 'x'))
+
+let test_unallocated_block_rejected () =
+  let _, lld = fresh_lld () in
+  let ghost = Types.Block_id.of_int 17 in
+  Alcotest.check_raises "read" (Errors.Unallocated_block ghost) (fun () ->
+      ignore (Lld.read lld ghost));
+  Alcotest.check_raises "write" (Errors.Unallocated_block ghost) (fun () ->
+      Lld.write lld ghost (block_data 0))
+
+let test_unallocated_list_rejected () =
+  let _, lld = fresh_lld () in
+  let ghost = Types.List_id.of_int 42 in
+  Alcotest.check_raises "new_block on ghost list"
+    (Errors.Unallocated_list ghost) (fun () ->
+      ignore (Lld.new_block lld ~list:ghost ~pred:Summary.Head ()))
+
+let test_pred_not_on_list_rejected () =
+  let _, lld = fresh_lld () in
+  let l1 = new_list lld in
+  let l2 = new_list lld in
+  let b1 = append_block lld l1 in
+  Alcotest.check_raises "pred on another list" (Errors.Block_not_on_list b1)
+    (fun () -> ignore (Lld.new_block lld ~list:l2 ~pred:(Summary.After b1) ()))
+
+let test_delete_block_middle () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let b1 = append_block lld l in
+  let b2 = append_block lld l in
+  let b3 = append_block lld l in
+  Lld.delete_block lld b2;
+  Alcotest.check block_ids "middle removed" [ b1; b3 ] (Lld.list_blocks lld l);
+  Alcotest.(check bool) "deallocated" false (Lld.block_allocated lld b2);
+  (* the predecessor search was exercised *)
+  Alcotest.(check bool) "pred search hops counted" true
+    ((Lld.counters lld).Lld_core.Counters.pred_search_hops > 0)
+
+let test_delete_block_head_and_tail () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let b1 = append_block lld l in
+  let b2 = append_block lld l in
+  let b3 = append_block lld l in
+  Lld.delete_block lld b1;
+  Alcotest.check block_ids "head removed" [ b2; b3 ] (Lld.list_blocks lld l);
+  Lld.delete_block lld b3;
+  Alcotest.check block_ids "tail removed" [ b2 ] (Lld.list_blocks lld l);
+  let b4 = append_block lld l in
+  Alcotest.check block_ids "append after tail delete" [ b2; b4 ]
+    (Lld.list_blocks lld l)
+
+let test_delete_list_deallocates_members () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let bs = List.init 5 (fun _ -> append_block lld l) in
+  let before = (Lld.counters lld).Lld_core.Counters.pred_search_hops in
+  Lld.delete_list lld l;
+  let after = (Lld.counters lld).Lld_core.Counters.pred_search_hops in
+  Alcotest.(check int) "no predecessor searches" before after;
+  Alcotest.(check bool) "list gone" false (Lld.list_exists lld l);
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "member deallocated" false
+        (Lld.block_allocated lld b))
+    bs
+
+let test_id_recycling () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Lld.delete_block lld b;
+  let b' = append_block lld l in
+  Alcotest.(check int) "block id recycled" (Types.Block_id.to_int b)
+    (Types.Block_id.to_int b');
+  Lld.delete_list lld l;
+  let l' = new_list lld in
+  Alcotest.(check int) "list id recycled" (Types.List_id.to_int l)
+    (Types.List_id.to_int l')
+
+let test_lists_enumeration () =
+  let _, lld = fresh_lld () in
+  let l1 = new_list lld in
+  let l2 = new_list lld in
+  let l3 = new_list lld in
+  Lld.delete_list lld l2;
+  Alcotest.(check (list int)) "existing lists"
+    [ Types.List_id.to_int l1; Types.List_id.to_int l3 ]
+    (List.map Types.List_id.to_int (Lld.lists lld))
+
+let test_block_member () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Alcotest.(check (option int)) "member" (Some (Types.List_id.to_int l))
+    (Option.map Types.List_id.to_int (Lld.block_member lld b))
+
+let test_many_blocks_spill_segments () =
+  let _, lld = fresh_lld () in
+  let l = new_list lld in
+  (* 300 blocks > 2 segments' worth: forces seals mid-stream *)
+  let blocks =
+    List.init 300 (fun i ->
+        let b = append_block lld l in
+        Lld.write lld b (block_data i);
+        b)
+  in
+  Alcotest.(check bool) "segments were written" true
+    ((Lld.counters lld).Lld_core.Counters.segments_written >= 2);
+  List.iteri
+    (fun i b -> check_data (Printf.sprintf "block %d" i) (block_data i) (Lld.read lld b))
+    blocks;
+  Alcotest.(check int) "list intact" 300 (List.length (Lld.list_blocks lld l))
+
+let test_capacity_accounting () =
+  let _, lld = fresh_lld () in
+  Alcotest.(check int) "nothing allocated" 0 (Lld.allocated_blocks lld);
+  let l = new_list lld in
+  let _ = append_block lld l in
+  let _ = append_block lld l in
+  Alcotest.(check int) "two allocated" 2 (Lld.allocated_blocks lld);
+  Alcotest.(check bool) "capacity positive" true (Lld.capacity lld > 0)
+
+let test_sequential_mode_basics () =
+  let _, lld = fresh_lld ~config:Config.old_lld () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Lld.write lld b (block_data 3);
+  check_data "seq mode roundtrip" (block_data 3) (Lld.read lld b);
+  Lld.flush lld;
+  check_data "after flush" (block_data 3) (Lld.read lld b);
+  (* the old prototype creates no alternative records *)
+  Alcotest.(check int) "no record creates" 0
+    (Lld.counters lld).Lld_core.Counters.record_creates
+
+let test_flush_idempotent () =
+  let disk, lld = fresh_lld () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Lld.write lld b (block_data 1);
+  Lld.flush lld;
+  let writes = (Disk.counters disk).Disk.writes in
+  Lld.flush lld;
+  Lld.flush lld;
+  Alcotest.(check int) "nothing more written" writes
+    (Disk.counters disk).Disk.writes;
+  check_data "data intact" (block_data 1) (Lld.read lld b)
+
+let test_counters_track_operations () =
+  let _, lld = fresh_lld () in
+  let c = Lld.counters lld in
+  let l = new_list lld in
+  let b1 = append_block lld l in
+  let b2 = append_block lld l in
+  Lld.write lld b1 (block_data 1);
+  ignore (Lld.read lld b1);
+  Lld.delete_block lld b2;
+  Lld.delete_list lld l;
+  Alcotest.(check int) "new_lists" 1 c.Lld_core.Counters.new_lists;
+  Alcotest.(check int) "new_blocks" 2 c.Lld_core.Counters.new_blocks;
+  Alcotest.(check int) "writes" 1 c.Lld_core.Counters.writes;
+  Alcotest.(check bool) "reads counted" true (c.Lld_core.Counters.reads >= 1);
+  Alcotest.(check int) "delete_blocks" 1 c.Lld_core.Counters.delete_blocks;
+  Alcotest.(check int) "delete_lists" 1 c.Lld_core.Counters.delete_lists;
+  Alcotest.(check bool) "entries emitted" true
+    (c.Lld_core.Counters.summary_entries > 5)
+
+let test_virtual_time_advances () =
+  let _, lld = fresh_lld () in
+  let clock = Lld.clock lld in
+  let t0 = Lld_sim.Clock.now_ns clock in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Lld.write lld b (block_data 1);
+  let cpu_spent = Lld_sim.Clock.total_ns clock Lld_sim.Clock.Cpu in
+  Alcotest.(check bool) "cpu charged" true (cpu_spent > 0);
+  Lld.flush lld;
+  let io_spent = Lld_sim.Clock.total_ns clock Lld_sim.Clock.Io in
+  Alcotest.(check bool) "io charged by the flush" true (io_spent > 0);
+  Alcotest.(check bool) "clock monotone" true (Lld_sim.Clock.now_ns clock > t0)
+
+let test_disk_full_on_block_exhaustion () =
+  (* a tiny partition: exhaust logical ids *)
+  let geom = Geometry.v ~num_segments:12 () in
+  let config = { Config.default with Config.auto_clean = false } in
+  let _, lld = fresh_lld ~config ~geom () in
+  let l = new_list lld in
+  Alcotest.check_raises "eventually full" Errors.Disk_full (fun () ->
+      for _ = 1 to 100_000 do
+        let b = append_block lld l in
+        Lld.write lld b (block_data 0)
+      done)
+
+let () =
+  Alcotest.run "lld_core"
+    [
+      ( "ld-interface",
+        [
+          Alcotest.test_case "new list and blocks" `Quick
+            test_new_list_and_blocks;
+          Alcotest.test_case "first list id is 1" `Quick
+            test_first_list_id_is_one;
+          Alcotest.test_case "insert head and middle" `Quick
+            test_insert_at_head_and_middle;
+          Alcotest.test_case "write/read roundtrip" `Quick
+            test_write_read_roundtrip;
+          Alcotest.test_case "unwritten reads zero" `Quick
+            test_unwritten_block_reads_zero;
+          Alcotest.test_case "read after flush" `Quick test_read_after_flush;
+          Alcotest.test_case "wrong size rejected" `Quick
+            test_wrong_block_size_rejected;
+          Alcotest.test_case "unallocated block rejected" `Quick
+            test_unallocated_block_rejected;
+          Alcotest.test_case "unallocated list rejected" `Quick
+            test_unallocated_list_rejected;
+          Alcotest.test_case "pred not on list rejected" `Quick
+            test_pred_not_on_list_rejected;
+        ] );
+      ( "deletion",
+        [
+          Alcotest.test_case "delete middle block" `Quick
+            test_delete_block_middle;
+          Alcotest.test_case "delete head and tail" `Quick
+            test_delete_block_head_and_tail;
+          Alcotest.test_case "delete list deallocates members" `Quick
+            test_delete_list_deallocates_members;
+          Alcotest.test_case "identifier recycling" `Quick test_id_recycling;
+        ] );
+      ( "introspection",
+        [
+          Alcotest.test_case "lists enumeration" `Quick test_lists_enumeration;
+          Alcotest.test_case "block member" `Quick test_block_member;
+          Alcotest.test_case "capacity accounting" `Quick
+            test_capacity_accounting;
+        ] );
+      ( "storage",
+        [
+          Alcotest.test_case "many blocks spill segments" `Quick
+            test_many_blocks_spill_segments;
+          Alcotest.test_case "sequential mode basics" `Quick
+            test_sequential_mode_basics;
+          Alcotest.test_case "flush is idempotent" `Quick test_flush_idempotent;
+          Alcotest.test_case "counters track operations" `Quick
+            test_counters_track_operations;
+          Alcotest.test_case "virtual time advances" `Quick
+            test_virtual_time_advances;
+          Alcotest.test_case "disk full on exhaustion" `Slow
+            test_disk_full_on_block_exhaustion;
+        ] );
+    ]

@@ -1,0 +1,403 @@
+open Helpers
+module Fs = Lld_minixfs.Fs
+module Fsck = Lld_minixfs.Fsck
+module Layout = Lld_minixfs.Layout
+
+let fresh_fs ?(fs_config = Fs.config_new) ?(config = Config.default) () =
+  let disk, lld = fresh_lld ~config () in
+  (disk, Fs.mkfs ~config:fs_config ~inode_count:1024 lld)
+
+let payload n = Bytes.init n (fun i -> Char.chr ((i * 7) land 0xff))
+
+let test_mkfs_and_mount () =
+  let disk, fs = fresh_fs () in
+  Fs.flush fs;
+  let fs2 = Fs.mount (Fs.lld fs) in
+  Alcotest.(check (list string)) "root empty" [] (Fs.readdir fs2 "/");
+  ignore disk
+
+let test_create_stat () =
+  let _, fs = fresh_fs () in
+  Fs.create fs "/hello";
+  let st = Fs.stat fs "/hello" in
+  Alcotest.(check bool) "regular" true (st.Fs.kind = Layout.Regular);
+  Alcotest.(check int) "empty" 0 st.Fs.size;
+  Alcotest.(check int) "one link" 1 st.Fs.nlinks;
+  Alcotest.(check bool) "exists" true (Fs.exists fs "/hello");
+  Alcotest.(check bool) "other missing" false (Fs.exists fs "/other")
+
+let test_create_duplicate_rejected () =
+  let _, fs = fresh_fs () in
+  Fs.create fs "/f";
+  Alcotest.check_raises "duplicate" (Fs.Already_exists "/f") (fun () ->
+      Fs.create fs "/f")
+
+let test_invalid_names_rejected () =
+  let _, fs = fresh_fs () in
+  Alcotest.check_raises "too long" (Fs.Invalid_name "/waaaaaaaaaaaaaytoolong")
+    (fun () -> Fs.create fs "/waaaaaaaaaaaaaytoolong");
+  Alcotest.check_raises "relative" (Fs.Invalid_name "relative") (fun () ->
+      Fs.create fs "relative")
+
+let test_write_read_roundtrip () =
+  let _, fs = fresh_fs () in
+  Fs.create fs "/data";
+  let body = payload 1024 in
+  Fs.write_file fs "/data" ~off:0 body;
+  Alcotest.(check int) "size" 1024 (Fs.stat fs "/data").Fs.size;
+  Alcotest.(check bytes) "roundtrip" body
+    (Fs.read_file fs "/data" ~off:0 ~len:1024)
+
+let test_write_multiblock () =
+  let _, fs = fresh_fs () in
+  Fs.create fs "/big";
+  let body = payload 10240 (* a paper "10 KB file": 3 blocks *) in
+  Fs.write_file fs "/big" ~off:0 body;
+  Alcotest.(check bytes) "all back" body
+    (Fs.read_file fs "/big" ~off:0 ~len:10240);
+  (* partial reads across block boundaries *)
+  Alcotest.(check bytes) "middle window" (Bytes.sub body 4000 300)
+    (Fs.read_file fs "/big" ~off:4000 ~len:300);
+  let st = Fs.stat fs "/big" in
+  Alcotest.(check int) "size" 10240 st.Fs.size
+
+let test_write_at_offset_and_sparse () =
+  let _, fs = fresh_fs () in
+  Fs.create fs "/sparse";
+  Fs.write_file fs "/sparse" ~off:9000 (Bytes.of_string "tail");
+  Alcotest.(check int) "size" 9004 (Fs.stat fs "/sparse").Fs.size;
+  let hole = Fs.read_file fs "/sparse" ~off:0 ~len:10 in
+  Alcotest.(check bytes) "hole reads zero" (Bytes.make 10 '\000') hole;
+  Alcotest.(check bytes) "tail" (Bytes.of_string "tail")
+    (Fs.read_file fs "/sparse" ~off:9000 ~len:4)
+
+let test_overwrite_shrinks_nothing () =
+  let _, fs = fresh_fs () in
+  Fs.create fs "/f";
+  Fs.write_file fs "/f" ~off:0 (payload 5000);
+  Fs.write_file fs "/f" ~off:0 (Bytes.of_string "XY");
+  Alcotest.(check int) "size unchanged" 5000 (Fs.stat fs "/f").Fs.size;
+  Alcotest.(check bytes) "prefix overwritten" (Bytes.of_string "XY")
+    (Fs.read_file fs "/f" ~off:0 ~len:2)
+
+let test_read_past_eof_short () =
+  let _, fs = fresh_fs () in
+  Fs.create fs "/f";
+  Fs.write_file fs "/f" ~off:0 (Bytes.of_string "abc");
+  Alcotest.(check int) "short read" 3
+    (Bytes.length (Fs.read_file fs "/f" ~off:0 ~len:100));
+  Alcotest.(check int) "past eof empty" 0
+    (Bytes.length (Fs.read_file fs "/f" ~off:10 ~len:5))
+
+let test_unlink () =
+  let _, fs = fresh_fs () in
+  Fs.create fs "/f";
+  Fs.write_file fs "/f" ~off:0 (payload 8192);
+  let allocated_before = Lld.allocated_blocks (Fs.lld fs) in
+  Fs.unlink fs "/f";
+  Alcotest.(check bool) "gone" false (Fs.exists fs "/f");
+  Alcotest.(check bool) "blocks released" true
+    (Lld.allocated_blocks (Fs.lld fs) < allocated_before);
+  Alcotest.check_raises "unlink missing" (Fs.Not_found_path "/f") (fun () ->
+      Fs.unlink fs "/f")
+
+let test_unlink_policies_equivalent () =
+  (* both deletion policies free the same state; only the cost differs *)
+  let run fs_config =
+    let _, fs = fresh_fs ~fs_config () in
+    Fs.create fs "/f";
+    Fs.write_file fs "/f" ~off:0 (payload 10240);
+    Fs.unlink fs "/f";
+    let lld = Fs.lld fs in
+    ( Lld.allocated_blocks lld,
+      (Lld.counters lld).Lld_core.Counters.pred_search_hops )
+  in
+  let alloc_naive, hops_naive = run Fs.config_new in
+  let alloc_improved, hops_improved = run Fs.config_new_delete in
+  Alcotest.(check int) "same residual allocation" alloc_naive alloc_improved;
+  Alcotest.(check bool)
+    (Printf.sprintf "naive deletion searches more (%d vs %d)" hops_naive
+       hops_improved)
+    true
+    (hops_naive > hops_improved)
+
+let test_directories () =
+  let _, fs = fresh_fs () in
+  Fs.mkdir fs "/d";
+  Fs.mkdir fs "/d/sub";
+  Fs.create fs "/d/f1";
+  Fs.create fs "/d/sub/f2";
+  Alcotest.(check (list string)) "root" [ "d" ] (Fs.readdir fs "/");
+  Alcotest.(check (list string)) "d" [ "f1"; "sub" ] (Fs.readdir fs "/d");
+  Alcotest.(check (list string)) "sub" [ "f2" ] (Fs.readdir fs "/d/sub");
+  Alcotest.(check bool) "dir kind" true
+    ((Fs.stat fs "/d").Fs.kind = Layout.Directory)
+
+let test_rmdir () =
+  let _, fs = fresh_fs () in
+  Fs.mkdir fs "/d";
+  Fs.create fs "/d/f";
+  Alcotest.check_raises "not empty" (Fs.Directory_not_empty "/d") (fun () ->
+      Fs.rmdir fs "/d");
+  Fs.unlink fs "/d/f";
+  Fs.rmdir fs "/d";
+  Alcotest.(check bool) "gone" false (Fs.exists fs "/d")
+
+let test_kind_mismatches () =
+  let _, fs = fresh_fs () in
+  Fs.mkdir fs "/d";
+  Fs.create fs "/f";
+  Alcotest.check_raises "unlink dir" (Fs.Is_a_directory "/d") (fun () ->
+      Fs.unlink fs "/d");
+  Alcotest.check_raises "rmdir file" (Fs.Not_a_directory "/f") (fun () ->
+      Fs.rmdir fs "/f");
+  Alcotest.check_raises "write dir" (Fs.Is_a_directory "/d") (fun () ->
+      Fs.write_file fs "/d" ~off:0 (Bytes.of_string "x"));
+  Alcotest.check_raises "descend into file" (Fs.Not_a_directory "/f/x")
+    (fun () -> ignore (Fs.stat fs "/f/x"))
+
+let test_many_files_one_dir () =
+  let _, fs = fresh_fs () in
+  let n = 300 in
+  for i = 0 to n - 1 do
+    let path = Printf.sprintf "/f%04d" i in
+    Fs.create fs path;
+    Fs.write_file fs path ~off:0 (payload ((i mod 5) * 100))
+  done;
+  Alcotest.(check int) "all listed" n (List.length (Fs.readdir fs "/"));
+  for i = 0 to n - 1 do
+    let path = Printf.sprintf "/f%04d" i in
+    let expect = (i mod 5) * 100 in
+    Alcotest.(check int) path expect (Fs.stat fs path).Fs.size
+  done;
+  (* delete every other file; directory stays consistent *)
+  for i = 0 to n - 1 do
+    if i mod 2 = 0 then Fs.unlink fs (Printf.sprintf "/f%04d" i)
+  done;
+  Alcotest.(check int) "half left" (n / 2) (List.length (Fs.readdir fs "/"));
+  let report = Fsck.run fs in
+  Alcotest.(check bool)
+    (Format.asprintf "fsck clean: %a" Fsck.pp_report report)
+    true (Fsck.ok report)
+
+let test_inode_exhaustion () =
+  let disk, lld = fresh_lld () in
+  ignore disk;
+  let fs = Fs.mkfs ~inode_count:140 lld in
+  (* 128 inodes per block; ino 0 reserved, 1 is root -> 138 creatable *)
+  Alcotest.check_raises "out of inodes" Fs.Out_of_inodes (fun () ->
+      for i = 0 to 200 do
+        Fs.create fs (Printf.sprintf "/f%03d" i)
+      done)
+
+let test_remount_preserves_everything () =
+  let disk, fs = fresh_fs () in
+  ignore disk;
+  Fs.mkdir fs "/d";
+  Fs.create fs "/d/keep";
+  Fs.write_file fs "/d/keep" ~off:0 (payload 6000);
+  Fs.flush fs;
+  let fs2 = Fs.mount (Fs.lld fs) in
+  Alcotest.(check bytes) "data preserved" (payload 6000)
+    (Fs.read_file fs2 "/d/keep" ~off:0 ~len:6000);
+  Alcotest.(check (list string)) "tree preserved" [ "keep" ]
+    (Fs.readdir fs2 "/d")
+
+let test_fs_on_sequential_lld () =
+  (* the "old" configuration: unmodified Minix on sequential LLD *)
+  let config = Config.old_lld in
+  let disk, lld = fresh_lld ~config () in
+  ignore disk;
+  let fs = Fs.mkfs ~config:Fs.config_old ~inode_count:1024 lld in
+  Fs.create fs "/f";
+  Fs.write_file fs "/f" ~off:0 (payload 2048);
+  Alcotest.(check bytes) "works without ARUs" (payload 2048)
+    (Fs.read_file fs "/f" ~off:0 ~len:2048);
+  Fs.unlink fs "/f";
+  Alcotest.(check bool) "deleted" false (Fs.exists fs "/f")
+
+let test_fsck_clean_on_fresh_fs () =
+  let _, fs = fresh_fs () in
+  Fs.mkdir fs "/a";
+  Fs.create fs "/a/f";
+  Fs.write_file fs "/a/f" ~off:0 (payload 5000);
+  let report = Fsck.run fs in
+  Alcotest.(check bool)
+    (Format.asprintf "clean: %a" Fsck.pp_report report)
+    true (Fsck.ok report);
+  Alcotest.(check int) "inodes checked" 1023 report.Fsck.checked_inodes
+
+
+(* ------------------------------------------------------------------ *)
+(* rename / link / truncate                                            *)
+
+let test_rename_basic () =
+  let _, fs = fresh_fs () in
+  Fs.mkdir fs "/a";
+  Fs.mkdir fs "/b";
+  Fs.create fs "/a/f";
+  Fs.write_file fs "/a/f" ~off:0 (payload 3000);
+  Fs.rename fs "/a/f" "/b/g";
+  Alcotest.(check bool) "source gone" false (Fs.exists fs "/a/f");
+  Alcotest.(check bytes) "content moved" (payload 3000)
+    (Fs.read_file fs "/b/g" ~off:0 ~len:3000);
+  Alcotest.(check bool) "still consistent" true (Fsck.ok (Fsck.run fs))
+
+let test_rename_replaces_file () =
+  let _, fs = fresh_fs () in
+  Fs.create fs "/old";
+  Fs.write_file fs "/old" ~off:0 (payload 5000);
+  Fs.create fs "/new";
+  Fs.write_file fs "/new" ~off:0 (payload 100);
+  let before = Lld.allocated_blocks (Fs.lld fs) in
+  Fs.rename fs "/new" "/old";
+  Alcotest.(check bool) "source gone" false (Fs.exists fs "/new");
+  Alcotest.(check int) "replacement visible" 100 (Fs.stat fs "/old").Fs.size;
+  Alcotest.(check bool) "replaced file's blocks freed" true
+    (Lld.allocated_blocks (Fs.lld fs) < before);
+  Alcotest.(check bool) "consistent" true (Fsck.ok (Fsck.run fs))
+
+let test_rename_directory () =
+  let _, fs = fresh_fs () in
+  Fs.mkdir fs "/d";
+  Fs.create fs "/d/f";
+  Fs.mkdir fs "/e";
+  Fs.rename fs "/d" "/e/moved";
+  Alcotest.(check bool) "moved" true (Fs.exists fs "/e/moved/f");
+  Alcotest.check_raises "cannot move into own subtree"
+    (Fs.Invalid_name "/e/moved/inner") (fun () ->
+      Fs.rename fs "/e/moved" "/e/moved/inner");
+  Alcotest.check_raises "cannot replace a directory" (Fs.Is_a_directory "/e")
+    (fun () ->
+      Fs.create fs "/f0";
+      Fs.rename fs "/f0" "/e")
+
+let test_rename_same_file_noop () =
+  let _, fs = fresh_fs () in
+  Fs.create fs "/f";
+  Fs.link fs "/f" "/g";
+  Fs.rename fs "/f" "/g" (* POSIX: both names link the same file *);
+  Alcotest.(check bool) "f still there" true (Fs.exists fs "/f");
+  Alcotest.(check bool) "g still there" true (Fs.exists fs "/g");
+  Alcotest.(check bool) "consistent" true (Fsck.ok (Fsck.run fs))
+
+let test_hard_links () =
+  let _, fs = fresh_fs () in
+  Fs.create fs "/f";
+  Fs.write_file fs "/f" ~off:0 (payload 2000);
+  Fs.link fs "/f" "/g";
+  Alcotest.(check int) "nlinks" 2 (Fs.stat fs "/f").Fs.nlinks;
+  Alcotest.(check int) "same inode" (Fs.stat fs "/f").Fs.ino
+    (Fs.stat fs "/g").Fs.ino;
+  (* writes through one name are visible through the other *)
+  Fs.write_file fs "/g" ~off:0 (Bytes.of_string "XY");
+  Alcotest.(check bytes) "shared content" (Bytes.of_string "XY")
+    (Fs.read_file fs "/f" ~off:0 ~len:2);
+  (* unlinking one name keeps the data *)
+  Fs.unlink fs "/f";
+  Alcotest.(check int) "nlinks back to 1" 1 (Fs.stat fs "/g").Fs.nlinks;
+  Alcotest.(check int) "data survives" 2000 (Fs.stat fs "/g").Fs.size;
+  Fs.unlink fs "/g";
+  Alcotest.(check bool) "consistent after last unlink" true
+    (Fsck.ok (Fsck.run fs))
+
+let test_link_restrictions () =
+  let _, fs = fresh_fs () in
+  Fs.mkdir fs "/d";
+  Alcotest.check_raises "no dir hard links" (Fs.Is_a_directory "/d") (fun () ->
+      Fs.link fs "/d" "/d2");
+  Fs.create fs "/f";
+  Alcotest.check_raises "target must not exist" (Fs.Already_exists "/f")
+    (fun () -> Fs.link fs "/f" "/f")
+
+let test_truncate_shrink () =
+  let _, fs = fresh_fs () in
+  Fs.create fs "/f";
+  Fs.write_file fs "/f" ~off:0 (payload 10000);
+  let before = Lld.allocated_blocks (Fs.lld fs) in
+  Fs.truncate fs "/f" ~size:4500;
+  Alcotest.(check int) "size" 4500 (Fs.stat fs "/f").Fs.size;
+  Alcotest.(check bool) "trailing blocks freed" true
+    (Lld.allocated_blocks (Fs.lld fs) < before);
+  Alcotest.(check bytes) "kept prefix" (Bytes.sub (payload 10000) 0 4500)
+    (Fs.read_file fs "/f" ~off:0 ~len:4500);
+  (* re-extending reads zeroes, not stale bytes *)
+  Fs.truncate fs "/f" ~size:6000;
+  Alcotest.(check bytes) "extension zeroed" (Bytes.make 1000 '\000')
+    (Fs.read_file fs "/f" ~off:4600 ~len:1000);
+  Alcotest.(check bool) "consistent" true (Fsck.ok (Fsck.run fs))
+
+let test_truncate_to_zero_and_extend () =
+  let _, fs = fresh_fs () in
+  Fs.create fs "/f";
+  Fs.write_file fs "/f" ~off:0 (payload 8192);
+  Fs.truncate fs "/f" ~size:0;
+  Alcotest.(check int) "empty" 0 (Fs.stat fs "/f").Fs.size;
+  Fs.truncate fs "/f" ~size:1000;
+  Alcotest.(check bytes) "sparse extension" (Bytes.make 1000 '\000')
+    (Fs.read_file fs "/f" ~off:0 ~len:1000);
+  Alcotest.(check bool) "consistent" true (Fsck.ok (Fsck.run fs))
+
+let () =
+  Alcotest.run "lld_minixfs"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "mkfs and mount" `Quick test_mkfs_and_mount;
+          Alcotest.test_case "create and stat" `Quick test_create_stat;
+          Alcotest.test_case "duplicate rejected" `Quick
+            test_create_duplicate_rejected;
+          Alcotest.test_case "invalid names rejected" `Quick
+            test_invalid_names_rejected;
+          Alcotest.test_case "remount preserves everything" `Quick
+            test_remount_preserves_everything;
+          Alcotest.test_case "inode exhaustion" `Quick test_inode_exhaustion;
+          Alcotest.test_case "works on sequential LLD" `Quick
+            test_fs_on_sequential_lld;
+        ] );
+      ( "file-io",
+        [
+          Alcotest.test_case "write/read roundtrip" `Quick
+            test_write_read_roundtrip;
+          Alcotest.test_case "multi-block files" `Quick test_write_multiblock;
+          Alcotest.test_case "offset writes and holes" `Quick
+            test_write_at_offset_and_sparse;
+          Alcotest.test_case "overwrite keeps size" `Quick
+            test_overwrite_shrinks_nothing;
+          Alcotest.test_case "short reads at EOF" `Quick
+            test_read_past_eof_short;
+        ] );
+      ( "deletion",
+        [
+          Alcotest.test_case "unlink releases blocks" `Quick test_unlink;
+          Alcotest.test_case "deletion policies equivalent" `Quick
+            test_unlink_policies_equivalent;
+        ] );
+      ( "directories",
+        [
+          Alcotest.test_case "nested directories" `Quick test_directories;
+          Alcotest.test_case "rmdir" `Quick test_rmdir;
+          Alcotest.test_case "kind mismatches" `Quick test_kind_mismatches;
+          Alcotest.test_case "many files in one directory" `Quick
+            test_many_files_one_dir;
+        ] );
+      ( "rename-link-truncate",
+        [
+          Alcotest.test_case "rename basic" `Quick test_rename_basic;
+          Alcotest.test_case "rename replaces a file" `Quick
+            test_rename_replaces_file;
+          Alcotest.test_case "rename directories" `Quick test_rename_directory;
+          Alcotest.test_case "rename between links is a no-op" `Quick
+            test_rename_same_file_noop;
+          Alcotest.test_case "hard links" `Quick test_hard_links;
+          Alcotest.test_case "link restrictions" `Quick test_link_restrictions;
+          Alcotest.test_case "truncate shrink" `Quick test_truncate_shrink;
+          Alcotest.test_case "truncate to zero and extend" `Quick
+            test_truncate_to_zero_and_extend;
+        ] );
+      ( "fsck",
+        [
+          Alcotest.test_case "clean on healthy fs" `Quick
+            test_fsck_clean_on_fresh_fs;
+        ] );
+    ]

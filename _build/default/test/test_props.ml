@@ -1,0 +1,547 @@
+open Helpers
+module Fault = Lld_disk.Fault
+module Rng = Lld_sim.Rng
+module Codec = Lld_util.Bytes_codec
+module Checkpoint = Lld_core.Checkpoint
+
+(* ------------------------------------------------------------------ *)
+(* Model-based equivalence.
+
+   A reference model of the LD semantics under the paper's client
+   contract: every client (the simple stream, or one ARU) operates on
+   objects it owns — which is exactly the concurrency-control discipline
+   the paper assigns to clients (§3).  The driver applies the same
+   random operations to the real logical disk and to the model, and
+   compares every read and every list walk; at the end it commits some
+   ARUs, crashes, recovers, and compares the persistent state. *)
+
+module Model = struct
+  type obj_state = {
+    mutable lists : (int * int list) list; (* list id -> member block ids *)
+    mutable tags : (int * int) list; (* block id -> written tag *)
+  }
+
+  let empty () = { lists = []; tags = [] }
+
+  let add_list st l = st.lists <- (l, []) :: st.lists
+
+  let members st l = List.assoc l st.lists
+
+  let set_members st l ms =
+    st.lists <- (l, ms) :: List.remove_assoc l st.lists
+
+  let delete_list st l =
+    let ms = members st l in
+    st.lists <- List.remove_assoc l st.lists;
+    st.tags <- List.filter (fun (b, _) -> not (List.mem b ms)) st.tags;
+    ms
+
+  let append st l b = set_members st l (members st l @ [ b ])
+
+  let remove_block st l b =
+    set_members st l (List.filter (fun x -> x <> b) (members st l));
+    st.tags <- List.remove_assoc b st.tags
+
+  let tag st b = List.assoc_opt b st.tags
+  let set_tag st b v = st.tags <- (b, v) :: List.remove_assoc b st.tags
+end
+
+type actor = {
+  aru : Types.Aru_id.t option; (* None = the simple stream *)
+  state : Model.obj_state;
+  rng : Rng.t;
+}
+
+let tag_block tag = Bytes.make block_bytes (Char.chr (tag land 0xff))
+
+let read_tag data = Char.code (Bytes.get data 0)
+
+(* One random operation of one actor; returns false if nothing applies. *)
+let actor_step lld (a : actor) =
+  let aru = a.aru in
+  let st = a.state in
+  let own_lists = List.map fst st.Model.lists in
+  let pick xs = List.nth xs (Rng.int a.rng (List.length xs)) in
+  match Rng.int a.rng 12 with
+  | 0 | 1 ->
+    let l = Lld.new_list lld ?aru () in
+    Model.add_list st (Types.List_id.to_int l);
+    true
+  | 2 | 3 | 4 | 5 when own_lists <> [] ->
+    (* append a block to one of our lists *)
+    let l = pick own_lists in
+    let ms = Model.members st l in
+    let pred =
+      match List.rev ms with
+      | [] -> Summary.Head
+      | last :: _ -> Summary.After (Types.Block_id.of_int last)
+    in
+    let b = Lld.new_block lld ?aru ~list:(Types.List_id.of_int l) ~pred () in
+    Model.append st l (Types.Block_id.to_int b);
+    true
+  | 6 | 7 | 8 when List.exists (fun (_, ms) -> ms <> []) st.Model.lists ->
+    (* write a random tag to one of our blocks *)
+    let l, ms = pick (List.filter (fun (_, ms) -> ms <> []) st.Model.lists) in
+    ignore l;
+    let b = pick ms in
+    let tag = 1 + Rng.int a.rng 250 in
+    Lld.write lld ?aru (Types.Block_id.of_int b) (tag_block tag);
+    Model.set_tag st b tag;
+    true
+  | 9 when List.exists (fun (_, ms) -> ms <> []) st.Model.lists ->
+    (* delete one of our blocks *)
+    let l, ms = pick (List.filter (fun (_, ms) -> ms <> []) st.Model.lists) in
+    let b = pick ms in
+    Lld.delete_block lld ?aru (Types.Block_id.of_int b);
+    Model.remove_block st l b;
+    true
+  | 10 when own_lists <> [] && Rng.int a.rng 4 = 0 ->
+    let l = pick own_lists in
+    Lld.delete_list lld ?aru (Types.List_id.of_int l);
+    ignore (Model.delete_list st l);
+    true
+  | _ -> false
+
+(* Compare everything the actor can see against its model. *)
+let check_actor lld (a : actor) =
+  List.iter
+    (fun (l, ms) ->
+      let got =
+        List.map Types.Block_id.to_int
+          (Lld.list_blocks lld ?aru:a.aru (Types.List_id.of_int l))
+      in
+      if got <> ms then
+        Alcotest.failf "list %d: model %s, lld %s" l
+          (String.concat "," (List.map string_of_int ms))
+          (String.concat "," (List.map string_of_int got));
+      List.iter
+        (fun b ->
+          let data = Lld.read lld ?aru:a.aru (Types.Block_id.of_int b) in
+          let expect = Option.value ~default:0 (Model.tag a.state b) in
+          if read_tag data <> expect then
+            Alcotest.failf "block %d: model tag %d, lld %d" b expect
+              (read_tag data))
+        ms)
+    a.state.Model.lists
+
+let model_equivalence_scenario seed =
+  let disk, lld = fresh_lld () in
+  let rng = Rng.create ~seed in
+  let simple = { aru = None; state = Model.empty (); rng = Rng.split rng } in
+  let arus =
+    List.init 3 (fun _ ->
+        {
+          aru = Some (Lld.begin_aru lld);
+          state = Model.empty ();
+          rng = Rng.split rng;
+        })
+  in
+  let actors = simple :: arus in
+  (* interleave operations *)
+  for _ = 1 to 120 do
+    let a = List.nth actors (Rng.int rng (List.length actors)) in
+    ignore (actor_step lld a)
+  done;
+  List.iter (check_actor lld) actors;
+  (* commit a prefix of the ARUs; their objects join the simple view *)
+  let committed, discarded =
+    match arus with
+    | [ a1; a2; a3 ] ->
+      Lld.end_aru lld (Option.get a1.aru);
+      Lld.end_aru lld (Option.get a2.aru);
+      ([ a1; a2 ], [ a3 ])
+    | _ -> assert false
+  in
+  Lld.flush lld;
+  let visible_after c =
+    List.iter
+      (fun other -> check_actor lld { other with aru = None })
+      (simple :: c)
+  in
+  visible_after committed;
+  (* crash with one ARU still open; recovery must keep exactly the
+     committed state *)
+  Fault.schedule_crash (Disk.fault disk) (Fault.After_writes 0);
+  (try Disk.write disk ~offset:0 (Bytes.make 1 'x') with Fault.Crashed -> ());
+  let lld2, _report = Lld.recover disk in
+  List.iter
+    (fun c -> check_actor lld2 { c with aru = None })
+    (simple :: committed);
+  (* the uncommitted ARU's blocks were scavenged *)
+  List.iter
+    (fun d ->
+      List.iter
+        (fun (_, ms) ->
+          List.iter
+            (fun b ->
+              if Lld.block_allocated lld2 (Types.Block_id.of_int b) then
+                Alcotest.failf "uncommitted block %d survived recovery" b)
+            ms)
+        d.state.Model.lists)
+    discarded;
+  true
+
+let model_equivalence =
+  QCheck.Test.make ~name:"LD equals reference model under random ops" ~count:25
+    QCheck.(int_range 0 10_000)
+    model_equivalence_scenario
+
+(* The same scenario against the sequential prototype: one ARU at a
+   time, same single-stream model. *)
+let sequential_model_scenario seed =
+  let _, lld = fresh_lld ~config:Config.old_lld () in
+  let rng = Rng.create ~seed in
+  let simple = { aru = None; state = Model.empty (); rng = Rng.split rng } in
+  for _ = 1 to 60 do
+    ignore (actor_step lld simple)
+  done;
+  check_actor lld simple;
+  (* one bracketed group *)
+  let aru = Lld.begin_aru lld in
+  let actor = { simple with aru = Some aru; rng = Rng.split rng } in
+  for _ = 1 to 40 do
+    ignore (actor_step lld actor)
+  done;
+  Lld.end_aru lld aru;
+  check_actor lld { actor with aru = None };
+  true
+
+let sequential_model =
+  QCheck.Test.make ~name:"sequential prototype equals model" ~count:25
+    QCheck.(int_range 0 10_000)
+    sequential_model_scenario
+
+(* ------------------------------------------------------------------ *)
+(* ARU atomicity under random crash points.
+
+   Disjoint groups of pre-flushed blocks are each rewritten by one ARU
+   with the ARU's tag; the disk crashes at a random segment write.
+   After recovery every group must be uniformly tagged or uniformly
+   untouched — all or nothing (paper §3). *)
+
+let atomicity_scenario (seed, crash_after) =
+  let disk, lld = fresh_lld () in
+  let rng = Rng.create ~seed in
+  let groups = 12 in
+  let blocks_per_group = 4 in
+  let list = Lld.new_list lld () in
+  let all =
+    Array.init (groups * blocks_per_group) (fun _ -> append_block lld list)
+  in
+  Array.iter (fun b -> Lld.write lld b (tag_block 0)) all;
+  Lld.flush lld;
+  Fault.schedule_crash (Disk.fault disk) (Fault.After_writes crash_after);
+  (try
+     for g = 0 to groups - 1 do
+       let aru = Lld.begin_aru lld in
+       let tag = g + 1 in
+       for i = 0 to blocks_per_group - 1 do
+         Lld.write lld ~aru all.((g * blocks_per_group) + i) (tag_block tag);
+         (* scatter some unrelated simple writes between ARU writes *)
+         if Rng.int rng 3 = 0 then begin
+           let b = append_block lld list in
+           Lld.write lld b (tag_block 255);
+           Lld.delete_block lld b
+         end
+       done;
+       Lld.end_aru lld aru;
+       if Rng.int rng 4 = 0 then Lld.flush lld
+     done;
+     Lld.flush lld;
+     (* never crashed: force it so recovery still runs *)
+     Fault.schedule_crash (Disk.fault disk) (Fault.After_writes 0);
+     try Disk.write disk ~offset:0 (Bytes.make 1 'x')
+     with Fault.Crashed -> ()
+   with Fault.Crashed -> ());
+  let lld2, _ = Lld.recover disk in
+  for g = 0 to groups - 1 do
+    let tags =
+      List.init blocks_per_group (fun i ->
+          read_tag (Lld.read lld2 all.((g * blocks_per_group) + i)))
+    in
+    let expect_all v = List.for_all (fun t -> t = v) tags in
+    if not (expect_all 0 || expect_all (g + 1)) then
+      Alcotest.failf "group %d not atomic after crash@%d: tags %s" g
+        crash_after
+        (String.concat "," (List.map string_of_int tags))
+  done;
+  true
+
+let atomicity_fuzz =
+  QCheck.Test.make ~name:"ARU writes are all-or-nothing at any crash point"
+    ~count:60
+    QCheck.(pair (int_range 0 5_000) (int_range 0 12))
+    atomicity_scenario
+
+(* ------------------------------------------------------------------ *)
+(* LD-level accounting invariant after crash/recovery. *)
+
+let accounting_scenario seed =
+  let disk, lld = fresh_lld () in
+  let rng = Rng.create ~seed in
+  let actor = { aru = None; state = Model.empty (); rng = Rng.split rng } in
+  for _ = 1 to 100 do
+    ignore (actor_step lld actor)
+  done;
+  let aru = Lld.begin_aru lld in
+  let l = Lld.new_list lld ~aru () in
+  let _b = Lld.new_block lld ~aru ~list:l ~pred:Summary.Head () in
+  Lld.flush lld;
+  Fault.schedule_crash (Disk.fault disk) (Fault.After_writes 0);
+  (try Disk.write disk ~offset:0 (Bytes.make 1 'x') with Fault.Crashed -> ());
+  let lld2, _ = Lld.recover disk in
+  (* every allocated block is on exactly one list *)
+  let on_lists =
+    List.fold_left
+      (fun acc l -> acc + List.length (Lld.list_blocks lld2 l))
+      0 (Lld.lists lld2)
+  in
+  let orphans = List.length (Lld.orphan_blocks lld2) in
+  if Lld.allocated_blocks lld2 <> on_lists + orphans then
+    Alcotest.failf "allocated %d <> on lists %d + orphans %d"
+      (Lld.allocated_blocks lld2) on_lists orphans;
+  if orphans <> 0 then
+    Alcotest.failf "recovery left %d orphan blocks unscavenged" orphans;
+  true
+
+let accounting_fuzz =
+  QCheck.Test.make ~name:"allocation accounting holds after recovery" ~count:30
+    QCheck.(int_range 0 10_000)
+    accounting_scenario
+
+(* ------------------------------------------------------------------ *)
+(* Codec round-trips. *)
+
+let gen_entry =
+  let open QCheck.Gen in
+  let block = map Types.Block_id.of_int (int_range 0 100_000) in
+  let list = map Types.List_id.of_int (int_range 0 100_000) in
+  let aruid = map Types.Aru_id.of_int (int_range 0 1_000_000) in
+  let stamp = int_range 0 1_000_000_000 in
+  let stream =
+    oneof [ return Summary.Simple; map (fun a -> Summary.In_aru a) aruid ]
+  in
+  let pred =
+    oneof [ return Summary.Head; map (fun b -> Summary.After b) block ]
+  in
+  let op =
+    oneof
+      [
+        map3
+          (fun block list stamp -> Summary.Alloc { block; list; stamp })
+          block list stamp;
+        map3
+          (fun block slot stamp -> Summary.Write { block; slot; stamp })
+          block (int_range 0 4096) stamp;
+        map3
+          (fun list block pred -> Summary.Link { list; block; pred })
+          list block pred;
+        map2 (fun list block -> Summary.Unlink { list; block }) list block;
+        map3
+          (fun list stamp owner -> Summary.New_list { list; stamp; owner })
+          list stamp (opt aruid);
+        map (fun list -> Summary.Delete_list { list }) list;
+        map2 (fun block stamp -> Summary.Dealloc { block; stamp }) block stamp;
+        map (fun aru -> Summary.Commit { aru }) aruid;
+      ]
+  in
+  map2 (fun stream op -> { Summary.stream; op }) stream op
+
+let entry_roundtrip =
+  QCheck.Test.make ~name:"summary entry encode/decode roundtrip" ~count:500
+    (QCheck.make gen_entry)
+    (fun entry ->
+      let w = Codec.Writer.create () in
+      Summary.encode w entry;
+      let buf = Codec.Writer.contents w in
+      Bytes.length buf = Summary.encoded_size entry
+      && Summary.decode (Codec.Reader.of_bytes buf) = entry)
+
+let gen_snapshot =
+  let open QCheck.Gen in
+  let block_entry =
+    map3
+      (fun b_id (b_member, b_succ) (b_phys, b_stamp) ->
+        { Checkpoint.b_id; b_member; b_succ; b_phys; b_stamp })
+      (int_range 0 100_000)
+      (pair (opt (int_range 0 1000)) (opt (int_range 0 100_000)))
+      (pair (opt (pair (int_range 0 800) (int_range 0 127))) (int_range 0 1_000_000))
+  in
+  let list_entry =
+    map3
+      (fun l_id (l_first, l_last) l_stamp ->
+        { Checkpoint.l_id; l_first; l_last; l_stamp; l_owner = None })
+      (int_range 1 100_000)
+      (pair (opt (int_range 0 100_000)) (opt (int_range 0 100_000)))
+      (int_range 0 1_000_000)
+  in
+  let pending_entry =
+    map2
+      (fun b seg ->
+        {
+          Checkpoint.pe_op =
+            Summary.Write { block = Types.Block_id.of_int b; slot = 1; stamp = 7 };
+          pe_seg = seg;
+        })
+      (int_range 0 100_000) (int_range 0 800)
+  in
+  let pending = small_list (pair (int_range 1 1000) (small_list pending_entry)) in
+  map3
+    (fun (ckpt_id, covered_seq) (blocks, lists) pending ->
+      {
+        Checkpoint.ckpt_id = ckpt_id + 1;
+        covered_seq;
+        next_seq = covered_seq + 1;
+        stamp = 1 + covered_seq;
+        next_aru = 1;
+        blocks;
+        lists;
+        pending;
+        free_order = [];
+      })
+    (pair (int_range 0 100_000) (int_range 0 100_000))
+    (pair (small_list block_entry) (small_list list_entry))
+    pending
+
+let snapshot_roundtrip =
+  QCheck.Test.make ~name:"checkpoint snapshot encode/decode roundtrip"
+    ~count:200 (QCheck.make gen_snapshot)
+    (fun snap -> Checkpoint.decode (Checkpoint.encode snap) = snap)
+
+(* ------------------------------------------------------------------ *)
+(* Decoder robustness: arbitrary bytes must never escape the declared
+   failure modes (None / Corrupt / Truncated) — what a torn or
+   scribbled-on disk hands recovery. *)
+
+let segment_parse_total =
+  QCheck.Test.make ~name:"Segment.parse is total on arbitrary images" ~count:100
+    QCheck.(pair (int_range 0 10_000) (int_range 0 100))
+    (fun (seed, flips) ->
+      let geom = Lld_disk.Geometry.small in
+      let rng = Rng.create ~seed in
+      (* start from a valid sealed image so the header area is plausible,
+         then flip random bytes *)
+      let s = Lld_core.Segment.create geom ~seq:3 ~disk_index:1 in
+      for i = 0 to 4 do
+        ignore
+          (Lld_core.Segment.put_block s ~scope:Lld_core.Segment.Simple_scope
+             ~allow_cross_scope:true
+             (Types.Block_id.of_int i)
+             (Bytes.make 4096 'x'));
+        Lld_core.Segment.add_entry s
+          {
+            Summary.stream = Summary.Simple;
+            op = Summary.Write { block = Types.Block_id.of_int i; slot = i; stamp = i };
+          }
+      done;
+      let image = Bytes.copy (Lld_core.Segment.seal s) in
+      for _ = 1 to flips do
+        let pos = Rng.int rng (Bytes.length image) in
+        Bytes.set image pos (Char.chr (Rng.int rng 256))
+      done;
+      match Lld_core.Segment.parse geom image with
+      | Some _ | None -> true)
+
+let summary_decode_total =
+  QCheck.Test.make ~name:"Summary.decode fails only with Corrupt/Truncated"
+    ~count:300
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let len = 1 + Rng.int rng 64 in
+      let buf = Bytes.init len (fun _ -> Char.chr (Rng.int rng 256)) in
+      match Summary.decode (Codec.Reader.of_bytes buf) with
+      | _ -> true
+      | exception (Errors.Corrupt _ | Codec.Truncated) -> true)
+
+let checkpoint_decode_total =
+  QCheck.Test.make ~name:"Checkpoint.decode fails only with Corrupt" ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      (* corrupt a valid payload: keeps the version plausible so the
+         decoder gets deep before failing *)
+      let snap =
+        {
+          Checkpoint.ckpt_id = 3;
+          covered_seq = 9;
+          next_seq = 10;
+          stamp = 100;
+          next_aru = 4;
+          blocks =
+            List.init 10 (fun i ->
+                {
+                  Checkpoint.b_id = i;
+                  b_member = Some i;
+                  b_succ = None;
+                  b_phys = Some (1, i);
+                  b_stamp = i;
+                });
+          lists = [];
+          pending = [];
+          free_order = [ 5; 6 ];
+        }
+      in
+      let buf = Bytes.copy (Checkpoint.encode snap) in
+      for _ = 1 to 1 + Rng.int rng 8 do
+        let pos = Rng.int rng (Bytes.length buf) in
+        Bytes.set buf pos (Char.chr (Rng.int rng 256))
+      done;
+      match Checkpoint.decode buf with
+      | _ -> true
+      | exception Errors.Corrupt _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Cost model independence: semantics are identical under the free and
+   the calibrated cost models. *)
+
+let cost_independence_scenario seed =
+  let run cost =
+    let config = { Config.default with Config.cost } in
+    let _, lld = fresh_lld ~config () in
+    let rng = Rng.create ~seed in
+    let actor = { aru = None; state = Model.empty (); rng = Rng.split rng } in
+    for _ = 1 to 80 do
+      ignore (actor_step lld actor)
+    done;
+    ( List.map
+        (fun (l, _) ->
+          List.map Types.Block_id.to_int
+            (Lld.list_blocks lld (Types.List_id.of_int l)))
+        actor.state.Model.lists,
+      Lld.allocated_blocks lld )
+  in
+  run Lld_sim.Cost.sparc5_70 = run Lld_sim.Cost.free
+
+let cost_independence =
+  QCheck.Test.make ~name:"cost model never affects semantics" ~count:20
+    QCheck.(int_range 0 10_000)
+    cost_independence_scenario
+
+let () =
+  Alcotest.run "lld_props"
+    [
+      ( "model",
+        [
+          QCheck_alcotest.to_alcotest model_equivalence;
+          QCheck_alcotest.to_alcotest sequential_model;
+        ] );
+      ( "crash-fuzz",
+        [
+          QCheck_alcotest.to_alcotest atomicity_fuzz;
+          QCheck_alcotest.to_alcotest accounting_fuzz;
+        ] );
+      ( "codecs",
+        [
+          QCheck_alcotest.to_alcotest entry_roundtrip;
+          QCheck_alcotest.to_alcotest snapshot_roundtrip;
+        ] );
+      ( "robustness",
+        [
+          QCheck_alcotest.to_alcotest segment_parse_total;
+          QCheck_alcotest.to_alcotest summary_decode_total;
+          QCheck_alcotest.to_alcotest checkpoint_decode_total;
+        ] );
+      ( "cost-model",
+        [ QCheck_alcotest.to_alcotest cost_independence ] );
+    ]

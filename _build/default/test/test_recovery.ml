@@ -1,0 +1,387 @@
+open Helpers
+module Fault = Lld_disk.Fault
+module Recovery = Lld_core.Recovery
+
+(* Crash the device, then mount again. *)
+let crash disk =
+  Fault.schedule_crash (Disk.fault disk) (Fault.After_writes 0);
+  (try Disk.write disk ~offset:0 (Bytes.make 1 'x') with Fault.Crashed -> ());
+  ()
+
+let test_recover_freshly_formatted () =
+  let disk, lld = fresh_lld () in
+  ignore lld;
+  crash disk;
+  let lld2, report = Lld.recover disk in
+  Alcotest.(check int) "nothing allocated" 0 (Lld.allocated_blocks lld2);
+  Alcotest.(check int) "no ARUs committed" 0 report.Recovery.arus_committed
+
+let test_recover_unformatted_disk_rejected () =
+  let disk = fresh_disk () in
+  Alcotest.check_raises "unformatted"
+    (Errors.Corrupt "no valid checkpoint: disk not formatted") (fun () ->
+      ignore (Lld.recover disk))
+
+let test_flushed_data_survives () =
+  let disk, lld = fresh_lld () in
+  let l = new_list lld in
+  let blocks =
+    List.init 10 (fun i ->
+        let b = append_block lld l in
+        Lld.write lld b (block_data i);
+        b)
+  in
+  Lld.flush lld;
+  crash disk;
+  let lld2, _ = Lld.recover disk in
+  Alcotest.(check bool) "list survives" true (Lld.list_exists lld2 l);
+  Alcotest.(check int) "all blocks on list" 10
+    (List.length (Lld.list_blocks lld2 l));
+  List.iteri
+    (fun i b ->
+      check_data (Printf.sprintf "block %d data" i) (block_data i)
+        (Lld.read lld2 b))
+    blocks
+
+let test_unflushed_data_lost () =
+  let disk, lld = fresh_lld () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Lld.write lld b (block_data 1);
+  Lld.flush lld;
+  Lld.write lld b (block_data 2) (* committed but never flushed *);
+  crash disk;
+  let lld2, _ = Lld.recover disk in
+  check_data "recovers the persistent version" (block_data 1) (Lld.read lld2 b)
+
+let test_committed_aru_survives_crash () =
+  let disk, lld = fresh_lld () in
+  let l = new_list lld in
+  let a = Lld.begin_aru lld in
+  let b = Lld.new_block lld ~aru:a ~list:l ~pred:Summary.Head () in
+  Lld.write lld ~aru:a b (block_data 42);
+  Lld.end_aru lld a;
+  Lld.flush lld;
+  crash disk;
+  let lld2, report = Lld.recover disk in
+  Alcotest.(check bool) "ARU replayed" true (report.Recovery.arus_committed >= 1);
+  Alcotest.check block_ids "list intact" [ b ] (Lld.list_blocks lld2 l);
+  check_data "ARU data recovered" (block_data 42) (Lld.read lld2 b)
+
+let test_uncommitted_aru_all_or_nothing () =
+  let disk, lld = fresh_lld () in
+  let l = new_list lld in
+  let b0 = append_block lld l in
+  Lld.write lld b0 (block_data 0);
+  Lld.flush lld;
+  (* an ARU that writes, inserts and deletes, then the system crashes
+     before EndARU *)
+  let a = Lld.begin_aru lld in
+  Lld.write lld ~aru:a b0 (block_data 99);
+  let b1 = Lld.new_block lld ~aru:a ~list:l ~pred:(Summary.After b0) () in
+  Lld.write lld ~aru:a b1 (block_data 98);
+  Lld.flush lld (* even a flush must not commit the ARU *);
+  crash disk;
+  let lld2, report = Lld.recover disk in
+  check_data "write undone" (block_data 0) (Lld.read lld2 b0);
+  Alcotest.check block_ids "insertion undone" [ b0 ] (Lld.list_blocks lld2 l);
+  (* the block allocation was scavenged (paper §3.3) *)
+  Alcotest.(check bool) "orphan allocation freed" false
+    (Lld.block_allocated lld2 b1);
+  Alcotest.(check bool) "scavenge counted" true
+    (report.Recovery.blocks_scavenged >= 1)
+
+let test_commit_record_not_flushed_discards_aru () =
+  (* EndARU ran, but the crash hits before the commit record reaches the
+     disk: recovery must discard the whole ARU *)
+  let disk, lld = fresh_lld () in
+  let l = new_list lld in
+  let b0 = append_block lld l in
+  Lld.write lld b0 (block_data 0);
+  Lld.flush lld;
+  let a = Lld.begin_aru lld in
+  Lld.write lld ~aru:a b0 (block_data 5);
+  Lld.end_aru lld a;
+  (* no flush: the commit record sits in the open segment *)
+  crash disk;
+  let lld2, report = Lld.recover disk in
+  check_data "ARU discarded wholesale" (block_data 0) (Lld.read lld2 b0);
+  ignore report
+
+let test_torn_segment_write () =
+  let disk, lld = fresh_lld () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Lld.write lld b (block_data 1);
+  Lld.flush lld;
+  let b2 = append_block lld l in
+  Lld.write lld b2 (block_data 2);
+  (* the next segment write is torn after 1000 bytes *)
+  Fault.schedule_crash (Disk.fault disk)
+    (Fault.During_write { write_index = 0; keep_bytes = 1000 });
+  (try Lld.flush lld with Fault.Crashed -> ());
+  let lld2, report = Lld.recover disk in
+  Alcotest.(check bool) "torn segment detected" true
+    (report.Recovery.invalid_segments >= 1);
+  check_data "earlier state intact" (block_data 1) (Lld.read lld2 b);
+  Alcotest.check block_ids "list reflects flushed prefix only" [ b ]
+    (Lld.list_blocks lld2 l)
+
+let test_multiple_crash_recover_cycles () =
+  let disk, lld = fresh_lld () in
+  let l = new_list lld in
+  let lld = ref lld in
+  let expected = ref [] in
+  for round = 1 to 4 do
+    let b = append_block !lld l in
+    Lld.write !lld b (block_data round);
+    Lld.flush !lld;
+    expected := !expected @ [ (b, round) ];
+    crash disk;
+    let recovered, _ = Lld.recover disk in
+    lld := recovered;
+    List.iter
+      (fun (b, tag) ->
+        check_data
+          (Printf.sprintf "round %d: block %d" round tag)
+          (block_data tag)
+          (Lld.read !lld b))
+      !expected
+  done
+
+let test_sequential_mode_crash_semantics () =
+  let config = Config.old_lld in
+  let disk, lld = fresh_lld ~config () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Lld.write lld b (block_data 1);
+  Lld.flush lld;
+  (* an uncommitted sequential ARU: its ops reached the log but no
+     commit record did *)
+  let a = Lld.begin_aru lld in
+  Lld.write lld ~aru:a b (block_data 7);
+  Lld.flush lld;
+  ignore a;
+  crash disk;
+  let lld2, _ = Lld.recover ~config disk in
+  check_data "uncommitted seq ARU undone" (block_data 1) (Lld.read lld2 b)
+
+let test_sequential_mode_committed_aru_survives () =
+  let config = Config.old_lld in
+  let disk, lld = fresh_lld ~config () in
+  let l = new_list lld in
+  let a = Lld.begin_aru lld in
+  let b = Lld.new_block lld ~aru:a ~list:l ~pred:Summary.Head () in
+  Lld.write lld ~aru:a b (block_data 3);
+  Lld.end_aru lld a;
+  Lld.flush lld;
+  crash disk;
+  let lld2, _ = Lld.recover ~config disk in
+  check_data "committed seq ARU survives" (block_data 3) (Lld.read lld2 b);
+  Alcotest.check block_ids "list intact" [ b ] (Lld.list_blocks lld2 l)
+
+let test_checkpoint_bounds_replay () =
+  let disk, lld = fresh_lld () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Lld.write lld b (block_data 1);
+  Lld.checkpoint lld;
+  let b2 = append_block lld l in
+  Lld.write lld b2 (block_data 2);
+  Lld.flush lld;
+  crash disk;
+  let lld2, report = Lld.recover disk in
+  Alcotest.(check bool) "replay bounded by checkpoint" true
+    (report.Recovery.covered_seq > 0);
+  check_data "pre-checkpoint data" (block_data 1) (Lld.read lld2 b);
+  check_data "post-checkpoint data" (block_data 2) (Lld.read lld2 b2)
+
+let test_checkpoint_mid_aru_preserves_atomicity () =
+  (* a checkpoint while an ARU is active must neither commit nor lose
+     it: the pending entries travel with the checkpoint *)
+  let disk, lld = fresh_lld () in
+  let l = new_list lld in
+  let b0 = append_block lld l in
+  Lld.write lld b0 (block_data 0);
+  let a = Lld.begin_aru lld in
+  Lld.write lld ~aru:a b0 (block_data 50);
+  Lld.checkpoint lld;
+  (* crash before commit: ARU discarded *)
+  crash disk;
+  let lld2, _ = Lld.recover disk in
+  check_data "mid-ARU checkpoint kept atomicity" (block_data 0)
+    (Lld.read lld2 b0)
+
+let test_auto_checkpoint_interval () =
+  (* periodic checkpoints bound replay without any explicit call *)
+  let config = { Config.default with Config.checkpoint_interval_segments = 2 } in
+  let disk, lld = fresh_lld ~config () in
+  let l = new_list lld in
+  let ckpt0 = (Lld.counters lld).Lld_core.Counters.checkpoints in
+  let blocks =
+    List.init 400 (fun i ->
+        let b = append_block lld l in
+        Lld.write lld b (block_data i);
+        b)
+  in
+  Lld.flush lld;
+  Alcotest.(check bool) "auto checkpoints happened" true
+    ((Lld.counters lld).Lld_core.Counters.checkpoints > ckpt0);
+  crash disk;
+  let lld2, report = Lld.recover ~config disk in
+  Alcotest.(check bool) "replay bounded" true
+    (report.Recovery.segments_replayed <= 3);
+  List.iteri
+    (fun i b -> check_data (Printf.sprintf "block %d" i) (block_data i)
+        (Lld.read lld2 b))
+    blocks
+
+let test_auto_clean_keeps_disk_usable () =
+  (* rewrite far more data than the partition holds: the cleaner must
+     keep reclaiming dead segments automatically *)
+  let geom = Geometry.v ~num_segments:16 () in
+  let _, lld = fresh_lld ~geom () in
+  let l = new_list lld in
+  let cleaned0 = (Lld.counters lld).Lld_core.Counters.segments_cleaned in
+  (* 600 live blocks rewritten repeatedly: each round dirties ~5 log
+     segments of a 10-segment log, so reclamation is unavoidable *)
+  let blocks = Array.init 600 (fun _ -> append_block lld l) in
+  for round = 0 to 7 do
+    Array.iter (fun b -> Lld.write lld b (block_data round)) blocks
+  done;
+  Lld.flush lld;
+  Alcotest.(check bool) "cleaner ran" true
+    ((Lld.counters lld).Lld_core.Counters.segments_cleaned > cleaned0);
+  check_data "latest data intact" (block_data 7) (Lld.read lld blocks.(0));
+  Alcotest.(check int) "list intact" 600 (List.length (Lld.list_blocks lld l))
+
+let test_cleaner_preserves_data () =
+  (* fill, delete most, force cleaning, verify remaining data *)
+  let geom = Geometry.v ~num_segments:16 () in
+  let config = { Config.default with Config.auto_clean = false } in
+  let disk, lld = fresh_lld ~config ~geom () in
+  ignore disk;
+  let l = new_list lld in
+  let keep = ref [] in
+  List.iteri
+    (fun i b ->
+      Lld.write lld b (block_data i);
+      if i mod 10 = 0 then keep := (b, i) :: !keep
+      else Lld.delete_block lld b)
+    (List.init 300 (fun _ -> append_block lld l));
+  Lld.flush lld;
+  let free_before = Lld.free_segments lld in
+  Lld.clean lld ~target_free:(free_before + 1);
+  Alcotest.(check bool) "segments reclaimed" true
+    (Lld.free_segments lld > free_before);
+  List.iter
+    (fun (b, i) ->
+      check_data (Printf.sprintf "survivor %d" i) (block_data i)
+        (Lld.read lld b))
+    !keep
+
+let test_cleaner_then_crash_recovers () =
+  let geom = Geometry.v ~num_segments:16 () in
+  let config = { Config.default with Config.auto_clean = false } in
+  let disk, lld = fresh_lld ~config ~geom () in
+  let l = new_list lld in
+  let keep = ref [] in
+  List.iteri
+    (fun i b ->
+      Lld.write lld b (block_data i);
+      if i mod 7 = 0 then keep := (b, i) :: !keep
+      else Lld.delete_block lld b)
+    (List.init 300 (fun _ -> append_block lld l));
+  Lld.flush lld;
+  Lld.clean lld ~target_free:(Lld.free_segments lld + 1);
+  crash disk;
+  let lld2, _ = Lld.recover ~config disk in
+  List.iter
+    (fun (b, i) ->
+      check_data
+        (Printf.sprintf "survivor %d after crash" i)
+        (block_data i) (Lld.read lld2 b))
+    !keep
+
+let test_media_error_on_checkpoint_region_falls_back () =
+  let disk, lld = fresh_lld () in
+  let l = new_list lld in
+  let b = append_block lld l in
+  Lld.write lld b (block_data 8);
+  Lld.checkpoint lld (* region 0 holds the newest checkpoint *);
+  crash disk;
+  (* region written last becomes unreadable; recovery must fall back *)
+  Fault.mark_bad (Disk.fault disk) ~offset:0 ~length:4096;
+  let lld2, _ = Lld.recover disk in
+  check_data "fell back to surviving checkpoint + replay" (block_data 8)
+    (Lld.read lld2 b)
+
+let test_recovery_report_counts () =
+  let disk, lld = fresh_lld () in
+  let l = new_list lld in
+  for i = 1 to 5 do
+    let a = Lld.begin_aru lld in
+    let b = Lld.new_block lld ~aru:a ~list:l ~pred:Summary.Head () in
+    Lld.write lld ~aru:a b (block_data i);
+    Lld.end_aru lld a
+  done;
+  Lld.flush lld;
+  crash disk;
+  let _, report = Lld.recover disk in
+  Alcotest.(check int) "five ARUs committed" 5 report.Recovery.arus_committed;
+  Alcotest.(check int) "none discarded" 0 report.Recovery.arus_discarded
+
+let () =
+  Alcotest.run "lld_recovery"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "recover freshly formatted" `Quick
+            test_recover_freshly_formatted;
+          Alcotest.test_case "unformatted disk rejected" `Quick
+            test_recover_unformatted_disk_rejected;
+          Alcotest.test_case "flushed data survives" `Quick
+            test_flushed_data_survives;
+          Alcotest.test_case "unflushed data lost" `Quick
+            test_unflushed_data_lost;
+          Alcotest.test_case "multiple crash/recover cycles" `Quick
+            test_multiple_crash_recover_cycles;
+        ] );
+      ( "aru-atomicity",
+        [
+          Alcotest.test_case "committed ARU survives" `Quick
+            test_committed_aru_survives_crash;
+          Alcotest.test_case "uncommitted ARU all-or-nothing" `Quick
+            test_uncommitted_aru_all_or_nothing;
+          Alcotest.test_case "unflushed commit record discards ARU" `Quick
+            test_commit_record_not_flushed_discards_aru;
+          Alcotest.test_case "sequential mode crash semantics" `Quick
+            test_sequential_mode_crash_semantics;
+          Alcotest.test_case "sequential committed ARU survives" `Quick
+            test_sequential_mode_committed_aru_survives;
+          Alcotest.test_case "report counts" `Quick test_recovery_report_counts;
+        ] );
+      ( "torn-writes",
+        [ Alcotest.test_case "torn segment write" `Quick test_torn_segment_write ]
+      );
+      ( "checkpoints",
+        [
+          Alcotest.test_case "checkpoint bounds replay" `Quick
+            test_checkpoint_bounds_replay;
+          Alcotest.test_case "mid-ARU checkpoint atomicity" `Quick
+            test_checkpoint_mid_aru_preserves_atomicity;
+          Alcotest.test_case "media error fallback" `Quick
+            test_media_error_on_checkpoint_region_falls_back;
+        ] );
+      ( "cleaner",
+        [
+          Alcotest.test_case "auto checkpoint interval" `Quick
+            test_auto_checkpoint_interval;
+          Alcotest.test_case "auto clean keeps disk usable" `Quick
+            test_auto_clean_keeps_disk_usable;
+          Alcotest.test_case "cleaner preserves data" `Quick
+            test_cleaner_preserves_data;
+          Alcotest.test_case "clean then crash recovers" `Quick
+            test_cleaner_then_crash_recovers;
+        ] );
+    ]

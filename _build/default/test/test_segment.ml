@@ -1,0 +1,210 @@
+module Geometry = Lld_disk.Geometry
+module Types = Lld_core.Types
+module Summary = Lld_core.Summary
+module Segment = Lld_core.Segment
+
+let geom = Geometry.small
+let bid = Types.Block_id.of_int
+
+let entry ?(stream = Summary.Simple) op = { Summary.stream; op }
+
+let write_entry b slot stamp =
+  entry (Summary.Write { block = bid b; slot; stamp })
+
+let data c = Bytes.make geom.Geometry.block_bytes c
+
+let fresh () = Segment.create geom ~seq:7 ~disk_index:3
+
+let test_fresh_segment () =
+  let s = fresh () in
+  Alcotest.(check int) "seq" 7 (Segment.seq s);
+  Alcotest.(check int) "disk index" 3 (Segment.disk_index s);
+  Alcotest.(check bool) "empty" true (Segment.is_empty s);
+  Alcotest.(check int) "no slots" 0 (Segment.slots_used s);
+  Alcotest.(check int) "no entries" 0 (Segment.entry_count s)
+
+let test_put_block_and_read_slot () =
+  let s = fresh () in
+  let slot0 = Segment.put_block s ~scope:Segment.Simple_scope
+       ~allow_cross_scope:true (bid 10) (data 'a') in
+  let slot1 = Segment.put_block s ~scope:Segment.Simple_scope
+       ~allow_cross_scope:true (bid 11) (data 'b') in
+  Alcotest.(check int) "first slot" 0 slot0;
+  Alcotest.(check int) "second slot" 1 slot1;
+  Alcotest.(check char) "slot 0 content" 'a' (Bytes.get (Segment.read_slot s ~slot:0) 0);
+  Alcotest.(check char) "slot 1 content" 'b' (Bytes.get (Segment.read_slot s ~slot:1) 0)
+
+let put ?(scope = Segment.Simple_scope) ?(cross = true) s b d =
+  Segment.put_block s ~scope ~allow_cross_scope:cross b d
+
+let test_scope_blocks_reuse () =
+  (* a mid-ARU write (no same-segment commit guarantee) must not clobber
+     a slot referenced by an earlier simple entry *)
+  let s = fresh () in
+  let slot0 = put ~scope:Segment.Simple_scope s (bid 10) (data 'a') in
+  let aru = Segment.Aru_scope (Types.Aru_id.of_int 1) in
+  let slot1 = put ~scope:aru ~cross:false s (bid 10) (data 'b') in
+  Alcotest.(check bool) "fresh slot taken" true (slot0 <> slot1);
+  Alcotest.(check char) "old bytes intact" 'a'
+    (Bytes.get (Segment.read_slot s ~slot:slot0) 0);
+  Alcotest.(check char) "new bytes in new slot" 'b'
+    (Bytes.get (Segment.read_slot s ~slot:slot1) 0);
+  (* the same ARU writing again reuses its own slot *)
+  let slot2 = put ~scope:aru ~cross:false s (bid 10) (data 'c') in
+  Alcotest.(check int) "own slot reused" slot1 slot2;
+  (* cross-scope coalescing when explicitly allowed (commit path) *)
+  let slot3 =
+    put ~scope:(Segment.Aru_scope (Types.Aru_id.of_int 2)) ~cross:true s
+      (bid 10) (data 'd')
+  in
+  Alcotest.(check int) "commit path coalesces" slot2 slot3
+
+let test_slot_reuse_on_rewrite () =
+  let s = fresh () in
+  let slot0 = Segment.put_block s ~scope:Segment.Simple_scope
+       ~allow_cross_scope:true (bid 10) (data 'a') in
+  let slot0' = Segment.put_block s ~scope:Segment.Simple_scope
+       ~allow_cross_scope:true (bid 10) (data 'z') in
+  Alcotest.(check int) "same slot" slot0 slot0';
+  Alcotest.(check int) "one slot used" 1 (Segment.slots_used s);
+  Alcotest.(check char) "rewritten" 'z' (Bytes.get (Segment.read_slot s ~slot:0) 0);
+  Alcotest.(check (option int)) "slot_of_block" (Some 0)
+    (Segment.slot_of_block s (bid 10))
+
+let test_entries_in_order () =
+  let s = fresh () in
+  Segment.add_entry s (write_entry 1 0 100);
+  Segment.add_entry s (write_entry 2 1 101);
+  Segment.add_entry s (entry (Summary.Commit { aru = Types.Aru_id.of_int 5 }));
+  Alcotest.(check int) "count" 3 (Segment.entry_count s);
+  match Segment.entries s with
+  | [ e1; e2; e3 ] ->
+    Alcotest.(check bool) "order preserved" true
+      (e1 = write_entry 1 0 100 && e2 = write_entry 2 1 101
+      && e3 = entry (Summary.Commit { aru = Types.Aru_id.of_int 5 }))
+  | _ -> Alcotest.fail "wrong entry count"
+
+let test_room_accounting_data () =
+  let s = fresh () in
+  let per_seg = Geometry.blocks_per_segment geom in
+  (* the trailing header precludes using every slot *)
+  let rec fill i =
+    if Segment.has_room s ~data_blocks:1 ~entry_bytes:0 then begin
+      ignore (Segment.put_block s ~scope:Segment.Simple_scope
+       ~allow_cross_scope:true (bid i) (data 'x'));
+      fill (i + 1)
+    end
+    else i
+  in
+  let used = fill 0 in
+  Alcotest.(check int) "one slot lost to the header" (per_seg - 1) used;
+  Alcotest.check_raises "overfull rejected"
+    (Invalid_argument "Segment.put_block: no room") (fun () ->
+      ignore (Segment.put_block s ~scope:Segment.Simple_scope
+       ~allow_cross_scope:true (bid 9999) (data 'x')))
+
+let test_room_accounting_summary () =
+  (* a segment can fill up with summary entries alone: the paper's
+     ARU-churn workload produces such all-summary segments *)
+  let s = fresh () in
+  let e = entry (Summary.Commit { aru = Types.Aru_id.of_int 1 }) in
+  let size = Summary.encoded_size e in
+  let n = ref 0 in
+  while Segment.has_room s ~data_blocks:0 ~entry_bytes:size do
+    Segment.add_entry s e;
+    incr n
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "tens of thousands of entries fit (%d)" !n)
+    true
+    (!n > 50_000);
+  Alcotest.(check int) "no data room left either" 0
+    (if Segment.has_room s ~data_blocks:1 ~entry_bytes:0 then 1 else 0)
+
+let test_seal_parse_roundtrip () =
+  let s = fresh () in
+  ignore (Segment.put_block s ~scope:Segment.Simple_scope
+       ~allow_cross_scope:true (bid 1) (data 'p'));
+  ignore (Segment.put_block s ~scope:Segment.Simple_scope
+       ~allow_cross_scope:true (bid 2) (data 'q'));
+  Segment.add_entry s (write_entry 1 0 11);
+  Segment.add_entry s (write_entry 2 1 12);
+  let image = Segment.seal s in
+  match Segment.parse geom image with
+  | None -> Alcotest.fail "sealed segment must parse"
+  | Some p ->
+    Alcotest.(check int) "seq" 7 p.Segment.p_seq;
+    Alcotest.(check int) "entries" 2 (List.length p.Segment.p_entries);
+    Alcotest.(check char) "slot 0 via parsed image" 'p'
+      (Bytes.get (Segment.parsed_slot geom p ~slot:0) 0);
+    Alcotest.(check char) "slot 1 via parsed image" 'q'
+      (Bytes.get (Segment.parsed_slot geom p ~slot:1) 0)
+
+let test_parse_rejects_garbage () =
+  Alcotest.(check bool) "zeroed image" true
+    (Segment.parse geom (Bytes.make geom.Geometry.segment_bytes '\000') = None);
+  Alcotest.(check bool) "random-ish image" true
+    (Segment.parse geom (Bytes.make geom.Geometry.segment_bytes 'U') = None)
+
+let test_parse_detects_corruption () =
+  let s = fresh () in
+  ignore (Segment.put_block s ~scope:Segment.Simple_scope
+       ~allow_cross_scope:true (bid 1) (data 'p'));
+  Segment.add_entry s (write_entry 1 0 11);
+  let image = Bytes.copy (Segment.seal s) in
+  (* flip one bit in the data area: the checksum must catch it *)
+  Bytes.set image 100 (Char.chr (Char.code (Bytes.get image 100) lxor 1));
+  Alcotest.(check bool) "bit flip detected" true (Segment.parse geom image = None)
+
+let test_parse_detects_torn_prefix () =
+  let s = fresh () in
+  ignore (Segment.put_block s ~scope:Segment.Simple_scope
+       ~allow_cross_scope:true (bid 1) (data 'p'));
+  Segment.add_entry s (write_entry 1 0 11);
+  let image = Segment.seal s in
+  (* only a prefix reached the medium; the tail is stale bytes *)
+  let torn = Bytes.make geom.Geometry.segment_bytes '\xAB' in
+  Bytes.blit image 0 torn 0 10_000;
+  Alcotest.(check bool) "torn write detected" true (Segment.parse geom torn = None)
+
+let test_wrong_block_size_rejected () =
+  let s = fresh () in
+  Alcotest.check_raises "short block"
+    (Invalid_argument "Segment.put_block: data must be exactly one block")
+    (fun () -> ignore (Segment.put_block s ~scope:Segment.Simple_scope
+       ~allow_cross_scope:true (bid 1) (Bytes.make 100 'x')))
+
+let () =
+  Alcotest.run "lld_segment"
+    [
+      ( "buffer",
+        [
+          Alcotest.test_case "fresh segment" `Quick test_fresh_segment;
+          Alcotest.test_case "put and read slots" `Quick
+            test_put_block_and_read_slot;
+          Alcotest.test_case "slot reuse on rewrite" `Quick
+            test_slot_reuse_on_rewrite;
+          Alcotest.test_case "scopes gate slot reuse" `Quick
+            test_scope_blocks_reuse;
+          Alcotest.test_case "entries keep order" `Quick test_entries_in_order;
+          Alcotest.test_case "wrong block size" `Quick
+            test_wrong_block_size_rejected;
+        ] );
+      ( "room",
+        [
+          Alcotest.test_case "data-slot accounting" `Quick
+            test_room_accounting_data;
+          Alcotest.test_case "summary-only segments" `Quick
+            test_room_accounting_summary;
+        ] );
+      ( "on-disk",
+        [
+          Alcotest.test_case "seal/parse roundtrip" `Quick
+            test_seal_parse_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_parse_rejects_garbage;
+          Alcotest.test_case "detects corruption" `Quick
+            test_parse_detects_corruption;
+          Alcotest.test_case "detects torn prefix" `Quick
+            test_parse_detects_torn_prefix;
+        ] );
+    ]

@@ -1,0 +1,162 @@
+module Clock = Lld_sim.Clock
+module Cost = Lld_sim.Cost
+module Rng = Lld_sim.Rng
+module Stats = Lld_sim.Stats
+
+let test_clock_charges () =
+  let c = Clock.create () in
+  Clock.charge c Clock.Cpu 100;
+  Clock.charge c Clock.Io 250;
+  Clock.charge c Clock.Cpu 50;
+  Alcotest.(check int) "now" 400 (Clock.now_ns c);
+  Alcotest.(check int) "cpu" 150 (Clock.total_ns c Clock.Cpu);
+  Alcotest.(check int) "io" 250 (Clock.total_ns c Clock.Io)
+
+let test_clock_reset () =
+  let c = Clock.create () in
+  Clock.charge c Clock.Cpu 42;
+  Clock.reset c;
+  Alcotest.(check int) "now" 0 (Clock.now_ns c);
+  Alcotest.(check int) "cpu" 0 (Clock.total_ns c Clock.Cpu)
+
+let test_clock_negative () =
+  let c = Clock.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Clock.charge: negative duration") (fun () ->
+      Clock.charge c Clock.Cpu (-1))
+
+let test_cost_calibration_anchor () =
+  (* DESIGN.md §5.4: an empty Begin/End ARU pair should cost about
+     76 us of CPU (78.47 us total minus its I/O share). *)
+  let c = Cost.sparc5_70 in
+  let begin_end =
+    (2 * c.Cost.op_dispatch_ns)
+    + (2 * c.Cost.record_lookup_ns)
+    + c.Cost.aru_begin_ns + c.Cost.aru_commit_ns + c.Cost.summary_entry_ns
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "begin/end pair ~76us (got %dns)" begin_end)
+    true
+    (begin_end > 70_000 && begin_end < 80_000)
+
+let test_cost_free_is_zero () =
+  let c = Cost.free in
+  Alcotest.(check int) "dispatch" 0 c.Cost.op_dispatch_ns;
+  Alcotest.(check int) "copy" 0 c.Cost.block_copy_ns;
+  Alcotest.(check int) "commit" 0 c.Cost.aru_commit_ns
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 in
+  let b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 in
+  let b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" false
+    (Int64.equal (Rng.next a) (Rng.next b))
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:42 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done;
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    if f < 0. || f >= 1. then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create ~seed:5 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_split_independent () =
+  let r = Rng.create ~seed:9 in
+  let child = Rng.split r in
+  Alcotest.(check bool) "split differs" false
+    (Int64.equal (Rng.next r) (Rng.next child))
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 1.; 2.; 3.; 4. ] in
+  Alcotest.(check int) "count" 4 s.Stats.count;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1. s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4. s.Stats.max;
+  Alcotest.(check (float 1e-6)) "stddev" 1.2909944487 s.Stats.stddev
+
+let test_stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p50" 50. (Stats.percentile xs 50.);
+  Alcotest.(check (float 1e-9)) "p100" 100. (Stats.percentile xs 100.);
+  Alcotest.(check (float 1e-9)) "p1" 1. (Stats.percentile xs 1.)
+
+let test_stats_percent_diff () =
+  Alcotest.(check (float 1e-9)) "10% slower" 10.
+    (Stats.percent_diff ~baseline:100. 90.);
+  Alcotest.(check (float 1e-9)) "faster is negative" (-10.)
+    (Stats.percent_diff ~baseline:100. 110.)
+
+let test_stats_throughput () =
+  Alcotest.(check (float 1e-9)) "files/s" 1000.
+    (Stats.throughput ~work:1000. ~elapsed_ns:1_000_000_000)
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty summarize"
+    (Invalid_argument "Stats.summarize: empty sample") (fun () ->
+      ignore (Stats.summarize []))
+
+let rng_int_uniform =
+  QCheck.Test.make ~name:"rng int covers range" ~count:50
+    QCheck.(int_range 2 64)
+    (fun bound ->
+      let r = Rng.create ~seed:bound in
+      let seen = Array.make bound false in
+      for _ = 1 to bound * 100 do
+        seen.(Rng.int r bound) <- true
+      done;
+      Array.for_all Fun.id seen)
+
+let () =
+  Alcotest.run "lld_sim"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "charges accumulate by category" `Quick
+            test_clock_charges;
+          Alcotest.test_case "reset" `Quick test_clock_reset;
+          Alcotest.test_case "negative charge rejected" `Quick
+            test_clock_negative;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "calibration anchor" `Quick
+            test_cost_calibration_anchor;
+          Alcotest.test_case "free model is zero" `Quick test_cost_free_is_zero;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "shuffle is a permutation" `Quick
+            test_rng_shuffle_permutation;
+          Alcotest.test_case "split independence" `Quick
+            test_rng_split_independent;
+          QCheck_alcotest.to_alcotest rng_int_uniform;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percent diff" `Quick test_stats_percent_diff;
+          Alcotest.test_case "throughput" `Quick test_stats_throughput;
+          Alcotest.test_case "empty sample rejected" `Quick test_stats_empty;
+        ] );
+    ]

@@ -1,0 +1,183 @@
+module Codec = Lld_util.Bytes_codec
+module Lru = Lld_util.Lru
+module Vec = Lld_util.Vec
+
+let test_writer_reader_roundtrip () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.u8 w 0xab;
+  Codec.Writer.u16 w 0xbeef;
+  Codec.Writer.u32 w 0x12345678;
+  Codec.Writer.u64 w 0x1122334455667788L;
+  Codec.Writer.string w "hello";
+  let buf = Codec.Writer.contents w in
+  let r = Codec.Reader.of_bytes buf in
+  Alcotest.(check int) "u8" 0xab (Codec.Reader.u8 r);
+  Alcotest.(check int) "u16" 0xbeef (Codec.Reader.u16 r);
+  Alcotest.(check int) "u32" 0x12345678 (Codec.Reader.u32 r);
+  Alcotest.(check int64) "u64" 0x1122334455667788L (Codec.Reader.u64 r);
+  Alcotest.(check string) "string" "hello" (Codec.Reader.string r);
+  Alcotest.(check int) "exhausted" 0 (Codec.Reader.remaining r)
+
+let test_reader_truncated () =
+  let r = Codec.Reader.of_bytes (Bytes.make 2 'x') in
+  ignore (Codec.Reader.u16 r);
+  Alcotest.check_raises "past end" Codec.Truncated (fun () ->
+      ignore (Codec.Reader.u8 r))
+
+let test_reader_window () =
+  let buf = Bytes.of_string "abcdefgh" in
+  let r = Codec.Reader.of_bytes ~pos:2 ~len:3 buf in
+  Alcotest.(check int) "pos" 2 (Codec.Reader.pos r);
+  Alcotest.(check string) "window" "cde" (Bytes.to_string (Codec.Reader.raw r 3));
+  Alcotest.check_raises "window end" Codec.Truncated (fun () ->
+      ignore (Codec.Reader.u8 r))
+
+let test_fixed_offset_accessors () =
+  let b = Bytes.make 8 '\000' in
+  Codec.set_u16 b 0 0xfffe;
+  Codec.set_u32 b 2 0xdeadbeef;
+  Alcotest.(check int) "u16" 0xfffe (Codec.get_u16 b 0);
+  Alcotest.(check int) "u32" 0xdeadbeef (Codec.get_u32 b 2)
+
+let test_fnv1a_stability () =
+  let b = Bytes.of_string "the quick brown fox" in
+  let h1 = Codec.fnv1a b in
+  let h2 = Codec.fnv1a b in
+  Alcotest.(check int64) "deterministic" h1 h2;
+  Bytes.set b 0 'T';
+  Alcotest.(check bool) "sensitive to change" false (Int64.equal h1 (Codec.fnv1a b))
+
+let test_fnv1a_range () =
+  let b = Bytes.of_string "abcdef" in
+  let whole = Codec.fnv1a b in
+  let prefix = Codec.fnv1a ~pos:0 ~len:3 b in
+  let sub = Codec.fnv1a (Bytes.of_string "abc") in
+  Alcotest.(check int64) "range equals standalone" sub prefix;
+  Alcotest.(check bool) "range differs from whole" false (Int64.equal whole prefix)
+
+let test_lru_basic () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c 1 "a";
+  Lru.add c 2 "b";
+  Alcotest.(check (option string)) "find 1" (Some "a") (Lru.find c 1);
+  Lru.add c 3 "c" (* evicts 2, the least recently used *);
+  Alcotest.(check (option string)) "2 evicted" None (Lru.find c 2);
+  Alcotest.(check (option string)) "1 kept" (Some "a") (Lru.find c 1);
+  Alcotest.(check (option string)) "3 kept" (Some "c") (Lru.find c 3);
+  Alcotest.(check int) "evictions" 1 (Lru.evictions c)
+
+let test_lru_replace () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c 1 "a";
+  Lru.add c 1 "a2";
+  Alcotest.(check (option string)) "replaced" (Some "a2") (Lru.find c 1);
+  Alcotest.(check int) "length" 1 (Lru.length c)
+
+let test_lru_remove_clear () =
+  let c = Lru.create ~capacity:4 in
+  Lru.add c 1 "a";
+  Lru.add c 2 "b";
+  Lru.remove c 1;
+  Alcotest.(check (option string)) "removed" None (Lru.find c 1);
+  Alcotest.(check int) "length" 1 (Lru.length c);
+  Lru.clear c;
+  Alcotest.(check int) "cleared" 0 (Lru.length c);
+  Alcotest.(check (option string)) "gone" None (Lru.find c 2)
+
+let test_lru_mem_no_touch () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c 1 "a";
+  Lru.add c 2 "b";
+  (* mem must not refresh recency: 1 stays the eviction candidate *)
+  Alcotest.(check bool) "mem" true (Lru.mem c 1);
+  Lru.add c 3 "c";
+  Alcotest.(check (option string)) "1 evicted" None (Lru.find c 1)
+
+let test_lru_invalid_capacity () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Lru.create: capacity must be positive") (fun () ->
+      ignore (Lru.create ~capacity:0))
+
+let test_vec_basics () =
+  let v = Vec.create () in
+  Alcotest.(check int) "empty" 0 (Vec.length v);
+  Alcotest.(check bool) "no last" true (Vec.last v = None);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Alcotest.(check bool) "last" true (Vec.last v = Some 99);
+  Vec.set v 42 999;
+  Alcotest.(check int) "set" 999 (Vec.get v 42);
+  Alcotest.(check (list int)) "of_list/to_list" [ 1; 2; 3 ]
+    (Vec.to_list (Vec.of_list [ 1; 2; 3 ]))
+
+let test_vec_truncate () =
+  let v = Vec.of_list [ 1; 2; 3; 4; 5 ] in
+  Vec.truncate v 3;
+  Alcotest.(check (list int)) "truncated" [ 1; 2; 3 ] (Vec.to_list v);
+  Vec.truncate v 10 (* no-op *);
+  Alcotest.(check int) "no-op" 3 (Vec.length v);
+  Vec.push v 9;
+  Alcotest.(check (list int)) "push after truncate" [ 1; 2; 3; 9 ]
+    (Vec.to_list v);
+  Alcotest.check_raises "negative" (Invalid_argument "Vec.truncate: negative length")
+    (fun () -> Vec.truncate v (-1))
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 1));
+  Alcotest.check_raises "set oob" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> Vec.set v (-1) 0)
+
+let vec_model =
+  QCheck.Test.make ~name:"vec behaves like a list" ~count:200
+    QCheck.(small_list small_int)
+    (fun xs ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) xs;
+      Vec.to_list v = xs && Vec.length v = List.length xs)
+
+let lru_churn =
+  QCheck.Test.make ~name:"lru never exceeds capacity" ~count:200
+    QCheck.(pair (int_range 1 8) (small_list (pair (int_range 0 20) small_int)))
+    (fun (cap, ops) ->
+      let c = Lru.create ~capacity:cap in
+      List.iter (fun (k, v) -> Lru.add c k v) ops;
+      Lru.length c <= cap)
+
+let () =
+  Alcotest.run "lld_util"
+    [
+      ( "bytes_codec",
+        [
+          Alcotest.test_case "writer/reader roundtrip" `Quick
+            test_writer_reader_roundtrip;
+          Alcotest.test_case "reader truncation" `Quick test_reader_truncated;
+          Alcotest.test_case "reader window" `Quick test_reader_window;
+          Alcotest.test_case "fixed-offset accessors" `Quick
+            test_fixed_offset_accessors;
+          Alcotest.test_case "fnv1a stable and sensitive" `Quick
+            test_fnv1a_stability;
+          Alcotest.test_case "fnv1a ranges" `Quick test_fnv1a_range;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "basic insert/evict" `Quick test_lru_basic;
+          Alcotest.test_case "replace same key" `Quick test_lru_replace;
+          Alcotest.test_case "remove and clear" `Quick test_lru_remove_clear;
+          Alcotest.test_case "mem does not touch recency" `Quick
+            test_lru_mem_no_touch;
+          Alcotest.test_case "invalid capacity" `Quick test_lru_invalid_capacity;
+          QCheck_alcotest.to_alcotest lru_churn;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick test_vec_basics;
+          Alcotest.test_case "truncate" `Quick test_vec_truncate;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          QCheck_alcotest.to_alcotest vec_model;
+        ] );
+    ]

@@ -1,0 +1,254 @@
+(* Workload generators and the experiment harness: smoke-level checks
+   that the reproduction machinery itself behaves (phases measure what
+   they claim, variants differ the way the paper says, reports render). *)
+
+module Geometry = Lld_disk.Geometry
+module Config = Lld_core.Config
+module Lld = Lld_core.Lld
+module Setup = Lld_workload.Setup
+module Smallfile = Lld_workload.Smallfile
+module Largefile = Lld_workload.Largefile
+module Aru_churn = Lld_workload.Aru_churn
+module Concurrent = Lld_workload.Concurrent
+module Experiment = Lld_harness.Experiment
+module Report = Lld_harness.Report
+
+let geom = Geometry.v ~num_segments:64 ()
+
+let tiny_scale =
+  { Experiment.files = 0.01; bytes = 0.01; arus = 0.002; geom }
+
+let test_setup_variants () =
+  List.iter
+    (fun v ->
+      let inst = Setup.make ~geom ~inode_count:512 v in
+      Alcotest.(check int)
+        (Setup.variant_label v ^ ": clock reset after setup")
+        0
+        (Lld_sim.Clock.now_ns inst.Setup.clock);
+      Alcotest.(check bool) "fs mounted" true
+        (Lld_minixfs.Fs.readdir inst.Setup.fs "/" = []))
+    Setup.all_variants
+
+let test_smallfile_phases () =
+  let inst = Setup.make ~geom ~inode_count:512 Setup.New in
+  let p = { Smallfile.file_count = 60; file_bytes = 1024; dirs = 1 } in
+  let r = Smallfile.run inst p in
+  Alcotest.(check int) "files created" 60 r.Smallfile.create_write.Smallfile.files;
+  Alcotest.(check bool) "create time positive" true
+    (r.Smallfile.create_write.Smallfile.elapsed_ns > 0);
+  Alcotest.(check bool) "read faster than create" true
+    (r.Smallfile.read.Smallfile.files_per_sec
+    > r.Smallfile.create_write.Smallfile.files_per_sec);
+  (* after the delete phase everything is gone *)
+  Alcotest.(check (list string)) "all deleted" []
+    (Lld_minixfs.Fs.readdir inst.Setup.fs "/")
+
+let test_smallfile_dirs () =
+  let inst = Setup.make ~geom ~inode_count:512 Setup.New in
+  let p = { Smallfile.file_count = 30; file_bytes = 1024; dirs = 3 } in
+  let r = Smallfile.run inst p in
+  Alcotest.(check int) "ran" 30 r.Smallfile.delete.Smallfile.files;
+  Alcotest.(check int) "directories remain" 3
+    (List.length (Lld_minixfs.Fs.readdir inst.Setup.fs "/"))
+
+let test_smallfile_scaled () =
+  let p = Smallfile.scaled Smallfile.paper_1k 0.01 in
+  Alcotest.(check int) "scaled count" 100 p.Smallfile.file_count;
+  Alcotest.(check int) "size unchanged" 1024 p.Smallfile.file_bytes;
+  Alcotest.(check int) "never zero" 1
+    (Smallfile.scaled Smallfile.paper_10k 0.0001).Smallfile.file_count
+
+let test_largefile_phases () =
+  let inst = Setup.make ~geom ~inode_count:64 Setup.New in
+  let p = Largefile.scaled Largefile.paper 0.01 in
+  let r = Largefile.run inst p in
+  List.iter
+    (fun (ph : Largefile.phase) ->
+      Alcotest.(check bool)
+        (ph.Largefile.label ^ " throughput positive")
+        true
+        (ph.Largefile.mb_per_sec > 0.))
+    (Largefile.phases r);
+  (* writes are log-structured: sequential and random writes comparable;
+     random reads much slower than sequential ones *)
+  Alcotest.(check bool) "write2 within 2x of write1" true
+    (r.Largefile.write2.Largefile.mb_per_sec
+    > r.Largefile.write1.Largefile.mb_per_sec /. 2.);
+  Alcotest.(check bool) "read2 slower than read1" true
+    (r.Largefile.read2.Largefile.mb_per_sec
+    < r.Largefile.read1.Largefile.mb_per_sec)
+
+let test_largefile_scaled_rounds_to_blocks () =
+  let p = Largefile.scaled Largefile.paper 0.013 in
+  Alcotest.(check int) "block multiple" 0 (p.Largefile.file_bytes mod 4096);
+  Alcotest.(check bool) "positive" true (p.Largefile.file_bytes > 0)
+
+let test_aru_churn () =
+  let _, lld = Setup.make_raw ~geom Setup.New in
+  let r = Aru_churn.run lld { Aru_churn.count = 5000 } in
+  Alcotest.(check int) "count" 5000 r.Aru_churn.count;
+  Alcotest.(check bool) "latency sane" true
+    (r.Aru_churn.latency_us > 10. && r.Aru_churn.latency_us < 1000.);
+  Alcotest.(check bool) "commit records flushed" true
+    (r.Aru_churn.segments_written >= 1)
+
+let test_aru_churn_old_cheaper () =
+  let run v =
+    let _, lld = Setup.make_raw ~geom v in
+    (Aru_churn.run lld { Aru_churn.count = 2000 }).Aru_churn.latency_us
+  in
+  let old = run Setup.Old in
+  let new_ = run Setup.New in
+  Alcotest.(check bool)
+    (Printf.sprintf "old (%.1f) cheaper than new (%.1f)" old new_)
+    true (old < new_)
+
+let test_concurrent_equal_ops () =
+  let p = { Concurrent.streams = 4; ops_per_stream = 50; seed = 3 } in
+  let run f =
+    let _, lld = Setup.make_raw ~geom Setup.New in
+    f lld p
+  in
+  let inter = run Concurrent.run_interleaved in
+  let serial = run Concurrent.run_serial in
+  Alcotest.(check int) "same op count" inter.Concurrent.ops serial.Concurrent.ops;
+  Alcotest.(check bool) "interleaving keeps more shadows" true
+    (inter.Concurrent.record_creates >= serial.Concurrent.record_creates)
+
+let test_mixed_workload_phases () =
+  let inst = Setup.make ~geom ~inode_count:512 Setup.New in
+  let p = { Lld_workload.Mixed.default with Lld_workload.Mixed.dirs = 5; files_per_dir = 6 } in
+  let r = Lld_workload.Mixed.run inst p in
+  Alcotest.(check int) "five phases" 5 (List.length r.Lld_workload.Mixed.phases);
+  List.iter
+    (fun (ph : Lld_workload.Mixed.phase) ->
+      Alcotest.(check bool)
+        (ph.Lld_workload.Mixed.label ^ " positive")
+        true
+        (ph.Lld_workload.Mixed.ops > 0 && ph.Lld_workload.Mixed.ops_per_sec > 0.))
+    r.Lld_workload.Mixed.phases;
+  (* the tree the workload built is consistent *)
+  Alcotest.(check bool) "fsck clean" true
+    (Lld_minixfs.Fsck.ok (Lld_minixfs.Fsck.run inst.Setup.fs))
+
+let test_torture_runs_quickly () =
+  let r =
+    Lld_workload.Torture.run
+      { Lld_workload.Torture.seed = 1; operations = 60; crash_points = 3 }
+  in
+  Alcotest.(check int) "three outcomes" 3 (List.length r.Lld_workload.Torture.outcomes);
+  Alcotest.(check bool) "consistent" true r.Lld_workload.Torture.all_consistent
+
+let test_experiment_figure5_shape () =
+  let rows = Experiment.figure5 tiny_scale in
+  Alcotest.(check int) "3 variants x 2 sizes" 6 (List.length rows);
+  List.iter
+    (fun r ->
+      let res = r.Experiment.f5_result in
+      Alcotest.(check bool) "throughputs positive" true
+        (res.Smallfile.create_write.Smallfile.files_per_sec > 0.
+        && res.Smallfile.read.Smallfile.files_per_sec > 0.
+        && res.Smallfile.delete.Smallfile.files_per_sec > 0.))
+    rows;
+  (* the old variant must win creates and deletes in both sizes *)
+  List.iter
+    (fun p ->
+      let by v =
+        List.find
+          (fun r ->
+            r.Experiment.f5_variant = v
+            && r.Experiment.f5_result.Smallfile.params = p)
+          rows
+      in
+      let tp sel r = (sel r.Experiment.f5_result : Smallfile.phase).Smallfile.files_per_sec in
+      Alcotest.(check bool) "old creates faster" true
+        (tp (fun r -> r.Smallfile.create_write) (by Setup.Old)
+        >= tp (fun r -> r.Smallfile.create_write) (by Setup.New));
+      Alcotest.(check bool) "old deletes faster" true
+        (tp (fun r -> r.Smallfile.delete) (by Setup.Old)
+        >= tp (fun r -> r.Smallfile.delete) (by Setup.New));
+      Alcotest.(check bool) "improved deletion helps" true
+        (tp (fun r -> r.Smallfile.delete) (by Setup.New_delete)
+        >= tp (fun r -> r.Smallfile.delete) (by Setup.New)))
+    (List.sort_uniq compare
+       (List.map (fun r -> r.Experiment.f5_result.Smallfile.params) rows))
+
+let test_experiment_prints () =
+  (* every printer renders without raising *)
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  let f5 = Experiment.figure5 tiny_scale in
+  Experiment.print_figure5 ppf f5;
+  Experiment.print_summary ppf f5;
+  Experiment.print_delete_ablation ppf f5;
+  Experiment.print_figure6 ppf (Experiment.figure6 tiny_scale);
+  Experiment.print_aru_latency ppf (Experiment.aru_latency tiny_scale);
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  let contains needle =
+    let nl = String.length needle and ol = String.length out in
+    let rec scan i = i + nl <= ol && (String.sub out i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("output mentions " ^ needle) true (contains needle))
+    [ "Figure 5"; "Figure 6"; "ARU latency" ]
+
+let test_report_table_alignment () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Report.table ppf ~title:"T" ~header:[ "a"; "bb" ]
+    [ [ "xxx"; "y" ]; [ "z"; "wwww" ] ];
+  Format.pp_print_flush ppf ();
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  Alcotest.(check int) "title + rule + header + 2 rows" 5 (List.length lines)
+
+let test_report_pct () =
+  Alcotest.(check string) "slower" "+10.0%" (Report.pct ~baseline:100. 90.);
+  Alcotest.(check string) "faster" "-10.0%" (Report.pct ~baseline:100. 110.);
+  Alcotest.(check string) "zero baseline" "n/a" (Report.pct ~baseline:0. 1.)
+
+let () =
+  Alcotest.run "lld_workload"
+    [
+      ( "setup",
+        [ Alcotest.test_case "variants" `Quick test_setup_variants ] );
+      ( "smallfile",
+        [
+          Alcotest.test_case "phases" `Quick test_smallfile_phases;
+          Alcotest.test_case "directories" `Quick test_smallfile_dirs;
+          Alcotest.test_case "scaling" `Quick test_smallfile_scaled;
+        ] );
+      ( "largefile",
+        [
+          Alcotest.test_case "phases" `Quick test_largefile_phases;
+          Alcotest.test_case "scaling rounds to blocks" `Quick
+            test_largefile_scaled_rounds_to_blocks;
+        ] );
+      ( "aru-churn",
+        [
+          Alcotest.test_case "latency" `Quick test_aru_churn;
+          Alcotest.test_case "old cheaper than new" `Quick
+            test_aru_churn_old_cheaper;
+        ] );
+      ( "concurrent",
+        [ Alcotest.test_case "interleaved vs serial" `Quick test_concurrent_equal_ops ]
+      );
+      ( "mixed-and-torture",
+        [
+          Alcotest.test_case "mixed workload phases" `Quick
+            test_mixed_workload_phases;
+          Alcotest.test_case "torture smoke" `Quick test_torture_runs_quickly;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "figure 5 shape" `Slow test_experiment_figure5_shape;
+          Alcotest.test_case "printers render" `Slow test_experiment_prints;
+          Alcotest.test_case "table alignment" `Quick test_report_table_alignment;
+          Alcotest.test_case "percent formatting" `Quick test_report_pct;
+        ] );
+    ]
