@@ -125,7 +125,19 @@ let run_micro () =
 
 let () =
   let scale = scale_of_env () in
-  Experiment.run_all Format.std_formatter scale;
-  match Sys.getenv_opt "MICRO" with
+  let checks = Experiment.run_all_checked Format.std_formatter scale in
+  (match Sys.getenv_opt "MICRO" with
   | Some "0" -> ()
-  | Some _ | None -> run_micro ()
+  | Some _ | None -> run_micro ());
+  let failed =
+    List.filter (fun c -> not c.Experiment.ck_ok) checks
+  in
+  if failed <> [] then begin
+    Printf.eprintf "\n%d reproduction check(s) failed:\n" (List.length failed);
+    List.iter
+      (fun c ->
+        Printf.eprintf "  FAIL %s (%s)\n" c.Experiment.ck_name
+          c.Experiment.ck_detail)
+      failed;
+    exit 1
+  end

@@ -16,6 +16,7 @@ module Largefile = Lld_workload.Largefile
 module Aru_churn = Lld_workload.Aru_churn
 module Torture = Lld_workload.Torture
 module Experiment = Lld_harness.Experiment
+module Crashcheck = Lld_crashcheck.Crashcheck
 
 open Cmdliner
 
@@ -253,6 +254,163 @@ let torture_cmd =
           fsck after every recovery.")
     Term.(const torture $ no_arus $ seeds $ operations $ crash_points)
 
+(* -------------------------------------------------------- crashcheck *)
+
+let point_conv =
+  let parse s =
+    let fail () =
+      Error (`Msg (Printf.sprintf "expected INDEX or INDEX:KEEP, got %S" s))
+    in
+    match String.split_on_char ':' s with
+    | [ i ] -> (
+      match int_of_string_opt i with
+      | Some i -> Ok { Crashcheck.pt_index = i; pt_keep = None }
+      | None -> fail ())
+    | [ i; k ] -> (
+      match (int_of_string_opt i, int_of_string_opt k) with
+      | Some i, Some k -> Ok { Crashcheck.pt_index = i; pt_keep = Some k }
+      | _ -> fail ())
+    | _ -> fail ()
+  in
+  Arg.conv (parse, Crashcheck.pp_point)
+
+let crashcheck workload budget granularity seed at broken_sweep =
+  let selected =
+    match workload with
+    | None -> Crashcheck.specs
+    | Some name -> (
+      match List.assoc_opt name Crashcheck.specs with
+      | Some mk -> [ (name, mk) ]
+      | None ->
+        Printf.eprintf "unknown workload %S (known: %s)\n" name
+          (String.concat ", " (List.map fst Crashcheck.specs));
+        exit 2)
+  in
+  let recover_config spec =
+    if broken_sweep then
+      Some { spec.Crashcheck.sc_config with Config.recovery_sweep = false }
+    else None
+  in
+  match at with
+  | Some point ->
+    let name, mk =
+      match selected with
+      | [ one ] -> one
+      | _ ->
+        Printf.eprintf "--at requires --workload\n";
+        exit 2
+    in
+    let spec = mk () in
+    let trace = Crashcheck.record spec in
+    Printf.printf "workload %s: %d disk writes recorded\n" name
+      (Crashcheck.trace_writes trace);
+    let problems =
+      try
+        Crashcheck.check_point ?recover_config:(recover_config spec) trace
+          point
+      with Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    in
+    if problems = [] then
+      Format.printf "crash %a: consistent@." Crashcheck.pp_point point
+    else begin
+      Format.printf "crash %a: %d violation(s)@." Crashcheck.pp_point point
+        (List.length problems);
+      List.iter (fun p -> Printf.printf "  %s\n" p) problems;
+      exit 1
+    end
+  | None ->
+    let caught_broken = ref false in
+    let failed = ref false in
+    List.iter
+      (fun (name, mk) ->
+        let spec = mk () in
+        Printf.printf "recording %s trace...\n%!" name;
+        let trace = Crashcheck.record spec in
+        let progress ~checked ~selected =
+          if checked mod 200 = 0 || checked = selected then
+            Printf.printf "  %s: %d/%d crash points checked\n%!" name checked
+              selected
+        in
+        let r =
+          Crashcheck.run ~granularity ?budget ~seed
+            ?recover_config:(recover_config spec) ~progress trace
+        in
+        Format.printf "%a@." Crashcheck.pp_result r;
+        if Crashcheck.ok r then () else failed := true;
+        if broken_sweep && not (Crashcheck.ok r) then caught_broken := true)
+      selected;
+    if broken_sweep then
+      if !caught_broken then
+        print_endline
+          "broken recovery (sweep disabled) detected, as intended: the \
+           checker works"
+      else begin
+        print_endline
+          "ERROR: recovery sweep was disabled but no violation was detected";
+        exit 1
+      end
+    else if !failed then exit 1
+
+let crashcheck_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:
+            "Workload to check: $(b,smallfile) or $(b,aru-churn) (default: \
+             both).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Check at most N crash points per workload, sampled \
+             deterministically (default: exhaustive).")
+  in
+  let granularity =
+    Arg.(
+      value & opt int 512
+      & info [ "granularity" ] ~docv:"BYTES"
+          ~doc:"Torn-write boundary spacing in bytes.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"Sampling seed for budgeted mode.")
+  in
+  let at =
+    Arg.(
+      value
+      & opt (some point_conv) None
+      & info [ "at" ] ~docv:"INDEX[:KEEP]"
+          ~doc:
+            "Replay a single crash point (as printed by a minimal \
+             reproducer) instead of enumerating; requires $(b,--workload).")
+  in
+  let broken_sweep =
+    Arg.(
+      value & flag
+      & info [ "test-broken-sweep" ]
+          ~doc:
+            "Self-test: recover with the consistency sweep disabled and \
+             verify the checker flags the leak (exits non-zero if it \
+             doesn't).")
+  in
+  Cmd.v
+    (Cmd.info "crashcheck"
+       ~doc:
+         "Enumerate every crash point of a traced workload (including torn \
+          writes), recover at each, and verify ARU atomicity, fsck \
+          cleanliness, sweep completeness, and recovery idempotency.")
+    Term.(
+      const crashcheck $ workload $ budget $ granularity $ seed $ at
+      $ broken_sweep)
+
 (* -------------------------------------------------------------- info *)
 
 let show_info segments =
@@ -279,7 +437,7 @@ let () =
       (Cmd.info "lld" ~version:"1.0.0" ~doc)
       [
         repro_cmd; smallfile_cmd; largefile_cmd; aru_bench_cmd; crash_demo_cmd;
-        torture_cmd; info_cmd;
+        torture_cmd; crashcheck_cmd; info_cmd;
       ]
   in
   exit (Cmd.eval cmd)

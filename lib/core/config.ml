@@ -10,6 +10,7 @@ type t = {
   auto_clean : bool;
   clean_reserve_segments : int;
   checkpoint_interval_segments : int;
+  recovery_sweep : bool;
 }
 
 let default =
@@ -22,6 +23,7 @@ let default =
     auto_clean = true;
     clean_reserve_segments = 4;
     checkpoint_interval_segments = 0;
+    recovery_sweep = true;
   }
 
 let old_lld = { default with mode = Sequential }

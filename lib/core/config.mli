@@ -29,6 +29,12 @@ type t = {
       (** checkpoint after this many sealed segments (when no ARU is
           active); 0 disables periodic checkpoints (the cleaner still
           checkpoints) *)
+  recovery_sweep : bool;
+      (** run recovery's consistency sweep (paper §3.3).  Test-only
+          knob: disabling it deliberately breaks recovery — orphaned
+          allocations of uncommitted ARUs survive — so the crash
+          checker's violation reporting can be exercised.  Always [true]
+          outside such tests. *)
 }
 
 val default : t

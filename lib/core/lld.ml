@@ -1287,6 +1287,61 @@ let orphan_blocks t =
       if orphaned then acc := anchor.Record.id :: !acc);
   List.rev !acc
 
+(* Recovery invariant probes (crash-consistency checking).  The committed
+   state is inspected through the persistent anchors, exactly like
+   [orphan_blocks]/[scavenge]: meaningful right after [recover], before
+   any new operations run. *)
+let recovery_invariant_errors t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let n_arus = Hashtbl.length t.arus in
+  if n_arus <> 0 then err "%d ARU(s) active immediately after recovery" n_arus;
+  (* walk every committed list, recording which list each block is on *)
+  let member = Hashtbl.create 256 in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun b ->
+          let bi = Types.Block_id.to_int b in
+          match Hashtbl.find_opt member bi with
+          | Some l0 ->
+            err "block %d linked into lists %d and %d" bi
+              (Types.List_id.to_int l0) (Types.List_id.to_int l)
+          | None -> Hashtbl.replace member bi l)
+        (list_blocks t l))
+    (lists t);
+  Block_map.iter t.blocks (fun anchor ->
+      let bi = Types.Block_id.to_int anchor.Record.id in
+      if anchor.Record.alloc then begin
+        match Hashtbl.find_opt member bi with
+        | Some l -> (
+          match anchor.Record.member_of with
+          | Some l' when Types.List_id.equal l' l -> ()
+          | Some l' ->
+            err "block %d reached from list %d but member_of says %d" bi
+              (Types.List_id.to_int l) (Types.List_id.to_int l')
+          | None ->
+            err "block %d reached from list %d but member_of says none" bi
+              (Types.List_id.to_int l))
+        | None ->
+          err "leaked allocation: block %d is allocated but on no list%s" bi
+            (match anchor.Record.alloc_owner with
+            | None -> ""
+            | Some o ->
+              Printf.sprintf " (allocated by ARU %d)" (Types.Aru_id.to_int o))
+      end
+      else if Hashtbl.mem member bi then
+        err "unallocated block %d is linked into list %d" bi
+          (Types.List_id.to_int (Hashtbl.find member bi)));
+  List_table.iter t.lists (fun lr ->
+      match lr.Record.l_owner with
+      | Some o when lr.Record.exists && not (owner_active t o) ->
+        err "leaked list: %d still owned by inactive ARU %d"
+          (Types.List_id.to_int lr.Record.lid)
+          (Types.Aru_id.to_int o)
+      | Some _ | None -> ());
+  List.rev !errs
+
 let scavenge t =
   flush t;
   let freed = ref 0 in
@@ -1408,7 +1463,7 @@ let create ?(config = Config.default) disk =
 
 let recover ?(config = Config.default) disk =
   Lld_disk.Fault.reset_after_recovery (Disk.fault disk);
-  let restored = Recovery.run disk in
+  let restored = Recovery.run ~sweep:config.Config.recovery_sweep disk in
   let geom = Disk.geometry disk in
   let t =
     make ~config ~disk ~blocks:restored.Recovery.r_blocks

@@ -138,6 +138,15 @@ val orphan_blocks : t -> Types.Block_id.t list
 (** The blocks {!scavenge} would free, without freeing them (flushes
     first so the committed state is authoritative). *)
 
+val recovery_invariant_errors : t -> string list
+(** Recovery invariant probe (used by [lib/crashcheck]): structural
+    violations of the post-recovery committed state — active ARUs,
+    allocated blocks on no list (a failed consistency sweep, paper
+    §3.3), blocks linked into two lists or into lists disagreeing with
+    their membership record, unallocated blocks still linked, and
+    surviving empty lists owned by dead ARUs.  Empty right after a
+    correct {!recover}; call before performing new operations. *)
+
 (** {1 Measurement} *)
 
 val counters : t -> Counters.t

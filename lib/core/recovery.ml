@@ -204,7 +204,7 @@ let read_region_safe disk ~region =
   | snap -> snap
   | exception Fault.Media_error _ -> None
 
-let run disk =
+let run ?(sweep = true) disk =
   let geom = Disk.geometry disk in
   let snap, region =
     match (read_region_safe disk ~region:0, read_region_safe disk ~region:1) with
@@ -297,8 +297,8 @@ let run disk =
   let discarded_entries =
     Hashtbl.fold (fun _ l acc -> acc + List.length l) st.buffers 0
   in
-  let scavenged = scavenge st in
-  let lists_scavenged = scavenge_lists st in
+  let scavenged = if sweep then scavenge st else 0 in
+  let lists_scavenged = if sweep then scavenge_lists st else 0 in
   Block_map.rebuild_free st.blocks;
   List_table.rebuild_free st.lists;
   let report =

@@ -41,6 +41,8 @@ type restored = {
   r_report : report;
 }
 
-val run : Lld_disk.Disk.t -> restored
+val run : ?sweep:bool -> Lld_disk.Disk.t -> restored
 (** Raises [Errors.Corrupt] when no valid checkpoint exists (the disk
-    was never formatted). *)
+    was never formatted).  [sweep] (default [true]) runs the consistency
+    sweep; see {!Config.t.recovery_sweep} for the test-only reason to
+    disable it. *)

@@ -1,0 +1,522 @@
+module Clock = Lld_sim.Clock
+module Rng = Lld_sim.Rng
+module Geometry = Lld_disk.Geometry
+module Disk = Lld_disk.Disk
+module Fault = Lld_disk.Fault
+module Config = Lld_core.Config
+module Lld = Lld_core.Lld
+module Types = Lld_core.Types
+module Layout = Lld_minixfs.Layout
+module Fs = Lld_minixfs.Fs
+module Fsck = Lld_minixfs.Fsck
+module Oracle = Lld_workload.Oracle
+module Setup = Lld_workload.Setup
+module Smallfile = Lld_workload.Smallfile
+module Aru_churn = Lld_workload.Aru_churn
+
+(* ------------------------------------------------------------------ *)
+(* Workload specifications                                             *)
+
+type ctx = {
+  cx_clock : Clock.t;
+  cx_disk : Disk.t;
+  cx_lld : Lld.t;
+  cx_fs : Fs.t option;
+}
+
+type spec = {
+  sc_name : string;
+  sc_geom : Geometry.t;
+  sc_config : Config.t;
+  sc_fs : Fs.config option;
+  sc_inode_count : int option;
+  sc_run : ctx -> Oracle.t -> unit;
+}
+
+(* Small segments so seals — the dominant crash granularity — happen
+   every few operations, giving dense crash-point coverage. *)
+let checker_geom = Geometry.v ~segment_bytes:(32 * 1024) ~num_segments:192 ()
+
+let smallfile_spec ?(files = 200) () =
+  {
+    sc_name = "smallfile";
+    sc_geom = checker_geom;
+    sc_config = Config.default;
+    sc_fs = Some Fs.config_new;
+    sc_inode_count = Some 1024;
+    sc_run =
+      (fun cx oracle ->
+        let inst =
+          {
+            Setup.disk = cx.cx_disk;
+            lld = cx.cx_lld;
+            fs = Option.get cx.cx_fs;
+            clock = cx.cx_clock;
+          }
+        in
+        Smallfile.run_traced inst oracle
+          { Smallfile.file_count = files; file_bytes = 1024; dirs = 1 });
+  }
+
+let aru_churn_spec ?(arus = 160) ?(blocks_per_aru = 2) () =
+  {
+    sc_name = "aru-churn";
+    sc_geom = checker_geom;
+    sc_config = Config.default;
+    sc_fs = None;
+    sc_inode_count = None;
+    sc_run =
+      (fun cx oracle ->
+        Aru_churn.run_traced cx.cx_lld oracle
+          { Aru_churn.arus; blocks_per_aru; flush_every = 1 });
+  }
+
+let specs =
+  [
+    ("smallfile", fun () -> smallfile_spec ());
+    ("aru-churn", fun () -> aru_churn_spec ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace recording                                                     *)
+
+type trace = {
+  tr_spec : spec;
+  tr_base : bytes;  (* device image after format, before the workload *)
+  tr_writes : (int * bytes) array;  (* (offset, data), in write order *)
+  tr_oracle : Oracle.t;
+}
+
+let record spec =
+  let clock = Clock.create () in
+  let disk = Disk.create ~clock spec.sc_geom in
+  let lld = Lld.create ~config:spec.sc_config disk in
+  let fs =
+    Option.map
+      (fun config -> Fs.mkfs ~config ?inode_count:spec.sc_inode_count lld)
+      spec.sc_fs
+  in
+  (match fs with Some fs -> Fs.flush fs | None -> Lld.flush lld);
+  let base = Disk.snapshot disk in
+  let writes = ref [] in
+  Disk.set_observer disk
+    (Some (fun ~index:_ ~offset ~data -> writes := (offset, data) :: !writes));
+  let oracle = Oracle.create () in
+  spec.sc_run { cx_clock = clock; cx_disk = disk; cx_lld = lld; cx_fs = fs }
+    oracle;
+  Disk.set_observer disk None;
+  {
+    tr_spec = spec;
+    tr_base = base;
+    tr_writes = Array.of_list (List.rev !writes);
+    tr_oracle = oracle;
+  }
+
+let trace_writes t = Array.length t.tr_writes
+let trace_oracle_units t = Oracle.size t.tr_oracle
+
+(* ------------------------------------------------------------------ *)
+(* Crash points                                                        *)
+
+type point = { pt_index : int; pt_keep : int option }
+
+let pp_point ppf = function
+  | { pt_index; pt_keep = None } ->
+    Format.fprintf ppf "after write %d" pt_index
+  | { pt_index; pt_keep = Some k } ->
+    Format.fprintf ppf "torn write %d (first %d bytes persisted)" pt_index k
+
+let torn_boundaries ~granularity len =
+  let rec multiples acc k =
+    if k >= len then acc else multiples (k :: acc) (k + granularity)
+  in
+  let ks = multiples [] granularity in
+  let ks = if len > 1 then 1 :: (len - 1) :: ks else ks in
+  List.sort_uniq Int.compare (List.filter (fun k -> k > 0 && k < len) ks)
+
+let enumerate ?(granularity = 512) t =
+  let n = Array.length t.tr_writes in
+  let points = ref [] in
+  for i = n - 1 downto 0 do
+    let _, data = t.tr_writes.(i) in
+    let torn =
+      List.rev_map
+        (fun k -> { pt_index = i; pt_keep = Some k })
+        (List.rev (torn_boundaries ~granularity (Bytes.length data)))
+    in
+    points := ({ pt_index = i; pt_keep = None } :: torn) @ !points
+  done;
+  !points @ [ { pt_index = n; pt_keep = None } ]
+
+(* ------------------------------------------------------------------ *)
+(* Judging one recovered state                                         *)
+
+(* A unit's judged status; compared across the two recoveries of the
+   idempotency check, so it must be a plain value. *)
+type status = Present | Empty | Absent | Violated
+
+let judge_blocks lld (u : Oracle.block_unit) =
+  let lists_exist = List.map (fun l -> Lld.list_exists lld l) u.Oracle.bu_lists in
+  let block_states =
+    List.map
+      (fun (b, data) ->
+        if not (Lld.block_allocated lld b) then `Absent
+        else if Bytes.equal (Lld.read lld b) data then `Match
+        else `Mismatch)
+      u.Oracle.bu_blocks
+  in
+  let all p l = List.for_all p l in
+  if all (( = ) `Match) block_states && all Fun.id lists_exist then
+    if u.Oracle.bu_must_not_commit then
+      ( Violated,
+        [
+          Printf.sprintf
+            "unit %s: ARU without a commit record surfaced as committed"
+            u.Oracle.bu_label;
+        ] )
+    else begin
+      (* fully present: the blocks must also sit on the unit's list in
+         registration order *)
+      match u.Oracle.bu_lists with
+      | [ l ] ->
+        let expect = List.map fst u.Oracle.bu_blocks in
+        let got = Lld.list_blocks lld l in
+        if List.equal Types.Block_id.equal expect got then (Present, [])
+        else
+          ( Violated,
+            [
+              Printf.sprintf "unit %s: committed but list %d holds %s"
+                u.Oracle.bu_label
+                (Types.List_id.to_int l)
+                (String.concat ","
+                   (List.map
+                      (fun b -> string_of_int (Types.Block_id.to_int b))
+                      got));
+            ] )
+      | _ -> (Present, [])
+    end
+  else if all (( = ) `Absent) block_states && all not lists_exist then
+    (Absent, [])
+  else
+    ( Violated,
+      [
+        Printf.sprintf
+          "unit %s: partially recovered (blocks: %s; lists: %s) — ARU not \
+           all-or-nothing"
+          u.Oracle.bu_label
+          (String.concat ","
+             (List.map
+                (function
+                  | `Match -> "ok" | `Absent -> "gone" | `Mismatch -> "BAD")
+                block_states))
+          (String.concat ","
+             (List.map (fun e -> if e then "ok" else "gone") lists_exist));
+      ] )
+
+let judge_file fs (u : Oracle.file_unit) =
+  let len = Bytes.length u.Oracle.fu_content in
+  if not (Fs.exists fs u.Oracle.fu_path) then (Absent, [])
+  else
+    match Fs.stat fs u.Oracle.fu_path with
+    | { Fs.kind = Layout.Directory; _ } | { Fs.kind = Layout.Free; _ } ->
+      ( Violated,
+        [ Printf.sprintf "file %s: not a regular file" u.Oracle.fu_path ] )
+    | { Fs.size = 0; _ } -> (Empty, [])
+    | { Fs.size; _ } when size = len ->
+      let got = Fs.read_file fs u.Oracle.fu_path ~off:0 ~len in
+      if Bytes.equal got u.Oracle.fu_content then (Present, [])
+      else
+        ( Violated,
+          [
+            Printf.sprintf "file %s: present with corrupted content"
+              u.Oracle.fu_path;
+          ] )
+    | { Fs.size; _ } ->
+      ( Violated,
+        [
+          Printf.sprintf
+            "file %s: partial size %d (expected 0 or %d) — operation not \
+             all-or-nothing"
+            u.Oracle.fu_path size len;
+        ] )
+
+(* Verify one freshly recovered logical disk: core invariant probe,
+   oracle units, fsck.  Returns (violations, per-unit statuses). *)
+let verify_recovered trace lld =
+  let spec = trace.tr_spec in
+  let problems = ref (Lld.recovery_invariant_errors lld) in
+  let add ps = problems := !problems @ ps in
+  let fs =
+    match spec.sc_fs with
+    | None -> None
+    | Some config -> (
+      match Fs.mount ~config lld with
+      | fs -> Some fs
+      | exception e ->
+        add [ "mount after recovery failed: " ^ Printexc.to_string e ];
+        None)
+  in
+  let statuses =
+    List.map
+      (fun unit_ ->
+        let status, ps =
+          match (unit_, fs) with
+          | Oracle.Blocks u, _ -> judge_blocks lld u
+          | Oracle.File u, Some fs -> judge_file fs u
+          | Oracle.File u, None ->
+            ( Violated,
+              [
+                Printf.sprintf "file unit %s but no mountable file system"
+                  u.Oracle.fu_path;
+              ] )
+        in
+        add ps;
+        status)
+      (Oracle.units trace.tr_oracle)
+  in
+  (match fs with
+  | None -> ()
+  | Some fs ->
+    let report = Fsck.run fs in
+    if not (Fsck.ok report) then
+      add
+        (List.map
+           (fun p -> Format.asprintf "fsck: %a" Fsck.pp_problem p)
+           report.Fsck.problems));
+  (!problems, statuses)
+
+let crash_now disk =
+  Fault.schedule_crash (Disk.fault disk) (Fault.After_writes 0);
+  try Disk.write disk ~offset:0 (Bytes.make 1 'x')
+  with Fault.Crashed -> ()
+
+(* Check a fully materialised crash image (consumed, not copied). *)
+let check_image ?recover_config trace image =
+  let spec = trace.tr_spec in
+  let config = Option.value recover_config ~default:spec.sc_config in
+  let clock = Clock.create () in
+  let disk = Disk.load ~clock spec.sc_geom image in
+  match Lld.recover ~config disk with
+  | exception e -> [ "recovery raised: " ^ Printexc.to_string e ]
+  | lld, _report -> (
+    let problems, statuses = verify_recovered trace lld in
+    (* idempotency: recovery ends with its own checkpoint write; crash
+       right after it and recover again — the state must not change *)
+    crash_now disk;
+    match Lld.recover ~config disk with
+    | exception e ->
+      problems @ [ "recovery after recovery raised: " ^ Printexc.to_string e ]
+    | lld2, _report2 ->
+      let problems2, statuses2 = verify_recovered trace lld2 in
+      let problems2 =
+        List.map (fun p -> "after re-recovery: " ^ p) problems2
+      in
+      let idem =
+        if statuses = statuses2 then []
+        else [ "recovery is not idempotent: unit statuses changed" ]
+      in
+      problems @ problems2 @ idem)
+
+let image_at trace point =
+  let image = Bytes.copy trace.tr_base in
+  let apply i =
+    let offset, data = trace.tr_writes.(i) in
+    Bytes.blit data 0 image offset (Bytes.length data)
+  in
+  for i = 0 to point.pt_index - 1 do
+    apply i
+  done;
+  (match point.pt_keep with
+  | None -> ()
+  | Some k ->
+    let offset, data = trace.tr_writes.(point.pt_index) in
+    Bytes.blit data 0 image offset (min k (Bytes.length data)));
+  image
+
+let check_point ?recover_config trace point =
+  let n = Array.length trace.tr_writes in
+  if point.pt_index < 0 || point.pt_index > n then
+    invalid_arg "Crashcheck.check_point: write index outside the trace";
+  if point.pt_keep <> None && point.pt_index = n then
+    invalid_arg "Crashcheck.check_point: torn variant of a write not in trace";
+  (match point.pt_keep with
+  | Some k when point.pt_index < n ->
+    let _, data = trace.tr_writes.(point.pt_index) in
+    if k <= 0 || k >= Bytes.length data then
+      invalid_arg
+        (Printf.sprintf
+           "Crashcheck.check_point: keep bytes must be within (0, %d), the \
+            torn write's length"
+           (Bytes.length data))
+  | _ -> ());
+  check_image ?recover_config trace (image_at trace point)
+
+(* ------------------------------------------------------------------ *)
+(* The checker                                                         *)
+
+type violation = { v_point : point; v_problems : string list }
+
+type result = {
+  r_workload : string;
+  r_writes : int;
+  r_oracle_units : int;
+  r_points_total : int;
+  r_points_checked : int;
+  r_torn_checked : int;
+  r_violation_points : int;
+  r_violations : violation list;
+  r_minimal : violation option;
+}
+
+let max_kept_violations = 50
+
+let ok r = r.r_violation_points = 0
+
+(* Deterministic subsample: keep complete points in preference to torn
+   variants, always keep the first and last point, and fill the rest by
+   shuffling with the seeded generator. *)
+let sample ~budget ~seed points =
+  let total = List.length points in
+  if budget >= total then points
+  else begin
+    let rng = Rng.create ~seed in
+    let arr = Array.of_list points in
+    let last = total - 1 in
+    let complete = ref [] and torn = ref [] in
+    Array.iteri
+      (fun i p ->
+        if i = 0 || i = last then ()
+        else if p.pt_keep = None then complete := i :: !complete
+        else torn := i :: !torn)
+      arr;
+    let budget = max 2 budget in
+    let take n l =
+      let a = Array.of_list l in
+      Rng.shuffle rng a;
+      Array.to_list (Array.sub a 0 (min n (Array.length a)))
+    in
+    let n_mid = budget - 2 in
+    let picked_complete = take n_mid (List.rev !complete) in
+    let picked_torn = take (n_mid - List.length picked_complete) (List.rev !torn) in
+    let chosen = List.sort_uniq Int.compare (0 :: last :: (picked_complete @ picked_torn)) in
+    List.map (fun i -> arr.(i)) chosen
+  end
+
+(* Walk the selected points in enumeration order, materialising write
+   prefixes incrementally: the rolling image always reflects writes
+   [0 .. applied-1]; each point copies it and adds its torn prefix. *)
+let check_ordered ?recover_config ?progress trace points ~on_violation =
+  let selected = List.length points in
+  let image = ref (Bytes.copy trace.tr_base) in
+  let applied = ref 0 in
+  let advance_to i =
+    while !applied < i do
+      let offset, data = trace.tr_writes.(!applied) in
+      Bytes.blit data 0 !image offset (Bytes.length data);
+      incr applied
+    done
+  in
+  let checked = ref 0 in
+  let torn = ref 0 in
+  List.iter
+    (fun p ->
+      advance_to p.pt_index;
+      let scratch = Bytes.copy !image in
+      (match p.pt_keep with
+      | None -> ()
+      | Some k ->
+        incr torn;
+        let offset, data = trace.tr_writes.(p.pt_index) in
+        Bytes.blit data 0 scratch offset (min k (Bytes.length data)));
+      let problems = check_image ?recover_config trace scratch in
+      incr checked;
+      (match progress with
+      | Some f -> f ~checked:!checked ~selected
+      | None -> ());
+      if problems <> [] then on_violation { v_point = p; v_problems = problems })
+    points;
+  (!checked, !torn)
+
+let run ?(granularity = 512) ?budget ?(seed = 1) ?recover_config
+    ?(shrink_limit = 4000) ?progress trace =
+  let all_points = enumerate ~granularity trace in
+  let total = List.length all_points in
+  let points =
+    match budget with
+    | None -> all_points
+    | Some b -> sample ~budget:b ~seed all_points
+  in
+  let violation_points = ref 0 in
+  let kept = ref [] in
+  let on_violation v =
+    incr violation_points;
+    if !violation_points <= max_kept_violations then kept := v :: !kept
+  in
+  let checked, torn =
+    check_ordered ?recover_config ?progress trace points ~on_violation
+  in
+  let violations = List.rev !kept in
+  (* shrink: the minimal reproducer is the earliest failing point of the
+     full enumeration; scan from the start (bounded), falling back to
+     the earliest sampled failure *)
+  let minimal =
+    match violations with
+    | [] -> None
+    | first :: _ ->
+      let found = ref None in
+      let scanned = ref 0 in
+      (try
+         ignore
+           (check_ordered ?recover_config trace
+              (List.filter
+                 (fun p ->
+                   incr scanned;
+                   !scanned <= shrink_limit
+                   && (p.pt_index, p.pt_keep) < (first.v_point.pt_index, first.v_point.pt_keep))
+                 all_points)
+              ~on_violation:(fun v ->
+                found := Some v;
+                raise Exit))
+       with Exit -> ());
+      (match !found with Some v -> Some v | None -> Some first)
+  in
+  {
+    r_workload = trace.tr_spec.sc_name;
+    r_writes = Array.length trace.tr_writes;
+    r_oracle_units = Oracle.size trace.tr_oracle;
+    r_points_total = total;
+    r_points_checked = checked;
+    r_torn_checked = torn;
+    r_violation_points = !violation_points;
+    r_violations = violations;
+    r_minimal = minimal;
+  }
+
+let repro_hint ~workload point =
+  match point.pt_keep with
+  | None ->
+    Printf.sprintf "lld crashcheck --workload %s --at %d" workload
+      point.pt_index
+  | Some k ->
+    Printf.sprintf "lld crashcheck --workload %s --at %d:%d" workload
+      point.pt_index k
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>workload %s: %d disk writes, %d oracle units@,\
+     crash points: %d checked of %d enumerated (%d torn variants)@,"
+    r.r_workload r.r_writes r.r_oracle_units r.r_points_checked r.r_points_total
+    r.r_torn_checked;
+  if r.r_violation_points = 0 then
+    Format.fprintf ppf "no atomicity violations@]"
+  else begin
+    Format.fprintf ppf "%d crash point(s) VIOLATED atomicity@,"
+      r.r_violation_points;
+    (match r.r_minimal with
+    | None -> ()
+    | Some v ->
+      Format.fprintf ppf "minimal reproducer: %a@,  %s@," pp_point v.v_point
+        (repro_hint ~workload:r.r_workload v.v_point);
+      List.iter (fun p -> Format.fprintf ppf "  %s@," p) v.v_problems);
+    Format.fprintf ppf "@]"
+  end

@@ -1,0 +1,145 @@
+(** Exhaustive crash-point enumeration checker for ARU failure
+    atomicity.
+
+    The paper's claim (§3) is that after {e any} crash, recovery
+    restores the most recent persistent state and every ARU is
+    all-or-nothing.  The hand-picked crash points of the unit tests
+    cannot establish that; this checker can, the way systematic recovery
+    work validates itself (Lomet et al., arXiv:1105.4253; Sauer &
+    Härder, arXiv:1409.3682):
+
+    + {b record} the full disk-write trace of a workload (via the
+      write-observer hook on {!Lld_disk.Disk}), together with an
+      {!Lld_workload.Oracle} of expected atomic effects;
+    + {b enumerate} every crash point — after each write index, and
+      torn variants of each write at [keep_bytes] boundaries;
+    + for each point, {b reconstruct} the disk image as of that crash,
+      run {!Lld_core.Lld.recover}, and {b verify}:
+      (a) every oracle unit is present in full or absent in full,
+      (b) {!Lld_minixfs.Fsck} is clean on file-system workloads,
+      (c) the consistency sweep leaked no allocations
+          ({!Lld_core.Lld.recovery_invariant_errors}),
+      (d) recovery is idempotent: crashing right after recovery's own
+          checkpoint write and recovering again reproduces the same
+          state.
+
+    Exhaustive mode covers every point; budgeted mode samples a
+    deterministic subset via {!Lld_sim.Rng} (for CI).  Failing points
+    are shrunk to the earliest failing point — the minimal reproducer. *)
+
+(** {1 Workload specifications} *)
+
+(** Everything a traced workload may touch.  [cx_fs] is [Some] exactly
+    for file-system specs. *)
+type ctx = {
+  cx_clock : Lld_sim.Clock.t;
+  cx_disk : Lld_disk.Disk.t;
+  cx_lld : Lld_core.Lld.t;
+  cx_fs : Lld_minixfs.Fs.t option;
+}
+
+type spec = {
+  sc_name : string;
+  sc_geom : Lld_disk.Geometry.t;
+  sc_config : Lld_core.Config.t;
+  sc_fs : Lld_minixfs.Fs.config option;
+      (** [Some]: build with [Fs.mkfs], re-mount and {!Lld_minixfs.Fsck}
+          after every recovery *)
+  sc_inode_count : int option;
+  sc_run : ctx -> Lld_workload.Oracle.t -> unit;
+      (** drive the workload and populate the oracle; must end with a
+          flush so the trace closes on a persistent state *)
+}
+
+val smallfile_spec : ?files:int -> unit -> spec
+(** {!Lld_workload.Smallfile.run_traced} through the Minix FS
+    (default 200 files of 1 KB). *)
+
+val aru_churn_spec : ?arus:int -> ?blocks_per_aru:int -> unit -> spec
+(** {!Lld_workload.Aru_churn.run_traced} on the raw logical disk
+    (default 160 ARUs of 2 blocks). *)
+
+val specs : (string * (unit -> spec)) list
+(** Name-indexed registry of the built-in specs (for the CLI). *)
+
+(** {1 Traces and crash points} *)
+
+type trace
+
+val record : spec -> trace
+(** Run the workload once, recording the base image and every disk
+    write. *)
+
+val trace_writes : trace -> int
+val trace_oracle_units : trace -> int
+
+type point = {
+  pt_index : int;
+      (** crash before write [pt_index]: writes [0 .. pt_index-1] are on
+          the medium ([pt_index] = write count means no crash at all) *)
+  pt_keep : int option;
+      (** [Some k]: additionally the first [k] bytes of write [pt_index]
+          reached the medium — a torn write *)
+}
+
+val pp_point : Format.formatter -> point -> unit
+
+val enumerate : ?granularity:int -> trace -> point list
+(** Every crash point in canonical order: for each write index, the
+    complete point then its torn variants at multiples of [granularity]
+    bytes (default 512, the sector size) plus the 1- and [len-1]-byte
+    extremes.  Ends with the no-crash point. *)
+
+val check_point :
+  ?recover_config:Lld_core.Config.t -> trace -> point -> string list
+(** Reconstruct the disk as of the crash point, recover, verify all
+    invariants.  Returns the violations ([[]] = consistent).
+    [recover_config] overrides the config recovery runs with (used by
+    tests to demonstrate that a deliberately broken recovery — e.g.
+    [recovery_sweep = false] — is caught). *)
+
+(** {1 The checker} *)
+
+type violation = { v_point : point; v_problems : string list }
+
+type result = {
+  r_workload : string;
+  r_writes : int;  (** disk writes in the recorded trace *)
+  r_oracle_units : int;
+  r_points_total : int;  (** size of the full enumeration *)
+  r_points_checked : int;
+  r_torn_checked : int;  (** of the checked points, how many were torn *)
+  r_violation_points : int;  (** checked points with >= 1 violation *)
+  r_violations : violation list;  (** capped at {!max_kept_violations} *)
+  r_minimal : violation option;
+      (** earliest failing point after shrinking — the minimal
+          reproducer *)
+}
+
+val max_kept_violations : int
+
+val ok : result -> bool
+
+val run :
+  ?granularity:int ->
+  ?budget:int ->
+  ?seed:int ->
+  ?recover_config:Lld_core.Config.t ->
+  ?shrink_limit:int ->
+  ?progress:(checked:int -> selected:int -> unit) ->
+  trace ->
+  result
+(** Check crash points of [trace].  Without [budget], every enumerated
+    point is checked (exhaustive mode).  With [budget], a deterministic
+    sample of at most [budget] points is checked — complete points are
+    preferred over torn variants, the first and last points are always
+    kept, and the sample is drawn with {!Lld_sim.Rng} seeded by [seed]
+    (default 1).  When violations are found, the earliest failing point
+    is located by scanning the full enumeration from the start (at most
+    [shrink_limit] extra checks, default 4000). *)
+
+val repro_hint : workload:string -> point -> string
+(** A [lld crashcheck --workload ... --at ...] command line that replays
+    exactly this crash point. *)
+
+val pp_result : Format.formatter -> result -> unit

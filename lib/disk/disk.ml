@@ -5,6 +5,8 @@ type counters = {
   bytes_read : int;
 }
 
+type observer = index:int -> offset:int -> data:bytes -> unit
+
 type t = {
   geom : Geometry.t;
   timing : Timing.t;
@@ -12,26 +14,45 @@ type t = {
   clock : Lld_sim.Clock.t;
   store : bytes;
   mutable last_end : int; (* byte position after the previous request; -1 = cold *)
+  mutable observer : observer option;
   mutable writes : int;
   mutable reads : int;
   mutable bytes_written : int;
   mutable bytes_read : int;
 }
 
-let create ?(timing = Timing.hp_c3010) ?fault ~clock geom =
+let make ?(timing = Timing.hp_c3010) ?fault ~clock geom store =
   let fault = match fault with Some f -> f | None -> Fault.none () in
   {
     geom;
     timing;
     fault;
     clock;
-    store = Bytes.make (Geometry.total_bytes geom) '\000';
+    store;
     last_end = -1;
+    observer = None;
     writes = 0;
     reads = 0;
     bytes_written = 0;
     bytes_read = 0;
   }
+
+let create ?timing ?fault ~clock geom =
+  make ?timing ?fault ~clock geom (Bytes.make (Geometry.total_bytes geom) '\000')
+
+let load ?timing ?fault ~clock geom image =
+  if Bytes.length image <> Geometry.total_bytes geom then
+    invalid_arg "Disk.load: image size does not match the geometry";
+  make ?timing ?fault ~clock geom image
+
+let snapshot t = Bytes.copy t.store
+
+let restore t image =
+  if Bytes.length image <> Bytes.length t.store then
+    invalid_arg "Disk.restore: image size does not match the partition";
+  Bytes.blit image 0 t.store 0 (Bytes.length image)
+
+let set_observer t obs = t.observer <- obs
 
 let geometry t = t.geom
 let fault t = t.fault
@@ -51,18 +72,25 @@ let charge t ~offset ~length =
 let write t ~offset data =
   let length = Bytes.length data in
   check_range t ~offset ~length;
+  let observe ~kept =
+    match t.observer with
+    | None -> ()
+    | Some f -> f ~index:(t.writes - 1) ~offset ~data:(Bytes.sub data 0 kept)
+  in
   match Fault.on_write t.fault ~length with
   | `Ok ->
     charge t ~offset ~length;
     Bytes.blit data 0 t.store offset length;
     t.writes <- t.writes + 1;
-    t.bytes_written <- t.bytes_written + length
+    t.bytes_written <- t.bytes_written + length;
+    observe ~kept:length
   | `Torn keep ->
     (* the prefix reached the medium before power was lost *)
     charge t ~offset ~length:keep;
     Bytes.blit data 0 t.store offset keep;
     t.writes <- t.writes + 1;
     t.bytes_written <- t.bytes_written + keep;
+    observe ~kept:keep;
     raise Fault.Crashed
 
 let read t ~offset ~length =

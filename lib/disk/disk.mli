@@ -13,6 +13,19 @@ val create :
 (** A zero-filled partition. Default timing is {!Timing.hp_c3010};
     default fault plan is {!Fault.none}. *)
 
+val load :
+  ?timing:Timing.t ->
+  ?fault:Fault.t ->
+  clock:Lld_sim.Clock.t ->
+  Geometry.t ->
+  bytes ->
+  t
+(** A partition whose initial contents are the given image.  The image
+    becomes the device's store without copying — callers hand over
+    ownership.  Raises [Invalid_argument] when the image size does not
+    match the geometry.  Used by the crash-consistency checker to
+    reconstruct the medium as of an arbitrary crash point. *)
+
 val geometry : t -> Geometry.t
 val fault : t -> Fault.t
 val clock : t -> Lld_sim.Clock.t
@@ -26,6 +39,28 @@ val write : t -> offset:int -> bytes -> unit
 val read : t -> offset:int -> length:int -> bytes
 (** Raises [Fault.Media_error] when the range overlaps an injected media
     failure; raises [Fault.Crashed] while the device is crashed. *)
+
+(** {2 Tracing and imaging}
+
+    Hooks for the crash-consistency checker ([lib/crashcheck]): an
+    observer sees every byte that reaches the medium, and whole-device
+    images can be captured and restored to replay write prefixes. *)
+
+type observer = index:int -> offset:int -> data:bytes -> unit
+(** Called after the bytes land: [index] is the device-lifetime write
+    sequence number (0-based), [data] is a copy of exactly what reached
+    the medium — on a torn write only the persisted prefix. *)
+
+val set_observer : t -> observer option -> unit
+(** Install (or remove) the single write observer.  The observer runs
+    inside {!write}, after the store is updated and before a torn write
+    raises {!Fault.Crashed}. *)
+
+val snapshot : t -> bytes
+(** Copy of the entire device image. *)
+
+val restore : t -> bytes -> unit
+(** Overwrite the entire device image (size must match). *)
 
 (** {2 Statistics} *)
 

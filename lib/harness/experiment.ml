@@ -671,7 +671,124 @@ let print_implementations ppf rows =
 
 (* ------------------------------------------------------------------ *)
 
-let run_all ppf scale =
+type check = { ck_name : string; ck_ok : bool; ck_detail : string }
+
+let finite v = Float.is_finite v && v > 0.
+
+(* Sanity gates over the reproduced artifacts: not exact numbers (the
+   virtual clock is calibrated, not cycle-accurate) but the directional
+   claims each table/figure exists to demonstrate.  A regression that
+   silently zeroes a phase or inverts a trade-off fails the run. *)
+let checks ~f5 ~f6 ~l1 ~x3 ~w0 =
+  let all_f5_phases =
+    List.concat_map
+      (fun r ->
+        let res = r.f5_result in
+        [
+          res.Smallfile.create_write.Smallfile.files_per_sec;
+          res.Smallfile.read.Smallfile.files_per_sec;
+          res.Smallfile.delete.Smallfile.files_per_sec;
+        ])
+      f5
+  in
+  let all_f6_phases =
+    List.concat_map
+      (fun r ->
+        List.map
+          (fun (p : Largefile.phase) -> p.Largefile.mb_per_sec)
+          (Largefile.phases r.f6_result))
+      f6
+  in
+  let x2_ok, x2_detail =
+    (* improved deletion must not search more than standard deletion *)
+    let hops variant p =
+      let r =
+        List.find
+          (fun r ->
+            r.f5_variant = variant && r.f5_result.Smallfile.params = p)
+          f5
+      in
+      r.f5_result.Smallfile.delete.Smallfile.pred_search_hops
+    in
+    let params =
+      List.sort_uniq compare
+        (List.map (fun r -> r.f5_result.Smallfile.params) f5)
+    in
+    let pairs =
+      List.map (fun p -> (hops Setup.New_delete p, hops Setup.New p)) params
+    in
+    ( List.for_all (fun (nd, n) -> nd <= n) pairs,
+      String.concat "; "
+        (List.map
+           (fun (nd, n) -> Printf.sprintf "new-delete %d vs new %d hops" nd n)
+           pairs) )
+  in
+  let x3_ok, x3_detail =
+    match x3 with
+    | [ uncheckpointed; checkpointed ] ->
+      ( checkpointed.x3_report.Recovery.segments_replayed
+        <= uncheckpointed.x3_report.Recovery.segments_replayed,
+        Printf.sprintf "replayed %d (ckpt) vs %d (no ckpt)"
+          checkpointed.x3_report.Recovery.segments_replayed
+          uncheckpointed.x3_report.Recovery.segments_replayed )
+    | _ -> (false, "expected exactly two recovery rows")
+  in
+  let w0_ok, w0_detail =
+    let frac label =
+      List.find_opt (fun r -> r.w0_label = label) w0
+      |> Option.map (fun r -> r.w0_fraction_of_raw)
+    in
+    match (frac "MinixLLD (new)", frac "classic Minix (in-place, sync meta)") with
+    | Some lld, Some classic ->
+      ( lld > classic,
+        Printf.sprintf "MinixLLD %.0f%% vs classic %.0f%% of raw" (lld *. 100.)
+          (classic *. 100.) )
+    | _ -> (false, "bandwidth rows missing")
+  in
+  [
+    {
+      ck_name = "F5: small-file throughputs positive and finite";
+      ck_ok = List.for_all finite all_f5_phases;
+      ck_detail = Printf.sprintf "%d phases" (List.length all_f5_phases);
+    };
+    {
+      ck_name = "F6: large-file throughputs positive and finite";
+      ck_ok = List.for_all finite all_f6_phases;
+      ck_detail = Printf.sprintf "%d phases" (List.length all_f6_phases);
+    };
+    {
+      ck_name = "L1: ARU latency measurable, log written";
+      ck_ok = finite l1.Aru_churn.latency_us && l1.Aru_churn.segments_written > 0;
+      ck_detail =
+        Printf.sprintf "%.2f us/ARU, %d segments" l1.Aru_churn.latency_us
+          l1.Aru_churn.segments_written;
+    };
+    {
+      ck_name = "X2: improved deletion avoids predecessor searches";
+      ck_ok = x2_ok;
+      ck_detail = x2_detail;
+    };
+    {
+      ck_name = "X3: checkpoints bound replay";
+      ck_ok = x3_ok;
+      ck_detail = x3_detail;
+    };
+    {
+      ck_name = "W0: MinixLLD beats in-place Minix on write bandwidth";
+      ck_ok = w0_ok;
+      ck_detail = w0_detail;
+    };
+  ]
+
+let print_checks ppf cks =
+  Report.table ppf ~title:"Reproduction checks"
+    ~header:[ "check"; "status"; "detail" ]
+    (List.map
+       (fun c ->
+         [ c.ck_name; (if c.ck_ok then "ok" else "FAIL"); c.ck_detail ])
+       cks)
+
+let run_all_checked ppf scale =
   Format.fprintf ppf
     "=== Atomic Recovery Units reproduction: %s scale ===@."
     (if scale.files >= 1.0 then "full (paper)" else "reduced");
@@ -679,13 +796,21 @@ let run_all ppf scale =
   print_figure5 ppf f5;
   let f6 = figure6 scale in
   print_figure6 ppf f6;
-  print_aru_latency ppf (aru_latency scale);
+  let l1 = aru_latency scale in
+  print_aru_latency ppf l1;
   print_summary ppf f5;
   print_visibility ppf (visibility_ablation scale);
   print_delete_ablation ppf f5;
-  print_recovery ppf (recovery_cost scale);
+  let x3 = recovery_cost scale in
+  print_recovery ppf x3;
   print_concurrency ppf (concurrency scale);
   print_mixed ppf (mixed_workload scale);
   print_implementations ppf (implementation_comparison scale);
-  print_bandwidth ppf (bandwidth_context scale);
-  Format.fprintf ppf "@."
+  let w0 = bandwidth_context scale in
+  print_bandwidth ppf w0;
+  let cks = checks ~f5 ~f6 ~l1 ~x3 ~w0 in
+  print_checks ppf cks;
+  Format.fprintf ppf "@.";
+  cks
+
+let run_all ppf scale = ignore (run_all_checked ppf scale)

@@ -148,5 +148,15 @@ val print_implementations : Format.formatter -> impl_row list -> unit
 
 (** {1 Everything} *)
 
+(** One sanity gate over a reproduced artifact: not an exact number (the
+    virtual clock is calibrated, not cycle-accurate) but the directional
+    claim the table or figure exists to demonstrate. *)
+type check = { ck_name : string; ck_ok : bool; ck_detail : string }
+
+val run_all_checked : Format.formatter -> scale -> check list
+(** Run and print every experiment above in order, then evaluate and
+    print the reproduction checks.  The caller decides what a failed
+    check means (the bench driver exits non-zero). *)
+
 val run_all : Format.formatter -> scale -> unit
-(** Run and print every experiment above, in order. *)
+(** {!run_all_checked} with the checks printed but discarded. *)

@@ -78,3 +78,48 @@ let run inst p =
         p.file_count)
   in
   { params = p; create_write; read; delete }
+
+(* ------------------------------------------------------------------ *)
+(* Oracle-producing variant for the crash-consistency checker.  Every
+   file gets content derived from its index, so a recovered file can be
+   validated byte-for-byte; a third of the files are deleted again so
+   crash points cover the deletion path too.  File units tolerate
+   absence (not yet created, or already deleted) and emptiness (created
+   but the unbracketed data write not yet persistent) — anything else
+   violates atomicity. *)
+
+let traced_body p i =
+  let b = Bytes.make p.file_bytes '\000' in
+  let tag = Printf.sprintf "file-%d:" i in
+  Bytes.blit_string tag 0 b 0 (min (String.length tag) p.file_bytes);
+  for k = String.length tag to p.file_bytes - 1 do
+    Bytes.set b k (Char.chr ((i * 193 + k) land 0xff))
+  done;
+  b
+
+let run_traced inst oracle p =
+  let fs = inst.Setup.fs in
+  if p.dirs > 1 then
+    for d = 0 to p.dirs - 1 do
+      Fs.mkdir fs (Printf.sprintf "/d%03d" d)
+    done;
+  for i = 0 to p.file_count - 1 do
+    let path = path p i in
+    let body = traced_body p i in
+    Fs.create fs path;
+    Fs.write_file fs path ~off:0 body;
+    Oracle.add_file oracle ~path ~content:body;
+    (* spread segment seals across the trace so crash points interleave
+       with the workload rather than clustering at the final flush *)
+    if i mod 2 = 1 then Fs.flush fs
+  done;
+  Fs.flush fs;
+  let unlinked = ref 0 in
+  for i = 0 to p.file_count - 1 do
+    if i mod 3 = 0 then begin
+      Fs.unlink fs (path p i);
+      incr unlinked;
+      if !unlinked mod 3 = 0 then Fs.flush fs
+    end
+  done;
+  Fs.flush fs

@@ -37,3 +37,11 @@ type result = {
 val run : Setup.instance -> params -> result
 (** Runs all three phases on a fresh instance (the instance's clock is
     assumed to be at the epoch). *)
+
+(** {1 Traced variant (crash-consistency checking)} *)
+
+val run_traced : Setup.instance -> Oracle.t -> params -> unit
+(** Create and write every file with per-file recognisable content,
+    registering a file unit for each, then delete a third of them.
+    After recovery from any crash point each file must be absent, empty,
+    or hold exactly its registered content. *)

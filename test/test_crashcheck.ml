@@ -1,0 +1,224 @@
+open Helpers
+module Crashcheck = Lld_crashcheck.Crashcheck
+module Oracle = Lld_workload.Oracle
+
+(* Small spec instances so each test records and replays in well under a
+   second; the full-size defaults are exercised by the CLI (and CI). *)
+let churn () = Crashcheck.aru_churn_spec ~arus:12 ()
+let files () = Crashcheck.smallfile_spec ~files:24 ()
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration shape. *)
+
+let test_enumerate () =
+  let trace = Crashcheck.record (churn ()) in
+  let n = Crashcheck.trace_writes trace in
+  Alcotest.(check bool) "trace has writes" true (n > 0);
+  let points = Crashcheck.enumerate trace in
+  (match points with
+  | { Crashcheck.pt_index = 0; pt_keep = None } :: _ -> ()
+  | _ -> Alcotest.fail "enumeration must start at the empty prefix");
+  (match List.rev points with
+  | { Crashcheck.pt_index; pt_keep = None } :: _ ->
+    Alcotest.(check int) "ends with the no-crash point" n pt_index
+  | _ -> Alcotest.fail "enumeration must end with the no-crash point");
+  List.iter
+    (fun p ->
+      match p.Crashcheck.pt_keep with
+      | None -> ()
+      | Some k ->
+        if p.Crashcheck.pt_index >= n then
+          Alcotest.fail "torn variant of a write outside the trace";
+        if k <= 0 then Alcotest.fail "torn variant keeps nothing")
+    points;
+  (* complete points: one per write prefix, each exactly once *)
+  let complete =
+    List.filter (fun p -> p.Crashcheck.pt_keep = None) points
+  in
+  Alcotest.(check int) "one complete point per prefix" (n + 1)
+    (List.length complete)
+
+(* ------------------------------------------------------------------ *)
+(* The checker finds nothing wrong with the real recovery. *)
+
+let test_clean_churn () =
+  let trace = Crashcheck.record (churn ()) in
+  let r = Crashcheck.run ~budget:80 trace in
+  Alcotest.(check bool) "no violations" true (Crashcheck.ok r);
+  Alcotest.(check int) "checked what was asked" 80 r.Crashcheck.r_points_checked
+
+let test_clean_smallfile () =
+  let trace = Crashcheck.record (files ()) in
+  let r = Crashcheck.run ~budget:60 trace in
+  Alcotest.(check bool) "no violations" true (Crashcheck.ok r);
+  Alcotest.(check bool) "torn variants were sampled" true
+    (r.Crashcheck.r_torn_checked > 0)
+
+let test_budget_deterministic () =
+  let trace = Crashcheck.record (churn ()) in
+  let r1 = Crashcheck.run ~budget:40 ~seed:7 trace in
+  let r2 = Crashcheck.run ~budget:40 ~seed:7 trace in
+  Alcotest.(check bool) "same seed, same sample" true (r1 = r2)
+
+(* ------------------------------------------------------------------ *)
+(* A deliberately broken recovery — consistency sweep disabled — must be
+   caught, with a minimal reproducer that replays. *)
+
+let test_catches_broken_sweep () =
+  let spec = churn () in
+  let broken =
+    { spec.Crashcheck.sc_config with Config.recovery_sweep = false }
+  in
+  let trace = Crashcheck.record spec in
+  let r = Crashcheck.run ~budget:60 ~recover_config:broken trace in
+  Alcotest.(check bool) "violations found" false (Crashcheck.ok r);
+  match r.Crashcheck.r_minimal with
+  | None -> Alcotest.fail "no minimal reproducer"
+  | Some v ->
+    (* the reproducer replays on its own ... *)
+    let problems = Crashcheck.check_point ~recover_config:broken trace v.Crashcheck.v_point in
+    Alcotest.(check bool) "minimal reproducer replays" true (problems <> []);
+    (* ... and is genuinely minimal: it is the earliest failing point of
+       the full enumeration *)
+    let points = Crashcheck.enumerate trace in
+    let earlier =
+      List.filter
+        (fun p ->
+          (p.Crashcheck.pt_index, p.Crashcheck.pt_keep)
+          < (v.Crashcheck.v_point.Crashcheck.pt_index, v.Crashcheck.v_point.Crashcheck.pt_keep))
+        points
+    in
+    List.iter
+      (fun p ->
+        if Crashcheck.check_point ~recover_config:broken trace p <> [] then
+          Alcotest.failf "point %a fails earlier than the reported minimum"
+            Crashcheck.pp_point p)
+      earlier;
+    (* the same point is fine under the real recovery *)
+    Alcotest.(check (list string)) "real recovery is consistent there" []
+      (Crashcheck.check_point trace v.Crashcheck.v_point)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck property: tearing the segment write that carries an ARU's
+   commit record — at any keep_bytes boundary — must leave the ARU
+   either fully committed or fully absent after recovery (paper §3.2:
+   the commit record is the atomic commit point). *)
+
+let commit_record_torn_scenario (seed, boundary_choice) =
+  let geom = Geometry.v ~segment_bytes:(32 * 1024) ~num_segments:64 () in
+  let clock = Clock.create () in
+  let disk = Disk.create ~clock geom in
+  let lld = Lld.create ~config:Config.default disk in
+  (* some pre-existing committed state that must survive everything *)
+  let stable_list = Lld.new_list lld () in
+  let stable = append_block lld stable_list in
+  Lld.write lld stable (block_data 9999);
+  Lld.flush lld;
+  let base = Disk.snapshot disk in
+  let writes = ref [] in
+  Disk.set_observer disk
+    (Some (fun ~index:_ ~offset ~data -> writes := (offset, data) :: !writes));
+  (* one ARU, a few blocks, commit; the final flush writes the segment
+     holding the commit record *)
+  let aru = Lld.begin_aru lld in
+  let l = Lld.new_list lld ~aru () in
+  let blocks = ref [] in
+  let prev = ref None in
+  for j = 0 to 2 + (seed mod 3) do
+    let pred =
+      match !prev with None -> Summary.Head | Some b -> Summary.After b
+    in
+    let b = Lld.new_block lld ~aru ~list:l ~pred () in
+    let data = block_data (seed + j) in
+    Lld.write lld ~aru b data;
+    blocks := (b, data) :: !blocks;
+    prev := Some b
+  done;
+  Lld.end_aru lld aru;
+  Lld.flush lld;
+  Disk.set_observer disk None;
+  let writes = Array.of_list (List.rev !writes) in
+  let n = Array.length writes in
+  if n = 0 then Alcotest.fail "flush produced no disk writes";
+  (* the last write seals the segment whose summary holds the Commit
+     entry; tear it at a keep_bytes boundary *)
+  let last_offset, last_data = writes.(n - 1) in
+  let len = Bytes.length last_data in
+  let boundaries =
+    List.filter
+      (fun k -> k > 0 && k < len)
+      (1 :: (len - 1)
+      :: List.init (len / 512) (fun i -> (i + 1) * 512))
+  in
+  let keep = List.nth boundaries (boundary_choice mod List.length boundaries) in
+  let image = Bytes.copy base in
+  for i = 0 to n - 2 do
+    let offset, data = writes.(i) in
+    Bytes.blit data 0 image offset (Bytes.length data)
+  done;
+  Bytes.blit last_data 0 image last_offset keep;
+  let disk2 = Disk.load ~clock:(Clock.create ()) geom image in
+  let lld2, _report = Lld.recover disk2 in
+  (* the stable block is untouched either way *)
+  check_data "pre-existing block survives" (block_data 9999)
+    (Lld.read lld2 stable);
+  let blocks = List.rev !blocks in
+  let states =
+    List.map
+      (fun (b, data) ->
+        Lld.block_allocated lld2 b && Bytes.equal (Lld.read lld2 b) data)
+      blocks
+  in
+  let all_present = List.for_all Fun.id states in
+  let all_absent = List.for_all not states in
+  if not (all_present || all_absent) then
+    Alcotest.failf
+      "ARU not atomic with commit-record write torn at %d/%d bytes: %s" keep
+      len
+      (String.concat ","
+         (List.map (fun s -> if s then "ok" else "gone") states));
+  if all_present && not (Lld.list_exists lld2 l) then
+    Alcotest.fail "blocks committed but their list is gone";
+  if all_absent && Lld.list_exists lld2 l then
+    Alcotest.fail "ARU discarded but its list survived";
+  true
+
+let commit_record_torn =
+  QCheck.Test.make
+    ~name:"torn commit-record write commits the ARU fully or not at all"
+    ~count:120
+    QCheck.(pair (int_range 0 10_000) (int_range 0 10_000))
+    commit_record_torn_scenario
+
+(* Exhaustive sweep of every 512-byte boundary for one fixed scenario,
+   so no boundary of the commit-record write goes untested. *)
+let test_commit_record_all_boundaries () =
+  (* 32 KB segment => boundaries {1, 512, 1024, ..., len-1}: probe each
+     via the choice index, which selects boundaries in order *)
+  for choice = 0 to 65 do
+    ignore (commit_record_torn_scenario (42, choice))
+  done
+
+let () =
+  Alcotest.run "lld_crashcheck"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "enumeration shape" `Quick test_enumerate;
+          Alcotest.test_case "aru-churn clean" `Quick test_clean_churn;
+          Alcotest.test_case "smallfile clean" `Quick test_clean_smallfile;
+          Alcotest.test_case "budgeted runs deterministic" `Quick
+            test_budget_deterministic;
+        ] );
+      ( "detection",
+        [
+          Alcotest.test_case "broken sweep caught, minimal reproducer" `Quick
+            test_catches_broken_sweep;
+        ] );
+      ( "torn-commit",
+        [
+          QCheck_alcotest.to_alcotest commit_record_torn;
+          Alcotest.test_case "every keep boundary" `Quick
+            test_commit_record_all_boundaries;
+        ] );
+    ]
