@@ -15,6 +15,7 @@ module Summary = Lld_core.Summary
 module Fs = Lld_minixfs.Fs
 module Setup = Lld_workload.Setup
 module Experiment = Lld_harness.Experiment
+module Report = Lld_harness.Report
 
 let scale_of_env () =
   match Sys.getenv_opt "FULL" with
@@ -116,19 +117,48 @@ let run_micro () =
       | Some (est :: _) -> rows := (name, est) :: !rows
       | Some [] | None -> ())
     results;
+  let rows = List.sort compare !rows in
   Printf.printf
     "\nBechamel micro-benchmarks (real time on this machine, ns/op)\n";
   Printf.printf "%s\n" (String.make 62 '-');
   List.iter
     (fun (name, est) -> Printf.printf "%-48s %12.1f\n" name est)
-    (List.sort compare !rows)
+    rows;
+  rows
+
+(* The machine-readable bench trajectory: virtual-clock tables plus the
+   micro-kernel timings, one file per run (default BENCH_PR2.json,
+   overridable with BENCH_JSON=path). *)
+let emit_json ~tables ~micro =
+  let path = Option.value ~default:"BENCH_PR2.json" (Sys.getenv_opt "BENCH_JSON") in
+  let micro_json =
+    Report.List
+      (List.map
+         (fun (name, ns) ->
+           Report.Obj
+             [ ("name", Report.String name); ("ns_per_op", Report.Float ns) ])
+         micro)
+  in
+  let json =
+    match tables with
+    | Report.Obj fields -> Report.Obj (fields @ [ ("micro", micro_json) ])
+    | other -> Report.Obj [ ("tables", other); ("micro", micro_json) ]
+  in
+  let oc = open_out path in
+  output_string oc (Report.json_to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 let () =
   let scale = scale_of_env () in
-  let checks = Experiment.run_all_checked Format.std_formatter scale in
-  (match Sys.getenv_opt "MICRO" with
-  | Some "0" -> ()
-  | Some _ | None -> run_micro ());
+  let checks, tables = Experiment.run_all_json Format.std_formatter scale in
+  let micro =
+    match Sys.getenv_opt "MICRO" with
+    | Some "0" -> []
+    | Some _ | None -> run_micro ()
+  in
+  emit_json ~tables ~micro;
   let failed =
     List.filter (fun c -> not c.Experiment.ck_ok) checks
   in

@@ -360,8 +360,8 @@ let crashcheck_cmd =
       & opt (some string) None
       & info [ "workload" ] ~docv:"NAME"
           ~doc:
-            "Workload to check: $(b,smallfile) or $(b,aru-churn) (default: \
-             both).")
+            "Workload to check: $(b,smallfile), $(b,aru-churn) or \
+             $(b,cleaning) (default: all).")
   in
   let budget =
     Arg.(

@@ -1,16 +1,26 @@
 type t = {
   records : Record.block array;
-  mutable free : int list; (* ascending; allocation takes the head *)
-  mutable allocated : int;
+  free : Bytes.t; (* bitset: bit i set iff id i is free *)
+  mutable free_count : int;
+  mutable hint : int; (* no free identifier below this index *)
 }
+
+let bit_is_set b i = Char.code (Bytes.get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set b i =
+  Bytes.set b (i lsr 3)
+    (Char.chr (Char.code (Bytes.get b (i lsr 3)) lor (1 lsl (i land 7))))
+
+let bit_clear b i =
+  Bytes.set b (i lsr 3)
+    (Char.chr (Char.code (Bytes.get b (i lsr 3)) land lnot (1 lsl (i land 7)) land 0xff))
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Block_map.create: capacity must be positive";
   let records =
     Array.init capacity (fun i -> Record.fresh_block (Types.Block_id.of_int i))
   in
-  let free = List.init capacity (fun i -> i) in
-  { records; free; allocated = 0 }
+  { records; free = Bytes.make ((capacity + 7) / 8) '\xff'; free_count = capacity; hint = 0 }
 
 let capacity t = Array.length t.records
 
@@ -25,25 +35,44 @@ let anchor t b =
   t.records.(Types.Block_id.to_int b)
 
 let alloc_id t =
-  match t.free with
-  | [] -> None
-  | i :: rest ->
-    t.free <- rest;
-    t.allocated <- t.allocated + 1;
-    Some (Types.Block_id.of_int i)
+  if t.free_count = 0 then None
+  else begin
+    (* skip whole zero bytes from the hint, then probe bits: the hint
+       invariant (no free id below it) makes allocation amortised O(1) *)
+    let n = Array.length t.records in
+    let i = ref t.hint in
+    while !i < n && not (bit_is_set t.free !i) do
+      if !i land 7 = 0 && Bytes.get t.free (!i lsr 3) = '\000' then i := !i + 8
+      else incr i
+    done;
+    if !i >= n then None
+    else begin
+      bit_clear t.free !i;
+      t.free_count <- t.free_count - 1;
+      t.hint <- !i + 1;
+      Some (Types.Block_id.of_int !i)
+    end
+  end
 
 let release_id t b =
-  t.free <- Types.Block_id.to_int b :: t.free;
-  t.allocated <- t.allocated - 1
+  let i = Types.Block_id.to_int b in
+  if not (bit_is_set t.free i) then begin
+    bit_set t.free i;
+    t.free_count <- t.free_count + 1;
+    if i < t.hint then t.hint <- i
+  end
 
 let rebuild_free t =
-  let free = ref [] in
-  let allocated = ref 0 in
-  for i = Array.length t.records - 1 downto 0 do
-    if t.records.(i).Record.alloc then incr allocated else free := i :: !free
+  Bytes.fill t.free 0 (Bytes.length t.free) '\000';
+  let free_count = ref 0 in
+  for i = 0 to Array.length t.records - 1 do
+    if not t.records.(i).Record.alloc then begin
+      bit_set t.free i;
+      incr free_count
+    end
   done;
-  t.free <- !free;
-  t.allocated <- !allocated
+  t.free_count <- !free_count;
+  t.hint <- 0
 
 let iter t f = Array.iter f t.records
-let allocated_count t = t.allocated
+let allocated_count t = Array.length t.records - t.free_count

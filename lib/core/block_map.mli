@@ -23,7 +23,8 @@ val alloc_id : t -> Types.Block_id.t option
 
 val release_id : t -> Types.Block_id.t -> unit
 (** Return an identifier to the pool.  Callers guarantee it is not
-    allocated in any state. *)
+    allocated in any state; releasing an already-free identifier is a
+    no-op. *)
 
 val rebuild_free : t -> unit
 (** Reset the pool from the persistent records' allocation flags (used

@@ -1,5 +1,6 @@
 type mode = Sequential | Concurrent
 type visibility = Any_shadow | Committed_only | Own_shadow
+type clean_policy = Greedy | Cost_benefit
 
 type t = {
   mode : mode;
@@ -8,6 +9,7 @@ type t = {
   cache_blocks : int;
   readahead : bool;
   auto_clean : bool;
+  clean_policy : clean_policy;
   clean_reserve_segments : int;
   checkpoint_interval_segments : int;
   recovery_sweep : bool;
@@ -21,6 +23,7 @@ let default =
     cache_blocks = 2048;
     readahead = true;
     auto_clean = true;
+    clean_policy = Cost_benefit;
     clean_reserve_segments = 4;
     checkpoint_interval_segments = 0;
     recovery_sweep = true;
@@ -36,3 +39,7 @@ let pp_visibility ppf = function
   | Any_shadow -> Format.fprintf ppf "any-shadow"
   | Committed_only -> Format.fprintf ppf "committed-only"
   | Own_shadow -> Format.fprintf ppf "own-shadow"
+
+let pp_clean_policy ppf = function
+  | Greedy -> Format.fprintf ppf "greedy"
+  | Cost_benefit -> Format.fprintf ppf "cost-benefit"

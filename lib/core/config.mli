@@ -14,6 +14,13 @@ type mode = Sequential | Concurrent
     committed version otherwise. *)
 type visibility = Any_shadow | Committed_only | Own_shadow
 
+(** Victim selection for the segment cleaner: [Greedy] picks the sealed
+    segment with the fewest live blocks (the paper's behaviour, kept as
+    an ablation); [Cost_benefit] maximises the Sprite-LFS benefit/cost
+    ratio (1-u)*age/(1+u), where [u] is the victim's live fraction and
+    [age] the number of segments sealed since it was written. *)
+type clean_policy = Greedy | Cost_benefit
+
 type t = {
   mode : mode;
   visibility : visibility;
@@ -23,6 +30,7 @@ type t = {
       (** fetch the whole segment on a cache miss that continues a
           sequential physical read pattern *)
   auto_clean : bool;
+  clean_policy : clean_policy;
   clean_reserve_segments : int;
       (** run the cleaner when free segments drop below this *)
   checkpoint_interval_segments : int;
@@ -46,3 +54,4 @@ val old_lld : t
 
 val pp_mode : Format.formatter -> mode -> unit
 val pp_visibility : Format.formatter -> visibility -> unit
+val pp_clean_policy : Format.formatter -> clean_policy -> unit

@@ -19,6 +19,11 @@ type t = {
   mutable segments_written : int;
   mutable segments_cleaned : int;
   mutable blocks_copied_clean : int;
+  mutable clean_disk_reads : int;
+  mutable clean_cache_hits : int;
+  mutable victim_scans : int;
+  mutable clean_picks : int;
+  mutable live_index_updates : int;
   mutable checkpoints : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
@@ -48,6 +53,11 @@ let create () =
     segments_written = 0;
     segments_cleaned = 0;
     blocks_copied_clean = 0;
+    clean_disk_reads = 0;
+    clean_cache_hits = 0;
+    victim_scans = 0;
+    clean_picks = 0;
+    live_index_updates = 0;
     checkpoints = 0;
     cache_hits = 0;
     cache_misses = 0;
@@ -76,6 +86,11 @@ let reset t =
   t.segments_written <- 0;
   t.segments_cleaned <- 0;
   t.blocks_copied_clean <- 0;
+  t.clean_disk_reads <- 0;
+  t.clean_cache_hits <- 0;
+  t.victim_scans <- 0;
+  t.clean_picks <- 0;
+  t.live_index_updates <- 0;
   t.checkpoints <- 0;
   t.cache_hits <- 0;
   t.cache_misses <- 0;
@@ -104,6 +119,11 @@ let copy t =
     segments_written = t.segments_written;
     segments_cleaned = t.segments_cleaned;
     blocks_copied_clean = t.blocks_copied_clean;
+    clean_disk_reads = t.clean_disk_reads;
+    clean_cache_hits = t.clean_cache_hits;
+    victim_scans = t.victim_scans;
+    clean_picks = t.clean_picks;
+    live_index_updates = t.live_index_updates;
     checkpoints = t.checkpoints;
     cache_hits = t.cache_hits;
     cache_misses = t.cache_misses;
@@ -119,10 +139,13 @@ let pp ppf t =
      records: created %d, transitions %d, mesh hops %d, pred-search hops %d@,\
      log: summary entries %d, link-log appends %d, replays %d (skipped %d)@,\
      segments written %d, cleaned %d (blocks copied %d), checkpoints %d@,\
+     cleaner: disk reads %d, cache hits %d, victim scans %d, picks %d@,\
+     live-index updates %d@,\
      cache: hits %d, misses %d, readaheads %d, flushes %d@]"
     t.reads t.writes t.new_blocks t.delete_blocks t.new_lists t.delete_lists
     t.arus_begun t.arus_committed t.arus_aborted t.record_creates
     t.record_transitions t.mesh_hops t.pred_search_hops t.summary_entries
     t.link_log_appends t.link_log_replays t.replay_skips t.segments_written
-    t.segments_cleaned t.blocks_copied_clean t.checkpoints t.cache_hits
-    t.cache_misses t.readaheads t.flushes
+    t.segments_cleaned t.blocks_copied_clean t.checkpoints t.clean_disk_reads
+    t.clean_cache_hits t.victim_scans t.clean_picks t.live_index_updates
+    t.cache_hits t.cache_misses t.readaheads t.flushes

@@ -26,6 +26,14 @@ type t = {
   mutable segments_written : int;
   mutable segments_cleaned : int;
   mutable blocks_copied_clean : int;
+  mutable clean_disk_reads : int;
+      (** relocation segment reads (at most one per cleaned victim) *)
+  mutable clean_cache_hits : int;
+      (** relocated blocks served from the LRU cache *)
+  mutable victim_scans : int;  (** segments examined by victim selection *)
+  mutable clean_picks : int;  (** victims chosen by the cleaning policy *)
+  mutable live_index_updates : int;
+      (** mutations of the per-segment live-block reverse index *)
   mutable checkpoints : int;
   mutable cache_hits : int;
   mutable cache_misses : int;

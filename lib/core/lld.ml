@@ -21,7 +21,9 @@ type t = {
   mutable next_seq : int;
   free_segs : int Queue.t;
   sealed : bool array; (* per disk segment: written and not yet freed *)
-  live : int array; (* per disk segment: persistent block slots referenced *)
+  seal_seq : int array; (* per disk segment: seq when last sealed *)
+  victim_flag : bool array; (* per disk segment: picked in current batch *)
+  live : Live_index.t; (* seg -> persistent block slots referenced *)
   cache : bytes Lru.t;
   mutable last_read_gslot : int;
   mutable seq_read_run : int; (* consecutive sequential physical reads *)
@@ -68,6 +70,20 @@ let resolve_who t = function
 
 let owner_active t o = Hashtbl.mem t.arus (Types.Aru_id.to_int o)
 
+(* Live-index maintenance: every persistent-anchor [phys] change goes
+   through one of these, keeping [t.live] an exact reverse map. *)
+let live_count t seg = Live_index.live t.live seg
+
+let live_add t seg b =
+  t.counters.Counters.live_index_updates <-
+    t.counters.Counters.live_index_updates + 1;
+  Live_index.add t.live ~seg ~block:(Types.Block_id.to_int b)
+
+let live_remove t b =
+  t.counters.Counters.live_index_updates <-
+    t.counters.Counters.live_index_updates + 1;
+  Live_index.remove t.live ~block:(Types.Block_id.to_int b)
+
 (* Allocation-owner visibility (paper §3.3): a block/list allocated
    inside an ARU is invisible to everyone else until the ARU ends. *)
 let owner_visible t who owner =
@@ -101,9 +117,7 @@ let current_seq t =
 
 let cache_invalidate_segment t idx =
   let base = idx * bps t in
-  for i = 0 to bps t - 1 do
-    Lru.remove t.cache (base + i)
-  done
+  Lru.remove_range t.cache ~lo:base ~hi:(base + bps t - 1)
 
 let rec open_new t =
   if
@@ -128,7 +142,7 @@ and promote_upto t upto_seq =
   let promote_block (r : Record.block) =
     let anchor = Block_map.anchor t.blocks r.Record.id in
     (match anchor.Record.phys with
-    | Some p -> t.live.(p.Record.seg_index) <- t.live.(p.Record.seg_index) - 1
+    | Some _ -> live_remove t r.Record.id
     | None -> ());
     if r.Record.alloc then begin
       anchor.Record.alloc <- true;
@@ -136,7 +150,7 @@ and promote_upto t upto_seq =
       anchor.Record.successor <- r.Record.successor;
       anchor.Record.phys <- r.Record.phys;
       (match r.Record.phys with
-      | Some p -> t.live.(p.Record.seg_index) <- t.live.(p.Record.seg_index) + 1
+      | Some p -> live_add t p.Record.seg_index r.Record.id
       | None -> ());
       anchor.Record.stamp <- r.Record.stamp;
       anchor.Record.alloc_owner <- r.Record.alloc_owner
@@ -214,6 +228,7 @@ and seal t =
     t.counters.Counters.segments_written <-
       t.counters.Counters.segments_written + 1;
     t.sealed.(idx) <- true;
+    t.seal_seq.(idx) <- Segment.seq s;
     (* the sealed segment's blocks are the most recently used data *)
     let base = idx * bps t in
     for slot = 0 to Segment.slots_used s - 1 do
@@ -321,36 +336,62 @@ and clean_internal t ~target_free =
     let progress = ref true in
     while Queue.length t.free_segs < target_free && !progress do
       let victims = ref [] in
+      let n_victims = ref 0 in
       let copies = ref 0 in
       let budget = max 0 ((Queue.length t.free_segs - 1) * bps t) in
-      let is_candidate idx = t.sealed.(idx) && not (List.mem idx !victims) in
+      let is_candidate idx = t.sealed.(idx) && not t.victim_flag.(idx) in
+      (* Victim score, higher is better.  Greedy reproduces the paper's
+         least-live choice; cost-benefit is the Sprite-LFS ratio
+         (1-u)*age/(1+u), preferring cold segments whose free space is
+         worth the copying (DESIGN.md §5.6). *)
+      let score idx =
+        match t.config.Config.clean_policy with
+        | Config.Greedy -> -.float_of_int (live_count t idx)
+        | Config.Cost_benefit ->
+          let u = float_of_int (live_count t idx) /. float_of_int (bps t) in
+          let age = float_of_int (max 1 (t.next_seq - t.seal_seq.(idx))) in
+          (1. -. u) *. age /. (1. +. u)
+      in
       let pick () =
         let best = ref None in
+        let best_score = ref neg_infinity in
         for idx = Disk_layout.log_first t.geom
             to t.geom.Geometry.num_segments - 1 do
-          if is_candidate idx then
-            match !best with
-            | None -> best := Some idx
-            | Some b -> if t.live.(idx) < t.live.(b) then best := Some idx
+          if is_candidate idx then begin
+            t.counters.Counters.victim_scans <-
+              t.counters.Counters.victim_scans + 1;
+            let s = score idx in
+            if s > !best_score then begin
+              best := Some idx;
+              best_score := s
+            end
+          end
         done;
+        (match !best with
+        | Some _ ->
+          t.counters.Counters.clean_picks <- t.counters.Counters.clean_picks + 1
+        | None -> ());
         !best
       in
       let batch_full = ref false in
       while
         (not !batch_full)
-        && Queue.length t.free_segs + List.length !victims
+        && Queue.length t.free_segs + !n_victims
            - ((!copies + bps t - 1) / bps t)
            < target_free
       do
         match pick () with
         | Some idx
-          when t.live.(idx) < bps t && !copies + t.live.(idx) <= budget ->
+          when live_count t idx < bps t && !copies + live_count t idx <= budget
+          ->
+          t.victim_flag.(idx) <- true;
           victims := idx :: !victims;
-          copies := !copies + t.live.(idx)
+          incr n_victims;
+          copies := !copies + live_count t idx
         | Some _ | None -> batch_full := true
       done;
       (* a batch that reclaims nothing net makes no progress *)
-      let gain = List.length !victims - ((!copies + bps t - 1) / bps t) in
+      let gain = !n_victims - ((!copies + bps t - 1) / bps t) in
       if !victims = [] || gain <= 0 then progress := false
       else begin
         List.iter (relocate_live_blocks t) !victims;
@@ -360,56 +401,88 @@ and clean_internal t ~target_free =
         checkpoint_internal t ~extra_free:(List.rev !victims);
         List.iter
           (fun idx ->
-            if t.live.(idx) <> 0 then
+            if live_count t idx <> 0 then
               raise
                 (Errors.Corrupt
                    (Printf.sprintf
                       "cleaner: segment %d still has %d live blocks" idx
-                      t.live.(idx)));
+                      (live_count t idx)));
             t.sealed.(idx) <- false;
             cache_invalidate_segment t idx;
             Queue.push idx t.free_segs)
           !victims;
         t.counters.Counters.segments_cleaned <-
-          t.counters.Counters.segments_cleaned + List.length !victims
-      end
+          t.counters.Counters.segments_cleaned + !n_victims
+      end;
+      List.iter (fun idx -> t.victim_flag.(idx) <- false) !victims
     done;
     if Queue.length t.free_segs = 0 then raise Errors.Disk_full
   end
 
 (* Copy every live block out of the victim segment into the open
-   stream, preserving stamps so replay ordering is untouched. *)
+   stream, preserving stamps so replay ordering is untouched.
+
+   The live index names the victim's blocks directly (O(live(victim)),
+   no block-map scan), and their data comes from the LRU cache when
+   present, else from ONE batched segment-sized read that is lazily
+   fetched and then serves every remaining slot.  Relocation's own
+   [emit_write] can seal the open segment and promote committed
+   records, mutating anchors mid-loop, so the block list is a snapshot
+   and each anchor is re-checked against the victim at visit time. *)
 and relocate_live_blocks t victim =
   let c = cost t in
-  Block_map.iter t.blocks (fun anchor ->
+  let bb = block_bytes t in
+  let base = victim * bps t in
+  let seg_image = ref None in
+  let slot_data slot =
+    match Lru.find t.cache (base + slot) with
+    | Some data ->
+      t.counters.Counters.clean_cache_hits <-
+        t.counters.Counters.clean_cache_hits + 1;
+      Bytes.copy data
+    | None ->
+      let image =
+        match !seg_image with
+        | Some image -> image
+        | None ->
+          let image =
+            Disk.read t.disk
+              ~offset:(Geometry.segment_offset t.geom victim)
+              ~length:t.geom.Geometry.segment_bytes
+          in
+          t.counters.Counters.clean_disk_reads <-
+            t.counters.Counters.clean_disk_reads + 1;
+          seg_image := Some image;
+          image
+      in
+      Bytes.sub image (slot * bb) bb
+  in
+  List.iter
+    (fun bi ->
+      let bid = Types.Block_id.of_int bi in
+      let anchor = Block_map.anchor t.blocks bid in
       match anchor.Record.phys with
       | Some p when p.Record.seg_index = victim ->
-        let data =
-          Disk.read t.disk
-            ~offset:
-              (Geometry.segment_offset t.geom victim
-              + (p.Record.slot * block_bytes t))
-            ~length:(block_bytes t)
-        in
+        let data = slot_data p.Record.slot in
         let seq, phys =
           emit_write t ~allow_cross_scope:true ~stream:Summary.Simple
-            ~block:anchor.Record.id ~data ~stamp:anchor.Record.stamp ()
+            ~block:bid ~data ~stamp:anchor.Record.stamp ()
         in
         (if concurrent t then begin
-           let r = committed_get t anchor.Record.id in
+           let r = committed_get t bid in
            r.Record.phys <- Some phys;
            r.Record.stamp <- anchor.Record.stamp;
            set_durable_block r seq
          end
          else begin
-           t.live.(victim) <- t.live.(victim) - 1;
-           t.live.(phys.Record.seg_index) <- t.live.(phys.Record.seg_index) + 1;
+           live_add t phys.Record.seg_index bid;
            anchor.Record.phys <- Some phys
          end);
         t.counters.Counters.blocks_copied_clean <-
           t.counters.Counters.blocks_copied_clean + 1;
         cpu t c.Cost.record_lookup_ns
       | Some _ | None -> ())
+    (Live_index.blocks t.live victim)
 
 (* ------------------------------------------------------------------ *)
 (* Emitting summary entries                                            *)
@@ -884,13 +957,7 @@ let write t ?aru block data =
     in
     let seq, phys = emit_write t ~allow_cross_scope ~stream ~block ~data ~stamp () in
     let r = committed_get t block in
-    if not (concurrent t) then begin
-      (match r.Record.phys with
-      | Some old ->
-        t.live.(old.Record.seg_index) <- t.live.(old.Record.seg_index) - 1
-      | None -> ());
-      t.live.(phys.Record.seg_index) <- t.live.(phys.Record.seg_index) + 1
-    end
+    if not (concurrent t) then live_add t phys.Record.seg_index block
     else set_durable_block r seq;
     r.Record.phys <- Some phys;
     r.Record.data <- None;
@@ -962,12 +1029,10 @@ let delete_block t ?aru block =
       ignore (emit_entry t ~stream (Summary.Unlink { list = l; block }))
     | None -> ());
     let r = committed_get t block in
-    if not (concurrent t) then begin
-      match r.Record.phys with
-      | Some old ->
-        t.live.(old.Record.seg_index) <- t.live.(old.Record.seg_index) - 1
-      | None -> ()
-    end;
+    (if not (concurrent t) then
+       match r.Record.phys with
+       | Some _ -> live_remove t block
+       | None -> ());
     r.Record.alloc <- false;
     r.Record.member_of <- None;
     r.Record.successor <- None;
@@ -1005,12 +1070,10 @@ let delete_list t ?aru list =
     let deferred = match who with `In a -> Some a | `Simple -> None in
     (match
        Splice.delete_list (committed_ctx t) ~list ~dealloc:(fun br ->
-           if not (concurrent t) then begin
-             match br.Record.phys with
-             | Some old ->
-               t.live.(old.Record.seg_index) <- t.live.(old.Record.seg_index) - 1
-             | None -> ()
-           end;
+           (if not (concurrent t) then
+              match br.Record.phys with
+              | Some _ -> live_remove t br.Record.id
+              | None -> ());
            br.Record.phys <- None;
            br.Record.data <- None;
            br.Record.alloc_owner <- None;
@@ -1372,8 +1435,7 @@ let scavenge t =
         let r = committed_get t anchor.Record.id in
         (if not (concurrent t) then
            match r.Record.phys with
-           | Some old ->
-             t.live.(old.Record.seg_index) <- t.live.(old.Record.seg_index) - 1
+           | Some _ -> live_remove t r.Record.id
            | None -> ());
         r.Record.alloc <- false;
         r.Record.member_of <- None;
@@ -1415,7 +1477,11 @@ let make ~config ~disk ~blocks ~lists ~next_seq ~stamp ~next_aru ~ckpt_id =
       next_seq;
       free_segs = Queue.create ();
       sealed = Array.make geom.Geometry.num_segments false;
-      live = Array.make geom.Geometry.num_segments 0;
+      seal_seq = Array.make geom.Geometry.num_segments 0;
+      victim_flag = Array.make geom.Geometry.num_segments false;
+      live =
+        Live_index.create ~num_segments:geom.Geometry.num_segments
+          ~capacity:(Block_map.capacity blocks);
       cache = Lru.create ~capacity:(max 16 config.Config.cache_blocks);
       last_read_gslot = min_int;
       seq_read_run = 0;
@@ -1471,13 +1537,17 @@ let recover ?(config = Config.default) disk =
       ~stamp:restored.Recovery.r_stamp ~next_aru:restored.Recovery.r_next_aru
       ~ckpt_id:restored.Recovery.r_report.Recovery.checkpoint_id
   in
-  (* rebuild segment liveness from the recovered block map *)
+  (* rebuild segment liveness from the recovered block map; seal
+     sequences are unknown after a crash, so they stay 0 — recovered
+     segments look maximally old to the cost-benefit policy, which is
+     the conservative choice (clean them first) *)
   Block_map.iter t.blocks (fun r ->
       match r.Record.phys with
-      | Some p -> t.live.(p.Record.seg_index) <- t.live.(p.Record.seg_index) + 1
+      | Some p -> live_add t p.Record.seg_index r.Record.id
       | None -> ());
   for i = Disk_layout.log_first geom to geom.Geometry.num_segments - 1 do
-    if t.live.(i) > 0 then t.sealed.(i) <- true else Queue.push i t.free_segs
+    if live_count t i > 0 then t.sealed.(i) <- true
+    else Queue.push i t.free_segs
   done;
   (* a fresh checkpoint makes every unreferenced log segment free; it
      must not overwrite the region just recovered from, or a crash

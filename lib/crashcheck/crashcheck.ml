@@ -9,6 +9,7 @@ module Types = Lld_core.Types
 module Layout = Lld_minixfs.Layout
 module Fs = Lld_minixfs.Fs
 module Fsck = Lld_minixfs.Fsck
+module Summary = Lld_core.Summary
 module Oracle = Lld_workload.Oracle
 module Setup = Lld_workload.Setup
 module Smallfile = Lld_workload.Smallfile
@@ -71,10 +72,98 @@ let aru_churn_spec ?(arus = 160) ?(blocks_per_aru = 2) () =
           { Aru_churn.arus; blocks_per_aru; flush_every = 1 });
   }
 
+(* Cleaning-heavy raw-LD workload: committed units, whole-unit
+   deletions, same-content rewrites (dead space without changing the
+   oracle's expected contents), then a forced cleaner run — so
+   relocation, the live index and the checkpoint-with-extra-free path
+   all land inside the recorded trace.  One ARU stays open across the
+   cleaning.  Identifiers freed by the deletions are never reallocated
+   (the open ARU allocates first), keeping oracle units unambiguous. *)
+let cleaning_spec ?(units = 36) ?(blocks_per_unit = 2) () =
+  {
+    sc_name = "cleaning";
+    sc_geom = checker_geom;
+    sc_config = Config.default;
+    sc_fs = None;
+    sc_inode_count = None;
+    sc_run =
+      (fun cx oracle ->
+        let lld = cx.cx_lld in
+        let block_bytes = Lld.block_bytes lld in
+        let payload u s =
+          let b = Bytes.make block_bytes '\000' in
+          let tag = Printf.sprintf "clean-%d-%d:" u s in
+          Bytes.blit_string tag 0 b 0 (String.length tag);
+          for i = String.length tag to block_bytes - 1 do
+            Bytes.set b i (Char.chr ((u * 137 + s * 29 + i) land 0xff))
+          done;
+          b
+        in
+        let one_unit ~index ~must_not_commit =
+          let a = Lld.begin_aru lld in
+          let l = Lld.new_list lld ~aru:a () in
+          let prev = ref None in
+          let blocks = ref [] in
+          for j = 0 to blocks_per_unit - 1 do
+            let pred =
+              match !prev with None -> Summary.Head | Some b -> Summary.After b
+            in
+            let b = Lld.new_block lld ~aru:a ~list:l ~pred () in
+            let data = payload index j in
+            Lld.write lld ~aru:a b data;
+            prev := Some b;
+            blocks := (b, data) :: !blocks
+          done;
+          if not must_not_commit then Lld.end_aru lld a;
+          let blocks = List.rev !blocks in
+          Oracle.add_blocks oracle
+            ~label:
+              (Printf.sprintf "clean-%d%s" index
+                 (if must_not_commit then "-open" else ""))
+            ~must_not_commit ~lists:[ l ] blocks;
+          (l, blocks)
+        in
+        let made =
+          Array.init units (fun i ->
+              let u = one_unit ~index:i ~must_not_commit:false in
+              if (i + 1) mod 4 = 0 then Lld.flush lld;
+              u)
+        in
+        (* opened before any deletion so its allocations take fresh ids;
+           never committed, spanning the deletions and the cleaning *)
+        ignore (one_unit ~index:units ~must_not_commit:true);
+        Lld.flush lld;
+        (* delete every third unit, one ARU per unit (atomic) *)
+        Array.iteri
+          (fun i (l, _) ->
+            if i mod 3 = 0 then begin
+              let a = Lld.begin_aru lld in
+              Lld.delete_list lld ~aru:a l;
+              Lld.end_aru lld a;
+              if i mod 6 = 0 then Lld.flush lld
+            end)
+          made;
+        Lld.flush lld;
+        (* same-content rewrites: survivors relocate to fresh segments,
+           turning their old slots dead without changing what the oracle
+           expects to read *)
+        for _pass = 1 to 2 do
+          Array.iteri
+            (fun i (_, blocks) ->
+              if i mod 3 <> 0 then
+                List.iter (fun (b, data) -> Lld.write lld b data) blocks)
+            made;
+          Lld.flush lld
+        done;
+        Lld.clean lld ~target_free:(Lld.free_segments lld + 6);
+        Lld.flush lld);
+  }
+
 let specs =
   [
     ("smallfile", fun () -> smallfile_spec ());
     ("aru-churn", fun () -> aru_churn_spec ());
+    ("cleaning", fun () -> cleaning_spec ());
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -59,6 +59,12 @@ val aru_churn_spec : ?arus:int -> ?blocks_per_aru:int -> unit -> spec
 (** {!Lld_workload.Aru_churn.run_traced} on the raw logical disk
     (default 160 ARUs of 2 blocks). *)
 
+val cleaning_spec : ?units:int -> ?blocks_per_unit:int -> unit -> spec
+(** Cleaning-heavy raw-LD workload: committed units, atomic whole-unit
+    deletions, same-content rewrites, then a forced {!Lld_core.Lld.clean}
+    with one ARU left open across it — segment relocation, the live
+    index and the cleaner's checkpoint all inside the recorded trace. *)
+
 val specs : (string * (unit -> spec)) list
 (** Name-indexed registry of the built-in specs (for the CLI). *)
 

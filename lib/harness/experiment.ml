@@ -1,6 +1,7 @@
 module Geometry = Lld_disk.Geometry
 module Config = Lld_core.Config
 module Counters = Lld_core.Counters
+module Summary = Lld_core.Summary
 module Lld = Lld_core.Lld
 module Recovery = Lld_core.Recovery
 module Fault = Lld_disk.Fault
@@ -670,6 +671,117 @@ let print_implementations ppf rows =
          rows)
 
 (* ------------------------------------------------------------------ *)
+(* C1 — segment cleaning: victim policies and relocation I/O *)
+
+type clean_row = {
+  c1_policy : Config.clean_policy;
+  c1_elapsed_ns : int;
+  c1_counters : Counters.t;
+}
+
+let cleaning scale =
+  let run policy =
+    let geom = scale.geom in
+    let clock = Clock.create () in
+    let disk = Disk.create ~clock geom in
+    let config = { Config.default with Config.clean_policy = policy } in
+    let lld = Lld.create ~config disk in
+    Lld.flush lld;
+    Clock.reset clock;
+    Counters.reset (Lld.counters lld);
+    let bb = geom.Geometry.block_bytes in
+    let bps = Geometry.blocks_per_segment geom in
+    let list = Lld.new_list lld () in
+    let hot = 4 * bps in
+    let blocks =
+      Array.init hot (fun _ -> Lld.new_block lld ~list ~pred:Summary.Head ())
+    in
+    let cold = 8 * bps in
+    let cold_blocks =
+      Array.init cold (fun _ -> Lld.new_block lld ~list ~pred:Summary.Head ())
+    in
+    let payload i pass =
+      Bytes.make bb (Char.chr (33 + ((i + (7 * pass)) land 63)))
+    in
+    Array.iteri (fun i b -> Lld.write lld b (payload i 0)) blocks;
+    (* Overwrite churn: each pass rewrites a strided subset of the hot
+       set, leaving every log segment partially dead.  Writing about two
+       logs' worth of segments wraps the log and forces the auto-cleaner
+       to run repeatedly under the chosen policy.  Cold blocks are
+       written exactly once, smeared evenly across the run, so victims
+       keep a few live blocks and relocation actually copies data. *)
+    let target = 2 * geom.Geometry.num_segments in
+    let cold_interval = max 1 (target * bps / cold) in
+    let next_cold = ref 0 in
+    let hot_writes = ref 0 in
+    let write_hot i pass =
+      Lld.write lld blocks.(i) (payload i pass);
+      incr hot_writes;
+      if !hot_writes mod cold_interval = 0 && !next_cold < cold then begin
+        Lld.write lld cold_blocks.(!next_cold) (payload !next_cold (-1));
+        incr next_cold
+      end
+    in
+    let pass = ref 0 in
+    while (Lld.counters lld).Counters.segments_written < target do
+      incr pass;
+      let stride = 1 + (!pass mod 4) in
+      let i = ref (!pass mod stride) in
+      while !i < hot do
+        write_hot !i !pass;
+        i := !i + stride
+      done;
+      Lld.flush lld
+    done;
+    {
+      c1_policy = policy;
+      c1_elapsed_ns = Clock.now_ns clock;
+      c1_counters = Counters.copy (Lld.counters lld);
+    }
+  in
+  [ run Config.Greedy; run Config.Cost_benefit ]
+
+let print_cleaning ppf rows =
+  Report.table ppf
+    ~title:
+      "C1: segment cleaning under overwrite churn (relocation batches at \
+       most one disk read per victim; victim selection scans segments, \
+       not the block map)"
+    ~header:
+      [
+        "policy";
+        "cleaned";
+        "copied";
+        "disk reads";
+        "reads/victim";
+        "cache hits";
+        "victim scans";
+        "picks";
+        "live-idx upd";
+        "ms";
+      ]
+    (List.map
+       (fun r ->
+         let c = r.c1_counters in
+         [
+           Format.asprintf "%a" Config.pp_clean_policy r.c1_policy;
+           string_of_int c.Counters.segments_cleaned;
+           string_of_int c.Counters.blocks_copied_clean;
+           string_of_int c.Counters.clean_disk_reads;
+           (if c.Counters.segments_cleaned = 0 then "n/a"
+            else
+              Report.f2
+                (float_of_int c.Counters.clean_disk_reads
+                /. float_of_int c.Counters.segments_cleaned));
+           string_of_int c.Counters.clean_cache_hits;
+           string_of_int c.Counters.victim_scans;
+           string_of_int c.Counters.clean_picks;
+           string_of_int c.Counters.live_index_updates;
+           Report.f1 (float_of_int r.c1_elapsed_ns /. 1e6);
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
 
 type check = { ck_name : string; ck_ok : bool; ck_detail : string }
 
@@ -679,7 +791,7 @@ let finite v = Float.is_finite v && v > 0.
    virtual clock is calibrated, not cycle-accurate) but the directional
    claims each table/figure exists to demonstrate.  A regression that
    silently zeroes a phase or inverts a trade-off fails the run. *)
-let checks ~f5 ~f6 ~l1 ~x3 ~w0 =
+let checks ~f5 ~f6 ~l1 ~x3 ~w0 ~c1 =
   let all_f5_phases =
     List.concat_map
       (fun r ->
@@ -778,6 +890,25 @@ let checks ~f5 ~f6 ~l1 ~x3 ~w0 =
       ck_ok = w0_ok;
       ck_detail = w0_detail;
     };
+    {
+      ck_name = "C1: cleaner ran and relocation batched reads (<=1/victim)";
+      ck_ok =
+        List.for_all
+          (fun r ->
+            let c = r.c1_counters in
+            c.Counters.segments_cleaned > 0
+            && c.Counters.clean_disk_reads <= c.Counters.segments_cleaned)
+          c1;
+      ck_detail =
+        String.concat "; "
+          (List.map
+             (fun r ->
+               Format.asprintf "%a: %d reads / %d cleaned"
+                 Config.pp_clean_policy r.c1_policy
+                 r.c1_counters.Counters.clean_disk_reads
+                 r.c1_counters.Counters.segments_cleaned)
+             c1);
+    };
   ]
 
 let print_checks ppf cks =
@@ -788,7 +919,101 @@ let print_checks ppf cks =
          [ c.ck_name; (if c.ck_ok then "ok" else "FAIL"); c.ck_detail ])
        cks)
 
-let run_all_checked ppf scale =
+(* JSON projections of the main artifacts (the bench trajectory file). *)
+
+let json_of_check c =
+  Report.Obj
+    [
+      ("name", Report.String c.ck_name);
+      ("ok", Report.Bool c.ck_ok);
+      ("detail", Report.String c.ck_detail);
+    ]
+
+let json_of_f5 rows =
+  Report.List
+    (List.map
+       (fun r ->
+         let ph (p : Smallfile.phase) = Report.Float p.Smallfile.files_per_sec in
+         Report.Obj
+           [
+             ("workload", Report.String (size_label r.f5_result.Smallfile.params));
+             ("variant", Report.String (Setup.variant_label r.f5_variant));
+             ("create_write_files_per_sec", ph r.f5_result.Smallfile.create_write);
+             ("read_files_per_sec", ph r.f5_result.Smallfile.read);
+             ("delete_files_per_sec", ph r.f5_result.Smallfile.delete);
+           ])
+       rows)
+
+let json_of_f6 rows =
+  let labels = [ "write1"; "read1"; "write2"; "read2"; "read3" ] in
+  Report.List
+    (List.map
+       (fun r ->
+         Report.Obj
+           (("variant", Report.String (Setup.variant_label r.f6_variant))
+           :: List.map2
+                (fun label (p : Largefile.phase) ->
+                  (label ^ "_mb_per_sec", Report.Float p.Largefile.mb_per_sec))
+                labels
+                (Largefile.phases r.f6_result)))
+       rows)
+
+let json_of_l1 (r : Aru_churn.result) =
+  Report.Obj
+    [
+      ("arus", Report.Int r.Aru_churn.count);
+      ("latency_us", Report.Float r.Aru_churn.latency_us);
+      ("segments_written", Report.Int r.Aru_churn.segments_written);
+    ]
+
+let json_of_x3 rows =
+  Report.List
+    (List.map
+       (fun r ->
+         Report.Obj
+           [
+             ("files_written", Report.Int r.x3_files_written);
+             ("crash_after_segments", Report.Int r.x3_crash_after_segments);
+             ("recovery_ns", Report.Int r.x3_recovery_ns);
+             ( "segments_replayed",
+               Report.Int r.x3_report.Recovery.segments_replayed );
+           ])
+       rows)
+
+let json_of_w0 rows =
+  Report.List
+    (List.map
+       (fun r ->
+         Report.Obj
+           [
+             ("substrate", Report.String r.w0_label);
+             ("mb_per_sec", Report.Float r.w0_mb_per_sec);
+             ("fraction_of_raw", Report.Float r.w0_fraction_of_raw);
+           ])
+       rows)
+
+let json_of_c1 rows =
+  Report.List
+    (List.map
+       (fun r ->
+         let c = r.c1_counters in
+         Report.Obj
+           [
+             ( "policy",
+               Report.String
+                 (Format.asprintf "%a" Config.pp_clean_policy r.c1_policy) );
+             ("segments_cleaned", Report.Int c.Counters.segments_cleaned);
+             ("blocks_copied", Report.Int c.Counters.blocks_copied_clean);
+             ("relocation_disk_reads", Report.Int c.Counters.clean_disk_reads);
+             ("relocation_cache_hits", Report.Int c.Counters.clean_cache_hits);
+             ("victim_scans", Report.Int c.Counters.victim_scans);
+             ("policy_picks", Report.Int c.Counters.clean_picks);
+             ("live_index_updates", Report.Int c.Counters.live_index_updates);
+             ("elapsed_ns", Report.Int r.c1_elapsed_ns);
+           ])
+       rows)
+
+let run_all_json ppf scale =
   Format.fprintf ppf
     "=== Atomic Recovery Units reproduction: %s scale ===@."
     (if scale.files >= 1.0 then "full (paper)" else "reduced");
@@ -808,9 +1033,34 @@ let run_all_checked ppf scale =
   print_implementations ppf (implementation_comparison scale);
   let w0 = bandwidth_context scale in
   print_bandwidth ppf w0;
-  let cks = checks ~f5 ~f6 ~l1 ~x3 ~w0 in
+  let c1 = cleaning scale in
+  print_cleaning ppf c1;
+  let cks = checks ~f5 ~f6 ~l1 ~x3 ~w0 ~c1 in
   print_checks ppf cks;
   Format.fprintf ppf "@.";
-  cks
+  let json =
+    Report.Obj
+      [
+        ("schema", Report.String "lld-bench/1");
+        ( "scale",
+          Report.Obj
+            [
+              ("files", Report.Float scale.files);
+              ("bytes", Report.Float scale.bytes);
+              ("arus", Report.Float scale.arus);
+              ("num_segments", Report.Int scale.geom.Geometry.num_segments);
+              ("segment_bytes", Report.Int scale.geom.Geometry.segment_bytes);
+            ] );
+        ("figure5", json_of_f5 f5);
+        ("figure6", json_of_f6 f6);
+        ("aru_latency", json_of_l1 l1);
+        ("recovery", json_of_x3 x3);
+        ("bandwidth", json_of_w0 w0);
+        ("cleaning", json_of_c1 c1);
+        ("checks", Report.List (List.map json_of_check cks));
+      ]
+  in
+  (cks, json)
 
+let run_all_checked ppf scale = fst (run_all_json ppf scale)
 let run_all ppf scale = ignore (run_all_checked ppf scale)

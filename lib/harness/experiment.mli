@@ -146,6 +146,23 @@ type impl_row = { x6_impl : string; x6_phases : (string * float) list }
 val implementation_comparison : scale -> impl_row list
 val print_implementations : Format.formatter -> impl_row list -> unit
 
+(** {1 C1 — segment cleaning: victim policies and relocation I/O}
+
+    Overwrite churn over a hot set of raw LD blocks, sized to wrap the
+    log twice so the auto-cleaner runs repeatedly.  Run once per
+    {!Lld_core.Config.clean_policy}; the counters demonstrate the PR-2
+    cleaner invariants (at most one relocation disk read per victim,
+    victim selection scanning segments rather than the block map). *)
+
+type clean_row = {
+  c1_policy : Lld_core.Config.clean_policy;
+  c1_elapsed_ns : int;  (** virtual time of the whole churn run *)
+  c1_counters : Lld_core.Counters.t;  (** snapshot after the run *)
+}
+
+val cleaning : scale -> clean_row list
+val print_cleaning : Format.formatter -> clean_row list -> unit
+
 (** {1 Everything} *)
 
 (** One sanity gate over a reproduced artifact: not an exact number (the
@@ -160,3 +177,8 @@ val run_all_checked : Format.formatter -> scale -> check list
 
 val run_all : Format.formatter -> scale -> unit
 (** {!run_all_checked} with the checks printed but discarded. *)
+
+val run_all_json : Format.formatter -> scale -> check list * Report.json
+(** {!run_all_checked}, additionally returning the machine-readable
+    projection of the main artifacts (the [BENCH_PR2.json] payload,
+    minus the real-time micro-benchmark rows the bench driver adds). *)

@@ -8,6 +8,23 @@ val table :
   unit
 (** Render an aligned table with a title rule. *)
 
+(** {1 Machine-readable output}
+
+    A minimal JSON value (no external dependency), used by the bench
+    driver's [BENCH_PR2.json] trajectory file.  Non-finite floats
+    serialise as [null]. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val json_to_string : json -> string
+(** Compact (single-line) rendering. *)
+
 val pct : baseline:float -> float -> string
 (** Percent difference of a throughput against the baseline, signed:
     ["+7.2%"] means 7.2 % slower than the baseline. *)

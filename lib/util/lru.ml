@@ -52,6 +52,28 @@ let remove t k =
     detach t node;
     Hashtbl.remove t.table k
 
+let remove_range t ~lo ~hi =
+  if hi >= lo then
+    if hi - lo + 1 <= Hashtbl.length t.table then
+      for k = lo to hi do
+        remove t k
+      done
+    else begin
+      (* fewer entries than keys: one walk of the recency list, capturing
+         each successor before the node is detached *)
+      let cur = ref t.head in
+      while !cur <> None do
+        match !cur with
+        | None -> ()
+        | Some node ->
+          cur := node.next;
+          if node.key >= lo && node.key <= hi then begin
+            detach t node;
+            Hashtbl.remove t.table node.key
+          end
+      done
+    end
+
 let evict_tail t =
   match t.tail with
   | None -> ()

@@ -19,6 +19,11 @@ val add : 'a t -> int -> 'a -> unit
 
 val remove : 'a t -> int -> unit
 
+val remove_range : 'a t -> lo:int -> hi:int -> unit
+(** [remove_range t ~lo ~hi] removes every key in [lo..hi] (inclusive);
+    other entries keep their relative recency.  Costs
+    O(min(hi-lo+1, length t)). *)
+
 val clear : 'a t -> unit
 
 val length : 'a t -> int

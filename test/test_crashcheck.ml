@@ -6,6 +6,7 @@ module Oracle = Lld_workload.Oracle
    second; the full-size defaults are exercised by the CLI (and CI). *)
 let churn () = Crashcheck.aru_churn_spec ~arus:12 ()
 let files () = Crashcheck.smallfile_spec ~files:24 ()
+let cleaning () = Crashcheck.cleaning_spec ~units:12 ()
 
 (* ------------------------------------------------------------------ *)
 (* Enumeration shape. *)
@@ -53,6 +54,15 @@ let test_clean_smallfile () =
   Alcotest.(check bool) "no violations" true (Crashcheck.ok r);
   Alcotest.(check bool) "torn variants were sampled" true
     (r.Crashcheck.r_torn_checked > 0)
+
+let test_clean_cleaning () =
+  (* the cleaning-heavy workload: forced relocation, the live index and
+     the cleaner's checkpoint are all inside the recorded trace *)
+  let trace = Crashcheck.record (cleaning ()) in
+  let r = Crashcheck.run ~budget:60 trace in
+  Alcotest.(check bool) "no violations" true (Crashcheck.ok r);
+  Alcotest.(check bool) "oracle units recorded" true
+    (Crashcheck.trace_oracle_units trace > 0)
 
 let test_budget_deterministic () =
   let trace = Crashcheck.record (churn ()) in
@@ -207,6 +217,8 @@ let () =
           Alcotest.test_case "enumeration shape" `Quick test_enumerate;
           Alcotest.test_case "aru-churn clean" `Quick test_clean_churn;
           Alcotest.test_case "smallfile clean" `Quick test_clean_smallfile;
+          Alcotest.test_case "cleaning-workload clean" `Quick
+            test_clean_cleaning;
           Alcotest.test_case "budgeted runs deterministic" `Quick
             test_budget_deterministic;
         ] );

@@ -84,6 +84,26 @@ let test_lru_remove_clear () =
   Alcotest.(check int) "cleared" 0 (Lru.length c);
   Alcotest.(check (option string)) "gone" None (Lru.find c 2)
 
+let test_lru_remove_range () =
+  let c = Lru.create ~capacity:16 in
+  for k = 0 to 9 do
+    Lru.add c k (string_of_int k)
+  done;
+  (* small range: the per-key path *)
+  Lru.remove_range c ~lo:2 ~hi:4;
+  Alcotest.(check int) "length after small range" 7 (Lru.length c);
+  Alcotest.(check (option string)) "2 gone" None (Lru.find c 2);
+  Alcotest.(check (option string)) "4 gone" None (Lru.find c 4);
+  Alcotest.(check (option string)) "5 kept" (Some "5") (Lru.find c 5);
+  (* huge range: the list-walk path (range far exceeds occupancy) *)
+  Lru.remove_range c ~lo:0 ~hi:1_000_000;
+  Alcotest.(check int) "emptied" 0 (Lru.length c);
+  (* empty / inverted ranges are no-ops *)
+  Lru.add c 1 "a";
+  Lru.remove_range c ~lo:5 ~hi:4;
+  Alcotest.(check (option string)) "inverted range no-op" (Some "a")
+    (Lru.find c 1)
+
 let test_lru_mem_no_touch () =
   let c = Lru.create ~capacity:2 in
   Lru.add c 1 "a";
@@ -140,6 +160,35 @@ let vec_model =
       List.iter (Vec.push v) xs;
       Vec.to_list v = xs && Vec.length v = List.length xs)
 
+(* remove_range must behave exactly like per-key removal, including its
+   effect on recency order (observed through subsequent evictions). *)
+let lru_remove_range_model =
+  QCheck.Test.make ~name:"lru remove_range = per-key remove" ~count:300
+    QCheck.(
+      quad (int_range 1 8)
+        (small_list (pair (int_range 0 20) small_int))
+        (pair (int_range 0 20) (int_range 0 20))
+        (small_list (pair (int_range 0 20) small_int)))
+    (fun (cap, ops, (lo, hi), after) ->
+      let fill c = List.iter (fun (k, v) -> Lru.add c k v) ops in
+      let a = Lru.create ~capacity:cap in
+      let b = Lru.create ~capacity:cap in
+      fill a;
+      fill b;
+      Lru.remove_range a ~lo ~hi;
+      for k = lo to hi do
+        Lru.remove b k
+      done;
+      (* drive more churn so eviction order differences would surface *)
+      List.iter (fun (k, v) -> Lru.add a k v) after;
+      List.iter (fun (k, v) -> Lru.add b k v) after;
+      let same =
+        Lru.length a = Lru.length b
+        && List.for_all (fun k -> Lru.find a k = Lru.find b k)
+             (List.init 21 Fun.id)
+      in
+      same)
+
 let lru_churn =
   QCheck.Test.make ~name:"lru never exceeds capacity" ~count:200
     QCheck.(pair (int_range 1 8) (small_list (pair (int_range 0 20) small_int)))
@@ -168,9 +217,11 @@ let () =
           Alcotest.test_case "basic insert/evict" `Quick test_lru_basic;
           Alcotest.test_case "replace same key" `Quick test_lru_replace;
           Alcotest.test_case "remove and clear" `Quick test_lru_remove_clear;
+          Alcotest.test_case "remove_range" `Quick test_lru_remove_range;
           Alcotest.test_case "mem does not touch recency" `Quick
             test_lru_mem_no_touch;
           Alcotest.test_case "invalid capacity" `Quick test_lru_invalid_capacity;
+          QCheck_alcotest.to_alcotest lru_remove_range_model;
           QCheck_alcotest.to_alcotest lru_churn;
         ] );
       ( "vec",
