@@ -17,6 +17,10 @@ module Aru_churn = Lld_workload.Aru_churn
 module Torture = Lld_workload.Torture
 module Experiment = Lld_harness.Experiment
 module Crashcheck = Lld_crashcheck.Crashcheck
+module Obs = Lld_obs.Obs
+module Trace = Lld_obs.Trace
+module Metrics = Lld_obs.Metrics
+module Histogram = Lld_sim.Stats.Histogram
 
 open Cmdliner
 
@@ -274,7 +278,7 @@ let point_conv =
   in
   Arg.conv (parse, Crashcheck.pp_point)
 
-let crashcheck workload budget granularity seed at broken_sweep =
+let crashcheck workload budget granularity seed at broken_sweep trace_dir =
   let selected =
     match workload with
     | None -> Crashcheck.specs
@@ -335,7 +339,7 @@ let crashcheck workload budget granularity seed at broken_sweep =
         in
         let r =
           Crashcheck.run ~granularity ?budget ~seed
-            ?recover_config:(recover_config spec) ~progress trace
+            ?recover_config:(recover_config spec) ?trace_dir ~progress trace
         in
         Format.printf "%a@." Crashcheck.pp_result r;
         if Crashcheck.ok r then () else failed := true;
@@ -401,6 +405,16 @@ let crashcheck_cmd =
              verify the checker flags the leak (exits non-zero if it \
              doesn't).")
   in
+  let trace_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:
+            "When a violation is found, replay the minimal reproducer's \
+             recovery under live tracing and write the Chrome trace into \
+             $(docv), next to the reproducer command line.")
+  in
   Cmd.v
     (Cmd.info "crashcheck"
        ~doc:
@@ -409,7 +423,132 @@ let crashcheck_cmd =
           cleanliness, sweep completeness, and recovery idempotency.")
     Term.(
       const crashcheck $ workload $ budget $ granularity $ seed $ at
-      $ broken_sweep)
+      $ broken_sweep $ trace_dir)
+
+(* ------------------------------------------------ traced workloads *)
+
+(* Shared runner for `lld trace` and `lld stats`: a small-file workload
+   through the Minix FS (create/write/overwrite/delete), then a forced
+   cleaner pass, then an injected crash and a recovery on the same disk
+   and clock — one virtual timeline covering the op, fs, disk, aru,
+   checkpoint, clean and recovery span categories. *)
+let run_traced_workload ~variant ~segments ~files =
+  let geom = geom_of segments in
+  let clock = Clock.create () in
+  let obs = Obs.create ~clock () in
+  let inst = Setup.make ~geom ~clock ~obs variant in
+  let body = Bytes.make 1024 'x' in
+  let path i = Printf.sprintf "/f%05d" i in
+  for i = 0 to files - 1 do
+    Fs.create inst.Setup.fs (path i);
+    Fs.write_file inst.Setup.fs (path i) ~off:0 body
+  done;
+  (* overwrites and deletions leave dead space for the cleaner *)
+  for i = 0 to files - 1 do
+    if i mod 2 = 0 then Fs.write_file inst.Setup.fs (path i) ~off:0 body
+    else Fs.unlink inst.Setup.fs (path i)
+  done;
+  Fs.flush inst.Setup.fs;
+  Lld.clean inst.Setup.lld
+    ~target_free:(Lld.free_segments inst.Setup.lld + 2);
+  Fs.flush inst.Setup.fs;
+  Fault.schedule_crash (Disk.fault inst.Setup.disk) (Fault.After_writes 0);
+  (try Disk.write inst.Setup.disk ~offset:0 (Bytes.make 1 'x')
+   with Fault.Crashed -> ());
+  let lld, _report =
+    Lld.recover ~config:(Setup.lld_config variant) ~obs inst.Setup.disk
+  in
+  (lld, obs)
+
+let traced_files_arg =
+  Arg.(
+    value & opt int 300
+    & info [ "files" ] ~docv:"N" ~doc:"Files in the traced workload.")
+
+(* --------------------------------------------------------------- trace *)
+
+let trace_run variant segments files out jsonl =
+  let _lld, obs = run_traced_workload ~variant ~segments ~files in
+  let tr = Obs.trace obs in
+  Trace.write_chrome_file tr out;
+  Printf.printf
+    "wrote %s: %d events (%d dropped), %.3f ms of virtual time\n" out
+    (Trace.count tr - Trace.dropped tr)
+    (Trace.dropped tr)
+    (float_of_int (Trace.now_ns tr) /. 1e6);
+  match jsonl with
+  | None -> ()
+  | Some path ->
+    Trace.write_jsonl_file tr path;
+    Printf.printf "wrote %s (exact-nanosecond JSONL sidecar)\n" path
+
+let trace_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "lld.trace.json"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Chrome trace-event JSON output (Perfetto-loadable).")
+  in
+  let jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:"Also write a JSONL sidecar with exact nanosecond stamps.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a traced workload (small files, forced cleaning, injected \
+          crash, recovery) and export the span trace as Chrome trace-event \
+          JSON.")
+    Term.(
+      const trace_run $ variant_arg $ segments_arg $ traced_files_arg $ out
+      $ jsonl)
+
+(* --------------------------------------------------------------- stats *)
+
+let stats_run variant segments files json =
+  let _lld, obs = run_traced_workload ~variant ~segments ~files in
+  let m = Obs.metrics obs in
+  if json then print_endline (Metrics.to_json_string m)
+  else begin
+    let hists =
+      List.filter
+        (fun (_, h) -> Histogram.count h > 0)
+        (List.sort compare (Metrics.histograms m))
+    in
+    Printf.printf "%-28s %8s %12s %10s %10s %10s\n" "span" "count" "mean (us)"
+      "p50" "p95" "p99";
+    List.iter
+      (fun (name, h) ->
+        let us ns = float_of_int ns /. 1e3 in
+        Printf.printf "%-28s %8d %12.2f %10.2f %10.2f %10.2f\n" name
+          (Histogram.count h)
+          (Histogram.mean h /. 1e3)
+          (us (Histogram.p50 h))
+          (us (Histogram.p95 h))
+          (us (Histogram.p99 h)))
+      hists;
+    Printf.printf "\ngauges (sampled after recovery):\n";
+    List.iter
+      (fun (name, v, help) -> Printf.printf "  %-20s %10d  %s\n" name v help)
+      (Metrics.sample_gauges m)
+  end
+
+let stats_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the metrics registry as JSON instead.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a traced workload and report per-operation latency \
+          percentiles (p50/p95/p99 on the virtual clock) and live gauges.")
+    Term.(const stats_run $ variant_arg $ segments_arg $ traced_files_arg $ json)
 
 (* -------------------------------------------------------------- info *)
 
@@ -423,11 +562,22 @@ let show_info segments =
   Printf.printf "checkpoint regions: 2 x %d segments\n" (L.region_segments geom);
   Printf.printf "log segments: %d (first at %d)\n" (L.log_count geom)
     (L.log_first geom);
-  Printf.printf "logical block capacity: %d x 4 KB\n" (L.block_capacity geom)
+  Printf.printf "logical block capacity: %d x 4 KB\n" (L.block_capacity geom);
+  (* live gauges of a freshly formatted logical disk on this geometry *)
+  let clock = Clock.create () in
+  let obs = Obs.create ~clock () in
+  let _, _lld = Setup.make_raw ~geom ~clock ~obs Setup.New in
+  Printf.printf "gauges (freshly formatted):\n";
+  List.iter
+    (fun (name, v, help) -> Printf.printf "  %-20s %10d  %s\n" name v help)
+    (Metrics.sample_gauges (Obs.metrics obs))
 
 let info_cmd =
   Cmd.v
-    (Cmd.info "info" ~doc:"Show partition layout for a given size.")
+    (Cmd.info "info"
+       ~doc:
+         "Show partition layout and the live gauges of a freshly formatted \
+          logical disk.")
     Term.(const show_info $ segments_arg)
 
 let () =
@@ -437,7 +587,7 @@ let () =
       (Cmd.info "lld" ~version:"1.0.0" ~doc)
       [
         repro_cmd; smallfile_cmd; largefile_cmd; aru_bench_cmd; crash_demo_cmd;
-        torture_cmd; crashcheck_cmd; info_cmd;
+        torture_cmd; crashcheck_cmd; trace_cmd; stats_cmd; info_cmd;
       ]
   in
   exit (Cmd.eval cmd)

@@ -31,6 +31,73 @@ type t = {
   mutable flushes : int;
 }
 
+(* Single source of truth for every field: name, getter, setter.  All
+   derived operations (reset / copy / diff / pp / export) walk this
+   list, so adding a field only requires extending the record, [create]
+   and this list — and the coverage test in [test/test_counters.ml]
+   fails if the list and the record ever disagree in length. *)
+let fields : (string * (t -> int) * (t -> int -> unit)) list =
+  [
+    ("reads", (fun t -> t.reads), fun t v -> t.reads <- v);
+    ("writes", (fun t -> t.writes), fun t v -> t.writes <- v);
+    ("new_blocks", (fun t -> t.new_blocks), fun t v -> t.new_blocks <- v);
+    ( "delete_blocks",
+      (fun t -> t.delete_blocks),
+      fun t v -> t.delete_blocks <- v );
+    ("new_lists", (fun t -> t.new_lists), fun t v -> t.new_lists <- v);
+    ("delete_lists", (fun t -> t.delete_lists), fun t v -> t.delete_lists <- v);
+    ("arus_begun", (fun t -> t.arus_begun), fun t v -> t.arus_begun <- v);
+    ( "arus_committed",
+      (fun t -> t.arus_committed),
+      fun t v -> t.arus_committed <- v );
+    ("arus_aborted", (fun t -> t.arus_aborted), fun t v -> t.arus_aborted <- v);
+    ( "record_creates",
+      (fun t -> t.record_creates),
+      fun t v -> t.record_creates <- v );
+    ( "record_transitions",
+      (fun t -> t.record_transitions),
+      fun t v -> t.record_transitions <- v );
+    ("mesh_hops", (fun t -> t.mesh_hops), fun t v -> t.mesh_hops <- v);
+    ( "pred_search_hops",
+      (fun t -> t.pred_search_hops),
+      fun t v -> t.pred_search_hops <- v );
+    ( "summary_entries",
+      (fun t -> t.summary_entries),
+      fun t v -> t.summary_entries <- v );
+    ( "link_log_appends",
+      (fun t -> t.link_log_appends),
+      fun t v -> t.link_log_appends <- v );
+    ( "link_log_replays",
+      (fun t -> t.link_log_replays),
+      fun t v -> t.link_log_replays <- v );
+    ("replay_skips", (fun t -> t.replay_skips), fun t v -> t.replay_skips <- v);
+    ( "segments_written",
+      (fun t -> t.segments_written),
+      fun t v -> t.segments_written <- v );
+    ( "segments_cleaned",
+      (fun t -> t.segments_cleaned),
+      fun t v -> t.segments_cleaned <- v );
+    ( "blocks_copied_clean",
+      (fun t -> t.blocks_copied_clean),
+      fun t v -> t.blocks_copied_clean <- v );
+    ( "clean_disk_reads",
+      (fun t -> t.clean_disk_reads),
+      fun t v -> t.clean_disk_reads <- v );
+    ( "clean_cache_hits",
+      (fun t -> t.clean_cache_hits),
+      fun t v -> t.clean_cache_hits <- v );
+    ("victim_scans", (fun t -> t.victim_scans), fun t v -> t.victim_scans <- v);
+    ("clean_picks", (fun t -> t.clean_picks), fun t v -> t.clean_picks <- v);
+    ( "live_index_updates",
+      (fun t -> t.live_index_updates),
+      fun t v -> t.live_index_updates <- v );
+    ("checkpoints", (fun t -> t.checkpoints), fun t v -> t.checkpoints <- v);
+    ("cache_hits", (fun t -> t.cache_hits), fun t v -> t.cache_hits <- v);
+    ("cache_misses", (fun t -> t.cache_misses), fun t v -> t.cache_misses <- v);
+    ("readaheads", (fun t -> t.readaheads), fun t v -> t.readaheads <- v);
+    ("flushes", (fun t -> t.flushes), fun t v -> t.flushes <- v);
+  ]
+
 let create () =
   {
     reads = 0;
@@ -65,87 +132,36 @@ let create () =
     flushes = 0;
   }
 
-let reset t =
-  t.reads <- 0;
-  t.writes <- 0;
-  t.new_blocks <- 0;
-  t.delete_blocks <- 0;
-  t.new_lists <- 0;
-  t.delete_lists <- 0;
-  t.arus_begun <- 0;
-  t.arus_committed <- 0;
-  t.arus_aborted <- 0;
-  t.record_creates <- 0;
-  t.record_transitions <- 0;
-  t.mesh_hops <- 0;
-  t.pred_search_hops <- 0;
-  t.summary_entries <- 0;
-  t.link_log_appends <- 0;
-  t.link_log_replays <- 0;
-  t.replay_skips <- 0;
-  t.segments_written <- 0;
-  t.segments_cleaned <- 0;
-  t.blocks_copied_clean <- 0;
-  t.clean_disk_reads <- 0;
-  t.clean_cache_hits <- 0;
-  t.victim_scans <- 0;
-  t.clean_picks <- 0;
-  t.live_index_updates <- 0;
-  t.checkpoints <- 0;
-  t.cache_hits <- 0;
-  t.cache_misses <- 0;
-  t.readaheads <- 0;
-  t.flushes <- 0
+let reset t = List.iter (fun (_, _, set) -> set t 0) fields
 
 let copy t =
-  {
-    reads = t.reads;
-    writes = t.writes;
-    new_blocks = t.new_blocks;
-    delete_blocks = t.delete_blocks;
-    new_lists = t.new_lists;
-    delete_lists = t.delete_lists;
-    arus_begun = t.arus_begun;
-    arus_committed = t.arus_committed;
-    arus_aborted = t.arus_aborted;
-    record_creates = t.record_creates;
-    record_transitions = t.record_transitions;
-    mesh_hops = t.mesh_hops;
-    pred_search_hops = t.pred_search_hops;
-    summary_entries = t.summary_entries;
-    link_log_appends = t.link_log_appends;
-    link_log_replays = t.link_log_replays;
-    replay_skips = t.replay_skips;
-    segments_written = t.segments_written;
-    segments_cleaned = t.segments_cleaned;
-    blocks_copied_clean = t.blocks_copied_clean;
-    clean_disk_reads = t.clean_disk_reads;
-    clean_cache_hits = t.clean_cache_hits;
-    victim_scans = t.victim_scans;
-    clean_picks = t.clean_picks;
-    live_index_updates = t.live_index_updates;
-    checkpoints = t.checkpoints;
-    cache_hits = t.cache_hits;
-    cache_misses = t.cache_misses;
-    readaheads = t.readaheads;
-    flushes = t.flushes;
-  }
+  let c = create () in
+  List.iter (fun (_, get, set) -> set c (get t)) fields;
+  c
+
+let to_alist t = List.map (fun (name, get, _) -> (name, get t)) fields
+
+let diff ~base t =
+  List.map (fun (name, get, _) -> (name, get t - get base)) fields
+
+let equal a b = List.for_all (fun (_, get, _) -> get a = get b) fields
+
+let to_json_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" name v))
+    (to_alist t);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
 
 let pp ppf t =
-  Format.fprintf ppf
-    "@[<v>reads %d, writes %d, new-blocks %d, delete-blocks %d@,\
-     new-lists %d, delete-lists %d@,\
-     ARUs: begun %d, committed %d, aborted %d@,\
-     records: created %d, transitions %d, mesh hops %d, pred-search hops %d@,\
-     log: summary entries %d, link-log appends %d, replays %d (skipped %d)@,\
-     segments written %d, cleaned %d (blocks copied %d), checkpoints %d@,\
-     cleaner: disk reads %d, cache hits %d, victim scans %d, picks %d@,\
-     live-index updates %d@,\
-     cache: hits %d, misses %d, readaheads %d, flushes %d@]"
-    t.reads t.writes t.new_blocks t.delete_blocks t.new_lists t.delete_lists
-    t.arus_begun t.arus_committed t.arus_aborted t.record_creates
-    t.record_transitions t.mesh_hops t.pred_search_hops t.summary_entries
-    t.link_log_appends t.link_log_replays t.replay_skips t.segments_written
-    t.segments_cleaned t.blocks_copied_clean t.checkpoints t.clean_disk_reads
-    t.clean_cache_hits t.victim_scans t.clean_picks t.live_index_updates
-    t.cache_hits t.cache_misses t.readaheads t.flushes
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "%-20s %d" name v)
+    (to_alist t);
+  Format.fprintf ppf "@]"

@@ -64,4 +64,12 @@ module type S = sig
   val clock : t -> Lld_sim.Clock.t
   val cost_model : t -> Lld_sim.Cost.t
   val counters : t -> Counters.t
+
+  (** {1 Observability} *)
+
+  val set_obs : t -> Lld_obs.Obs.t -> unit
+  (** Attach an observability handle (tracer + metrics); the default is
+      {!Lld_obs.Obs.null}, on which every probe is a no-op. *)
+
+  val obs : t -> Lld_obs.Obs.t
 end

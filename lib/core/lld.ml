@@ -3,6 +3,8 @@ module Cost = Lld_sim.Cost
 module Geometry = Lld_disk.Geometry
 module Disk = Lld_disk.Disk
 module Lru = Lld_util.Lru
+module Obs = Lld_obs.Obs
+module Tr = Lld_obs.Trace
 
 type t = {
   config : Config.t;
@@ -35,6 +37,7 @@ type t = {
   (* reversed emission order; mirrors recovery's per-ARU buffers *)
   mutable in_cleaning : bool;
   mutable in_checkpoint : bool;
+  mutable obs : Obs.t; (* observability handle; Obs.null = every probe a no-op *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -257,6 +260,9 @@ and maybe_auto_checkpoint t =
 and checkpoint_internal ?(extra_free = []) t =
   t.in_checkpoint <- true;
   Fun.protect ~finally:(fun () -> t.in_checkpoint <- false) @@ fun () ->
+  Obs.timed t.obs Tr.Checkpoint "write"
+    ~args:[ ("ckpt_id", Tr.I (t.ckpt_id + 1)); ("region", Tr.I t.ckpt_region) ]
+  @@ fun () ->
   seal t;
   let blocks = ref [] in
   Block_map.iter t.blocks (fun r ->
@@ -325,6 +331,13 @@ and clean_internal t ~target_free =
   else begin
     t.in_cleaning <- true;
     Fun.protect ~finally:(fun () -> t.in_cleaning <- false) @@ fun () ->
+    Obs.timed t.obs Tr.Clean "pass"
+      ~args:
+        [
+          ("target_free", Tr.I target_free);
+          ("free_now", Tr.I (Queue.length t.free_segs));
+        ]
+    @@ fun () ->
     if t.seq_aru <> None then
       (* the sequential prototype cannot checkpoint (and therefore not
          clean) with an open ARU; DESIGN.md §5.3 *)
@@ -394,6 +407,12 @@ and clean_internal t ~target_free =
       let gain = !n_victims - ((!copies + bps t - 1) / bps t) in
       if !victims = [] || gain <= 0 then progress := false
       else begin
+        Obs.instant t.obs Tr.Clean "batch"
+          [
+            ("victims", Tr.I !n_victims);
+            ("copies", Tr.I !copies);
+            ("gain", Tr.I gain);
+          ];
         List.iter (relocate_live_blocks t) !victims;
         flush t;
         (* the victims join the free queue right after this checkpoint,
@@ -430,6 +449,10 @@ and clean_internal t ~target_free =
    records, mutating anchors mid-loop, so the block list is a snapshot
    and each anchor is re-checked against the victim at visit time. *)
 and relocate_live_blocks t victim =
+  Obs.timed t.obs Tr.Clean "relocate"
+    ~args:
+      [ ("segment", Tr.I victim); ("live", Tr.I (live_count t victim)) ]
+  @@ fun () ->
   let c = cost t in
   let bb = block_bytes t in
   let base = victim * bps t in
@@ -1179,8 +1202,21 @@ let end_aru t aid =
     let ctx = commit_ctx t collected_b collected_l in
     (* 1. replay the list-operation log in the committed state,
        generating the summary entries (paper §4) *)
-    List.iter (replay_log_op t a ctx) (Link_log.to_list a.Aru.log);
+    Obs.timed t.obs Tr.Aru "commit.replay_log"
+      ~args:
+        [
+          ("aru", Tr.I (Types.Aru_id.to_int aid));
+          ("ops", Tr.I (Link_log.length a.Aru.log));
+        ]
+      (fun () -> List.iter (replay_log_op t a ctx) (Link_log.to_list a.Aru.log));
     (* 2. merge shadow data versions into the committed state *)
+    Obs.timed t.obs Tr.Aru "commit.merge_shadow"
+      ~args:
+        [
+          ("aru", Tr.I (Types.Aru_id.to_int aid));
+          ("shadow_blocks", Tr.I (Aru.shadow_block_count a));
+        ]
+      (fun () ->
     Aru.iter_shadow_blocks a (fun r ->
         let anchor = Block_map.anchor t.blocks r.Record.id in
         Record.remove_alt_block ~anchor r;
@@ -1213,10 +1249,13 @@ let end_aru t aid =
         Record.remove_alt_list ~anchor r;
         t.counters.Counters.record_transitions <-
           t.counters.Counters.record_transitions + 1;
-        cpu t (cost t).Cost.record_transition_ns);
+        cpu t (cost t).Cost.record_transition_ns));
     (* 3. the commit record *)
     let commit_seq =
-      emit_entry t ~stream:Summary.Simple (Summary.Commit { aru = aid })
+      Obs.timed t.obs Tr.Aru "commit.record"
+        ~args:[ ("aru", Tr.I (Types.Aru_id.to_int aid)) ]
+        (fun () ->
+          emit_entry t ~stream:Summary.Simple (Summary.Commit { aru = aid }))
     in
     Hashtbl.remove t.pending (Types.Aru_id.to_int aid);
     (* 4. everything the commit touched becomes durable together with
@@ -1259,6 +1298,37 @@ let abort_aru t aid =
       Record.remove_alt_list ~anchor r);
   Hashtbl.remove t.arus (Types.Aru_id.to_int aid);
   t.counters.Counters.arus_aborted <- t.counters.Counters.arus_aborted + 1
+
+(* ------------------------------------------------------------------ *)
+(* Observability wrappers.  Each public LD operation is timed on the
+   virtual clock into an ["op.<name>"] histogram and recorded as an
+   [op] trace span.  With {!Obs.null} attached (the default) a wrapper
+   is one field read and a direct call — the cost model never sees it. *)
+
+let begin_aru t = Obs.timed t.obs Tr.Op "begin_aru" (fun () -> begin_aru t)
+let end_aru t aid = Obs.timed t.obs Tr.Op "end_aru" (fun () -> end_aru t aid)
+
+let abort_aru t aid =
+  Obs.timed t.obs Tr.Op "abort_aru" (fun () -> abort_aru t aid)
+
+let new_list t ?aru () =
+  Obs.timed t.obs Tr.Op "new_list" (fun () -> new_list t ?aru ())
+
+let new_block t ?aru ~list ~pred () =
+  Obs.timed t.obs Tr.Op "new_block" (fun () -> new_block t ?aru ~list ~pred ())
+
+let write t ?aru block data =
+  Obs.timed t.obs Tr.Op "write" (fun () -> write t ?aru block data)
+
+let read t ?aru block = Obs.timed t.obs Tr.Op "read" (fun () -> read t ?aru block)
+
+let delete_block t ?aru block =
+  Obs.timed t.obs Tr.Op "delete_block" (fun () -> delete_block t ?aru block)
+
+let delete_list t ?aru list =
+  Obs.timed t.obs Tr.Op "delete_list" (fun () -> delete_list t ?aru list)
+
+let flush t = Obs.timed t.obs Tr.Op "flush" (fun () -> flush t)
 
 let with_aru t f =
   let aru = begin_aru t in
@@ -1455,6 +1525,66 @@ let scavenge t =
   !freed
 
 (* ------------------------------------------------------------------ *)
+(* Gauges and observability attachment                                 *)
+
+let open_arus t = Hashtbl.length t.arus
+let cache_blocks t = Lru.length t.cache
+let cache_capacity t = Lru.capacity t.cache
+
+let sealed_segments t =
+  Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 t.sealed
+
+let live_blocks t =
+  let total = ref 0 in
+  for i = 0 to t.geom.Geometry.num_segments - 1 do
+    total := !total + live_count t i
+  done;
+  !total
+
+let segment_utilization t =
+  let acc = ref [] in
+  for i = t.geom.Geometry.num_segments - 1 downto 0 do
+    if t.sealed.(i) then acc := (i, live_count t i) :: !acc
+  done;
+  !acc
+
+let shadow_versions t =
+  Hashtbl.fold (fun _ a acc -> acc + Aru.shadow_block_count a) t.arus 0
+
+let link_log_entries t =
+  Hashtbl.fold (fun _ (a : Aru.t) acc -> acc + Link_log.length a.Aru.log) t.arus 0
+
+let obs t = t.obs
+
+let set_obs t obs =
+  t.obs <- obs;
+  Disk.set_obs t.disk obs;
+  if Obs.active obs then begin
+    Obs.register_gauge obs ~name:"free_segments"
+      ~help:"segments on the free queue" (fun () -> Queue.length t.free_segs);
+    Obs.register_gauge obs ~name:"sealed_segments"
+      ~help:"segments written and not yet freed" (fun () -> sealed_segments t);
+    Obs.register_gauge obs ~name:"allocated_blocks"
+      ~help:"logical blocks currently allocated" (fun () ->
+        allocated_blocks t);
+    Obs.register_gauge obs ~name:"live_blocks"
+      ~help:"persistent block slots referenced by the live index" (fun () ->
+        live_blocks t);
+    Obs.register_gauge obs ~name:"cache_blocks"
+      ~help:"blocks resident in the LRU cache" (fun () -> cache_blocks t);
+    Obs.register_gauge obs ~name:"cache_capacity"
+      ~help:"LRU cache capacity in blocks" (fun () -> cache_capacity t);
+    Obs.register_gauge obs ~name:"open_arus" ~help:"ARUs begun and not yet ended"
+      (fun () -> open_arus t);
+    Obs.register_gauge obs ~name:"shadow_versions"
+      ~help:"shadow block versions held by open ARUs (mesh depth)" (fun () ->
+        shadow_versions t);
+    Obs.register_gauge obs ~name:"link_log_entries"
+      ~help:"buffered list operations across open ARU link logs" (fun () ->
+        link_log_entries t)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 
 let make ~config ~disk ~blocks ~lists ~next_seq ~stamp ~next_aru ~ckpt_id =
@@ -1492,11 +1622,12 @@ let make ~config ~disk ~blocks ~lists ~next_seq ~stamp ~next_aru ~ckpt_id =
       pending = Hashtbl.create 16;
       in_cleaning = false;
       in_checkpoint = false;
+      obs = Obs.null;
     }
   in
   t
 
-let create ?(config = Config.default) disk =
+let create ?(config = Config.default) ?(obs = Obs.null) disk =
   let geom = Disk.geometry disk in
   (* a reused disk may hold stale segments with arbitrary sequence
      numbers; start above all of them so recovery never replays relics *)
@@ -1522,14 +1653,16 @@ let create ?(config = Config.default) disk =
   for i = Disk_layout.log_first geom to geom.Geometry.num_segments - 1 do
     Queue.push i t.free_segs
   done;
+  set_obs t obs;
   (* both regions get the empty state so no stale checkpoint survives *)
   checkpoint_internal t;
   checkpoint_internal t;
   t
 
-let recover ?(config = Config.default) disk =
+let recover ?(config = Config.default) ?(obs = Obs.null) disk =
   Lld_disk.Fault.reset_after_recovery (Disk.fault disk);
-  let restored = Recovery.run ~sweep:config.Config.recovery_sweep disk in
+  Disk.set_obs disk obs;
+  let restored = Recovery.run ~obs ~sweep:config.Config.recovery_sweep disk in
   let geom = Disk.geometry disk in
   let t =
     make ~config ~disk ~blocks:restored.Recovery.r_blocks
@@ -1552,6 +1685,7 @@ let recover ?(config = Config.default) disk =
   (* a fresh checkpoint makes every unreferenced log segment free; it
      must not overwrite the region just recovered from, or a crash
      during this write would lose both checkpoints *)
+  set_obs t obs;
   t.ckpt_region <- 1 - restored.Recovery.r_report.Recovery.checkpoint_region;
   checkpoint_internal t;
   (t, restored.Recovery.r_report)

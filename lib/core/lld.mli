@@ -22,15 +22,20 @@ type t
 
 (** {1 Formatting, mounting, recovering} *)
 
-val create : ?config:Config.t -> Lld_disk.Disk.t -> t
+val create : ?config:Config.t -> ?obs:Lld_obs.Obs.t -> Lld_disk.Disk.t -> t
 (** Format the disk (mkfs): writes initial checkpoints and starts an
-    empty logical disk.  Previous contents become unreachable. *)
+    empty logical disk.  Previous contents become unreachable.  [obs]
+    (default {!Lld_obs.Obs.null}) is attached as by {!set_obs}. *)
 
-val recover : ?config:Config.t -> Lld_disk.Disk.t -> t * Recovery.report
+val recover :
+  ?config:Config.t -> ?obs:Lld_obs.Obs.t -> Lld_disk.Disk.t ->
+  t * Recovery.report
 (** Mount after a crash (or clean shutdown): restores the most recent
     persistent state, discards uncommitted ARUs, runs the consistency
     sweep, and writes a fresh checkpoint.  Raises [Errors.Corrupt] on an
-    unformatted disk. *)
+    unformatted disk.  [obs] is attached before recovery runs, so the
+    [recovery] phase spans and the disk reads of the log-tail replay
+    appear in the trace. *)
 
 (** {1 The LD interface} *)
 
@@ -158,3 +163,42 @@ val cost_model : t -> Lld_sim.Cost.t
 
 val disk : t -> Lld_disk.Disk.t
 val free_segments : t -> int
+
+(** {1 Observability}
+
+    Probes are no-ops against the default {!Lld_obs.Obs.null} handle:
+    attaching observability is strictly opt-in and never charges the
+    virtual clock, so throughput numbers are identical with and without
+    it (the bench driver asserts this). *)
+
+val set_obs : t -> Lld_obs.Obs.t -> unit
+(** Attach an observability handle to this instance and its disk:
+    every public operation records an ["op.<name>"] latency histogram
+    and an [op] trace span, commits record [aru] phase spans, the
+    cleaner and checkpointer record [clean]/[checkpoint] spans, and the
+    gauges below are registered on the handle's metrics registry. *)
+
+val obs : t -> Lld_obs.Obs.t
+
+val open_arus : t -> int
+(** ARUs begun and not yet committed or aborted. *)
+
+val cache_blocks : t -> int
+(** Blocks resident in the LRU cache. *)
+
+val cache_capacity : t -> int
+
+val live_blocks : t -> int
+(** Persistent block slots referenced by the per-segment live index. *)
+
+val sealed_segments : t -> int
+(** Segments written and not yet freed. *)
+
+val segment_utilization : t -> (int * int) list
+(** [(segment, live blocks)] for every sealed segment, ascending. *)
+
+val shadow_versions : t -> int
+(** Shadow block versions held by open ARUs (the mesh depth). *)
+
+val link_log_entries : t -> int
+(** Buffered list operations across all open ARU link logs. *)

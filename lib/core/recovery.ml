@@ -1,6 +1,8 @@
 module Geometry = Lld_disk.Geometry
 module Disk = Lld_disk.Disk
 module Fault = Lld_disk.Fault
+module Obs = Lld_obs.Obs
+module Tr = Lld_obs.Trace
 
 type report = {
   checkpoint_id : int;
@@ -204,18 +206,24 @@ let read_region_safe disk ~region =
   | snap -> snap
   | exception Fault.Media_error _ -> None
 
-let run ?(sweep = true) disk =
+let run ?(obs = Obs.null) ?(sweep = true) disk =
   let geom = Disk.geometry disk in
-  let snap, region =
-    match (read_region_safe disk ~region:0, read_region_safe disk ~region:1) with
-    | None, None ->
-      raise (Errors.Corrupt "no valid checkpoint: disk not formatted")
-    | Some a, None -> (a, 0)
-    | None, Some b -> (b, 1)
-    | Some a, Some b ->
-      if a.Checkpoint.ckpt_id >= b.Checkpoint.ckpt_id then (a, 0) else (b, 1)
+  let snap, region, blocks, lists =
+    Obs.timed obs Tr.Recovery "checkpoint_restore" @@ fun () ->
+    let snap, region =
+      match
+        (read_region_safe disk ~region:0, read_region_safe disk ~region:1)
+      with
+      | None, None ->
+        raise (Errors.Corrupt "no valid checkpoint: disk not formatted")
+      | Some a, None -> (a, 0)
+      | None, Some b -> (b, 1)
+      | Some a, Some b ->
+        if a.Checkpoint.ckpt_id >= b.Checkpoint.ckpt_id then (a, 0) else (b, 1)
+    in
+    let blocks, lists = restore_checkpoint geom snap in
+    (snap, region, blocks, lists)
   in
-  let blocks, lists = restore_checkpoint geom snap in
   let buffers = Hashtbl.create 16 in
   List.iter
     (fun (aru, entries) -> Hashtbl.replace buffers aru (List.rev entries))
@@ -254,8 +262,9 @@ let run ?(sweep = true) disk =
       incr invalid;
       None
   in
-  (match snap.Checkpoint.free_order with
-  | _ :: _ as order ->
+  Obs.timed obs Tr.Recovery "replay" (fun () ->
+      match snap.Checkpoint.free_order with
+      | _ :: _ as order ->
     let continue = ref true in
     List.iter
       (fun i ->
@@ -297,8 +306,13 @@ let run ?(sweep = true) disk =
   let discarded_entries =
     Hashtbl.fold (fun _ l acc -> acc + List.length l) st.buffers 0
   in
-  let scavenged = if sweep then scavenge st else 0 in
-  let lists_scavenged = if sweep then scavenge_lists st else 0 in
+  let scavenged, lists_scavenged =
+    Obs.timed obs Tr.Recovery "sweep" @@ fun () ->
+    if sweep then
+      let b = scavenge st in
+      (b, scavenge_lists st)
+    else (0, 0)
+  in
   Block_map.rebuild_free st.blocks;
   List_table.rebuild_free st.lists;
   let report =

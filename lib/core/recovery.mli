@@ -41,8 +41,10 @@ type restored = {
   r_report : report;
 }
 
-val run : ?sweep:bool -> Lld_disk.Disk.t -> restored
+val run : ?obs:Lld_obs.Obs.t -> ?sweep:bool -> Lld_disk.Disk.t -> restored
 (** Raises [Errors.Corrupt] when no valid checkpoint exists (the disk
     was never formatted).  [sweep] (default [true]) runs the consistency
     sweep; see {!Config.t.recovery_sweep} for the test-only reason to
-    disable it. *)
+    disable it.  [obs] (default {!Lld_obs.Obs.null}) records the
+    [recovery] phase spans — [checkpoint_restore], [replay], [sweep] —
+    and their latency histograms. *)

@@ -422,6 +422,21 @@ let image_at trace point =
     Bytes.blit data 0 image offset (min k (Bytes.length data)));
   image
 
+(* Replay one crash point with live tracing attached to recovery (and
+   to the verification reads), writing the Chrome trace next to the
+   minimal reproducer so a failing point can be inspected in Perfetto
+   without re-running the checker. *)
+let dump_point_trace ?recover_config trace point ~path =
+  let spec = trace.tr_spec in
+  let config = Option.value recover_config ~default:spec.sc_config in
+  let clock = Clock.create () in
+  let obs = Lld_obs.Obs.create ~clock () in
+  let disk = Disk.load ~clock spec.sc_geom (image_at trace point) in
+  (match Lld.recover ~config ~obs disk with
+  | exception _ -> ()
+  | lld, _report -> ignore (verify_recovered trace lld));
+  Lld_obs.Trace.write_chrome_file (Lld_obs.Obs.trace obs) path
+
 let check_point ?recover_config trace point =
   let n = Array.length trace.tr_writes in
   if point.pt_index < 0 || point.pt_index > n then
@@ -455,6 +470,7 @@ type result = {
   r_violation_points : int;
   r_violations : violation list;
   r_minimal : violation option;
+  r_trace_file : string option;
 }
 
 let max_kept_violations = 50
@@ -527,7 +543,7 @@ let check_ordered ?recover_config ?progress trace points ~on_violation =
   (!checked, !torn)
 
 let run ?(granularity = 512) ?budget ?(seed = 1) ?recover_config
-    ?(shrink_limit = 4000) ?progress trace =
+    ?(shrink_limit = 4000) ?trace_dir ?progress trace =
   let all_points = enumerate ~granularity trace in
   let total = List.length all_points in
   let points =
@@ -569,6 +585,26 @@ let run ?(granularity = 512) ?budget ?(seed = 1) ?recover_config
        with Exit -> ());
       (match !found with Some v -> Some v | None -> Some first)
   in
+  let trace_file =
+    match (minimal, trace_dir) with
+    | Some v, Some dir ->
+      let point_tag =
+        match v.v_point.pt_keep with
+        | None -> string_of_int v.v_point.pt_index
+        | Some k -> Printf.sprintf "%d-torn%d" v.v_point.pt_index k
+      in
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "crash-%s-at-%s.trace.json" trace.tr_spec.sc_name
+             point_tag)
+      in
+      (try
+         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+         dump_point_trace ?recover_config trace v.v_point ~path;
+         Some path
+       with Sys_error _ -> None)
+    | _ -> None
+  in
   {
     r_workload = trace.tr_spec.sc_name;
     r_writes = Array.length trace.tr_writes;
@@ -579,6 +615,7 @@ let run ?(granularity = 512) ?budget ?(seed = 1) ?recover_config
     r_violation_points = !violation_points;
     r_violations = violations;
     r_minimal = minimal;
+    r_trace_file = trace_file;
   }
 
 let repro_hint ~workload point =
@@ -606,6 +643,9 @@ let pp_result ppf r =
     | Some v ->
       Format.fprintf ppf "minimal reproducer: %a@,  %s@," pp_point v.v_point
         (repro_hint ~workload:r.r_workload v.v_point);
-      List.iter (fun p -> Format.fprintf ppf "  %s@," p) v.v_problems);
+      List.iter (fun p -> Format.fprintf ppf "  %s@," p) v.v_problems;
+      match r.r_trace_file with
+      | None -> ()
+      | Some f -> Format.fprintf ppf "  recovery trace: %s@," f);
     Format.fprintf ppf "@]"
   end

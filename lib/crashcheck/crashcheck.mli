@@ -104,6 +104,14 @@ val check_point :
     tests to demonstrate that a deliberately broken recovery — e.g.
     [recovery_sweep = false] — is caught). *)
 
+val dump_point_trace :
+  ?recover_config:Lld_core.Config.t -> trace -> point -> path:string -> unit
+(** Replay the crash point once more with a live {!Lld_obs.Obs} attached
+    to recovery (and to the oracle-verification reads that follow) and
+    write the resulting Chrome trace-event JSON to [path] — openable in
+    Perfetto / [chrome://tracing].  A recovery that raises still leaves
+    the spans recorded up to the failure in the file. *)
+
 (** {1 The checker} *)
 
 type violation = { v_point : point; v_problems : string list }
@@ -120,6 +128,9 @@ type result = {
   r_minimal : violation option;
       (** earliest failing point after shrinking — the minimal
           reproducer *)
+  r_trace_file : string option;
+      (** Chrome trace of the minimal reproducer's recovery, written
+          when [run ~trace_dir] was given and a violation was found *)
 }
 
 val max_kept_violations : int
@@ -132,6 +143,7 @@ val run :
   ?seed:int ->
   ?recover_config:Lld_core.Config.t ->
   ?shrink_limit:int ->
+  ?trace_dir:string ->
   ?progress:(checked:int -> selected:int -> unit) ->
   trace ->
   result
@@ -142,7 +154,11 @@ val run :
     kept, and the sample is drawn with {!Lld_sim.Rng} seeded by [seed]
     (default 1).  When violations are found, the earliest failing point
     is located by scanning the full enumeration from the start (at most
-    [shrink_limit] extra checks, default 4000). *)
+    [shrink_limit] extra checks, default 4000).  With [trace_dir], the
+    minimal reproducer's recovery is replayed under live tracing and the
+    Chrome trace written into that directory (see
+    {!dump_point_trace}); the path lands in [r_trace_file] and in
+    {!pp_result}'s output next to the reproducer command line. *)
 
 val repro_hint : workload:string -> point -> string
 (** A [lld crashcheck --workload ... --at ...] command line that replays

@@ -15,6 +15,7 @@ type t = {
   store : bytes;
   mutable last_end : int; (* byte position after the previous request; -1 = cold *)
   mutable observer : observer option;
+  mutable obs : Lld_obs.Obs.t;
   mutable writes : int;
   mutable reads : int;
   mutable bytes_written : int;
@@ -31,6 +32,7 @@ let make ?(timing = Timing.hp_c3010) ?fault ~clock geom store =
     store;
     last_end = -1;
     observer = None;
+    obs = Lld_obs.Obs.null;
     writes = 0;
     reads = 0;
     bytes_written = 0;
@@ -53,6 +55,7 @@ let restore t image =
   Bytes.blit image 0 t.store 0 (Bytes.length image)
 
 let set_observer t obs = t.observer <- obs
+let set_obs t obs = t.obs <- obs
 
 let geometry t = t.geom
 let fault t = t.fault
@@ -62,11 +65,34 @@ let check_range t ~offset ~length =
   if offset < 0 || length < 0 || offset + length > Bytes.length t.store then
     invalid_arg "Disk: request outside the partition"
 
-let charge t ~offset ~length =
-  let ns =
-    Timing.request_ns t.timing t.geom ~last_end:t.last_end ~offset ~length
+(* Charge the mechanical cost of a request and, when an observability
+   handle is attached, record a [disk] span with the seek/transfer
+   breakdown.  The span brackets exactly the charged interval, so trace
+   durations equal the cost-model charge. *)
+let charge t ~op ~offset ~length =
+  let b =
+    Timing.request_breakdown t.timing t.geom ~last_end:t.last_end ~offset
+      ~length
   in
-  Lld_sim.Clock.charge t.clock Lld_sim.Clock.Io ns;
+  let ns = b.Timing.position_ns + b.Timing.xfer_ns in
+  let module Obs = Lld_obs.Obs in
+  if Obs.active t.obs then begin
+    let ts = Lld_sim.Clock.now_ns t.clock in
+    Lld_sim.Clock.charge t.clock Lld_sim.Clock.Io ns;
+    Obs.observe t.obs ("disk." ^ op) ns;
+    Obs.observe t.obs ("disk." ^ op ^ ".position") b.Timing.position_ns;
+    Lld_obs.Trace.complete (Obs.trace t.obs) Lld_obs.Trace.Disk op ~ts_ns:ts
+      ~dur_ns:ns
+      [
+        ("offset", Lld_obs.Trace.I offset);
+        ("length", Lld_obs.Trace.I length);
+        ("position_ns", Lld_obs.Trace.I b.Timing.position_ns);
+        ("transfer_ns", Lld_obs.Trace.I b.Timing.xfer_ns);
+        ( "position",
+          Lld_obs.Trace.S (Timing.position_kind_label b.Timing.kind) );
+      ]
+  end
+  else Lld_sim.Clock.charge t.clock Lld_sim.Clock.Io ns;
   t.last_end <- offset + length
 
 let write t ~offset data =
@@ -79,14 +105,14 @@ let write t ~offset data =
   in
   match Fault.on_write t.fault ~length with
   | `Ok ->
-    charge t ~offset ~length;
+    charge t ~op:"write" ~offset ~length;
     Bytes.blit data 0 t.store offset length;
     t.writes <- t.writes + 1;
     t.bytes_written <- t.bytes_written + length;
     observe ~kept:length
   | `Torn keep ->
     (* the prefix reached the medium before power was lost *)
-    charge t ~offset ~length:keep;
+    charge t ~op:"write" ~offset ~length:keep;
     Bytes.blit data 0 t.store offset keep;
     t.writes <- t.writes + 1;
     t.bytes_written <- t.bytes_written + keep;
@@ -97,7 +123,7 @@ let read t ~offset ~length =
   check_range t ~offset ~length;
   if Fault.crashed t.fault then raise Fault.Crashed;
   Fault.check_read t.fault ~offset ~length;
-  charge t ~offset ~length;
+  charge t ~op:"read" ~offset ~length;
   t.reads <- t.reads + 1;
   t.bytes_read <- t.bytes_read + length;
   Bytes.sub t.store offset length

@@ -56,6 +56,13 @@ val set_observer : t -> observer option -> unit
     inside {!write}, after the store is updated and before a torn write
     raises {!Fault.Crashed}. *)
 
+val set_obs : t -> Lld_obs.Obs.t -> unit
+(** Attach an observability handle (default {!Lld_obs.Obs.null}).  When
+    active, every request records a [disk] span whose duration equals
+    the charged mechanical cost, with the positioning/transfer
+    breakdown from {!Timing.request_breakdown} as arguments, and feeds
+    the ["disk.read"]/["disk.write"] latency histograms. *)
+
 val snapshot : t -> bytes
 (** Copy of the entire device image. *)
 

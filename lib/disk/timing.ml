@@ -43,18 +43,36 @@ let transfer_ns t length =
   else
     int_of_float (float_of_int length /. float_of_int t.transfer_bytes_per_sec *. 1e9)
 
-let request_ns t geom ~last_end ~offset ~length =
+type position_kind = Cold | Sequential | Same_cylinder | Seek
+
+let position_kind_label = function
+  | Cold -> "cold"
+  | Sequential -> "sequential"
+  | Same_cylinder -> "same_cylinder"
+  | Seek -> "seek"
+
+type breakdown = {
+  position_ns : int;
+  xfer_ns : int;
+  kind : position_kind;
+}
+
+let request_breakdown t geom ~last_end ~offset ~length =
   let total_cyl = Geometry.cylinder_of_offset geom (Geometry.total_bytes geom - 1) + 1 in
-  let position_ns =
-    if last_end < 0 then t.avg_seek_ns + (t.rotation_ns / 2)
-    else if offset = last_end then t.settle_ns
+  let position_ns, kind =
+    if last_end < 0 then (t.avg_seek_ns + (t.rotation_ns / 2), Cold)
+    else if offset = last_end then (t.settle_ns, Sequential)
     else
       let from_cyl = Geometry.cylinder_of_offset geom last_end in
       let to_cyl = Geometry.cylinder_of_offset geom offset in
       let seek = seek_ns t geom ~from_cyl ~to_cyl ~total_cyl in
       if seek = 0 then
         (* same cylinder, different position: partial rotation *)
-        t.settle_ns + (t.rotation_ns / 4)
-      else seek + (t.rotation_ns / 2)
+        (t.settle_ns + (t.rotation_ns / 4), Same_cylinder)
+      else (seek + (t.rotation_ns / 2), Seek)
   in
-  position_ns + transfer_ns t length
+  { position_ns; xfer_ns = transfer_ns t length; kind }
+
+let request_ns t geom ~last_end ~offset ~length =
+  let b = request_breakdown t geom ~last_end ~offset ~length in
+  b.position_ns + b.xfer_ns

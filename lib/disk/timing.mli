@@ -25,3 +25,28 @@ val request_ns :
 (** Virtual duration of a request of [length] bytes at byte [offset],
     when the previous request ended at byte [last_end].  [last_end < 0]
     means cold start (full average positioning cost). *)
+
+(** {2 Cost breakdown}
+
+    The same model, decomposed for tracing: how the head got into
+    position and how the total splits between positioning (seek +
+    rotation/settle) and media transfer. *)
+
+type position_kind =
+  | Cold  (** first request: average seek + half rotation *)
+  | Sequential  (** continues the previous request: settle only *)
+  | Same_cylinder  (** head switch on the cylinder: settle + rotation/4 *)
+  | Seek  (** cylinder move: distance-scaled seek + half rotation *)
+
+val position_kind_label : position_kind -> string
+
+type breakdown = {
+  position_ns : int;
+  xfer_ns : int;
+  kind : position_kind;
+}
+
+val request_breakdown :
+  t -> Geometry.t -> last_end:int -> offset:int -> length:int -> breakdown
+(** Same inputs and total cost as {!request_ns}:
+    [request_ns = position_ns + xfer_ns]. *)

@@ -14,6 +14,10 @@ module Aru_churn = Lld_workload.Aru_churn
 module Concurrent = Lld_workload.Concurrent
 module Mixed = Lld_workload.Mixed
 module Fs = Lld_minixfs.Fs
+module Obs = Lld_obs.Obs
+module Metrics = Lld_obs.Metrics
+module Trace = Lld_obs.Trace
+module Histogram = Lld_sim.Stats.Histogram
 
 type scale = {
   files : float;
@@ -782,6 +786,122 @@ let print_cleaning ppf rows =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* O1/O2 — observability: observer effect and ARU commit breakdown *)
+
+type observability_result = {
+  o1_counters_match : bool;
+  o1_clock_match : bool;
+  o1_plain_clock_ns : int;
+  o1_traced_clock_ns : int;
+  o1_trace_events : int;
+  o1_metrics : Metrics.t;  (* gauges + histograms of the traced FS run *)
+  o2_arus : int;
+  o2_latency_us : float;
+  o2_metrics : Metrics.t;  (* histograms incl. the aru.commit.* phases *)
+}
+
+(* O1 is the no-observer-effect guard: the same deterministic
+   small-file workload runs twice — once with Obs.null, once under a
+   live tracer — and the counters JSON and the final virtual clock must
+   be byte-identical, because probes read the clock but never charge
+   it.  O2 re-runs the paper's §5.3 empty-ARU churn under tracing and
+   decomposes the 78.47 us commit figure into its phases. *)
+let observability scale =
+  let params = Smallfile.scaled Smallfile.paper_1k (0.1 *. scale.files) in
+  let run ?clock ?obs () =
+    let inst = Setup.make ~geom:scale.geom ?clock ?obs Setup.New in
+    ignore (Smallfile.run inst params);
+    ( Counters.to_json_string (Lld.counters inst.Setup.lld),
+      Clock.now_ns inst.Setup.clock )
+  in
+  let plain_counters, plain_clock = run () in
+  let clock = Clock.create () in
+  let obs = Obs.create ~clock () in
+  let traced_counters, traced_clock = run ~clock ~obs () in
+  let o2_count =
+    max 1_000
+      (int_of_float
+         (float_of_int Aru_churn.paper.Aru_churn.count *. scale.arus *. 0.02))
+  in
+  let churn_clock = Clock.create () in
+  let churn_obs = Obs.create ~clock:churn_clock () in
+  let _, lld =
+    Setup.make_raw ~geom:scale.geom ~clock:churn_clock ~obs:churn_obs
+      Setup.New
+  in
+  let churn = Aru_churn.run lld { Aru_churn.count = o2_count } in
+  {
+    o1_counters_match = String.equal plain_counters traced_counters;
+    o1_clock_match = plain_clock = traced_clock;
+    o1_plain_clock_ns = plain_clock;
+    o1_traced_clock_ns = traced_clock;
+    o1_trace_events = Trace.count (Obs.trace obs);
+    o1_metrics = Obs.metrics obs;
+    o2_arus = churn.Aru_churn.count;
+    o2_latency_us = churn.Aru_churn.latency_us;
+    o2_metrics = Obs.metrics churn_obs;
+  }
+
+let commit_breakdown_keys =
+  [
+    "op.begin_aru";
+    "op.end_aru";
+    "aru.commit.replay_log";
+    "aru.commit.merge_shadow";
+    "aru.commit.record";
+    "disk.write";
+  ]
+
+let hist_table_rows metrics keys =
+  List.filter_map
+    (fun key ->
+      match Metrics.find_histogram metrics key with
+      | None -> None
+      | Some h when Histogram.count h = 0 -> None
+      | Some h ->
+        let us ns = Report.f2 (float_of_int ns /. 1e3) in
+        Some
+          [
+            key;
+            string_of_int (Histogram.count h);
+            Report.f2 (Histogram.mean h /. 1e3);
+            us (Histogram.p50 h);
+            us (Histogram.p95 h);
+            us (Histogram.p99 h);
+          ])
+    keys
+
+let print_observability ppf r =
+  Report.table ppf
+    ~title:
+      "O1: observer effect — identical small-file run with tracing off vs \
+       on (probes read the virtual clock, never charge it)"
+    ~header:[ "quantity"; "untraced"; "traced"; "identical" ]
+    [
+      [
+        "counters JSON";
+        "(baseline)";
+        "(compared)";
+        (if r.o1_counters_match then "yes" else "NO");
+      ];
+      [
+        "final virtual clock (ns)";
+        string_of_int r.o1_plain_clock_ns;
+        string_of_int r.o1_traced_clock_ns;
+        (if r.o1_clock_match then "yes" else "NO");
+      ];
+      [ "trace events recorded"; "0"; string_of_int r.o1_trace_events; "-" ];
+    ];
+  Report.table ppf
+    ~title:
+      (Printf.sprintf
+         "O2: ARU commit span breakdown over %d empty Begin/End pairs — \
+          measured %.2f us/ARU (paper 5.3: 78.47 us)"
+         r.o2_arus r.o2_latency_us)
+    ~header:[ "span"; "count"; "mean (us)"; "p50"; "p95"; "p99" ]
+    (hist_table_rows r.o2_metrics commit_breakdown_keys)
+
+(* ------------------------------------------------------------------ *)
 
 type check = { ck_name : string; ck_ok : bool; ck_detail : string }
 
@@ -791,7 +911,7 @@ let finite v = Float.is_finite v && v > 0.
    virtual clock is calibrated, not cycle-accurate) but the directional
    claims each table/figure exists to demonstrate.  A regression that
    silently zeroes a phase or inverts a trade-off fails the run. *)
-let checks ~f5 ~f6 ~l1 ~x3 ~w0 ~c1 =
+let checks ~f5 ~f6 ~l1 ~x3 ~w0 ~c1 ~ob =
   let all_f5_phases =
     List.concat_map
       (fun r ->
@@ -909,6 +1029,30 @@ let checks ~f5 ~f6 ~l1 ~x3 ~w0 ~c1 =
                  r.c1_counters.Counters.segments_cleaned)
              c1);
     };
+    {
+      ck_name = "O1: tracing has no observer effect";
+      ck_ok =
+        ob.o1_counters_match && ob.o1_clock_match && ob.o1_trace_events > 0;
+      ck_detail =
+        Printf.sprintf
+          "counters %s, clock %s (%d ns), %d events traced"
+          (if ob.o1_counters_match then "identical" else "DIFFER")
+          (if ob.o1_clock_match then "identical" else "DIFFERS")
+          ob.o1_traced_clock_ns ob.o1_trace_events;
+    };
+    {
+      ck_name = "O2: commit phases instrumented for every ARU";
+      ck_ok =
+        (match Metrics.find_histogram ob.o2_metrics "aru.commit.record" with
+        | Some h -> Histogram.count h = ob.o2_arus
+        | None -> false);
+      ck_detail =
+        Printf.sprintf "%d commit-record spans for %d ARUs"
+          (match Metrics.find_histogram ob.o2_metrics "aru.commit.record" with
+          | Some h -> Histogram.count h
+          | None -> 0)
+          ob.o2_arus;
+    };
   ]
 
 let print_checks ppf cks =
@@ -1013,6 +1157,61 @@ let json_of_c1 rows =
            ])
        rows)
 
+let json_of_histogram h =
+  if Histogram.count h = 0 then Report.Obj [ ("count", Report.Int 0) ]
+  else
+    Report.Obj
+      [
+        ("count", Report.Int (Histogram.count h));
+        ("sum_ns", Report.Int (Histogram.sum h));
+        ("min_ns", Report.Int (Histogram.min_ns h));
+        ("max_ns", Report.Int (Histogram.max_ns h));
+        ("mean_ns", Report.Float (Histogram.mean h));
+        ("p50_ns", Report.Int (Histogram.p50 h));
+        ("p95_ns", Report.Int (Histogram.p95 h));
+        ("p99_ns", Report.Int (Histogram.p99 h));
+      ]
+
+let json_of_metrics m =
+  Report.Obj
+    [
+      ( "gauges",
+        Report.Obj
+          (List.map
+             (fun (name, v, _help) -> (name, Report.Int v))
+             (Metrics.sample_gauges m)) );
+      ( "histograms",
+        Report.Obj
+          (List.map
+             (fun (name, h) -> (name, json_of_histogram h))
+             (Metrics.histograms m)) );
+    ]
+
+let json_of_observability r =
+  Report.Obj
+    [
+      ( "observer_effect",
+        Report.Obj
+          [
+            ("counters_match", Report.Bool r.o1_counters_match);
+            ("clock_match", Report.Bool r.o1_clock_match);
+            ("traced_clock_ns", Report.Int r.o1_traced_clock_ns);
+            ("trace_events", Report.Int r.o1_trace_events);
+          ] );
+      ("smallfile", json_of_metrics r.o1_metrics);
+      ( "aru_churn",
+        Report.Obj
+          [
+            ("arus", Report.Int r.o2_arus);
+            ("latency_us", Report.Float r.o2_latency_us);
+            ( "histograms",
+              Report.Obj
+                (List.map
+                   (fun (name, h) -> (name, json_of_histogram h))
+                   (Metrics.histograms r.o2_metrics)) );
+          ] );
+    ]
+
 let run_all_json ppf scale =
   Format.fprintf ppf
     "=== Atomic Recovery Units reproduction: %s scale ===@."
@@ -1035,7 +1234,9 @@ let run_all_json ppf scale =
   print_bandwidth ppf w0;
   let c1 = cleaning scale in
   print_cleaning ppf c1;
-  let cks = checks ~f5 ~f6 ~l1 ~x3 ~w0 ~c1 in
+  let ob = observability scale in
+  print_observability ppf ob;
+  let cks = checks ~f5 ~f6 ~l1 ~x3 ~w0 ~c1 ~ob in
   print_checks ppf cks;
   Format.fprintf ppf "@.";
   let json =
@@ -1057,6 +1258,7 @@ let run_all_json ppf scale =
         ("recovery", json_of_x3 x3);
         ("bandwidth", json_of_w0 w0);
         ("cleaning", json_of_c1 c1);
+        ("observability", json_of_observability ob);
         ("checks", Report.List (List.map json_of_check cks));
       ]
   in

@@ -163,6 +163,34 @@ type clean_row = {
 val cleaning : scale -> clean_row list
 val print_cleaning : Format.formatter -> clean_row list -> unit
 
+(** {1 O1/O2 — observability: observer effect and ARU commit breakdown}
+
+    O1 runs the same deterministic small-file workload twice — once with
+    {!Lld_obs.Obs.null}, once under a live tracer — and requires the
+    counters JSON and the final virtual clock to be byte-identical:
+    probes read the virtual clock but never charge it, so tracing must
+    be invisible to the cost model.  O2 re-runs the §5.3 empty-ARU churn
+    under tracing and decomposes the paper's 78.47 us commit latency
+    into its instrumented phases (log replay, shadow merge, commit
+    record). *)
+
+type observability_result = {
+  o1_counters_match : bool;
+  o1_clock_match : bool;
+  o1_plain_clock_ns : int;
+  o1_traced_clock_ns : int;
+  o1_trace_events : int;
+  o1_metrics : Lld_obs.Metrics.t;
+      (** gauges + histograms of the traced FS run *)
+  o2_arus : int;
+  o2_latency_us : float;
+  o2_metrics : Lld_obs.Metrics.t;
+      (** histograms including the [aru.commit.*] phases *)
+}
+
+val observability : scale -> observability_result
+val print_observability : Format.formatter -> observability_result -> unit
+
 (** {1 Everything} *)
 
 (** One sanity gate over a reproduced artifact: not an exact number (the
@@ -180,5 +208,7 @@ val run_all : Format.formatter -> scale -> unit
 
 val run_all_json : Format.formatter -> scale -> check list * Report.json
 (** {!run_all_checked}, additionally returning the machine-readable
-    projection of the main artifacts (the [BENCH_PR2.json] payload,
-    minus the real-time micro-benchmark rows the bench driver adds). *)
+    projection of the main artifacts (the [BENCH_PR3.json] payload,
+    minus the real-time micro-benchmark rows the bench driver adds),
+    including the ["observability"] section with the traced runs'
+    gauges and latency histograms. *)

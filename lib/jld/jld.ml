@@ -122,11 +122,17 @@ type t = {
   cache : bytes Lru.t;
   counters : Counters.t;
   mutable in_commit : bool;
+  mutable obs : Lld_obs.Obs.t;
 }
 
 let clock t = t.clock
 let cost_model t = t.config.cost
 let counters t = t.counters
+let obs t = t.obs
+
+let set_obs t obs =
+  t.obs <- obs;
+  Disk.set_obs t.disk obs
 let capacity t = t.layout.capacity
 let allocated_blocks t = Block_map.allocated_count t.blocks
 let block_bytes t = t.geom.Geometry.block_bytes
@@ -920,6 +926,7 @@ let make config disk layout =
     cache = Lru.create ~capacity:(max 16 config.cache_blocks);
     counters = Counters.create ();
     in_commit = false;
+    obs = Lld_obs.Obs.null;
   }
 
 let create ?(config = default_config) disk =

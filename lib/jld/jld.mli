@@ -91,3 +91,10 @@ val orphan_blocks : t -> Lld_core.Types.Block_id.t list
 val clock : t -> Lld_sim.Clock.t
 val cost_model : t -> Lld_sim.Cost.t
 val counters : t -> Lld_core.Counters.t
+
+val set_obs : t -> Lld_obs.Obs.t -> unit
+(** Attach an observability handle to this instance and its disk.  The
+    journaling implementation records only the [disk] spans (via the
+    device); it has no log-structured phases to trace. *)
+
+val obs : t -> Lld_obs.Obs.t

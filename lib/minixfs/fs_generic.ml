@@ -64,6 +64,14 @@ module Make (Ld : Lld_core.Ld_intf.S) = struct
       Lld_sim.Clock.charge (Ld.clock t.lld) Lld_sim.Clock.Cpu
         (Ld.cost_model t.lld).Lld_sim.Cost.fs_op_ns
 
+    (* Public operation prologue: charge the FS CPU cost and, when an
+       observability handle is attached to the logical disk, time the
+       whole operation as an [fs] span / "fs.<name>" histogram. *)
+    let fs_op t name f =
+      Lld_obs.Obs.timed (Ld.obs t.lld) Lld_obs.Trace.Fs name (fun () ->
+          charge_op t;
+          f ())
+
     (* ------------------------------------------------------------------ *)
     (* ARU bracketing                                                      *)
 
@@ -303,8 +311,8 @@ module Make (Ld : Lld_core.Ld_intf.S) = struct
     (* ------------------------------------------------------------------ *)
     (* Operations                                                          *)
 
-    let create_node t path kind =
-      charge_op t;
+    let create_node t op path kind =
+      fs_op t op @@ fun () ->
       let dino, name = resolve_parent t path in
       if dir_lookup t dino name <> None then raise (Already_exists path);
       with_aru t (fun aru ->
@@ -314,8 +322,8 @@ module Make (Ld : Lld_core.Ld_intf.S) = struct
             { Inode.kind; nlinks = 1; size = 0; list = Some list };
           dir_add t ?aru dino name ino)
 
-    let create t path = create_node t path Layout.Regular
-    let mkdir t path = create_node t path Layout.Directory
+    let create t path = create_node t "create" path Layout.Regular
+    let mkdir t path = create_node t "mkdir" path Layout.Directory
 
     let delete_file_blocks t ?aru (inode : Inode.t) =
       match inode.Inode.list with
@@ -353,8 +361,8 @@ module Make (Ld : Lld_core.Ld_intf.S) = struct
         true
       end
 
-    let unlink_node t path expect_dir =
-      charge_op t;
+    let unlink_node t op path expect_dir =
+      fs_op t op @@ fun () ->
       let dino, name = resolve_parent t path in
       let ino =
         match dir_lookup t dino name with
@@ -373,11 +381,11 @@ module Make (Ld : Lld_core.Ld_intf.S) = struct
       let freed = with_aru t (fun aru -> drop_link t ?aru ~dino ~name ~ino inode) in
       if freed then forget_inode t ino
 
-    let unlink t path = unlink_node t path false
-    let rmdir t path = unlink_node t path true
+    let unlink t path = unlink_node t "unlink" path false
+    let rmdir t path = unlink_node t "rmdir" path true
 
     let rename t src dst =
-      charge_op t;
+      fs_op t "rename" @@ fun () ->
       let sdino, sname = resolve_parent t src in
       let sino =
         match dir_lookup t sdino sname with
@@ -438,7 +446,7 @@ module Make (Ld : Lld_core.Ld_intf.S) = struct
       end
 
     let link t existing fresh =
-      charge_op t;
+      fs_op t "link" @@ fun () ->
       let ino = resolve t existing in
       let inode = read_inode_aru t ino in
       (match inode.Inode.kind with
@@ -454,7 +462,7 @@ module Make (Ld : Lld_core.Ld_intf.S) = struct
             { inode with Inode.nlinks = inode.Inode.nlinks + 1 })
 
     let truncate t path ~size =
-      charge_op t;
+      fs_op t "truncate" @@ fun () ->
       if size < 0 then invalid_arg "Fs.truncate: negative size";
       let ino = resolve t path in
       let inode = read_inode_aru t ino in
@@ -484,21 +492,21 @@ module Make (Ld : Lld_core.Ld_intf.S) = struct
             write_inode_aru t ?aru ino { inode with Inode.size = size })
 
     let write_file t path ~off data =
-      charge_op t;
+      fs_op t "write_file" @@ fun () ->
       let ino = resolve t path in
       let inode = read_inode_aru t ino in
       if inode.Inode.kind = Layout.Directory then raise (Is_a_directory path);
       file_write_ino t ino ~off data
 
     let read_file t path ~off ~len =
-      charge_op t;
+      fs_op t "read_file" @@ fun () ->
       let ino = resolve t path in
       let inode = read_inode_aru t ino in
       if inode.Inode.kind = Layout.Directory then raise (Is_a_directory path);
       file_read_ino t ino ~off ~len
 
     let readdir t path =
-      charge_op t;
+      fs_op t "readdir" @@ fun () ->
       let ino = resolve t path in
       let inode = read_inode_aru t ino in
       if inode.Inode.kind <> Layout.Directory then raise (Not_a_directory path);
@@ -507,7 +515,7 @@ module Make (Ld : Lld_core.Ld_intf.S) = struct
       |> List.sort String.compare
 
     let stat t path =
-      charge_op t;
+      fs_op t "stat" @@ fun () ->
       let ino = resolve t path in
       let inode = read_inode_aru t ino in
       {

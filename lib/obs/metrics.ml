@@ -1,0 +1,91 @@
+module Histogram = Lld_sim.Stats.Histogram
+
+type gauge = { g_name : string; g_help : string; g_read : unit -> int }
+
+type t = {
+  mutable gauges : gauge list;  (* reverse registration order *)
+  hist_tbl : (string, Histogram.t) Hashtbl.t;
+  mutable hist_order : string list;  (* reverse first-use order *)
+}
+
+let create () = { gauges = []; hist_tbl = Hashtbl.create 32; hist_order = [] }
+
+let histogram t name =
+  match Hashtbl.find_opt t.hist_tbl name with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create () in
+    Hashtbl.add t.hist_tbl name h;
+    t.hist_order <- name :: t.hist_order;
+    h
+
+let observe t name v = Histogram.add (histogram t name) v
+
+let histograms t =
+  List.rev_map (fun name -> (name, Hashtbl.find t.hist_tbl name)) t.hist_order
+
+let find_histogram t name = Hashtbl.find_opt t.hist_tbl name
+
+let reset_histograms t =
+  Hashtbl.iter (fun _ h -> Histogram.reset h) t.hist_tbl
+
+(* Re-registering a name replaces the closure in place, so re-mounting
+   the same structures (e.g. recover after create) cannot duplicate
+   rows. *)
+let register_gauge t ~name ~help read =
+  let g = { g_name = name; g_help = help; g_read = read } in
+  if List.exists (fun g0 -> g0.g_name = name) t.gauges then
+    t.gauges <-
+      List.map (fun g0 -> if g0.g_name = name then g else g0) t.gauges
+  else t.gauges <- g :: t.gauges
+
+let sample_gauges t =
+  List.rev_map (fun g -> (g.g_name, g.g_read (), g.g_help)) t.gauges
+
+let pp ppf t =
+  let gauges = sample_gauges t in
+  if gauges <> [] then begin
+    Format.fprintf ppf "gauges:@,";
+    List.iter
+      (fun (name, v, help) ->
+        Format.fprintf ppf "  %-28s %10d  (%s)@," name v help)
+      gauges
+  end;
+  let hists = histograms t in
+  if hists <> [] then begin
+    Format.fprintf ppf "latency histograms (virtual ns):@,";
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf ppf "  %-28s %a@," name Histogram.pp h)
+      hists
+  end;
+  if gauges = [] && hists = [] then Format.fprintf ppf "(no metrics)@,"
+
+(* Minimal JSON for bench output; [Report.json] lives above us in the
+   dependency graph so we emit directly. *)
+let json_of_histogram h =
+  if Histogram.count h = 0 then "{\"count\":0}"
+  else
+    Printf.sprintf
+      "{\"count\":%d,\"sum_ns\":%d,\"min_ns\":%d,\"max_ns\":%d,\"mean_ns\":%.1f,\"p50_ns\":%d,\"p95_ns\":%d,\"p99_ns\":%d}"
+      (Histogram.count h) (Histogram.sum h) (Histogram.min_ns h)
+      (Histogram.max_ns h) (Histogram.mean h) (Histogram.p50 h)
+      (Histogram.p95 h) (Histogram.p99 h)
+
+let to_json_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"gauges\":{";
+  List.iteri
+    (fun i (name, v, _) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" name v))
+    (sample_gauges t);
+  Buffer.add_string buf "},\"histograms\":{";
+  List.iteri
+    (fun i (name, h) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":%s" name (json_of_histogram h)))
+    (histograms t);
+  Buffer.add_string buf "}}";
+  Buffer.contents buf

@@ -1,0 +1,63 @@
+module Clock = Lld_sim.Clock
+
+type t = {
+  active : bool;
+  clock : Clock.t;
+  trace : Trace.t;
+  metrics : Metrics.t;
+}
+
+let null =
+  {
+    active = false;
+    clock = Clock.create ();
+    trace = Trace.disabled;
+    metrics = Metrics.create ();
+  }
+
+let create ?capacity ?categories ~clock () =
+  {
+    active = true;
+    clock;
+    trace = Trace.create ?capacity ?categories ~clock ();
+    metrics = Metrics.create ();
+  }
+
+let active t = t.active
+let trace t = t.trace
+let metrics t = t.metrics
+
+let instant t cat name args = if t.active then Trace.instant t.trace cat name args
+
+let span t cat name ?args f =
+  if t.active then Trace.span t.trace cat name ?args f else f ()
+
+(* Histogram key for a span: "<category>.<name>", e.g. "op.read". *)
+let hist_key cat name = Trace.category_label cat ^ "." ^ name
+
+(* Time [f] on the virtual clock: record a trace span (if the category
+   is on) and feed the duration into the matching histogram.  On an
+   exception the span is still recorded (tagged "exn") but the duration
+   is not counted in the histogram — an interrupted operation is not a
+   completed-latency sample. *)
+let timed t cat name ?(args = []) f =
+  if not t.active then f ()
+  else begin
+    let ts = Clock.now_ns t.clock in
+    match f () with
+    | v ->
+      let dur = Clock.now_ns t.clock - ts in
+      Metrics.observe t.metrics (hist_key cat name) dur;
+      Trace.complete t.trace cat name ~ts_ns:ts ~dur_ns:dur args;
+      v
+    | exception e ->
+      Trace.complete t.trace cat name ~ts_ns:ts
+        ~dur_ns:(Clock.now_ns t.clock - ts)
+        (("exn", Trace.S (Printexc.to_string e)) :: args);
+      raise e
+  end
+
+let observe t name v = if t.active then Metrics.observe t.metrics name v
+
+let register_gauge t ~name ~help read =
+  if t.active then Metrics.register_gauge t.metrics ~name ~help read

@@ -1,0 +1,45 @@
+(** Observability handle: a {!Trace} tracer plus a {!Metrics} registry
+    behind one switch.
+
+    Components take an [Obs.t] and default to {!null}, on which every
+    probe is an immediate no-op — no allocation, no clock reads — so the
+    cost model and reproduction numbers are untouched unless a caller
+    explicitly attaches a live handle ({!create}).  Probes never charge
+    the virtual clock; they only read it. *)
+
+type t
+
+val null : t
+(** The inert handle: [active null = false], all probes are no-ops. *)
+
+val create :
+  ?capacity:int -> ?categories:Trace.category list ->
+  clock:Lld_sim.Clock.t -> unit -> t
+(** Live handle stamping events on [clock].  [capacity] and
+    [categories] are passed to {!Trace.create}. *)
+
+val active : t -> bool
+val trace : t -> Trace.t
+val metrics : t -> Metrics.t
+
+val instant : t -> Trace.category -> string -> (string * Trace.arg) list -> unit
+
+val span :
+  t -> Trace.category -> string -> ?args:(string * Trace.arg) list ->
+  (unit -> 'a) -> 'a
+(** Trace-only span (no histogram); exactly [f ()] when inactive. *)
+
+val timed :
+  t -> Trace.category -> string -> ?args:(string * Trace.arg) list ->
+  (unit -> 'a) -> 'a
+(** [timed t cat name f] runs [f], records a trace span, and feeds the
+    virtual duration into the histogram keyed ["<cat>.<name>"] (e.g.
+    ["op.read"]).  If [f] raises, the span is recorded (tagged ["exn"])
+    but no histogram sample is taken.  Exactly [f ()] when inactive. *)
+
+val hist_key : Trace.category -> string -> string
+
+val observe : t -> string -> int -> unit
+(** Record a pre-measured duration in the named histogram. *)
+
+val register_gauge : t -> name:string -> help:string -> (unit -> int) -> unit

@@ -7,6 +7,16 @@ module Fs = Lld_minixfs.Fs
 
 type variant = Old | New | New_delete
 
+(* Formatting happens before the clock reset, so its trace events would
+   carry timestamps from a dead timeline: drop them along with the
+   counters. *)
+let reset_obs obs =
+  match obs with
+  | Some o when Lld_obs.Obs.active o ->
+    Lld_obs.Trace.clear (Lld_obs.Obs.trace o);
+    Lld_obs.Metrics.reset_histograms (Lld_obs.Obs.metrics o)
+  | Some _ | None -> ()
+
 let variant_label = function
   | Old -> "old"
   | New -> "new"
@@ -30,21 +40,23 @@ type instance = {
   clock : Lld_sim.Clock.t;
 }
 
-let make ?(geom = Geometry.paper) ?inode_count variant =
-  let clock = Clock.create () in
+let make ?(geom = Geometry.paper) ?inode_count ?clock ?obs variant =
+  let clock = match clock with Some c -> c | None -> Clock.create () in
   let disk = Disk.create ~clock geom in
-  let lld = Lld.create ~config:(lld_config variant) disk in
+  let lld = Lld.create ~config:(lld_config variant) ?obs disk in
   let fs = Fs.mkfs ~config:(fs_config variant) ?inode_count lld in
   Fs.flush fs;
   Clock.reset clock;
   Lld_core.Counters.reset (Lld.counters lld);
+  reset_obs obs;
   { disk; lld; fs; clock }
 
-let make_raw ?(geom = Geometry.paper) variant =
-  let clock = Clock.create () in
+let make_raw ?(geom = Geometry.paper) ?clock ?obs variant =
+  let clock = match clock with Some c -> c | None -> Clock.create () in
   let disk = Disk.create ~clock geom in
-  let lld = Lld.create ~config:(lld_config variant) disk in
+  let lld = Lld.create ~config:(lld_config variant) ?obs disk in
   Lld.flush lld;
   Clock.reset clock;
   Lld_core.Counters.reset (Lld.counters lld);
+  reset_obs obs;
   (disk, lld)

@@ -20,9 +20,16 @@ type instance = {
 }
 
 val make :
-  ?geom:Lld_disk.Geometry.t -> ?inode_count:int -> variant -> instance
-(** Default geometry is the paper's 400 MB partition. *)
+  ?geom:Lld_disk.Geometry.t -> ?inode_count:int -> ?clock:Lld_sim.Clock.t ->
+  ?obs:Lld_obs.Obs.t -> variant -> instance
+(** Default geometry is the paper's 400 MB partition.  [obs] (default
+    {!Lld_obs.Obs.null}) is attached to the logical disk and the device;
+    the clock reset after formatting keeps setup out of the trace
+    timeline's origin.  Pass [clock] (reset after formatting, like the
+    internally created one) when the caller needs the clock before
+    construction — an {!Lld_obs.Obs.create} handle wraps it. *)
 
 val make_raw :
-  ?geom:Lld_disk.Geometry.t -> variant -> Lld_disk.Disk.t * Lld_core.Lld.t
+  ?geom:Lld_disk.Geometry.t -> ?clock:Lld_sim.Clock.t ->
+  ?obs:Lld_obs.Obs.t -> variant -> Lld_disk.Disk.t * Lld_core.Lld.t
 (** Logical disk only, no file system (for the ARU-latency experiment). *)

@@ -1,0 +1,183 @@
+module Clock = Lld_sim.Clock
+module Histogram = Lld_sim.Stats.Histogram
+module Trace = Lld_obs.Trace
+module Metrics = Lld_obs.Metrics
+module Obs = Lld_obs.Obs
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------- null *)
+
+let test_null_is_inert () =
+  Alcotest.(check bool) "inactive" false (Obs.active Obs.null);
+  let r = Obs.timed Obs.null Trace.Op "write" (fun () -> 42) in
+  Alcotest.(check int) "timed passes through" 42 r;
+  Obs.instant Obs.null Trace.Disk "marker" [];
+  Obs.observe Obs.null "op.write" 123;
+  Alcotest.(check int) "nothing recorded" 0 (Trace.count (Obs.trace Obs.null));
+  Alcotest.(check int)
+    "no histograms" 0
+    (List.length (Metrics.histograms (Obs.metrics Obs.null)))
+
+(* ------------------------------------------------------------ timed *)
+
+let test_timed_records_span_and_histogram () =
+  let clock = Clock.create () in
+  let obs = Obs.create ~clock () in
+  Clock.charge clock Clock.Cpu 1_000;
+  let r =
+    Obs.timed obs Trace.Op "write" (fun () ->
+        Clock.charge clock Clock.Io 500;
+        "done")
+  in
+  Alcotest.(check string) "result" "done" r;
+  (match Trace.events (Obs.trace obs) with
+  | [ e ] ->
+    Alcotest.(check string) "name" "write" e.Trace.ev_name;
+    Alcotest.(check bool) "cat" true (e.Trace.ev_cat = Trace.Op);
+    Alcotest.(check int) "ts" 1_000 e.Trace.ev_ts_ns;
+    Alcotest.(check int) "dur" 500 e.Trace.ev_dur_ns
+  | es -> Alcotest.failf "expected one event, got %d" (List.length es));
+  match Metrics.find_histogram (Obs.metrics obs) "op.write" with
+  | None -> Alcotest.fail "histogram op.write missing"
+  | Some h ->
+    Alcotest.(check int) "samples" 1 (Histogram.count h);
+    Alcotest.(check int) "sum is virtual duration" 500 (Histogram.sum h)
+
+let test_timed_exn_span_no_sample () =
+  let clock = Clock.create () in
+  let obs = Obs.create ~clock () in
+  (try
+     Obs.timed obs Trace.Op "boom" (fun () ->
+         Clock.charge clock Clock.Cpu 100;
+         failwith "crash")
+   with Failure _ -> ());
+  (match Trace.events (Obs.trace obs) with
+  | [ e ] ->
+    Alcotest.(check bool)
+      "exn tag present" true
+      (List.mem_assoc "exn" e.Trace.ev_args)
+  | es -> Alcotest.failf "expected one event, got %d" (List.length es));
+  (* an interrupted operation is not a completed-latency sample *)
+  match Metrics.find_histogram (Obs.metrics obs) "op.boom" with
+  | None -> ()
+  | Some h -> Alcotest.(check int) "no sample" 0 (Histogram.count h)
+
+let test_hist_key () =
+  Alcotest.(check string) "op" "op.read" (Obs.hist_key Trace.Op "read");
+  Alcotest.(check string) "recovery" "recovery.replay"
+    (Obs.hist_key Trace.Recovery "replay")
+
+(* -------------------------------------------------------- filtering *)
+
+let test_category_filter () =
+  let clock = Clock.create () in
+  let t = Trace.create ~categories:[ Trace.Op ] ~clock () in
+  Alcotest.(check bool) "op on" true (Trace.on t Trace.Op);
+  Alcotest.(check bool) "disk off" false (Trace.on t Trace.Disk);
+  Trace.instant t Trace.Op "kept" [];
+  Trace.instant t Trace.Disk "dropped" [];
+  Alcotest.(check int) "only op recorded" 1 (Trace.count t);
+  match Trace.events t with
+  | [ e ] -> Alcotest.(check string) "kept" "kept" e.Trace.ev_name
+  | _ -> Alcotest.fail "expected exactly one event"
+
+(* ------------------------------------------------------ ring buffer *)
+
+let test_ring_overwrites_oldest () =
+  let clock = Clock.create () in
+  let t = Trace.create ~capacity:4 ~clock () in
+  for i = 1 to 10 do
+    Clock.charge clock Clock.Cpu 1;
+    Trace.instant t Trace.Op (Printf.sprintf "e%d" i) []
+  done;
+  Alcotest.(check int) "total count" 10 (Trace.count t);
+  Alcotest.(check int) "dropped" 6 (Trace.dropped t);
+  let names = List.map (fun e -> e.Trace.ev_name) (Trace.events t) in
+  Alcotest.(check (list string)) "last four, oldest first"
+    [ "e7"; "e8"; "e9"; "e10" ] names;
+  let ts = List.map (fun e -> e.Trace.ev_ts_ns) (Trace.events t) in
+  Alcotest.(check (list int)) "timestamps ascending" [ 7; 8; 9; 10 ] ts
+
+(* ----------------------------------------------------------- export *)
+
+let test_chrome_export_shape () =
+  let clock = Clock.create () in
+  let t = Trace.create ~clock () in
+  Trace.span t Trace.Disk "write \"0\"\\" ~args:[ ("offset", Trace.I 512) ]
+    (fun () -> Clock.charge clock Clock.Io 1500);
+  Trace.instant t Trace.Clean "batch" [ ("gain", Trace.F 0.5) ];
+  let s = Trace.to_chrome_string t in
+  Alcotest.(check bool) "displayTimeUnit" true (contains s "\"displayTimeUnit\":\"ns\"");
+  Alcotest.(check bool) "traceEvents" true (contains s "\"traceEvents\":[");
+  Alcotest.(check bool) "escaped quote+backslash" true
+    (contains s "write \\\"0\\\"\\\\");
+  Alcotest.(check bool) "complete phase" true (contains s "\"ph\":\"X\"");
+  Alcotest.(check bool) "instant phase" true (contains s "\"ph\":\"i\"");
+  Alcotest.(check bool) "duration in us" true (contains s "\"dur\":1.500");
+  let jsonl = Trace.to_jsonl_string t in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl)
+  in
+  Alcotest.(check int) "one JSONL line per event" 2 (List.length lines);
+  List.iter
+    (fun l -> Alcotest.(check bool) "line is an object" true (l.[0] = '{'))
+    lines;
+  Alcotest.(check bool) "exact ns in JSONL" true
+    (contains jsonl "\"dur_ns\":1500")
+
+(* ---------------------------------------------------------- metrics *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  Metrics.observe m "op.read" 100;
+  Metrics.observe m "op.read" 300;
+  Metrics.observe m "op.write" 50;
+  (match Metrics.find_histogram m "op.read" with
+  | Some h -> Alcotest.(check int) "two samples" 2 (Histogram.count h)
+  | None -> Alcotest.fail "op.read missing");
+  Alcotest.(check (list string))
+    "first-use order" [ "op.read"; "op.write" ]
+    (List.map fst (Metrics.histograms m));
+  let v = ref 1 in
+  Metrics.register_gauge m ~name:"g" ~help:"old" (fun () -> !v);
+  Metrics.register_gauge m ~name:"g" ~help:"new" (fun () -> !v * 2);
+  v := 21;
+  (match Metrics.sample_gauges m with
+  | [ (name, value, help) ] ->
+    Alcotest.(check string) "name" "g" name;
+    Alcotest.(check int) "replaced closure sampled live" 42 value;
+    Alcotest.(check string) "replaced help" "new" help
+  | gs -> Alcotest.failf "expected one gauge, got %d" (List.length gs));
+  let json = Metrics.to_json_string m in
+  Alcotest.(check bool) "gauges key" true (contains json "\"gauges\":{");
+  Alcotest.(check bool) "histograms key" true (contains json "\"histograms\":{");
+  Alcotest.(check bool) "gauge value" true (contains json "\"g\":42");
+  Alcotest.(check bool) "histogram count" true (contains json "\"count\":2")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "obs",
+        [
+          Alcotest.test_case "null handle is inert" `Quick test_null_is_inert;
+          Alcotest.test_case "timed records span + histogram" `Quick
+            test_timed_records_span_and_histogram;
+          Alcotest.test_case "timed on exception: span, no sample" `Quick
+            test_timed_exn_span_no_sample;
+          Alcotest.test_case "hist_key convention" `Quick test_hist_key;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "category filtering" `Quick test_category_filter;
+          Alcotest.test_case "ring overwrites oldest" `Quick
+            test_ring_overwrites_oldest;
+          Alcotest.test_case "chrome + JSONL export shape" `Quick
+            test_chrome_export_shape;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "registry" `Quick test_metrics_registry ] );
+    ]

@@ -112,6 +112,82 @@ let test_stats_empty () =
     (Invalid_argument "Stats.summarize: empty sample") (fun () ->
       ignore (Stats.summarize []))
 
+module H = Stats.Histogram
+
+let test_hist_bucket_boundaries () =
+  Alcotest.(check int) "0 -> bucket 0" 0 (H.bucket_of 0);
+  Alcotest.(check int) "1 -> bucket 1" 1 (H.bucket_of 1);
+  Alcotest.(check int) "2 -> bucket 2" 2 (H.bucket_of 2);
+  Alcotest.(check int) "3 -> bucket 2" 2 (H.bucket_of 3);
+  Alcotest.(check int) "4 -> bucket 3" 3 (H.bucket_of 4);
+  Alcotest.(check int) "bucket 0 lo" 0 (H.bucket_lo 0);
+  Alcotest.(check int) "bucket 0 hi" 0 (H.bucket_hi 0);
+  for i = 1 to 40 do
+    let lo = 1 lsl (i - 1) and hi = (1 lsl i) - 1 in
+    Alcotest.(check int) (Printf.sprintf "bucket %d lo" i) lo (H.bucket_lo i);
+    Alcotest.(check int) (Printf.sprintf "bucket %d hi" i) hi (H.bucket_hi i);
+    Alcotest.(check int) (Printf.sprintf "lo of bucket %d maps back" i) i
+      (H.bucket_of lo);
+    Alcotest.(check int) (Printf.sprintf "hi of bucket %d maps back" i) i
+      (H.bucket_of hi)
+  done
+
+let test_hist_percentile_agreement () =
+  (* the histogram estimate uses the same nearest-rank rule as
+     Stats.percentile: it must never under-report the exact value and
+     stay within a factor of two of it *)
+  let rng = Rng.create ~seed:11 in
+  for _trial = 1 to 20 do
+    let n = 1 + Rng.int rng 200 in
+    let xs = List.init n (fun _ -> 1 + Rng.int rng 1_000_000) in
+    let h = H.create () in
+    List.iter (H.add h) xs;
+    let fxs = List.map float_of_int xs in
+    List.iter
+      (fun p ->
+        let exact = int_of_float (Stats.percentile fxs p) in
+        let est = H.percentile h p in
+        if est < exact then
+          Alcotest.failf "p%.0f under-reports: %d < exact %d" p est exact;
+        if est > 2 * exact then
+          Alcotest.failf "p%.0f beyond 2x: %d > 2 * exact %d" p est exact)
+      [ 10.; 50.; 90.; 95.; 99.; 100. ]
+  done
+
+let test_hist_empty_and_singleton () =
+  let h = H.create () in
+  Alcotest.(check int) "empty count" 0 (H.count h);
+  Alcotest.(check int) "empty min" 0 (H.min_ns h);
+  Alcotest.(check int) "empty max" 0 (H.max_ns h);
+  Alcotest.(check (float 1e-9)) "empty mean" 0. (H.mean h);
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Stats.Histogram.percentile: empty histogram")
+    (fun () -> ignore (H.p50 h));
+  Alcotest.check_raises "negative sample"
+    (Invalid_argument "Stats.Histogram.add: negative value") (fun () ->
+      H.add h (-1));
+  H.add h 5;
+  (* clamping to the observed range makes singletons exact *)
+  Alcotest.(check int) "singleton p50" 5 (H.p50 h);
+  Alcotest.(check int) "singleton p99" 5 (H.p99 h);
+  Alcotest.(check int) "singleton min" 5 (H.min_ns h);
+  Alcotest.(check int) "singleton max" 5 (H.max_ns h);
+  H.add h 0;
+  Alcotest.(check int) "zero lands in bucket 0" 0 (H.percentile h 50.)
+
+let test_hist_merge_reset () =
+  let a = H.create () and b = H.create () in
+  List.iter (H.add a) [ 1; 2; 3 ];
+  List.iter (H.add b) [ 10; 20 ];
+  H.merge ~into:a b;
+  Alcotest.(check int) "merged count" 5 (H.count a);
+  Alcotest.(check int) "merged sum" 36 (H.sum a);
+  Alcotest.(check int) "merged min" 1 (H.min_ns a);
+  Alcotest.(check int) "merged max" 20 (H.max_ns a);
+  H.reset a;
+  Alcotest.(check int) "reset count" 0 (H.count a);
+  Alcotest.(check int) "reset sum" 0 (H.sum a)
+
 let rng_int_uniform =
   QCheck.Test.make ~name:"rng int covers range" ~count:50
     QCheck.(int_range 2 64)
@@ -158,5 +234,15 @@ let () =
           Alcotest.test_case "percent diff" `Quick test_stats_percent_diff;
           Alcotest.test_case "throughput" `Quick test_stats_throughput;
           Alcotest.test_case "empty sample rejected" `Quick test_stats_empty;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "log2 bucket boundaries" `Quick
+            test_hist_bucket_boundaries;
+          Alcotest.test_case "percentile agrees with nearest-rank" `Quick
+            test_hist_percentile_agreement;
+          Alcotest.test_case "empty and singleton edge cases" `Quick
+            test_hist_empty_and_singleton;
+          Alcotest.test_case "merge and reset" `Quick test_hist_merge_reset;
         ] );
     ]
