@@ -3,6 +3,8 @@
 module Geometry = Lld_disk.Geometry
 module Fault = Lld_disk.Fault
 module Disk = Lld_disk.Disk
+module Backend = Lld_disk.Backend
+module Errors = Lld_core.Errors
 module Clock = Lld_sim.Clock
 module Config = Lld_core.Config
 module Lld = Lld_core.Lld
@@ -49,6 +51,152 @@ let segments_arg =
         ~doc:"Partition size in 0.5 MB segments (paper: 800 = 400 MB).")
 
 let geom_of segments = Geometry.v ~num_segments:segments ()
+
+(* ------------------------------------------------- persistent images *)
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "file" ] ~docv:"PATH"
+        ~doc:"Back the partition with a real on-disk image instead of memory.")
+
+let default_segment_bytes = (geom_of 1).Geometry.segment_bytes
+
+(* Deterministic seed-file contents, shared by mkfs (writer) and mount
+   (verifier) so the round-trip check needs no side channel. *)
+let seed_file_path i = Printf.sprintf "/f%05d" i
+
+let seed_file_body i =
+  Bytes.init 1024 (fun j -> Char.chr (33 + (((i * 31) + j) mod 94)))
+
+let fail_invalid msg =
+  Printf.eprintf "%s\n" msg;
+  exit 2
+
+(* Open an existing image, inferring the segment count from its size
+   (segment size is the default 0.5 MB). *)
+let open_image path =
+  let size =
+    match (Unix.stat path).Unix.st_size with
+    | size -> size
+    | exception Unix.Unix_error (e, _, _) ->
+      fail_invalid
+        (Printf.sprintf "cannot open image %s: %s" path (Unix.error_message e))
+  in
+  if size <= 0 || size mod default_segment_bytes <> 0 then
+    fail_invalid
+      (Printf.sprintf
+         "%s is not an LLD image: %d bytes is not a whole number of %d KB \
+          segments"
+         path size (default_segment_bytes / 1024));
+  let geom = Geometry.v ~num_segments:(size / default_segment_bytes) () in
+  match Backend.file ~size path with
+  | backend -> (geom, backend)
+  | exception Invalid_argument msg -> fail_invalid msg
+
+let mkfs_run file segments variant files =
+  let geom = geom_of segments in
+  let backend =
+    match Backend.file ~create:true ~size:(Geometry.total_bytes geom) file with
+    | backend -> backend
+    | exception Invalid_argument msg -> fail_invalid msg
+  in
+  let clock = Clock.create () in
+  let disk = Disk.create ~backend ~clock geom in
+  let lld = Lld.create ~config:(Setup.lld_config variant) disk in
+  let fs = Fs.mkfs ~config:(Setup.fs_config variant) lld in
+  for i = 0 to files - 1 do
+    Fs.create fs (seed_file_path i);
+    Fs.write_file fs (seed_file_path i) ~off:0 (seed_file_body i)
+  done;
+  Fs.flush fs;
+  Lld.checkpoint lld;
+  Disk.barrier disk;
+  Printf.printf
+    "formatted %s: %d segments x %d KB (%d MB), variant %s, %d seed file(s)\n"
+    file geom.Geometry.num_segments
+    (geom.Geometry.segment_bytes / 1024)
+    (Geometry.total_bytes geom / 1024 / 1024)
+    (Setup.variant_label variant) files;
+  Disk.close disk
+
+let mkfs_cmd =
+  let file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "file" ] ~docv:"PATH" ~doc:"Image file to create (required).")
+  in
+  let files =
+    Arg.(
+      value & opt int 10
+      & info [ "files" ] ~docv:"N"
+          ~doc:"Deterministic seed files to write (verified by $(b,mount)).")
+  in
+  Cmd.v
+    (Cmd.info "mkfs"
+       ~doc:
+         "Format a persistent on-disk image: create it, build the Minix file \
+          system on the logical disk, write deterministic seed files, \
+          checkpoint, and fsync.  A separate process can then $(b,lld mount \
+          --file) the same image.")
+    Term.(const mkfs_run $ file $ segments_arg $ variant_arg $ files)
+
+let mount_run file variant =
+  let geom, backend = open_image file in
+  let clock = Clock.create () in
+  let disk = Disk.create ~backend ~clock geom in
+  match Lld.recover ~config:(Setup.lld_config variant) disk with
+  | exception Errors.Corrupt msg ->
+    Printf.eprintf "mount failed: corrupt or unformatted image %s (%s)\n" file
+      msg;
+    Disk.close disk;
+    exit 1
+  | lld, report -> (
+    Format.printf "recovery: %a@." Recovery.pp_report report;
+    match Fs.mount ~config:(Setup.fs_config variant) lld with
+    | exception Errors.Corrupt msg ->
+      Printf.eprintf "mount failed: no valid file system on %s (%s)\n" file msg;
+      Disk.close disk;
+      exit 1
+    | fs ->
+      let check = Fsck.run fs in
+      Format.printf "fsck: %a@." Fsck.pp_report check;
+      let entries = Fs.readdir fs "/" in
+      let verified = ref 0 and corrupt = ref 0 in
+      List.iter
+        (fun name ->
+          if String.length name = 6 && name.[0] = 'f' then
+            match int_of_string_opt (String.sub name 1 5) with
+            | None -> ()
+            | Some i ->
+              let expect = seed_file_body i in
+              let got =
+                Fs.read_file fs ("/" ^ name) ~off:0 ~len:(Bytes.length expect)
+              in
+              if Bytes.equal got expect then incr verified else incr corrupt)
+        entries;
+      Printf.printf "mounted %s: %d entries in /, %d seed file(s) verified%s\n"
+        file (List.length entries) !verified
+        (if !corrupt > 0 then Printf.sprintf ", %d CORRUPT" !corrupt else "");
+      Disk.close disk;
+      if (not (Fsck.ok check)) || !corrupt > 0 then exit 1)
+
+let mount_cmd =
+  let file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "file" ] ~docv:"PATH" ~doc:"Image file to mount (required).")
+  in
+  Cmd.v
+    (Cmd.info "mount"
+       ~doc:
+         "Mount a persistent image written by $(b,lld mkfs --file): recover \
+          the logical disk, mount the file system, run fsck, and verify the \
+          deterministic seed files.  Exits non-zero on any inconsistency.")
+    Term.(const mount_run $ file $ variant_arg)
 
 (* ------------------------------------------------------------- repro *)
 
@@ -278,7 +426,8 @@ let point_conv =
   in
   Arg.conv (parse, Crashcheck.pp_point)
 
-let crashcheck workload budget granularity seed at broken_sweep trace_dir =
+let crashcheck workload budget granularity seed at broken_sweep trace_dir
+    differential =
   let selected =
     match workload with
     | None -> Crashcheck.specs
@@ -295,9 +444,22 @@ let crashcheck workload budget granularity seed at broken_sweep trace_dir =
       Some { spec.Crashcheck.sc_config with Config.recovery_sweep = false }
     else None
   in
-  match at with
-  | Some point ->
-    let name, mk =
+  if differential then begin
+    let failed = ref false in
+    List.iter
+      (fun (name, mk) ->
+        let spec = mk () in
+        Printf.printf "differential %s: mem vs file backend...\n%!" name;
+        let d = Crashcheck.differential spec in
+        Format.printf "%a@." Crashcheck.pp_differential d;
+        if not (Crashcheck.differential_ok d) then failed := true)
+      selected;
+    if !failed then exit 1
+  end
+  else
+    match at with
+    | Some point ->
+      let name, mk =
       match selected with
       | [ one ] -> one
       | _ ->
@@ -415,6 +577,17 @@ let crashcheck_cmd =
              recovery under live tracing and write the Chrome trace into \
              $(docv), next to the reproducer command line.")
   in
+  let differential =
+    Arg.(
+      value & flag
+      & info [ "differential" ]
+          ~doc:
+            "Instead of enumerating crash points, run each workload once on \
+             the in-memory backend and once on a file backend and verify the \
+             final images are byte-identical, the device counters equal, and \
+             the virtual clocks equal (paper 2: transparent implementation \
+             exchange).")
+  in
   Cmd.v
     (Cmd.info "crashcheck"
        ~doc:
@@ -423,7 +596,7 @@ let crashcheck_cmd =
           cleanliness, sweep completeness, and recovery idempotency.")
     Term.(
       const crashcheck $ workload $ budget $ granularity $ seed $ at
-      $ broken_sweep $ trace_dir)
+      $ broken_sweep $ trace_dir $ differential)
 
 (* ------------------------------------------------ traced workloads *)
 
@@ -432,11 +605,19 @@ let crashcheck_cmd =
    cleaner pass, then an injected crash and a recovery on the same disk
    and clock — one virtual timeline covering the op, fs, disk, aru,
    checkpoint, clean and recovery span categories. *)
-let run_traced_workload ~variant ~segments ~files =
+let run_traced_workload ~variant ~segments ~files ~file =
   let geom = geom_of segments in
+  let backend =
+    match file with
+    | None -> None
+    | Some path -> (
+      match Backend.file ~create:true ~size:(Geometry.total_bytes geom) path with
+      | backend -> Some backend
+      | exception Invalid_argument msg -> fail_invalid msg)
+  in
   let clock = Clock.create () in
   let obs = Obs.create ~clock () in
-  let inst = Setup.make ~geom ~clock ~obs variant in
+  let inst = Setup.make ~geom ~clock ~obs ?backend variant in
   let body = Bytes.make 1024 'x' in
   let path i = Printf.sprintf "/f%05d" i in
   for i = 0 to files - 1 do
@@ -467,8 +648,8 @@ let traced_files_arg =
 
 (* --------------------------------------------------------------- trace *)
 
-let trace_run variant segments files out jsonl =
-  let _lld, obs = run_traced_workload ~variant ~segments ~files in
+let trace_run variant segments files file out jsonl =
+  let _lld, obs = run_traced_workload ~variant ~segments ~files ~file in
   let tr = Obs.trace obs in
   Trace.write_chrome_file tr out;
   Printf.printf
@@ -504,13 +685,13 @@ let trace_cmd =
           crash, recovery) and export the span trace as Chrome trace-event \
           JSON.")
     Term.(
-      const trace_run $ variant_arg $ segments_arg $ traced_files_arg $ out
-      $ jsonl)
+      const trace_run $ variant_arg $ segments_arg $ traced_files_arg
+      $ file_arg $ out $ jsonl)
 
 (* --------------------------------------------------------------- stats *)
 
-let stats_run variant segments files json =
-  let _lld, obs = run_traced_workload ~variant ~segments ~files in
+let stats_run variant segments files file json =
+  let _lld, obs = run_traced_workload ~variant ~segments ~files ~file in
   let m = Obs.metrics obs in
   if json then print_endline (Metrics.to_json_string m)
   else begin
@@ -548,12 +729,13 @@ let stats_cmd =
        ~doc:
          "Run a traced workload and report per-operation latency \
           percentiles (p50/p95/p99 on the virtual clock) and live gauges.")
-    Term.(const stats_run $ variant_arg $ segments_arg $ traced_files_arg $ json)
+    Term.(
+      const stats_run $ variant_arg $ segments_arg $ traced_files_arg
+      $ file_arg $ json)
 
 (* -------------------------------------------------------------- info *)
 
-let show_info segments =
-  let geom = geom_of segments in
+let print_layout geom =
   let module L = Lld_core.Disk_layout in
   Printf.printf "partition: %d segments x %d KB = %d MB\n"
     geom.Geometry.num_segments
@@ -562,23 +744,49 @@ let show_info segments =
   Printf.printf "checkpoint regions: 2 x %d segments\n" (L.region_segments geom);
   Printf.printf "log segments: %d (first at %d)\n" (L.log_count geom)
     (L.log_first geom);
-  Printf.printf "logical block capacity: %d x 4 KB\n" (L.block_capacity geom);
-  (* live gauges of a freshly formatted logical disk on this geometry *)
-  let clock = Clock.create () in
-  let obs = Obs.create ~clock () in
-  let _, _lld = Setup.make_raw ~geom ~clock ~obs Setup.New in
-  Printf.printf "gauges (freshly formatted):\n";
+  Printf.printf "logical block capacity: %d x 4 KB\n" (L.block_capacity geom)
+
+let print_gauges ~header obs =
+  Printf.printf "%s:\n" header;
   List.iter
     (fun (name, v, help) -> Printf.printf "  %-20s %10d  %s\n" name v help)
     (Metrics.sample_gauges (Obs.metrics obs))
+
+let show_info segments file =
+  match file with
+  | None ->
+    let geom = geom_of segments in
+    print_layout geom;
+    (* live gauges of a freshly formatted logical disk on this geometry *)
+    let clock = Clock.create () in
+    let obs = Obs.create ~clock () in
+    let _, _lld = Setup.make_raw ~geom ~clock ~obs Setup.New in
+    print_gauges ~header:"gauges (freshly formatted)" obs
+  | Some path -> (
+    let geom, backend = open_image path in
+    Printf.printf "image: %s (backend %s)\n" path backend.Backend.label;
+    print_layout geom;
+    let clock = Clock.create () in
+    let obs = Obs.create ~clock () in
+    let disk = Disk.create ~backend ~clock geom in
+    match Lld.recover ~obs disk with
+    | exception Errors.Corrupt msg ->
+      Printf.eprintf "corrupt or unformatted image: %s\n" msg;
+      Disk.close disk;
+      exit 1
+    | _lld, report ->
+      Format.printf "recovery: %a@." Recovery.pp_report report;
+      print_gauges ~header:"gauges (after recovery)" obs;
+      Disk.close disk)
 
 let info_cmd =
   Cmd.v
     (Cmd.info "info"
        ~doc:
-         "Show partition layout and the live gauges of a freshly formatted \
-          logical disk.")
-    Term.(const show_info $ segments_arg)
+         "Show partition layout and live gauges — of a freshly formatted \
+          logical disk, or of a persistent image ($(b,--file)) after \
+          recovering it.")
+    Term.(const show_info $ segments_arg $ file_arg)
 
 let () =
   let doc = "Atomic Recovery Units / log-structured Logical Disk reproduction" in
@@ -587,7 +795,8 @@ let () =
       (Cmd.info "lld" ~version:"1.0.0" ~doc)
       [
         repro_cmd; smallfile_cmd; largefile_cmd; aru_bench_cmd; crash_demo_cmd;
-        torture_cmd; crashcheck_cmd; trace_cmd; stats_cmd; info_cmd;
+        torture_cmd; crashcheck_cmd; trace_cmd; stats_cmd; info_cmd; mkfs_cmd;
+        mount_cmd;
       ]
   in
   exit (Cmd.eval cmd)

@@ -199,7 +199,11 @@ let write disk ~region snap =
     Codec.set_u32 image (cksum_off + 4)
       (Int64.to_int (Int64.logand (Int64.shift_right_logical sum 32) 0xffffffffL));
     Disk.write disk ~offset:(Geometry.segment_offset geom (first + i)) image
-  done
+  done;
+  (* The checkpoint must be durable before the caller flips its current
+     region / resumes logging: recovery trusts the highest complete
+     ckpt_id it can read (paper §4 ordering). *)
+  Disk.barrier disk
 
 let read_chunk geom image =
   if Codec.get_u32 image 0 <> chunk_magic then None

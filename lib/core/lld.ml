@@ -228,6 +228,10 @@ and seal t =
     let image = Segment.seal s in
     let idx = Segment.disk_index s in
     Disk.write t.disk ~offset:(Geometry.segment_offset t.geom idx) image;
+    (* Paper §4 ordering: a sealed segment (and every commit record in
+       it) must be durable before any later segment or checkpoint refers
+       to it.  No-op in memory; fsync on a file backend. *)
+    Disk.barrier t.disk;
     t.counters.Counters.segments_written <-
       t.counters.Counters.segments_written + 1;
     t.sealed.(idx) <- true;

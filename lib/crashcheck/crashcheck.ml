@@ -176,9 +176,21 @@ type trace = {
   tr_oracle : Oracle.t;
 }
 
-let record spec =
+let default_backend geom = function
+  | Some b -> b
+  | None -> (
+    let size = Geometry.total_bytes geom in
+    match Lld_disk.Backend.of_env ~size () with
+    | Some b -> b
+    | None -> Lld_disk.Backend.mem ~size)
+
+(* One full traced run of the workload on the given backend.  The base
+   image and every subsequent state come from the backend API
+   ([Disk.snapshot] / the write observer), so the checker exercises
+   whatever store it is pointed at. *)
+let record_on backend spec =
   let clock = Clock.create () in
-  let disk = Disk.create ~clock spec.sc_geom in
+  let disk = Disk.create ~backend ~clock spec.sc_geom in
   let lld = Lld.create ~config:spec.sc_config disk in
   let fs =
     Option.map
@@ -194,15 +206,98 @@ let record spec =
   spec.sc_run { cx_clock = clock; cx_disk = disk; cx_lld = lld; cx_fs = fs }
     oracle;
   Disk.set_observer disk None;
-  {
-    tr_spec = spec;
-    tr_base = base;
-    tr_writes = Array.of_list (List.rev !writes);
-    tr_oracle = oracle;
-  }
+  let trace =
+    {
+      tr_spec = spec;
+      tr_base = base;
+      tr_writes = Array.of_list (List.rev !writes);
+      tr_oracle = oracle;
+    }
+  in
+  let final = Disk.snapshot disk in
+  let counters = Disk.counters disk in
+  let label = Disk.backend_label disk in
+  Disk.close disk;
+  (trace, label, final, counters, Clock.now_ns clock)
+
+let record ?backend spec =
+  let backend = default_backend spec.sc_geom backend in
+  let trace, _, _, _, _ = record_on backend spec in
+  trace
 
 let trace_writes t = Array.length t.tr_writes
 let trace_oracle_units t = Oracle.size t.tr_oracle
+
+(* ------------------------------------------------------------------ *)
+(* Differential backend check                                          *)
+
+type differential = {
+  d_workload : string;
+  d_mem_label : string;
+  d_file_label : string;
+  d_writes : int;
+  d_images_equal : bool;
+  d_counters_equal : bool;
+  d_clocks_equal : bool;
+  d_problems : string list;
+}
+
+let differential_ok d = d.d_problems = []
+
+let differential ?dir spec =
+  let size = Geometry.total_bytes spec.sc_geom in
+  let m_trace, m_label, m_image, m_counters, m_ns =
+    record_on (Lld_disk.Backend.mem ~size) spec
+  in
+  let f_trace, f_label, f_image, f_counters, f_ns =
+    record_on (Lld_disk.Backend.temp_file ?dir ~size ()) spec
+  in
+  let problems = ref [] in
+  let check cond msg = if not cond then problems := msg :: !problems in
+  let images_equal = Bytes.equal m_image f_image in
+  check images_equal
+    "final device images differ byte-for-byte between mem and file backends";
+  check
+    (Bytes.equal m_trace.tr_base f_trace.tr_base)
+    "post-format base images differ between mem and file backends";
+  check
+    (Array.length m_trace.tr_writes = Array.length f_trace.tr_writes)
+    (Printf.sprintf "write traces differ in length: mem %d, file %d"
+       (Array.length m_trace.tr_writes)
+       (Array.length f_trace.tr_writes));
+  let counters_equal = m_counters = f_counters in
+  check counters_equal
+    (Printf.sprintf
+       "device counters differ: mem %d writes / %d reads, file %d writes / %d \
+        reads"
+       m_counters.Disk.writes m_counters.Disk.reads f_counters.Disk.writes
+       f_counters.Disk.reads);
+  let clocks_equal = m_ns = f_ns in
+  check clocks_equal
+    (Printf.sprintf "virtual clocks differ: mem %d ns, file %d ns" m_ns f_ns);
+  {
+    d_workload = spec.sc_name;
+    d_mem_label = m_label;
+    d_file_label = f_label;
+    d_writes = Array.length m_trace.tr_writes;
+    d_images_equal = images_equal;
+    d_counters_equal = counters_equal;
+    d_clocks_equal = clocks_equal;
+    d_problems = List.rev !problems;
+  }
+
+let pp_differential ppf d =
+  Format.fprintf ppf
+    "@[<v>workload %s: %d disk writes on %s and %s@,\
+     images byte-identical: %b; counters equal: %b; virtual clocks equal: %b@,"
+    d.d_workload d.d_writes d.d_mem_label d.d_file_label d.d_images_equal
+    d.d_counters_equal d.d_clocks_equal;
+  if d.d_problems = [] then
+    Format.fprintf ppf "backends are observably equivalent@]"
+  else begin
+    List.iter (fun p -> Format.fprintf ppf "  %s@," p) d.d_problems;
+    Format.fprintf ppf "@]"
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Crash points                                                        *)

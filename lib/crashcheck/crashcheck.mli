@@ -72,12 +72,41 @@ val specs : (string * (unit -> spec)) list
 
 type trace
 
-val record : spec -> trace
+val record : ?backend:Lld_disk.Backend.t -> spec -> trace
 (** Run the workload once, recording the base image and every disk
-    write. *)
+    write.  [backend] defaults to {!Lld_disk.Backend.of_env} (honouring
+    [LLD_BACKEND=file]) and then to an in-memory store; the base image
+    and the write trace come from the backend API either way, so
+    crash-point checking works identically on any store. *)
 
 val trace_writes : trace -> int
 val trace_oracle_units : trace -> int
+
+(** {1 Differential backend check}
+
+    The paper's §2 transparency claim, checked at the store layer: the
+    same workload driven once on {!Lld_disk.Backend.mem} and once on
+    {!Lld_disk.Backend.temp_file} must leave byte-identical device
+    images, identical device counters and an identical virtual clock. *)
+
+type differential = {
+  d_workload : string;
+  d_mem_label : string;
+  d_file_label : string;
+  d_writes : int;  (** disk writes in the (mem) trace *)
+  d_images_equal : bool;
+  d_counters_equal : bool;
+  d_clocks_equal : bool;
+  d_problems : string list;  (** [[]] = backends observably equivalent *)
+}
+
+val differential : ?dir:string -> spec -> differential
+(** Run [spec]'s workload on both backends and compare.  [dir] is where
+    the temporary file image lives while the run is in flight (default
+    the system temp directory); it is unlinked eagerly either way. *)
+
+val differential_ok : differential -> bool
+val pp_differential : Format.formatter -> differential -> unit
 
 type point = {
   pt_index : int;

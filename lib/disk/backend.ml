@@ -1,0 +1,144 @@
+type t = {
+  label : string;
+  size : int;
+  read : offset:int -> length:int -> bytes;
+  write : offset:int -> bytes -> unit;
+  snapshot : unit -> bytes;
+  restore : bytes -> unit;
+  barrier : unit -> unit;
+  close : unit -> unit;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Mem                                                                 *)
+
+let of_bytes store =
+  let size = Bytes.length store in
+  {
+    label = "mem";
+    size;
+    read = (fun ~offset ~length -> Bytes.sub store offset length);
+    write = (fun ~offset data -> Bytes.blit data 0 store offset (Bytes.length data));
+    snapshot = (fun () -> Bytes.copy store);
+    restore = (fun image -> Bytes.blit image 0 store 0 size);
+    barrier = (fun () -> ());
+    close = (fun () -> ());
+  }
+
+let mem ~size =
+  if size <= 0 then invalid_arg "Backend.mem: size must be positive";
+  of_bytes (Bytes.make size '\000')
+
+(* ------------------------------------------------------------------ *)
+(* File                                                                *)
+
+(* Every [Unix_error] is rewrapped so callers above the device layer see
+   a clear [Invalid_argument] naming the image, never a raw Unix
+   exception (the logical layers only know [Invalid_argument] and
+   [Errors.Corrupt]). *)
+let wrap_unix ~path op f =
+  try f ()
+  with Unix.Unix_error (e, _, _) ->
+    invalid_arg
+      (Printf.sprintf "Backend.file: cannot %s %s: %s" op path
+         (Unix.error_message e))
+
+let really_pread fd ~path ~offset buf =
+  ignore (Unix.lseek fd offset Unix.SEEK_SET);
+  let len = Bytes.length buf in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = Unix.read fd buf !pos (len - !pos) in
+    if n = 0 then
+      invalid_arg
+        (Printf.sprintf "Backend.file: unexpected end of image %s" path);
+    pos := !pos + n
+  done
+
+let really_pwrite fd ~offset buf =
+  ignore (Unix.lseek fd offset Unix.SEEK_SET);
+  let len = Bytes.length buf in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write fd buf !pos (len - !pos)
+  done
+
+let file ?(create = false) ~size path =
+  if size <= 0 then invalid_arg "Backend.file: size must be positive";
+  let fd =
+    wrap_unix ~path "open" (fun () ->
+        let flags =
+          if create then Unix.[ O_RDWR; O_CREAT; O_CLOEXEC ]
+          else Unix.[ O_RDWR; O_CLOEXEC ]
+        in
+        Unix.openfile path flags 0o644)
+  in
+  (match
+     wrap_unix ~path "size" (fun () ->
+         if create then Unix.ftruncate fd size;
+         (Unix.fstat fd).Unix.st_size)
+   with
+  | actual when actual <> size ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    invalid_arg
+      (Printf.sprintf
+         "Backend.file: image %s is %d bytes, the geometry needs %d" path
+         actual size)
+  | _ -> ()
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e);
+  let closed = ref false in
+  let live op =
+    if !closed then
+      invalid_arg
+        (Printf.sprintf "Backend.file: %s on closed image %s" op path)
+  in
+  {
+    label = "file:" ^ path;
+    size;
+    read =
+      (fun ~offset ~length ->
+        live "read";
+        let buf = Bytes.create length in
+        wrap_unix ~path "read" (fun () -> really_pread fd ~path ~offset buf);
+        buf);
+    write =
+      (fun ~offset data ->
+        live "write";
+        wrap_unix ~path "write" (fun () -> really_pwrite fd ~offset data));
+    snapshot =
+      (fun () ->
+        live "snapshot";
+        let buf = Bytes.create size in
+        wrap_unix ~path "read" (fun () -> really_pread fd ~path ~offset:0 buf);
+        buf);
+    restore =
+      (fun image ->
+        live "restore";
+        wrap_unix ~path "write" (fun () -> really_pwrite fd ~offset:0 image));
+    barrier =
+      (fun () ->
+        live "barrier";
+        wrap_unix ~path "fsync" (fun () -> Unix.fsync fd));
+    close =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          wrap_unix ~path "close" (fun () -> Unix.close fd)
+        end);
+  }
+
+let temp_file ?(dir = Filename.get_temp_dir_name ()) ~size () =
+  let path = Filename.temp_file ~temp_dir:dir "lld" ".img" in
+  let backend = file ~create:true ~size path in
+  (* Unlink immediately: the open descriptor keeps the image alive and
+     the kernel reclaims it when the backend is closed or the process
+     exits — no stray .img files from test runs. *)
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  backend
+
+let of_env ~size () =
+  match Sys.getenv_opt "LLD_BACKEND" with
+  | Some "file" -> Some (temp_file ~size ())
+  | Some _ | None -> None

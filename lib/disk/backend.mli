@@ -1,0 +1,55 @@
+(** The storage backend behind the simulated block device.
+
+    The paper's headline claim for the Logical Disk split is that
+    implementations can be exchanged transparently (§2); this vtable
+    honors it one layer down.  A backend is a plain byte store with no
+    timing, no fault plan and no observability — those are composable
+    shims ({!Shim}) that {!Disk} stacks on top of {e any} backend, so
+    every implementation exposes identical crash and cost semantics.
+
+    Two stores are provided: {!mem}, the in-memory image the simulation
+    always used, and {!file}, a real on-disk image accessed through
+    [Unix] — giving the logical disk actual durability across process
+    runs ([lld mkfs --file] / [lld mount --file]) at identical
+    virtual-clock cost. *)
+
+type t = {
+  label : string;  (** ["mem"] or ["file:<path>"] — for reports *)
+  size : int;  (** total bytes; must match the device geometry *)
+  read : offset:int -> length:int -> bytes;
+  write : offset:int -> bytes -> unit;
+  snapshot : unit -> bytes;  (** copy of the whole image *)
+  restore : bytes -> unit;  (** overwrite the whole image (size checked
+                                by {!Disk.restore}) *)
+  barrier : unit -> unit;
+      (** make every preceding write durable ([fsync] on {!file}, no-op
+          on {!mem}).  Charges nothing to the virtual clock. *)
+  close : unit -> unit;  (** release resources; idempotent *)
+}
+
+val mem : size:int -> t
+(** A zero-filled in-memory store. *)
+
+val of_bytes : bytes -> t
+(** Wrap an existing image without copying — the caller hands over
+    ownership (used by {!Disk.load} to reconstruct crash images). *)
+
+val file : ?create:bool -> size:int -> string -> t
+(** An on-disk image at the given path.  With [create] (default false)
+    the file is created and extended to [size] (sparse); without it the
+    file must exist and be exactly [size] bytes.  Every failure — a
+    missing path, a short or oversized image, an unwritable or
+    non-regular file — raises [Invalid_argument] with a message naming
+    the image, never a raw [Unix.Unix_error]. *)
+
+val temp_file : ?dir:string -> size:int -> unit -> t
+(** A {!file} backend on a fresh temporary image that is unlinked
+    immediately (the open descriptor keeps it alive), so crash-checker
+    and test runs leave nothing behind. *)
+
+val of_env : size:int -> unit -> t option
+(** [Some (temp_file ~size ())] when the [LLD_BACKEND] environment
+    variable is ["file"], [None] otherwise.  Construction sites that
+    default to {!mem} consult this so the whole test suite can be
+    re-run against the file backend ([LLD_BACKEND=file dune runtest],
+    the CI job). *)

@@ -12,7 +12,8 @@ type t = {
   timing : Timing.t;
   fault : Fault.t;
   clock : Lld_sim.Clock.t;
-  store : bytes;
+  mutable stack : Backend.t; (* fault → timing → tap(observer) → store *)
+  backend : Backend.t; (* the raw store at the bottom of the stack *)
   mutable last_end : int; (* byte position after the previous request; -1 = cold *)
   mutable observer : observer option;
   mutable obs : Lld_obs.Obs.t;
@@ -22,54 +23,12 @@ type t = {
   mutable bytes_read : int;
 }
 
-let make ?(timing = Timing.hp_c3010) ?fault ~clock geom store =
-  let fault = match fault with Some f -> f | None -> Fault.none () in
-  {
-    geom;
-    timing;
-    fault;
-    clock;
-    store;
-    last_end = -1;
-    observer = None;
-    obs = Lld_obs.Obs.null;
-    writes = 0;
-    reads = 0;
-    bytes_written = 0;
-    bytes_read = 0;
-  }
-
-let create ?timing ?fault ~clock geom =
-  make ?timing ?fault ~clock geom (Bytes.make (Geometry.total_bytes geom) '\000')
-
-let load ?timing ?fault ~clock geom image =
-  if Bytes.length image <> Geometry.total_bytes geom then
-    invalid_arg "Disk.load: image size does not match the geometry";
-  make ?timing ?fault ~clock geom image
-
-let snapshot t = Bytes.copy t.store
-
-let restore t image =
-  if Bytes.length image <> Bytes.length t.store then
-    invalid_arg "Disk.restore: image size does not match the partition";
-  Bytes.blit image 0 t.store 0 (Bytes.length image)
-
-let set_observer t obs = t.observer <- obs
-let set_obs t obs = t.obs <- obs
-
-let geometry t = t.geom
-let fault t = t.fault
-let clock t = t.clock
-
-let check_range t ~offset ~length =
-  if offset < 0 || length < 0 || offset + length > Bytes.length t.store then
-    invalid_arg "Disk: request outside the partition"
-
 (* Charge the mechanical cost of a request and, when an observability
    handle is attached, record a [disk] span with the seek/transfer
    breakdown.  The span brackets exactly the charged interval, so trace
    durations equal the cost-model charge. *)
 let charge t ~op ~offset ~length =
+  let op = match op with `Read -> "read" | `Write -> "write" in
   let b =
     Timing.request_breakdown t.timing t.geom ~last_end:t.last_end ~offset
       ~length
@@ -95,38 +54,92 @@ let charge t ~op ~offset ~length =
   else Lld_sim.Clock.charge t.clock Lld_sim.Clock.Io ns;
   t.last_end <- offset + length
 
-let write t ~offset data =
-  let length = Bytes.length data in
-  check_range t ~offset ~length;
-  let observe ~kept =
-    match t.observer with
-    | None -> ()
-    | Some f -> f ~index:(t.writes - 1) ~offset ~data:(Bytes.sub data 0 kept)
+let make ?(timing = Timing.hp_c3010) ?fault ~clock geom backend =
+  let fault = match fault with Some f -> f | None -> Fault.none () in
+  if backend.Backend.size <> Geometry.total_bytes geom then
+    invalid_arg "Disk: backend size does not match the geometry";
+  let t =
+    {
+      geom;
+      timing;
+      fault;
+      clock;
+      stack = backend;
+      backend;
+      last_end = -1;
+      observer = None;
+      obs = Lld_obs.Obs.null;
+      writes = 0;
+      reads = 0;
+      bytes_written = 0;
+      bytes_read = 0;
+    }
   in
-  match Fault.on_write t.fault ~length with
-  | `Ok ->
-    charge t ~op:"write" ~offset ~length;
-    Bytes.blit data 0 t.store offset length;
-    t.writes <- t.writes + 1;
-    t.bytes_written <- t.bytes_written + length;
-    observe ~kept:length
-  | `Torn keep ->
-    (* the prefix reached the medium before power was lost *)
-    charge t ~op:"write" ~offset ~length:keep;
-    Bytes.blit data 0 t.store offset keep;
-    t.writes <- t.writes + 1;
-    t.bytes_written <- t.bytes_written + keep;
-    observe ~kept:keep;
-    raise Fault.Crashed
+  (* The canonical shim stack, assembled exactly once per device.  The
+     tap sits right above the store: its probe sees exactly the bytes
+     that persisted (a torn write arrives already truncated) and feeds
+     the counters and the crash-checker's write observer.  Timing sits
+     above the tap, and the fault plan outermost, so a crashed device
+     charges nothing and a torn write charges only its surviving
+     prefix — identical to the pre-backend device. *)
+  let metered =
+    Shim.tap
+      ~on_read:(fun ~offset:_ ~length ->
+        t.reads <- t.reads + 1;
+        t.bytes_read <- t.bytes_read + length)
+      ~on_write:(fun ~offset ~data ->
+        t.writes <- t.writes + 1;
+        t.bytes_written <- t.bytes_written + Bytes.length data;
+        match t.observer with
+        | None -> ()
+        | Some f -> f ~index:(t.writes - 1) ~offset ~data:(Bytes.copy data))
+      backend
+  in
+  t.stack <- Shim.fault fault (Shim.timing ~charge:(charge t) metered);
+  t
+
+let create ?timing ?fault ?backend ~clock geom =
+  let backend =
+    match backend with
+    | Some b -> b
+    | None -> Backend.mem ~size:(Geometry.total_bytes geom)
+  in
+  make ?timing ?fault ~clock geom backend
+
+let load ?timing ?fault ~clock geom image =
+  if Bytes.length image <> Geometry.total_bytes geom then
+    invalid_arg "Disk.load: image size does not match the geometry";
+  make ?timing ?fault ~clock geom (Backend.of_bytes image)
+
+let snapshot t = t.stack.Backend.snapshot ()
+
+let restore t image =
+  if Bytes.length image <> t.stack.Backend.size then
+    invalid_arg "Disk.restore: image size does not match the partition";
+  t.stack.Backend.restore image
+
+let barrier t = t.stack.Backend.barrier ()
+let close t = t.stack.Backend.close ()
+let backend_label t = t.backend.Backend.label
+
+let set_observer t obs = t.observer <- obs
+let set_obs t obs = t.obs <- obs
+
+let geometry t = t.geom
+let fault t = t.fault
+let clock t = t.clock
+
+let check_range t ~offset ~length =
+  if offset < 0 || length < 0 || offset + length > t.stack.Backend.size then
+    invalid_arg "Disk: request outside the partition"
+
+let write t ~offset data =
+  check_range t ~offset ~length:(Bytes.length data);
+  t.stack.Backend.write ~offset data
 
 let read t ~offset ~length =
   check_range t ~offset ~length;
-  if Fault.crashed t.fault then raise Fault.Crashed;
-  Fault.check_read t.fault ~offset ~length;
-  charge t ~op:"read" ~offset ~length;
-  t.reads <- t.reads + 1;
-  t.bytes_read <- t.bytes_read + length;
-  Bytes.sub t.store offset length
+  t.stack.Backend.read ~offset ~length
 
 let counters t =
   {

@@ -1,17 +1,28 @@
 (** The simulated block device.
 
-    An in-memory byte store standing in for the paper's HP C3010
-    partition accessed through the SunOS raw-disk interface.  Every
-    request charges mechanical latency from {!Timing} to the shared
-    virtual {!Lld_sim.Clock}, and passes through the {!Fault} plan, so
-    crash and media-failure behaviour is deterministic. *)
+    A byte store standing in for the paper's HP C3010 partition accessed
+    through the SunOS raw-disk interface.  The store itself is a
+    pluggable {!Backend} (in-memory by default, file-backed for real
+    persistence); the device wraps it in the canonical {!Shim} stack —
+    fault plan, timing, write observer — exactly once, so every request
+    charges mechanical latency from {!Timing} to the shared virtual
+    {!Lld_sim.Clock} and passes through the {!Fault} plan identically on
+    every backend, and crash and media-failure behaviour stays
+    deterministic. *)
 
 type t
 
 val create :
-  ?timing:Timing.t -> ?fault:Fault.t -> clock:Lld_sim.Clock.t -> Geometry.t -> t
-(** A zero-filled partition. Default timing is {!Timing.hp_c3010};
-    default fault plan is {!Fault.none}. *)
+  ?timing:Timing.t ->
+  ?fault:Fault.t ->
+  ?backend:Backend.t ->
+  clock:Lld_sim.Clock.t ->
+  Geometry.t ->
+  t
+(** A partition on the given backend (default: a zero-filled
+    {!Backend.mem}).  Default timing is {!Timing.hp_c3010}; default
+    fault plan is {!Fault.none}.  Raises [Invalid_argument] when the
+    backend size does not match the geometry. *)
 
 val load :
   ?timing:Timing.t ->
@@ -67,7 +78,26 @@ val snapshot : t -> bytes
 (** Copy of the entire device image. *)
 
 val restore : t -> bytes -> unit
-(** Overwrite the entire device image (size must match). *)
+(** Overwrite the entire device image.  Raises [Invalid_argument] when
+    the image size does not match the partition. *)
+
+(** {2 Durability}
+
+    Real persistence boundary, exposed from the backend. *)
+
+val barrier : t -> unit
+(** Make every preceding write durable ({!Backend.t.barrier}: [fsync]
+    on a file backend, a no-op in memory).  Called by the logical-disk
+    layer at the paper's §4 ordering points — after sealing a log
+    segment and after writing a checkpoint region — instead of assuming
+    writes are synchronous.  Charges nothing to the virtual clock, so
+    traced and untraced runs and all backends stay cost-identical. *)
+
+val close : t -> unit
+(** Release the backend's resources (idempotent). *)
+
+val backend_label : t -> string
+(** ["mem"] or ["file:<path>"] — for reports and benchmarks. *)
 
 (** {2 Statistics} *)
 

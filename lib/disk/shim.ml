@@ -1,0 +1,44 @@
+let tap ?on_read ?on_write (inner : Backend.t) =
+  {
+    inner with
+    Backend.read =
+      (fun ~offset ~length ->
+        let data = inner.Backend.read ~offset ~length in
+        (match on_read with None -> () | Some f -> f ~offset ~length);
+        data);
+    write =
+      (fun ~offset data ->
+        inner.Backend.write ~offset data;
+        match on_write with None -> () | Some f -> f ~offset ~data);
+  }
+
+let timing ~charge (inner : Backend.t) =
+  {
+    inner with
+    Backend.read =
+      (fun ~offset ~length ->
+        charge ~op:`Read ~offset ~length;
+        inner.Backend.read ~offset ~length);
+    write =
+      (fun ~offset data ->
+        charge ~op:`Write ~offset ~length:(Bytes.length data);
+        inner.Backend.write ~offset data);
+  }
+
+let fault plan (inner : Backend.t) =
+  {
+    inner with
+    Backend.read =
+      (fun ~offset ~length ->
+        if Fault.crashed plan then raise Fault.Crashed;
+        Fault.check_read plan ~offset ~length;
+        inner.Backend.read ~offset ~length);
+    write =
+      (fun ~offset data ->
+        match Fault.on_write plan ~length:(Bytes.length data) with
+        | `Ok -> inner.Backend.write ~offset data
+        | `Torn keep ->
+          (* the prefix reached the medium before power was lost *)
+          inner.Backend.write ~offset (Bytes.sub data 0 keep);
+          raise Fault.Crashed);
+  }

@@ -1,0 +1,36 @@
+(** Composable backend shims.
+
+    Each combinator wraps a {!Backend.t} into another {!Backend.t},
+    intercepting only [read]/[write] — [snapshot]/[restore]/[barrier]/
+    [close] pass straight through to the store.  {!Disk} assembles the
+    canonical stack exactly once per device, outermost first:
+
+    {v fault → timing → tap(observer) → store v}
+
+    The fault plan sits {e above} timing so the virtual clock charges
+    exactly the bytes that reach the medium — nothing when the device is
+    already crashed, only the persisted prefix on a torn write — which
+    keeps the cost model bit-identical to the pre-backend device on
+    every store (DESIGN.md §5.8). *)
+
+val tap :
+  ?on_read:(offset:int -> length:int -> unit) ->
+  ?on_write:(offset:int -> data:bytes -> unit) ->
+  Backend.t ->
+  Backend.t
+(** Observe requests after the inner backend completed them: [on_write]
+    sees exactly the bytes that reached the store (on a torn write, the
+    persisted prefix — the {!fault} shim above already truncated it). *)
+
+val timing :
+  charge:(op:[ `Read | `Write ] -> offset:int -> length:int -> unit) ->
+  Backend.t ->
+  Backend.t
+(** Invoke [charge] before forwarding each request (the mechanical cost
+    of a request does not depend on its outcome). *)
+
+val fault : Fault.t -> Backend.t -> Backend.t
+(** Apply the fault plan: reads raise {!Fault.Crashed} while the device
+    is down and {!Fault.Media_error} on injected bad ranges; a write at
+    the scheduled crash point forwards only the surviving prefix to the
+    inner backend and then raises {!Fault.Crashed}. *)

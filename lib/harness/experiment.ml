@@ -902,6 +902,75 @@ let print_observability ppf r =
     (hist_table_rows r.o2_metrics commit_breakdown_keys)
 
 (* ------------------------------------------------------------------ *)
+(* B1 — backend transparency: Mem vs File at identical virtual cost *)
+
+type backend_row = {
+  b1_backend : string;
+  b1_wall_s : float;  (* host wall-clock: the real price of durability *)
+  b1_virtual_ns : int;  (* simulated time: must not depend on the store *)
+  b1_counters_json : string;
+  b1_files_per_sec : float;
+}
+
+type backend_result = {
+  b1_rows : backend_row list;
+  b1_clock_match : bool;
+  b1_counters_match : bool;
+}
+
+(* The §2 transparency claim one layer down: the same deterministic
+   small-file workload on the in-memory store and on a real file image.
+   Wall-clock may differ (that is what the file backend buys and pays
+   for); the virtual clock and the logical-disk counters must not. *)
+let backend_comparison scale =
+  let params = Smallfile.scaled Smallfile.paper_1k (0.1 *. scale.files) in
+  let run make_backend =
+    let backend = make_backend (Geometry.total_bytes scale.geom) in
+    let t0 = Unix.gettimeofday () in
+    let inst = Setup.make ~geom:scale.geom ~backend Setup.New in
+    let result = Smallfile.run inst params in
+    let wall = Unix.gettimeofday () -. t0 in
+    let row =
+      {
+        b1_backend = Disk.backend_label inst.Setup.disk;
+        b1_wall_s = wall;
+        b1_virtual_ns = Clock.now_ns inst.Setup.clock;
+        b1_counters_json = Counters.to_json_string (Lld.counters inst.Setup.lld);
+        b1_files_per_sec =
+          result.Smallfile.create_write.Smallfile.files_per_sec;
+      }
+    in
+    Disk.close inst.Setup.disk;
+    row
+  in
+  let mem = run (fun size -> Lld_disk.Backend.mem ~size) in
+  let file = run (fun size -> Lld_disk.Backend.temp_file ~size ()) in
+  {
+    b1_rows = [ mem; file ];
+    b1_clock_match = mem.b1_virtual_ns = file.b1_virtual_ns;
+    b1_counters_match = String.equal mem.b1_counters_json file.b1_counters_json;
+  }
+
+let print_backend ppf r =
+  Report.table ppf
+    ~title:
+      "B1: storage-backend transparency — same workload on mem vs file \
+       (paper 2: implementations exchange without the client noticing; \
+       wall-clock differs, virtual clock must not)"
+    ~header:
+      [ "backend"; "wall (s)"; "virtual (s)"; "create+write f/s"; "identical" ]
+    (List.map
+       (fun row ->
+         [
+           row.b1_backend;
+           Report.f2 row.b1_wall_s;
+           Report.f2 (float_of_int row.b1_virtual_ns /. 1e9);
+           Report.f1 row.b1_files_per_sec;
+           (if r.b1_clock_match && r.b1_counters_match then "yes" else "NO");
+         ])
+       r.b1_rows)
+
+(* ------------------------------------------------------------------ *)
 
 type check = { ck_name : string; ck_ok : bool; ck_detail : string }
 
@@ -911,7 +980,7 @@ let finite v = Float.is_finite v && v > 0.
    virtual clock is calibrated, not cycle-accurate) but the directional
    claims each table/figure exists to demonstrate.  A regression that
    silently zeroes a phase or inverts a trade-off fails the run. *)
-let checks ~f5 ~f6 ~l1 ~x3 ~w0 ~c1 ~ob =
+let checks ~f5 ~f6 ~l1 ~x3 ~w0 ~c1 ~ob ~b1 =
   let all_f5_phases =
     List.concat_map
       (fun r ->
@@ -1039,6 +1108,21 @@ let checks ~f5 ~f6 ~l1 ~x3 ~w0 ~c1 ~ob =
           (if ob.o1_counters_match then "identical" else "DIFFER")
           (if ob.o1_clock_match then "identical" else "DIFFERS")
           ob.o1_traced_clock_ns ob.o1_trace_events;
+    };
+    {
+      ck_name = "B1: mem and file backends charge identical virtual time";
+      ck_ok = b1.b1_clock_match && b1.b1_counters_match;
+      ck_detail =
+        String.concat "; "
+          (List.map
+             (fun row ->
+               Printf.sprintf "%s: %d ns virtual, %.2f s wall"
+                 (if String.length row.b1_backend >= 4
+                     && String.sub row.b1_backend 0 4 = "file"
+                  then "file"
+                  else row.b1_backend)
+                 row.b1_virtual_ns row.b1_wall_s)
+             b1.b1_rows);
     };
     {
       ck_name = "O2: commit phases instrumented for every ARU";
@@ -1187,6 +1271,26 @@ let json_of_metrics m =
              (Metrics.histograms m)) );
     ]
 
+let json_of_backend r =
+  Report.Obj
+    [
+      ("clock_match", Report.Bool r.b1_clock_match);
+      ("counters_match", Report.Bool r.b1_counters_match);
+      ( "rows",
+        Report.List
+          (List.map
+             (fun row ->
+               Report.Obj
+                 [
+                   ("backend", Report.String row.b1_backend);
+                   ("wall_seconds", Report.Float row.b1_wall_s);
+                   ("virtual_ns", Report.Int row.b1_virtual_ns);
+                   ( "create_write_files_per_sec",
+                     Report.Float row.b1_files_per_sec );
+                 ])
+             r.b1_rows) );
+    ]
+
 let json_of_observability r =
   Report.Obj
     [
@@ -1236,7 +1340,9 @@ let run_all_json ppf scale =
   print_cleaning ppf c1;
   let ob = observability scale in
   print_observability ppf ob;
-  let cks = checks ~f5 ~f6 ~l1 ~x3 ~w0 ~c1 ~ob in
+  let b1 = backend_comparison scale in
+  print_backend ppf b1;
+  let cks = checks ~f5 ~f6 ~l1 ~x3 ~w0 ~c1 ~ob ~b1 in
   print_checks ppf cks;
   Format.fprintf ppf "@.";
   let json =
@@ -1259,6 +1365,7 @@ let run_all_json ppf scale =
         ("bandwidth", json_of_w0 w0);
         ("cleaning", json_of_c1 c1);
         ("observability", json_of_observability ob);
+        ("backend", json_of_backend b1);
         ("checks", Report.List (List.map json_of_check cks));
       ]
   in

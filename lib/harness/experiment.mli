@@ -191,6 +191,33 @@ type observability_result = {
 val observability : scale -> observability_result
 val print_observability : Format.formatter -> observability_result -> unit
 
+(** {1 B1 — storage-backend transparency: mem vs file}
+
+    The paper's §2 claim that Logical Disk implementations exchange
+    transparently, checked one layer down at the storage backend: the
+    same deterministic small-file workload on {!Lld_disk.Backend.mem}
+    and on {!Lld_disk.Backend.temp_file} must produce an identical final
+    virtual clock and identical logical-disk counters.  Host wall-clock
+    is reported alongside — it is the real price of durability and the
+    one quantity allowed to differ. *)
+
+type backend_row = {
+  b1_backend : string;  (** {!Lld_disk.Disk.backend_label} *)
+  b1_wall_s : float;  (** host wall-clock seconds for the run *)
+  b1_virtual_ns : int;  (** final virtual clock *)
+  b1_counters_json : string;
+  b1_files_per_sec : float;  (** create+write phase throughput *)
+}
+
+type backend_result = {
+  b1_rows : backend_row list;  (** mem first, then file *)
+  b1_clock_match : bool;
+  b1_counters_match : bool;
+}
+
+val backend_comparison : scale -> backend_result
+val print_backend : Format.formatter -> backend_result -> unit
+
 (** {1 Everything} *)
 
 (** One sanity gate over a reproduced artifact: not an exact number (the
@@ -208,7 +235,8 @@ val run_all : Format.formatter -> scale -> unit
 
 val run_all_json : Format.formatter -> scale -> check list * Report.json
 (** {!run_all_checked}, additionally returning the machine-readable
-    projection of the main artifacts (the [BENCH_PR3.json] payload,
+    projection of the main artifacts (the [BENCH_PR4.json] payload,
     minus the real-time micro-benchmark rows the bench driver adds),
     including the ["observability"] section with the traced runs'
-    gauges and latency histograms. *)
+    gauges and latency histograms and the ["backend"] section with the
+    B1 mem-vs-file comparison rows. *)

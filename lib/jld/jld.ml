@@ -202,6 +202,9 @@ let flush_chunk t =
     Disk.write t.disk
       ~offset:((t.layout.journal_first + t.jptr) * bb)
       image;
+    (* WAL ordering: the journal chunk (and the commit records in it)
+       must be durable before later chunks or the checkpoint tables. *)
+    Disk.barrier t.disk;
     t.jptr <- t.jptr + blocks;
     t.jseq <- t.jseq + 1;
     t.counters.Counters.segments_written <-
@@ -325,7 +328,11 @@ let checkpoint t =
     raise (Errors.Corrupt "Jld.checkpoint: called during a commit");
   flush_chunk t;
   apply_home t;
+  (* home-location data must be durable before the table epoch flips
+     and the journal space is reused *)
+  Disk.barrier t.disk;
   write_tables t;
+  Disk.barrier t.disk;
   t.epoch <- t.epoch + 1;
   t.jptr <- 0;
   t.jseq <- 1;

@@ -40,9 +40,21 @@ type instance = {
   clock : Lld_sim.Clock.t;
 }
 
-let make ?(geom = Geometry.paper) ?inode_count ?clock ?obs variant =
+(* [LLD_BACKEND=file] reruns every experiment against a real on-disk
+   image; an explicit [?backend] always wins. *)
+let resolve_backend geom backend =
+  match backend with
+  | Some b -> b
+  | None -> (
+    let size = Geometry.total_bytes geom in
+    match Lld_disk.Backend.of_env ~size () with
+    | Some b -> b
+    | None -> Lld_disk.Backend.mem ~size)
+
+let make ?(geom = Geometry.paper) ?inode_count ?clock ?obs ?backend variant =
   let clock = match clock with Some c -> c | None -> Clock.create () in
-  let disk = Disk.create ~clock geom in
+  let backend = resolve_backend geom backend in
+  let disk = Disk.create ~backend ~clock geom in
   let lld = Lld.create ~config:(lld_config variant) ?obs disk in
   let fs = Fs.mkfs ~config:(fs_config variant) ?inode_count lld in
   Fs.flush fs;
@@ -51,9 +63,10 @@ let make ?(geom = Geometry.paper) ?inode_count ?clock ?obs variant =
   reset_obs obs;
   { disk; lld; fs; clock }
 
-let make_raw ?(geom = Geometry.paper) ?clock ?obs variant =
+let make_raw ?(geom = Geometry.paper) ?clock ?obs ?backend variant =
   let clock = match clock with Some c -> c | None -> Clock.create () in
-  let disk = Disk.create ~clock geom in
+  let backend = resolve_backend geom backend in
+  let disk = Disk.create ~backend ~clock geom in
   let lld = Lld.create ~config:(lld_config variant) ?obs disk in
   Lld.flush lld;
   Clock.reset clock;

@@ -17,9 +17,17 @@ let block_bytes = 4096
    in unit tests. *)
 let small_geom = Geometry.small
 
-let fresh_disk ?(geom = small_geom) ?fault () =
+(* Tests default to the in-memory store, but the whole suite can be
+   pointed at real file images with LLD_BACKEND=file (the CI job). *)
+let default_backend geom =
+  Lld_disk.Backend.of_env ~size:(Geometry.total_bytes geom) ()
+
+let fresh_disk ?(geom = small_geom) ?fault ?backend () =
   let clock = Clock.create () in
-  Disk.create ?fault ~clock geom
+  let backend =
+    match backend with Some b -> Some b | None -> default_backend geom
+  in
+  Disk.create ?fault ?backend ~clock geom
 
 let fresh_lld ?(config = Config.default) ?geom ?fault () =
   let disk = fresh_disk ?geom ?fault () in
