@@ -19,6 +19,8 @@ module Aru_churn = Lld_workload.Aru_churn
 module Torture = Lld_workload.Torture
 module Experiment = Lld_harness.Experiment
 module Crashcheck = Lld_crashcheck.Crashcheck
+module Model = Lld_model.Model
+module Differ = Lld_model.Differ
 module Obs = Lld_obs.Obs
 module Trace = Lld_obs.Trace
 module Metrics = Lld_obs.Metrics
@@ -788,6 +790,166 @@ let info_cmd =
           recovering it.")
     Term.(const show_info $ segments_arg $ file_arg)
 
+(* ---------------------------------------------------------------- *)
+(* model: differential fuzzing against the executable specification   *)
+
+let model_fuzz seed budget clients ops option backend crash_every crash_points
+    inject expect_divergence out_dir =
+  let visibility =
+    match option with
+    | 1 -> Config.Any_shadow
+    | 2 -> Config.Committed_only
+    | 3 -> Config.Own_shadow
+    | n ->
+      fail_invalid
+        (Printf.sprintf
+           "unknown read-visibility option %d (the paper defines 1, 2 and 3)"
+           n)
+  in
+  let mutation =
+    match inject with
+    | None -> None
+    | Some name -> (
+      match Model.mutation_of_string name with
+      | Some m -> Some m
+      | None ->
+        fail_invalid
+          (Printf.sprintf "unknown injected bug %S (known: %s)" name
+             (String.concat ", "
+                (List.map Model.mutation_label Model.mutations))))
+  in
+  if clients < 1 then fail_invalid "--clients must be at least 1";
+  if ops < 1 then fail_invalid "--ops must be at least 1";
+  if budget < 1 then fail_invalid "--budget must be at least 1";
+  let cfg =
+    {
+      Differ.default_config with
+      Differ.visibility;
+      mutation;
+      backend = (match backend with `Mem -> Differ.Mem | `File -> Differ.File);
+      clients;
+      ops;
+      crash_every;
+      crash_points;
+    }
+  in
+  let progress ~case =
+    if case mod 100 = 0 then Printf.printf "  case %d/%d...\n%!" case budget
+  in
+  let report = Differ.fuzz ~progress ~seed ~budget cfg in
+  Format.printf "%a@." Differ.pp_report report;
+  (match (out_dir, report.Differ.rp_failure) with
+  | Some dir, Some _ ->
+    (try
+       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+       let path =
+         Filename.concat dir (Printf.sprintf "model-divergence-seed%d.txt" seed)
+       in
+       let oc = open_out path in
+       let ppf = Format.formatter_of_out_channel oc in
+       Format.fprintf ppf "%a@." Differ.pp_report report;
+       close_out oc;
+       Printf.printf "divergence report written to %s\n" path
+     with Sys_error msg -> Printf.eprintf "cannot write report: %s\n" msg)
+  | _ -> ());
+  let diverged = not (Differ.ok report) in
+  if expect_divergence || mutation <> None then
+    if diverged then
+      print_endline
+        "divergence found and shrunk, as intended: the differ works"
+    else begin
+      print_endline "ERROR: a divergence was expected but none was found";
+      exit 1
+    end
+  else if diverged then exit 1
+
+let model_cmd =
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Master seed; equal seeds reproduce bit-for-bit.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 200
+      & info [ "budget" ] ~docv:"N" ~doc:"Number of generated programs.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 2
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Concurrent clients interleaved per program.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 40
+      & info [ "ops" ] ~docv:"N" ~doc:"Commands per client per program.")
+  in
+  let option =
+    Arg.(
+      value & opt int 3
+      & info [ "option" ] ~docv:"1|2|3"
+          ~doc:
+            "Read-visibility option (paper 3.3): $(b,1) any shadow, $(b,2) \
+             committed only, $(b,3) own shadow (default).")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt (enum [ ("mem", `Mem); ("file", `File) ]) `Mem
+      & info [ "backend" ] ~docv:"mem|file" ~doc:"Storage backend.")
+  in
+  let crash_every =
+    Arg.(
+      value & opt int 4
+      & info [ "crash-every" ] ~docv:"N"
+          ~doc:
+            "Replay crash points on every N-th case ($(b,0) disables the \
+             crash-composition phase).")
+  in
+  let crash_points =
+    Arg.(
+      value & opt int 12
+      & info [ "crash-points" ] ~docv:"N"
+          ~doc:"Crash-point sample budget per crash case.")
+  in
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"BUG"
+          ~doc:
+            "Self-test: run the model with a deliberate semantic bug \
+             ($(b,read-committed) or $(b,commit-drops-data)) and verify the \
+             differ finds and shrinks the divergence (exits non-zero if it \
+             doesn't).")
+  in
+  let expect_divergence =
+    Arg.(
+      value & flag
+      & info [ "expect-divergence" ]
+          ~doc:"Exit zero exactly when a divergence is found.")
+  in
+  let out_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:"Write the divergence report into $(docv) when a case fails.")
+  in
+  Cmd.v
+    (Cmd.info "model"
+       ~doc:
+         "Differential fuzzing: run generated multi-client programs against \
+          the pure executable specification and the real log-structured \
+          implementation, compare every observable result and the final \
+          committed state, replay sampled crash points against the model's \
+          crash frontier, and shrink any divergence to a minimal program.")
+    Term.(
+      const model_fuzz $ seed $ budget $ clients $ ops $ option $ backend
+      $ crash_every $ crash_points $ inject $ expect_divergence $ out_dir)
+
 let () =
   let doc = "Atomic Recovery Units / log-structured Logical Disk reproduction" in
   let cmd =
@@ -795,8 +957,8 @@ let () =
       (Cmd.info "lld" ~version:"1.0.0" ~doc)
       [
         repro_cmd; smallfile_cmd; largefile_cmd; aru_bench_cmd; crash_demo_cmd;
-        torture_cmd; crashcheck_cmd; trace_cmd; stats_cmd; info_cmd; mkfs_cmd;
-        mount_cmd;
+        torture_cmd; crashcheck_cmd; model_cmd; trace_cmd; stats_cmd;
+        info_cmd; mkfs_cmd; mount_cmd;
       ]
   in
   exit (Cmd.eval cmd)

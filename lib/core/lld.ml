@@ -1278,9 +1278,18 @@ let end_aru t aid =
       | Some o when Types.Aru_id.equal o aid -> r.Record.l_owner <- None
       | Some _ | None -> ());
       let anchor = List_table.anchor t.lists r.Record.lid in
-      match anchor.Record.l_owner with
+      (match anchor.Record.l_owner with
       | Some o when Types.Aru_id.equal o aid -> anchor.Record.l_owner <- None
-      | Some _ | None -> ())
+      | Some _ | None -> ());
+      (* the replay may have cloned a fresh committed alternative from a
+         promoted anchor that still carried the mark; it would restore
+         the stale owner at its own promotion unless cleared too *)
+      match Record.find_list ~anchor Record.Committed with
+      | Some c, _ -> (
+        match c.Record.l_owner with
+        | Some o when Types.Aru_id.equal o aid -> c.Record.l_owner <- None
+        | Some _ | None -> ())
+      | None, _ -> ())
     a.Aru.owned_lists;
   Hashtbl.remove t.arus (Types.Aru_id.to_int aid);
   t.counters.Counters.arus_committed <- t.counters.Counters.arus_committed + 1

@@ -1,0 +1,161 @@
+type t =
+  | Begin_aru
+  | End_aru of Types.Aru_id.t
+  | Abort_aru of Types.Aru_id.t
+  | New_list of Types.Aru_id.t option
+  | New_block of {
+      aru : Types.Aru_id.t option;
+      list : Types.List_id.t;
+      pred : Summary.pred;
+    }
+  | Write of { aru : Types.Aru_id.t option; block : Types.Block_id.t; data : bytes }
+  | Read of { aru : Types.Aru_id.t option; block : Types.Block_id.t }
+  | Delete_block of { aru : Types.Aru_id.t option; block : Types.Block_id.t }
+  | Delete_list of { aru : Types.Aru_id.t option; list : Types.List_id.t }
+  | List_exists of { aru : Types.Aru_id.t option; list : Types.List_id.t }
+  | Block_allocated of { aru : Types.Aru_id.t option; block : Types.Block_id.t }
+  | Block_member of { aru : Types.Aru_id.t option; block : Types.Block_id.t }
+  | List_blocks of { aru : Types.Aru_id.t option; list : Types.List_id.t }
+  | Lists
+  | Flush
+  | Scavenge
+
+type result =
+  | R_unit
+  | R_aru of Types.Aru_id.t
+  | R_list of Types.List_id.t
+  | R_block of Types.Block_id.t
+  | R_data of bytes
+  | R_bool of bool
+  | R_member of Types.List_id.t option
+  | R_blocks of Types.Block_id.t list
+  | R_lists of Types.List_id.t list
+  | R_int of int
+  | R_error of string
+
+let equal_result a b =
+  match (a, b) with
+  | R_unit, R_unit -> true
+  | R_aru x, R_aru y -> Types.Aru_id.equal x y
+  | R_list x, R_list y -> Types.List_id.equal x y
+  | R_block x, R_block y -> Types.Block_id.equal x y
+  | R_data x, R_data y -> Bytes.equal x y
+  | R_bool x, R_bool y -> Bool.equal x y
+  | R_member x, R_member y -> Option.equal Types.List_id.equal x y
+  | R_blocks x, R_blocks y -> List.equal Types.Block_id.equal x y
+  | R_lists x, R_lists y -> List.equal Types.List_id.equal x y
+  | R_int x, R_int y -> Int.equal x y
+  | R_error x, R_error y -> String.equal x y
+  | _ -> false
+
+let pp_aru ppf = function
+  | None -> ()
+  | Some a -> Format.fprintf ppf " [aru %a]" Types.Aru_id.pp a
+
+let pp_pred ppf = function
+  | Summary.Head -> Format.pp_print_string ppf "head"
+  | Summary.After b -> Format.fprintf ppf "after %a" Types.Block_id.pp b
+
+let data_tag data =
+  let h = Hashtbl.hash (Bytes.to_string data) land 0xffffff in
+  Printf.sprintf "%dB#%06x" (Bytes.length data) h
+
+let pp ppf = function
+  | Begin_aru -> Format.pp_print_string ppf "begin_aru"
+  | End_aru a -> Format.fprintf ppf "end_aru %a" Types.Aru_id.pp a
+  | Abort_aru a -> Format.fprintf ppf "abort_aru %a" Types.Aru_id.pp a
+  | New_list aru -> Format.fprintf ppf "new_list%a" pp_aru aru
+  | New_block { aru; list; pred } ->
+    Format.fprintf ppf "new_block list %a pred %a%a" Types.List_id.pp list
+      pp_pred pred pp_aru aru
+  | Write { aru; block; data } ->
+    Format.fprintf ppf "write %a %s%a" Types.Block_id.pp block (data_tag data)
+      pp_aru aru
+  | Read { aru; block } ->
+    Format.fprintf ppf "read %a%a" Types.Block_id.pp block pp_aru aru
+  | Delete_block { aru; block } ->
+    Format.fprintf ppf "delete_block %a%a" Types.Block_id.pp block pp_aru aru
+  | Delete_list { aru; list } ->
+    Format.fprintf ppf "delete_list %a%a" Types.List_id.pp list pp_aru aru
+  | List_exists { aru; list } ->
+    Format.fprintf ppf "list_exists %a%a" Types.List_id.pp list pp_aru aru
+  | Block_allocated { aru; block } ->
+    Format.fprintf ppf "block_allocated %a%a" Types.Block_id.pp block pp_aru aru
+  | Block_member { aru; block } ->
+    Format.fprintf ppf "block_member %a%a" Types.Block_id.pp block pp_aru aru
+  | List_blocks { aru; list } ->
+    Format.fprintf ppf "list_blocks %a%a" Types.List_id.pp list pp_aru aru
+  | Lists -> Format.pp_print_string ppf "lists"
+  | Flush -> Format.pp_print_string ppf "flush"
+  | Scavenge -> Format.pp_print_string ppf "scavenge"
+
+let pp_result ppf = function
+  | R_unit -> Format.pp_print_string ppf "()"
+  | R_aru a -> Format.fprintf ppf "aru %a" Types.Aru_id.pp a
+  | R_list l -> Format.fprintf ppf "list %a" Types.List_id.pp l
+  | R_block b -> Format.fprintf ppf "block %a" Types.Block_id.pp b
+  | R_data d -> Format.fprintf ppf "data %s" (data_tag d)
+  | R_bool b -> Format.pp_print_bool ppf b
+  | R_member None -> Format.pp_print_string ppf "member none"
+  | R_member (Some l) -> Format.fprintf ppf "member %a" Types.List_id.pp l
+  | R_blocks bs ->
+    Format.fprintf ppf "blocks [%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Types.Block_id.pp)
+      bs
+  | R_lists ls ->
+    Format.fprintf ppf "lists [%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Types.List_id.pp)
+      ls
+  | R_int i -> Format.fprintf ppf "%d" i
+  | R_error e -> Format.fprintf ppf "error (%s)" e
+
+module Make (L : Ld_intf.S) = struct
+  let apply ld op =
+    let catch f =
+      match f () with
+      | r -> r
+      | exception
+          (( Errors.Unallocated_block _ | Errors.Unallocated_list _
+           | Errors.Unknown_aru _ | Errors.Aru_already_active
+           | Errors.Block_not_on_list _ | Errors.Disk_full | Errors.Corrupt _ )
+           as e) ->
+        R_error (Format.asprintf "%a" Errors.pp_exn e)
+      | exception Invalid_argument m -> R_error ("Invalid_argument: " ^ m)
+    in
+    catch (fun () ->
+        match op with
+        | Begin_aru -> R_aru (L.begin_aru ld)
+        | End_aru a ->
+          L.end_aru ld a;
+          R_unit
+        | Abort_aru a ->
+          L.abort_aru ld a;
+          R_unit
+        | New_list aru -> R_list (L.new_list ld ?aru ())
+        | New_block { aru; list; pred } ->
+          R_block (L.new_block ld ?aru ~list ~pred ())
+        | Write { aru; block; data } ->
+          L.write ld ?aru block data;
+          R_unit
+        | Read { aru; block } -> R_data (L.read ld ?aru block)
+        | Delete_block { aru; block } ->
+          L.delete_block ld ?aru block;
+          R_unit
+        | Delete_list { aru; list } ->
+          L.delete_list ld ?aru list;
+          R_unit
+        | List_exists { aru; list } -> R_bool (L.list_exists ld ?aru list)
+        | Block_allocated { aru; block } ->
+          R_bool (L.block_allocated ld ?aru block)
+        | Block_member { aru; block } -> R_member (L.block_member ld ?aru block)
+        | List_blocks { aru; list } -> R_blocks (L.list_blocks ld ?aru list)
+        | Lists -> R_lists (L.lists ld)
+        | Flush ->
+          L.flush ld;
+          R_unit
+        | Scavenge -> R_int (L.scavenge ld))
+end

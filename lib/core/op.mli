@@ -1,0 +1,57 @@
+(** First-class Logical Disk operations.
+
+    The differential tester (lib/model) drives the real implementation
+    and the executable specification through the same operation values,
+    so an observable result can be compared structurally.  Any
+    implementation of {!Ld_intf.S} can be driven through {!Make} — the
+    stable op-application hook the LD interface signature promises.
+
+    Errors are part of the observable behaviour: {!Make.apply} catches
+    the {!Errors} exceptions (and [Invalid_argument]) and returns them
+    as [R_error] values rendered with {!Errors.pp_exn}, so a divergence
+    in error behaviour is reported like any other result mismatch. *)
+
+type t =
+  | Begin_aru
+  | End_aru of Types.Aru_id.t
+  | Abort_aru of Types.Aru_id.t
+  | New_list of Types.Aru_id.t option
+  | New_block of {
+      aru : Types.Aru_id.t option;
+      list : Types.List_id.t;
+      pred : Summary.pred;
+    }
+  | Write of { aru : Types.Aru_id.t option; block : Types.Block_id.t; data : bytes }
+  | Read of { aru : Types.Aru_id.t option; block : Types.Block_id.t }
+  | Delete_block of { aru : Types.Aru_id.t option; block : Types.Block_id.t }
+  | Delete_list of { aru : Types.Aru_id.t option; list : Types.List_id.t }
+  | List_exists of { aru : Types.Aru_id.t option; list : Types.List_id.t }
+  | Block_allocated of { aru : Types.Aru_id.t option; block : Types.Block_id.t }
+  | Block_member of { aru : Types.Aru_id.t option; block : Types.Block_id.t }
+  | List_blocks of { aru : Types.Aru_id.t option; list : Types.List_id.t }
+  | Lists
+  | Flush
+  | Scavenge
+
+type result =
+  | R_unit
+  | R_aru of Types.Aru_id.t
+  | R_list of Types.List_id.t
+  | R_block of Types.Block_id.t
+  | R_data of bytes
+  | R_bool of bool
+  | R_member of Types.List_id.t option
+  | R_blocks of Types.Block_id.t list
+  | R_lists of Types.List_id.t list
+  | R_int of int
+  | R_error of string  (** rendered exception (see {!Errors.pp_exn}) *)
+
+val equal_result : result -> result -> bool
+val pp : Format.formatter -> t -> unit
+
+val pp_result : Format.formatter -> result -> unit
+(** Block payloads are abbreviated to a length + digest prefix. *)
+
+module Make (L : Ld_intf.S) : sig
+  val apply : L.t -> t -> result
+end

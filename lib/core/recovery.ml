@@ -198,7 +198,12 @@ let scavenge_lists st =
         r.Record.exists <- false;
         r.Record.l_owner <- None;
         incr n
-      | Some _ | None -> ());
+      | Some _ ->
+        (* uncommitted owner but no longer empty: the owning ARU died
+           (aborted) and a later simple operation linked a member, so
+           the list legitimately survives — only the stale mark goes *)
+        r.Record.l_owner <- None
+      | None -> ());
   !n
 
 let read_region_safe disk ~region =

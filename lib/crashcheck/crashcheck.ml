@@ -318,19 +318,85 @@ let torn_boundaries ~granularity len =
   let ks = if len > 1 then 1 :: (len - 1) :: ks else ks in
   List.sort_uniq Int.compare (List.filter (fun k -> k > 0 && k < len) ks)
 
-let enumerate ?(granularity = 512) t =
-  let n = Array.length t.tr_writes in
-  let points = ref [] in
-  for i = n - 1 downto 0 do
-    let _, data = t.tr_writes.(i) in
-    let torn =
-      List.rev_map
-        (fun k -> { pt_index = i; pt_keep = Some k })
-        (List.rev (torn_boundaries ~granularity (Bytes.length data)))
+(* Crash-point machinery over a bare (base image, write trace) pair, so
+   checkers with their own notion of correctness — the differential
+   tester in lib/model composes the model's crash frontier with it —
+   reuse the enumeration, sampling and image reconstruction without the
+   oracle/spec superstructure. *)
+module Raw = struct
+  type raw = { base : bytes; writes : (int * bytes) array }
+  type t = raw
+
+  let v ~base ~writes = { base; writes }
+
+  let enumerate ?(granularity = 512) t =
+    let n = Array.length t.writes in
+    let points = ref [] in
+    for i = n - 1 downto 0 do
+      let _, data = t.writes.(i) in
+      let torn =
+        List.rev_map
+          (fun k -> { pt_index = i; pt_keep = Some k })
+          (List.rev (torn_boundaries ~granularity (Bytes.length data)))
+      in
+      points := ({ pt_index = i; pt_keep = None } :: torn) @ !points
+    done;
+    !points @ [ { pt_index = n; pt_keep = None } ]
+
+  (* Deterministic subsample: keep complete points in preference to torn
+     variants, always keep the first and last point, and fill the rest
+     by shuffling with the seeded generator. *)
+  let sample ~budget ~seed points =
+    let total = List.length points in
+    if budget >= total then points
+    else begin
+      let rng = Rng.create ~seed in
+      let arr = Array.of_list points in
+      let last = total - 1 in
+      let complete = ref [] and torn = ref [] in
+      Array.iteri
+        (fun i p ->
+          if i = 0 || i = last then ()
+          else if p.pt_keep = None then complete := i :: !complete
+          else torn := i :: !torn)
+        arr;
+      let budget = max 2 budget in
+      let take n l =
+        let a = Array.of_list l in
+        Rng.shuffle rng a;
+        Array.to_list (Array.sub a 0 (min n (Array.length a)))
+      in
+      let n_mid = budget - 2 in
+      let picked_complete = take n_mid (List.rev !complete) in
+      let picked_torn =
+        take (n_mid - List.length picked_complete) (List.rev !torn)
+      in
+      let chosen =
+        List.sort_uniq Int.compare
+          (0 :: last :: (picked_complete @ picked_torn))
+      in
+      List.map (fun i -> arr.(i)) chosen
+    end
+
+  let image_at t point =
+    let image = Bytes.copy t.base in
+    let apply i =
+      let offset, data = t.writes.(i) in
+      Bytes.blit data 0 image offset (Bytes.length data)
     in
-    points := ({ pt_index = i; pt_keep = None } :: torn) @ !points
-  done;
-  !points @ [ { pt_index = n; pt_keep = None } ]
+    for i = 0 to point.pt_index - 1 do
+      apply i
+    done;
+    (match point.pt_keep with
+    | None -> ()
+    | Some k ->
+      let offset, data = t.writes.(point.pt_index) in
+      Bytes.blit data 0 image offset (min k (Bytes.length data)));
+    image
+end
+
+let raw_of_trace t = Raw.v ~base:t.tr_base ~writes:t.tr_writes
+let enumerate ?granularity t = Raw.enumerate ?granularity (raw_of_trace t)
 
 (* ------------------------------------------------------------------ *)
 (* Judging one recovered state                                         *)
@@ -501,21 +567,7 @@ let check_image ?recover_config trace image =
       in
       problems @ problems2 @ idem)
 
-let image_at trace point =
-  let image = Bytes.copy trace.tr_base in
-  let apply i =
-    let offset, data = trace.tr_writes.(i) in
-    Bytes.blit data 0 image offset (Bytes.length data)
-  in
-  for i = 0 to point.pt_index - 1 do
-    apply i
-  done;
-  (match point.pt_keep with
-  | None -> ()
-  | Some k ->
-    let offset, data = trace.tr_writes.(point.pt_index) in
-    Bytes.blit data 0 image offset (min k (Bytes.length data)));
-  image
+let image_at trace point = Raw.image_at (raw_of_trace trace) point
 
 (* Replay one crash point with live tracing attached to recovery (and
    to the verification reads), writing the Chrome trace next to the
@@ -557,6 +609,7 @@ type violation = { v_point : point; v_problems : string list }
 
 type result = {
   r_workload : string;
+  r_seed : int;
   r_writes : int;
   r_oracle_units : int;
   r_points_total : int;
@@ -572,35 +625,7 @@ let max_kept_violations = 50
 
 let ok r = r.r_violation_points = 0
 
-(* Deterministic subsample: keep complete points in preference to torn
-   variants, always keep the first and last point, and fill the rest by
-   shuffling with the seeded generator. *)
-let sample ~budget ~seed points =
-  let total = List.length points in
-  if budget >= total then points
-  else begin
-    let rng = Rng.create ~seed in
-    let arr = Array.of_list points in
-    let last = total - 1 in
-    let complete = ref [] and torn = ref [] in
-    Array.iteri
-      (fun i p ->
-        if i = 0 || i = last then ()
-        else if p.pt_keep = None then complete := i :: !complete
-        else torn := i :: !torn)
-      arr;
-    let budget = max 2 budget in
-    let take n l =
-      let a = Array.of_list l in
-      Rng.shuffle rng a;
-      Array.to_list (Array.sub a 0 (min n (Array.length a)))
-    in
-    let n_mid = budget - 2 in
-    let picked_complete = take n_mid (List.rev !complete) in
-    let picked_torn = take (n_mid - List.length picked_complete) (List.rev !torn) in
-    let chosen = List.sort_uniq Int.compare (0 :: last :: (picked_complete @ picked_torn)) in
-    List.map (fun i -> arr.(i)) chosen
-  end
+let sample = Raw.sample
 
 (* Walk the selected points in enumeration order, materialising write
    prefixes incrementally: the rolling image always reflects writes
@@ -702,6 +727,7 @@ let run ?(granularity = 512) ?budget ?(seed = 1) ?recover_config
   in
   {
     r_workload = trace.tr_spec.sc_name;
+    r_seed = seed;
     r_writes = Array.length trace.tr_writes;
     r_oracle_units = Oracle.size trace.tr_oracle;
     r_points_total = total;
@@ -731,8 +757,10 @@ let pp_result ppf r =
   if r.r_violation_points = 0 then
     Format.fprintf ppf "no atomicity violations@]"
   else begin
-    Format.fprintf ppf "%d crash point(s) VIOLATED atomicity@,"
-      r.r_violation_points;
+    Format.fprintf ppf
+      "%d crash point(s) VIOLATED atomicity (sampling seed %d; rerun with \
+       --seed %d)@,"
+      r.r_violation_points r.r_seed r.r_seed;
     (match r.r_minimal with
     | None -> ()
     | Some v ->

@@ -119,6 +119,34 @@ type point = {
 
 val pp_point : Format.formatter -> point -> unit
 
+(** Crash-point machinery over a bare (base image, write trace) pair.
+
+    The trace-level {!enumerate} / {!check_point} pipeline judges
+    recovered states against an {!Lld_workload.Oracle}; a checker with
+    its own notion of correctness — the differential tester in
+    lib/model judges against the executable specification's crash
+    frontier — reuses the enumeration, deterministic sampling and image
+    reconstruction through this interface instead. *)
+module Raw : sig
+  type t
+
+  val v : base:bytes -> writes:(int * bytes) array -> t
+  (** [base] is the device image before the first write; [writes] are
+      [(offset, data)] in write order, as delivered by the
+      {!Lld_disk.Disk} write observer. *)
+
+  val enumerate : ?granularity:int -> t -> point list
+  (** Same canonical order as the trace-level {!enumerate}. *)
+
+  val sample : budget:int -> seed:int -> point list -> point list
+  (** Deterministic subsample of at most [budget] points: complete
+      points preferred over torn variants, first and last always kept,
+      the rest drawn via {!Lld_sim.Rng} seeded by [seed]. *)
+
+  val image_at : t -> point -> bytes
+  (** Materialise the device image as of the crash point. *)
+end
+
 val enumerate : ?granularity:int -> trace -> point list
 (** Every crash point in canonical order: for each write index, the
     complete point then its torn variants at multiples of [granularity]
@@ -147,6 +175,9 @@ type violation = { v_point : point; v_problems : string list }
 
 type result = {
   r_workload : string;
+  r_seed : int;
+      (** sampling seed the run used — printed on failure so a budgeted
+          CI run reproduces bit-for-bit with [--seed] *)
   r_writes : int;  (** disk writes in the recorded trace *)
   r_oracle_units : int;
   r_points_total : int;  (** size of the full enumeration *)

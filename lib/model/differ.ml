@@ -1,0 +1,596 @@
+module Rng = Lld_sim.Rng
+module Clock = Lld_sim.Clock
+module Geometry = Lld_disk.Geometry
+module Disk = Lld_disk.Disk
+module Backend = Lld_disk.Backend
+module Config = Lld_core.Config
+module Types = Lld_core.Types
+module Op = Lld_core.Op
+module Lld = Lld_core.Lld
+module Disk_layout = Lld_core.Disk_layout
+module Raw = Lld_crashcheck.Crashcheck.Raw
+
+type backend = Mem | File
+
+type config = {
+  visibility : Config.visibility;
+  mutation : Model.mutation option;
+  backend : backend;
+  clients : int;
+  ops : int;
+  crash_every : int;
+  crash_points : int;
+  granularity : int;
+}
+
+let default_config =
+  {
+    visibility = Config.Own_shadow;
+    mutation = None;
+    backend = Mem;
+    clients = 2;
+    ops = 40;
+    crash_every = 4;
+    crash_points = 12;
+    granularity = 512;
+  }
+
+type kind = Step_mismatch | Final_state_mismatch | Crash_mismatch
+
+type divergence = {
+  dv_kind : kind;
+  dv_detail : string list;
+  dv_trail : string list;
+}
+
+type failure = {
+  fl_case_index : int;
+  fl_case_seed : int;
+  fl_program : Program.t;
+  fl_divergence : divergence;
+  fl_shrunk : Program.t;
+  fl_shrunk_divergence : divergence;
+  fl_shrink_execs : int;
+}
+
+type report = {
+  rp_seed : int;
+  rp_config : config;
+  rp_cases : int;
+  rp_ops : int;
+  rp_skipped : int;
+  rp_crash_cases : int;
+  rp_crash_points : int;
+  rp_failure : failure option;
+}
+
+let ok r = r.rp_failure = None
+
+(* Small segments keep seals frequent (dense crash points); plenty of
+   them keeps programs of a few hundred operations away from cleaning
+   pressure and [Disk_full]. *)
+let differ_geom = Geometry.v ~segment_bytes:(32 * 1024) ~num_segments:192 ()
+
+module Mops = Op.Make (Model)
+module Lops = Op.Make (Lld)
+
+(* ------------------------------------------------------------------ *)
+(* Command resolution                                                  *)
+
+type client = {
+  mutable cl_aru : Types.Aru_id.t option;
+  mutable cl_lists : int list; (* created list ids, newest first *)
+  mutable cl_blocks : int list; (* created block ids, newest first *)
+}
+
+(* Resolution consults only the model (the oracle): symbolic references
+   become concrete identifiers through the client's own view, so every
+   emitted operation targets a live own object — cross-client and
+   dead-object access stay confined to the read-only probe commands. *)
+let live_lists model c =
+  List.filter
+    (fun l -> Model.list_exists model ?aru:c.cl_aru (Types.List_id.of_int l))
+    (List.rev c.cl_lists)
+
+let live_blocks model c =
+  List.filter
+    (fun b ->
+      Model.block_allocated model ?aru:c.cl_aru (Types.Block_id.of_int b))
+    (List.rev c.cl_blocks)
+
+let pick idx = function
+  | [] -> None
+  | l -> Some (List.nth l (idx mod List.length l))
+
+let payload ~block_bytes tag =
+  Bytes.init block_bytes (fun i -> Char.chr ((tag + ((i + 1) * (tag lor 1))) land 0xff))
+
+let resolve model ~block_bytes ~capacity clients ci (cmd : Program.cmd) :
+    Op.t option =
+  let c = clients.(ci) in
+  let aru = c.cl_aru in
+  match cmd with
+  | Program.Begin -> if aru = None then Some Op.Begin_aru else None
+  | Program.Commit -> Option.map (fun a -> Op.End_aru a) aru
+  | Program.Abort -> Option.map (fun a -> Op.Abort_aru a) aru
+  | Program.New_list -> Some (Op.New_list aru)
+  | Program.New_block { list_ref; pred_ref } -> (
+    match pick list_ref (live_lists model c) with
+    | None -> None
+    | Some l ->
+      let list = Types.List_id.of_int l in
+      let pred =
+        match pred_ref with
+        | None -> Lld_core.Summary.Head
+        | Some p -> (
+          match pick p (Model.list_blocks model ?aru list) with
+          | None -> Lld_core.Summary.Head
+          | Some b -> Lld_core.Summary.After b)
+      in
+      Some (Op.New_block { aru; list; pred }))
+  | Program.Write { block_ref; tag } ->
+    Option.map
+      (fun b ->
+        Op.Write
+          {
+            aru;
+            block = Types.Block_id.of_int b;
+            data = payload ~block_bytes tag;
+          })
+      (pick block_ref (live_blocks model c))
+  | Program.Read { block_ref } ->
+    Option.map
+      (fun b -> Op.Read { aru; block = Types.Block_id.of_int b })
+      (pick block_ref (live_blocks model c))
+  | Program.Delete_block { block_ref } ->
+    Option.map
+      (fun b -> Op.Delete_block { aru; block = Types.Block_id.of_int b })
+      (pick block_ref (live_blocks model c))
+  | Program.Delete_list { list_ref } ->
+    Option.map
+      (fun l -> Op.Delete_list { aru; list = Types.List_id.of_int l })
+      (pick list_ref (live_lists model c))
+  | Program.List_exists { list_ref } ->
+    Option.map
+      (fun l -> Op.List_exists { aru; list = Types.List_id.of_int l })
+      (pick list_ref (List.rev c.cl_lists))
+  | Program.Block_allocated { block_ref } ->
+    Option.map
+      (fun b -> Op.Block_allocated { aru; block = Types.Block_id.of_int b })
+      (pick block_ref (List.rev c.cl_blocks))
+  | Program.Block_member { block_ref } ->
+    Option.map
+      (fun b -> Op.Block_member { aru; block = Types.Block_id.of_int b })
+      (pick block_ref (live_blocks model c))
+  | Program.List_blocks { list_ref } ->
+    Option.map
+      (fun l -> Op.List_blocks { aru; list = Types.List_id.of_int l })
+      (pick list_ref (live_lists model c))
+  | Program.Lists -> Some Op.Lists
+  | Program.Scavenge -> Some Op.Scavenge
+  | Program.Probe_dead { which } ->
+    let dead =
+      List.filter
+        (fun b ->
+          not
+            (Model.block_allocated model ?aru:c.cl_aru
+               (Types.Block_id.of_int b)))
+        (List.rev c.cl_blocks)
+    in
+    let b =
+      match pick which dead with Some b -> b | None -> capacity - 1
+    in
+    let block = Types.Block_id.of_int b in
+    Some
+      (match which mod 3 with
+      | 0 -> Op.Read { aru; block }
+      | 1 -> Op.Block_allocated { aru; block }
+      | _ -> Op.Block_member { aru; block })
+  | Program.Read_other { peer; block_ref } -> (
+    let other = clients.((ci + peer) mod Array.length clients) in
+    match pick block_ref (List.rev other.cl_blocks) with
+    | None -> None
+    | Some b -> Some (Op.Read { aru; block = Types.Block_id.of_int b }))
+
+(* ------------------------------------------------------------------ *)
+(* Committed-state summaries                                           *)
+
+(* The real instance's committed state, rendered in the same canonical
+   form as {!Model.frontier_summary}.  Queried through simple (no-ARU)
+   operations, so it is only meaningful when no ARU is active — after
+   quiescence or on a freshly recovered instance. *)
+let real_summary lld =
+  let buf = Buffer.create 256 in
+  let lists = Lld.lists lld in
+  let members =
+    List.concat_map
+      (fun l ->
+        let bs = Lld.list_blocks lld l in
+        Buffer.add_string buf
+          (Printf.sprintf "L%d[%s];" (Types.List_id.to_int l)
+             (String.concat ","
+                (List.map
+                   (fun b -> string_of_int (Types.Block_id.to_int b))
+                   bs)));
+        List.map (fun b -> (Types.Block_id.to_int b, l)) bs)
+      lists
+  in
+  List.iter
+    (fun (b, l) ->
+      Buffer.add_string buf
+        (Printf.sprintf "B%d:L%d:%s;" b
+           (Types.List_id.to_int l)
+           (Digest.to_hex
+              (Digest.bytes (Lld.read lld (Types.Block_id.of_int b))))))
+    (List.sort compare members)
+  |> ignore;
+  (Buffer.contents buf, List.length members)
+
+(* ------------------------------------------------------------------ *)
+(* Executing one program                                               *)
+
+type exec_stats = { mutable ex_ops : int; mutable ex_skipped : int;
+                    mutable ex_crash_points : int }
+
+let lld_config cfg = { Config.default with Config.visibility = cfg.visibility }
+
+let make_backend cfg size =
+  match cfg.backend with
+  | Mem -> Backend.mem ~size
+  | File -> Backend.temp_file ~size ()
+
+let diverged kind detail trail =
+  Some { dv_kind = kind; dv_detail = detail; dv_trail = List.rev trail }
+
+let run_program_stats ?(crash = false) cfg ~seed (program : Program.t) stats =
+  let geom = differ_geom in
+  let clock = Clock.create () in
+  let disk = Disk.create ~backend:(make_backend cfg (Geometry.total_bytes geom)) ~clock geom in
+  let config = lld_config cfg in
+  let lld = Lld.create ~config disk in
+  Lld.flush lld;
+  let base = if crash then Some (Disk.snapshot disk) else None in
+  let writes = ref [] in
+  if crash then
+    Disk.set_observer disk
+      (Some (fun ~index:_ ~offset ~data -> writes := (offset, data) :: !writes));
+  let capacity = Lld.capacity lld in
+  let block_bytes = Lld.block_bytes lld in
+  let model =
+    Model.create ~visibility:cfg.visibility ?mutation:cfg.mutation ~capacity
+      ~max_lists:(Disk_layout.max_lists geom) ~block_bytes ()
+  in
+  let clients =
+    Array.init cfg.clients (fun _ ->
+        { cl_aru = None; cl_lists = []; cl_blocks = [] })
+  in
+  (* Identifiers recycle, so a freed id can be re-allocated to a
+     different client; the new allocation steals ownership, keeping the
+     mutating-operations-on-own-objects discipline airtight (two clients
+     mutating one object through a recycled id is exactly the kind of
+     stale-shadow anomaly the LD interface does not promise anything
+     about). *)
+  let block_owner = Hashtbl.create 64 in
+  let list_owner = Hashtbl.create 16 in
+  let claim owners table ci id =
+    (match Hashtbl.find_opt owners id with
+    | Some prev ->
+      let c = clients.(prev) in
+      if table then c.cl_lists <- List.filter (fun x -> x <> id) c.cl_lists
+      else c.cl_blocks <- List.filter (fun x -> x <> id) c.cl_blocks
+    | None -> ());
+    Hashtbl.replace owners id ci
+  in
+  let frontiers = Hashtbl.create 64 in
+  let note_frontier () =
+    Hashtbl.replace frontiers (Model.frontier_summary model) ()
+  in
+  note_frontier ();
+  let trail = ref [] in
+  let finish div =
+    Disk.set_observer disk None;
+    Disk.close disk;
+    div
+  in
+  (* one operation against both sides; [Some d] = stop with divergence *)
+  let step ci op =
+    let m_res = Mops.apply model op in
+    let r_res = Lops.apply lld op in
+    stats.ex_ops <- stats.ex_ops + 1;
+    let c = clients.(ci) in
+    (match (op, m_res) with
+    | Op.Begin_aru, Op.R_aru a -> c.cl_aru <- Some a
+    | (Op.End_aru _ | Op.Abort_aru _), _ -> c.cl_aru <- None
+    | Op.New_list _, Op.R_list l ->
+      let l = Types.List_id.to_int l in
+      claim list_owner true ci l;
+      c.cl_lists <- l :: c.cl_lists
+    | Op.New_block _, Op.R_block b ->
+      let b = Types.Block_id.to_int b in
+      claim block_owner false ci b;
+      c.cl_blocks <- b :: c.cl_blocks
+    | _ -> ());
+    trail :=
+      Format.asprintf "c%d: %a = %a" ci Op.pp op Op.pp_result m_res :: !trail;
+    if Op.equal_result m_res r_res then begin
+      note_frontier ();
+      None
+    end
+    else
+      diverged Step_mismatch
+        [
+          Format.asprintf "operation: c%d: %a" ci Op.pp op;
+          Format.asprintf "model: %a" Op.pp_result m_res;
+          Format.asprintf "real:  %a" Op.pp_result r_res;
+        ]
+        !trail
+  in
+  let rec steps i =
+    if i >= Array.length program then None
+    else
+      let { Program.client; cmd } = program.(i) in
+      match resolve model ~block_bytes ~capacity clients client cmd with
+      | None ->
+        stats.ex_skipped <- stats.ex_skipped + 1;
+        steps (i + 1)
+      | Some op -> ( match step client op with None -> steps (i + 1) | d -> d)
+  in
+  let quiesce () =
+    (* abort leftover ARUs, scavenge, flush — then the committed states
+       must agree *)
+    let rec each ci =
+      if ci >= Array.length clients then None
+      else
+        match clients.(ci).cl_aru with
+        | Some a -> (
+          match step ci (Op.Abort_aru a) with
+          | None -> each (ci + 1)
+          | d -> d)
+        | None -> each (ci + 1)
+    in
+    match each 0 with
+    | Some d -> Some d
+    | None -> (
+      match step 0 Op.Scavenge with
+      | Some d -> Some d
+      | None -> ( match step 0 Op.Flush with Some d -> Some d | None -> None))
+  in
+  let final_check () =
+    let m_sum = Model.frontier_summary model in
+    let r_sum, members = real_summary lld in
+    if m_sum <> r_sum then
+      diverged Final_state_mismatch
+        [
+          "final committed states differ after quiescence";
+          "model: " ^ m_sum;
+          "real:  " ^ r_sum;
+        ]
+        !trail
+    else if
+      Lld.allocated_blocks lld <> members
+      || Model.allocated_blocks model <> members
+    then
+      diverged Final_state_mismatch
+        [
+          Printf.sprintf
+            "allocation leak after quiescence: %d list members, model holds \
+             %d allocations, real holds %d"
+            members
+            (Model.allocated_blocks model)
+            (Lld.allocated_blocks lld);
+        ]
+        !trail
+    else None
+  in
+  let crash_check () =
+    match base with
+    | None -> None
+    | Some base ->
+      Disk.set_observer disk None;
+      let raw = Raw.v ~base ~writes:(Array.of_list (List.rev !writes)) in
+      let points = Raw.enumerate ~granularity:cfg.granularity raw in
+      let points = Raw.sample ~budget:cfg.crash_points ~seed points in
+      let rec each = function
+        | [] -> None
+        | point :: rest -> (
+          stats.ex_crash_points <- stats.ex_crash_points + 1;
+          let image = Raw.image_at raw point in
+          let rdisk = Disk.load ~clock:(Clock.create ()) differ_geom image in
+          let verdict =
+            match Lld.recover ~config rdisk with
+            | exception e ->
+              diverged Crash_mismatch
+                [
+                  Format.asprintf "crash %a: recovery raised %s"
+                    Lld_crashcheck.Crashcheck.pp_point point
+                    (Printexc.to_string e);
+                ]
+                !trail
+            | rlld, _report -> (
+              match Lld.recovery_invariant_errors rlld with
+              | _ :: _ as errs ->
+                diverged Crash_mismatch
+                  (Format.asprintf "crash %a: recovery invariants violated"
+                     Lld_crashcheck.Crashcheck.pp_point point
+                  :: errs)
+                  !trail
+              | [] ->
+                let r_sum, members = real_summary rlld in
+                if Lld.allocated_blocks rlld <> members then
+                  diverged Crash_mismatch
+                    [
+                      Format.asprintf
+                        "crash %a: recovered state holds %d allocations for \
+                         %d list members"
+                        Lld_crashcheck.Crashcheck.pp_point point
+                        (Lld.allocated_blocks rlld) members;
+                    ]
+                    !trail
+                else if not (Hashtbl.mem frontiers r_sum) then
+                  diverged Crash_mismatch
+                    [
+                      Format.asprintf
+                        "crash %a: recovered state is not on the model's \
+                         crash frontier (%d states)"
+                        Lld_crashcheck.Crashcheck.pp_point point
+                        (Hashtbl.length frontiers);
+                      "recovered: " ^ r_sum;
+                    ]
+                    !trail
+                else None)
+          in
+          Disk.close rdisk;
+          match verdict with None -> each rest | d -> d)
+      in
+      each points
+  in
+  let result =
+    match steps 0 with
+    | Some d -> Some d
+    | None -> (
+      match quiesce () with
+      | Some d -> Some d
+      | None -> (
+        match final_check () with
+        | Some d -> Some d
+        | None -> crash_check ()))
+  in
+  finish result
+
+let run_program ?crash cfg ~seed program =
+  let stats = { ex_ops = 0; ex_skipped = 0; ex_crash_points = 0 } in
+  run_program_stats ?crash cfg ~seed program stats
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking: bounded delta debugging over the step array              *)
+
+let drop_chunk (p : Program.t) ~at ~len : Program.t =
+  Array.append (Array.sub p 0 at)
+    (Array.sub p (at + len) (Array.length p - at - len))
+
+let shrink cfg ~seed ~crash (program : Program.t) divergence =
+  let execs = ref 0 in
+  let limit = 500 in
+  let test p =
+    if !execs >= limit then None
+    else begin
+      incr execs;
+      run_program ~crash cfg ~seed p
+    end
+  in
+  let best = ref program in
+  let best_div = ref divergence in
+  let changed = ref true in
+  while !changed && !execs < limit do
+    changed := false;
+    let len = ref (max 1 (Array.length !best / 2)) in
+    while !len >= 1 && !execs < limit do
+      let at = ref 0 in
+      while !at + !len <= Array.length !best && !execs < limit do
+        let candidate = drop_chunk !best ~at:!at ~len:!len in
+        (match test candidate with
+        | Some d ->
+          best := candidate;
+          best_div := d;
+          changed := true
+        | None -> at := !at + !len);
+        ()
+      done;
+      len := !len / 2
+    done
+  done;
+  (!best, !best_div, !execs)
+
+(* ------------------------------------------------------------------ *)
+(* The fuzz loop                                                       *)
+
+let fuzz ?progress ~seed ~budget cfg =
+  let master = Rng.create ~seed in
+  let stats = { ex_ops = 0; ex_skipped = 0; ex_crash_points = 0 } in
+  let cases = ref 0 in
+  let crash_cases = ref 0 in
+  let failure = ref None in
+  (try
+     for case = 1 to budget do
+       let case_seed = Int64.to_int (Rng.next master) land 0x3FFFFFFF in
+       let crash = cfg.crash_every > 0 && case mod cfg.crash_every = 0 in
+       if crash then incr crash_cases;
+       incr cases;
+       (match progress with Some f -> f ~case | None -> ());
+       let program =
+         Program.generate ~seed:case_seed ~clients:cfg.clients ~ops:cfg.ops
+       in
+       match run_program_stats ~crash cfg ~seed:case_seed program stats with
+       | None -> ()
+       | Some d ->
+         let shrunk, shrunk_div, execs =
+           shrink cfg ~seed:case_seed ~crash program d
+         in
+         failure :=
+           Some
+             {
+               fl_case_index = case;
+               fl_case_seed = case_seed;
+               fl_program = program;
+               fl_divergence = d;
+               fl_shrunk = shrunk;
+               fl_shrunk_divergence = shrunk_div;
+               fl_shrink_execs = execs;
+             };
+         raise Exit
+     done
+   with Exit -> ());
+  {
+    rp_seed = seed;
+    rp_config = cfg;
+    rp_cases = !cases;
+    rp_ops = stats.ex_ops;
+    rp_skipped = stats.ex_skipped;
+    rp_crash_cases = !crash_cases;
+    rp_crash_points = stats.ex_crash_points;
+    rp_failure = !failure;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let kind_label = function
+  | Step_mismatch -> "operation result mismatch"
+  | Final_state_mismatch -> "final committed-state mismatch"
+  | Crash_mismatch -> "recovered state off the crash frontier"
+
+let visibility_option = function
+  | Config.Any_shadow -> 1
+  | Config.Committed_only -> 2
+  | Config.Own_shadow -> 3
+
+let pp_divergence ppf d =
+  Format.fprintf ppf "@[<v>DIVERGENCE: %s@," (kind_label d.dv_kind);
+  List.iter (fun l -> Format.fprintf ppf "  %s@," l) d.dv_detail;
+  Format.fprintf ppf "executed operations (model result shown):@,";
+  List.iter (fun l -> Format.fprintf ppf "  %s@," l) d.dv_trail;
+  Format.fprintf ppf "@]"
+
+let pp_report ppf r =
+  let backend = match r.rp_config.backend with Mem -> "mem" | File -> "file" in
+  Format.fprintf ppf
+    "@[<v>model differ: option %d, %s backend, %d clients x %d commands%s@,\
+     seed %d: %d case(s), %d operations (%d commands skipped), %d crash \
+     point(s) over %d crash case(s)@,"
+    (visibility_option r.rp_config.visibility)
+    backend r.rp_config.clients r.rp_config.ops
+    (match r.rp_config.mutation with
+    | None -> ""
+    | Some m -> ", injected bug: " ^ Model.mutation_label m)
+    r.rp_seed r.rp_cases r.rp_ops r.rp_skipped r.rp_crash_points
+    r.rp_crash_cases;
+  match r.rp_failure with
+  | None -> Format.fprintf ppf "no divergence: implementation matches the executable specification@]"
+  | Some f ->
+    Format.fprintf ppf
+      "case %d (seed %d) diverged; shrunk %d -> %d step(s) in %d execution(s)@,"
+      f.fl_case_index f.fl_case_seed
+      (Array.length f.fl_program)
+      (Array.length f.fl_shrunk) f.fl_shrink_execs;
+    Format.fprintf ppf "minimal program:@,@[<v>%a@]@," Program.pp f.fl_shrunk;
+    Format.fprintf ppf "%a@]" pp_divergence f.fl_shrunk_divergence

@@ -1,0 +1,57 @@
+(** Executable specification of the Logical Disk + ARU interface.
+
+    A pure, in-memory reference model of the paper's semantics
+    (§3.1–§3.3): a committed map of blocks and lists, one shadow map per
+    active ARU, commit-time allocation with owner marks, a per-ARU list
+    operation log replayed at commit, and all three read-visibility
+    options as a parameter.  No segments, no cleaner, no log, no disk —
+    which is exactly what makes it a trustworthy oracle for
+    differential testing (lib/model {!Differ}).
+
+    The model satisfies {!Lld_core.Ld_intf.S}, so it can be driven
+    through the same {!Lld_core.Op.Make} hook as the real
+    implementation.  Identifier allocation mirrors the real allocators
+    (lowest-numbered free block id; list-id watermark starting at 1
+    with a LIFO free pool), so on identical operation sequences the
+    model and {!Lld_core.Lld} hand out identical identifiers. *)
+
+(** Deliberate semantic bugs, injectable to prove the differential
+    tester catches and shrinks real divergences (the checker's
+    self-test, like [Config.recovery_sweep] for crashcheck). *)
+type mutation =
+  | Read_committed
+      (** option-3 reads return the committed version — in-ARU readers
+          lose their own shadow writes *)
+  | Commit_drops_data
+      (** commit replays the list-operation log but never merges shadow
+          data versions *)
+
+val mutation_label : mutation -> string
+val mutation_of_string : string -> mutation option
+val mutations : mutation list
+
+include Lld_core.Ld_intf.S
+
+val create :
+  ?visibility:Lld_core.Config.visibility ->
+  ?mutation:mutation ->
+  ?capacity:int ->
+  ?max_lists:int ->
+  ?block_bytes:int ->
+  unit ->
+  t
+(** Defaults: [Own_shadow] (the paper's option 3), no mutation,
+    capacity/max_lists/block size matching {!Lld_disk.Geometry.small}
+    would be arbitrary — pass the real instance's values when
+    differencing. *)
+
+val visibility : t -> Lld_core.Config.visibility
+val aru_active : t -> Lld_core.Types.Aru_id.t -> bool
+val active_arus : t -> Lld_core.Types.Aru_id.t list
+
+val frontier_summary : t -> string
+(** Canonical rendering of the committed state as crash recovery would
+    restore it at this instant: in-flight (and aborted) ARUs erased the
+    way the consistency sweep erases them — allocated blocks on no list
+    are dropped, owner-marked (necessarily empty) lists are dropped.
+    Two states are crash-equivalent iff their summaries are equal. *)

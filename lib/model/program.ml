@@ -1,0 +1,111 @@
+module Rng = Lld_sim.Rng
+
+type cmd =
+  | Begin
+  | Commit
+  | Abort
+  | New_list
+  | New_block of { list_ref : int; pred_ref : int option }
+  | Write of { block_ref : int; tag : int }
+  | Read of { block_ref : int }
+  | Delete_block of { block_ref : int }
+  | Delete_list of { list_ref : int }
+  | List_exists of { list_ref : int }
+  | Block_allocated of { block_ref : int }
+  | Block_member of { block_ref : int }
+  | List_blocks of { list_ref : int }
+  | Lists
+  | Scavenge
+  | Probe_dead of { which : int }
+  | Read_other of { peer : int; block_ref : int }
+
+type step = { client : int; cmd : cmd }
+type t = step array
+
+(* Weighted command distribution: heavy on the mutating core, light on
+   maintenance and error-path probes. *)
+let gen_cmd rng ~clients =
+  let r = Rng.int rng 1_000_000 in
+  let pick = Rng.int rng 110 in
+  if pick < 10 then Begin
+  else if pick < 19 then Commit
+  else if pick < 22 then Abort
+  else if pick < 30 then New_list
+  else if pick < 46 then
+    New_block
+      { list_ref = r; pred_ref = (if Rng.bool rng then Some (Rng.int rng 64) else None) }
+  else if pick < 64 then Write { block_ref = r; tag = Rng.int rng 0x1000000 }
+  else if pick < 78 then Read { block_ref = r }
+  else if pick < 84 then Delete_block { block_ref = r }
+  else if pick < 87 then Delete_list { list_ref = r }
+  else if pick < 90 then List_exists { list_ref = r }
+  else if pick < 93 then Block_allocated { block_ref = r }
+  else if pick < 96 then Block_member { block_ref = r }
+  else if pick < 100 then List_blocks { list_ref = r }
+  else if pick < 102 then Lists
+  else if pick < 104 then Scavenge
+  else if pick < 107 then Probe_dead { which = r }
+  else if clients > 1 then
+    Read_other { peer = 1 + Rng.int rng (clients - 1); block_ref = r }
+  else Read { block_ref = r }
+
+let generate ~seed ~clients ~ops =
+  if clients < 1 then invalid_arg "Program.generate: clients must be positive";
+  if ops < 0 then invalid_arg "Program.generate: ops must be non-negative";
+  let rng = Rng.create ~seed in
+  let queues =
+    Array.init clients (fun _ ->
+        Array.to_list (Array.init ops (fun _ -> gen_cmd rng ~clients)))
+  in
+  let remaining = ref (clients * ops) in
+  let out = ref [] in
+  while !remaining > 0 do
+    let nonempty =
+      Array.to_list queues
+      |> List.mapi (fun i q -> (i, q))
+      |> List.filter (fun (_, q) -> q <> [])
+    in
+    let c, q = List.nth nonempty (Rng.int rng (List.length nonempty)) in
+    (match q with
+    | cmd :: rest ->
+      queues.(c) <- rest;
+      out := { client = c; cmd } :: !out
+    | [] -> assert false);
+    decr remaining
+  done;
+  Array.of_list (List.rev !out)
+
+let pp_cmd ppf = function
+  | Begin -> Format.pp_print_string ppf "begin"
+  | Commit -> Format.pp_print_string ppf "commit"
+  | Abort -> Format.pp_print_string ppf "abort"
+  | New_list -> Format.pp_print_string ppf "new-list"
+  | New_block { list_ref; pred_ref } ->
+    Format.fprintf ppf "new-block list@%d%s" list_ref
+      (match pred_ref with
+      | None -> ""
+      | Some p -> Printf.sprintf " pred@%d" p)
+  | Write { block_ref; tag } ->
+    Format.fprintf ppf "write block@%d tag#%06x" block_ref tag
+  | Read { block_ref } -> Format.fprintf ppf "read block@%d" block_ref
+  | Delete_block { block_ref } ->
+    Format.fprintf ppf "delete-block block@%d" block_ref
+  | Delete_list { list_ref } ->
+    Format.fprintf ppf "delete-list list@%d" list_ref
+  | List_exists { list_ref } ->
+    Format.fprintf ppf "list-exists list@%d" list_ref
+  | Block_allocated { block_ref } ->
+    Format.fprintf ppf "block-allocated block@%d" block_ref
+  | Block_member { block_ref } ->
+    Format.fprintf ppf "block-member block@%d" block_ref
+  | List_blocks { list_ref } -> Format.fprintf ppf "list-blocks list@%d" list_ref
+  | Lists -> Format.pp_print_string ppf "lists"
+  | Scavenge -> Format.pp_print_string ppf "scavenge"
+  | Probe_dead { which } -> Format.fprintf ppf "probe-dead %d" which
+  | Read_other { peer; block_ref } ->
+    Format.fprintf ppf "read-other +%d block@%d" peer block_ref
+
+let pp_step ppf { client; cmd } = Format.fprintf ppf "c%d: %a" client pp_cmd cmd
+
+let pp ppf (p : t) =
+  Array.iteri (fun i s -> Format.fprintf ppf "#%-3d %a@," i pp_step s) p

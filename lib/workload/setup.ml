@@ -51,11 +51,18 @@ let resolve_backend geom backend =
     | Some b -> b
     | None -> Lld_disk.Backend.mem ~size)
 
-let make ?(geom = Geometry.paper) ?inode_count ?clock ?obs ?backend variant =
+let resolve_config variant visibility =
+  let base = lld_config variant in
+  match visibility with
+  | None -> base
+  | Some v -> { base with Config.visibility = v }
+
+let make ?(geom = Geometry.paper) ?inode_count ?clock ?obs ?backend ?visibility
+    variant =
   let clock = match clock with Some c -> c | None -> Clock.create () in
   let backend = resolve_backend geom backend in
   let disk = Disk.create ~backend ~clock geom in
-  let lld = Lld.create ~config:(lld_config variant) ?obs disk in
+  let lld = Lld.create ~config:(resolve_config variant visibility) ?obs disk in
   let fs = Fs.mkfs ~config:(fs_config variant) ?inode_count lld in
   Fs.flush fs;
   Clock.reset clock;
@@ -63,11 +70,11 @@ let make ?(geom = Geometry.paper) ?inode_count ?clock ?obs ?backend variant =
   reset_obs obs;
   { disk; lld; fs; clock }
 
-let make_raw ?(geom = Geometry.paper) ?clock ?obs ?backend variant =
+let make_raw ?(geom = Geometry.paper) ?clock ?obs ?backend ?visibility variant =
   let clock = match clock with Some c -> c | None -> Clock.create () in
   let backend = resolve_backend geom backend in
   let disk = Disk.create ~backend ~clock geom in
-  let lld = Lld.create ~config:(lld_config variant) ?obs disk in
+  let lld = Lld.create ~config:(resolve_config variant visibility) ?obs disk in
   Lld.flush lld;
   Clock.reset clock;
   Lld_core.Counters.reset (Lld.counters lld);

@@ -21,7 +21,8 @@ type instance = {
 
 val make :
   ?geom:Lld_disk.Geometry.t -> ?inode_count:int -> ?clock:Lld_sim.Clock.t ->
-  ?obs:Lld_obs.Obs.t -> ?backend:Lld_disk.Backend.t -> variant -> instance
+  ?obs:Lld_obs.Obs.t -> ?backend:Lld_disk.Backend.t ->
+  ?visibility:Lld_core.Config.visibility -> variant -> instance
 (** Default geometry is the paper's 400 MB partition.  [obs] (default
     {!Lld_obs.Obs.null}) is attached to the logical disk and the device;
     the clock reset after formatting keeps setup out of the trace
@@ -29,11 +30,14 @@ val make :
     internally created one) when the caller needs the clock before
     construction — an {!Lld_obs.Obs.create} handle wraps it.  [backend]
     defaults to {!Lld_disk.Backend.of_env} (honouring [LLD_BACKEND=file])
-    and then to an in-memory store. *)
+    and then to an in-memory store.  [visibility] overrides the
+    variant's read-visibility option (paper §3.3), e.g. to run a
+    workload under [Committed_only] or [Any_shadow] semantics. *)
 
 val make_raw :
   ?geom:Lld_disk.Geometry.t -> ?clock:Lld_sim.Clock.t ->
-  ?obs:Lld_obs.Obs.t -> ?backend:Lld_disk.Backend.t -> variant ->
+  ?obs:Lld_obs.Obs.t -> ?backend:Lld_disk.Backend.t ->
+  ?visibility:Lld_core.Config.visibility -> variant ->
   Lld_disk.Disk.t * Lld_core.Lld.t
 (** Logical disk only, no file system (for the ARU-latency experiment).
     [backend] defaults as in {!make}. *)

@@ -1,0 +1,112 @@
+(* Exit-code matrix for the command-line tool: every user-facing command
+   obeys the convention
+
+     0  success
+     1  the operation ran and found a real problem (corrupt image,
+        failed verification, divergence)
+     2  invalid usage or an unusable image (bad geometry, unknown flag
+        values)
+
+   driven as a table so adding a command means adding rows. *)
+
+let cli =
+  (* the test binary lives in _build/default/test next to _build/default/bin;
+     resolve relative to the executable so the working directory (which
+     differs between `dune runtest` and `dune exec`) does not matter.
+     The dune rule depends on the executable so it is always built. *)
+  let near_exe =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/lld_cli.exe"
+  in
+  let candidates = [ near_exe; "../bin/lld_cli.exe"; "bin/lld_cli.exe" ] in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> failwith "lld_cli.exe not built (missing dune dependency?)"
+
+let run args =
+  Sys.command
+    (Filename.quote_command cli ~stdout:"/dev/null" ~stderr:"/dev/null" args)
+
+let tmp name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "lld-cli-%d-%s" (Unix.getpid ()) name)
+
+let segment_bytes = 512 * 1024
+
+let write_file path bytes =
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc
+
+(* Fixture images: a properly formatted one, one whose size is not a
+   whole number of segments, and one with valid geometry but zeroed
+   content (nothing to recover). *)
+let good_image = tmp "good.img"
+let badsize_image = tmp "badsize.img"
+let zeroed_image = tmp "zeroed.img"
+
+let setup_images () =
+  let rc =
+    run [ "mkfs"; "--file"; good_image; "--segments"; "64"; "--files"; "3" ]
+  in
+  if rc <> 0 then Alcotest.failf "mkfs fixture failed with exit code %d" rc;
+  write_file badsize_image (Bytes.create 1000);
+  write_file zeroed_image (Bytes.create (32 * segment_bytes))
+
+let cleanup_images () =
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ good_image; badsize_image; zeroed_image ]
+
+(* The matrix.  [trace]/[stats] run a real (small) workload; [model]
+   runs a real (small) differential-fuzzing session. *)
+let matrix () =
+  [
+    ("info, fresh geometry", [ "info"; "--segments"; "64" ], 0);
+    ("info, formatted image", [ "info"; "--file"; good_image ], 0);
+    ("info, truncated image", [ "info"; "--file"; badsize_image ], 2);
+    ("info, zeroed image", [ "info"; "--file"; zeroed_image ], 1);
+    ( "mkfs, fresh image",
+      [ "mkfs"; "--file"; tmp "mkfs2.img"; "--segments"; "64"; "--files"; "2" ],
+      0 );
+    ("mount, formatted image", [ "mount"; "--file"; good_image ], 0);
+    ("mount, truncated image", [ "mount"; "--file"; badsize_image ], 2);
+    ("mount, zeroed image", [ "mount"; "--file"; zeroed_image ], 1);
+    ( "trace, small workload",
+      [
+        "trace"; "--segments"; "64"; "--files"; "4"; "--out"; tmp "trace.json";
+      ],
+      0 );
+    ("stats, small workload", [ "stats"; "--segments"; "64"; "--files"; "4" ], 0);
+    ( "model, small clean fuzz",
+      [ "model"; "--budget"; "2"; "--ops"; "10"; "--crash-every"; "0" ],
+      0 );
+    ("model, unknown visibility option", [ "model"; "--option"; "9" ], 2);
+    ("model, unknown injected bug", [ "model"; "--inject"; "bogus" ], 2);
+    ("model, zero budget", [ "model"; "--budget"; "0" ], 2);
+    ( "model, expected divergence missing",
+      [ "model"; "--budget"; "1"; "--ops"; "5"; "--expect-divergence" ],
+      1 );
+  ]
+
+let test_matrix () =
+  setup_images ();
+  Fun.protect ~finally:cleanup_images (fun () ->
+      let failures =
+        List.filter_map
+          (fun (name, args, expected) ->
+            let got = run args in
+            if got = expected then None
+            else
+              Some
+                (Printf.sprintf "%s: expected exit %d, got %d (lld %s)" name
+                   expected got (String.concat " " args)))
+          (matrix ())
+      in
+      if failures <> [] then Alcotest.fail (String.concat "\n" failures))
+
+let () =
+  Alcotest.run "lld_cli"
+    [
+      ( "exit-codes",
+        [ Alcotest.test_case "command exit-code matrix" `Slow test_matrix ] );
+    ]

@@ -70,6 +70,31 @@ let test_budget_deterministic () =
   let r2 = Crashcheck.run ~budget:40 ~seed:7 trace in
   Alcotest.(check bool) "same seed, same sample" true (r1 = r2)
 
+(* The sampling seed rides along in the result, so a failure report can
+   always be replayed: run, read [r_seed] back, rerun with it. *)
+let test_seed_roundtrip () =
+  let trace = Crashcheck.record (churn ()) in
+  let r = Crashcheck.run ~budget:40 ~seed:13 trace in
+  Alcotest.(check int) "result records the sampling seed" 13
+    r.Crashcheck.r_seed;
+  let r' = Crashcheck.run ~budget:40 ~seed:r.Crashcheck.r_seed trace in
+  Alcotest.(check bool) "rerun with the recorded seed reproduces" true (r = r');
+  (* a failing run prints the seed so the report alone is enough *)
+  let spec = churn () in
+  let broken =
+    { spec.Crashcheck.sc_config with Config.recovery_sweep = false }
+  in
+  let bad = Crashcheck.run ~budget:60 ~seed:21 ~recover_config:broken trace in
+  Alcotest.(check bool) "broken recovery still fails" false (Crashcheck.ok bad);
+  let report = Format.asprintf "%a" Crashcheck.pp_result bad in
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "failure report names the seed" true
+    (contains ~needle:"--seed 21" report)
+
 (* ------------------------------------------------------------------ *)
 (* A deliberately broken recovery — consistency sweep disabled — must be
    caught, with a minimal reproducer that replays. *)
@@ -221,6 +246,8 @@ let () =
             test_clean_cleaning;
           Alcotest.test_case "budgeted runs deterministic" `Quick
             test_budget_deterministic;
+          Alcotest.test_case "sampling seed round-trips" `Quick
+            test_seed_roundtrip;
         ] );
       ( "detection",
         [

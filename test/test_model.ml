@@ -1,0 +1,285 @@
+open Helpers
+module Model = Lld_model.Model
+module Program = Lld_model.Program
+module Differ = Lld_model.Differ
+module Op = Lld_core.Op
+module Setup = Lld_workload.Setup
+
+(* ------------------------------------------------------------------ *)
+(* Differential fuzzing: the executable specification and the real
+   implementation agree, the runs are bit-reproducible, and an injected
+   specification bug is found and shrunk to a tiny program. *)
+
+let small cfg = { cfg with Differ.crash_every = 3; Differ.crash_points = 6 }
+
+let fuzz_clean ~seed ~budget cfg =
+  let r = Differ.fuzz ~seed ~budget cfg in
+  (match r.Differ.rp_failure with
+  | None -> ()
+  | Some f ->
+    Alcotest.failf "unexpected divergence:@.%a" Differ.pp_divergence
+      f.Differ.fl_shrunk_divergence);
+  Alcotest.(check bool) "report ok" true (Differ.ok r);
+  r
+
+let test_own_shadow_clean () =
+  let r = fuzz_clean ~seed:101 ~budget:8 (small Differ.default_config) in
+  Alcotest.(check bool) "crash points were composed" true
+    (r.Differ.rp_crash_points > 0)
+
+let test_committed_only_clean () =
+  ignore
+    (fuzz_clean ~seed:102 ~budget:8
+       (small
+          { Differ.default_config with Differ.visibility = Config.Committed_only }))
+
+let test_any_shadow_clean () =
+  ignore
+    (fuzz_clean ~seed:103 ~budget:8
+       (small { Differ.default_config with Differ.visibility = Config.Any_shadow }))
+
+let test_three_clients_clean () =
+  ignore
+    (fuzz_clean ~seed:104 ~budget:6
+       (small { Differ.default_config with Differ.clients = 3 }))
+
+let test_file_backend_clean () =
+  ignore
+    (fuzz_clean ~seed:105 ~budget:3
+       (small { Differ.default_config with Differ.backend = Differ.File }))
+
+let test_bit_reproducible () =
+  let cfg = small Differ.default_config in
+  let render () =
+    Format.asprintf "%a" Differ.pp_report (Differ.fuzz ~seed:77 ~budget:6 cfg)
+  in
+  let a = render () and b = render () in
+  Alcotest.(check string) "same seed renders byte-identical reports" a b
+
+let find_injected mutation seed =
+  let cfg =
+    {
+      (small Differ.default_config) with
+      Differ.mutation = Some mutation;
+      Differ.crash_every = 0 (* crash frontier assumes correct commit *);
+    }
+  in
+  let r = Differ.fuzz ~seed ~budget:200 cfg in
+  match r.Differ.rp_failure with
+  | None ->
+    Alcotest.failf "injected bug %s not found in %d cases"
+      (Model.mutation_label mutation)
+      r.Differ.rp_cases
+  | Some f ->
+    let len = Array.length f.Differ.fl_shrunk in
+    if len > 10 then
+      Alcotest.failf "shrunk program has %d steps (want <= 10):@.%a" len
+        Program.pp f.Differ.fl_shrunk;
+    (* the shrunk program still diverges when replayed standalone *)
+    (match
+       Differ.run_program cfg ~seed:f.Differ.fl_case_seed f.Differ.fl_shrunk
+     with
+    | Some _ -> ()
+    | None -> Alcotest.fail "shrunk program no longer diverges")
+
+let test_injected_read_committed () = find_injected Model.Read_committed 201
+let test_injected_commit_drops_data () =
+  find_injected Model.Commit_drops_data 202
+
+(* ------------------------------------------------------------------ *)
+(* Program generation is deterministic and well-formed. *)
+
+let test_program_deterministic () =
+  let gen () = Program.generate ~seed:5 ~clients:3 ~ops:30 in
+  let a = Format.asprintf "%a" Program.pp (gen ()) in
+  let b = Format.asprintf "%a" Program.pp (gen ()) in
+  Alcotest.(check string) "same seed, same program" a b;
+  let p = gen () in
+  Alcotest.(check int) "clients x ops steps" (3 * 30) (Array.length p);
+  Array.iter
+    (fun s ->
+      if s.Program.client < 0 || s.Program.client >= 3 then
+        Alcotest.fail "client index out of range")
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Read-visibility options end-to-end (paper §3.3), the model as the
+   oracle: the same operation sequence runs on the real implementation
+   (built through Setup with a visibility override) and on the model,
+   through the shared Op hook, comparing every result. *)
+
+module Mops = Op.Make (Model)
+module Lops = Op.Make (Lld)
+
+let visibility_pair visibility =
+  let geom = Geometry.small in
+  let _disk, lld = Setup.make_raw ~geom ~visibility New in
+  let model =
+    Model.create ~visibility ~capacity:(Lld.capacity lld)
+      ~max_lists:(Lld_core.Disk_layout.max_lists geom)
+      ~block_bytes:(Lld.block_bytes lld) ()
+  in
+  (lld, model)
+
+let step (lld, model) op =
+  let m = Mops.apply model op in
+  let r = Lops.apply lld op in
+  if not (Op.equal_result m r) then
+    Alcotest.failf "divergence on %a: model %a, real %a" Op.pp op Op.pp_result
+      m Op.pp_result r;
+  m
+
+let aru_of = function
+  | Op.R_aru a -> a
+  | r -> Alcotest.failf "expected an ARU, got %a" Op.pp_result r
+
+let list_of = function
+  | Op.R_list l -> l
+  | r -> Alcotest.failf "expected a list, got %a" Op.pp_result r
+
+let block_of = function
+  | Op.R_block b -> b
+  | r -> Alcotest.failf "expected a block, got %a" Op.pp_result r
+
+(* One shared scenario.  A committed block [b] exists before the ARU
+   starts; the ARU overwrites it and also allocates a fresh block [b2].
+   What the mid-flight observations return is exactly what distinguishes
+   the three options:
+
+   - the shadow *write* to the pre-existing [b] is what option 1 leaks
+     to other clients, option 3 confines to the writer, and option 2
+     hides even from the writer;
+   - the fresh allocation [b2] carries an owner mark on every version,
+     so it stays invisible to other clients under {e all} options (the
+     leak in option 1 is of content, not of allocation).
+
+   The model/real comparison in [step] pins that the implementation
+   matches the specification at every step; the explicit checks below
+   pin the semantics themselves. *)
+type observations = {
+  own_read : Op.result;  (** the writer reading the overwritten block *)
+  simple_read : Op.result;  (** another client reading it *)
+  own_alloc2 : Op.result;  (** the writer probing its fresh block *)
+  simple_alloc2 : Op.result;  (** another client probing it *)
+}
+
+let old_data = block_data 7
+let new_data = block_data 42
+
+let visibility_scenario visibility =
+  let pair = visibility_pair visibility in
+  (* committed setup, before any ARU *)
+  let l = list_of (step pair (Op.New_list None)) in
+  let b =
+    block_of (step pair (Op.New_block { aru = None; list = l; pred = Summary.Head }))
+  in
+  ignore (step pair (Op.Write { aru = None; block = b; data = old_data }));
+  (* the ARU overwrites [b] and allocates [b2] *)
+  let aru = aru_of (step pair Op.Begin_aru) in
+  ignore (step pair (Op.Write { aru = Some aru; block = b; data = new_data }));
+  let b2 =
+    block_of
+      (step pair
+         (Op.New_block { aru = Some aru; list = l; pred = Summary.After b }))
+  in
+  let obs =
+    {
+      own_read = step pair (Op.Read { aru = Some aru; block = b });
+      simple_read = step pair (Op.Read { aru = None; block = b });
+      own_alloc2 = step pair (Op.Block_allocated { aru = Some aru; block = b2 });
+      simple_alloc2 = step pair (Op.Block_allocated { aru = None; block = b2 });
+    }
+  in
+  ignore (step pair (Op.End_aru aru));
+  (* after commit all options agree on the committed state *)
+  let committed_read = step pair (Op.Read { aru = None; block = b }) in
+  Alcotest.(check bool)
+    "committed read returns the ARU's write" true
+    (Op.equal_result committed_read (Op.R_data new_data));
+  (match step pair (Op.Block_allocated { aru = None; block = b2 }) with
+  | Op.R_bool true -> ()
+  | r -> Alcotest.failf "fresh block not committed: %a" Op.pp_result r);
+  ignore (step pair Op.Lists);
+  obs
+
+let check_bool msg expected = function
+  | Op.R_bool b -> Alcotest.(check bool) msg expected b
+  | r -> Alcotest.failf "%s: expected a boolean, got %a" msg Op.pp_result r
+
+let check_data_result msg expected = function
+  | Op.R_data d ->
+    Alcotest.(check bool) msg true (Bytes.equal d expected)
+  | r -> Alcotest.failf "%s: expected data, got %a" msg Op.pp_result r
+
+let test_option1_end_to_end () =
+  (* option 1, Any_shadow: uncommitted writes are visible to everyone *)
+  let o = visibility_scenario Config.Any_shadow in
+  check_data_result "own read sees the shadow write" new_data o.own_read;
+  check_data_result "simple read sees the shadow write too" new_data
+    o.simple_read;
+  check_bool "own fresh allocation visible" true o.own_alloc2;
+  check_bool "fresh allocation still owner-gated for others" false
+    o.simple_alloc2
+
+let test_option2_end_to_end () =
+  (* option 2, Committed_only: nobody sees uncommitted effects, not even
+     the ARU itself *)
+  let o = visibility_scenario Config.Committed_only in
+  check_data_result "own read still sees the committed data" old_data
+    o.own_read;
+  check_data_result "simple read sees the committed data" old_data
+    o.simple_read;
+  (* allocation happens in the committed state with an owner mark: the
+     mark hides it from other clients, not from the allocating ARU, so
+     even under committed-only reads the owner sees its own block *)
+  check_bool "own fresh allocation visible to its owner" true o.own_alloc2;
+  check_bool "fresh allocation hidden from others" false o.simple_alloc2
+
+let test_option3_end_to_end () =
+  (* option 3, Own_shadow: the ARU sees its own effects, others do not *)
+  let o = visibility_scenario Config.Own_shadow in
+  check_data_result "own read sees the shadow write" new_data o.own_read;
+  check_data_result "simple read sees the committed data" old_data
+    o.simple_read;
+  check_bool "own fresh allocation visible" true o.own_alloc2;
+  check_bool "fresh allocation hidden from others" false o.simple_alloc2
+
+let () =
+  Alcotest.run "lld_model"
+    [
+      ( "differ",
+        [
+          Alcotest.test_case "own-shadow fuzz clean" `Quick
+            test_own_shadow_clean;
+          Alcotest.test_case "committed-only fuzz clean" `Quick
+            test_committed_only_clean;
+          Alcotest.test_case "any-shadow fuzz clean" `Quick
+            test_any_shadow_clean;
+          Alcotest.test_case "three clients clean" `Quick
+            test_three_clients_clean;
+          Alcotest.test_case "file backend clean" `Slow test_file_backend_clean;
+          Alcotest.test_case "bit-reproducible reports" `Quick
+            test_bit_reproducible;
+        ] );
+      ( "self-test",
+        [
+          Alcotest.test_case "injected read-committed bug found" `Quick
+            test_injected_read_committed;
+          Alcotest.test_case "injected commit-drops-data bug found" `Quick
+            test_injected_commit_drops_data;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "generation deterministic" `Quick
+            test_program_deterministic;
+        ] );
+      ( "visibility",
+        [
+          Alcotest.test_case "option 1 (any shadow) end-to-end" `Quick
+            test_option1_end_to_end;
+          Alcotest.test_case "option 2 (committed only) end-to-end" `Quick
+            test_option2_end_to_end;
+          Alcotest.test_case "option 3 (own shadow) end-to-end" `Quick
+            test_option3_end_to_end;
+        ] );
+    ]

@@ -518,6 +518,95 @@ let cost_independence =
     QCheck.(int_range 0 10_000)
     cost_independence_scenario
 
+(* ------------------------------------------------------------------ *)
+(* Block_map vs a naive free-set model: the bitset-plus-hint allocator
+   must behave exactly like "allocate the lowest free identifier",
+   including the hint retreating on a release below it and a full
+   drain / rebuild / refill cycle. *)
+
+module Block_map = Lld_core.Block_map
+
+let block_map_cap = 24
+
+let block_map_scenario ops =
+  let bm = Block_map.create ~capacity:block_map_cap in
+  let held = Hashtbl.create 16 in
+  let model_alloc () =
+    let rec scan i =
+      if i >= block_map_cap then None
+      else if Hashtbl.mem held i then scan (i + 1)
+      else Some i
+    in
+    scan 0
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | `Alloc ->
+        let expect = model_alloc () in
+        let got = Option.map Types.Block_id.to_int (Block_map.alloc_id bm) in
+        if got <> expect then
+          QCheck.Test.fail_reportf "alloc: map gave %s, model expects %s"
+            (match got with Some i -> string_of_int i | None -> "none")
+            (match expect with Some i -> string_of_int i | None -> "none");
+        (match got with Some i -> Hashtbl.replace held i () | None -> ())
+      | `Release i ->
+        let i = i mod block_map_cap in
+        (* releasing an already-free identifier is a no-op in both *)
+        Block_map.release_id bm (Types.Block_id.of_int i);
+        Hashtbl.remove held i)
+    ops;
+  if Block_map.allocated_count bm <> Hashtbl.length held then
+    QCheck.Test.fail_reportf "allocated_count %d, model holds %d"
+      (Block_map.allocated_count bm)
+      (Hashtbl.length held);
+  (* rebuild from the persistent flags (recovery path), then drain: the
+     refill must hand out exactly the model's free set in ascending
+     order and report exhaustion after *)
+  Block_map.iter bm (fun r ->
+      r.Lld_core.Record.alloc <-
+        Hashtbl.mem held (Types.Block_id.to_int r.Lld_core.Record.id));
+  Block_map.rebuild_free bm;
+  let expected_free =
+    List.filter
+      (fun i -> not (Hashtbl.mem held i))
+      (List.init block_map_cap Fun.id)
+  in
+  let drained =
+    List.map
+      (fun _ ->
+        match Block_map.alloc_id bm with
+        | Some b -> Types.Block_id.to_int b
+        | None -> QCheck.Test.fail_report "exhausted before the model")
+      expected_free
+  in
+  if drained <> expected_free then
+    QCheck.Test.fail_reportf "drain order [%s], model free set [%s]"
+      (String.concat ";" (List.map string_of_int drained))
+      (String.concat ";" (List.map string_of_int expected_free));
+  Block_map.alloc_id bm = None
+
+let block_map_ops =
+  let open QCheck.Gen in
+  let op =
+    frequency
+      [
+        (3, return `Alloc);
+        (2, map (fun i -> `Release i) (int_range 0 (block_map_cap - 1)));
+      ]
+  in
+  let print_op = function
+    | `Alloc -> "alloc"
+    | `Release i -> Printf.sprintf "release %d" i
+  in
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+    (list_size (int_range 0 120) op)
+
+let block_map_model =
+  QCheck.Test.make ~name:"Block_map allocates like the naive free-set model"
+    ~count:300 block_map_ops block_map_scenario
+
 let () =
   Alcotest.run "lld_props"
     [
@@ -525,6 +614,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest model_equivalence;
           QCheck_alcotest.to_alcotest sequential_model;
+          QCheck_alcotest.to_alcotest block_map_model;
         ] );
       ( "crash-fuzz",
         [
