@@ -429,7 +429,7 @@ let point_conv =
   Arg.conv (parse, Crashcheck.pp_point)
 
 let crashcheck workload budget granularity seed at broken_sweep trace_dir
-    differential =
+    differential during_recovery inner_budget =
   let selected =
     match workload with
     | None -> Crashcheck.specs
@@ -455,6 +455,27 @@ let crashcheck workload budget granularity seed at broken_sweep trace_dir
         let d = Crashcheck.differential spec in
         Format.printf "%a@." Crashcheck.pp_differential d;
         if not (Crashcheck.differential_ok d) then failed := true)
+      selected;
+    if !failed then exit 1
+  end
+  else if during_recovery then begin
+    let failed = ref false in
+    List.iter
+      (fun (name, mk) ->
+        let spec = mk () in
+        Printf.printf "recording %s trace...\n%!" name;
+        let trace = Crashcheck.record spec in
+        let progress ~outer ~total =
+          Printf.printf "  %s: recovery crashed from %d/%d workload points\n%!"
+            name outer total
+        in
+        let r =
+          Crashcheck.run_during_recovery ~granularity
+            ?budget ?inner_budget ~seed
+            ?recover_config:(recover_config spec) ?trace_dir ~progress trace
+        in
+        Format.printf "%a@." Crashcheck.pp_recovery_result r;
+        if not (Crashcheck.recovery_ok r) then failed := true)
       selected;
     if !failed then exit 1
   end
@@ -590,6 +611,27 @@ let crashcheck_cmd =
              the virtual clocks equal (paper 2: transparent implementation \
              exchange).")
   in
+  let during_recovery =
+    Arg.(
+      value & flag
+      & info [ "during-recovery" ]
+          ~doc:
+            "Crash the recovery itself: for a sample of workload crash \
+             points ($(b,--budget), default 24), recover with early open, \
+             verify the oracle through on-demand reads while the replay is \
+             pending, then enumerate crash points over recovery's own \
+             writes (including torn checkpoint chunks) and verify a second \
+             recovery from each.")
+  in
+  let inner_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inner-budget" ] ~docv:"N"
+          ~doc:
+            "With $(b,--during-recovery): sample at most N crash points \
+             within each recovery's write sequence (default: exhaustive).")
+  in
   Cmd.v
     (Cmd.info "crashcheck"
        ~doc:
@@ -598,7 +640,8 @@ let crashcheck_cmd =
           cleanliness, sweep completeness, and recovery idempotency.")
     Term.(
       const crashcheck $ workload $ budget $ granularity $ seed $ at
-      $ broken_sweep $ trace_dir $ differential)
+      $ broken_sweep $ trace_dir $ differential $ during_recovery
+      $ inner_budget)
 
 (* ------------------------------------------------ traced workloads *)
 

@@ -20,14 +20,19 @@ type list_entry = {
   l_owner : int option;
 }
 
+type kind = Full | Delta of { base_id : int }
+
 type snapshot = {
   ckpt_id : int;
+  kind : kind;
   covered_seq : int;
   next_seq : int;
   stamp : int;
   next_aru : int;
   blocks : block_entry list;
   lists : list_entry list;
+  dead_blocks : int list;
+  dead_lists : int list;
   pending : (int * pending_entry list) list;
   free_order : int list;
 }
@@ -35,17 +40,20 @@ type snapshot = {
 let empty =
   {
     ckpt_id = 1;
+    kind = Full;
     covered_seq = 0;
     next_seq = 1;
     stamp = 1;
     next_aru = 1;
     blocks = [];
     lists = [];
+    dead_blocks = [];
+    dead_lists = [];
     pending = [];
     free_order = [];
   }
 
-let payload_version = 1
+let payload_version = 2
 
 let opt w = function
   | None -> Codec.Writer.u32 w 0
@@ -58,6 +66,11 @@ let encode snap =
   let w = Codec.Writer.create ~capacity:65536 () in
   let module W = Codec.Writer in
   W.u32 w payload_version;
+  (match snap.kind with
+  | Full -> W.u8 w 0
+  | Delta { base_id } ->
+    W.u8 w 1;
+    W.u64 w (Int64.of_int base_id));
   W.u64 w (Int64.of_int snap.ckpt_id);
   W.u64 w (Int64.of_int snap.covered_seq);
   W.u64 w (Int64.of_int snap.next_seq);
@@ -86,6 +99,10 @@ let encode snap =
       W.u64 w (Int64.of_int l.l_stamp);
       opt w l.l_owner)
     snap.lists;
+  W.u32 w (List.length snap.dead_blocks);
+  List.iter (W.u32 w) snap.dead_blocks;
+  W.u32 w (List.length snap.dead_lists);
+  List.iter (W.u32 w) snap.dead_lists;
   W.u32 w (List.length snap.pending);
   List.iter
     (fun (aru, entries) ->
@@ -110,6 +127,12 @@ let decode buf =
     let version = R.u32 r in
     if version <> payload_version then
       raise (Errors.Corrupt (Printf.sprintf "checkpoint version %d" version));
+    let kind =
+      match R.u8 r with
+      | 0 -> Full
+      | 1 -> Delta { base_id = Int64.to_int (R.u64 r) }
+      | n -> raise (Errors.Corrupt (Printf.sprintf "checkpoint kind %d" n))
+    in
     let ckpt_id = Int64.to_int (R.u64 r) in
     let covered_seq = Int64.to_int (R.u64 r) in
     let next_seq = Int64.to_int (R.u64 r) in
@@ -141,6 +164,10 @@ let decode buf =
           let l_stamp = Int64.to_int (R.u64 r) in
           { l_id; l_first; l_last; l_stamp; l_owner = read_opt r })
     in
+    let ndead_b = R.u32 r in
+    let dead_blocks = List.init ndead_b (fun _ -> R.u32 r) in
+    let ndead_l = R.u32 r in
+    let dead_lists = List.init ndead_l (fun _ -> R.u32 r) in
     let npending = R.u32 r in
     let pending =
       List.init npending (fun _ ->
@@ -157,8 +184,8 @@ let decode buf =
     let nfree = R.u32 r in
     let free_order = List.init nfree (fun _ -> R.u32 r) in
     {
-      ckpt_id; covered_seq; next_seq; stamp; next_aru; blocks; lists; pending;
-      free_order;
+      ckpt_id; kind; covered_seq; next_seq; stamp; next_aru; blocks; lists;
+      dead_blocks; dead_lists; pending; free_order;
     }
   with Codec.Truncated -> raise (Errors.Corrupt "truncated checkpoint payload")
 
@@ -260,12 +287,86 @@ let read_region disk ~region =
       end)
   | Some (_, _, _, _, _) -> None
 
-let read_best disk =
-  let candidates =
-    List.filter_map (fun region -> read_region disk ~region) [ 0; 1 ]
+(* Overlay a cumulative delta on its full base: delta entries replace
+   (or add) base entries, tombstones remove them, and every scalar —
+   position, pending ARU state, free order — comes from the delta, which
+   is the newer generation. *)
+let compose ~full ~delta =
+  let base_id =
+    match delta.kind with
+    | Delta { base_id } -> base_id
+    | Full -> invalid_arg "Checkpoint.compose: delta is a full checkpoint"
   in
-  match candidates with
-  | [] -> None
-  | [ s ] -> Some s
-  | [ a; b ] -> Some (if a.ckpt_id >= b.ckpt_id then a else b)
-  | _ -> assert false
+  if full.kind <> Full || full.ckpt_id <> base_id then
+    invalid_arg "Checkpoint.compose: base mismatch";
+  let dead_b = Hashtbl.create 64 and dead_l = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace dead_b i ()) delta.dead_blocks;
+  List.iter (fun (b : block_entry) -> Hashtbl.replace dead_b b.b_id ())
+    delta.blocks;
+  List.iter (fun i -> Hashtbl.replace dead_l i ()) delta.dead_lists;
+  List.iter (fun (l : list_entry) -> Hashtbl.replace dead_l l.l_id ())
+    delta.lists;
+  let blocks =
+    List.filter (fun (b : block_entry) -> not (Hashtbl.mem dead_b b.b_id))
+      full.blocks
+    @ delta.blocks
+  in
+  let lists =
+    List.filter (fun (l : list_entry) -> not (Hashtbl.mem dead_l l.l_id))
+      full.lists
+    @ delta.lists
+  in
+  {
+    delta with
+    blocks = List.sort (fun a b -> Int.compare a.b_id b.b_id) blocks;
+    lists = List.sort (fun a b -> Int.compare a.l_id b.l_id) lists;
+    dead_blocks = [];
+    dead_lists = [];
+  }
+
+type best = {
+  best_snap : snapshot;
+      (* the effective (composed) snapshot; [kind] still names the
+         newest generation it came from *)
+  best_region : int;
+  best_full_region : int;
+}
+
+(* Generation selection: a full checkpoint stands alone; a delta is
+   consistent only when the other region still holds the exact full it
+   was taken against.  Among consistent generations the highest ckpt_id
+   wins — so a torn newest write (delta or full) falls back to the
+   previous generation, and a delta orphaned by a later full (never
+   produced by the writer, but conceivable after media errors) is
+   ignored rather than composed against the wrong base. *)
+let select ~region0 ~region1 =
+  let r0 = region0 and r1 = region1 in
+  let candidate region snap other =
+    match snap with
+    | None -> None
+    | Some s -> (
+      match s.kind with
+      | Full ->
+        Some { best_snap = s; best_region = region; best_full_region = region }
+      | Delta { base_id } -> (
+        match other with
+        | Some f when f.kind = Full && f.ckpt_id = base_id && s.ckpt_id > base_id
+          ->
+          Some
+            {
+              best_snap = compose ~full:f ~delta:s;
+              best_region = region;
+              best_full_region = 1 - region;
+            }
+        | Some _ | None -> None))
+  in
+  match (candidate 0 r0 r1, candidate 1 r1 r0) with
+  | None, None -> None
+  | Some b, None | None, Some b -> Some b
+  | Some a, Some b ->
+    Some (if a.best_snap.ckpt_id >= b.best_snap.ckpt_id then a else b)
+
+let read_best disk =
+  select
+    ~region0:(read_region disk ~region:0)
+    ~region1:(read_region disk ~region:1)

@@ -13,9 +13,19 @@
     commits atomically, and one that never commits is still discarded
     wholesale.
 
-    Two fixed regions at the front of the partition are written
-    alternately; each chunk carries a checksum, so a crash during a
-    checkpoint write leaves the other region's checkpoint intact. *)
+    Checkpoints come in two generations.  A {e full} checkpoint captures
+    the complete block map and list table.  A {e delta} captures only
+    the entries dirtied since the last full one (plus tombstones for
+    entries that disappeared), and names that full's [ckpt_id] as its
+    base; deltas are cumulative, so at most one full + one delta are
+    ever live.  Two fixed regions at the front of the partition hold
+    them: the full stays put while deltas overwrite the other region,
+    and a new full takes the delta region over (the old full is the
+    fallback while it is being written).  Each chunk carries a checksum,
+    so a crash during any checkpoint write leaves the previous
+    consistent generation intact, and {!read_best} performs the
+    generation selection: newest consistent wins, a torn newest falls
+    back. *)
 
 type pending_entry = {
   pe_op : Summary.op;
@@ -41,14 +51,25 @@ type list_entry = {
       (** allocating ARU if it was still active at checkpoint time *)
 }
 
+type kind =
+  | Full  (** complete block map + list table *)
+  | Delta of { base_id : int }
+      (** only entries dirtied since full checkpoint [base_id]
+          (cumulative: each delta supersedes the previous one) *)
+
 type snapshot = {
   ckpt_id : int;  (** monotonically increasing across checkpoints *)
+  kind : kind;
   covered_seq : int;  (** all segments with seq <= this are captured *)
   next_seq : int;
   stamp : int;
   next_aru : int;
-  blocks : block_entry list;  (** allocated blocks only *)
-  lists : list_entry list;  (** existing lists only *)
+  blocks : block_entry list;  (** allocated blocks only (dirty only in a delta) *)
+  lists : list_entry list;  (** existing lists only (dirty only in a delta) *)
+  dead_blocks : int list;
+      (** delta tombstones: blocks deallocated since the base full *)
+  dead_lists : int list;
+      (** delta tombstones: lists deleted since the base full *)
   pending : (int * pending_entry list) list;
       (** ARU id -> its buffered entries, in emission order *)
   free_order : int list;
@@ -72,6 +93,30 @@ val write : Lld_disk.Disk.t -> region:int -> snapshot -> unit
 val read_region : Lld_disk.Disk.t -> region:int -> snapshot option
 (** [None] when the region holds no complete, checksummed checkpoint. *)
 
-val read_best : Lld_disk.Disk.t -> snapshot option
-(** The valid checkpoint with the highest [ckpt_id] across both
-    regions. *)
+val compose : full:snapshot -> delta:snapshot -> snapshot
+(** The effective snapshot of a delta over its full base: delta entries
+    replace or add base entries, tombstones remove them, scalars come
+    from the delta.  Raises [Invalid_argument] when [delta] is not a
+    delta against exactly [full]. *)
+
+type best = {
+  best_snap : snapshot;
+      (** effective (composed when a delta won) snapshot to restore *)
+  best_region : int;  (** region of the winning generation *)
+  best_full_region : int;
+      (** region of the full base the winner depends on (equal to
+          [best_region] when a full won) — the next full checkpoint must
+          target the {e other} region or a torn write could destroy both
+          generations at once *)
+}
+
+val select : region0:snapshot option -> region1:snapshot option -> best option
+(** Generation selection: every readable full is a candidate, a readable
+    delta is a candidate only if its exact base full is also readable;
+    the candidate with the highest [ckpt_id] wins.  [None] when neither
+    region yields a candidate.  Callers that must survive media errors
+    (recovery) read each region themselves and pass [None] for an
+    unreadable one. *)
+
+val read_best : Lld_disk.Disk.t -> best option
+(** {!select} over {!read_region} of both regions. *)

@@ -12,7 +12,10 @@ type t = {
   clean_policy : clean_policy;
   clean_reserve_segments : int;
   checkpoint_interval_segments : int;
+  checkpoint_dirty_threshold : int;
   recovery_sweep : bool;
+  recovery_parallel : bool;
+  recovery_early_open : bool;
 }
 
 let default =
@@ -26,7 +29,10 @@ let default =
     clean_policy = Cost_benefit;
     clean_reserve_segments = 4;
     checkpoint_interval_segments = 0;
+    checkpoint_dirty_threshold = 4096;
     recovery_sweep = true;
+    recovery_parallel = true;
+    recovery_early_open = false;
   }
 
 let old_lld = { default with mode = Sequential }

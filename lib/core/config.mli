@@ -37,12 +37,31 @@ type t = {
       (** checkpoint after this many sealed segments (when no ARU is
           active); 0 disables periodic checkpoints (the cleaner still
           checkpoints) *)
+  checkpoint_dirty_threshold : int;
+      (** a periodic checkpoint is written as an incremental {e delta}
+          (only the map/table entries dirtied since the last full
+          checkpoint, plus tombstones) while the dirty-entry count stays
+          at or below this; above it — or whenever a full image is
+          required (mkfs, recovery, cleaning) — a full checkpoint is
+          written instead.  0 forces every checkpoint to be full. *)
   recovery_sweep : bool;
       (** run recovery's consistency sweep (paper §3.3).  Test-only
           knob: disabling it deliberately breaks recovery — orphaned
           allocations of uncommitted ARUs survive — so the crash
           checker's violation reporting can be exercised.  Always [true]
           outside such tests. *)
+  recovery_parallel : bool;
+      (** replay dependency-independent summary partitions on OCaml 5
+          domains.  The partitioned apply touches no disk and charges no
+          virtual time, so results and the cost model are identical to
+          the sequential fallback (used when this is [false] or the
+          partition count makes domains pointless). *)
+  recovery_early_open : bool;
+      (** open for reads before the replay finishes: {!Lld.recover}
+          returns after the checkpoint restore + log-tail scan, and a
+          logical block or list is recovered on demand the first time a
+          read touches it.  The first mutating operation (or
+          {!Lld.complete_recovery}) finishes the sweep. *)
 }
 
 val default : t

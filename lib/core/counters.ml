@@ -25,6 +25,8 @@ type t = {
   mutable clean_picks : int;
   mutable live_index_updates : int;
   mutable checkpoints : int;
+  mutable recovery_replayed_segments : int;
+  mutable recovery_skipped_segments : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable readaheads : int;
@@ -92,6 +94,12 @@ let fields : (string * (t -> int) * (t -> int -> unit)) list =
       (fun t -> t.live_index_updates),
       fun t v -> t.live_index_updates <- v );
     ("checkpoints", (fun t -> t.checkpoints), fun t v -> t.checkpoints <- v);
+    ( "recovery_replayed_segments",
+      (fun t -> t.recovery_replayed_segments),
+      fun t v -> t.recovery_replayed_segments <- v );
+    ( "recovery_skipped_segments",
+      (fun t -> t.recovery_skipped_segments),
+      fun t v -> t.recovery_skipped_segments <- v );
     ("cache_hits", (fun t -> t.cache_hits), fun t v -> t.cache_hits <- v);
     ("cache_misses", (fun t -> t.cache_misses), fun t v -> t.cache_misses <- v);
     ("readaheads", (fun t -> t.readaheads), fun t v -> t.readaheads <- v);
@@ -126,6 +134,8 @@ let create () =
     clean_picks = 0;
     live_index_updates = 0;
     checkpoints = 0;
+    recovery_replayed_segments = 0;
+    recovery_skipped_segments = 0;
     cache_hits = 0;
     cache_misses = 0;
     readaheads = 0;

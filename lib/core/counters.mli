@@ -35,6 +35,10 @@ type t = {
   mutable live_index_updates : int;
       (** mutations of the per-segment live-block reverse index *)
   mutable checkpoints : int;
+  mutable recovery_replayed_segments : int;
+      (** log-tail segments the last recovery actually replayed *)
+  mutable recovery_skipped_segments : int;
+      (** sealed segments the last recovery's checkpoint let it skip *)
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable readaheads : int;

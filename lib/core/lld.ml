@@ -31,12 +31,18 @@ type t = {
   mutable seq_read_run : int; (* consecutive sequential physical reads *)
   counters : Counters.t;
   mutable ckpt_id : int;
-  mutable ckpt_region : int; (* region to write next *)
+  mutable full_region : int; (* region holding the newest durable full *)
+  mutable full_ckpt_id : int; (* its ckpt_id; 0 = no full written yet *)
+  dirty_blocks : (int, unit) Hashtbl.t; (* anchors touched since last full *)
+  dirty_lists : (int, unit) Hashtbl.t;
   mutable sealed_since_ckpt : int;
   pending : (int, Checkpoint.pending_entry list) Hashtbl.t;
   (* reversed emission order; mirrors recovery's per-ARU buffers *)
   mutable in_cleaning : bool;
   mutable in_checkpoint : bool;
+  mutable warming : Recovery.pending option;
+  (* early-open recovery still in progress: reads recover identifiers on
+     demand, the first mutating operation completes the replay *)
   mutable obs : Obs.t; (* observability handle; Obs.null = every probe a no-op *)
 }
 
@@ -72,6 +78,17 @@ let resolve_who t = function
     | None -> raise (Errors.Unknown_aru aid))
 
 let owner_active t o = Hashtbl.mem t.arus (Types.Aru_id.to_int o)
+
+(* Dirty tracking for incremental checkpoints: every site that mutates a
+   persistent anchor — or hands out a committed record that will be
+   promoted into one — marks the identifier.  Over-marking only enlarges
+   the next delta, never breaks it; the sets are cleared when a full
+   checkpoint commits. *)
+let dirty_block t b = Hashtbl.replace t.dirty_blocks (Types.Block_id.to_int b) ()
+let dirty_list t l = Hashtbl.replace t.dirty_lists (Types.List_id.to_int l) ()
+
+let dirty_count t =
+  Hashtbl.length t.dirty_blocks + Hashtbl.length t.dirty_lists
 
 (* Live-index maintenance: every persistent-anchor [phys] change goes
    through one of these, keeping [t.live] an exact reverse map. *)
@@ -143,6 +160,7 @@ and get_open t = match t.open_seg with Some s -> s | None -> open_new t
 and promote_upto t upto_seq =
   let c = cost t in
   let promote_block (r : Record.block) =
+    dirty_block t r.Record.id;
     let anchor = Block_map.anchor t.blocks r.Record.id in
     (match anchor.Record.phys with
     | Some _ -> live_remove t r.Record.id
@@ -172,6 +190,7 @@ and promote_upto t upto_seq =
     cpu t c.Cost.record_transition_ns
   in
   let promote_list (r : Record.list_r) =
+    dirty_list t r.Record.lid;
     let anchor = List_table.anchor t.lists r.Record.lid in
     anchor.Record.exists <- r.Record.exists;
     anchor.Record.first <- r.Record.first;
@@ -260,47 +279,89 @@ and maybe_auto_checkpoint t =
   then checkpoint_internal t
 
 (* Write a checkpoint of the persistent state (plus pending ARU
-   entries); see Checkpoint. *)
-and checkpoint_internal ?(extra_free = []) t =
+   entries); see Checkpoint.  A periodic checkpoint is an incremental
+   delta (the anchors dirtied since the last full, plus tombstones)
+   while the dirty set stays small; [force_full] — mkfs, recovery, and
+   cleaning — writes the complete image.  Cleaning MUST force a full:
+   its reclaimed segments join the free queue right afterwards, and if a
+   later torn delta made recovery fall back to an older full, segments
+   reused in between would tear a hole in that full's sequence walk.
+
+   Region discipline: every checkpoint (either kind) targets the region
+   NOT holding the newest durable full, so a torn write can never
+   destroy the fallback generation.  A completed full takes that region
+   over; deltas are cumulative against the full and keep overwriting the
+   same region. *)
+and checkpoint_internal ?(extra_free = []) ?(force_full = false) t =
   t.in_checkpoint <- true;
   Fun.protect ~finally:(fun () -> t.in_checkpoint <- false) @@ fun () ->
+  let delta =
+    (not force_full) && t.full_ckpt_id > 0
+    && t.config.Config.checkpoint_dirty_threshold > 0
+    && dirty_count t <= t.config.Config.checkpoint_dirty_threshold
+  in
+  let target = 1 - t.full_region in
   Obs.timed t.obs Tr.Checkpoint "write"
-    ~args:[ ("ckpt_id", Tr.I (t.ckpt_id + 1)); ("region", Tr.I t.ckpt_region) ]
+    ~args:
+      [
+        ("ckpt_id", Tr.I (t.ckpt_id + 1));
+        ("region", Tr.I target);
+        ("delta", Tr.I (if delta then 1 else 0));
+        ("dirty", Tr.I (dirty_count t));
+      ]
   @@ fun () ->
   seal t;
+  let block_entry (r : Record.block) =
+    {
+      Checkpoint.b_id = Types.Block_id.to_int r.Record.id;
+      b_member = Option.map Types.List_id.to_int r.Record.member_of;
+      b_succ = Option.map Types.Block_id.to_int r.Record.successor;
+      b_phys =
+        Option.map
+          (fun (p : Record.phys) -> (p.Record.seg_index, p.Record.slot))
+          r.Record.phys;
+      b_stamp = r.Record.stamp;
+    }
+  in
+  let list_entry (r : Record.list_r) =
+    let l_owner =
+      match r.Record.l_owner with
+      | Some o when owner_active t o -> Some (Types.Aru_id.to_int o)
+      | Some _ | None -> None
+    in
+    {
+      Checkpoint.l_id = Types.List_id.to_int r.Record.lid;
+      l_first = Option.map Types.Block_id.to_int r.Record.first;
+      l_last = Option.map Types.Block_id.to_int r.Record.last;
+      l_stamp = r.Record.lstamp;
+      l_owner;
+    }
+  in
   let blocks = ref [] in
-  Block_map.iter t.blocks (fun r ->
-      if r.Record.alloc then
-        blocks :=
-          {
-            Checkpoint.b_id = Types.Block_id.to_int r.Record.id;
-            b_member = Option.map Types.List_id.to_int r.Record.member_of;
-            b_succ = Option.map Types.Block_id.to_int r.Record.successor;
-            b_phys =
-              Option.map
-                (fun (p : Record.phys) -> (p.Record.seg_index, p.Record.slot))
-                r.Record.phys;
-            b_stamp = r.Record.stamp;
-          }
-          :: !blocks);
   let lists = ref [] in
-  List_table.iter t.lists (fun r ->
-      if r.Record.exists then begin
-        let l_owner =
-          match r.Record.l_owner with
-          | Some o when owner_active t o -> Some (Types.Aru_id.to_int o)
-          | Some _ | None -> None
-        in
-        lists :=
-          {
-            Checkpoint.l_id = Types.List_id.to_int r.Record.lid;
-            l_first = Option.map Types.Block_id.to_int r.Record.first;
-            l_last = Option.map Types.Block_id.to_int r.Record.last;
-            l_stamp = r.Record.lstamp;
-            l_owner;
-          }
-          :: !lists
-      end);
+  let dead_blocks = ref [] in
+  let dead_lists = ref [] in
+  if delta then begin
+    let sorted tbl = List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl []) in
+    List.iter
+      (fun bi ->
+        let r = Block_map.anchor t.blocks (Types.Block_id.of_int bi) in
+        if r.Record.alloc then blocks := block_entry r :: !blocks
+        else dead_blocks := bi :: !dead_blocks)
+      (sorted t.dirty_blocks);
+    List.iter
+      (fun li ->
+        match List_table.find_anchor t.lists (Types.List_id.of_int li) with
+        | Some r when r.Record.exists -> lists := list_entry r :: !lists
+        | Some _ | None -> dead_lists := li :: !dead_lists)
+      (sorted t.dirty_lists)
+  end
+  else begin
+    Block_map.iter t.blocks (fun r ->
+        if r.Record.alloc then blocks := block_entry r :: !blocks);
+    List_table.iter t.lists (fun r ->
+        if r.Record.exists then lists := list_entry r :: !lists)
+  end;
   let pending =
     Hashtbl.fold (fun aru rev acc -> (aru, List.rev rev) :: acc) t.pending []
   in
@@ -312,18 +373,28 @@ and checkpoint_internal ?(extra_free = []) t =
   let snap =
     {
       Checkpoint.ckpt_id = t.ckpt_id;
+      kind =
+        (if delta then Checkpoint.Delta { base_id = t.full_ckpt_id }
+         else Checkpoint.Full);
       covered_seq = t.next_seq - 1;
       next_seq = t.next_seq;
       stamp = t.stamp;
       next_aru = t.next_aru;
       blocks = List.rev !blocks;
       lists = List.rev !lists;
+      dead_blocks = List.rev !dead_blocks;
+      dead_lists = List.rev !dead_lists;
       pending;
       free_order;
     }
   in
-  Checkpoint.write t.disk ~region:t.ckpt_region snap;
-  t.ckpt_region <- 1 - t.ckpt_region;
+  Checkpoint.write t.disk ~region:target snap;
+  if not delta then begin
+    t.full_region <- target;
+    t.full_ckpt_id <- t.ckpt_id;
+    Hashtbl.reset t.dirty_blocks;
+    Hashtbl.reset t.dirty_lists
+  end;
   t.sealed_since_ckpt <- 0;
   t.counters.Counters.checkpoints <- t.counters.Counters.checkpoints + 1
 
@@ -420,8 +491,10 @@ and clean_internal t ~target_free =
         List.iter (relocate_live_blocks t) !victims;
         flush t;
         (* the victims join the free queue right after this checkpoint,
-           so they must already appear in its free order *)
-        checkpoint_internal t ~extra_free:(List.rev !victims);
+           so they must already appear in its free order; forced full so
+           no earlier generation recovery could fall back to predates
+           their reuse *)
+        checkpoint_internal t ~extra_free:(List.rev !victims) ~force_full:true;
         List.iter
           (fun idx ->
             if live_count t idx <> 0 then
@@ -503,7 +576,8 @@ and relocate_live_blocks t victim =
          end
          else begin
            live_add t phys.Record.seg_index bid;
-           anchor.Record.phys <- Some phys
+           anchor.Record.phys <- Some phys;
+           dirty_block t bid
          end);
         t.counters.Counters.blocks_copied_clean <-
           t.counters.Counters.blocks_copied_clean + 1;
@@ -599,6 +673,7 @@ and committed_peek t b =
   end
 
 and committed_get t b =
+  dirty_block t b;
   let anchor = Block_map.anchor t.blocks b in
   if not (concurrent t) then anchor
   else begin
@@ -627,6 +702,7 @@ and committed_peek_list t l =
   end
 
 and committed_get_list t l =
+  dirty_list t l;
   let anchor = List_table.anchor t.lists l in
   if not (concurrent t) then anchor
   else begin
@@ -833,6 +909,61 @@ and read_phys t (p : Record.phys) =
         Lru.add t.cache gslot (Bytes.copy data);
         data
       end)
+
+(* ------------------------------------------------------------------ *)
+(* Early-open recovery: finishing the warming replay and rebuilding the
+   run-time structures (live index, sealed flags, free queue) that the
+   lazy handle could not know yet.  Ends with a forced full checkpoint —
+   the only disk writes recovery performs. *)
+
+let finalize_recovery t (restored : Recovery.restored) =
+  let report = restored.Recovery.r_report in
+  t.next_seq <- restored.Recovery.r_next_seq;
+  t.stamp <- restored.Recovery.r_stamp;
+  t.next_aru <- restored.Recovery.r_next_aru;
+  t.ckpt_id <- report.Recovery.checkpoint_id;
+  (* rebuild segment liveness from the recovered block map; seal
+     sequences are unknown after a crash, so they stay 0 — recovered
+     segments look maximally old to the cost-benefit policy, which is
+     the conservative choice (clean them first) *)
+  Block_map.iter t.blocks (fun r ->
+      match r.Record.phys with
+      | Some p -> live_add t p.Record.seg_index r.Record.id
+      | None -> ());
+  for i = Disk_layout.log_first t.geom to t.geom.Geometry.num_segments - 1 do
+    if live_count t i > 0 then t.sealed.(i) <- true
+    else Queue.push i t.free_segs
+  done;
+  t.counters.Counters.recovery_replayed_segments <-
+    report.Recovery.segments_replayed;
+  t.counters.Counters.recovery_skipped_segments <-
+    report.Recovery.segments_skipped;
+  (* a fresh full checkpoint makes every unreferenced log segment free;
+     it must target the region NOT holding the full base just recovered
+     from, or a crash during this write would lose both generations *)
+  t.full_region <- report.Recovery.full_region;
+  t.full_ckpt_id <- 0;
+  checkpoint_internal t ~force_full:true
+
+let complete_recovery t =
+  match t.warming with
+  | None -> None
+  | Some p ->
+    t.warming <- None;
+    let restored = Recovery.finish p in
+    finalize_recovery t restored;
+    Some restored.Recovery.r_report
+
+let warm t = if t.warming <> None then ignore (complete_recovery t)
+
+let touch_block t b =
+  match t.warming with Some p -> Recovery.touch_block p b | None -> ()
+
+let touch_list t l =
+  match t.warming with Some p -> Recovery.touch_list p l | None -> ()
+
+let recovery_pending t =
+  match t.warming with Some p -> Recovery.pending_groups p | None -> 0
 
 (* ------------------------------------------------------------------ *)
 
@@ -1274,6 +1405,7 @@ let end_aru t aid =
      lists: clear the owner marks so scavengers leave them alone *)
   List.iter
     (fun (r : Record.list_r) ->
+      dirty_list t r.Record.lid;
       (match r.Record.l_owner with
       | Some o when Types.Aru_id.equal o aid -> r.Record.l_owner <- None
       | Some _ | None -> ());
@@ -1318,30 +1450,50 @@ let abort_aru t aid =
    [op] trace span.  With {!Obs.null} attached (the default) a wrapper
    is one field read and a direct call — the cost model never sees it. *)
 
-let begin_aru t = Obs.timed t.obs Tr.Op "begin_aru" (fun () -> begin_aru t)
+let begin_aru t =
+  Obs.timed t.obs Tr.Op "begin_aru" (fun () ->
+      warm t;
+      begin_aru t)
+
 let end_aru t aid = Obs.timed t.obs Tr.Op "end_aru" (fun () -> end_aru t aid)
 
 let abort_aru t aid =
   Obs.timed t.obs Tr.Op "abort_aru" (fun () -> abort_aru t aid)
 
 let new_list t ?aru () =
-  Obs.timed t.obs Tr.Op "new_list" (fun () -> new_list t ?aru ())
+  Obs.timed t.obs Tr.Op "new_list" (fun () ->
+      warm t;
+      new_list t ?aru ())
 
 let new_block t ?aru ~list ~pred () =
-  Obs.timed t.obs Tr.Op "new_block" (fun () -> new_block t ?aru ~list ~pred ())
+  Obs.timed t.obs Tr.Op "new_block" (fun () ->
+      warm t;
+      new_block t ?aru ~list ~pred ())
 
 let write t ?aru block data =
-  Obs.timed t.obs Tr.Op "write" (fun () -> write t ?aru block data)
+  Obs.timed t.obs Tr.Op "write" (fun () ->
+      warm t;
+      write t ?aru block data)
 
-let read t ?aru block = Obs.timed t.obs Tr.Op "read" (fun () -> read t ?aru block)
+let read t ?aru block =
+  Obs.timed t.obs Tr.Op "read" (fun () ->
+      touch_block t block;
+      read t ?aru block)
 
 let delete_block t ?aru block =
-  Obs.timed t.obs Tr.Op "delete_block" (fun () -> delete_block t ?aru block)
+  Obs.timed t.obs Tr.Op "delete_block" (fun () ->
+      warm t;
+      delete_block t ?aru block)
 
 let delete_list t ?aru list =
-  Obs.timed t.obs Tr.Op "delete_list" (fun () -> delete_list t ?aru list)
+  Obs.timed t.obs Tr.Op "delete_list" (fun () ->
+      warm t;
+      delete_list t ?aru list)
 
-let flush t = Obs.timed t.obs Tr.Op "flush" (fun () -> flush t)
+let flush t =
+  Obs.timed t.obs Tr.Op "flush" (fun () ->
+      warm t;
+      flush t)
 
 let with_aru t f =
   let aru = begin_aru t in
@@ -1359,11 +1511,13 @@ let with_aru t f =
 (* Introspection                                                       *)
 
 let list_exists t ?aru list =
+  touch_list t list;
   let who = resolve_who t aru in
   let r = visible_list t who list in
   r.Record.exists && owner_visible t who r.Record.l_owner
 
 let block_allocated t ?aru block =
+  touch_block t block;
   let who = resolve_who t aru in
   if not (Block_map.in_range t.blocks block) then false
   else begin
@@ -1372,6 +1526,7 @@ let block_allocated t ?aru block =
   end
 
 let block_member t ?aru block =
+  touch_block t block;
   let who = resolve_who t aru in
   let r = visible_block t who block in
   if r.Record.alloc && owner_visible t who r.Record.alloc_owner then
@@ -1379,6 +1534,7 @@ let block_member t ?aru block =
   else None
 
 let list_blocks t ?aru list =
+  touch_list t list;
   let who = resolve_who t aru in
   let lrec = visible_list t who list in
   require_visible_list t who lrec;
@@ -1391,6 +1547,7 @@ let list_blocks t ?aru list =
   walk [] lrec.Record.first
 
 let lists t =
+  warm t;
   let acc = ref [] in
   List_table.iter t.lists (fun anchor ->
       let r =
@@ -1415,11 +1572,15 @@ let active_arus t =
 let checkpoint t =
   if t.config.Config.mode = Config.Sequential && t.seq_aru <> None then
     raise Errors.Aru_already_active;
+  warm t;
   checkpoint_internal t
 
-let clean t ~target_free = clean_internal t ~target_free
+let clean t ~target_free =
+  warm t;
+  clean_internal t ~target_free
 
 let orphan_blocks t =
+  warm t;
   flush t;
   let acc = ref [] in
   Block_map.iter t.blocks (fun anchor ->
@@ -1438,6 +1599,7 @@ let orphan_blocks t =
    [orphan_blocks]/[scavenge]: meaningful right after [recover], before
    any new operations run. *)
 let recovery_invariant_errors t =
+  warm t;
   let errs = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
   let n_arus = Hashtbl.length t.arus in
@@ -1489,6 +1651,7 @@ let recovery_invariant_errors t =
   List.rev !errs
 
 let scavenge t =
+  warm t;
   flush t;
   let freed = ref 0 in
   (* still-empty lists allocated by an ARU that is no longer active *)
@@ -1630,11 +1793,16 @@ let make ~config ~disk ~blocks ~lists ~next_seq ~stamp ~next_aru ~ckpt_id =
       seq_read_run = 0;
       counters = Counters.create ();
       ckpt_id;
-      ckpt_region = 0;
+      full_region = 1;
+      (* so the first full checkpoint targets region 0 *)
+      full_ckpt_id = 0;
+      dirty_blocks = Hashtbl.create 256;
+      dirty_lists = Hashtbl.create 64;
       sealed_since_ckpt = 0;
       pending = Hashtbl.create 16;
       in_cleaning = false;
       in_checkpoint = false;
+      warming = None;
       obs = Obs.null;
     }
   in
@@ -1667,38 +1835,41 @@ let create ?(config = Config.default) ?(obs = Obs.null) disk =
     Queue.push i t.free_segs
   done;
   set_obs t obs;
-  (* both regions get the empty state so no stale checkpoint survives *)
-  checkpoint_internal t;
-  checkpoint_internal t;
+  (* both regions get the empty state (as fulls) so no stale checkpoint
+     survives *)
+  checkpoint_internal t ~force_full:true;
+  checkpoint_internal t ~force_full:true;
   t
 
 let recover ?(config = Config.default) ?(obs = Obs.null) disk =
   Lld_disk.Fault.reset_after_recovery (Disk.fault disk);
   Disk.set_obs disk obs;
-  let restored = Recovery.run ~obs ~sweep:config.Config.recovery_sweep disk in
-  let geom = Disk.geometry disk in
-  let t =
-    make ~config ~disk ~blocks:restored.Recovery.r_blocks
-      ~lists:restored.Recovery.r_lists ~next_seq:restored.Recovery.r_next_seq
-      ~stamp:restored.Recovery.r_stamp ~next_aru:restored.Recovery.r_next_aru
-      ~ckpt_id:restored.Recovery.r_report.Recovery.checkpoint_id
+  let prepared =
+    Recovery.prepare ~obs ~sweep:config.Config.recovery_sweep
+      ~parallel:config.Config.recovery_parallel disk
   in
-  (* rebuild segment liveness from the recovered block map; seal
-     sequences are unknown after a crash, so they stay 0 — recovered
-     segments look maximally old to the cost-benefit policy, which is
-     the conservative choice (clean them first) *)
-  Block_map.iter t.blocks (fun r ->
-      match r.Record.phys with
-      | Some p -> live_add t p.Record.seg_index r.Record.id
-      | None -> ());
-  for i = Disk_layout.log_first geom to geom.Geometry.num_segments - 1 do
-    if live_count t i > 0 then t.sealed.(i) <- true
-    else Queue.push i t.free_segs
-  done;
-  (* a fresh checkpoint makes every unreferenced log segment free; it
-     must not overwrite the region just recovered from, or a crash
-     during this write would lose both checkpoints *)
-  set_obs t obs;
-  t.ckpt_region <- 1 - restored.Recovery.r_report.Recovery.checkpoint_region;
-  checkpoint_internal t;
-  (t, restored.Recovery.r_report)
+  let blocks, lists = Recovery.tables prepared in
+  if config.Config.recovery_early_open then begin
+    (* open for reads immediately: blocks/lists recover on demand, the
+       first mutating operation (or [complete_recovery]) finishes.  The
+       report carries only the parse-phase facts so far. *)
+    let report = Recovery.preliminary_report prepared in
+    let t =
+      make ~config ~disk ~blocks ~lists ~next_seq:0 ~stamp:0 ~next_aru:1
+        ~ckpt_id:report.Recovery.checkpoint_id
+    in
+    t.warming <- Some prepared;
+    set_obs t obs;
+    (t, report)
+  end
+  else begin
+    let restored = Recovery.finish prepared in
+    let t =
+      make ~config ~disk ~blocks ~lists ~next_seq:restored.Recovery.r_next_seq
+        ~stamp:restored.Recovery.r_stamp ~next_aru:restored.Recovery.r_next_aru
+        ~ckpt_id:restored.Recovery.r_report.Recovery.checkpoint_id
+    in
+    set_obs t obs;
+    finalize_recovery t restored;
+    (t, restored.Recovery.r_report)
+  end

@@ -35,7 +35,26 @@ val recover :
     sweep, and writes a fresh checkpoint.  Raises [Errors.Corrupt] on an
     unformatted disk.  [obs] is attached before recovery runs, so the
     [recovery] phase spans and the disk reads of the log-tail replay
-    appear in the trace. *)
+    appear in the trace.
+
+    With {!Config.t.recovery_early_open} set, [recover] returns as soon
+    as the checkpoint is restored and the log tail scanned ({e early
+    open}): reads and introspection recover each logical block or list
+    on demand, and the first mutating operation — or an explicit
+    {!complete_recovery} — finishes the replay, the sweep and the
+    post-recovery checkpoint.  The returned report then carries only the
+    parse-phase facts (checkpoint identity, segments replayed / skipped
+    / invalid, group count); replay and sweep tallies are zero. *)
+
+val complete_recovery : t -> Recovery.report option
+(** Finish an early-open recovery now: apply the remaining replay
+    groups, run the consistency sweep, rebuild the free-segment queue
+    and write the post-recovery checkpoint.  Returns the final report,
+    or [None] when recovery was already complete.  Idempotent. *)
+
+val recovery_pending : t -> int
+(** Replay groups not yet applied by an early-open recovery (0 once
+    warm). *)
 
 (** {1 The LD interface} *)
 
@@ -125,11 +144,14 @@ val block_bytes : t -> int
 (** {1 Maintenance} *)
 
 val checkpoint : t -> unit
-(** Flush, then write a checkpoint, bounding recovery replay.  Safe at
-    any time in concurrent mode (pending ARU entries travel with the
-    checkpoint); in sequential mode raises [Errors.Aru_already_active]
-    while an ARU is open — the old prototype must quiesce (DESIGN.md
-    §5.3). *)
+(** Flush, then write a checkpoint, bounding recovery replay.  Written
+    as an incremental delta while the set of anchors dirtied since the
+    last full checkpoint is at most
+    {!Config.t.checkpoint_dirty_threshold}, as a full image otherwise
+    (see {!Checkpoint}).  Safe at any time in concurrent mode (pending
+    ARU entries travel with the checkpoint); in sequential mode raises
+    [Errors.Aru_already_active] while an ARU is open — the old prototype
+    must quiesce (DESIGN.md §5.3). *)
 
 val clean : t -> target_free:int -> unit
 (** Run the segment cleaner until at least [target_free] segments are

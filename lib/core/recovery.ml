@@ -6,9 +6,13 @@ module Tr = Lld_obs.Trace
 
 type report = {
   checkpoint_id : int;
-  checkpoint_region : int;  (* region the restored checkpoint came from *)
+  checkpoint_region : int;  (* region of the generation restored *)
+  full_region : int;  (* region of the full base that generation rests on *)
   covered_seq : int;
   segments_replayed : int;
+  segments_skipped : int;
+  replay_groups : int;
+  parallel_replay : bool;
   invalid_segments : int;
   entries_applied : int;
   arus_committed : int;
@@ -22,11 +26,14 @@ type report = {
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>checkpoint %d (covers seq %d)@,\
-     segments: %d replayed, %d invalid@,\
+     segments: %d replayed, %d skipped, %d invalid@,\
+     replay: %d groups%s@,\
      entries applied %d (skipped %d)@,\
      ARUs: %d committed, %d discarded (%d entries)@,\
      blocks scavenged %d@]"
-    r.checkpoint_id r.covered_seq r.segments_replayed r.invalid_segments
+    r.checkpoint_id r.covered_seq r.segments_replayed r.segments_skipped
+    r.invalid_segments r.replay_groups
+    (if r.parallel_replay then " (parallel)" else "")
     r.entries_applied r.replay_skips r.arus_committed r.arus_discarded
     r.entries_discarded (r.blocks_scavenged + r.lists_scavenged)
 
@@ -39,32 +46,44 @@ type restored = {
   r_report : report;
 }
 
-type state = {
-  blocks : Block_map.t;
-  lists : List_table.t;
-  buffers : (int, Checkpoint.pending_entry list) Hashtbl.t; (* reverse order *)
-  committed_arus : (int, unit) Hashtbl.t;
-  mutable applied : int;
-  mutable skips : int;
-  mutable committed : int;
-  mutable max_stamp : int;
-  mutable max_aru : int;
+(* ------------------------------------------------------------------ *)
+(* Per-group replay state.  Replay is partitioned by dependency: all
+   entries naming the same logical block / list / ARU land in the same
+   group, so groups touch disjoint sets of persistent records and can be
+   applied on separate domains without synchronisation. *)
+
+type gstate = {
+  g_blocks : Block_map.t;  (* shared; groups touch disjoint anchors *)
+  g_lists : List_table.t;  (* shared; all anchors pre-created *)
+  g_buffers : (int, Checkpoint.pending_entry list) Hashtbl.t; (* reverse order *)
+  g_committed : (int, unit) Hashtbl.t;
+  mutable g_applied : int;
+  mutable g_skips : int;
+  mutable g_ncommitted : int;
+  mutable g_max_stamp : int;
+  mutable g_max_aru : int;
+}
+
+type group = {
+  gr_entries : (int * Summary.t) array;  (* (disk segment, entry), log order *)
+  gr_state : gstate;
+  mutable gr_applied : bool;
 }
 
 let persistent_ctx st =
   {
-    Splice.peek_block = (fun b -> Block_map.anchor st.blocks b);
-    get_block = (fun b -> Block_map.anchor st.blocks b);
-    peek_list = (fun l -> List_table.anchor st.lists l);
-    get_list = (fun l -> List_table.anchor st.lists l);
+    Splice.peek_block = (fun b -> Block_map.anchor st.g_blocks b);
+    get_block = (fun b -> Block_map.anchor st.g_blocks b);
+    peek_list = (fun l -> List_table.anchor st.g_lists l);
+    get_list = (fun l -> List_table.anchor st.g_lists l);
     on_pred_hop = ignore;
   }
 
-let note_stamp st stamp = if stamp > st.max_stamp then st.max_stamp <- stamp
+let note_stamp st stamp = if stamp > st.g_max_stamp then st.g_max_stamp <- stamp
 
 let count_outcome st = function
-  | `Applied -> st.applied <- st.applied + 1
-  | `Skipped -> st.skips <- st.skips + 1
+  | `Applied -> st.g_applied <- st.g_applied + 1
+  | `Skipped -> st.g_skips <- st.g_skips + 1
 
 (* Apply one operation to the persistent state.  This function mirrors
    the committed-state semantics of the runtime exactly (see Splice). *)
@@ -72,41 +91,41 @@ let rec apply_op st ~seg op =
   let ctx = persistent_ctx st in
   match op with
   | Summary.Alloc { block; list = _; stamp } ->
-    let r = Block_map.anchor st.blocks block in
+    let r = Block_map.anchor st.g_blocks block in
     r.Record.alloc <- true;
     r.Record.member_of <- None;
     r.Record.successor <- None;
     r.Record.phys <- None;
     r.Record.stamp <- stamp;
     note_stamp st stamp;
-    st.applied <- st.applied + 1
+    st.g_applied <- st.g_applied + 1
   | Summary.Write { block; slot; stamp } ->
-    let r = Block_map.anchor st.blocks block in
+    let r = Block_map.anchor st.g_blocks block in
     if r.Record.alloc && stamp >= r.Record.stamp then begin
       r.Record.phys <- Some { Record.seg_index = seg; slot };
       r.Record.stamp <- stamp;
-      st.applied <- st.applied + 1
+      st.g_applied <- st.g_applied + 1
     end
-    else st.skips <- st.skips + 1;
+    else st.g_skips <- st.g_skips + 1;
     note_stamp st stamp
   | Summary.Link { list; block; pred } ->
     count_outcome st (Splice.insert ctx ~list ~block ~pred)
   | Summary.Unlink { list; block } ->
     count_outcome st (Splice.unlink ctx ~list ~block)
   | Summary.New_list { list; stamp; owner } ->
-    let r = List_table.anchor st.lists list in
+    let r = List_table.anchor st.g_lists list in
     r.Record.exists <- true;
     r.Record.first <- None;
     r.Record.last <- None;
     r.Record.lstamp <- stamp;
     r.Record.l_owner <- owner;
     note_stamp st stamp;
-    st.applied <- st.applied + 1
+    st.g_applied <- st.g_applied + 1
   | Summary.Delete_list { list } ->
     let dealloc br = br.Record.phys <- None in
     count_outcome st (Splice.delete_list ctx ~list ~dealloc)
   | Summary.Dealloc { block; stamp } ->
-    let r = Block_map.anchor st.blocks block in
+    let r = Block_map.anchor st.g_blocks block in
     if r.Record.alloc then begin
       (* a block is deallocated together with its list membership; a
          Dealloc entry follows the Unlink (or stands alone for a block
@@ -116,37 +135,37 @@ let rec apply_op st ~seg op =
       r.Record.successor <- None;
       r.Record.phys <- None;
       r.Record.stamp <- stamp;
-      st.applied <- st.applied + 1
+      st.g_applied <- st.g_applied + 1
     end
-    else st.skips <- st.skips + 1;
+    else st.g_skips <- st.g_skips + 1;
     note_stamp st stamp
   | Summary.Commit { aru } ->
     let key = Types.Aru_id.to_int aru in
     let buffered =
-      match Hashtbl.find_opt st.buffers key with
+      match Hashtbl.find_opt st.g_buffers key with
       | None -> []
       | Some rev -> List.rev rev
     in
-    Hashtbl.remove st.buffers key;
-    Hashtbl.replace st.committed_arus key ();
+    Hashtbl.remove st.g_buffers key;
+    Hashtbl.replace st.g_committed key ();
     List.iter
       (fun pe -> apply_op st ~seg:pe.Checkpoint.pe_seg pe.Checkpoint.pe_op)
       buffered;
-    st.committed <- st.committed + 1;
-    st.applied <- st.applied + 1
+    st.g_ncommitted <- st.g_ncommitted + 1;
+    st.g_applied <- st.g_applied + 1
 
 let replay_entry st ~seg (entry : Summary.t) =
   (match entry.Summary.stream with
   | Summary.In_aru a ->
     let i = Types.Aru_id.to_int a in
-    if i >= st.max_aru then st.max_aru <- i + 1
+    if i >= st.g_max_aru then st.g_max_aru <- i + 1
   | Summary.Simple -> ());
   match (entry.Summary.stream, entry.Summary.op) with
   | Summary.Simple, op -> apply_op st ~seg op
   | Summary.In_aru aru, op ->
     let key = Types.Aru_id.to_int aru in
-    let prev = Option.value ~default:[] (Hashtbl.find_opt st.buffers key) in
-    Hashtbl.replace st.buffers key
+    let prev = Option.value ~default:[] (Hashtbl.find_opt st.g_buffers key) in
+    Hashtbl.replace st.g_buffers key
       ({ Checkpoint.pe_op = op; pe_seg = seg } :: prev)
 
 let restore_checkpoint geom snap =
@@ -175,87 +194,244 @@ let restore_checkpoint geom snap =
     snap.Checkpoint.lists;
   (blocks, lists)
 
-let scavenge st =
-  let n = ref 0 in
-  Block_map.iter st.blocks (fun r ->
-      if r.Record.alloc && r.Record.member_of = None then begin
-        r.Record.alloc <- false;
-        r.Record.successor <- None;
-        r.Record.phys <- None;
-        incr n
-      end);
-  !n
+(* ------------------------------------------------------------------ *)
+(* Dependency partitioning: union-find over block / list / ARU nodes.
+   Two entries end up in the same group iff a chain of shared
+   identifiers connects them — including identifiers related only
+   through checkpoint state (list membership, pending ARU entries), so
+   operations that walk a list chain (Unlink's predecessor search,
+   Delete_list's full-chain deallocation) stay within their group. *)
 
-(* Free still-empty lists whose allocating ARU never committed (the
-   list-space analogue of the paper's block consistency sweep). *)
-let scavenge_lists st =
-  let n = ref 0 in
-  List_table.iter st.lists (fun r ->
+module Uf = struct
+  type t = { mutable parent : int array; mutable rank : int array; mutable n : int }
+
+  let create () = { parent = Array.make 256 0; rank = Array.make 256 0; n = 0 }
+
+  let fresh t =
+    if t.n = Array.length t.parent then begin
+      let parent = Array.make (2 * t.n) 0 and rank = Array.make (2 * t.n) 0 in
+      Array.blit t.parent 0 parent 0 t.n;
+      Array.blit t.rank 0 rank 0 t.n;
+      t.parent <- parent;
+      t.rank <- rank
+    end;
+    let i = t.n in
+    t.parent.(i) <- i;
+    t.n <- t.n + 1;
+    i
+
+  let rec find t i =
+    let p = t.parent.(i) in
+    if p = i then i
+    else begin
+      let root = find t p in
+      t.parent.(i) <- root;
+      root
+    end
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra <> rb then
+      if t.rank.(ra) < t.rank.(rb) then t.parent.(ra) <- rb
+      else begin
+        t.parent.(rb) <- ra;
+        if t.rank.(ra) = t.rank.(rb) then t.rank.(ra) <- t.rank.(ra) + 1
+      end
+end
+
+type node_key = Nblock of int | Nlist of int | Naru of int
+
+type partition = {
+  uf : Uf.t;
+  nodes : (node_key, int) Hashtbl.t;
+}
+
+let node p key =
+  match Hashtbl.find_opt p.nodes key with
+  | Some i -> i
+  | None ->
+    let i = Uf.fresh p.uf in
+    Hashtbl.replace p.nodes key i;
+    i
+
+let find_node p key = Hashtbl.find_opt p.nodes key
+
+(* All identifiers an operation names directly.  Chain walks (Unlink,
+   Delete_list) reach blocks the entry does not name; those blocks are
+   connected to the list through their own Link entries or through the
+   checkpoint's membership edges, so the union still covers them. *)
+let op_nodes p = function
+  | Summary.Alloc { block; list; _ } ->
+    [ node p (Nblock (Types.Block_id.to_int block));
+      node p (Nlist (Types.List_id.to_int list)) ]
+  | Summary.Write { block; _ } | Summary.Dealloc { block; _ } ->
+    [ node p (Nblock (Types.Block_id.to_int block)) ]
+  | Summary.Link { list; block; pred } ->
+    node p (Nlist (Types.List_id.to_int list))
+    :: node p (Nblock (Types.Block_id.to_int block))
+    ::
+    (match pred with
+    | Summary.Head -> []
+    | Summary.After b -> [ node p (Nblock (Types.Block_id.to_int b)) ])
+  | Summary.Unlink { list; block } ->
+    [ node p (Nlist (Types.List_id.to_int list));
+      node p (Nblock (Types.Block_id.to_int block)) ]
+  | Summary.New_list { list; owner; _ } ->
+    node p (Nlist (Types.List_id.to_int list))
+    ::
+    (match owner with
+    | None -> []
+    | Some a -> [ node p (Naru (Types.Aru_id.to_int a)) ])
+  | Summary.Delete_list { list } ->
+    [ node p (Nlist (Types.List_id.to_int list)) ]
+  | Summary.Commit { aru } -> [ node p (Naru (Types.Aru_id.to_int aru)) ]
+
+let union_all p = function
+  | [] | [ _ ] -> ()
+  | first :: rest -> List.iter (fun n -> Uf.union p.uf first n) rest
+
+(* ------------------------------------------------------------------ *)
+(* The lazy recovery handle: checkpoint restored and log tail scanned,
+   replay organised into independent groups but not necessarily applied
+   yet.  [touch_*] recovers one logical identifier on demand (early
+   open); [finish] applies everything left, sweeps and reports. *)
+
+type pending = {
+  p_obs : Obs.t;
+  p_sweep : bool;
+  p_parallel : bool;
+  p_blocks : Block_map.t;
+  p_lists : List_table.t;
+  p_snap : Checkpoint.snapshot;  (* effective snapshot restored *)
+  p_region : int;
+  p_full_region : int;
+  p_groups : group array;
+  p_partition : partition;
+  p_group_of_root : (int, int) Hashtbl.t;  (* UF root -> index in p_groups *)
+  p_next_seq : int;
+  p_segments_replayed : int;
+  p_invalid_segments : int;
+  mutable p_blocks_scavenged : int;
+  mutable p_lists_scavenged : int;
+  mutable p_used_domains : bool;
+  mutable p_finished : restored option;
+}
+
+let tables p = (p.p_blocks, p.p_lists)
+let pending_groups p =
+  Array.fold_left (fun acc g -> if g.gr_applied then acc else acc + 1) 0 p.p_groups
+
+let group_of p key =
+  match find_node p.p_partition key with
+  | None -> None
+  | Some n -> (
+    match Hashtbl.find_opt p.p_group_of_root (Uf.find p.p_partition.uf n) with
+    | None -> None
+    | Some i -> Some p.p_groups.(i))
+
+let apply_group g =
+  if not g.gr_applied then begin
+    g.gr_applied <- true;
+    Array.iter
+      (fun (seg, entry) -> replay_entry g.gr_state ~seg entry)
+      g.gr_entries
+  end
+
+(* Local consistency sweep of one identifier, taken after its group is
+   fully applied: the record then holds its final replay state, so the
+   per-identifier decision is exactly the global sweep's (paper §3.3)
+   and sweeping it again later is a no-op. *)
+let sweep_block p b =
+  if p.p_sweep then begin
+    let r = Block_map.anchor p.p_blocks b in
+    if r.Record.alloc && r.Record.member_of = None then begin
+      r.Record.alloc <- false;
+      r.Record.successor <- None;
+      r.Record.phys <- None;
+      p.p_blocks_scavenged <- p.p_blocks_scavenged + 1
+    end
+  end
+
+let aru_committed p o =
+  match group_of p (Naru (Types.Aru_id.to_int o)) with
+  | None -> false
+  | Some g -> Hashtbl.mem g.gr_state.g_committed (Types.Aru_id.to_int o)
+
+let sweep_list p l =
+  if p.p_sweep then
+    match List_table.find_anchor p.p_lists l with
+    | None -> ()
+    | Some r -> (
       match r.Record.l_owner with
-      | Some o when Hashtbl.mem st.committed_arus (Types.Aru_id.to_int o) ->
-        r.Record.l_owner <- None
+      | Some o when aru_committed p o -> r.Record.l_owner <- None
       | Some _ when r.Record.exists && r.Record.first = None ->
         r.Record.exists <- false;
         r.Record.l_owner <- None;
-        incr n
+        p.p_lists_scavenged <- p.p_lists_scavenged + 1
       | Some _ ->
         (* uncommitted owner but no longer empty: the owning ARU died
            (aborted) and a later simple operation linked a member, so
            the list legitimately survives — only the stale mark goes *)
         r.Record.l_owner <- None
-      | None -> ());
-  !n
+      | None -> ())
+
+let touch_block p b =
+  if Block_map.in_range p.p_blocks b then begin
+    (match group_of p (Nblock (Types.Block_id.to_int b)) with
+    | Some g when not g.gr_applied ->
+      Obs.instant p.p_obs Tr.Recovery "on_demand"
+        [ ("block", Tr.I (Types.Block_id.to_int b)) ];
+      apply_group g
+    | Some _ | None -> ());
+    sweep_block p b
+  end
+
+let touch_list p l =
+  (match group_of p (Nlist (Types.List_id.to_int l)) with
+  | Some g when not g.gr_applied ->
+    Obs.instant p.p_obs Tr.Recovery "on_demand"
+      [ ("list", Tr.I (Types.List_id.to_int l)) ];
+    apply_group g
+  | Some _ | None -> ());
+  sweep_list p l
+
+(* ------------------------------------------------------------------ *)
 
 let read_region_safe disk ~region =
   match Checkpoint.read_region disk ~region with
   | snap -> snap
   | exception Fault.Media_error _ -> None
 
-let run ?(obs = Obs.null) ?(sweep = true) disk =
+(* Generation selection over possibly-failing media: an unreadable
+   region is treated as empty. *)
+let read_best_safe disk =
+  Checkpoint.select
+    ~region0:(read_region_safe disk ~region:0)
+    ~region1:(read_region_safe disk ~region:1)
+
+let prepare ?(obs = Obs.null) ?(sweep = true) ?(parallel = true) disk =
   let geom = Disk.geometry disk in
-  let snap, region, blocks, lists =
+  let best, blocks, lists =
     Obs.timed obs Tr.Recovery "checkpoint_restore" @@ fun () ->
-    let snap, region =
-      match
-        (read_region_safe disk ~region:0, read_region_safe disk ~region:1)
-      with
-      | None, None ->
-        raise (Errors.Corrupt "no valid checkpoint: disk not formatted")
-      | Some a, None -> (a, 0)
-      | None, Some b -> (b, 1)
-      | Some a, Some b ->
-        if a.Checkpoint.ckpt_id >= b.Checkpoint.ckpt_id then (a, 0) else (b, 1)
+    let best =
+      match read_best_safe disk with
+      | None -> raise (Errors.Corrupt "no valid checkpoint: disk not formatted")
+      | Some b -> b
     in
-    let blocks, lists = restore_checkpoint geom snap in
-    (snap, region, blocks, lists)
+    let blocks, lists = restore_checkpoint geom best.Checkpoint.best_snap in
+    (best, blocks, lists)
   in
-  let buffers = Hashtbl.create 16 in
-  List.iter
-    (fun (aru, entries) -> Hashtbl.replace buffers aru (List.rev entries))
-    snap.Checkpoint.pending;
-  let st =
-    {
-      blocks;
-      lists;
-      buffers;
-      committed_arus = Hashtbl.create 16;
-      applied = 0;
-      skips = 0;
-      committed = 0;
-      max_stamp = snap.Checkpoint.stamp;
-      max_aru = snap.Checkpoint.next_aru;
-    }
-  in
-  (* Find and replay the log tail.  The checkpoint records the exact
-     order in which free segments will be used, so recovery reads along
-     that order until the sequence numbers stop being contiguous (a
-     torn, stale or unwritten segment ends the stream there).  A
-     checkpoint without the order (never produced by this
-     implementation, but tolerated) falls back to scanning the whole
-     partition. *)
+  let snap = best.Checkpoint.best_snap in
+  (* Find the log tail: read along the checkpoint's recorded free-segment
+     order until the sequence numbers stop being contiguous (a torn,
+     stale or unwritten segment ends the stream there).  A checkpoint
+     without the order (never produced by this implementation, but
+     tolerated) falls back to scanning the whole partition.  Only this
+     phase reads the log from disk — the later apply is pure CPU. *)
   let invalid = ref 0 in
   let expected = ref (snap.Checkpoint.covered_seq + 1) in
   let replayed = ref 0 in
+  let tail = ref [] in
   let read_segment i =
     match
       Disk.read disk
@@ -270,77 +446,332 @@ let run ?(obs = Obs.null) ?(sweep = true) disk =
   Obs.timed obs Tr.Recovery "replay" (fun () ->
       match snap.Checkpoint.free_order with
       | _ :: _ as order ->
-    let continue = ref true in
-    List.iter
-      (fun i ->
-        if !continue then begin
+        let continue = ref true in
+        List.iter
+          (fun i ->
+            if !continue then begin
+              match Option.map (Segment.parse geom) (read_segment i) with
+              | Some (Some p) when p.Segment.p_seq = !expected ->
+                incr expected;
+                incr replayed;
+                tail := (i, p.Segment.p_entries) :: !tail
+              | Some (Some _) | Some None | None ->
+                (* stale contents, torn write, or a media error: the
+                   stream ends here *)
+                if !continue then incr invalid;
+                continue := false
+            end)
+          order
+      | [] ->
+        let parsed = ref [] in
+        for i = Disk_layout.log_first geom to geom.Geometry.num_segments - 1 do
           match Option.map (Segment.parse geom) (read_segment i) with
-          | Some (Some p) when p.Segment.p_seq = !expected ->
-            incr expected;
-            incr replayed;
-            List.iter (replay_entry st ~seg:i) p.Segment.p_entries
-          | Some (Some _) | Some None | None ->
-            (* stale contents, torn write, or a media error: the stream
-               ends here *)
-            if !continue then incr invalid;
-            continue := false
-        end)
-      order
-  | [] ->
-    let parsed = ref [] in
-    for i = Disk_layout.log_first geom to geom.Geometry.num_segments - 1 do
-      match Option.map (Segment.parse geom) (read_segment i) with
-      | Some (Some p) when p.Segment.p_seq > snap.Checkpoint.covered_seq ->
-        parsed := (p.Segment.p_seq, i, p) :: !parsed
-      | Some (Some _) -> ()
-      | Some None | None -> incr invalid
-    done;
-    let ordered =
-      List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) !parsed
-    in
+          | Some (Some p) when p.Segment.p_seq > snap.Checkpoint.covered_seq ->
+            parsed := (p.Segment.p_seq, i, p) :: !parsed
+          | Some (Some _) -> ()
+          | Some None | None -> incr invalid
+        done;
+        let ordered =
+          List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) !parsed
+        in
+        List.iter
+          (fun (seq, disk_index, p) ->
+            if seq = !expected then begin
+              incr expected;
+              incr replayed;
+              tail := (disk_index, p.Segment.p_entries) :: !tail
+            end)
+          ordered);
+  let tail = List.rev !tail in
+  let entries =
+    Array.of_list
+      (List.concat_map (fun (seg, es) -> List.map (fun e -> (seg, e)) es) tail)
+  in
+  (* Partition the tail into dependency-independent groups. *)
+  let partition, groups, group_of_root =
+    Obs.span obs Tr.Recovery "partition" @@ fun () ->
+    let p = { uf = Uf.create (); nodes = Hashtbl.create 1024 } in
+    (* edges from checkpoint state: membership ties a block (and hence a
+       whole chain) to its list; an owner mark ties a list to its ARU *)
     List.iter
-      (fun (seq, disk_index, p) ->
-        if seq = !expected then begin
-          incr expected;
-          incr replayed;
-          List.iter (replay_entry st ~seg:disk_index) p.Segment.p_entries
-        end)
-      ordered);
-  (* ARUs whose commit record never reached disk are discarded. *)
-  let discarded_arus = Hashtbl.length st.buffers in
-  let discarded_entries =
-    Hashtbl.fold (fun _ l acc -> acc + List.length l) st.buffers 0
-  in
-  let scavenged, lists_scavenged =
-    Obs.timed obs Tr.Recovery "sweep" @@ fun () ->
-    if sweep then
-      let b = scavenge st in
-      (b, scavenge_lists st)
-    else (0, 0)
-  in
-  Block_map.rebuild_free st.blocks;
-  List_table.rebuild_free st.lists;
-  let report =
-    {
-      checkpoint_id = snap.Checkpoint.ckpt_id;
-      checkpoint_region = region;
-      covered_seq = snap.Checkpoint.covered_seq;
-      segments_replayed = !replayed;
-      invalid_segments = !invalid;
-      entries_applied = st.applied;
-      arus_committed = st.committed;
-      arus_discarded = discarded_arus;
-      entries_discarded = discarded_entries;
-      replay_skips = st.skips;
-      blocks_scavenged = scavenged;
-      lists_scavenged;
-    }
+      (fun (b : Checkpoint.block_entry) ->
+        match b.b_member with
+        | None -> ()
+        | Some l -> union_all p [ node p (Nblock b.b_id); node p (Nlist l) ])
+      snap.Checkpoint.blocks;
+    List.iter
+      (fun (l : Checkpoint.list_entry) ->
+        match l.l_owner with
+        | None -> ()
+        | Some o -> union_all p [ node p (Nlist l.l_id); node p (Naru o) ])
+      snap.Checkpoint.lists;
+    (* edges from pending ARU entries carried by the checkpoint *)
+    List.iter
+      (fun (aru, pes) ->
+        let a = node p (Naru aru) in
+        List.iter
+          (fun (pe : Checkpoint.pending_entry) ->
+            union_all p (a :: op_nodes p pe.pe_op))
+          pes)
+      snap.Checkpoint.pending;
+    (* edges from the tail entries themselves *)
+    Array.iter
+      (fun ((_, entry) : int * Summary.t) ->
+        let ns = op_nodes p entry.Summary.op in
+        let ns =
+          match entry.Summary.stream with
+          | Summary.Simple -> ns
+          | Summary.In_aru a -> node p (Naru (Types.Aru_id.to_int a)) :: ns
+        in
+        union_all p ns)
+      entries;
+    (* bucket entries (and pending seeds) per group root, in log order *)
+    let root_of_op entry =
+      let ns =
+        match entry.Summary.stream with
+        | Summary.In_aru a -> [ node p (Naru (Types.Aru_id.to_int a)) ]
+        | Summary.Simple -> op_nodes p entry.Summary.op
+      in
+      match ns with
+      | n :: _ -> Uf.find p.uf n
+      | [] -> assert false (* every op names at least one identifier *)
+    in
+    let group_of_root = Hashtbl.create 64 in
+    let buckets : (int, (int * Summary.t) list ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let nbuckets = ref 0 in
+    let bucket_index root =
+      match Hashtbl.find_opt group_of_root root with
+      | Some i -> i
+      | None ->
+        let i = !nbuckets in
+        Hashtbl.replace group_of_root root i;
+        Hashtbl.replace buckets i (ref []);
+        incr nbuckets;
+        i
+    in
+    let bucket i = Hashtbl.find buckets i in
+    Array.iter
+      (fun ((_, entry) as tagged) ->
+        let b = bucket (bucket_index (root_of_op entry)) in
+        b := tagged :: !b)
+      entries;
+    (* pending ARUs from the checkpoint get a group even when the tail
+       holds none of their entries, so [finish] still discards them *)
+    List.iter
+      (fun (aru, _) -> ignore (bucket_index (Uf.find p.uf (node p (Naru aru)))))
+      snap.Checkpoint.pending;
+    let mk_state () =
+      {
+        g_blocks = blocks;
+        g_lists = lists;
+        g_buffers = Hashtbl.create 4;
+        g_committed = Hashtbl.create 4;
+        g_applied = 0;
+        g_skips = 0;
+        g_ncommitted = 0;
+        g_max_stamp = 0;
+        g_max_aru = 0;
+      }
+    in
+    let groups =
+      Array.init !nbuckets (fun i ->
+          {
+            gr_entries = Array.of_list (List.rev !(bucket i));
+            gr_state = mk_state ();
+            gr_applied = false;
+          })
+    in
+    (* seed each group's buffers with its pending ARU entries *)
+    List.iter
+      (fun (aru, pes) ->
+        let root = Uf.find p.uf (node p (Naru aru)) in
+        let g = groups.(Hashtbl.find group_of_root root) in
+        Hashtbl.replace g.gr_state.g_buffers aru (List.rev pes))
+      snap.Checkpoint.pending;
+    (* every list named anywhere gets its anchor created now, on this
+       thread: List_table.anchor allocates lazily and is not safe to
+       call concurrently from domains *)
+    Hashtbl.iter
+      (fun key _ ->
+        match key with
+        | Nlist l -> ignore (List_table.anchor lists (Types.List_id.of_int l))
+        | Nblock _ | Naru _ -> ())
+      p.nodes;
+    (p, groups, group_of_root)
   in
   {
-    r_blocks = st.blocks;
-    r_lists = st.lists;
-    r_next_seq = max snap.Checkpoint.next_seq !expected;
-    r_stamp = st.max_stamp + 1;
-    r_next_aru = st.max_aru;
-    r_report = report;
+    p_obs = obs;
+    p_sweep = sweep;
+    p_parallel = parallel;
+    p_blocks = blocks;
+    p_lists = lists;
+    p_snap = snap;
+    p_region = best.Checkpoint.best_region;
+    p_full_region = best.Checkpoint.best_full_region;
+    p_groups = groups;
+    p_partition = partition;
+    p_group_of_root = group_of_root;
+    p_next_seq = max snap.Checkpoint.next_seq !expected;
+    p_segments_replayed = !replayed;
+    p_invalid_segments = !invalid;
+    p_blocks_scavenged = 0;
+    p_lists_scavenged = 0;
+    p_used_domains = false;
+    p_finished = None;
   }
+
+let base_report p =
+  {
+    checkpoint_id = p.p_snap.Checkpoint.ckpt_id;
+    checkpoint_region = p.p_region;
+    full_region = p.p_full_region;
+    covered_seq = p.p_snap.Checkpoint.covered_seq;
+    segments_replayed = p.p_segments_replayed;
+    segments_skipped = p.p_snap.Checkpoint.covered_seq;
+    replay_groups = Array.length p.p_groups;
+    parallel_replay = p.p_used_domains;
+    invalid_segments = p.p_invalid_segments;
+    entries_applied = 0;
+    arus_committed = 0;
+    arus_discarded = 0;
+    entries_discarded = 0;
+    replay_skips = 0;
+    blocks_scavenged = 0;
+    lists_scavenged = 0;
+  }
+
+let preliminary_report = base_report
+
+(* Apply every not-yet-applied group.  Groups touch disjoint records by
+   construction and the apply phase never reads the disk or the clock,
+   so running them on domains is invisible to both the recovered state
+   and the cost model. *)
+let apply_remaining p =
+  let remaining = ref [] in
+  Array.iteri
+    (fun i g -> if not g.gr_applied then remaining := (i, g) :: !remaining)
+    p.p_groups;
+  let remaining = List.rev !remaining in
+  let n = List.length remaining in
+  if n = 0 then ()
+  else if (not p.p_parallel) || n < 2 then
+    List.iter (fun (_, g) -> apply_group g) remaining
+  else begin
+    let ndomains = min 4 (min n (Domain.recommended_domain_count ())) in
+    if ndomains < 2 then List.iter (fun (_, g) -> apply_group g) remaining
+    else begin
+      p.p_used_domains <- true;
+      let shard d =
+        List.filteri (fun i _ -> i mod ndomains = d) remaining
+      in
+      let worker d () =
+        List.fold_left
+          (fun first_exn (i, g) ->
+            match apply_group g with
+            | () -> first_exn
+            | exception e when first_exn = None -> Some (i, e)
+            | exception _ -> first_exn)
+          None (shard d)
+      in
+      let handles =
+        List.init (ndomains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+      in
+      let results = worker 0 () :: List.map Domain.join handles in
+      (* deterministic failure choice: lowest group index wins, matching
+         where a sequential left-to-right apply would have stopped *)
+      match
+        List.fold_left
+          (fun acc r ->
+            match (acc, r) with
+            | None, r -> r
+            | Some _, None -> acc
+            | Some (i, _), Some (j, _) -> if j < i then r else acc)
+          None results
+      with
+      | None -> ()
+      | Some (_, e) -> raise e
+    end
+  end
+
+let finish p =
+  match p.p_finished with
+  | Some r -> r
+  | None ->
+    Obs.timed p.p_obs Tr.Recovery "apply" (fun () -> apply_remaining p);
+    (* merge the per-group tallies, in group order (deterministic) *)
+    let applied = ref 0
+    and skips = ref 0
+    and committed = ref 0
+    and max_stamp = ref p.p_snap.Checkpoint.stamp
+    and max_aru = ref p.p_snap.Checkpoint.next_aru
+    and discarded_arus = ref 0
+    and discarded_entries = ref 0 in
+    let merged_committed = Hashtbl.create 16 in
+    Array.iter
+      (fun g ->
+        let st = g.gr_state in
+        applied := !applied + st.g_applied;
+        skips := !skips + st.g_skips;
+        committed := !committed + st.g_ncommitted;
+        if st.g_max_stamp > !max_stamp then max_stamp := st.g_max_stamp;
+        if st.g_max_aru > !max_aru then max_aru := st.g_max_aru;
+        Hashtbl.iter (fun k () -> Hashtbl.replace merged_committed k ()) st.g_committed;
+        Hashtbl.iter
+          (fun _ entries ->
+            incr discarded_arus;
+            discarded_entries := !discarded_entries + List.length entries)
+          st.g_buffers)
+      p.p_groups;
+    (* global consistency sweep: identifiers already swept on demand are
+       no-ops here, so the totals match an eager recovery exactly *)
+    (Obs.timed p.p_obs Tr.Recovery "sweep" @@ fun () ->
+     if p.p_sweep then begin
+       Block_map.iter p.p_blocks (fun r ->
+           if r.Record.alloc && r.Record.member_of = None then begin
+             r.Record.alloc <- false;
+             r.Record.successor <- None;
+             r.Record.phys <- None;
+             p.p_blocks_scavenged <- p.p_blocks_scavenged + 1
+           end);
+       List_table.iter p.p_lists (fun r ->
+           match r.Record.l_owner with
+           | Some o when Hashtbl.mem merged_committed (Types.Aru_id.to_int o) ->
+             r.Record.l_owner <- None
+           | Some _ when r.Record.exists && r.Record.first = None ->
+             r.Record.exists <- false;
+             r.Record.l_owner <- None;
+             p.p_lists_scavenged <- p.p_lists_scavenged + 1
+           | Some _ -> r.Record.l_owner <- None
+           | None -> ())
+     end);
+    Block_map.rebuild_free p.p_blocks;
+    List_table.rebuild_free p.p_lists;
+    let report =
+      {
+        (base_report p) with
+        parallel_replay = p.p_used_domains;
+        entries_applied = !applied;
+        arus_committed = !committed;
+        arus_discarded = !discarded_arus;
+        entries_discarded = !discarded_entries;
+        replay_skips = !skips;
+        blocks_scavenged = p.p_blocks_scavenged;
+        lists_scavenged = p.p_lists_scavenged;
+      }
+    in
+    let restored =
+      {
+        r_blocks = p.p_blocks;
+        r_lists = p.p_lists;
+        r_next_seq = p.p_next_seq;
+        r_stamp = !max_stamp + 1;
+        r_next_aru = !max_aru;
+        r_report = report;
+      }
+    in
+    p.p_finished <- Some restored;
+    restored
+
+let run ?obs ?sweep ?parallel disk = finish (prepare ?obs ?sweep ?parallel disk)

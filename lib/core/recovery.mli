@@ -1,24 +1,57 @@
-(** Crash recovery: checkpoint restore + segment-summary replay.
+(** Crash recovery: REDO-only replay of the log tail over the newest
+    consistent checkpoint generation (paper §3.3, DESIGN.md §5.10).
 
-    Recovery is always to the most recent {e persistent} version (paper
-    §3.1): the best checkpoint is restored, then the summaries of all
-    later segments are replayed in log order.  [Simple] entries apply at
-    their position; [In_aru] entries are buffered per ARU and applied
-    only when that ARU's commit record is reached — ARUs whose commit
-    record never reached disk are discarded wholesale.  Replay stops at
-    the first gap in the sequence numbers (a torn or unwritten segment),
-    preserving the order of the operation stream.
+    Recovery runs in phases:
 
-    Afterwards, the consistency sweep frees blocks that are allocated
-    but on no list — the remains of allocations performed inside
-    ARUs that never committed (paper §3.3). *)
+    + {e checkpoint restore} — {!Checkpoint.select} picks the newest
+      consistent generation (a full, or a delta composed over its full
+      base; a torn newest falls back), and the block-number map / list
+      table are rebuilt from it.  A region that raises a media error is
+      treated as empty.
+    + {e tail scan} — segments sealed after the checkpoint are read
+      along the checkpoint's recorded free order until the sequence
+      numbers stop being contiguous (a torn or unwritten segment ends
+      the stream).  Everything at or below [covered_seq] is {e skipped}
+      — restart cost is proportional to the work since the last
+      checkpoint, not to the log length.
+    + {e partition} — the tail's summary entries are split into
+      dependency-independent groups (union-find over the block, list and
+      ARU identifiers each entry names, plus the relations the
+      checkpoint itself carries), so replay order only matters within a
+      group.  [Simple] entries apply at their position; [In_aru] entries
+      are buffered per ARU and applied only when that ARU's commit
+      record is reached — ARUs whose commit record never reached disk
+      are discarded wholesale.
+    + {e apply} — each group replays its entries in log order.  Groups
+      touch disjoint records and read nothing from disk, so independent
+      groups run on OCaml 5 domains when [parallel] is on; results and
+      virtual-clock costs are identical to the sequential fallback.
+    + {e sweep} — the consistency sweep frees blocks that are allocated
+      but on no list — the remains of allocations performed inside ARUs
+      that never committed (paper §3.3).
+
+    The lazy handle ({!prepare} / {!touch_block} / {!touch_list} /
+    {!finish}) additionally supports {e early open}: reads can be served
+    as soon as {!prepare} returns, recovering a logical block or list on
+    demand the first time it is touched; {!finish} completes the replay
+    and the global sweep.  {!run} is the eager composition of the two. *)
 
 type report = {
   checkpoint_id : int;
   checkpoint_region : int;
-      (** which of the two regions held the checkpoint used *)
+      (** region of the generation restored (the delta's region when a
+          delta won) *)
+  full_region : int;
+      (** region of the full base that generation rests on; the next
+          full checkpoint must target the {e other} region *)
   covered_seq : int;  (** log position the checkpoint captured *)
   segments_replayed : int;
+  segments_skipped : int;
+      (** segments the checkpoint made it unnecessary to read
+          (= [covered_seq]: every sealed segment at or below it) *)
+  replay_groups : int;
+      (** dependency-independent replay partitions in the tail *)
+  parallel_replay : bool;  (** whether the apply phase used domains *)
   invalid_segments : int;  (** torn, unreadable, or stale *)
   entries_applied : int;
   arus_committed : int;  (** from buffered entries (incl. checkpoint-pending) *)
@@ -41,10 +74,55 @@ type restored = {
   r_report : report;
 }
 
-val run : ?obs:Lld_obs.Obs.t -> ?sweep:bool -> Lld_disk.Disk.t -> restored
-(** Raises [Errors.Corrupt] when no valid checkpoint exists (the disk
-    was never formatted).  [sweep] (default [true]) runs the consistency
-    sweep; see {!Config.t.recovery_sweep} for the test-only reason to
-    disable it.  [obs] (default {!Lld_obs.Obs.null}) records the
-    [recovery] phase spans — [checkpoint_restore], [replay], [sweep] —
-    and their latency histograms. *)
+type pending
+(** A recovery in progress: checkpoint restored, log tail scanned and
+    partitioned, but not necessarily applied yet. *)
+
+val prepare :
+  ?obs:Lld_obs.Obs.t -> ?sweep:bool -> ?parallel:bool ->
+  Lld_disk.Disk.t -> pending
+(** Phases 1–3 (restore, tail scan, partition).  This is the only part
+    of recovery that reads the disk; its virtual-clock cost is identical
+    whether the rest happens eagerly, lazily or in parallel.  Raises
+    [Errors.Corrupt] when neither checkpoint region yields a consistent
+    generation (the disk was never formatted).  [sweep] (default [true])
+    enables the consistency sweep; see {!Config.t.recovery_sweep} for
+    the test-only reason to disable it.  [obs] (default
+    {!Lld_obs.Obs.null}) records the [recovery] phase spans —
+    [checkpoint_restore], [replay], [partition], [apply], [sweep] — and
+    their latency histograms. *)
+
+val touch_block : pending -> Types.Block_id.t -> unit
+(** Recover one logical block on demand: apply the replay group that
+    owns it (if not yet applied) and sweep just that block.  Because a
+    block's record is only ever mutated by its own group, the result is
+    exactly the block's post-{!finish} state.  Out-of-range ids are
+    ignored. *)
+
+val touch_list : pending -> Types.List_id.t -> unit
+(** Same, for a list (sweeping frees it if its owning ARU never
+    committed and it is still empty). *)
+
+val tables : pending -> Block_map.t * List_table.t
+(** The tables being recovered — valid for reads of identifiers already
+    touched (and for everything once {!finish} ran). *)
+
+val pending_groups : pending -> int
+(** Replay groups not yet applied (0 once {!finish} ran). *)
+
+val preliminary_report : pending -> report
+(** The facts known after {!prepare}: checkpoint identity, segments
+    replayed / skipped / invalid, group count.  Replay tallies and sweep
+    counts are zero until {!finish}. *)
+
+val finish : pending -> restored
+(** Apply all remaining groups (on domains when [parallel] — default
+    [true] — and the group count warrants it), merge tallies, run the
+    global consistency sweep and rebuild the free pools.  Identifiers
+    already swept on demand are no-ops here, so the report's totals
+    match an eager recovery exactly.  Idempotent. *)
+
+val run :
+  ?obs:Lld_obs.Obs.t -> ?sweep:bool -> ?parallel:bool ->
+  Lld_disk.Disk.t -> restored
+(** [finish (prepare disk)] — eager recovery. *)

@@ -584,6 +584,57 @@ let dump_point_trace ?recover_config trace point ~path =
   | lld, _report -> ignore (verify_recovered trace lld));
   Lld_obs.Trace.write_chrome_file (Lld_obs.Obs.trace obs) path
 
+let hex_of_bytes b =
+  let n = Bytes.length b in
+  let out = Bytes.create (2 * n) in
+  let digits = "0123456789abcdef" in
+  for i = 0 to n - 1 do
+    let c = Char.code (Bytes.get b i) in
+    Bytes.set out (2 * i) digits.[c lsr 4];
+    Bytes.set out ((2 * i) + 1) digits.[c land 0xf]
+  done;
+  Bytes.unsafe_to_string out
+
+(* The pre-crash write trace as JSON: every disk write the crash image
+   contains, with offset and full data (the torn write carries its kept
+   prefix length).  Together with the deterministic post-format base
+   image this reconstructs the crash image exactly, so a reproducer
+   bundle can be inspected — or replayed against another implementation
+   — without re-running the workload. *)
+let dump_point_writes trace point ~path =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"workload\":\"%s\",\"base_bytes\":%d,\"point\":{\"index\":%d,\"keep\":%s},\"writes\":["
+       trace.tr_spec.sc_name
+       (Bytes.length trace.tr_base)
+       point.pt_index
+       (match point.pt_keep with
+       | None -> "null"
+       | Some k -> string_of_int k));
+  let emit i ~keep =
+    let offset, data = trace.tr_writes.(i) in
+    if i > 0 then Buffer.add_char buf ',';
+    Buffer.add_string buf
+      (Printf.sprintf "{\"i\":%d,\"offset\":%d,\"len\":%d%s,\"data\":\"%s\"}" i
+         offset (Bytes.length data)
+         (match keep with
+         | None -> ""
+         | Some k -> Printf.sprintf ",\"keep\":%d" k)
+         (hex_of_bytes data))
+  in
+  for i = 0 to min point.pt_index (Array.length trace.tr_writes) - 1 do
+    emit i ~keep:None
+  done;
+  (match point.pt_keep with
+  | Some k when point.pt_index < Array.length trace.tr_writes ->
+    emit point.pt_index ~keep:(Some k)
+  | _ -> ());
+  Buffer.add_string buf "]}";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc
+
 let check_point ?recover_config trace point =
   let n = Array.length trace.tr_writes in
   if point.pt_index < 0 || point.pt_index > n then
@@ -619,6 +670,7 @@ type result = {
   r_violations : violation list;
   r_minimal : violation option;
   r_trace_file : string option;
+  r_writes_file : string option;
 }
 
 let max_kept_violations = 50
@@ -705,7 +757,7 @@ let run ?(granularity = 512) ?budget ?(seed = 1) ?recover_config
        with Exit -> ());
       (match !found with Some v -> Some v | None -> Some first)
   in
-  let trace_file =
+  let trace_file, writes_file =
     match (minimal, trace_dir) with
     | Some v, Some dir ->
       let point_tag =
@@ -713,17 +765,20 @@ let run ?(granularity = 512) ?budget ?(seed = 1) ?recover_config
         | None -> string_of_int v.v_point.pt_index
         | Some k -> Printf.sprintf "%d-torn%d" v.v_point.pt_index k
       in
-      let path =
+      let file ext =
         Filename.concat dir
-          (Printf.sprintf "crash-%s-at-%s.trace.json" trace.tr_spec.sc_name
-             point_tag)
+          (Printf.sprintf "crash-%s-at-%s.%s" trace.tr_spec.sc_name point_tag
+             ext)
       in
+      let path = file "trace.json" in
+      let wpath = file "writes.json" in
       (try
          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
          dump_point_trace ?recover_config trace v.v_point ~path;
-         Some path
-       with Sys_error _ -> None)
-    | _ -> None
+         dump_point_writes trace v.v_point ~path:wpath;
+         (Some path, Some wpath)
+       with Sys_error _ -> (None, None))
+    | _ -> (None, None)
   in
   {
     r_workload = trace.tr_spec.sc_name;
@@ -737,6 +792,7 @@ let run ?(granularity = 512) ?budget ?(seed = 1) ?recover_config
     r_violations = violations;
     r_minimal = minimal;
     r_trace_file = trace_file;
+    r_writes_file = writes_file;
   }
 
 let repro_hint ~workload point =
@@ -767,8 +823,248 @@ let pp_result ppf r =
       Format.fprintf ppf "minimal reproducer: %a@,  %s@," pp_point v.v_point
         (repro_hint ~workload:r.r_workload v.v_point);
       List.iter (fun p -> Format.fprintf ppf "  %s@," p) v.v_problems;
-      match r.r_trace_file with
+      (match r.r_trace_file with
       | None -> ()
       | Some f -> Format.fprintf ppf "  recovery trace: %s@," f);
+      match r.r_writes_file with
+      | None -> ()
+      | Some f -> Format.fprintf ppf "  pre-crash writes: %s@," f);
+    Format.fprintf ppf "@]"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Crashing during recovery itself                                     *)
+
+(* Judge the oracle units through reads alone — no invariant probe, no
+   fsck — so an early-open recovery has to serve every unit on demand,
+   while the replay of unrelated dependency groups is still pending. *)
+let judge_units trace lld =
+  let spec = trace.tr_spec in
+  let problems = ref [] in
+  let add ps = problems := !problems @ ps in
+  let fs =
+    match spec.sc_fs with
+    | None -> None
+    | Some config -> (
+      match Fs.mount ~config lld with
+      | fs -> Some fs
+      | exception e ->
+        add [ "mount during early-open recovery failed: " ^ Printexc.to_string e ];
+        None)
+  in
+  let statuses =
+    List.map
+      (fun unit_ ->
+        let status, ps =
+          match (unit_, fs) with
+          | Oracle.Blocks u, _ -> judge_blocks lld u
+          | Oracle.File u, Some fs -> judge_file fs u
+          | Oracle.File u, None ->
+            ( Violated,
+              [
+                Printf.sprintf "file unit %s but no mountable file system"
+                  u.Oracle.fu_path;
+              ] )
+        in
+        add ps;
+        status)
+      (Oracle.units trace.tr_oracle)
+  in
+  (!problems, statuses)
+
+type recovery_violation = {
+  rv_outer : point;
+  rv_inner : point option;
+  rv_problems : string list;
+}
+
+type recovery_result = {
+  rr_workload : string;
+  rr_seed : int;
+  rr_outer_checked : int;
+  rr_inner_checked : int;
+  rr_inner_torn : int;
+  rr_recovery_writes : int;
+  rr_ondemand_units : int;
+  rr_violation_points : int;
+  rr_violations : recovery_violation list;
+  rr_writes_file : string option;
+}
+
+let recovery_ok r = r.rr_violation_points = 0
+
+(* One outer workload crash point: recover with early open, verify the
+   oracle through on-demand reads while the replay is still pending,
+   complete the recovery (its post-recovery checkpoint lands in the
+   recorded writes), verify again eagerly — then crash the recovery
+   itself at every inner point of its own write sequence (including
+   torn checkpoint chunks) and demand that a second recovery from each
+   such image still satisfies the oracle. *)
+let check_during_recovery ?recover_config ~granularity ~inner_budget ~seed
+    trace outer ~on_violation =
+  let spec = trace.tr_spec in
+  let base_config = Option.value recover_config ~default:spec.sc_config in
+  let config = { base_config with Config.recovery_early_open = true } in
+  let base = image_at trace outer in
+  let clock = Clock.create () in
+  let disk = Disk.load ~clock spec.sc_geom (Bytes.copy base) in
+  let rec_writes = ref [] in
+  Disk.set_observer disk
+    (Some (fun ~index:_ ~offset ~data -> rec_writes := (offset, data) :: !rec_writes));
+  match Lld.recover ~config disk with
+  | exception e ->
+    on_violation
+      {
+        rv_outer = outer;
+        rv_inner = None;
+        rv_problems = [ "early-open recovery raised: " ^ Printexc.to_string e ];
+      };
+    (0, 0, 0, 0)
+  | lld, _preliminary ->
+    let units_judged = Oracle.size trace.tr_oracle in
+    let outcome =
+      match judge_units trace lld with
+      | exception e ->
+        Error [ "on-demand verification raised: " ^ Printexc.to_string e ]
+      | early_problems, early_statuses -> (
+        match Lld.complete_recovery lld with
+        | exception e ->
+          Error
+            (early_problems
+            @ [ "completing recovery raised: " ^ Printexc.to_string e ])
+        | _final_report ->
+          let full_problems, full_statuses = verify_recovered trace lld in
+          let drift =
+            if early_statuses = full_statuses then []
+            else
+              [
+                "on-demand recovery disagrees with completed recovery: unit \
+                 statuses changed";
+              ]
+          in
+          let probs = early_problems @ full_problems @ drift in
+          if probs = [] then Ok () else Error probs)
+    in
+    Disk.set_observer disk None;
+    (match outcome with
+    | Ok () -> ()
+    | Error probs ->
+      on_violation { rv_outer = outer; rv_inner = None; rv_problems = probs });
+    let writes = Array.of_list (List.rev !rec_writes) in
+    let raw = Raw.v ~base ~writes in
+    let inner_all = Raw.enumerate ~granularity raw in
+    let inner =
+      match inner_budget with
+      | None -> inner_all
+      | Some b -> Raw.sample ~budget:b ~seed inner_all
+    in
+    let checked = ref 0 and torn = ref 0 in
+    List.iter
+      (fun ip ->
+        if ip.pt_keep <> None then incr torn;
+        incr checked;
+        let problems = check_image ?recover_config trace (Raw.image_at raw ip) in
+        if problems <> [] then
+          on_violation
+            { rv_outer = outer; rv_inner = Some ip; rv_problems = problems })
+      inner;
+    (Array.length writes, !checked, !torn, units_judged)
+
+let run_during_recovery ?(granularity = 512) ?(budget = 24) ?inner_budget
+    ?(seed = 1) ?recover_config ?trace_dir ?progress trace =
+  let outer_points =
+    sample ~budget ~seed (enumerate ~granularity trace)
+  in
+  let total = List.length outer_points in
+  let violation_points = ref 0 in
+  let kept = ref [] in
+  let on_violation v =
+    incr violation_points;
+    if !violation_points <= max_kept_violations then kept := v :: !kept
+  in
+  let outer_checked = ref 0 in
+  let inner_checked = ref 0 in
+  let inner_torn = ref 0 in
+  let recovery_writes = ref 0 in
+  let ondemand_units = ref 0 in
+  List.iter
+    (fun outer ->
+      let writes, checked, torn, units =
+        check_during_recovery ?recover_config ~granularity ~inner_budget ~seed
+          trace outer ~on_violation
+      in
+      incr outer_checked;
+      recovery_writes := !recovery_writes + writes;
+      inner_checked := !inner_checked + checked;
+      inner_torn := !inner_torn + torn;
+      ondemand_units := !ondemand_units + units;
+      match progress with
+      | Some f -> f ~outer:!outer_checked ~total
+      | None -> ())
+    outer_points;
+  let violations = List.rev !kept in
+  let writes_file =
+    match (violations, trace_dir) with
+    | first :: _, Some dir ->
+      let point_tag =
+        match first.rv_outer.pt_keep with
+        | None -> string_of_int first.rv_outer.pt_index
+        | Some k -> Printf.sprintf "%d-torn%d" first.rv_outer.pt_index k
+      in
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "crash-rec-%s-at-%s.writes.json"
+             trace.tr_spec.sc_name point_tag)
+      in
+      (try
+         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+         dump_point_writes trace first.rv_outer ~path;
+         Some path
+       with Sys_error _ -> None)
+    | _ -> None
+  in
+  {
+    rr_workload = trace.tr_spec.sc_name;
+    rr_seed = seed;
+    rr_outer_checked = !outer_checked;
+    rr_inner_checked = !inner_checked;
+    rr_inner_torn = !inner_torn;
+    rr_recovery_writes = !recovery_writes;
+    rr_ondemand_units = !ondemand_units;
+    rr_violation_points = !violation_points;
+    rr_violations = violations;
+    rr_writes_file = writes_file;
+  }
+
+let pp_recovery_violation ppf v =
+  match v.rv_inner with
+  | None ->
+    Format.fprintf ppf "recovery from workload crash (%a)" pp_point v.rv_outer
+  | Some ip ->
+    Format.fprintf ppf
+      "crash during recovery (workload %a; recovery %a)" pp_point v.rv_outer
+      pp_point ip
+
+let pp_recovery_result ppf r =
+  Format.fprintf ppf
+    "@[<v>workload %s, crash-during-recovery: %d workload crash points@,\
+     %d recovery-internal crash points checked (%d torn) over %d recovery \
+     writes; %d on-demand unit verifications@,"
+    r.rr_workload r.rr_outer_checked r.rr_inner_checked r.rr_inner_torn
+    r.rr_recovery_writes r.rr_ondemand_units;
+  if r.rr_violation_points = 0 then
+    Format.fprintf ppf "no atomicity violations@]"
+  else begin
+    Format.fprintf ppf
+      "%d point(s) VIOLATED atomicity (sampling seed %d)@,"
+      r.rr_violation_points r.rr_seed;
+    (match r.rr_violations with
+    | [] -> ()
+    | v :: _ ->
+      Format.fprintf ppf "first: %a@," pp_recovery_violation v;
+      List.iter (fun p -> Format.fprintf ppf "  %s@," p) v.rv_problems);
+    (match r.rr_writes_file with
+    | None -> ()
+    | Some f -> Format.fprintf ppf "  pre-crash writes: %s@," f);
     Format.fprintf ppf "@]"
   end

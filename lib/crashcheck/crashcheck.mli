@@ -191,6 +191,13 @@ type result = {
   r_trace_file : string option;
       (** Chrome trace of the minimal reproducer's recovery, written
           when [run ~trace_dir] was given and a violation was found *)
+  r_writes_file : string option;
+      (** JSON dump of the minimal reproducer's {e pre-crash} write
+          trace (offsets, lengths, full data, the torn write's kept
+          prefix), written alongside [r_trace_file] — the reproducer
+          bundle is self-contained: the crash image can be rebuilt over
+          the deterministic post-format base without re-running the
+          workload *)
 }
 
 val max_kept_violations : int
@@ -225,3 +232,68 @@ val repro_hint : workload:string -> point -> string
     exactly this crash point. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+(** {1 Crashing during recovery itself}
+
+    The checker above crashes the {e workload}; this one also crashes
+    the {e recovery}.  For a sample of workload crash points it mounts
+    the crash image with {!Lld_core.Config.t.recovery_early_open} set,
+    verifies every oracle unit through on-demand reads {e while the
+    replay is still pending}, completes the recovery (recording its
+    writes — the post-recovery checkpoint included), verifies again
+    eagerly and demands the two verdicts agree — then enumerates crash
+    points over recovery's own write sequence (complete and torn, so
+    mid-checkpoint torn chunks are covered) and checks that a second
+    recovery from each such image still satisfies the oracle and is
+    idempotent. *)
+
+type recovery_violation = {
+  rv_outer : point;  (** the workload crash point recovery started from *)
+  rv_inner : point option;
+      (** crash point within recovery's own writes; [None] means the
+          early-open recovery itself (on-demand verification, completion
+          or the eager re-verification) failed before any inner crash *)
+  rv_problems : string list;
+}
+
+type recovery_result = {
+  rr_workload : string;
+  rr_seed : int;
+  rr_outer_checked : int;  (** workload crash points examined *)
+  rr_inner_checked : int;
+      (** recovery-internal crash points checked, summed over all outer
+          points *)
+  rr_inner_torn : int;  (** of those, torn variants *)
+  rr_recovery_writes : int;
+      (** disk writes recovery performed, summed over all outer points *)
+  rr_ondemand_units : int;
+      (** oracle units verified through on-demand reads, summed *)
+  rr_violation_points : int;
+  rr_violations : recovery_violation list;
+      (** capped at {!max_kept_violations} *)
+  rr_writes_file : string option;
+      (** pre-crash write trace of the first violation's outer point,
+          written when [run_during_recovery ~trace_dir] was given *)
+}
+
+val recovery_ok : recovery_result -> bool
+
+val run_during_recovery :
+  ?granularity:int ->
+  ?budget:int ->
+  ?inner_budget:int ->
+  ?seed:int ->
+  ?recover_config:Lld_core.Config.t ->
+  ?trace_dir:string ->
+  ?progress:(outer:int -> total:int -> unit) ->
+  trace ->
+  recovery_result
+(** Crash-during-recovery check of [trace].  [budget] (default 24)
+    deterministically samples the workload crash points recovery starts
+    from; [inner_budget] (default: exhaustive) optionally samples the
+    crash points within each recovery's own write sequence.
+    [recover_config] overrides the base config ([recovery_early_open]
+    is forced on for the outer recovery; inner re-recoveries use it
+    unchanged, exercising the eager path). *)
+
+val pp_recovery_result : Format.formatter -> recovery_result -> unit

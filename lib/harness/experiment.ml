@@ -365,6 +365,91 @@ let print_recovery ppf rows =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* R1: restart cost vs log length at fixed dirty-set size              *)
+
+type r1_row = {
+  r1_churn_rounds : int;
+  r1_log_segments : int;
+  r1_dirty_segments : int;
+  r1_recovery_ns : int;
+  r1_replayed : int;
+  r1_skipped : int;
+}
+
+(* A fixed working set is overwritten [rounds] times (the log grows with
+   [rounds]), then a checkpoint is taken and a fixed hot subset is
+   dirtied.  Restart cost must depend on the dirty work after the
+   checkpoint, not on how long the log has become: the recovery-time
+   curve over an 8x log growth must stay flat, and replay must touch no
+   more segments than the dirty workload wrote (+1 for the gap probe). *)
+let restart_cost scale =
+  let working_set = 64 and hot_set = 8 in
+  List.map
+    (fun rounds ->
+      let disk, lld = Setup.make_raw ~geom:scale.geom Setup.New in
+      let clock = Lld.clock lld in
+      let block_bytes = Lld.block_bytes lld in
+      let payload r i =
+        Bytes.make block_bytes (Char.chr (((r * 31) + i) land 0xff))
+      in
+      let l = Lld.new_list lld () in
+      let prev = ref Summary.Head in
+      let blocks =
+        Array.init working_set (fun _ ->
+            let b = Lld.new_block lld ~list:l ~pred:!prev () in
+            prev := Summary.After b;
+            b)
+      in
+      for r = 1 to rounds do
+        Array.iteri (fun i b -> Lld.write lld b (payload r i)) blocks;
+        Lld.flush lld
+      done;
+      Lld.checkpoint lld;
+      let after_ckpt = (Lld.counters lld).Counters.segments_written in
+      for i = 0 to hot_set - 1 do
+        Lld.write lld blocks.(i) (payload (rounds + 1) i)
+      done;
+      Lld.flush lld;
+      let log_segments = (Lld.counters lld).Counters.segments_written in
+      Fault.schedule_crash (Disk.fault disk) (Fault.After_writes 0);
+      (try Disk.write disk ~offset:0 (Bytes.make 1 'x')
+       with Fault.Crashed -> ());
+      let t0 = Clock.now_ns clock in
+      let lld2, _report = Lld.recover disk in
+      let c2 = Lld.counters lld2 in
+      {
+        r1_churn_rounds = rounds;
+        r1_log_segments = log_segments;
+        r1_dirty_segments = log_segments - after_ckpt;
+        r1_recovery_ns = Clock.now_ns clock - t0;
+        r1_replayed = c2.Counters.recovery_replayed_segments;
+        r1_skipped = c2.Counters.recovery_skipped_segments;
+      })
+    [ 1; 2; 4; 8 ]
+
+let print_restart_cost ppf rows =
+  Report.table ppf
+    ~title:
+      "R1: restart cost vs log length at fixed dirty-set size (incremental \
+       checkpoint + REDO-only replay: O(dirty), not O(log))"
+    ~header:
+      [
+        "churn rounds"; "log segments"; "dirty segments"; "recovery (ms)";
+        "replayed"; "skipped";
+      ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.r1_churn_rounds;
+           string_of_int r.r1_log_segments;
+           string_of_int r.r1_dirty_segments;
+           Report.f2 (float_of_int r.r1_recovery_ns /. 1e6);
+           string_of_int r.r1_replayed;
+           string_of_int r.r1_skipped;
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
 (* X4: concurrency                                                     *)
 
 type concurrency_result = {
@@ -980,7 +1065,7 @@ let finite v = Float.is_finite v && v > 0.
    virtual clock is calibrated, not cycle-accurate) but the directional
    claims each table/figure exists to demonstrate.  A regression that
    silently zeroes a phase or inverts a trade-off fails the run. *)
-let checks ~f5 ~f6 ~l1 ~x3 ~w0 ~c1 ~ob ~b1 =
+let checks ~f5 ~f6 ~l1 ~x3 ~r1 ~w0 ~c1 ~ob ~b1 =
   let all_f5_phases =
     List.concat_map
       (fun r ->
@@ -1034,6 +1119,27 @@ let checks ~f5 ~f6 ~l1 ~x3 ~w0 ~c1 ~ob ~b1 =
           uncheckpointed.x3_report.Recovery.segments_replayed )
     | _ -> (false, "expected exactly two recovery rows")
   in
+  let r1_flat_ok, r1_flat_detail =
+    let times = List.map (fun r -> float_of_int r.r1_recovery_ns) r1 in
+    let mn = List.fold_left Float.min Float.infinity times in
+    let mx = List.fold_left Float.max 0. times in
+    let segs = List.map (fun r -> r.r1_log_segments) r1 in
+    ( r1 <> [] && mx <= 1.2 *. mn,
+      Printf.sprintf "recovery %.3f..%.3f ms over %d..%d log segments"
+        (mn /. 1e6) (mx /. 1e6)
+        (List.fold_left min max_int segs)
+        (List.fold_left max 0 segs) )
+  in
+  let r1_replay_ok, r1_replay_detail =
+    ( r1 <> []
+      && List.for_all (fun r -> r.r1_replayed <= r.r1_dirty_segments + 1) r1,
+      String.concat "; "
+        (List.map
+           (fun r ->
+             Printf.sprintf "%d replayed / %d dirty (%d skipped)" r.r1_replayed
+               r.r1_dirty_segments r.r1_skipped)
+           r1) )
+  in
   let w0_ok, w0_detail =
     let frac label =
       List.find_opt (fun r -> r.w0_label = label) w0
@@ -1073,6 +1179,16 @@ let checks ~f5 ~f6 ~l1 ~x3 ~w0 ~c1 ~ob ~b1 =
       ck_name = "X3: checkpoints bound replay";
       ck_ok = x3_ok;
       ck_detail = x3_detail;
+    };
+    {
+      ck_name = "R1: restart cost flat in log length (O(dirty), +-20%)";
+      ck_ok = r1_flat_ok;
+      ck_detail = r1_flat_detail;
+    };
+    {
+      ck_name = "R1: checkpointed recovery replays at most dirty+1 segments";
+      ck_ok = r1_replay_ok;
+      ck_detail = r1_replay_detail;
     };
     {
       ck_name = "W0: MinixLLD beats in-place Minix on write bandwidth";
@@ -1208,6 +1324,21 @@ let json_of_x3 rows =
            ])
        rows)
 
+let json_of_r1 rows =
+  Report.List
+    (List.map
+       (fun r ->
+         Report.Obj
+           [
+             ("churn_rounds", Report.Int r.r1_churn_rounds);
+             ("log_segments", Report.Int r.r1_log_segments);
+             ("dirty_segments", Report.Int r.r1_dirty_segments);
+             ("recovery_ns", Report.Int r.r1_recovery_ns);
+             ("segments_replayed", Report.Int r.r1_replayed);
+             ("segments_skipped", Report.Int r.r1_skipped);
+           ])
+       rows)
+
 let json_of_w0 rows =
   Report.List
     (List.map
@@ -1331,6 +1462,8 @@ let run_all_json ppf scale =
   print_delete_ablation ppf f5;
   let x3 = recovery_cost scale in
   print_recovery ppf x3;
+  let r1 = restart_cost scale in
+  print_restart_cost ppf r1;
   print_concurrency ppf (concurrency scale);
   print_mixed ppf (mixed_workload scale);
   print_implementations ppf (implementation_comparison scale);
@@ -1342,7 +1475,7 @@ let run_all_json ppf scale =
   print_observability ppf ob;
   let b1 = backend_comparison scale in
   print_backend ppf b1;
-  let cks = checks ~f5 ~f6 ~l1 ~x3 ~w0 ~c1 ~ob ~b1 in
+  let cks = checks ~f5 ~f6 ~l1 ~x3 ~r1 ~w0 ~c1 ~ob ~b1 in
   print_checks ppf cks;
   Format.fprintf ppf "@.";
   let json =
@@ -1362,6 +1495,7 @@ let run_all_json ppf scale =
         ("figure6", json_of_f6 f6);
         ("aru_latency", json_of_l1 l1);
         ("recovery", json_of_x3 x3);
+        ("r1", json_of_r1 r1);
         ("bandwidth", json_of_w0 w0);
         ("cleaning", json_of_c1 c1);
         ("observability", json_of_observability ob);

@@ -90,6 +90,28 @@ type recovery_row = {
 val recovery_cost : scale -> recovery_row list
 val print_recovery : Format.formatter -> recovery_row list -> unit
 
+(** {1 R1 — restart cost vs log length at fixed dirty-set size}
+
+    The O(dirty) restart claim of the incremental-checkpoint +
+    REDO-only recovery work: a fixed working set is overwritten 1, 2, 4
+    and 8 rounds (the log grows 8x), then a checkpoint is taken and a
+    fixed hot subset dirtied before the crash.  The recovery-time curve
+    must stay flat (within 20 %) and replay must touch no more segments
+    than the post-checkpoint dirty workload wrote, plus one for the
+    gap probe — both are reproduction checks and CI gates. *)
+
+type r1_row = {
+  r1_churn_rounds : int;
+  r1_log_segments : int;  (** segments written when the crash hits *)
+  r1_dirty_segments : int;  (** of those, written after the checkpoint *)
+  r1_recovery_ns : int;  (** virtual time of the recovery *)
+  r1_replayed : int;  (** log-tail segments recovery replayed *)
+  r1_skipped : int;  (** sealed segments the checkpoint let it skip *)
+}
+
+val restart_cost : scale -> r1_row list
+val print_restart_cost : Format.formatter -> r1_row list -> unit
+
 (** {1 X4 — concurrency: interleaved vs serial ARU streams} *)
 
 type concurrency_result = {

@@ -253,12 +253,15 @@ let write_tables t =
   let snap =
     {
       Lld_core.Checkpoint.ckpt_id = t.epoch + 1;
+      kind = Lld_core.Checkpoint.Full;
       covered_seq = 0;
       next_seq = 1;
       stamp = t.stamp;
       next_aru = t.next_aru;
       blocks = List.rev !blocks;
       lists = List.rev !lists;
+      dead_blocks = [];
+      dead_lists = [];
       pending = [];
       free_order = [];
     }

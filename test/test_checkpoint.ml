@@ -3,16 +3,20 @@ module Checkpoint = Lld_core.Checkpoint
 module Disk_layout = Lld_core.Disk_layout
 module Fault = Lld_disk.Fault
 
-let snapshot ?(ckpt_id = 5) ?(blocks = []) ?(lists = []) ?(pending = [])
-    ?(free_order = []) () =
+let snapshot ?(ckpt_id = 5) ?(kind = Checkpoint.Full) ?(covered_seq = 42)
+    ?(blocks = []) ?(lists = []) ?(dead_blocks = []) ?(dead_lists = [])
+    ?(pending = []) ?(free_order = []) () =
   {
     Checkpoint.ckpt_id;
-    covered_seq = 42;
-    next_seq = 43;
+    kind;
+    covered_seq;
+    next_seq = covered_seq + 1;
     stamp = 1000;
     next_aru = 9;
     blocks;
     lists;
+    dead_blocks;
+    dead_lists;
     pending;
     free_order;
   }
@@ -74,17 +78,18 @@ let test_region_write_read () =
   Alcotest.(check bool) "region 1 still empty" true
     (Checkpoint.read_region disk ~region:1 = None)
 
+let best_id disk =
+  match Checkpoint.read_best disk with
+  | Some b -> b.Checkpoint.best_snap.Checkpoint.ckpt_id
+  | None -> Alcotest.fail "no checkpoint found"
+
 let test_read_best_prefers_newer () =
   let disk = fresh_disk () in
   Checkpoint.write disk ~region:0 (snapshot ~ckpt_id:5 ());
   Checkpoint.write disk ~region:1 (snapshot ~ckpt_id:9 ());
-  (match Checkpoint.read_best disk with
-  | Some s -> Alcotest.(check int) "newest wins" 9 s.Checkpoint.ckpt_id
-  | None -> Alcotest.fail "no checkpoint found");
+  Alcotest.(check int) "newest wins" 9 (best_id disk);
   Checkpoint.write disk ~region:0 (snapshot ~ckpt_id:12 ());
-  match Checkpoint.read_best disk with
-  | Some s -> Alcotest.(check int) "alternation" 12 s.Checkpoint.ckpt_id
-  | None -> Alcotest.fail "no checkpoint found"
+  Alcotest.(check int) "alternation" 12 (best_id disk)
 
 let test_torn_checkpoint_write_falls_back () =
   let disk = fresh_disk () in
@@ -96,10 +101,81 @@ let test_torn_checkpoint_write_falls_back () =
   (try Checkpoint.write disk ~region:0 (snapshot ~ckpt_id:7 ())
    with Fault.Crashed -> ());
   Fault.reset_after_recovery (Disk.fault disk);
+  Alcotest.(check int) "survivor used" 6 (best_id disk)
+
+(* --- generation selection: full + delta ------------------------------ *)
+
+let delta ~base_id = Checkpoint.Delta { base_id }
+
+let test_delta_composes_over_full () =
+  let disk = fresh_disk () in
+  let full =
+    snapshot ~ckpt_id:5 ~covered_seq:10
+      ~blocks:[ block_entry 1; block_entry 2; block_entry 4 ]
+      ~lists:[ list_entry 1 ] ()
+  in
+  (* the delta rewrites block 2, adds block 6, tombstones block 4, and
+     deletes list 1 *)
+  let changed = { (block_entry 2) with Checkpoint.b_stamp = 999 } in
+  let d =
+    snapshot ~ckpt_id:6 ~kind:(delta ~base_id:5) ~covered_seq:20
+      ~blocks:[ changed; block_entry 6 ]
+      ~dead_blocks:[ 4 ] ~dead_lists:[ 1 ] ()
+  in
+  Checkpoint.write disk ~region:0 full;
+  Checkpoint.write disk ~region:1 d;
   match Checkpoint.read_best disk with
-  | Some s ->
-    Alcotest.(check int) "survivor used" 6 s.Checkpoint.ckpt_id
-  | None -> Alcotest.fail "lost both checkpoints"
+  | None -> Alcotest.fail "no checkpoint found"
+  | Some b ->
+    let s = b.Checkpoint.best_snap in
+    Alcotest.(check int) "delta generation wins" 6 s.Checkpoint.ckpt_id;
+    Alcotest.(check int) "delta covered_seq" 20 s.Checkpoint.covered_seq;
+    Alcotest.(check int) "delta region" 1 b.Checkpoint.best_region;
+    Alcotest.(check int) "full region remembered" 0 b.Checkpoint.best_full_region;
+    Alcotest.(check (list int)) "effective block set" [ 1; 2; 6 ]
+      (List.map (fun (e : Checkpoint.block_entry) -> e.b_id) s.Checkpoint.blocks);
+    Alcotest.(check int) "replacement entry wins" 999
+      (List.find
+         (fun (e : Checkpoint.block_entry) -> e.b_id = 2)
+         s.Checkpoint.blocks)
+        .Checkpoint.b_stamp;
+    Alcotest.(check (list int)) "tombstoned list gone" []
+      (List.map (fun (e : Checkpoint.list_entry) -> e.l_id) s.Checkpoint.lists)
+
+let test_torn_delta_falls_back_to_full () =
+  let disk = fresh_disk () in
+  Checkpoint.write disk ~region:0 (snapshot ~ckpt_id:5 ~covered_seq:10 ());
+  Fault.schedule_crash (Disk.fault disk)
+    (Fault.During_write { write_index = 0; keep_bytes = 100 });
+  (try
+     Checkpoint.write disk ~region:1
+       (snapshot ~ckpt_id:6 ~kind:(delta ~base_id:5) ~covered_seq:20 ())
+   with Fault.Crashed -> ());
+  Fault.reset_after_recovery (Disk.fault disk);
+  match Checkpoint.read_best disk with
+  | None -> Alcotest.fail "lost both generations"
+  | Some b ->
+    Alcotest.(check int) "full base survives" 5
+      b.Checkpoint.best_snap.Checkpoint.ckpt_id;
+    Alcotest.(check int) "its region is the full region" 0
+      b.Checkpoint.best_full_region
+
+let test_orphaned_delta_ignored () =
+  let disk = fresh_disk () in
+  (* the delta names base 5, but the other region holds full 8 — a
+     fresher full has superseded it, so composing would be wrong *)
+  Checkpoint.write disk ~region:0 (snapshot ~ckpt_id:8 ~covered_seq:30 ());
+  Checkpoint.write disk ~region:1
+    (snapshot ~ckpt_id:6 ~kind:(delta ~base_id:5) ~covered_seq:20 ());
+  Alcotest.(check int) "orphaned delta ignored" 8 (best_id disk)
+
+let test_delta_codec_roundtrip () =
+  let s =
+    snapshot ~ckpt_id:7 ~kind:(delta ~base_id:3)
+      ~blocks:[ block_entry 1 ] ~dead_blocks:[ 9; 12 ] ~dead_lists:[ 2 ] ()
+  in
+  Alcotest.(check bool) "roundtrip" true
+    (Checkpoint.decode (Checkpoint.encode s) = s)
 
 let test_multi_chunk_checkpoint () =
   (* enough block entries to spill across several region segments *)
@@ -161,6 +237,14 @@ let () =
             test_read_best_prefers_newer;
           Alcotest.test_case "torn write falls back" `Quick
             test_torn_checkpoint_write_falls_back;
+          Alcotest.test_case "delta composes over full" `Quick
+            test_delta_composes_over_full;
+          Alcotest.test_case "torn delta falls back to full" `Quick
+            test_torn_delta_falls_back_to_full;
+          Alcotest.test_case "orphaned delta ignored" `Quick
+            test_orphaned_delta_ignored;
+          Alcotest.test_case "delta codec roundtrip" `Quick
+            test_delta_codec_roundtrip;
           Alcotest.test_case "multi-chunk payloads" `Quick
             test_multi_chunk_checkpoint;
           Alcotest.test_case "oversized rejected" `Quick

@@ -96,6 +96,28 @@ let test_seed_roundtrip () =
     (contains ~needle:"--seed 21" report)
 
 (* ------------------------------------------------------------------ *)
+(* Crashing during recovery itself: early-open on-demand verification
+   plus crash points inside recovery's own write sequence. *)
+
+let test_during_recovery_clean () =
+  let trace = Crashcheck.record (churn ()) in
+  let r = Crashcheck.run_during_recovery ~budget:6 ~inner_budget:8 trace in
+  Alcotest.(check bool) "no violations" true (Crashcheck.recovery_ok r);
+  Alcotest.(check int) "outer points checked" 6 r.Crashcheck.rr_outer_checked;
+  Alcotest.(check bool) "inner crash points checked" true
+    (r.Crashcheck.rr_inner_checked > 0);
+  Alcotest.(check bool) "recovery writes recorded" true
+    (r.Crashcheck.rr_recovery_writes > 0);
+  Alcotest.(check bool) "oracle units judged on demand" true
+    (r.Crashcheck.rr_ondemand_units > 0)
+
+let test_during_recovery_deterministic () =
+  let trace = Crashcheck.record (churn ()) in
+  let r1 = Crashcheck.run_during_recovery ~budget:4 ~inner_budget:6 ~seed:5 trace in
+  let r2 = Crashcheck.run_during_recovery ~budget:4 ~inner_budget:6 ~seed:5 trace in
+  Alcotest.(check bool) "same seed, same sample" true (r1 = r2)
+
+(* ------------------------------------------------------------------ *)
 (* A deliberately broken recovery — consistency sweep disabled — must be
    caught, with a minimal reproducer that replays. *)
 
@@ -248,6 +270,13 @@ let () =
             test_budget_deterministic;
           Alcotest.test_case "sampling seed round-trips" `Quick
             test_seed_roundtrip;
+        ] );
+      ( "during-recovery",
+        [
+          Alcotest.test_case "recovery crash points clean" `Quick
+            test_during_recovery_clean;
+          Alcotest.test_case "deterministic sampling" `Quick
+            test_during_recovery_deterministic;
         ] );
       ( "detection",
         [

@@ -390,12 +390,17 @@ let gen_snapshot =
     (fun (ckpt_id, covered_seq) (blocks, lists) pending ->
       {
         Checkpoint.ckpt_id = ckpt_id + 1;
+        kind =
+          (if ckpt_id mod 3 = 0 then Checkpoint.Delta { base_id = ckpt_id }
+           else Checkpoint.Full);
         covered_seq;
         next_seq = covered_seq + 1;
         stamp = 1 + covered_seq;
         next_aru = 1;
         blocks;
         lists;
+        dead_blocks = (if ckpt_id mod 3 = 0 then [ 1; 5; 9 ] else []);
+        dead_lists = (if ckpt_id mod 3 = 0 then [ 2 ] else []);
         pending;
         free_order = [];
       })
@@ -464,6 +469,7 @@ let checkpoint_decode_total =
       let snap =
         {
           Checkpoint.ckpt_id = 3;
+          kind = Checkpoint.Full;
           covered_seq = 9;
           next_seq = 10;
           stamp = 100;
@@ -478,6 +484,8 @@ let checkpoint_decode_total =
                   b_stamp = i;
                 });
           lists = [];
+          dead_blocks = [];
+          dead_lists = [];
           pending = [];
           free_order = [ 5; 6 ];
         }

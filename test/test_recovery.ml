@@ -316,6 +316,144 @@ let test_media_error_on_checkpoint_region_falls_back () =
   check_data "fell back to surviving checkpoint + replay" (block_data 8)
     (Lld.read lld2 b)
 
+(* --- early open: reads served before the replay finishes ----------- *)
+
+module Op = Lld_core.Op
+module Ops = Op.Make (Lld)
+
+let early_config = { Config.default with Config.recovery_early_open = true }
+
+(* A crash image with several independent dependency groups, one
+   committed ARU and one uncommitted ARU whose allocation the sweep
+   must scavenge. *)
+let build_crash_state () =
+  let disk, lld = fresh_lld () in
+  let mk tag =
+    let l = new_list lld in
+    let bs =
+      List.init 6 (fun i ->
+          let b = append_block lld l in
+          Lld.write lld b (block_data (tag + i));
+          b)
+    in
+    (l, bs, tag)
+  in
+  let groups = List.init 4 (fun g -> mk (100 * (g + 1))) in
+  let l_aru = new_list lld in
+  let a = Lld.begin_aru lld in
+  let b_aru = Lld.new_block lld ~aru:a ~list:l_aru ~pred:Summary.Head () in
+  Lld.write lld ~aru:a b_aru (block_data 7);
+  Lld.end_aru lld a;
+  let a2 = Lld.begin_aru lld in
+  let b_orphan =
+    Lld.new_block lld ~aru:a2 ~list:l_aru ~pred:(Summary.After b_aru) ()
+  in
+  Lld.write lld ~aru:a2 b_orphan (block_data 9);
+  ignore a2 (* never committed *);
+  Lld.flush lld;
+  crash disk;
+  (disk, groups, (l_aru, b_aru), b_orphan)
+
+let test_early_open_serves_reads_on_demand () =
+  let disk, groups, (l_aru, b_aru), b_orphan = build_crash_state () in
+  let lld2, preliminary = Lld.recover ~config:early_config disk in
+  Alcotest.(check bool) "replay pending" true (Lld.recovery_pending lld2 > 0);
+  Alcotest.(check int) "preliminary report carries no sweep tallies" 0
+    preliminary.Recovery.blocks_scavenged;
+  Alcotest.(check bool) "independent groups partitioned" true
+    (preliminary.Recovery.replay_groups >= List.length groups);
+  (* on-demand reads while the replay is pending *)
+  List.iter
+    (fun (l, bs, tag) ->
+      List.iteri
+        (fun i b ->
+          check_data
+            (Printf.sprintf "on-demand read %d" (tag + i))
+            (block_data (tag + i))
+            (Lld.read lld2 b))
+        bs;
+      Alcotest.check block_ids "on-demand list walk" bs
+        (Lld.list_blocks lld2 l))
+    groups;
+  check_data "committed ARU served on demand" (block_data 7)
+    (Lld.read lld2 b_aru);
+  Alcotest.check block_ids "ARU list on demand" [ b_aru ]
+    (Lld.list_blocks lld2 l_aru);
+  (* the uncommitted ARU's allocation is swept on first touch *)
+  Alcotest.(check bool) "orphan swept on touch" false
+    (Lld.block_allocated lld2 b_orphan);
+  (match Lld.complete_recovery lld2 with
+  | None -> Alcotest.fail "recovery should still have been pending"
+  | Some report ->
+    Alcotest.(check bool) "orphan counted by the sweep" true
+      (report.Recovery.blocks_scavenged >= 1));
+  Alcotest.(check int) "nothing pending once complete" 0
+    (Lld.recovery_pending lld2);
+  Alcotest.(check bool) "second completion is a no-op" true
+    (Lld.complete_recovery lld2 = None)
+
+let test_early_open_matches_eager_recovery () =
+  let disk, groups, (l_aru, b_aru), b_orphan = build_crash_state () in
+  let geom = Disk.geometry disk in
+  let image = Disk.snapshot disk in
+  let load () = Disk.load ~clock:(Clock.create ()) geom (Bytes.copy image) in
+  let eager_lld, eager_report = Lld.recover (load ()) in
+  let lazy_lld, _preliminary = Lld.recover ~config:early_config (load ()) in
+  (* interleave queries through the op hook with the pending replay: each
+     read races the on-demand recovery of the group it lands in, while
+     the other groups stay unapplied *)
+  let same op =
+    Alcotest.(check bool)
+      (Format.asprintf "op %a agrees while replay pending" Op.pp op)
+      true
+      (Op.equal_result (Ops.apply lazy_lld op) (Ops.apply eager_lld op))
+  in
+  List.iter
+    (fun (l, bs, _) ->
+      same (Op.Read { aru = None; block = List.hd bs });
+      same (Op.Block_member { aru = None; block = List.hd bs });
+      same (Op.List_blocks { aru = None; list = l }))
+    groups;
+  same (Op.Read { aru = None; block = b_aru });
+  same (Op.List_blocks { aru = None; list = l_aru });
+  same (Op.Block_allocated { aru = None; block = b_orphan });
+  match Lld.complete_recovery lazy_lld with
+  | None -> Alcotest.fail "expected a pending recovery"
+  | Some report ->
+    (* whether domains ran depends on how many groups the touches left
+       behind; every other report field must agree with the eager run *)
+    Alcotest.(check bool) "final report equals the eager report" true
+      ({ report with Recovery.parallel_replay = false }
+      = { eager_report with Recovery.parallel_replay = false });
+    List.iter
+      (fun (l, bs, tag) ->
+        List.iteri
+          (fun i b ->
+            check_data
+              (Printf.sprintf "completed read %d" (tag + i))
+              (Lld.read eager_lld b) (Lld.read lazy_lld b))
+          bs;
+        Alcotest.check block_ids "completed list"
+          (Lld.list_blocks eager_lld l)
+          (Lld.list_blocks lazy_lld l))
+      groups;
+    Alcotest.(check bool) "same list universe" true
+      (Lld.lists lazy_lld = Lld.lists eager_lld)
+
+let test_early_open_first_mutation_completes () =
+  let disk, groups, _, _ = build_crash_state () in
+  let lld2, _ = Lld.recover ~config:early_config disk in
+  Alcotest.(check bool) "pending after early open" true
+    (Lld.recovery_pending lld2 > 0);
+  let _, bs, _ = List.hd groups in
+  Lld.write lld2 (List.hd bs) (block_data 777);
+  Alcotest.(check int) "first mutation completes the replay" 0
+    (Lld.recovery_pending lld2);
+  Alcotest.(check bool) "explicit completion is then a no-op" true
+    (Lld.complete_recovery lld2 = None);
+  check_data "mutation applied on the recovered state" (block_data 777)
+    (Lld.read lld2 (List.hd bs))
+
 let test_recovery_report_counts () =
   let disk, lld = fresh_lld () in
   let l = new_list lld in
@@ -372,6 +510,15 @@ let () =
             test_checkpoint_mid_aru_preserves_atomicity;
           Alcotest.test_case "media error fallback" `Quick
             test_media_error_on_checkpoint_region_falls_back;
+        ] );
+      ( "early-open",
+        [
+          Alcotest.test_case "reads served on demand" `Quick
+            test_early_open_serves_reads_on_demand;
+          Alcotest.test_case "matches eager recovery" `Quick
+            test_early_open_matches_eager_recovery;
+          Alcotest.test_case "first mutation completes replay" `Quick
+            test_early_open_first_mutation_completes;
         ] );
       ( "cleaner",
         [
