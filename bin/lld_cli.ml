@@ -833,11 +833,59 @@ let info_cmd =
           recovering it.")
     Term.(const show_info $ segments_arg $ file_arg)
 
+(* --------------------------------------------------------------- bench *)
+
+(* G1: group-commit throughput scaling with concurrent clients.  The
+   engine runs N synchronous-commit client loops; the flusher packs the
+   in-flight commits into batched commit records, one barrier each. *)
+let bench_run clients segments =
+  if clients = [] then fail_invalid "--clients needs at least one count";
+  List.iter
+    (fun n -> if n < 1 then fail_invalid "--clients counts must be positive")
+    clients;
+  let scale = { Experiment.quick with Experiment.geom = geom_of segments } in
+  let rows = Experiment.group_commit ~clients scale in
+  Experiment.print_group_commit Format.std_formatter rows;
+  let row n =
+    List.find_opt (fun r -> r.Experiment.g1_clients = n) rows
+  in
+  match (row 1, row 8) with
+  | Some one, Some eight ->
+    let ratio =
+      eight.Experiment.g1_commits_per_sec /. one.Experiment.g1_commits_per_sec
+    in
+    Printf.printf
+      "scaling: %.2fx at 8 clients (gate: >= 3x); %.3f barriers/commit \
+       (gate: < 0.5)\n"
+      ratio eight.Experiment.g1_barriers_per_commit;
+    if ratio < 3.0 || eight.Experiment.g1_barriers_per_commit >= 0.5 then
+      exit 1
+  | _ -> ()
+
+let bench_cmd =
+  let clients =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8; 16 ]
+      & info [ "clients" ] ~docv:"N,..."
+          ~doc:
+            "Concurrent client counts to run (comma-separated).  When the \
+             list includes 1 and 8 the scaling gates are evaluated and a \
+             failure exits non-zero.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "G1: group-commit scaling — run N concurrent synchronous-commit \
+          clients through the engine's event loop and report commits/s, \
+          batch sizes and barriers per commit for each N.")
+    Term.(const bench_run $ clients $ segments_arg)
+
 (* ---------------------------------------------------------------- *)
 (* model: differential fuzzing against the executable specification   *)
 
 let model_fuzz seed budget clients ops option backend crash_every crash_points
-    inject expect_divergence out_dir =
+    group_commit inject expect_divergence out_dir =
   let visibility =
     match option with
     | 1 -> Config.Any_shadow
@@ -874,6 +922,7 @@ let model_fuzz seed budget clients ops option backend crash_every crash_points
       ops;
       crash_every;
       crash_points;
+      group_commit;
     }
   in
   let progress ~case =
@@ -957,6 +1006,16 @@ let model_cmd =
       & info [ "crash-points" ] ~docv:"N"
           ~doc:"Crash-point sample budget per crash case.")
   in
+  let group_commit =
+    Arg.(
+      value & flag
+      & info [ "group-commit" ]
+          ~doc:
+            "Schedule commits through the group-commit engine: $(b,Commit) \
+             commands become queued submissions, both sides drain in \
+             lockstep when a batch is due, and the crash frontier includes \
+             every per-ARU boundary inside a batched commit record.")
+  in
   let inject =
     Arg.(
       value
@@ -991,7 +1050,8 @@ let model_cmd =
           crash frontier, and shrink any divergence to a minimal program.")
     Term.(
       const model_fuzz $ seed $ budget $ clients $ ops $ option $ backend
-      $ crash_every $ crash_points $ inject $ expect_divergence $ out_dir)
+      $ crash_every $ crash_points $ group_commit $ inject
+      $ expect_divergence $ out_dir)
 
 let () =
   let doc = "Atomic Recovery Units / log-structured Logical Disk reproduction" in
@@ -999,9 +1059,9 @@ let () =
     Cmd.group
       (Cmd.info "lld" ~version:"1.0.0" ~doc)
       [
-        repro_cmd; smallfile_cmd; largefile_cmd; aru_bench_cmd; crash_demo_cmd;
-        torture_cmd; crashcheck_cmd; model_cmd; trace_cmd; stats_cmd;
-        info_cmd; mkfs_cmd; mount_cmd;
+        repro_cmd; smallfile_cmd; largefile_cmd; aru_bench_cmd; bench_cmd;
+        crash_demo_cmd; torture_cmd; crashcheck_cmd; model_cmd; trace_cmd;
+        stats_cmd; info_cmd; mkfs_cmd; mount_cmd;
       ]
   in
   exit (Cmd.eval cmd)

@@ -16,7 +16,14 @@ type t = {
   recovery_sweep : bool;
   recovery_parallel : bool;
   recovery_early_open : bool;
+  group_commit_window : int;
+  group_commit_batch : int;
 }
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> ( match int_of_string_opt s with Some v -> v | None -> default)
 
 let default =
   {
@@ -33,6 +40,8 @@ let default =
     recovery_sweep = true;
     recovery_parallel = true;
     recovery_early_open = false;
+    group_commit_window = env_int "LLD_GROUP_COMMIT_WINDOW" 100_000;
+    group_commit_batch = env_int "LLD_GROUP_COMMIT_BATCH" 32;
   }
 
 let old_lld = { default with mode = Sequential }

@@ -62,11 +62,24 @@ type t = {
           logical block or list is recovered on demand the first time a
           read touches it.  The first mutating operation (or
           {!Lld.complete_recovery}) finishes the sweep. *)
+  group_commit_window : int;
+      (** group-commit window in virtual nanoseconds: once the oldest
+          queued commit intent ({!Lld.submit_commit}) has waited this
+          long, {!Lld.commit_due} reports the batch ready.  0 disables
+          group commit entirely — [submit_commit] degenerates to the
+          immediate single-ARU commit path, bit-identical to
+          {!Lld.end_aru} (the [LLD_GROUP_COMMIT_WINDOW=0] CI leg). *)
+  group_commit_batch : int;
+      (** close a commit batch as soon as this many ARUs are queued,
+          even inside the window *)
 }
 
 val default : t
 (** Concurrent mode, [Own_shadow] visibility, SPARC-5/70 cost model,
-    8 MB cache, readahead on, auto-clean on. *)
+    8 MB cache, readahead on, auto-clean on.  The group-commit knobs
+    default to a 100 µs window and batches of 32, overridable with the
+    [LLD_GROUP_COMMIT_WINDOW] / [LLD_GROUP_COMMIT_BATCH] environment
+    variables (integers; the window is virtual nanoseconds). *)
 
 val old_lld : t
 (** The "old" baseline: sequential mode; everything else as {!default}. *)

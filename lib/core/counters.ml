@@ -25,8 +25,12 @@ type t = {
   mutable clean_picks : int;
   mutable live_index_updates : int;
   mutable checkpoints : int;
+  mutable commit_batches : int;
+  mutable group_commits : int;
+  mutable commit_barriers : int;
   mutable recovery_replayed_segments : int;
   mutable recovery_skipped_segments : int;
+  mutable recovery_replay_disk_reads : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable readaheads : int;
@@ -94,12 +98,24 @@ let fields : (string * (t -> int) * (t -> int -> unit)) list =
       (fun t -> t.live_index_updates),
       fun t v -> t.live_index_updates <- v );
     ("checkpoints", (fun t -> t.checkpoints), fun t v -> t.checkpoints <- v);
+    ( "commit_batches",
+      (fun t -> t.commit_batches),
+      fun t v -> t.commit_batches <- v );
+    ( "group_commits",
+      (fun t -> t.group_commits),
+      fun t v -> t.group_commits <- v );
+    ( "commit_barriers",
+      (fun t -> t.commit_barriers),
+      fun t v -> t.commit_barriers <- v );
     ( "recovery_replayed_segments",
       (fun t -> t.recovery_replayed_segments),
       fun t v -> t.recovery_replayed_segments <- v );
     ( "recovery_skipped_segments",
       (fun t -> t.recovery_skipped_segments),
       fun t v -> t.recovery_skipped_segments <- v );
+    ( "recovery_replay_disk_reads",
+      (fun t -> t.recovery_replay_disk_reads),
+      fun t v -> t.recovery_replay_disk_reads <- v );
     ("cache_hits", (fun t -> t.cache_hits), fun t v -> t.cache_hits <- v);
     ("cache_misses", (fun t -> t.cache_misses), fun t v -> t.cache_misses <- v);
     ("readaheads", (fun t -> t.readaheads), fun t v -> t.readaheads <- v);
@@ -134,8 +150,12 @@ let create () =
     clean_picks = 0;
     live_index_updates = 0;
     checkpoints = 0;
+    commit_batches = 0;
+    group_commits = 0;
+    commit_barriers = 0;
     recovery_replayed_segments = 0;
     recovery_skipped_segments = 0;
+    recovery_replay_disk_reads = 0;
     cache_hits = 0;
     cache_misses = 0;
     readaheads = 0;

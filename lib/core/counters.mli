@@ -35,10 +35,25 @@ type t = {
   mutable live_index_updates : int;
       (** mutations of the per-segment live-block reverse index *)
   mutable checkpoints : int;
+  mutable commit_batches : int;
+      (** group-commit batches flushed ({!Lld.flush_commits} sub-batches,
+          each closed by one batched commit record and one barrier) *)
+  mutable group_commits : int;
+      (** ARUs committed through the group-commit queue (as opposed to
+          the immediate {!Lld.end_aru} path) *)
+  mutable commit_barriers : int;
+      (** seals (segment write + barrier) issued to close commit
+          batches; [commit_barriers / arus_committed] is the
+          barriers-per-commit amortization ratio *)
   mutable recovery_replayed_segments : int;
       (** log-tail segments the last recovery actually replayed *)
   mutable recovery_skipped_segments : int;
       (** sealed segments the last recovery's checkpoint let it skip *)
+  mutable recovery_replay_disk_reads : int;
+      (** [Disk.read] calls the last recovery's log-tail scan issued;
+          contiguous replayed segments are fetched in one batched read,
+          so this is at most (and usually far below) the replayed
+          segment count *)
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable readaheads : int;

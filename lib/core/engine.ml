@@ -1,0 +1,123 @@
+(* Concurrent client engine: a deterministic run-to-completion event
+   loop multiplexing N logical clients over one Lld instance, with the
+   group-commit queue drained between steps.  See engine.mli. *)
+
+module A = Op.Make (Lld)
+
+type client = Op.result option -> Op.t option
+
+type stats = {
+  ops : int;
+  commits : int;
+  flushes : int;
+  forced_flushes : int;
+  max_batch : int;
+}
+
+type status = Runnable | Parked of Types.Aru_id.t | Done
+
+type cl = {
+  gen : client;
+  mutable last : Op.result option;
+  mutable status : status;
+}
+
+let run lld gens =
+  let cfg = Lld.config lld in
+  let group =
+    cfg.Config.group_commit_window > 0 && cfg.Config.mode = Config.Concurrent
+  in
+  let clients =
+    Array.of_list
+      (List.map (fun g -> { gen = g; last = None; status = Runnable }) gens)
+  in
+  let n = Array.length clients in
+  let parked : cl Queue.t = Queue.create () in
+  let ops = ref 0 in
+  let commits = ref 0 in
+  let flushes = ref 0 in
+  let forced = ref 0 in
+  let max_batch = ref 0 in
+  let finished = ref 0 in
+  (* a flush drains the whole queue, so every parked waiter's commit is
+     done; wake them in FIFO submission order, each with the [R_unit]
+     its (translated) End_aru would have returned *)
+  let wake_committed () =
+    let rec go () =
+      match Queue.peek_opt parked with
+      | Some c -> (
+        match c.status with
+        | Parked a when not (Lld.commit_pending lld a) ->
+          ignore (Queue.pop parked);
+          c.status <- Runnable;
+          c.last <- Some Op.R_unit;
+          go ()
+        | Parked _ | Runnable | Done -> ())
+      | None -> ()
+    in
+    go ()
+  in
+  let flush ~forced:f () =
+    let k = Lld.flush_commits lld in
+    if k > 0 then begin
+      incr flushes;
+      if f then incr forced;
+      commits := !commits + k;
+      if k > !max_batch then max_batch := k
+    end;
+    wake_committed ()
+  in
+  while !finished < n do
+    let ran = ref false in
+    Array.iter
+      (fun c ->
+        match c.status with
+        | Parked _ | Done -> ()
+        | Runnable -> (
+          ran := true;
+          let last = c.last in
+          c.last <- None;
+          match c.gen last with
+          | None ->
+            c.status <- Done;
+            incr finished
+          | Some op ->
+            let op =
+              match op with
+              | Op.End_aru a when group -> Op.Submit_commit a
+              | op -> op
+            in
+            incr ops;
+            let r = A.apply lld op in
+            (match (op, r) with
+            | Op.Submit_commit a, Op.R_unit ->
+              c.status <- Parked a;
+              Queue.push c parked
+            | Op.End_aru _, Op.R_unit ->
+              incr commits;
+              c.last <- Some r
+            | Op.Flush_commits, Op.R_int k ->
+              if k > 0 then begin
+                incr flushes;
+                commits := !commits + k;
+                if k > !max_batch then max_batch := k
+              end;
+              c.last <- Some r;
+              wake_committed ()
+            | _, r -> c.last <- Some r);
+            if Lld.commit_due lld then flush ~forced:false ()))
+      clients;
+    (* everyone still alive is parked on a commit: the queue would
+       never fill or expire on its own — drain it now *)
+    if (not !ran) && not (Queue.is_empty parked) then flush ~forced:true ()
+  done;
+  (* leftovers (clients that finished while intents were still queued
+     below the due thresholds) *)
+  if Lld.pending_commits lld > 0 then flush ~forced:true ();
+  {
+    ops = !ops;
+    commits = !commits;
+    flushes = !flushes;
+    forced_flushes = !forced;
+    max_batch = !max_batch;
+  }

@@ -1,0 +1,44 @@
+(** Concurrent client engine over the group-commit queue.
+
+    The implementation is single-threaded by design (paper §3:
+    concurrency control is the client's problem), so "N concurrent
+    clients" means N logical request streams multiplexed over one
+    {!Lld} instance.  This engine is that multiplexer: an explicit
+    run-to-completion event loop — deterministic, no scheduler
+    randomness — that steps each client in round-robin order, one
+    {!Op} per step, and drains the commit queue whenever a batch is
+    due (DESIGN.md §5.11).
+
+    A client is a generator closure: it receives the result of its
+    previous operation ([None] on the first step) and returns the next
+    operation, or [None] when it is finished.
+
+    When group commit is enabled (concurrent mode and
+    {!Config.t.group_commit_window}[ > 0]) a client's [End_aru] is
+    translated to [Submit_commit] and the client {e parks} until the
+    flusher commits its batch — so client code is written once,
+    against the blocking interface, and the engine decides how commits
+    are paid for.  Parked clients wake in FIFO submission order, each
+    receiving the [R_unit] its commit produced.  When every live
+    client is parked the queue is force-flushed (the drain close
+    condition); the size and window close conditions are
+    {!Lld.commit_due}, polled after every operation.  With the window
+    at 0 nothing is translated or queued and the loop degenerates to
+    sequential interleaving of immediate commits. *)
+
+type client = Op.result option -> Op.t option
+(** One request stream.  The closure owns its state (typically the ARU
+    it is working in, captured mutably). *)
+
+type stats = {
+  ops : int;  (** operations applied, including translated submits *)
+  commits : int;  (** ARUs committed (immediately or via a batch) *)
+  flushes : int;  (** queue drains that committed at least one ARU *)
+  forced_flushes : int;
+      (** drains forced because every live client was parked *)
+  max_batch : int;  (** largest single drain *)
+}
+
+val run : Lld.t -> client list -> stats
+(** Run the clients to completion.  The commit queue is empty when
+    [run] returns — trailing intents are force-flushed. *)

@@ -5,6 +5,7 @@ exception Aru_already_active
 exception Block_not_on_list of Types.Block_id.t
 exception Disk_full
 exception Corrupt of string
+exception Commit_pending of Types.Aru_id.t
 
 let pp_exn ppf = function
   | Unallocated_block b ->
@@ -18,4 +19,7 @@ let pp_exn ppf = function
     Format.fprintf ppf "block %a is not on the list" Types.Block_id.pp b
   | Disk_full -> Format.fprintf ppf "logical disk is full"
   | Corrupt msg -> Format.fprintf ppf "corrupt on-disk state: %s" msg
+  | Commit_pending a ->
+    Format.fprintf ppf "ARU %a has a commit pending in the group-commit queue"
+      Types.Aru_id.pp a
   | e -> Format.fprintf ppf "%s" (Printexc.to_string e)

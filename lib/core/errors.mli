@@ -25,6 +25,11 @@ exception Disk_full
 exception Corrupt of string
 (** Recovery found on-disk state it cannot interpret. *)
 
+exception Commit_pending of Types.Aru_id.t
+(** The ARU sits in the group-commit queue ({!Lld.submit_commit}):
+    ending or aborting it again is a client error until
+    {!Lld.flush_commits} drains the queue. *)
+
 val pp_exn : Format.formatter -> exn -> unit
 (** Human-readable rendering of the exceptions above (falls back to
     [Printexc.to_string]). *)

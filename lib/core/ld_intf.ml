@@ -20,6 +20,18 @@ module type S = sig
   val abort_aru : t -> Types.Aru_id.t -> unit
   val with_aru : t -> (Types.Aru_id.t -> 'a) -> 'a
 
+  val submit_commit : t -> Types.Aru_id.t -> unit
+  (** Enqueue a commit intent for group commit: the ARU stops accepting
+      a second [end_aru]/[abort_aru] (they raise
+      [Errors.Commit_pending]) and commits when {!flush_commits} drains
+      the queue.  Implementations without a group-commit engine may
+      commit immediately, which is also the behaviour when the
+      configured group-commit window is 0. *)
+
+  val flush_commits : t -> int
+  (** Drain the commit queue in FIFO order, committing every queued ARU;
+      returns the number committed (0 when the queue is empty). *)
+
   (** {1 The LD operations} *)
 
   val new_list : t -> ?aru:Types.Aru_id.t -> unit -> Types.List_id.t

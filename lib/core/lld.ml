@@ -38,6 +38,10 @@ type t = {
   mutable sealed_since_ckpt : int;
   pending : (int, Checkpoint.pending_entry list) Hashtbl.t;
   (* reversed emission order; mirrors recovery's per-ARU buffers *)
+  commit_q : int Queue.t;
+  (* group commit: ARUs whose commit intent is queued, FIFO *)
+  commit_set : (int, unit) Hashtbl.t; (* membership mirror of commit_q *)
+  mutable commit_first_ns : int; (* enqueue time of the oldest intent *)
   mutable in_cleaning : bool;
   mutable in_checkpoint : bool;
   mutable warming : Recovery.pending option;
@@ -938,6 +942,7 @@ let finalize_recovery t (restored : Recovery.restored) =
     report.Recovery.segments_replayed;
   t.counters.Counters.recovery_skipped_segments <-
     report.Recovery.segments_skipped;
+  t.counters.Counters.recovery_replay_disk_reads <- report.Recovery.disk_reads;
   (* a fresh full checkpoint makes every unreferenced log segment free;
      it must target the region NOT holding the full base just recovered
      from, or a crash during this write would lose both generations *)
@@ -1299,110 +1304,10 @@ let replay_log_op t (a : Aru.t) ctx op =
       List_table.release_id t.lists list
     | `Skipped -> skipped ())
 
-let end_aru t aid =
-  dispatch t;
-  let a =
-    match Hashtbl.find_opt t.arus (Types.Aru_id.to_int aid) with
-    | Some a -> a
-    | None -> raise (Errors.Unknown_aru aid)
-  in
-  (match t.config.Config.mode with
-  | Config.Sequential ->
-    (* the old prototype: operations already ran in the single merged
-       stream; the commit record makes them atomic *)
-    cpu t ((cost t).Cost.aru_commit_ns / 4);
-    ignore (emit_entry t ~stream:Summary.Simple (Summary.Commit { aru = aid }));
-    Hashtbl.remove t.pending (Types.Aru_id.to_int aid);
-    List.iter (Block_map.release_id t.blocks) a.Aru.freed_blocks;
-    List.iter (List_table.release_id t.lists) a.Aru.freed_lists;
-    t.seq_aru <- None
-  | Config.Concurrent ->
-    cpu t (cost t).Cost.aru_commit_ns;
-    (* Reservation: the whole merge — replayed entries, shadow data and
-       the commit record — must land in one segment, or the merge must
-       start on a fresh segment it has to itself.  Either way no sealed
-       segment can carry this ARU's slot overwrites without its commit
-       record, which is what makes cross-scope slot coalescing sound
-       (see Segment.scope). *)
-    let data_bound = Aru.shadow_block_count a in
-    let entry_bound = (32 * (Link_log.length a.Aru.log + data_bound)) + 64 in
-    (match t.open_seg with
-    | Some s
-      when not (Segment.has_room s ~data_blocks:data_bound ~entry_bytes:entry_bound)
-      ->
-      seal t
-    | Some _ | None -> ());
-    let collected_b = ref [] in
-    let collected_l = ref [] in
-    let ctx = commit_ctx t collected_b collected_l in
-    (* 1. replay the list-operation log in the committed state,
-       generating the summary entries (paper §4) *)
-    Obs.timed t.obs Tr.Aru "commit.replay_log"
-      ~args:
-        [
-          ("aru", Tr.I (Types.Aru_id.to_int aid));
-          ("ops", Tr.I (Link_log.length a.Aru.log));
-        ]
-      (fun () -> List.iter (replay_log_op t a ctx) (Link_log.to_list a.Aru.log));
-    (* 2. merge shadow data versions into the committed state *)
-    Obs.timed t.obs Tr.Aru "commit.merge_shadow"
-      ~args:
-        [
-          ("aru", Tr.I (Types.Aru_id.to_int aid));
-          ("shadow_blocks", Tr.I (Aru.shadow_block_count a));
-        ]
-      (fun () ->
-    Aru.iter_shadow_blocks a (fun r ->
-        let anchor = Block_map.anchor t.blocks r.Record.id in
-        Record.remove_alt_block ~anchor r;
-        t.counters.Counters.record_transitions <-
-          t.counters.Counters.record_transitions + 1;
-        cpu t (cost t).Cost.record_transition_ns;
-        match r.Record.data with
-        | Some d when r.Record.alloc ->
-          let cnow = committed_peek t r.Record.id in
-          (* the shadow version replaces the committed version only if
-             it is more recent (paper §3.1) *)
-          if cnow.Record.alloc && r.Record.stamp >= cnow.Record.stamp then begin
-            let seq, phys =
-              emit_write t ~charge_copy:false ~allow_cross_scope:true
-                ~stream:(Summary.In_aru aid) ~block:r.Record.id ~data:d
-                ~stamp:r.Record.stamp ()
-            in
-            ignore seq;
-            let c = ctx.Splice.get_block r.Record.id in
-            c.Record.phys <- Some phys;
-            c.Record.data <- None;
-            c.Record.stamp <- r.Record.stamp
-          end
-          else
-            t.counters.Counters.replay_skips <-
-              t.counters.Counters.replay_skips + 1
-        | Some _ | None -> ());
-    Aru.iter_shadow_lists a (fun r ->
-        let anchor = List_table.anchor t.lists r.Record.lid in
-        Record.remove_alt_list ~anchor r;
-        t.counters.Counters.record_transitions <-
-          t.counters.Counters.record_transitions + 1;
-        cpu t (cost t).Cost.record_transition_ns));
-    (* 3. the commit record *)
-    let commit_seq =
-      Obs.timed t.obs Tr.Aru "commit.record"
-        ~args:[ ("aru", Tr.I (Types.Aru_id.to_int aid)) ]
-        (fun () ->
-          emit_entry t ~stream:Summary.Simple (Summary.Commit { aru = aid }))
-    in
-    Hashtbl.remove t.pending (Types.Aru_id.to_int aid);
-    (* 4. everything the commit touched becomes durable together with
-       the commit record *)
-    List.iter
-      (fun (r : Record.block) -> r.Record.durable_seq <- commit_seq)
-      !collected_b;
-    List.iter
-      (fun (r : Record.list_r) -> r.Record.l_durable_seq <- commit_seq)
-      !collected_l);
-  (* the commit makes this ARU's list allocations ordinary committed
-     lists: clear the owner marks so scavengers leave them alone *)
+(* The commit makes this ARU's list allocations ordinary committed
+   lists: clear the owner marks so scavengers leave them alone.  Shared
+   by every commit path (immediate and group-commit flusher). *)
+let clear_owner_marks t (a : Aru.t) aid =
   List.iter
     (fun (r : Record.list_r) ->
       dirty_list t r.Record.lid;
@@ -1422,14 +1327,144 @@ let end_aru t aid =
         | Some o when Types.Aru_id.equal o aid -> c.Record.l_owner <- None
         | Some _ | None -> ())
       | None, _ -> ())
-    a.Aru.owned_lists;
+    a.Aru.owned_lists
+
+(* Reservation: the whole merge — replayed entries, shadow data and
+   the commit record — must land in one segment, or the merge must
+   start on a fresh segment it has to itself.  Either way no sealed
+   segment can carry this ARU's slot overwrites without its commit
+   record, which is what makes cross-scope slot coalescing sound
+   (see Segment.scope).  [extra_entry_bytes] widens the margin for the
+   group-commit flusher, whose batched commit record grows with the
+   sub-batch. *)
+let commit_room t (a : Aru.t) ~extra_entry_bytes =
+  let data_bound = Aru.shadow_block_count a in
+  let entry_bound =
+    (32 * (Link_log.length a.Aru.log + data_bound)) + 64 + extra_entry_bytes
+  in
+  match t.open_seg with
+  | Some s -> Segment.has_room s ~data_blocks:data_bound ~entry_bytes:entry_bound
+  | None -> true
+
+(* Phases 1–2 of a concurrent commit: replay the list-operation log
+   and merge the shadow data versions into the committed state.
+   Everything the merge touches is collected with [durable_seq =
+   max_int] ("not yet durable"), so a seal between the merge and the
+   commit record never promotes half-committed records; the caller
+   stamps the collections once the (possibly batched) commit record
+   has a segment. *)
+let commit_merge t (a : Aru.t) aid =
+  let collected_b = ref [] in
+  let collected_l = ref [] in
+  let ctx = commit_ctx t collected_b collected_l in
+  (* 1. replay the list-operation log in the committed state,
+     generating the summary entries (paper §4) *)
+  Obs.timed t.obs Tr.Aru "commit.replay_log"
+    ~args:
+      [
+        ("aru", Tr.I (Types.Aru_id.to_int aid));
+        ("ops", Tr.I (Link_log.length a.Aru.log));
+      ]
+    (fun () -> List.iter (replay_log_op t a ctx) (Link_log.to_list a.Aru.log));
+  (* 2. merge shadow data versions into the committed state *)
+  Obs.timed t.obs Tr.Aru "commit.merge_shadow"
+    ~args:
+      [
+        ("aru", Tr.I (Types.Aru_id.to_int aid));
+        ("shadow_blocks", Tr.I (Aru.shadow_block_count a));
+      ]
+    (fun () ->
+  Aru.iter_shadow_blocks a (fun r ->
+      let anchor = Block_map.anchor t.blocks r.Record.id in
+      Record.remove_alt_block ~anchor r;
+      t.counters.Counters.record_transitions <-
+        t.counters.Counters.record_transitions + 1;
+      cpu t (cost t).Cost.record_transition_ns;
+      match r.Record.data with
+      | Some d when r.Record.alloc ->
+        let cnow = committed_peek t r.Record.id in
+        (* the shadow version replaces the committed version only if
+           it is more recent (paper §3.1) *)
+        if cnow.Record.alloc && r.Record.stamp >= cnow.Record.stamp then begin
+          let seq, phys =
+            emit_write t ~charge_copy:false ~allow_cross_scope:true
+              ~stream:(Summary.In_aru aid) ~block:r.Record.id ~data:d
+              ~stamp:r.Record.stamp ()
+          in
+          ignore seq;
+          let c = ctx.Splice.get_block r.Record.id in
+          c.Record.phys <- Some phys;
+          c.Record.data <- None;
+          c.Record.stamp <- r.Record.stamp
+        end
+        else
+          t.counters.Counters.replay_skips <-
+            t.counters.Counters.replay_skips + 1
+      | Some _ | None -> ());
+  Aru.iter_shadow_lists a (fun r ->
+      let anchor = List_table.anchor t.lists r.Record.lid in
+      Record.remove_alt_list ~anchor r;
+      t.counters.Counters.record_transitions <-
+        t.counters.Counters.record_transitions + 1;
+      cpu t (cost t).Cost.record_transition_ns));
+  (collected_b, collected_l)
+
+(* Post-record bookkeeping of one committed ARU: everything the commit
+   touched becomes durable together with the commit record. *)
+let commit_finish t (a : Aru.t) aid ~commit_seq collected_b collected_l =
+  Hashtbl.remove t.pending (Types.Aru_id.to_int aid);
+  List.iter
+    (fun (r : Record.block) -> r.Record.durable_seq <- commit_seq)
+    !collected_b;
+  List.iter
+    (fun (r : Record.list_r) -> r.Record.l_durable_seq <- commit_seq)
+    !collected_l;
+  clear_owner_marks t a aid;
   Hashtbl.remove t.arus (Types.Aru_id.to_int aid);
   t.counters.Counters.arus_committed <- t.counters.Counters.arus_committed + 1
+
+let end_aru t aid =
+  dispatch t;
+  if Hashtbl.mem t.commit_set (Types.Aru_id.to_int aid) then
+    raise (Errors.Commit_pending aid);
+  let a =
+    match Hashtbl.find_opt t.arus (Types.Aru_id.to_int aid) with
+    | Some a -> a
+    | None -> raise (Errors.Unknown_aru aid)
+  in
+  match t.config.Config.mode with
+  | Config.Sequential ->
+    (* the old prototype: operations already ran in the single merged
+       stream; the commit record makes them atomic *)
+    cpu t ((cost t).Cost.aru_commit_ns / 4);
+    ignore (emit_entry t ~stream:Summary.Simple (Summary.Commit { aru = aid }));
+    Hashtbl.remove t.pending (Types.Aru_id.to_int aid);
+    List.iter (Block_map.release_id t.blocks) a.Aru.freed_blocks;
+    List.iter (List_table.release_id t.lists) a.Aru.freed_lists;
+    t.seq_aru <- None;
+    clear_owner_marks t a aid;
+    Hashtbl.remove t.arus (Types.Aru_id.to_int aid);
+    t.counters.Counters.arus_committed <- t.counters.Counters.arus_committed + 1
+  | Config.Concurrent ->
+    cpu t (cost t).Cost.aru_commit_ns;
+    if not (commit_room t a ~extra_entry_bytes:0) then seal t;
+    let collected_b, collected_l = commit_merge t a aid in
+    (* 3. the commit record *)
+    let commit_seq =
+      Obs.timed t.obs Tr.Aru "commit.record"
+        ~args:[ ("aru", Tr.I (Types.Aru_id.to_int aid)) ]
+        (fun () ->
+          emit_entry t ~stream:Summary.Simple (Summary.Commit { aru = aid }))
+    in
+    (* 4. *)
+    commit_finish t a aid ~commit_seq collected_b collected_l
 
 let abort_aru t aid =
   dispatch t;
   if t.config.Config.mode = Config.Sequential then
     invalid_arg "Lld.abort_aru: not supported by the sequential prototype";
+  if Hashtbl.mem t.commit_set (Types.Aru_id.to_int aid) then
+    raise (Errors.Commit_pending aid);
   let a =
     match Hashtbl.find_opt t.arus (Types.Aru_id.to_int aid) with
     | Some a -> a
@@ -1443,6 +1478,109 @@ let abort_aru t aid =
       Record.remove_alt_list ~anchor r);
   Hashtbl.remove t.arus (Types.Aru_id.to_int aid);
   t.counters.Counters.arus_aborted <- t.counters.Counters.arus_aborted + 1
+
+(* ------------------------------------------------------------------ *)
+(* Group commit (DESIGN.md §5.11).  [submit_commit] queues a commit
+   intent instead of paying a seal per ARU; [flush_commits] drains the
+   queue in FIFO order, merges every queued ARU into the committed
+   state, packs the batch's commit records into one [Commit_group]
+   summary entry and pays ONE seal — and therefore one barrier — for
+   the whole batch.  With [group_commit_window = 0] (or in sequential
+   mode) [submit_commit] degenerates to the immediate [end_aru] path,
+   bit-identically. *)
+
+let commit_pending t aid = Hashtbl.mem t.commit_set (Types.Aru_id.to_int aid)
+let pending_commits t = Queue.length t.commit_q
+
+let commit_due t =
+  (not (Queue.is_empty t.commit_q))
+  && (Queue.length t.commit_q >= t.config.Config.group_commit_batch
+     || Clock.now_ns t.clock - t.commit_first_ns
+        >= t.config.Config.group_commit_window)
+
+let submit_commit t aid =
+  if t.config.Config.group_commit_window <= 0 || not (concurrent t) then
+    (* degenerate batches of one: the immediate commit path *)
+    end_aru t aid
+  else begin
+    dispatch t;
+    let key = Types.Aru_id.to_int aid in
+    if Hashtbl.mem t.commit_set key then raise (Errors.Commit_pending aid);
+    if not (Hashtbl.mem t.arus key) then raise (Errors.Unknown_aru aid);
+    if Queue.is_empty t.commit_q then t.commit_first_ns <- Clock.now_ns t.clock;
+    Queue.push key t.commit_q;
+    Hashtbl.replace t.commit_set key ()
+  end
+
+let flush_commits t =
+  if Queue.is_empty t.commit_q then 0
+  else
+    Obs.timed t.obs Tr.Aru "commit.group"
+      ~args:[ ("queued", Tr.I (Queue.length t.commit_q)) ]
+    @@ fun () ->
+    (* sub-batch accumulated in reverse: (aid, aru, blocks, lists) *)
+    let subbatch = ref [] in
+    let subbatch_n = ref 0 in
+    let close_subbatch () =
+      match List.rev !subbatch with
+      | [] -> ()
+      | batch ->
+        let arus = List.map (fun (aid, _, _, _) -> aid) batch in
+        let n = List.length arus in
+        (* the batched commit record goes in BEFORE the seal: the
+           reservation kept room for it, and the seal's auto-checkpoint
+           must already see the batch as committed *)
+        let commit_seq =
+          Obs.timed t.obs Tr.Aru "commit.record"
+            ~args:[ ("batch", Tr.I n) ]
+            (fun () ->
+              emit_entry t ~stream:Summary.Simple
+                (Summary.Commit_group { arus }))
+        in
+        List.iter
+          (fun (aid, a, cb, cl) ->
+            commit_finish t a aid ~commit_seq cb cl;
+            t.counters.Counters.group_commits <-
+              t.counters.Counters.group_commits + 1)
+          batch;
+        (* one seal makes the whole batch durable *)
+        seal t;
+        t.counters.Counters.commit_batches <-
+          t.counters.Counters.commit_batches + 1;
+        t.counters.Counters.commit_barriers <-
+          t.counters.Counters.commit_barriers + 1;
+        Obs.observe t.obs "commit.batch_size" n;
+        subbatch := [];
+        subbatch_n := 0
+    in
+    let committed = ref 0 in
+    while not (Queue.is_empty t.commit_q) do
+      let key = Queue.pop t.commit_q in
+      Hashtbl.remove t.commit_set key;
+      match Hashtbl.find_opt t.arus key with
+      | None -> () (* unreachable: queued ARUs stay active until drained *)
+      | Some a ->
+        let aid = Types.Aru_id.of_int key in
+        cpu t (cost t).Cost.aru_commit_ns;
+        if !subbatch_n >= t.config.Config.group_commit_batch then
+          close_subbatch ();
+        (* group-record growth: stream byte + op tag + count + one u32
+           per ARU already merged, plus this one *)
+        let extra = 4 * (!subbatch_n + 2) in
+        if not (commit_room t a ~extra_entry_bytes:extra) then begin
+          (* no room for this ARU's whole merge: close what we have
+             (its record still fits the margin the earlier reservations
+             kept), then let the merge start on a fresh segment *)
+          close_subbatch ();
+          if not (commit_room t a ~extra_entry_bytes:extra) then seal t
+        end;
+        let cb, cl = commit_merge t a aid in
+        subbatch := (aid, a, cb, cl) :: !subbatch;
+        incr subbatch_n;
+        incr committed
+    done;
+    close_subbatch ();
+    !committed
 
 (* ------------------------------------------------------------------ *)
 (* Observability wrappers.  Each public LD operation is timed on the
@@ -1459,6 +1597,12 @@ let end_aru t aid = Obs.timed t.obs Tr.Op "end_aru" (fun () -> end_aru t aid)
 
 let abort_aru t aid =
   Obs.timed t.obs Tr.Op "abort_aru" (fun () -> abort_aru t aid)
+
+let submit_commit t aid =
+  Obs.timed t.obs Tr.Op "submit_commit" (fun () -> submit_commit t aid)
+
+let flush_commits t =
+  Obs.timed t.obs Tr.Op "flush_commits" (fun () -> flush_commits t)
 
 let new_list t ?aru () =
   Obs.timed t.obs Tr.Op "new_list" (fun () ->
@@ -1800,6 +1944,9 @@ let make ~config ~disk ~blocks ~lists ~next_seq ~stamp ~next_aru ~ckpt_id =
       dirty_lists = Hashtbl.create 64;
       sealed_since_ckpt = 0;
       pending = Hashtbl.create 16;
+      commit_q = Queue.create ();
+      commit_set = Hashtbl.create 16;
+      commit_first_ns = 0;
       in_cleaning = false;
       in_checkpoint = false;
       warming = None;

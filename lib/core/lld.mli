@@ -65,13 +65,45 @@ val begin_aru : t -> Types.Aru_id.t
 val end_aru : t -> Types.Aru_id.t -> unit
 (** Commit: replay the ARU's list-operation log in the committed state,
     merge its shadow data versions, and write the commit record (paper
-    §4).  Raises [Errors.Unknown_aru] if not active. *)
+    §4).  Raises [Errors.Unknown_aru] if not active,
+    [Errors.Commit_pending] if queued by {!submit_commit}. *)
 
 val abort_aru : t -> Types.Aru_id.t -> unit
 (** Discard the ARU's shadow state.  Blocks and lists it allocated
     remain allocated (paper §3.3) until {!scavenge} or recovery frees
     them.  Concurrent mode only; raises [Invalid_argument] in sequential
     mode. *)
+
+val submit_commit : t -> Types.Aru_id.t -> unit
+(** Queue a commit intent for group commit (DESIGN.md §5.11): the ARU
+    stops accepting operations and commits at the next
+    {!flush_commits}, sharing one segment seal — one barrier — with
+    every other ARU in the batch.  With
+    {!Config.t.group_commit_window}[ = 0], or in sequential mode,
+    degenerates to {!end_aru} (bit-identical log).  Raises
+    [Errors.Unknown_aru] if not active, [Errors.Commit_pending] if
+    already queued. *)
+
+val flush_commits : t -> int
+(** Drain the commit queue now, in FIFO order: merge every queued ARU
+    into the committed state, write one batched [Commit_group] record
+    per sub-batch (a sub-batch closes at
+    {!Config.t.group_commit_batch} ARUs or when the open segment runs
+    out of reserved room) and seal once per sub-batch.  Returns the
+    number of ARUs committed (0 when the queue is empty — no seal is
+    paid). *)
+
+val commit_due : t -> bool
+(** Whether the commit queue should be flushed now: it is non-empty
+    and either {!Config.t.group_commit_batch} intents are queued or
+    the oldest has waited {!Config.t.group_commit_window} virtual
+    nanoseconds. *)
+
+val commit_pending : t -> Types.Aru_id.t -> bool
+(** Whether this ARU sits in the commit queue. *)
+
+val pending_commits : t -> int
+(** Commit intents currently queued. *)
 
 val with_aru : t -> (Types.Aru_id.t -> 'a) -> 'a
 (** [with_aru t f] brackets [f] in an ARU: commits on normal return,

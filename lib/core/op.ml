@@ -1,6 +1,8 @@
 type t =
   | Begin_aru
   | End_aru of Types.Aru_id.t
+  | Submit_commit of Types.Aru_id.t
+  | Flush_commits
   | Abort_aru of Types.Aru_id.t
   | New_list of Types.Aru_id.t option
   | New_block of {
@@ -63,6 +65,8 @@ let data_tag data =
 let pp ppf = function
   | Begin_aru -> Format.pp_print_string ppf "begin_aru"
   | End_aru a -> Format.fprintf ppf "end_aru %a" Types.Aru_id.pp a
+  | Submit_commit a -> Format.fprintf ppf "submit_commit %a" Types.Aru_id.pp a
+  | Flush_commits -> Format.pp_print_string ppf "flush_commits"
   | Abort_aru a -> Format.fprintf ppf "abort_aru %a" Types.Aru_id.pp a
   | New_list aru -> Format.fprintf ppf "new_list%a" pp_aru aru
   | New_block { aru; list; pred } ->
@@ -121,7 +125,8 @@ module Make (L : Ld_intf.S) = struct
       | exception
           (( Errors.Unallocated_block _ | Errors.Unallocated_list _
            | Errors.Unknown_aru _ | Errors.Aru_already_active
-           | Errors.Block_not_on_list _ | Errors.Disk_full | Errors.Corrupt _ )
+           | Errors.Commit_pending _ | Errors.Block_not_on_list _
+           | Errors.Disk_full | Errors.Corrupt _ )
            as e) ->
         R_error (Format.asprintf "%a" Errors.pp_exn e)
       | exception Invalid_argument m -> R_error ("Invalid_argument: " ^ m)
@@ -132,6 +137,10 @@ module Make (L : Ld_intf.S) = struct
         | End_aru a ->
           L.end_aru ld a;
           R_unit
+        | Submit_commit a ->
+          L.submit_commit ld a;
+          R_unit
+        | Flush_commits -> R_int (L.flush_commits ld)
         | Abort_aru a ->
           L.abort_aru ld a;
           R_unit

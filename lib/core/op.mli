@@ -14,6 +14,10 @@
 type t =
   | Begin_aru
   | End_aru of Types.Aru_id.t
+  | Submit_commit of Types.Aru_id.t
+      (** queue a commit intent for group commit; a no-op queue on
+          implementations without one (they commit immediately) *)
+  | Flush_commits  (** drain the commit queue; results in [R_int] *)
   | Abort_aru of Types.Aru_id.t
   | New_list of Types.Aru_id.t option
   | New_block of {

@@ -21,18 +21,19 @@ type report = {
   replay_skips : int;
   blocks_scavenged : int;
   lists_scavenged : int;
+  disk_reads : int;
 }
 
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>checkpoint %d (covers seq %d)@,\
-     segments: %d replayed, %d skipped, %d invalid@,\
+     segments: %d replayed, %d skipped, %d invalid (%d disk reads)@,\
      replay: %d groups%s@,\
      entries applied %d (skipped %d)@,\
      ARUs: %d committed, %d discarded (%d entries)@,\
      blocks scavenged %d@]"
     r.checkpoint_id r.covered_seq r.segments_replayed r.segments_skipped
-    r.invalid_segments r.replay_groups
+    r.invalid_segments r.disk_reads r.replay_groups
     (if r.parallel_replay then " (parallel)" else "")
     r.entries_applied r.replay_skips r.arus_committed r.arus_discarded
     r.entries_discarded (r.blocks_scavenged + r.lists_scavenged)
@@ -139,20 +140,26 @@ let rec apply_op st ~seg op =
     end
     else st.g_skips <- st.g_skips + 1;
     note_stamp st stamp
-  | Summary.Commit { aru } ->
-    let key = Types.Aru_id.to_int aru in
-    let buffered =
-      match Hashtbl.find_opt st.g_buffers key with
-      | None -> []
-      | Some rev -> List.rev rev
-    in
-    Hashtbl.remove st.g_buffers key;
-    Hashtbl.replace st.g_committed key ();
-    List.iter
-      (fun pe -> apply_op st ~seg:pe.Checkpoint.pe_seg pe.Checkpoint.pe_op)
-      buffered;
-    st.g_ncommitted <- st.g_ncommitted + 1;
-    st.g_applied <- st.g_applied + 1
+  | Summary.Commit { aru } -> commit_aru st aru
+  | Summary.Commit_group { arus } ->
+    (* a batched commit record: one Commit per contained ARU, in list
+       order — each ARU's buffered entries take effect independently *)
+    List.iter (commit_aru st) arus
+
+and commit_aru st aru =
+  let key = Types.Aru_id.to_int aru in
+  let buffered =
+    match Hashtbl.find_opt st.g_buffers key with
+    | None -> []
+    | Some rev -> List.rev rev
+  in
+  Hashtbl.remove st.g_buffers key;
+  Hashtbl.replace st.g_committed key ();
+  List.iter
+    (fun pe -> apply_op st ~seg:pe.Checkpoint.pe_seg pe.Checkpoint.pe_op)
+    buffered;
+  st.g_ncommitted <- st.g_ncommitted + 1;
+  st.g_applied <- st.g_applied + 1
 
 let replay_entry st ~seg (entry : Summary.t) =
   (match entry.Summary.stream with
@@ -285,6 +292,8 @@ let op_nodes p = function
   | Summary.Delete_list { list } ->
     [ node p (Nlist (Types.List_id.to_int list)) ]
   | Summary.Commit { aru } -> [ node p (Naru (Types.Aru_id.to_int aru)) ]
+  | Summary.Commit_group { arus } ->
+    List.map (fun a -> node p (Naru (Types.Aru_id.to_int a))) arus
 
 let union_all p = function
   | [] | [ _ ] -> ()
@@ -311,6 +320,7 @@ type pending = {
   p_next_seq : int;
   p_segments_replayed : int;
   p_invalid_segments : int;
+  p_disk_reads : int;
   mutable p_blocks_scavenged : int;
   mutable p_lists_scavenged : int;
   mutable p_used_domains : bool;
@@ -432,7 +442,9 @@ let prepare ?(obs = Obs.null) ?(sweep = true) ?(parallel = true) disk =
   let expected = ref (snap.Checkpoint.covered_seq + 1) in
   let replayed = ref 0 in
   let tail = ref [] in
+  let disk_reads = ref 0 in
   let read_segment i =
+    incr disk_reads;
     match
       Disk.read disk
         ~offset:(Geometry.segment_offset geom i)
@@ -446,22 +458,63 @@ let prepare ?(obs = Obs.null) ?(sweep = true) ?(parallel = true) disk =
   Obs.timed obs Tr.Recovery "replay" (fun () ->
       match snap.Checkpoint.free_order with
       | _ :: _ as order ->
+        (* Batched tail reads: physically contiguous runs of the
+           recorded order are fetched in one [Disk.read] each, with the
+           run length ramping up (1, 2, 4, 8) so a short tail — the
+           common O(dirty) restart — over-reads at most one segment
+           past the gap probe.  A media error on a batched read falls
+           back to per-segment reads of the same run (lazily, so the
+           invalid-segment accounting matches the unbatched scan). *)
+        let seg_bytes = geom.Geometry.segment_bytes in
+        let order = Array.of_list order in
+        let n = Array.length order in
         let continue = ref true in
-        List.iter
-          (fun i ->
+        let pos = ref 0 in
+        let cap = ref 1 in
+        while !continue && !pos < n do
+          let first = order.(!pos) in
+          let len = ref 1 in
+          while
+            !len < !cap && !pos + !len < n && order.(!pos + !len) = first + !len
+          do
+            incr len
+          done;
+          let batched =
+            if !len = 1 then None
+            else begin
+              incr disk_reads;
+              match
+                Disk.read disk
+                  ~offset:(Geometry.segment_offset geom first)
+                  ~length:(!len * seg_bytes)
+              with
+              | image -> Some image
+              | exception Fault.Media_error _ -> None
+            end
+          in
+          for k = 0 to !len - 1 do
             if !continue then begin
-              match Option.map (Segment.parse geom) (read_segment i) with
+              let image =
+                match batched with
+                | Some img -> Some (Bytes.sub img (k * seg_bytes) seg_bytes)
+                | None when !len = 1 -> read_segment first
+                | None -> read_segment (first + k)
+              in
+              match Option.map (Segment.parse geom) image with
               | Some (Some p) when p.Segment.p_seq = !expected ->
                 incr expected;
                 incr replayed;
-                tail := (i, p.Segment.p_entries) :: !tail
+                tail := (first + k, p.Segment.p_entries) :: !tail
               | Some (Some _) | Some None | None ->
                 (* stale contents, torn write, or a media error: the
                    stream ends here *)
-                if !continue then incr invalid;
+                incr invalid;
                 continue := false
-            end)
-          order
+            end
+          done;
+          pos := !pos + !len;
+          cap := min 8 (2 * !cap)
+        done
       | [] ->
         let parsed = ref [] in
         for i = Disk_layout.log_first geom to geom.Geometry.num_segments - 1 do
@@ -616,6 +669,7 @@ let prepare ?(obs = Obs.null) ?(sweep = true) ?(parallel = true) disk =
     p_next_seq = max snap.Checkpoint.next_seq !expected;
     p_segments_replayed = !replayed;
     p_invalid_segments = !invalid;
+    p_disk_reads = !disk_reads;
     p_blocks_scavenged = 0;
     p_lists_scavenged = 0;
     p_used_domains = false;
@@ -640,6 +694,7 @@ let base_report p =
     replay_skips = 0;
     blocks_scavenged = 0;
     lists_scavenged = 0;
+    disk_reads = p.p_disk_reads;
   }
 
 let preliminary_report = base_report

@@ -61,6 +61,11 @@ type report = {
   blocks_scavenged : int;
   lists_scavenged : int;
       (** still-empty lists of ARUs that never committed *)
+  disk_reads : int;
+      (** [Disk.read] calls the tail scan issued: physically contiguous
+          runs of the checkpoint's free order are fetched in one batched
+          read each, so this is at most — and for a contiguous tail far
+          below — [segments_replayed + 1] *)
 }
 
 val pp_report : Format.formatter -> report -> unit

@@ -16,6 +16,7 @@ type op =
   | Delete_list of { list : Types.List_id.t }
   | Dealloc of { block : Types.Block_id.t; stamp : int }
   | Commit of { aru : Types.Aru_id.t }
+  | Commit_group of { arus : Types.Aru_id.t list }
 
 type t = { stream : stream; op : op }
 
@@ -35,6 +36,7 @@ let op_size = function
   | Delete_list _ -> 1 + 4
   | Dealloc _ -> 1 + 4 + 8
   | Commit _ -> 1 + 4
+  | Commit_group { arus } -> 1 + 2 + (4 * List.length arus)
 
 let encoded_size t = stream_size t.stream + op_size t.op
 
@@ -88,6 +90,10 @@ let encode w t =
   | Commit { aru } ->
     W.u8 w 8;
     W.u32 w (Types.Aru_id.to_int aru)
+  | Commit_group { arus } ->
+    W.u8 w 9;
+    W.u16 w (List.length arus);
+    List.iter (fun a -> W.u32 w (Types.Aru_id.to_int a)) arus
 
 let decode r =
   let module R = Codec.Reader in
@@ -135,6 +141,10 @@ let decode r =
       let b = block () in
       Dealloc { block = b; stamp = stamp () }
     | 8 -> Commit { aru = Types.Aru_id.of_int (R.u32 r) }
+    | 9 ->
+      let n = R.u16 r in
+      let arus = List.init n (fun _ -> Types.Aru_id.of_int (R.u32 r)) in
+      Commit_group { arus }
     | n -> raise (Errors.Corrupt (Printf.sprintf "summary op tag %d" n))
   in
   { stream; op }
@@ -166,6 +176,12 @@ let pp_op ppf = function
   | Dealloc { block; stamp } ->
     Format.fprintf ppf "dealloc %a @%d" Types.Block_id.pp block stamp
   | Commit { aru } -> Format.fprintf ppf "commit %a" Types.Aru_id.pp aru
+  | Commit_group { arus } ->
+    Format.fprintf ppf "commit-group [%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         Types.Aru_id.pp)
+      arus
 
 let pp ppf t =
   match t.stream with

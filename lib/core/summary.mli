@@ -47,6 +47,13 @@ type op =
   | Commit of { aru : Types.Aru_id.t }
       (** commit record: all earlier [In_aru] entries of this ARU take
           effect *)
+  | Commit_group of { arus : Types.Aru_id.t list }
+      (** batched commit record (group commit): equivalent to one
+          [Commit] per listed ARU, in list order.  The record is a
+          single summary entry in a single segment, so a torn batch is
+          all-or-nothing as a unit — every contained ARU either has its
+          buffered [In_aru] entries applied or none do, and each ARU
+          individually remains failure-atomic *)
 
 type t = { stream : stream; op : op }
 

@@ -159,11 +159,81 @@ let cleaning_spec ?(units = 36) ?(blocks_per_unit = 2) () =
         Lld.flush lld);
   }
 
+(* Group-commit workload: rounds of concurrent ARUs submitted to the
+   commit queue and drained with [flush_commits], so every batch's
+   commit records travel in one [Commit_group] summary entry.  The
+   batch's data blocks exceed one segment, so the flusher's
+   close-on-room path splits sub-batches mid-drain as well.  Crash
+   points falling on (or tearing) the batch seals demand per-ARU
+   all-or-nothing inside torn batches; one ARU is submitted but never
+   flushed — its commit intent lives only in memory, so no crash image
+   may surface it as committed. *)
+let group_commit_spec ?(rounds = 10) ?(arus_per_round = 4)
+    ?(blocks_per_aru = 2) () =
+  {
+    sc_name = "group-commit";
+    sc_geom = checker_geom;
+    sc_config =
+      {
+        Config.default with
+        (* pinned explicitly: never from the environment *)
+        group_commit_window = 100_000;
+        group_commit_batch = 64;
+      };
+    sc_fs = None;
+    sc_inode_count = None;
+    sc_run =
+      (fun cx oracle ->
+        let lld = cx.cx_lld in
+        let block_bytes = Lld.block_bytes lld in
+        let payload u s =
+          let b = Bytes.make block_bytes '\000' in
+          let tag = Printf.sprintf "group-%d-%d:" u s in
+          Bytes.blit_string tag 0 b 0 (String.length tag);
+          for i = String.length tag to block_bytes - 1 do
+            Bytes.set b i (Char.chr ((u * 211 + s * 17 + i) land 0xff))
+          done;
+          b
+        in
+        let one_unit ~index ~must_not_commit =
+          let a = Lld.begin_aru lld in
+          let l = Lld.new_list lld ~aru:a () in
+          let prev = ref None in
+          let blocks = ref [] in
+          for j = 0 to blocks_per_aru - 1 do
+            let pred =
+              match !prev with None -> Summary.Head | Some b -> Summary.After b
+            in
+            let b = Lld.new_block lld ~aru:a ~list:l ~pred () in
+            let data = payload index j in
+            Lld.write lld ~aru:a b data;
+            prev := Some b;
+            blocks := (b, data) :: !blocks
+          done;
+          Lld.submit_commit lld a;
+          Oracle.add_blocks oracle
+            ~label:
+              (Printf.sprintf "group-%d%s" index
+                 (if must_not_commit then "-queued" else ""))
+            ~must_not_commit ~lists:[ l ] (List.rev !blocks)
+        in
+        for r = 0 to rounds - 1 do
+          for i = 0 to arus_per_round - 1 do
+            one_unit ~index:((r * arus_per_round) + i) ~must_not_commit:false
+          done;
+          ignore (Lld.flush_commits lld)
+        done;
+        (* submitted after the last drain: queued forever *)
+        one_unit ~index:(rounds * arus_per_round) ~must_not_commit:true;
+        Lld.flush lld);
+  }
+
 let specs =
   [
     ("smallfile", fun () -> smallfile_spec ());
     ("aru-churn", fun () -> aru_churn_spec ());
     ("cleaning", fun () -> cleaning_spec ());
+    ("group-commit", fun () -> group_commit_spec ());
   ]
 
 (* ------------------------------------------------------------------ *)

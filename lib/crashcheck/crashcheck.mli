@@ -65,6 +65,16 @@ val cleaning_spec : ?units:int -> ?blocks_per_unit:int -> unit -> spec
     with one ARU left open across it — segment relocation, the live
     index and the cleaner's checkpoint all inside the recorded trace. *)
 
+val group_commit_spec :
+  ?rounds:int -> ?arus_per_round:int -> ?blocks_per_aru:int -> unit -> spec
+(** Group-commit workload: rounds of ARUs queued with
+    {!Lld_core.Lld.submit_commit} and drained as batches whose commit
+    records travel in single [Commit_group] entries (default 10 rounds
+    of 4 ARUs x 2 blocks — big enough to split sub-batches on segment
+    room).  Crash points tearing a batch seal must recover each
+    contained ARU all-or-nothing; a final ARU is submitted but never
+    flushed and must never surface as committed. *)
+
 val specs : (string * (unit -> spec)) list
 (** Name-indexed registry of the built-in specs (for the CLI). *)
 

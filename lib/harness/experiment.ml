@@ -450,6 +450,141 @@ let print_restart_cost ppf rows =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* G1: group commit — throughput scaling with concurrent clients       *)
+
+type g1_row = {
+  g1_clients : int;
+  g1_commits : int;
+  g1_elapsed_ns : int;
+  g1_commits_per_sec : float;
+  g1_barriers : int;
+  g1_batches : int;
+  g1_barriers_per_commit : float;
+  g1_mean_batch : float;
+}
+
+(* Synchronous-commit loops: each client's ARU appends one written
+   block to its private list and the client blocks (parks) until the
+   commit is durable.  The engine pays a seal per drain, so one client
+   seals per commit while N clients share each seal across the batch
+   the flusher packs — the barrier amortization the group-commit
+   engine exists for (DESIGN.md §5.11). *)
+let group_commit ?(clients = [ 1; 2; 4; 8; 16 ]) scale =
+  let iters = max 20 (int_of_float (100. *. scale.arus)) in
+  let config =
+    {
+      Config.default with
+      Config.group_commit_window = 200_000;
+      Config.group_commit_batch = 32;
+    }
+  in
+  List.map
+    (fun clients ->
+      let clock = Clock.create () in
+      let disk = Disk.create ~clock scale.geom in
+      let lld = Lld.create ~config disk in
+      let block_bytes = Lld.block_bytes lld in
+      let client tag =
+        let aru = ref None in
+        let list = ref None in
+        let block = ref None in
+        let remaining = ref iters in
+        let state = ref `Setup in
+        fun (r : Lld_core.Op.result option) ->
+          match (!state, r) with
+          | `Setup, _ ->
+            state := `Begin;
+            Some (Lld_core.Op.New_list None)
+          | `Begin, _ ->
+            (match r with
+            | Some (Lld_core.Op.R_list l) -> list := Some l
+            | _ -> ());
+            if !remaining = 0 then None
+            else begin
+              state := `Block;
+              Some Lld_core.Op.Begin_aru
+            end
+          | `Block, Some (Lld_core.Op.R_aru a) ->
+            aru := Some a;
+            state := `Write;
+            Some
+              (Lld_core.Op.New_block
+                 { aru = !aru; list = Option.get !list; pred = Summary.Head })
+          | `Write, Some (Lld_core.Op.R_block b) ->
+            block := Some b;
+            state := `Commit;
+            Some
+              (Lld_core.Op.Write
+                 {
+                   aru = !aru;
+                   block = b;
+                   data = Bytes.make block_bytes (Char.chr (tag land 0xff));
+                 })
+          | `Commit, Some Lld_core.Op.R_unit ->
+            state := `Committed;
+            Some (Lld_core.Op.End_aru (Option.get !aru))
+          | `Committed, Some Lld_core.Op.R_unit ->
+            (* the commit is durable; start the next ARU *)
+            decr remaining;
+            if !remaining = 0 then None
+            else begin
+              state := `Block;
+              Some Lld_core.Op.Begin_aru
+            end
+          | _ -> None
+      in
+      let t0 = Clock.now_ns clock in
+      let stats =
+        Lld_core.Engine.run lld (List.init clients (fun i -> client (i + 1)))
+      in
+      let elapsed = Clock.now_ns clock - t0 in
+      let c = Lld.counters lld in
+      let commits = stats.Lld_core.Engine.commits in
+      {
+        g1_clients = clients;
+        g1_commits = commits;
+        g1_elapsed_ns = elapsed;
+        g1_commits_per_sec =
+          (if elapsed = 0 then 0.
+           else float_of_int commits /. (float_of_int elapsed /. 1e9));
+        g1_barriers = c.Counters.commit_barriers;
+        g1_batches = c.Counters.commit_batches;
+        g1_barriers_per_commit =
+          (if commits = 0 then 0.
+           else float_of_int c.Counters.commit_barriers /. float_of_int commits);
+        g1_mean_batch =
+          (if c.Counters.commit_batches = 0 then 0.
+           else
+             float_of_int c.Counters.group_commits
+             /. float_of_int c.Counters.commit_batches);
+      })
+    clients
+
+let print_group_commit ppf rows =
+  Report.table ppf
+    ~title:
+      "G1: group commit — synchronous-commit throughput vs concurrent \
+       clients (one barrier per batch, not per commit)"
+    ~header:
+      [
+        "clients"; "commits"; "elapsed (ms)"; "commits/s"; "barriers";
+        "batches"; "barriers/commit"; "mean batch";
+      ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.g1_clients;
+           string_of_int r.g1_commits;
+           Report.f2 (float_of_int r.g1_elapsed_ns /. 1e6);
+           Report.f1 r.g1_commits_per_sec;
+           string_of_int r.g1_barriers;
+           string_of_int r.g1_batches;
+           Printf.sprintf "%.3f" r.g1_barriers_per_commit;
+           Report.f2 r.g1_mean_batch;
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
 (* X4: concurrency                                                     *)
 
 type concurrency_result = {
@@ -1065,7 +1200,7 @@ let finite v = Float.is_finite v && v > 0.
    virtual clock is calibrated, not cycle-accurate) but the directional
    claims each table/figure exists to demonstrate.  A regression that
    silently zeroes a phase or inverts a trade-off fails the run. *)
-let checks ~f5 ~f6 ~l1 ~x3 ~r1 ~w0 ~c1 ~ob ~b1 =
+let checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~w0 ~c1 ~ob ~b1 =
   let all_f5_phases =
     List.concat_map
       (fun r ->
@@ -1140,6 +1275,24 @@ let checks ~f5 ~f6 ~l1 ~x3 ~r1 ~w0 ~c1 ~ob ~b1 =
                r.r1_dirty_segments r.r1_skipped)
            r1) )
   in
+  let g1_row n = List.find_opt (fun r -> r.g1_clients = n) g1 in
+  let g1_scaling_ok, g1_scaling_detail =
+    match (g1_row 1, g1_row 8) with
+    | Some one, Some eight ->
+      ( eight.g1_commits_per_sec >= 3.0 *. one.g1_commits_per_sec,
+        Printf.sprintf "%.1f commits/s at 8 clients vs %.1f at 1 (%.2fx)"
+          eight.g1_commits_per_sec one.g1_commits_per_sec
+          (eight.g1_commits_per_sec /. one.g1_commits_per_sec) )
+    | _ -> (false, "1- or 8-client row missing")
+  in
+  let g1_barrier_ok, g1_barrier_detail =
+    match g1_row 8 with
+    | Some eight ->
+      ( eight.g1_barriers_per_commit < 0.5,
+        Printf.sprintf "%.3f barriers/commit, mean batch %.2f"
+          eight.g1_barriers_per_commit eight.g1_mean_batch )
+    | None -> (false, "8-client row missing")
+  in
   let w0_ok, w0_detail =
     let frac label =
       List.find_opt (fun r -> r.w0_label = label) w0
@@ -1189,6 +1342,16 @@ let checks ~f5 ~f6 ~l1 ~x3 ~r1 ~w0 ~c1 ~ob ~b1 =
       ck_name = "R1: checkpointed recovery replays at most dirty+1 segments";
       ck_ok = r1_replay_ok;
       ck_detail = r1_replay_detail;
+    };
+    {
+      ck_name = "G1: group commit scales (8 clients >= 3x 1-client commits/s)";
+      ck_ok = g1_scaling_ok;
+      ck_detail = g1_scaling_detail;
+    };
+    {
+      ck_name = "G1: barriers amortized (< 0.5 barriers/commit at 8 clients)";
+      ck_ok = g1_barrier_ok;
+      ck_detail = g1_barrier_detail;
     };
     {
       ck_name = "W0: MinixLLD beats in-place Minix on write bandwidth";
@@ -1339,6 +1502,23 @@ let json_of_r1 rows =
            ])
        rows)
 
+let json_of_g1 rows =
+  Report.List
+    (List.map
+       (fun r ->
+         Report.Obj
+           [
+             ("clients", Report.Int r.g1_clients);
+             ("commits", Report.Int r.g1_commits);
+             ("elapsed_ns", Report.Int r.g1_elapsed_ns);
+             ("commits_per_sec", Report.Float r.g1_commits_per_sec);
+             ("commit_barriers", Report.Int r.g1_barriers);
+             ("commit_batches", Report.Int r.g1_batches);
+             ("barriers_per_commit", Report.Float r.g1_barriers_per_commit);
+             ("mean_batch", Report.Float r.g1_mean_batch);
+           ])
+       rows)
+
 let json_of_w0 rows =
   Report.List
     (List.map
@@ -1464,6 +1644,8 @@ let run_all_json ppf scale =
   print_recovery ppf x3;
   let r1 = restart_cost scale in
   print_restart_cost ppf r1;
+  let g1 = group_commit scale in
+  print_group_commit ppf g1;
   print_concurrency ppf (concurrency scale);
   print_mixed ppf (mixed_workload scale);
   print_implementations ppf (implementation_comparison scale);
@@ -1475,7 +1657,7 @@ let run_all_json ppf scale =
   print_observability ppf ob;
   let b1 = backend_comparison scale in
   print_backend ppf b1;
-  let cks = checks ~f5 ~f6 ~l1 ~x3 ~r1 ~w0 ~c1 ~ob ~b1 in
+  let cks = checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~w0 ~c1 ~ob ~b1 in
   print_checks ppf cks;
   Format.fprintf ppf "@.";
   let json =
@@ -1496,6 +1678,7 @@ let run_all_json ppf scale =
         ("aru_latency", json_of_l1 l1);
         ("recovery", json_of_x3 x3);
         ("r1", json_of_r1 r1);
+        ("g1", json_of_g1 g1);
         ("bandwidth", json_of_w0 w0);
         ("cleaning", json_of_c1 c1);
         ("observability", json_of_observability ob);

@@ -112,6 +112,33 @@ type r1_row = {
 val restart_cost : scale -> r1_row list
 val print_restart_cost : Format.formatter -> r1_row list -> unit
 
+(** {1 G1 — group commit: throughput scaling with concurrent clients}
+
+    N logical clients run synchronous-commit loops through the
+    {!Lld_core.Engine} event loop: every commit is durable (its batch
+    sealed and barriered) before the client's next operation.  With one
+    client each commit pays a full seal; with N the flusher packs the
+    in-flight commits into one batched commit record and one barrier.
+    Throughput must scale (8 clients ≥ 3× one client) and the mean
+    barriers-per-commit at 8 clients must drop below 0.5 — both are
+    reproduction checks and CI gates over [BENCH_PR7.json]. *)
+
+type g1_row = {
+  g1_clients : int;
+  g1_commits : int;  (** ARUs committed across all clients *)
+  g1_elapsed_ns : int;  (** virtual time of the whole run *)
+  g1_commits_per_sec : float;  (** commits per virtual second *)
+  g1_barriers : int;  (** seals paid by the commit path *)
+  g1_batches : int;  (** batched commit records written *)
+  g1_barriers_per_commit : float;
+  g1_mean_batch : float;  (** ARUs per batched commit record *)
+}
+
+val group_commit : ?clients:int list -> scale -> g1_row list
+(** One run per client count (default {e 1, 2, 4, 8, 16}). *)
+
+val print_group_commit : Format.formatter -> g1_row list -> unit
+
 (** {1 X4 — concurrency: interleaved vs serial ARU streams} *)
 
 type concurrency_result = {

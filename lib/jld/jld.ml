@@ -821,6 +821,12 @@ let abort_aru t aid =
   Hashtbl.remove t.arus (Types.Aru_id.to_int aid);
   t.counters.Counters.arus_aborted <- t.counters.Counters.arus_aborted + 1
 
+(* JLD has no group-commit engine: a submitted commit applies
+   immediately, so the queue is always empty and a flush commits
+   nothing.  This matches the [Ld_intf.S] contract's degenerate case. *)
+let submit_commit t aid = end_aru t aid
+let flush_commits _t = 0
+
 let with_aru t f =
   let aru = begin_aru t in
   match f aru with
@@ -1005,14 +1011,14 @@ let replay_journal t =
       r.Record.successor <- None;
       Hashtbl.remove t.dirty (Types.Block_id.to_int block);
       if stamp >= t.stamp then t.stamp <- stamp + 1
-    | Summary.Commit { aru } ->
-      let key = Types.Aru_id.to_int aru in
-      Hashtbl.replace committed_arus key ();
-      let buffered =
-        Option.value ~default:[] (Hashtbl.find_opt buffers key)
-      in
-      Hashtbl.remove buffers key;
-      List.iter apply_op (List.rev buffered)
+    | Summary.Commit { aru } -> commit_aru aru
+    | Summary.Commit_group { arus } -> List.iter commit_aru arus
+  and commit_aru aru =
+    let key = Types.Aru_id.to_int aru in
+    Hashtbl.replace committed_arus key ();
+    let buffered = Option.value ~default:[] (Hashtbl.find_opt buffers key) in
+    Hashtbl.remove buffers key;
+    List.iter apply_op (List.rev buffered)
   in
   let chunks = ref 0 in
   let stop = ref false in
@@ -1073,7 +1079,8 @@ let replay_journal t =
                     Some d
                   | Summary.Alloc _ | Summary.Link _ | Summary.Unlink _
                   | Summary.New_list _ | Summary.Delete_list _
-                  | Summary.Dealloc _ | Summary.Commit _ ->
+                  | Summary.Dealloc _ | Summary.Commit _
+                  | Summary.Commit_group _ ->
                     None
                 in
                 match e.Summary.stream with

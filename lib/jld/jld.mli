@@ -58,6 +58,13 @@ val begin_aru : t -> Lld_core.Types.Aru_id.t
 val end_aru : t -> Lld_core.Types.Aru_id.t -> unit
 val abort_aru : t -> Lld_core.Types.Aru_id.t -> unit
 val with_aru : t -> (Lld_core.Types.Aru_id.t -> 'a) -> 'a
+
+val submit_commit : t -> Lld_core.Types.Aru_id.t -> unit
+(** JLD has no group-commit engine: commits immediately ({!end_aru}). *)
+
+val flush_commits : t -> int
+(** Always 0 — the commit queue is always empty here. *)
+
 val new_list : t -> ?aru:Lld_core.Types.Aru_id.t -> unit -> Lld_core.Types.List_id.t
 
 val new_block :

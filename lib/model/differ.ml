@@ -21,6 +21,7 @@ type config = {
   crash_every : int;
   crash_points : int;
   granularity : int;
+  group_commit : bool;
 }
 
 let default_config =
@@ -33,6 +34,7 @@ let default_config =
     crash_every = 4;
     crash_points = 12;
     granularity = 512;
+    group_commit = false;
   }
 
 type kind = Step_mismatch | Final_state_mismatch | Crash_mismatch
@@ -105,13 +107,14 @@ let pick idx = function
 let payload ~block_bytes tag =
   Bytes.init block_bytes (fun i -> Char.chr ((tag + ((i + 1) * (tag lor 1))) land 0xff))
 
-let resolve model ~block_bytes ~capacity clients ci (cmd : Program.cmd) :
-    Op.t option =
+let resolve model ~block_bytes ~capacity ~group clients ci (cmd : Program.cmd)
+    : Op.t option =
   let c = clients.(ci) in
   let aru = c.cl_aru in
   match cmd with
   | Program.Begin -> if aru = None then Some Op.Begin_aru else None
-  | Program.Commit -> Option.map (fun a -> Op.End_aru a) aru
+  | Program.Commit ->
+    Option.map (fun a -> if group then Op.Submit_commit a else Op.End_aru a) aru
   | Program.Abort -> Option.map (fun a -> Op.Abort_aru a) aru
   | Program.New_list -> Some (Op.New_list aru)
   | Program.New_block { list_ref; pred_ref } -> (
@@ -232,7 +235,17 @@ let real_summary lld =
 type exec_stats = { mutable ex_ops : int; mutable ex_skipped : int;
                     mutable ex_crash_points : int }
 
-let lld_config cfg = { Config.default with Config.visibility = cfg.visibility }
+(* The group-commit window is pinned explicitly (never from the
+   environment): small enough that 40-command programs close several
+   batches on the window, with the batch-size close reachable through
+   quick client bursts. *)
+let lld_config cfg =
+  {
+    Config.default with
+    Config.visibility = cfg.visibility;
+    group_commit_window = (if cfg.group_commit then 5_000 else 0);
+    group_commit_batch = 4;
+  }
 
 let make_backend cfg size =
   match cfg.backend with
@@ -300,7 +313,8 @@ let run_program_stats ?(crash = false) cfg ~seed (program : Program.t) stats =
     let c = clients.(ci) in
     (match (op, m_res) with
     | Op.Begin_aru, Op.R_aru a -> c.cl_aru <- Some a
-    | (Op.End_aru _ | Op.Abort_aru _), _ -> c.cl_aru <- None
+    | (Op.End_aru _ | Op.Submit_commit _ | Op.Abort_aru _), _ ->
+      c.cl_aru <- None
     | Op.New_list _, Op.R_list l ->
       let l = Types.List_id.to_int l in
       claim list_owner true ci l;
@@ -325,19 +339,51 @@ let run_program_stats ?(crash = false) cfg ~seed (program : Program.t) stats =
         ]
         !trail
   in
+  (* drain both commit queues in lockstep.  The model flushes stepwise,
+     noting a crash frontier after every member: the real batch is
+     atomic per sub-batch, and sub-batches are FIFO prefixes, so every
+     state a torn batch can recover to is one of these notes. *)
+  let flush_step () =
+    let m_n = Model.flush_commit_steps model note_frontier in
+    let r_n = Lld.flush_commits lld in
+    stats.ex_ops <- stats.ex_ops + 1;
+    trail := Printf.sprintf "engine: flush_commits = %d" m_n :: !trail;
+    if m_n = r_n then begin
+      note_frontier ();
+      None
+    end
+    else
+      diverged Step_mismatch
+        [
+          "operation: engine: flush_commits";
+          Printf.sprintf "model: %d" m_n;
+          Printf.sprintf "real:  %d" r_n;
+        ]
+        !trail
+  in
+  let step ci op =
+    match step ci op with
+    | Some d -> Some d
+    | None ->
+      if cfg.group_commit && Lld.commit_due lld then flush_step () else None
+  in
   let rec steps i =
     if i >= Array.length program then None
     else
       let { Program.client; cmd } = program.(i) in
-      match resolve model ~block_bytes ~capacity clients client cmd with
+      match
+        resolve model ~block_bytes ~capacity ~group:cfg.group_commit clients
+          client cmd
+      with
       | None ->
         stats.ex_skipped <- stats.ex_skipped + 1;
         steps (i + 1)
       | Some op -> ( match step client op with None -> steps (i + 1) | d -> d)
   in
   let quiesce () =
-    (* abort leftover ARUs, scavenge, flush — then the committed states
-       must agree *)
+    (* drain queued commits, abort leftover ARUs, scavenge, flush —
+       then the committed states must agree *)
+    let drained = if cfg.group_commit then flush_step () else None in
     let rec each ci =
       if ci >= Array.length clients then None
       else
@@ -348,7 +394,7 @@ let run_program_stats ?(crash = false) cfg ~seed (program : Program.t) stats =
           | d -> d)
         | None -> each (ci + 1)
     in
-    match each 0 with
+    match (match drained with Some d -> Some d | None -> each 0) with
     | Some d -> Some d
     | None -> (
       match step 0 Op.Scavenge with
@@ -579,7 +625,9 @@ let pp_report ppf r =
      point(s) over %d crash case(s)@,"
     (visibility_option r.rp_config.visibility)
     backend r.rp_config.clients r.rp_config.ops
-    (match r.rp_config.mutation with
+    ((if r.rp_config.group_commit then ", group commit" else "")
+    ^
+    match r.rp_config.mutation with
     | None -> ""
     | Some m -> ", injected bug: " ^ Model.mutation_label m)
     r.rp_seed r.rp_cases r.rp_ops r.rp_skipped r.rp_crash_points

@@ -30,12 +30,20 @@ type config = {
           ([0] = never) *)
   crash_points : int;  (** crash-point sample budget per crash case *)
   granularity : int;  (** torn-write granularity in bytes *)
+  group_commit : bool;
+      (** schedule commits through the group-commit engine: [Commit]
+          commands become [Submit_commit], and both sides' queues are
+          drained in lockstep whenever the real instance reports a
+          batch due (and at quiescence).  The model flushes stepwise,
+          extending the crash frontier with every per-ARU boundary
+          inside a batch — a torn batched commit record must recover
+          to one of those states. *)
 }
 
 val default_config : config
 (** Own-shadow visibility, no mutation, in-memory backend, 2 clients,
     40 commands each, crash points on every 4th case (12 points,
-    512-byte granularity). *)
+    512-byte granularity), no group commit. *)
 
 (** Why a case diverged. *)
 type kind =

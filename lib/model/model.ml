@@ -84,6 +84,7 @@ type t = {
   t_clock : Lld_sim.Clock.t;
   t_counters : Lld_core.Counters.t;
   mutable t_obs : Lld_obs.Obs.t;
+  t_commit_q : int Queue.t; (* group-commit intents, FIFO *)
 }
 
 let create ?(visibility = Config.Own_shadow) ?mutation ?(capacity = 4096)
@@ -106,6 +107,7 @@ let create ?(visibility = Config.Own_shadow) ?mutation ?(capacity = 4096)
     t_clock = Lld_sim.Clock.create ();
     t_counters = Lld_core.Counters.create ();
     t_obs = Lld_obs.Obs.null;
+    t_commit_q = Queue.create ();
   }
 
 let visibility t = t.t_visibility
@@ -566,13 +568,13 @@ let replay_log_op t op =
     let cl = clist t l in
     if cl.c_exists then delete_list_committed t l
 
-let end_aru t aid =
-  let i = Types.Aru_id.to_int aid in
-  let a =
-    match Hashtbl.find_opt t.arus i with
-    | Some a -> a
-    | None -> raise (Errors.Unknown_aru aid)
-  in
+let commit_pending_int t i =
+  Queue.fold (fun found q -> found || q = i) false t.t_commit_q
+
+(* One ARU's commit, given its record: replay the log, merge shadow
+   data, clear owner marks.  Shared by [end_aru] and the group-commit
+   flush — the batch is just this, per member, in FIFO order. *)
+let commit_now t i (a : aru) =
   (* 1. replay the list-operation log in the committed state *)
   List.iter (replay_log_op t) (List.rev a.a_log);
   (* 2. merge shadow data versions into the committed state *)
@@ -602,12 +604,54 @@ let end_aru t aid =
   t.t_counters.Lld_core.Counters.arus_committed <-
     t.t_counters.Lld_core.Counters.arus_committed + 1
 
+let end_aru t aid =
+  let i = Types.Aru_id.to_int aid in
+  if commit_pending_int t i then raise (Errors.Commit_pending aid);
+  let a =
+    match Hashtbl.find_opt t.arus i with
+    | Some a -> a
+    | None -> raise (Errors.Unknown_aru aid)
+  in
+  commit_now t i a
+
 let abort_aru t aid =
   let i = Types.Aru_id.to_int aid in
+  if commit_pending_int t i then raise (Errors.Commit_pending aid);
   if not (Hashtbl.mem t.arus i) then raise (Errors.Unknown_aru aid);
   Hashtbl.remove t.arus i;
   t.t_counters.Lld_core.Counters.arus_aborted <-
     t.t_counters.Lld_core.Counters.arus_aborted + 1
+
+(* ------------------------------------------------------------------ *)
+(* Group commit: the specification.  A queued ARU is frozen (end/abort
+   refuse it) and the flush commits the queue in FIFO order; each
+   member's commit has exactly [end_aru]'s semantics, and the batch is
+   atomic only per member (the real engine's batched commit record is
+   all-or-nothing as a unit on disk, which recovery presents as
+   per-ARU all-or-nothing — the unit the spec cares about). *)
+
+let submit_commit t aid =
+  let i = Types.Aru_id.to_int aid in
+  if commit_pending_int t i then raise (Errors.Commit_pending aid);
+  if not (Hashtbl.mem t.arus i) then raise (Errors.Unknown_aru aid);
+  Queue.push i t.t_commit_q
+
+(* Spec-only stepped flush: commits the queue one ARU at a time,
+   calling [after_each] between members, so a differ can place crash
+   frontiers at every per-ARU boundary inside a batch. *)
+let flush_commit_steps t after_each =
+  let n = ref 0 in
+  while not (Queue.is_empty t.t_commit_q) do
+    let i = Queue.pop t.t_commit_q in
+    (match Hashtbl.find_opt t.arus i with
+    | Some a -> commit_now t i a
+    | None -> ());
+    incr n;
+    after_each ()
+  done;
+  !n
+
+let flush_commits t = flush_commit_steps t (fun () -> ())
 
 let with_aru t f =
   let aru = begin_aru t in

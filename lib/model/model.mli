@@ -49,6 +49,14 @@ val visibility : t -> Lld_core.Config.visibility
 val aru_active : t -> Lld_core.Types.Aru_id.t -> bool
 val active_arus : t -> Lld_core.Types.Aru_id.t list
 
+val flush_commit_steps : t -> (unit -> unit) -> int
+(** Spec-only stepped {!flush_commits}: commits the queued ARUs one at
+    a time in FIFO order, calling the callback after each, so a differ
+    can record a crash frontier at every per-ARU boundary inside a
+    group-committed batch (the batch is atomic {e per ARU}, not as a
+    whole — see DESIGN.md §5.11).  [flush_commits t =
+    flush_commit_steps t ignore]. *)
+
 val frontier_summary : t -> string
 (** Canonical rendering of the committed state as crash recovery would
     restore it at this instant: in-flight (and aborted) ARUs erased the

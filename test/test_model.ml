@@ -48,6 +48,56 @@ let test_file_backend_clean () =
     (fuzz_clean ~seed:105 ~budget:3
        (small { Differ.default_config with Differ.backend = Differ.File }))
 
+let group_cfg =
+  { Differ.default_config with Differ.group_commit = true; Differ.clients = 3 }
+
+let test_group_commit_fuzz_clean () =
+  (* concurrent clients scheduled through submit/flush, same seeds and
+     structural comparison as the immediate-commit runs *)
+  let r = fuzz_clean ~seed:106 ~budget:8 (small group_cfg) in
+  Alcotest.(check bool) "crash points were composed" true
+    (r.Differ.rp_crash_points > 0)
+
+(* Pinned regression: a fixed four-client program whose commits queue
+   up back-to-back, so the fourth submit closes the batch (the differ
+   pins [group_commit_batch = 4]) and a single multi-ARU Commit_group
+   record reaches the log.  Crash composition over this program covers
+   torn variants of that batched record: recovery must deliver each
+   member all-or-nothing. *)
+let test_group_commit_pinned_batch () =
+  let s client cmd = { Program.client; cmd } in
+  let per_client c tag =
+    [
+      s c Program.Begin;
+      s c Program.New_list;
+      s c (Program.New_block { list_ref = 0; pred_ref = None });
+      s c (Program.Write { block_ref = 0; tag });
+    ]
+  in
+  let p =
+    Array.of_list
+      (List.concat
+         [
+           per_client 0 11;
+           per_client 1 22;
+           per_client 2 33;
+           per_client 3 44;
+           [
+             s 0 Program.Commit;
+             s 1 Program.Commit;
+             s 2 Program.Commit;
+             s 3 Program.Commit;
+             s 0 Program.Lists;
+           ];
+         ])
+  in
+  let cfg = { group_cfg with Differ.clients = 4 } in
+  match Differ.run_program ~crash:true cfg ~seed:9 p with
+  | None -> ()
+  | Some d ->
+    Alcotest.failf "pinned group-commit batch diverged:@.%a"
+      Differ.pp_divergence d
+
 let test_bit_reproducible () =
   let cfg = small Differ.default_config in
   let render () =
@@ -258,6 +308,10 @@ let () =
           Alcotest.test_case "three clients clean" `Quick
             test_three_clients_clean;
           Alcotest.test_case "file backend clean" `Slow test_file_backend_clean;
+          Alcotest.test_case "group-commit fuzz clean" `Quick
+            test_group_commit_fuzz_clean;
+          Alcotest.test_case "group-commit pinned batch" `Quick
+            test_group_commit_pinned_batch;
           Alcotest.test_case "bit-reproducible reports" `Quick
             test_bit_reproducible;
         ] );
