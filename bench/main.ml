@@ -127,7 +127,7 @@ let run_micro () =
   rows
 
 (* The machine-readable bench trajectory: virtual-clock tables plus the
-   micro-kernel timings, one file per run (default BENCH_PR7.json,
+   micro-kernel timings, one file per run (default BENCH_PR8.json,
    overridable with BENCH_JSON=path).  Since PR 3 the tables include the
    "observability" section (gauges and latency histograms from the
    traced runs); since PR 4 also the "backend" section (wall-clock vs
@@ -137,7 +137,7 @@ let run_micro () =
    "g1" section (group-commit throughput scaling with concurrent
    clients). *)
 let emit_json ~tables ~micro =
-  let path = Option.value ~default:"BENCH_PR7.json" (Sys.getenv_opt "BENCH_JSON") in
+  let path = Option.value ~default:"BENCH_PR8.json" (Sys.getenv_opt "BENCH_JSON") in
   let micro_json =
     Report.List
       (List.map

@@ -21,6 +21,10 @@ module Experiment = Lld_harness.Experiment
 module Crashcheck = Lld_crashcheck.Crashcheck
 module Model = Lld_model.Model
 module Differ = Lld_model.Differ
+module Op = Lld_core.Op
+module Engine = Lld_core.Engine
+module Summary = Lld_core.Summary
+module Forensics = Lld_obs.Forensics
 module Obs = Lld_obs.Obs
 module Trace = Lld_obs.Trace
 module Metrics = Lld_obs.Metrics
@@ -645,11 +649,75 @@ let crashcheck_cmd =
 
 (* ------------------------------------------------ traced workloads *)
 
+(* With LLD_FORENSICS_DIR set, any Errors.panic (a live-instance
+   invariant violation) dumps the black box of the handle we are
+   tracing with before the exception propagates. *)
+let arm_panic_forensics obs =
+  match Sys.getenv_opt "LLD_FORENSICS_DIR" with
+  | None -> ()
+  | Some dir ->
+    Errors.on_panic (fun e ->
+        let paths = Forensics.dump ~dir ~label:"panic" obs in
+        Printf.eprintf "panic (%s): forensics bundle written:\n"
+          (Printexc.to_string e);
+        List.iter (fun p -> Printf.eprintf "  %s\n" p) paths)
+
+(* One group-commit engine client: begin, populate a private list with
+   [writes] written blocks, commit (translated to a queued submission
+   by the engine).  Used by the traced workload so the trace carries
+   complete submit -> batch -> seal barrier -> wake flow chains. *)
+let engine_commit_client ~block_bytes ~writes tag =
+  let aru = ref None in
+  let list = ref None in
+  let last = ref None in
+  let written = ref 0 in
+  let state = ref `Begin in
+  fun (r : Op.result option) ->
+    match !state with
+    | `Begin ->
+      state := `List;
+      Some Op.Begin_aru
+    | `List ->
+      (match r with Some (Op.R_aru a) -> aru := Some a | _ -> ());
+      state := `Block;
+      Some (Op.New_list !aru)
+    | `Block ->
+      (match r with Some (Op.R_list l) -> list := Some l | _ -> ());
+      if !written < writes then begin
+        state := `Write;
+        let pred =
+          match !last with
+          | None -> Summary.Head
+          | Some b -> Summary.After b
+        in
+        Some (Op.New_block { aru = !aru; list = Option.get !list; pred })
+      end
+      else begin
+        state := `Done;
+        Some (Op.End_aru (Option.get !aru))
+      end
+    | `Write ->
+      (match r with
+      | Some (Op.R_block b) ->
+        last := Some b;
+        incr written
+      | _ -> ());
+      state := `Block;
+      Some
+        (Op.Write
+           {
+             aru = !aru;
+             block = Option.get !last;
+             data = Bytes.make block_bytes (Char.chr (Char.code 'a' + tag));
+           })
+    | `Done -> None
+
 (* Shared runner for `lld trace` and `lld stats`: a small-file workload
    through the Minix FS (create/write/overwrite/delete), then a forced
    cleaner pass, then an injected crash and a recovery on the same disk
-   and clock — one virtual timeline covering the op, fs, disk, aru,
-   checkpoint, clean and recovery span categories. *)
+   and clock, then a group-commit engine phase on the recovered
+   instance — one virtual timeline covering the op, fs, disk, aru,
+   checkpoint, clean, recovery and commit-stage span categories. *)
 let run_traced_workload ~variant ~segments ~files ~file =
   let geom = geom_of segments in
   let backend =
@@ -662,6 +730,7 @@ let run_traced_workload ~variant ~segments ~files ~file =
   in
   let clock = Clock.create () in
   let obs = Obs.create ~clock () in
+  arm_panic_forensics obs;
   let inst = Setup.make ~geom ~clock ~obs ?backend variant in
   let body = Bytes.make 1024 'x' in
   let path i = Printf.sprintf "/f%05d" i in
@@ -681,9 +750,21 @@ let run_traced_workload ~variant ~segments ~files ~file =
   Fault.schedule_crash (Disk.fault inst.Setup.disk) (Fault.After_writes 0);
   (try Disk.write inst.Setup.disk ~offset:0 (Bytes.make 1 'x')
    with Fault.Crashed -> ());
-  let lld, _report =
-    Lld.recover ~config:(Setup.lld_config variant) ~obs inst.Setup.disk
+  let config =
+    let c = Setup.lld_config variant in
+    if c.Config.mode = Config.Concurrent then
+      (* pinned (never from the environment) so the traced batches are
+         deterministic: four clients, batch of 4, one shared barrier *)
+      { c with Config.group_commit_window = 50_000; group_commit_batch = 4 }
+    else c
   in
+  let lld, _report = Lld.recover ~config ~obs inst.Setup.disk in
+  if config.Config.mode = Config.Concurrent then
+    ignore
+      (Engine.run lld
+         (List.init 4 (fun i ->
+              engine_commit_client ~block_bytes:(Lld.block_bytes lld)
+                ~writes:(1 + i) i)));
   (lld, obs)
 
 let traced_files_arg =
@@ -735,10 +816,11 @@ let trace_cmd =
 
 (* --------------------------------------------------------------- stats *)
 
-let stats_run variant segments files file json =
+let stats_run variant segments files file json openmetrics =
   let _lld, obs = run_traced_workload ~variant ~segments ~files ~file in
   let m = Obs.metrics obs in
-  if json then print_endline (Metrics.to_json_string m)
+  if openmetrics then print_string (Metrics.to_openmetrics_string m)
+  else if json then print_endline (Metrics.to_json_string m)
   else begin
     let hists =
       List.filter
@@ -769,14 +851,24 @@ let stats_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit the metrics registry as JSON instead.")
   in
+  let openmetrics =
+    Arg.(
+      value & flag
+      & info [ "openmetrics" ]
+          ~doc:
+            "Emit the metrics registry in OpenMetrics/Prometheus text \
+             exposition format (counters as $(b,_total), histograms with \
+             cumulative $(b,le) buckets) instead.")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Run a traced workload and report per-operation latency \
-          percentiles (p50/p95/p99 on the virtual clock) and live gauges.")
+          percentiles (p50/p95/p99 on the virtual clock), the commit-stage \
+          breakdown, and live gauges.")
     Term.(
       const stats_run $ variant_arg $ segments_arg $ traced_files_arg
-      $ file_arg $ json)
+      $ file_arg $ json $ openmetrics)
 
 (* -------------------------------------------------------------- info *)
 
@@ -797,6 +889,13 @@ let print_gauges ~header obs =
     (fun (name, v, help) -> Printf.printf "  %-20s %10d  %s\n" name v help)
     (Metrics.sample_gauges (Obs.metrics obs))
 
+let print_counters ~header lld =
+  Printf.printf "%s:\n" header;
+  let c = Lld.counters lld in
+  List.iter
+    (fun (name, get, _set) -> Printf.printf "  %-24s %10d\n" name (get c))
+    Counters.fields
+
 let show_info segments file =
   match file with
   | None ->
@@ -805,8 +904,9 @@ let show_info segments file =
     (* live gauges of a freshly formatted logical disk on this geometry *)
     let clock = Clock.create () in
     let obs = Obs.create ~clock () in
-    let _, _lld = Setup.make_raw ~geom ~clock ~obs Setup.New in
-    print_gauges ~header:"gauges (freshly formatted)" obs
+    let _, lld = Setup.make_raw ~geom ~clock ~obs Setup.New in
+    print_gauges ~header:"gauges (freshly formatted)" obs;
+    print_counters ~header:"operation counters (freshly formatted)" lld
   | Some path -> (
     let geom, backend = open_image path in
     Printf.printf "image: %s (backend %s)\n" path backend.Backend.label;
@@ -819,18 +919,19 @@ let show_info segments file =
       Printf.eprintf "corrupt or unformatted image: %s\n" msg;
       Disk.close disk;
       exit 1
-    | _lld, report ->
+    | lld, report ->
       Format.printf "recovery: %a@." Recovery.pp_report report;
       print_gauges ~header:"gauges (after recovery)" obs;
+      print_counters ~header:"operation counters (after recovery)" lld;
       Disk.close disk)
 
 let info_cmd =
   Cmd.v
     (Cmd.info "info"
        ~doc:
-         "Show partition layout and live gauges — of a freshly formatted \
-          logical disk, or of a persistent image ($(b,--file)) after \
-          recovering it.")
+         "Show partition layout, live gauges, and the full operation-counter \
+          table — of a freshly formatted logical disk, or of a persistent \
+          image ($(b,--file)) after recovering it.")
     Term.(const show_info $ segments_arg $ file_arg)
 
 (* --------------------------------------------------------------- bench *)
@@ -931,7 +1032,7 @@ let model_fuzz seed budget clients ops option backend crash_every crash_points
   let report = Differ.fuzz ~progress ~seed ~budget cfg in
   Format.printf "%a@." Differ.pp_report report;
   (match (out_dir, report.Differ.rp_failure) with
-  | Some dir, Some _ ->
+  | Some dir, Some f ->
     (try
        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
        let path =
@@ -941,7 +1042,19 @@ let model_fuzz seed budget clients ops option backend crash_every crash_points
        let ppf = Format.formatter_of_out_channel oc in
        Format.fprintf ppf "%a@." Differ.pp_report report;
        close_out oc;
-       Printf.printf "divergence report written to %s\n" path
+       Printf.printf "divergence report written to %s\n" path;
+       (* re-run the shrunk program with the flight recorder and tracer
+          live and drop the black-box bundle next to the report *)
+       let crash =
+         cfg.Differ.crash_every > 0
+         && f.Differ.fl_case_index mod cfg.Differ.crash_every = 0
+       in
+       let _div, paths =
+         Differ.dump_forensics ~crash ~dir
+           ~label:(Printf.sprintf "model-divergence-seed%d" seed)
+           cfg ~seed:f.Differ.fl_case_seed f.Differ.fl_shrunk
+       in
+       List.iter (fun p -> Printf.printf "forensics: %s\n" p) paths
      with Sys_error msg -> Printf.eprintf "cannot write report: %s\n" msg)
   | _ -> ());
   let diverged = not (Differ.ok report) in

@@ -28,6 +28,10 @@ type t = {
   mutable commit_batches : int;
   mutable group_commits : int;
   mutable commit_barriers : int;
+  mutable commits_submitted : int;
+  mutable commit_queue_aborts : int;
+  mutable commit_wakeups : int;
+  mutable forced_flushes : int;
   mutable recovery_replayed_segments : int;
   mutable recovery_skipped_segments : int;
   mutable recovery_replay_disk_reads : int;
@@ -107,6 +111,18 @@ let fields : (string * (t -> int) * (t -> int -> unit)) list =
     ( "commit_barriers",
       (fun t -> t.commit_barriers),
       fun t v -> t.commit_barriers <- v );
+    ( "commits_submitted",
+      (fun t -> t.commits_submitted),
+      fun t v -> t.commits_submitted <- v );
+    ( "commit_queue_aborts",
+      (fun t -> t.commit_queue_aborts),
+      fun t v -> t.commit_queue_aborts <- v );
+    ( "commit_wakeups",
+      (fun t -> t.commit_wakeups),
+      fun t v -> t.commit_wakeups <- v );
+    ( "forced_flushes",
+      (fun t -> t.forced_flushes),
+      fun t v -> t.forced_flushes <- v );
     ( "recovery_replayed_segments",
       (fun t -> t.recovery_replayed_segments),
       fun t v -> t.recovery_replayed_segments <- v );
@@ -153,6 +169,10 @@ let create () =
     commit_batches = 0;
     group_commits = 0;
     commit_barriers = 0;
+    commits_submitted = 0;
+    commit_queue_aborts = 0;
+    commit_wakeups = 0;
+    forced_flushes = 0;
     recovery_replayed_segments = 0;
     recovery_skipped_segments = 0;
     recovery_replay_disk_reads = 0;

@@ -45,6 +45,19 @@ type t = {
       (** seals (segment write + barrier) issued to close commit
           batches; [commit_barriers / arus_committed] is the
           barriers-per-commit amortization ratio *)
+  mutable commits_submitted : int;
+      (** commit intents queued by {!Lld.submit_commit} (excludes the
+          window=0 degeneration to the immediate path) *)
+  mutable commit_queue_aborts : int;
+      (** queued ARUs dequeued by {!Lld.abort_aru} before their batch
+          flushed *)
+  mutable commit_wakeups : int;
+      (** parked engine clients woken by a drained (or aborted)
+          commit *)
+  mutable forced_flushes : int;
+      (** {!Lld.flush_commits} drains forced by the engine (all clients
+          parked, or leftovers at exit) rather than by the batch-size or
+          window close conditions *)
   mutable recovery_replayed_segments : int;
       (** log-tail segments the last recovery actually replayed *)
   mutable recovery_skipped_segments : int;

@@ -3,6 +3,9 @@
    group-commit queue drained between steps.  See engine.mli. *)
 
 module A = Op.Make (Lld)
+module Clock = Lld_sim.Clock
+module Obs = Lld_obs.Obs
+module Tr = Lld_obs.Trace
 
 type client = Op.result option -> Op.t option
 
@@ -18,8 +21,12 @@ type status = Runnable | Parked of Types.Aru_id.t | Done
 
 type cl = {
   gen : client;
+  idx : int;
   mutable last : Op.result option;
   mutable status : status;
+  mutable submit_ns : int;  (* virtual time the client parked *)
+  mutable wake_ns : int;  (* virtual time its commit woke it *)
+  mutable woken_aru : int;  (* ARU of the pending wake; -1 = none *)
 }
 
 let run lld gens =
@@ -27,9 +34,23 @@ let run lld gens =
   let group =
     cfg.Config.group_commit_window > 0 && cfg.Config.mode = Config.Concurrent
   in
+  let clock = Lld.clock lld in
+  let obs = Lld.obs lld in
+  let counters = Lld.counters lld in
   let clients =
     Array.of_list
-      (List.map (fun g -> { gen = g; last = None; status = Runnable }) gens)
+      (List.mapi
+         (fun i g ->
+           {
+             gen = g;
+             idx = i;
+             last = None;
+             status = Runnable;
+             submit_ns = 0;
+             wake_ns = 0;
+             woken_aru = -1;
+           })
+         gens)
   in
   let n = Array.length clients in
   let parked : cl Queue.t = Queue.create () in
@@ -41,7 +62,9 @@ let run lld gens =
   let finished = ref 0 in
   (* a flush drains the whole queue, so every parked waiter's commit is
      done; wake them in FIFO submission order, each with the [R_unit]
-     its (translated) End_aru would have returned *)
+     its (translated) End_aru would have returned.  A parked client
+     whose ARU another client aborted wakes the same way: its pending
+     commit is resolved (as an abort), not still queued. *)
   let wake_committed () =
     let rec go () =
       match Queue.peek_opt parked with
@@ -51,6 +74,10 @@ let run lld gens =
           ignore (Queue.pop parked);
           c.status <- Runnable;
           c.last <- Some Op.R_unit;
+          c.wake_ns <- Clock.now_ns clock;
+          c.woken_aru <- Types.Aru_id.to_int a;
+          counters.Counters.commit_wakeups <-
+            counters.Counters.commit_wakeups + 1;
           go ()
         | Parked _ | Runnable | Done -> ())
       | None -> ()
@@ -61,11 +88,37 @@ let run lld gens =
     let k = Lld.flush_commits lld in
     if k > 0 then begin
       incr flushes;
-      if f then incr forced;
+      if f then begin
+        incr forced;
+        counters.Counters.forced_flushes <-
+          counters.Counters.forced_flushes + 1
+      end;
       commits := !commits + k;
       if k > !max_batch then max_batch := k
     end;
     wake_committed ()
+  in
+  (* the woken client runs again: close its causality chain and feed
+     the wake-latency (time between the drain that woke it and its next
+     scheduling slot) and whole-commit per-client latency stages *)
+  let note_resume c =
+    if c.woken_aru >= 0 then begin
+      let aru = c.woken_aru in
+      c.woken_aru <- -1;
+      if Obs.recording obs then begin
+        let now = Clock.now_ns clock in
+        Obs.observe obs "aru.commit.wake" (max 0 (now - c.wake_ns));
+        Obs.observe obs
+          (Printf.sprintf "aru.commit.latency.c%d" c.idx)
+          (max 0 (now - c.submit_ns));
+        Obs.complete obs Tr.Aru "commit.resume" ~ts_ns:now ~dur_ns:0
+          [ ("aru", Tr.I aru); ("client", Tr.I c.idx) ];
+        Obs.event obs
+          ~flow:(Tr.Flow_end, aru)
+          Tr.Aru "commit"
+          [ ("aru", Tr.I aru); ("stage", Tr.S "wake"); ("client", Tr.I c.idx) ]
+      end
+    end
   in
   while !finished < n do
     let ran = ref false in
@@ -75,6 +128,7 @@ let run lld gens =
         | Parked _ | Done -> ()
         | Runnable -> (
           ran := true;
+          note_resume c;
           let last = c.last in
           c.last <- None;
           match c.gen last with
@@ -92,6 +146,7 @@ let run lld gens =
             (match (op, r) with
             | Op.Submit_commit a, Op.R_unit ->
               c.status <- Parked a;
+              c.submit_ns <- Clock.now_ns clock;
               Queue.push c parked
             | Op.End_aru _, Op.R_unit ->
               incr commits;
@@ -102,6 +157,11 @@ let run lld gens =
                 commits := !commits + k;
                 if k > !max_batch then max_batch := k
               end;
+              c.last <- Some r;
+              wake_committed ()
+            | Op.Abort_aru _, r ->
+              (* the abort may have dequeued another client's pending
+                 commit: its waiter is resolvable now *)
               c.last <- Some r;
               wake_committed ()
             | _, r -> c.last <- Some r);

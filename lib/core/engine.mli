@@ -24,7 +24,20 @@
     condition); the size and window close conditions are
     {!Lld.commit_due}, polled after every operation.  With the window
     at 0 nothing is translated or queued and the loop degenerates to
-    sequential interleaving of immediate commits. *)
+    sequential interleaving of immediate commits.
+
+    A parked client whose queued ARU another client aborts
+    ({!Lld.abort_aru} dequeues the commit intent) wakes like any other
+    resolved commit, receiving [R_unit]: from the waiter's point of
+    view its submission completed — as an abort.  The engine polls
+    waiters after every [Abort_aru] so such wakes happen promptly.
+
+    When the instance carries a live {!Lld_obs.Obs} handle, the engine
+    closes each commit's causality chain (a [Flow_end] on the
+    ["commit"] flow at wake) and feeds the ["aru.commit.wake"] and
+    per-client ["aru.commit.latency.c<i>"] stage histograms; it also
+    maintains the [commit_wakeups] and [forced_flushes] operation
+    counters (always, traced or not). *)
 
 type client = Op.result option -> Op.t option
 (** One request stream.  The closure owns its state (typically the ARU

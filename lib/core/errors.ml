@@ -23,3 +23,21 @@ let pp_exn ppf = function
     Format.fprintf ppf "ARU %a has a commit pending in the group-commit queue"
       Types.Aru_id.pp a
   | e -> Format.fprintf ppf "%s" (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Panic hook: a last-chance observer fired just before an invariant
+   violation propagates, so forensics (flight-recorder dumps) can run
+   while the failing instance is still live.  Hooks are process-global
+   and default to empty — codec-level [Corrupt] raises that recovery
+   probes and catches on purpose go through plain [raise], not
+   [panic]. *)
+
+let panic_hooks : (exn -> unit) list ref = ref []
+let on_panic f = panic_hooks := f :: !panic_hooks
+let clear_panic_hooks () = panic_hooks := []
+
+let panic e =
+  List.iter (fun f -> try f e with _ -> ()) !panic_hooks;
+  raise e
+
+let corrupt msg = panic (Corrupt msg)

@@ -33,3 +33,21 @@ exception Commit_pending of Types.Aru_id.t
 val pp_exn : Format.formatter -> exn -> unit
 (** Human-readable rendering of the exceptions above (falls back to
     [Printexc.to_string]). *)
+
+val on_panic : (exn -> unit) -> unit
+(** Install a process-global hook fired by {!panic} just before the
+    exception propagates.  Hooks run most-recently-installed first;
+    exceptions they raise are swallowed.  Intended for forensics
+    (dumping the flight recorder while the failing instance is live),
+    not for control flow. *)
+
+val clear_panic_hooks : unit -> unit
+
+val panic : exn -> 'a
+(** Fire every panic hook with [e], then [raise e]. *)
+
+val corrupt : string -> 'a
+(** [panic (Corrupt msg)] — for invariant violations in a live
+    instance.  Codec-level probes that raise-and-catch [Corrupt] on
+    purpose (e.g. checkpoint generation selection) use plain [raise]
+    and never fire the hooks. *)

@@ -41,6 +41,9 @@ type t = {
   commit_q : int Queue.t;
   (* group commit: ARUs whose commit intent is queued, FIFO *)
   commit_set : (int, unit) Hashtbl.t; (* membership mirror of commit_q *)
+  commit_enq_ns : (int, int) Hashtbl.t;
+  (* per queued ARU: virtual enqueue time — feeds the queue-wait stage
+     histogram and repairs [commit_first_ns] after an abort-dequeue *)
   mutable commit_first_ns : int; (* enqueue time of the oldest intent *)
   mutable in_cleaning : bool;
   mutable in_checkpoint : bool;
@@ -502,11 +505,9 @@ and clean_internal t ~target_free =
         List.iter
           (fun idx ->
             if live_count t idx <> 0 then
-              raise
-                (Errors.Corrupt
-                   (Printf.sprintf
-                      "cleaner: segment %d still has %d live blocks" idx
-                      (live_count t idx)));
+              Errors.corrupt
+                (Printf.sprintf "cleaner: segment %d still has %d live blocks"
+                   idx (live_count t idx));
             t.sealed.(idx) <- false;
             cache_invalidate_segment t idx;
             Queue.push idx t.free_segs)
@@ -1076,7 +1077,7 @@ let new_block t ?aru ~list ~pred () =
     (match Splice.insert (shadow_ctx t a) ~list ~block:bid ~pred with
     | `Applied -> ()
     | `Skipped ->
-      raise (Errors.Corrupt "new_block: validated insertion was skipped"));
+      Errors.corrupt "new_block: validated insertion was skipped");
     Link_log.add a.Aru.log (Link_log.Insert { list; block = bid; pred });
     t.counters.Counters.link_log_appends <-
       t.counters.Counters.link_log_appends + 1;
@@ -1085,7 +1086,7 @@ let new_block t ?aru ~list ~pred () =
     (match Splice.insert (committed_ctx t) ~list ~block:bid ~pred with
     | `Applied -> ()
     | `Skipped ->
-      raise (Errors.Corrupt "new_block: validated insertion was skipped"));
+      Errors.corrupt "new_block: validated insertion was skipped");
     let stream =
       match who with
       | `In a -> Summary.In_aru a.Aru.id (* sequential-mode ARU *)
@@ -1459,12 +1460,36 @@ let end_aru t aid =
     (* 4. *)
     commit_finish t a aid ~commit_seq collected_b collected_l
 
+(* A queued commit intent is withdrawn, not rejected: the ARU leaves
+   [commit_q] (and its mirrors) and aborts like any other.  The oldest
+   remaining intent's enqueue time repairs the window clock. *)
+let commit_dequeue t aid =
+  let key = Types.Aru_id.to_int aid in
+  Hashtbl.remove t.commit_set key;
+  Hashtbl.remove t.commit_enq_ns key;
+  let q = Queue.create () in
+  Queue.iter (fun k -> if k <> key then Queue.push k q) t.commit_q;
+  Queue.clear t.commit_q;
+  Queue.transfer q t.commit_q;
+  (match Queue.peek_opt t.commit_q with
+  | Some head -> (
+    match Hashtbl.find_opt t.commit_enq_ns head with
+    | Some ns -> t.commit_first_ns <- ns
+    | None -> ())
+  | None -> ());
+  t.counters.Counters.commit_queue_aborts <-
+    t.counters.Counters.commit_queue_aborts + 1;
+  Obs.event t.obs
+    ~flow:(Tr.Flow_end, key)
+    Tr.Aru "commit"
+    [ ("aru", Tr.I key); ("stage", Tr.S "abort") ]
+
 let abort_aru t aid =
   dispatch t;
   if t.config.Config.mode = Config.Sequential then
     invalid_arg "Lld.abort_aru: not supported by the sequential prototype";
   if Hashtbl.mem t.commit_set (Types.Aru_id.to_int aid) then
-    raise (Errors.Commit_pending aid);
+    commit_dequeue t aid;
   let a =
     match Hashtbl.find_opt t.arus (Types.Aru_id.to_int aid) with
     | Some a -> a
@@ -1509,7 +1534,18 @@ let submit_commit t aid =
     if not (Hashtbl.mem t.arus key) then raise (Errors.Unknown_aru aid);
     if Queue.is_empty t.commit_q then t.commit_first_ns <- Clock.now_ns t.clock;
     Queue.push key t.commit_q;
-    Hashtbl.replace t.commit_set key ()
+    Hashtbl.replace t.commit_set key ();
+    Hashtbl.replace t.commit_enq_ns key (Clock.now_ns t.clock);
+    t.counters.Counters.commits_submitted <-
+      t.counters.Counters.commits_submitted + 1;
+    Obs.event t.obs
+      ~flow:(Tr.Flow_start, key)
+      Tr.Aru "commit"
+      [
+        ("aru", Tr.I key);
+        ("stage", Tr.S "submit");
+        ("queued", Tr.I (Queue.length t.commit_q));
+      ]
   end
 
 let flush_commits t =
@@ -1518,14 +1554,15 @@ let flush_commits t =
     Obs.timed t.obs Tr.Aru "commit.group"
       ~args:[ ("queued", Tr.I (Queue.length t.commit_q)) ]
     @@ fun () ->
-    (* sub-batch accumulated in reverse: (aid, aru, blocks, lists) *)
+    (* sub-batch accumulated in reverse: (aid, aru, blocks, lists,
+       merge time — feeds the batch-residency stage histogram) *)
     let subbatch = ref [] in
     let subbatch_n = ref 0 in
     let close_subbatch () =
       match List.rev !subbatch with
       | [] -> ()
       | batch ->
-        let arus = List.map (fun (aid, _, _, _) -> aid) batch in
+        let arus = List.map (fun (aid, _, _, _, _) -> aid) batch in
         let n = List.length arus in
         (* the batched commit record goes in BEFORE the seal: the
            reservation kept room for it, and the seal's auto-checkpoint
@@ -1537,19 +1574,32 @@ let flush_commits t =
               emit_entry t ~stream:Summary.Simple
                 (Summary.Commit_group { arus }))
         in
+        let record_ns = Clock.now_ns t.clock in
         List.iter
-          (fun (aid, a, cb, cl) ->
+          (fun (aid, a, cb, cl, merge_ns) ->
             commit_finish t a aid ~commit_seq cb cl;
             t.counters.Counters.group_commits <-
-              t.counters.Counters.group_commits + 1)
+              t.counters.Counters.group_commits + 1;
+            Obs.observe t.obs "aru.commit.batch_residency"
+              (max 0 (record_ns - merge_ns)))
           batch;
         (* one seal makes the whole batch durable *)
-        seal t;
+        Obs.timed t.obs Tr.Aru "commit.barrier"
+          ~args:[ ("batch", Tr.I n) ]
+          (fun () -> seal t);
         t.counters.Counters.commit_batches <-
           t.counters.Counters.commit_batches + 1;
         t.counters.Counters.commit_barriers <-
           t.counters.Counters.commit_barriers + 1;
         Obs.observe t.obs "commit.batch_size" n;
+        List.iter
+          (fun (aid, _, _, _, _) ->
+            let key = Types.Aru_id.to_int aid in
+            Obs.event t.obs
+              ~flow:(Tr.Flow_step, key)
+              Tr.Aru "commit"
+              [ ("aru", Tr.I key); ("stage", Tr.S "sealed") ])
+          batch;
         subbatch := [];
         subbatch_n := 0
     in
@@ -1557,10 +1607,24 @@ let flush_commits t =
     while not (Queue.is_empty t.commit_q) do
       let key = Queue.pop t.commit_q in
       Hashtbl.remove t.commit_set key;
+      let enq_ns = Hashtbl.find_opt t.commit_enq_ns key in
+      Hashtbl.remove t.commit_enq_ns key;
       match Hashtbl.find_opt t.arus key with
       | None -> () (* unreachable: queued ARUs stay active until drained *)
       | Some a ->
         let aid = Types.Aru_id.of_int key in
+        (match enq_ns with
+        | Some enq when Obs.recording t.obs ->
+          let wait = max 0 (Clock.now_ns t.clock - enq) in
+          Obs.observe t.obs "aru.commit.queue_wait" wait;
+          Obs.complete t.obs Tr.Aru "commit.queue_wait" ~ts_ns:enq
+            ~dur_ns:wait
+            [ ("aru", Tr.I key) ];
+          Obs.event t.obs
+            ~flow:(Tr.Flow_step, key)
+            Tr.Aru "commit"
+            [ ("aru", Tr.I key); ("stage", Tr.S "batch") ]
+        | _ -> ());
         cpu t (cost t).Cost.aru_commit_ns;
         if !subbatch_n >= t.config.Config.group_commit_batch then
           close_subbatch ();
@@ -1574,8 +1638,9 @@ let flush_commits t =
           close_subbatch ();
           if not (commit_room t a ~extra_entry_bytes:extra) then seal t
         end;
+        let merge_ns = Clock.now_ns t.clock in
         let cb, cl = commit_merge t a aid in
-        subbatch := (aid, a, cb, cl) :: !subbatch;
+        subbatch := (aid, a, cb, cl, merge_ns) :: !subbatch;
         incr subbatch_n;
         incr committed
     done;
@@ -1901,7 +1966,17 @@ let set_obs t obs =
         shadow_versions t);
     Obs.register_gauge obs ~name:"link_log_entries"
       ~help:"buffered list operations across open ARU link logs" (fun () ->
-        link_log_entries t)
+        link_log_entries t);
+    Obs.register_gauge obs ~name:"pending_commits"
+      ~help:"commit intents waiting in the group-commit queue" (fun () ->
+        Queue.length t.commit_q);
+    (* every operation counter becomes a registry counter, so the
+       OpenMetrics exposition (and forensics bundles) carry them *)
+    List.iter
+      (fun (name, get, _) ->
+        Obs.register_counter obs ~name ~help:"operation counter" (fun () ->
+            get t.counters))
+      Counters.fields
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1946,6 +2021,7 @@ let make ~config ~disk ~blocks ~lists ~next_seq ~stamp ~next_aru ~ckpt_id =
       pending = Hashtbl.create 16;
       commit_q = Queue.create ();
       commit_set = Hashtbl.create 16;
+      commit_enq_ns = Hashtbl.create 16;
       commit_first_ns = 0;
       in_cleaning = false;
       in_checkpoint = false;
@@ -1956,6 +2032,7 @@ let make ~config ~disk ~blocks ~lists ~next_seq ~stamp ~next_aru ~ckpt_id =
   t
 
 let create ?(config = Config.default) ?(obs = Obs.null) disk =
+  let obs = Obs.env_default ~clock:(Disk.clock disk) obs in
   let geom = Disk.geometry disk in
   (* a reused disk may hold stale segments with arbitrary sequence
      numbers; start above all of them so recovery never replays relics *)
@@ -1989,6 +2066,7 @@ let create ?(config = Config.default) ?(obs = Obs.null) disk =
   t
 
 let recover ?(config = Config.default) ?(obs = Obs.null) disk =
+  let obs = Obs.env_default ~clock:(Disk.clock disk) obs in
   Lld_disk.Fault.reset_after_recovery (Disk.fault disk);
   Disk.set_obs disk obs;
   let prepared =

@@ -71,8 +71,10 @@ val end_aru : t -> Types.Aru_id.t -> unit
 val abort_aru : t -> Types.Aru_id.t -> unit
 (** Discard the ARU's shadow state.  Blocks and lists it allocated
     remain allocated (paper §3.3) until {!scavenge} or recovery frees
-    them.  Concurrent mode only; raises [Invalid_argument] in sequential
-    mode. *)
+    them.  An ARU queued by {!submit_commit} is dequeued first (its
+    commit intent is withdrawn — the batch it would have joined no
+    longer contains it) and then aborts normally.  Concurrent mode
+    only; raises [Invalid_argument] in sequential mode. *)
 
 val submit_commit : t -> Types.Aru_id.t -> unit
 (** Queue a commit intent for group commit (DESIGN.md §5.11): the ARU

@@ -425,7 +425,7 @@ let prepare ?(obs = Obs.null) ?(sweep = true) ?(parallel = true) disk =
     Obs.timed obs Tr.Recovery "checkpoint_restore" @@ fun () ->
     let best =
       match read_best_safe disk with
-      | None -> raise (Errors.Corrupt "no valid checkpoint: disk not formatted")
+      | None -> Errors.corrupt "no valid checkpoint: disk not formatted"
       | Some b -> b
     in
     let blocks, lists = restore_checkpoint geom best.Checkpoint.best_snap in

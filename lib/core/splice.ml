@@ -67,19 +67,17 @@ let unlink ctx ~list ~block =
         | None ->
           (* member_of said the block is on this list; a broken chain is
              an internal invariant violation *)
-          raise
-            (Errors.Corrupt
-               (Format.asprintf "list %a chain broken before %a"
-                  Types.List_id.pp list Types.Block_id.pp block))
+          Errors.corrupt
+            (Format.asprintf "list %a chain broken before %a" Types.List_id.pp
+               list Types.Block_id.pp block)
       in
       let p =
         match lrec.Record.first with
         | Some f -> search f
         | None ->
-          raise
-            (Errors.Corrupt
-               (Format.asprintf "list %a empty but %a claims membership"
-                  Types.List_id.pp list Types.Block_id.pp block))
+          Errors.corrupt
+            (Format.asprintf "list %a empty but %a claims membership"
+               Types.List_id.pp list Types.Block_id.pp block)
       in
       let prec_ = ctx.get_block p in
       prec_.Record.successor <- succ;

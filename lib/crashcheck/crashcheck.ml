@@ -643,7 +643,7 @@ let image_at trace point = Raw.image_at (raw_of_trace trace) point
    to the verification reads), writing the Chrome trace next to the
    minimal reproducer so a failing point can be inspected in Perfetto
    without re-running the checker. *)
-let dump_point_trace ?recover_config trace point ~path =
+let replay_point_obs ?recover_config trace point =
   let spec = trace.tr_spec in
   let config = Option.value recover_config ~default:spec.sc_config in
   let clock = Clock.create () in
@@ -652,7 +652,18 @@ let dump_point_trace ?recover_config trace point ~path =
   (match Lld.recover ~config ~obs disk with
   | exception _ -> ()
   | lld, _report -> ignore (verify_recovered trace lld));
+  obs
+
+let dump_point_trace ?recover_config trace point ~path =
+  let obs = replay_point_obs ?recover_config trace point in
   Lld_obs.Trace.write_chrome_file (Lld_obs.Obs.trace obs) path
+
+(* The full black-box bundle for a failing point: the same replay, but
+   everything the handle holds — flight ring, trace ring, metrics
+   registry — written as a Forensics bundle sharing one stem. *)
+let dump_point_bundle ?recover_config trace point ~dir ~label =
+  let obs = replay_point_obs ?recover_config trace point in
+  Lld_obs.Forensics.dump ~dir ~label obs
 
 let hex_of_bytes b =
   let n = Bytes.length b in
@@ -741,6 +752,7 @@ type result = {
   r_minimal : violation option;
   r_trace_file : string option;
   r_writes_file : string option;
+  r_forensics_files : string list;
 }
 
 let max_kept_violations = 50
@@ -827,7 +839,7 @@ let run ?(granularity = 512) ?budget ?(seed = 1) ?recover_config
        with Exit -> ());
       (match !found with Some v -> Some v | None -> Some first)
   in
-  let trace_file, writes_file =
+  let trace_file, writes_file, forensics_files =
     match (minimal, trace_dir) with
     | Some v, Some dir ->
       let point_tag =
@@ -835,20 +847,27 @@ let run ?(granularity = 512) ?budget ?(seed = 1) ?recover_config
         | None -> string_of_int v.v_point.pt_index
         | Some k -> Printf.sprintf "%d-torn%d" v.v_point.pt_index k
       in
-      let file ext =
-        Filename.concat dir
-          (Printf.sprintf "crash-%s-at-%s.%s" trace.tr_spec.sc_name point_tag
-             ext)
+      let label =
+        Printf.sprintf "crash-%s-at-%s" trace.tr_spec.sc_name point_tag
       in
-      let path = file "trace.json" in
-      let wpath = file "writes.json" in
+      let wpath = Filename.concat dir (label ^ ".writes.json") in
       (try
          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-         dump_point_trace ?recover_config trace v.v_point ~path;
+         (* the bundle's trace file is the recovery trace the reproducer
+            always carried; flight ring + metrics ride alongside *)
+         let bundle =
+           dump_point_bundle ?recover_config trace v.v_point ~dir ~label
+         in
          dump_point_writes trace v.v_point ~path:wpath;
-         (Some path, Some wpath)
-       with Sys_error _ -> (None, None))
-    | _ -> (None, None)
+         let tpath =
+           List.find_opt
+             (fun p -> Filename.check_suffix p ".trace.json")
+             bundle
+         in
+         let extras = List.filter (fun p -> Some p <> tpath) bundle in
+         (tpath, Some wpath, extras)
+       with Sys_error _ -> (None, None, []))
+    | _ -> (None, None, [])
   in
   {
     r_workload = trace.tr_spec.sc_name;
@@ -863,6 +882,7 @@ let run ?(granularity = 512) ?budget ?(seed = 1) ?recover_config
     r_minimal = minimal;
     r_trace_file = trace_file;
     r_writes_file = writes_file;
+    r_forensics_files = forensics_files;
   }
 
 let repro_hint ~workload point =
@@ -896,9 +916,12 @@ let pp_result ppf r =
       (match r.r_trace_file with
       | None -> ()
       | Some f -> Format.fprintf ppf "  recovery trace: %s@," f);
-      match r.r_writes_file with
+      (match r.r_writes_file with
       | None -> ()
       | Some f -> Format.fprintf ppf "  pre-crash writes: %s@," f);
+      List.iter
+        (fun f -> Format.fprintf ppf "  forensics: %s@," f)
+        r.r_forensics_files);
     Format.fprintf ppf "@]"
   end
 

@@ -179,6 +179,13 @@ val dump_point_trace :
     Perfetto / [chrome://tracing].  A recovery that raises still leaves
     the spans recorded up to the failure in the file. *)
 
+val dump_point_bundle :
+  ?recover_config:Lld_core.Config.t ->
+  trace -> point -> dir:string -> label:string -> string list
+(** Same replay, full black box: write the {!Lld_obs.Forensics} bundle
+    ([<label>.flight.jsonl], [<label>.trace.json],
+    [<label>.metrics.json]) into [dir] and return the paths. *)
+
 (** {1 The checker} *)
 
 type violation = { v_point : point; v_problems : string list }
@@ -208,6 +215,11 @@ type result = {
           bundle is self-contained: the crash image can be rebuilt over
           the deterministic post-format base without re-running the
           workload *)
+  r_forensics_files : string list;
+      (** the rest of the minimal reproducer's {!dump_point_bundle}
+          output — flight-recorder ring and metrics snapshot — written
+          alongside [r_trace_file] (empty when no [trace_dir] or no
+          violation) *)
 }
 
 val max_kept_violations : int

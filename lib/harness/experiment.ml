@@ -585,6 +585,186 @@ let print_group_commit ppf rows =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* G2: per-stage commit latency under group commit                     *)
+
+type g2_row = {
+  g2_clients : int;
+  g2_commits : int;
+  g2_queue_wait_p50_us : float;
+  g2_queue_wait_p99_us : float;
+  g2_barrier_p50_us : float;
+  g2_barrier_p99_us : float;
+  g2_wake_p50_us : float;
+  g2_wake_p99_us : float;
+  g2_mean_batch : float;
+}
+
+(* The same synchronous-commit engine loops as G1, but run under a live
+   observability handle so the per-stage commit histograms
+   (queue-wait, seal barrier, wake latency) fill — attaching the handle
+   is free on the virtual clock, so the schedule is identical to an
+   untraced run.  A background churner issues simple (non-ARU) writes
+   the whole time: someone is always runnable, so the engine never
+   force-flushes and batches close on size or window only — with one
+   client the queue drains on window expiry (queue-wait ~ the window),
+   while with 8+ clients the batch-size close fires first and each
+   member waits only for its peers to submit.  Queue-wait p99 shrinking
+   as clients grow is exactly the latency side of the barrier
+   amortization G1 measures on throughput. *)
+let group_commit_stages ?(clients = [ 1; 8; 16 ]) scale =
+  let iters = max 10 (int_of_float (50. *. scale.arus)) in
+  (* The window must dwarf the virtual time 8 clients need to fill a
+     batch (each Begin/Write/Commit charges the clock), otherwise
+     window expiry closes every batch and the contrast disappears. *)
+  let config =
+    {
+      Config.default with
+      Config.group_commit_window = 5_000_000;
+      Config.group_commit_batch = 8;
+    }
+  in
+  List.map
+    (fun n ->
+      let clock = Clock.create () in
+      let obs = Obs.create ~clock () in
+      let disk = Disk.create ~clock scale.geom in
+      let lld = Lld.create ~config ~obs disk in
+      let block_bytes = Lld.block_bytes lld in
+      let live = ref n in
+      let client tag =
+        let aru = ref None in
+        let list = ref None in
+        let remaining = ref iters in
+        let state = ref `Setup in
+        fun (r : Lld_core.Op.result option) ->
+          match (!state, r) with
+          | `Setup, _ ->
+            state := `Begin;
+            Some (Lld_core.Op.New_list None)
+          | `Begin, _ ->
+            (match r with
+            | Some (Lld_core.Op.R_list l) -> list := Some l
+            | _ -> ());
+            state := `Block;
+            Some Lld_core.Op.Begin_aru
+          | `Block, Some (Lld_core.Op.R_aru a) ->
+            aru := Some a;
+            state := `Write;
+            Some
+              (Lld_core.Op.New_block
+                 { aru = !aru; list = Option.get !list; pred = Summary.Head })
+          | `Write, Some (Lld_core.Op.R_block b) ->
+            state := `Commit;
+            Some
+              (Lld_core.Op.Write
+                 {
+                   aru = !aru;
+                   block = b;
+                   data = Bytes.make block_bytes (Char.chr (tag land 0xff));
+                 })
+          | `Commit, Some Lld_core.Op.R_unit ->
+            state := `Committed;
+            Some (Lld_core.Op.End_aru (Option.get !aru))
+          | `Committed, Some Lld_core.Op.R_unit ->
+            decr remaining;
+            if !remaining = 0 then begin
+              decr live;
+              None
+            end
+            else begin
+              state := `Block;
+              Some Lld_core.Op.Begin_aru
+            end
+          | _ -> None
+      in
+      let churner () =
+        let list = ref None in
+        let block = ref None in
+        let state = ref `List in
+        fun (r : Lld_core.Op.result option) ->
+          if !live = 0 then None
+          else
+            match (!state, r) with
+            | `List, _ ->
+              state := `Block;
+              Some (Lld_core.Op.New_list None)
+            | `Block, Some (Lld_core.Op.R_list l) ->
+              list := Some l;
+              state := `Write;
+              Some
+                (Lld_core.Op.New_block
+                   { aru = None; list = Option.get !list; pred = Summary.Head })
+            | `Write, Some (Lld_core.Op.R_block b) ->
+              block := Some b;
+              state := `Churn;
+              Some
+                (Lld_core.Op.Write
+                   { aru = None; block = b; data = Bytes.make block_bytes 'c' })
+            | `Churn, _ ->
+              Some
+                (Lld_core.Op.Write
+                   {
+                     aru = None;
+                     block = Option.get !block;
+                     data = Bytes.make block_bytes 'c';
+                   })
+            | _ -> None
+      in
+      let stats =
+        Lld_core.Engine.run lld
+          (List.init n (fun i -> client (i + 1)) @ [ churner () ])
+      in
+      let c = Lld.counters lld in
+      let m = Obs.metrics obs in
+      let pct key sel =
+        match Metrics.find_histogram m key with
+        | Some h when Histogram.count h > 0 -> float_of_int (sel h) /. 1e3
+        | _ -> 0.
+      in
+      {
+        g2_clients = n;
+        g2_commits = stats.Lld_core.Engine.commits;
+        g2_queue_wait_p50_us = pct "aru.commit.queue_wait" Histogram.p50;
+        g2_queue_wait_p99_us = pct "aru.commit.queue_wait" Histogram.p99;
+        g2_barrier_p50_us = pct "aru.commit.barrier" Histogram.p50;
+        g2_barrier_p99_us = pct "aru.commit.barrier" Histogram.p99;
+        g2_wake_p50_us = pct "aru.commit.wake" Histogram.p50;
+        g2_wake_p99_us = pct "aru.commit.wake" Histogram.p99;
+        g2_mean_batch =
+          (if c.Counters.commit_batches = 0 then 0.
+           else
+             float_of_int c.Counters.group_commits
+             /. float_of_int c.Counters.commit_batches);
+      })
+    clients
+
+let print_group_commit_stages ppf rows =
+  Report.table ppf
+    ~title:
+      "G2: per-stage commit latency under group commit — queue-wait p99 \
+       shrinks as concurrent clients fill batches (the latency side of \
+       barrier amortization)"
+    ~header:
+      [
+        "clients"; "commits"; "queue-wait p50 (us)"; "queue-wait p99";
+        "barrier p50"; "barrier p99"; "wake p50"; "wake p99"; "mean batch";
+      ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.g2_clients;
+           string_of_int r.g2_commits;
+           Report.f2 r.g2_queue_wait_p50_us;
+           Report.f2 r.g2_queue_wait_p99_us;
+           Report.f2 r.g2_barrier_p50_us;
+           Report.f2 r.g2_barrier_p99_us;
+           Report.f2 r.g2_wake_p50_us;
+           Report.f2 r.g2_wake_p99_us;
+           Report.f2 r.g2_mean_batch;
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
 (* X4: concurrency                                                     *)
 
 type concurrency_result = {
@@ -1069,6 +1249,10 @@ let commit_breakdown_keys =
     "aru.commit.replay_log";
     "aru.commit.merge_shadow";
     "aru.commit.record";
+    "aru.commit.queue_wait";
+    "aru.commit.batch_residency";
+    "aru.commit.barrier";
+    "aru.commit.wake";
     "disk.write";
   ]
 
@@ -1120,6 +1304,60 @@ let print_observability ppf r =
          r.o2_arus r.o2_latency_us)
     ~header:[ "span"; "count"; "mean (us)"; "p50"; "p95"; "p99" ]
     (hist_table_rows r.o2_metrics commit_breakdown_keys)
+
+(* ------------------------------------------------------------------ *)
+(* O3 — the always-on flight recorder has no observer effect either *)
+
+type flight_effect_result = {
+  o3_clock_match : bool;
+  o3_counters_match : bool;
+  o3_image_match : bool;
+  o3_flight_events : int;
+}
+
+(* The black box must be safe to leave on in production (LLD_FLIGHT=1):
+   the same deterministic small-file workload runs once against
+   Obs.null and once with a flight-only handle, and the final disk
+   image, the operation counters, and the virtual clock must be
+   byte-identical — the ring records, it never charges. *)
+let flight_effect scale =
+  let params = Smallfile.scaled Smallfile.paper_1k (0.05 *. scale.files) in
+  let run ?clock ?obs () =
+    let backend =
+      Lld_disk.Backend.mem ~size:(Geometry.total_bytes scale.geom)
+    in
+    let inst = Setup.make ~geom:scale.geom ?clock ?obs ~backend Setup.New in
+    ignore (Smallfile.run inst params);
+    Fs.flush inst.Setup.fs;
+    let image = Disk.snapshot inst.Setup.disk in
+    let counters = Counters.to_json_string (Lld.counters inst.Setup.lld) in
+    let ns = Clock.now_ns inst.Setup.clock in
+    Disk.close inst.Setup.disk;
+    (image, counters, ns)
+  in
+  let p_image, p_counters, p_ns = run () in
+  let clock = Clock.create () in
+  let obs = Obs.flight_only ~clock () in
+  let f_image, f_counters, f_ns = run ~clock ~obs () in
+  {
+    o3_clock_match = p_ns = f_ns;
+    o3_counters_match = String.equal p_counters f_counters;
+    o3_image_match = Bytes.equal p_image f_image;
+    o3_flight_events = Lld_obs.Flight.count (Obs.flight obs);
+  }
+
+let print_flight_effect ppf r =
+  Report.table ppf
+    ~title:
+      "O3: flight-recorder observer effect — identical run against Obs.null \
+       vs the always-on black box (LLD_FLIGHT=1 semantics)"
+    ~header:[ "quantity"; "identical" ]
+    [
+      [ "final disk image"; (if r.o3_image_match then "yes" else "NO") ];
+      [ "counters JSON"; (if r.o3_counters_match then "yes" else "NO") ];
+      [ "final virtual clock"; (if r.o3_clock_match then "yes" else "NO") ];
+      [ "flight events recorded"; string_of_int r.o3_flight_events ];
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* B1 — backend transparency: Mem vs File at identical virtual cost *)
@@ -1200,7 +1438,7 @@ let finite v = Float.is_finite v && v > 0.
    virtual clock is calibrated, not cycle-accurate) but the directional
    claims each table/figure exists to demonstrate.  A regression that
    silently zeroes a phase or inverts a trade-off fails the run. *)
-let checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~w0 ~c1 ~ob ~b1 =
+let checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~g2 ~w0 ~c1 ~ob ~o3 ~b1 =
   let all_f5_phases =
     List.concat_map
       (fun r ->
@@ -1293,6 +1531,19 @@ let checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~w0 ~c1 ~ob ~b1 =
           eight.g1_barriers_per_commit eight.g1_mean_batch )
     | None -> (false, "8-client row missing")
   in
+  let g2_ok, g2_detail =
+    (* with one client batches only close on the window; with 8+ the
+       size close fires first, so every member's queue wait shrinks *)
+    let row n = List.find_opt (fun r -> r.g2_clients = n) g2 in
+    match (row 1, row 8, row 16) with
+    | Some one, Some eight, Some sixteen ->
+      ( eight.g2_queue_wait_p99_us < one.g2_queue_wait_p99_us
+        && sixteen.g2_queue_wait_p99_us < one.g2_queue_wait_p99_us,
+        Printf.sprintf "queue-wait p99: %.1f us @1, %.1f us @8, %.1f us @16"
+          one.g2_queue_wait_p99_us eight.g2_queue_wait_p99_us
+          sixteen.g2_queue_wait_p99_us )
+    | _ -> (false, "1-, 8- or 16-client row missing")
+  in
   let w0_ok, w0_detail =
     let frac label =
       List.find_opt (fun r -> r.w0_label = label) w0
@@ -1354,6 +1605,11 @@ let checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~w0 ~c1 ~ob ~b1 =
       ck_detail = g1_barrier_detail;
     };
     {
+      ck_name = "G2: queue-wait p99 shrinks as clients fill batches";
+      ck_ok = g2_ok;
+      ck_detail = g2_detail;
+    };
+    {
       ck_name = "W0: MinixLLD beats in-place Minix on write bandwidth";
       ck_ok = w0_ok;
       ck_detail = w0_detail;
@@ -1402,6 +1658,18 @@ let checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~w0 ~c1 ~ob ~b1 =
                   else row.b1_backend)
                  row.b1_virtual_ns row.b1_wall_s)
              b1.b1_rows);
+    };
+    {
+      ck_name = "O3: flight recorder has no observer effect";
+      ck_ok =
+        o3.o3_clock_match && o3.o3_counters_match && o3.o3_image_match
+        && o3.o3_flight_events > 0;
+      ck_detail =
+        Printf.sprintf "image %s, counters %s, clock %s, %d flight events"
+          (if o3.o3_image_match then "identical" else "DIFFERS")
+          (if o3.o3_counters_match then "identical" else "DIFFER")
+          (if o3.o3_clock_match then "identical" else "DIFFERS")
+          o3.o3_flight_events;
     };
     {
       ck_name = "O2: commit phases instrumented for every ARU";
@@ -1518,6 +1786,33 @@ let json_of_g1 rows =
              ("mean_batch", Report.Float r.g1_mean_batch);
            ])
        rows)
+
+let json_of_g2 rows =
+  Report.List
+    (List.map
+       (fun r ->
+         Report.Obj
+           [
+             ("clients", Report.Int r.g2_clients);
+             ("commits", Report.Int r.g2_commits);
+             ("queue_wait_p50_us", Report.Float r.g2_queue_wait_p50_us);
+             ("queue_wait_p99_us", Report.Float r.g2_queue_wait_p99_us);
+             ("barrier_p50_us", Report.Float r.g2_barrier_p50_us);
+             ("barrier_p99_us", Report.Float r.g2_barrier_p99_us);
+             ("wake_p50_us", Report.Float r.g2_wake_p50_us);
+             ("wake_p99_us", Report.Float r.g2_wake_p99_us);
+             ("mean_batch", Report.Float r.g2_mean_batch);
+           ])
+       rows)
+
+let json_of_flight_effect r =
+  Report.Obj
+    [
+      ("clock_match", Report.Bool r.o3_clock_match);
+      ("counters_match", Report.Bool r.o3_counters_match);
+      ("image_match", Report.Bool r.o3_image_match);
+      ("flight_events", Report.Int r.o3_flight_events);
+    ]
 
 let json_of_w0 rows =
   Report.List
@@ -1646,6 +1941,8 @@ let run_all_json ppf scale =
   print_restart_cost ppf r1;
   let g1 = group_commit scale in
   print_group_commit ppf g1;
+  let g2 = group_commit_stages scale in
+  print_group_commit_stages ppf g2;
   print_concurrency ppf (concurrency scale);
   print_mixed ppf (mixed_workload scale);
   print_implementations ppf (implementation_comparison scale);
@@ -1655,9 +1952,11 @@ let run_all_json ppf scale =
   print_cleaning ppf c1;
   let ob = observability scale in
   print_observability ppf ob;
+  let o3 = flight_effect scale in
+  print_flight_effect ppf o3;
   let b1 = backend_comparison scale in
   print_backend ppf b1;
-  let cks = checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~w0 ~c1 ~ob ~b1 in
+  let cks = checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~g2 ~w0 ~c1 ~ob ~o3 ~b1 in
   print_checks ppf cks;
   Format.fprintf ppf "@.";
   let json =
@@ -1679,9 +1978,11 @@ let run_all_json ppf scale =
         ("recovery", json_of_x3 x3);
         ("r1", json_of_r1 r1);
         ("g1", json_of_g1 g1);
+        ("g2", json_of_g2 g2);
         ("bandwidth", json_of_w0 w0);
         ("cleaning", json_of_c1 c1);
         ("observability", json_of_observability ob);
+        ("o3", json_of_flight_effect o3);
         ("backend", json_of_backend b1);
         ("checks", Report.List (List.map json_of_check cks));
       ]

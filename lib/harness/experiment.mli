@@ -121,7 +121,7 @@ val print_restart_cost : Format.formatter -> r1_row list -> unit
     in-flight commits into one batched commit record and one barrier.
     Throughput must scale (8 clients ≥ 3× one client) and the mean
     barriers-per-commit at 8 clients must drop below 0.5 — both are
-    reproduction checks and CI gates over [BENCH_PR7.json]. *)
+    reproduction checks and CI gates over [BENCH_PR8.json]. *)
 
 type g1_row = {
   g1_clients : int;

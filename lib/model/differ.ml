@@ -81,6 +81,10 @@ module Lops = Op.Make (Lld)
 
 type client = {
   mutable cl_aru : Types.Aru_id.t option;
+  mutable cl_submitted : Types.Aru_id.t option;
+      (* last ARU this client queued via Submit_commit and that may
+         still sit in the commit queue — an Abort command with no
+         active ARU withdraws it (queued-abort path) *)
   mutable cl_lists : int list; (* created list ids, newest first *)
   mutable cl_blocks : int list; (* created block ids, newest first *)
 }
@@ -115,7 +119,16 @@ let resolve model ~block_bytes ~capacity ~group clients ci (cmd : Program.cmd)
   | Program.Begin -> if aru = None then Some Op.Begin_aru else None
   | Program.Commit ->
     Option.map (fun a -> if group then Op.Submit_commit a else Op.End_aru a) aru
-  | Program.Abort -> Option.map (fun a -> Op.Abort_aru a) aru
+  | Program.Abort -> (
+    match aru with
+    | Some a -> Some (Op.Abort_aru a)
+    | None -> (
+      (* no active ARU: withdraw a still-queued commit intent instead,
+         exercising the abort-dequeues-from-the-batch path *)
+      match c.cl_submitted with
+      | Some a when group && Model.commit_pending model a ->
+        Some (Op.Abort_aru a)
+      | _ -> None))
   | Program.New_list -> Some (Op.New_list aru)
   | Program.New_block { list_ref; pred_ref } -> (
     match pick list_ref (live_lists model c) with
@@ -255,12 +268,18 @@ let make_backend cfg size =
 let diverged kind detail trail =
   Some { dv_kind = kind; dv_detail = detail; dv_trail = List.rev trail }
 
-let run_program_stats ?(crash = false) cfg ~seed (program : Program.t) stats =
+let run_program_stats ?(crash = false) ?obs_for cfg ~seed (program : Program.t)
+    stats =
   let geom = differ_geom in
   let clock = Clock.create () in
   let disk = Disk.create ~backend:(make_backend cfg (Geometry.total_bytes geom)) ~clock geom in
   let config = lld_config cfg in
-  let lld = Lld.create ~config disk in
+  let obs =
+    match obs_for with
+    | Some f -> f clock
+    | None -> Lld_obs.Obs.null
+  in
+  let lld = Lld.create ~config ~obs disk in
   Lld.flush lld;
   let base = if crash then Some (Disk.snapshot disk) else None in
   let writes = ref [] in
@@ -275,7 +294,7 @@ let run_program_stats ?(crash = false) cfg ~seed (program : Program.t) stats =
   in
   let clients =
     Array.init cfg.clients (fun _ ->
-        { cl_aru = None; cl_lists = []; cl_blocks = [] })
+        { cl_aru = None; cl_submitted = None; cl_lists = []; cl_blocks = [] })
   in
   (* Identifiers recycle, so a freed id can be re-allocated to a
      different client; the new allocation steals ownership, keeping the
@@ -313,8 +332,13 @@ let run_program_stats ?(crash = false) cfg ~seed (program : Program.t) stats =
     let c = clients.(ci) in
     (match (op, m_res) with
     | Op.Begin_aru, Op.R_aru a -> c.cl_aru <- Some a
-    | (Op.End_aru _ | Op.Submit_commit _ | Op.Abort_aru _), _ ->
-      c.cl_aru <- None
+    | Op.Submit_commit a, _ ->
+      c.cl_aru <- None;
+      c.cl_submitted <- Some a
+    | Op.Abort_aru a, _ ->
+      c.cl_aru <- None;
+      if c.cl_submitted = Some a then c.cl_submitted <- None
+    | Op.End_aru _, _ -> c.cl_aru <- None
     | Op.New_list _, Op.R_list l ->
       let l = Types.List_id.to_int l in
       claim list_owner true ci l;
@@ -349,6 +373,9 @@ let run_program_stats ?(crash = false) cfg ~seed (program : Program.t) stats =
     stats.ex_ops <- stats.ex_ops + 1;
     trail := Printf.sprintf "engine: flush_commits = %d" m_n :: !trail;
     if m_n = r_n then begin
+      (* the drain empties the whole queue: no client's submitted
+         intent is still withdrawable *)
+      Array.iter (fun c -> c.cl_submitted <- None) clients;
       note_frontier ();
       None
     end
@@ -503,9 +530,26 @@ let run_program_stats ?(crash = false) cfg ~seed (program : Program.t) stats =
   in
   finish result
 
-let run_program ?crash cfg ~seed program =
+let run_program ?crash ?obs_for cfg ~seed program =
   let stats = { ex_ops = 0; ex_skipped = 0; ex_crash_points = 0 } in
-  run_program_stats ?crash cfg ~seed program stats
+  run_program_stats ?crash ?obs_for cfg ~seed program stats
+
+(* Forensics: re-run a (typically shrunk) diverging program with a live
+   observability handle attached to the real instance and dump the
+   flight ring, trace ring and metrics registry as a bundle.  The
+   re-run observes only (probes never charge the virtual clock), so the
+   divergence reproduces bit-for-bit. *)
+let dump_forensics ?(crash = false) ~dir ~label cfg ~seed program =
+  let holder = ref None in
+  let obs_for clock =
+    let obs = Lld_obs.Obs.create ~clock () in
+    holder := Some obs;
+    obs
+  in
+  let div = run_program ~crash ~obs_for cfg ~seed program in
+  match !holder with
+  | None -> (div, [])
+  | Some obs -> (div, Lld_obs.Forensics.dump ~dir ~label obs)
 
 (* ------------------------------------------------------------------ *)
 (* Shrinking: bounded delta debugging over the step array              *)

@@ -82,10 +82,27 @@ type report = {
 val ok : report -> bool
 
 val run_program :
-  ?crash:bool -> config -> seed:int -> Program.t -> divergence option
+  ?crash:bool ->
+  ?obs_for:(Lld_sim.Clock.t -> Lld_obs.Obs.t) ->
+  config -> seed:int -> Program.t -> divergence option
 (** Execute one program on a fresh model + real pair.  [seed] only
     influences crash-point sampling.  [crash] (default false) enables
-    the crash-composition phase. *)
+    the crash-composition phase.  [obs_for] (default: none) builds an
+    observability handle from the run's virtual clock and attaches it
+    to the real instance — probes never charge the clock, so the run is
+    bit-identical with or without it. *)
+
+val dump_forensics :
+  ?crash:bool ->
+  dir:string ->
+  label:string ->
+  config -> seed:int -> Program.t -> divergence option * string list
+(** Re-run a (typically shrunk) diverging program with full tracing and
+    the flight recorder live, then dump the black-box bundle
+    ([<label>.flight.jsonl], [<label>.trace.json],
+    [<label>.metrics.json]) into [dir] (created if missing).  Returns
+    the re-run's divergence — equal to the original, observability is
+    effect-free — and the written paths. *)
 
 val fuzz : ?progress:(case:int -> unit) -> seed:int -> budget:int ->
   config -> report

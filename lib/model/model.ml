@@ -571,6 +571,8 @@ let replay_log_op t op =
 let commit_pending_int t i =
   Queue.fold (fun found q -> found || q = i) false t.t_commit_q
 
+let commit_pending t aid = commit_pending_int t (Lld_core.Types.Aru_id.to_int aid)
+
 (* One ARU's commit, given its record: replay the log, merge shadow
    data, clear owner marks.  Shared by [end_aru] and the group-commit
    flush — the batch is just this, per member, in FIFO order. *)
@@ -616,25 +618,36 @@ let end_aru t aid =
 
 let abort_aru t aid =
   let i = Types.Aru_id.to_int aid in
-  if commit_pending_int t i then raise (Errors.Commit_pending aid);
   if not (Hashtbl.mem t.arus i) then raise (Errors.Unknown_aru aid);
+  if commit_pending_int t i then begin
+    (* a queued commit intent is withdrawn, not rejected *)
+    let q = Queue.create () in
+    Queue.iter (fun k -> if k <> i then Queue.push k q) t.t_commit_q;
+    Queue.clear t.t_commit_q;
+    Queue.transfer q t.t_commit_q;
+    t.t_counters.Lld_core.Counters.commit_queue_aborts <-
+      t.t_counters.Lld_core.Counters.commit_queue_aborts + 1
+  end;
   Hashtbl.remove t.arus i;
   t.t_counters.Lld_core.Counters.arus_aborted <-
     t.t_counters.Lld_core.Counters.arus_aborted + 1
 
 (* ------------------------------------------------------------------ *)
-(* Group commit: the specification.  A queued ARU is frozen (end/abort
-   refuse it) and the flush commits the queue in FIFO order; each
-   member's commit has exactly [end_aru]'s semantics, and the batch is
-   atomic only per member (the real engine's batched commit record is
-   all-or-nothing as a unit on disk, which recovery presents as
-   per-ARU all-or-nothing — the unit the spec cares about). *)
+(* Group commit: the specification.  A queued ARU is frozen (end and
+   resubmit refuse it; abort withdraws the intent) and the flush
+   commits the queue in FIFO order; each member's commit has exactly
+   [end_aru]'s semantics, and the batch is atomic only per member (the
+   real engine's batched commit record is all-or-nothing as a unit on
+   disk, which recovery presents as per-ARU all-or-nothing — the unit
+   the spec cares about). *)
 
 let submit_commit t aid =
   let i = Types.Aru_id.to_int aid in
   if commit_pending_int t i then raise (Errors.Commit_pending aid);
   if not (Hashtbl.mem t.arus i) then raise (Errors.Unknown_aru aid);
-  Queue.push i t.t_commit_q
+  Queue.push i t.t_commit_q;
+  t.t_counters.Lld_core.Counters.commits_submitted <-
+    t.t_counters.Lld_core.Counters.commits_submitted + 1
 
 (* Spec-only stepped flush: commits the queue one ARU at a time,
    calling [after_each] between members, so a differ can place crash

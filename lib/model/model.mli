@@ -49,6 +49,10 @@ val visibility : t -> Lld_core.Config.visibility
 val aru_active : t -> Lld_core.Types.Aru_id.t -> bool
 val active_arus : t -> Lld_core.Types.Aru_id.t list
 
+val commit_pending : t -> Lld_core.Types.Aru_id.t -> bool
+(** Whether this ARU sits in the commit queue (mirrors
+    {!Lld_core.Lld.commit_pending}). *)
+
 val flush_commit_steps : t -> (unit -> unit) -> int
 (** Spec-only stepped {!flush_commits}: commits the queued ARUs one at
     a time in FIFO order, calling the callback after each, so a differ

@@ -1,0 +1,13 @@
+(** Forensics bundles: dump everything an {!Obs.t} holds next to a
+    failing check.
+
+    A bundle is three files sharing a stem under [dir]:
+    [<label>.flight.jsonl] (the flight-recorder ring),
+    [<label>.trace.json] (the Chrome trace ring, Perfetto-loadable), and
+    [<label>.metrics.json] (counters, gauges, histogram summaries).
+    Disabled or empty rings still produce their file, so bundles always
+    have the same shape. *)
+
+val dump : dir:string -> label:string -> Obs.t -> string list
+(** [dump ~dir ~label obs] creates [dir] if needed, writes the bundle,
+    and returns the paths written. *)

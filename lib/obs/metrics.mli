@@ -29,11 +29,31 @@ val register_gauge : t -> name:string -> help:string -> (unit -> int) -> unit
     Re-registering a name replaces the previous closure (same row, new
     source), so re-mounting cannot duplicate gauges. *)
 
+val register_counter :
+  t -> name:string -> help:string -> (unit -> int) -> unit
+(** Register a monotone counter sampled from live state.  Same
+    replace-by-name semantics as {!register_gauge}; kept separate so the
+    OpenMetrics exposition can type each family correctly. *)
+
 val sample_gauges : t -> (string * int * string) list
+(** [(name, current value, help)] in registration order. *)
+
+val sample_counters : t -> (string * int * string) list
 (** [(name, current value, help)] in registration order. *)
 
 val pp : Format.formatter -> t -> unit
 
 val to_json_string : t -> string
-(** [{"gauges":{...},"histograms":{...}}] with per-histogram
-    count/sum/min/max/mean/p50/p95/p99. *)
+(** [{"counters":{...},"gauges":{...},"histograms":{...}}] with
+    per-histogram count/sum/min/max/mean/p50/p95/p99. *)
+
+val to_openmetrics_string : t -> string
+(** OpenMetrics / Prometheus text exposition: counters as
+    [name_total], gauges plain, histograms with cumulative
+    [name_bucket{le="..."}] rows ending in [le="+Inf"] plus
+    [name_sum]/[name_count].  Names are sanitised (dots to
+    underscores) and prefixed [lld_]; the output ends with
+    [# EOF]. *)
+
+val dump_openmetrics : t -> string -> unit
+(** Write {!to_openmetrics_string} to the given path. *)

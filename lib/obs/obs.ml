@@ -4,6 +4,7 @@ type t = {
   active : bool;
   clock : Clock.t;
   trace : Trace.t;
+  flight : Flight.t;
   metrics : Metrics.t;
 }
 
@@ -12,22 +13,73 @@ let null =
     active = false;
     clock = Clock.create ();
     trace = Trace.disabled;
+    flight = Flight.disabled;
     metrics = Metrics.create ();
   }
 
-let create ?capacity ?categories ~clock () =
+let create ?capacity ?categories ?flight_capacity ~clock () =
   {
     active = true;
     clock;
     trace = Trace.create ?capacity ?categories ~clock ();
+    flight = Flight.create ?capacity:flight_capacity ~clock ();
+    metrics = Metrics.create ();
+  }
+
+(* The black-box configuration: no tracer, no histogram sampling, just
+   the bounded event ring.  Cheap enough to leave on everywhere. *)
+let flight_only ?capacity ~clock () =
+  {
+    active = false;
+    clock;
+    trace = Trace.disabled;
+    flight = Flight.create ?capacity ~clock ();
     metrics = Metrics.create ();
   }
 
 let active t = t.active
 let trace t = t.trace
+let flight t = t.flight
 let metrics t = t.metrics
+let recording t = t.active || Flight.enabled t.flight
 
-let instant t cat name args = if t.active then Trace.instant t.trace cat name args
+(* [env_default ~clock obs] upgrades a fully inert handle to a
+   flight-only one when LLD_FLIGHT=1, so every Lld instance carries a
+   black box without callers opting in.  A handle the caller already
+   made live is returned unchanged. *)
+let env_default ~clock obs =
+  if recording obs then obs
+  else
+    match Sys.getenv_opt "LLD_FLIGHT" with
+    | Some "1" -> flight_only ~clock ()
+    | _ -> obs
+
+let fl_record t cat name args =
+  Flight.record t.flight (Trace.category_label cat) name args
+
+let instant t cat name args =
+  if Flight.enabled t.flight then fl_record t cat name args;
+  if t.active then Trace.instant t.trace cat name args
+
+(* A structured event: lands in the flight ring (always, when enabled)
+   and in the trace ring — as a flow-chain link when [flow] is given,
+   as a plain instant otherwise. *)
+let event t ?flow cat name args =
+  if Flight.enabled t.flight then
+    fl_record t cat name
+      (match flow with
+      | Some (phase, id) ->
+        ("flow", Trace.S (Trace.flow_phase_label phase))
+        :: ("flow_id", Trace.I id)
+        :: args
+      | None -> args);
+  if t.active then
+    match flow with
+    | Some (phase, id) -> Trace.flow t.trace cat name ~phase ~id args
+    | None -> Trace.instant t.trace cat name args
+
+let complete t cat name ~ts_ns ~dur_ns args =
+  if t.active then Trace.complete t.trace cat name ~ts_ns ~dur_ns args
 
 let span t cat name ?args f =
   if t.active then Trace.span t.trace cat name ?args f else f ()
@@ -36,24 +88,32 @@ let span t cat name ?args f =
 let hist_key cat name = Trace.category_label cat ^ "." ^ name
 
 (* Time [f] on the virtual clock: record a trace span (if the category
-   is on) and feed the duration into the matching histogram.  On an
-   exception the span is still recorded (tagged "exn") but the duration
-   is not counted in the histogram — an interrupted operation is not a
-   completed-latency sample. *)
+   is on), feed the duration into the matching histogram, and drop a
+   completion record into the flight ring.  On an exception the span is
+   still recorded (tagged "exn") but the duration is not counted in the
+   histogram — an interrupted operation is not a completed-latency
+   sample. *)
 let timed t cat name ?(args = []) f =
-  if not t.active then f ()
+  if not (recording t) then f ()
   else begin
     let ts = Clock.now_ns t.clock in
     match f () with
     | v ->
       let dur = Clock.now_ns t.clock - ts in
-      Metrics.observe t.metrics (hist_key cat name) dur;
-      Trace.complete t.trace cat name ~ts_ns:ts ~dur_ns:dur args;
+      if t.active then begin
+        Metrics.observe t.metrics (hist_key cat name) dur;
+        Trace.complete t.trace cat name ~ts_ns:ts ~dur_ns:dur args
+      end;
+      if Flight.enabled t.flight then
+        fl_record t cat name (("dur_ns", Trace.I dur) :: args);
       v
     | exception e ->
-      Trace.complete t.trace cat name ~ts_ns:ts
-        ~dur_ns:(Clock.now_ns t.clock - ts)
-        (("exn", Trace.S (Printexc.to_string e)) :: args);
+      let exn_args = ("exn", Trace.S (Printexc.to_string e)) :: args in
+      if t.active then
+        Trace.complete t.trace cat name ~ts_ns:ts
+          ~dur_ns:(Clock.now_ns t.clock - ts)
+          exn_args;
+      if Flight.enabled t.flight then fl_record t cat name exn_args;
       raise e
   end
 
@@ -61,3 +121,6 @@ let observe t name v = if t.active then Metrics.observe t.metrics name v
 
 let register_gauge t ~name ~help read =
   if t.active then Metrics.register_gauge t.metrics ~name ~help read
+
+let register_counter t ~name ~help read =
+  if t.active then Metrics.register_counter t.metrics ~name ~help read

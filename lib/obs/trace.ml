@@ -34,6 +34,12 @@ let category_of_string = function
   | _ -> None
 
 type arg = I of int | S of string | F of float
+type flow_phase = Flow_start | Flow_step | Flow_end
+
+let flow_phase_label = function
+  | Flow_start -> "s"
+  | Flow_step -> "t"
+  | Flow_end -> "f"
 
 type event = {
   ev_name : string;
@@ -41,6 +47,8 @@ type event = {
   ev_ts_ns : int;
   ev_dur_ns : int;  (* -1 marks an instant event *)
   ev_args : (string * arg) list;
+  ev_flow : (flow_phase * int) option;
+      (* flow events bind by (name, cat, id) across the trace *)
 }
 
 type t = {
@@ -53,7 +61,14 @@ type t = {
 }
 
 let dummy_event =
-  { ev_name = ""; ev_cat = Op; ev_ts_ns = 0; ev_dur_ns = -1; ev_args = [] }
+  {
+    ev_name = "";
+    ev_cat = Op;
+    ev_ts_ns = 0;
+    ev_dur_ns = -1;
+    ev_args = [];
+    ev_flow = None;
+  }
 
 let disabled =
   {
@@ -99,6 +114,21 @@ let instant t cat name args =
         ev_ts_ns = Clock.now_ns t.clock;
         ev_dur_ns = -1;
         ev_args = args;
+        ev_flow = None;
+      }
+
+(* One link in a causality chain: flow events with the same (name, cat,
+   id) triple are drawn as connected arrows by Perfetto. *)
+let flow t cat name ~phase ~id args =
+  if on t cat then
+    push t
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_ts_ns = Clock.now_ns t.clock;
+        ev_dur_ns = -1;
+        ev_args = args;
+        ev_flow = Some (phase, id);
       }
 
 (* Record an already-measured span. *)
@@ -111,6 +141,7 @@ let complete t cat name ~ts_ns ~dur_ns args =
         ev_ts_ns = ts_ns;
         ev_dur_ns = max 0 dur_ns;
         ev_args = args;
+        ev_flow = None;
       }
 
 (* Time [f] on the virtual clock and record a span.  The span is
@@ -195,6 +226,13 @@ let chrome_event buf ev =
   Buffer.add_char buf ',';
   add_string_field buf "cat" (category_label ev.ev_cat);
   Buffer.add_char buf ',';
+  (match ev.ev_flow with
+  | Some (phase, id) ->
+    add_string_field buf "ph" (flow_phase_label phase);
+    Buffer.add_string buf (Printf.sprintf ",\"id\":%d" id);
+    (* bind the terminating arrow to the enclosing slice's end *)
+    if phase = Flow_end then Buffer.add_string buf ",\"bp\":\"e\""
+  | None ->
   if ev.ev_dur_ns < 0 then begin
     add_string_field buf "ph" "i";
     Buffer.add_string buf ",\"s\":\"t\""
@@ -203,7 +241,7 @@ let chrome_event buf ev =
     add_string_field buf "ph" "X";
     Buffer.add_string buf
       (Printf.sprintf ",\"dur\":%.3f" (float_of_int ev.ev_dur_ns /. 1e3))
-  end;
+  end);
   Buffer.add_string buf
     (Printf.sprintf ",\"ts\":%.3f" (float_of_int ev.ev_ts_ns /. 1e3));
   Buffer.add_string buf ",\"pid\":1,\"tid\":1,";
@@ -233,6 +271,12 @@ let to_jsonl_string t =
       Buffer.add_string buf (Printf.sprintf ",\"ts_ns\":%d" ev.ev_ts_ns);
       if ev.ev_dur_ns >= 0 then
         Buffer.add_string buf (Printf.sprintf ",\"dur_ns\":%d" ev.ev_dur_ns);
+      (match ev.ev_flow with
+      | Some (phase, id) ->
+        Buffer.add_char buf ',';
+        add_string_field buf "flow" (flow_phase_label phase);
+        Buffer.add_string buf (Printf.sprintf ",\"flow_id\":%d" id)
+      | None -> ());
       Buffer.add_char buf ',';
       add_args buf ev.ev_args;
       Buffer.add_string buf "}\n")

@@ -20,12 +20,20 @@ val category_of_string : string -> category option
 (** Event argument payload, rendered into the [args] JSON object. *)
 type arg = I of int | S of string | F of float
 
+(** Phase of a causality-chain link: Chrome flow events ([ph] "s"/"t"/
+    "f").  Flow events sharing the same (name, category, id) triple are
+    rendered by Perfetto as connected arrows across slices. *)
+type flow_phase = Flow_start | Flow_step | Flow_end
+
+val flow_phase_label : flow_phase -> string
+
 type event = {
   ev_name : string;
   ev_cat : category;
   ev_ts_ns : int;
   ev_dur_ns : int;  (** [-1] marks an instant event *)
   ev_args : (string * arg) list;
+  ev_flow : (flow_phase * int) option;
 }
 
 type t
@@ -46,6 +54,14 @@ val on : t -> category -> bool
 
 val instant : t -> category -> string -> (string * arg) list -> unit
 (** Record a zero-duration marker at the current virtual time. *)
+
+val flow :
+  t -> category -> string -> phase:flow_phase -> id:int ->
+  (string * arg) list -> unit
+(** Record one link of a causality chain at the current virtual time.
+    Links with equal (name, category, [id]) bind into one arrow chain:
+    emit [Flow_start] where a request enters, [Flow_step] at each hop,
+    and [Flow_end] where it completes. *)
 
 val complete :
   t -> category -> string -> ts_ns:int -> dur_ns:int ->
@@ -72,6 +88,12 @@ val clear : t -> unit
 
 val events : t -> event list
 (** Events currently held, oldest first. *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion inside a JSON string literal. *)
+
+val add_args : Buffer.t -> (string * arg) list -> unit
+(** Append an [args] JSON object (["args":{...}]) to [buf]. *)
 
 val to_chrome_string : t -> string
 val to_jsonl_string : t -> string

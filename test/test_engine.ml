@@ -2,6 +2,10 @@ open Helpers
 module Engine = Lld_core.Engine
 module Op = Lld_core.Op
 module Counters = Lld_core.Counters
+module Obs = Lld_obs.Obs
+module Trace = Lld_obs.Trace
+module Metrics = Lld_obs.Metrics
+module Stats = Lld_sim.Stats
 
 (* ------------------------------------------------------------------ *)
 (* Group-commit queue: batch close conditions (size, window, drain),
@@ -80,14 +84,45 @@ let test_commit_pending_rejections () =
   Alcotest.(check bool) "queued" true (Lld.commit_pending lld a);
   Alcotest.check_raises "end_aru on a queued ARU" (Errors.Commit_pending a)
     (fun () -> Lld.end_aru lld a);
-  Alcotest.check_raises "abort_aru on a queued ARU" (Errors.Commit_pending a)
-    (fun () -> Lld.abort_aru lld a);
   Alcotest.check_raises "double submit" (Errors.Commit_pending a) (fun () ->
       Lld.submit_commit lld a);
   Alcotest.(check int) "still exactly one intent" 1 (Lld.pending_commits lld);
   Alcotest.(check int) "flush commits it once" 1 (Lld.flush_commits lld);
   Alcotest.(check bool) "gone from the queue" false (Lld.commit_pending lld a);
   Alcotest.(check bool) "no longer active" false (Lld.aru_active lld a)
+
+(* PR 8: aborting a queued ARU withdraws the intent and aborts cleanly
+   instead of raising Commit_pending. *)
+let test_queued_abort_dequeues () =
+  let disk, lld = fresh_lld ~config:(config ~window:max_int ~batch:8) () in
+  let c = Lld.counters lld in
+  let a1 = submit_one lld 1 in
+  let a2 = submit_one lld 2 in
+  let a3 = submit_one lld 3 in
+  Alcotest.(check int) "three intents" 3 (Lld.pending_commits lld);
+  Lld.abort_aru lld a2;
+  Alcotest.(check int) "intent withdrawn" 2 (Lld.pending_commits lld);
+  Alcotest.(check bool) "no longer pending" false (Lld.commit_pending lld a2);
+  Alcotest.(check bool) "no longer active" false (Lld.aru_active lld a2);
+  Alcotest.(check int) "queue abort counted" 1 c.Counters.commit_queue_aborts;
+  Alcotest.(check int) "abort counted" 1 c.Counters.arus_aborted;
+  Alcotest.(check int) "submits counted" 3 c.Counters.commits_submitted;
+  (* head abort too: the window clock must follow the new oldest *)
+  Lld.abort_aru lld a1;
+  Alcotest.(check int) "head withdrawn" 1 (Lld.pending_commits lld);
+  Alcotest.(check int) "survivor commits" 1 (Lld.flush_commits lld);
+  Alcotest.(check bool) "survivor committed" false (Lld.aru_active lld a3);
+  Alcotest.(check int) "one group commit" 1 c.Counters.group_commits;
+  (* the aborted ARUs' data must not resurface after recovery *)
+  Lld.flush lld;
+  let image = Disk.snapshot (Lld.disk lld) in
+  let disk' =
+    Disk.load ~clock:(Clock.create ()) (Disk.geometry disk) (Bytes.copy image)
+  in
+  let lld', _ = Lld.recover disk' in
+  let blocks l = List.length (Lld.list_blocks lld' l) in
+  Alcotest.(check int) "exactly the survivor's list recovered" 1
+    (List.length (List.filter (fun l -> blocks l > 0) (Lld.lists lld')))
 
 let test_subbatch_split () =
   (* more intents than the batch limit: one drain, two sub-batches,
@@ -186,7 +221,10 @@ let test_engine_forced_drain () =
     (List.sort compare !woken);
   let c = Lld.counters lld in
   Alcotest.(check int) "one barrier for the whole batch" 1
-    c.Counters.commit_barriers
+    c.Counters.commit_barriers;
+  Alcotest.(check int) "forced flushes counted" stats.Engine.forced_flushes
+    c.Counters.forced_flushes;
+  Alcotest.(check int) "every wake counted" 3 c.Counters.commit_wakeups
 
 let test_engine_size_close () =
   (* batch limit 2 with 4 clients: drains happen inside the loop via
@@ -203,6 +241,95 @@ let test_engine_size_close () =
   Alcotest.(check bool) "several flushes" true (stats.Engine.flushes >= 2);
   Alcotest.(check (list int)) "every client woken once" [ 1; 2; 3; 4 ]
     (List.sort compare !woken)
+
+(* Client A submits its commit and parks; client B then aborts A's ARU.
+   A must wake promptly (its intent resolved — as an abort), the loop
+   must terminate, and nothing commits. *)
+let test_engine_cross_client_abort () =
+  let _disk, lld = fresh_lld ~config:(config ~window:max_int ~batch:1000) () in
+  let shared = ref None in
+  let a_woken = ref false in
+  let a_state = ref `Begin in
+  let client_a r =
+    match !a_state with
+    | `Begin ->
+      a_state := `Submit;
+      Some Op.Begin_aru
+    | `Submit ->
+      (match r with
+      | Some (Op.R_aru a) -> shared := Some a
+      | _ -> Alcotest.fail "client A expected an ARU");
+      a_state := `Done;
+      (* translated to Submit_commit by the engine; A parks *)
+      Some (Op.End_aru (Option.get !shared))
+    | `Done ->
+      a_woken := r = Some Op.R_unit;
+      None
+  in
+  let b_state = ref `Idle in
+  let client_b _r =
+    match (!b_state, !shared) with
+    | `Idle, None -> Some (Op.New_list None) (* harmless filler step *)
+    | `Idle, Some a ->
+      b_state := `Done;
+      Some (Op.Abort_aru a)
+    | `Done, _ -> None
+  in
+  let stats = Engine.run lld [ client_a; client_b ] in
+  Alcotest.(check bool) "A woke with its result" true !a_woken;
+  Alcotest.(check int) "nothing committed" 0 stats.Engine.commits;
+  Alcotest.(check int) "queue empty" 0 (Lld.pending_commits lld);
+  let c = Lld.counters lld in
+  Alcotest.(check int) "queued intent withdrawn" 1
+    c.Counters.commit_queue_aborts;
+  Alcotest.(check int) "aborted" 1 c.Counters.arus_aborted;
+  Alcotest.(check int) "no group commit" 0 c.Counters.group_commits;
+  Alcotest.(check int) "A's wake counted" 1 c.Counters.commit_wakeups
+
+(* With a live handle attached, an engine run feeds the per-stage and
+   per-client commit histograms and closes every flow chain. *)
+let test_engine_stage_histograms () =
+  let disk, lld = fresh_lld ~config:(config ~window:max_int ~batch:2) () in
+  let obs = Obs.create ~clock:(Disk.clock disk) () in
+  Lld.set_obs lld obs;
+  let woken = ref [] in
+  let clients = List.init 4 (fun i -> client_commits ~writes:1 (i + 1) woken) in
+  ignore (Engine.run lld clients);
+  let m = Obs.metrics obs in
+  let count name =
+    match Metrics.find_histogram m name with
+    | Some h -> Stats.Histogram.count h
+    | None -> 0
+  in
+  Alcotest.(check int) "queue-wait sample per commit" 4
+    (count "aru.commit.queue_wait");
+  Alcotest.(check int) "residency sample per commit" 4
+    (count "aru.commit.batch_residency");
+  Alcotest.(check bool) "barrier samples" true (count "aru.commit.barrier" >= 1);
+  Alcotest.(check int) "wake sample per commit" 4 (count "aru.commit.wake");
+  List.iteri
+    (fun i _ ->
+      Alcotest.(check int)
+        (Printf.sprintf "client %d latency sample" i)
+        1
+        (count (Printf.sprintf "aru.commit.latency.c%d" i)))
+    clients;
+  (* every started flow chain terminates *)
+  let evs = Trace.events (Obs.trace obs) in
+  let phases want =
+    List.length
+      (List.filter
+         (fun (e : Trace.event) ->
+           e.Trace.ev_name = "commit"
+           &&
+           match e.Trace.ev_flow with
+           | Some (p, _) -> p = want
+           | None -> false)
+         evs)
+  in
+  Alcotest.(check int) "flow starts" 4 (phases Trace.Flow_start);
+  Alcotest.(check int) "flow ends" 4 (phases Trace.Flow_end);
+  Alcotest.(check bool) "flow steps" true (phases Trace.Flow_step >= 8)
 
 (* Run the same single-client workload through the engine twice — once
    with group commit enabled, once with the window at 0 — plus once as
@@ -259,8 +386,10 @@ let () =
             test_close_on_window;
           Alcotest.test_case "empty flush is free" `Quick
             test_flush_empty_is_free;
-          Alcotest.test_case "queued ARUs reject end/abort/resubmit" `Quick
+          Alcotest.test_case "queued ARUs reject end/resubmit" `Quick
             test_commit_pending_rejections;
+          Alcotest.test_case "abort dequeues a queued ARU" `Quick
+            test_queued_abort_dequeues;
           Alcotest.test_case "oversize drain splits into sub-batches" `Quick
             test_subbatch_split;
         ] );
@@ -270,6 +399,10 @@ let () =
             test_engine_forced_drain;
           Alcotest.test_case "size-close drains mid-loop" `Quick
             test_engine_size_close;
+          Alcotest.test_case "cross-client abort wakes the waiter" `Quick
+            test_engine_cross_client_abort;
+          Alcotest.test_case "stage histograms and flow chains" `Quick
+            test_engine_stage_histograms;
           Alcotest.test_case "window=0 degenerates bit-identically" `Quick
             test_window_zero_identity;
         ] );

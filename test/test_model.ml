@@ -98,6 +98,86 @@ let test_group_commit_pinned_batch () =
     Alcotest.failf "pinned group-commit batch diverged:@.%a"
       Differ.pp_divergence d
 
+(* Pinned regression for the queued-abort path: client 0 submits, then
+   aborts while its intent still sits in the queue (Abort with no
+   active ARU resolves against the submitted intent).  The batch that
+   eventually drains must not contain the withdrawn ARU, and crash
+   composition over the run must stay on the model's frontier. *)
+let test_group_commit_queued_abort () =
+  let s client cmd = { Program.client; cmd } in
+  let per_client c tag =
+    [
+      s c Program.Begin;
+      s c Program.New_list;
+      s c (Program.New_block { list_ref = 0; pred_ref = None });
+      s c (Program.Write { block_ref = 0; tag });
+    ]
+  in
+  let p =
+    Array.of_list
+      (List.concat
+         [
+           per_client 0 11;
+           per_client 1 22;
+           per_client 2 33;
+           [
+             s 0 Program.Commit;
+             s 1 Program.Commit;
+             s 0 Program.Abort (* withdraws the queued intent *);
+             s 2 Program.Commit;
+             s 2 Program.Lists;
+           ];
+         ])
+  in
+  match Differ.run_program ~crash:true group_cfg ~seed:17 p with
+  | None -> ()
+  | Some d ->
+    Alcotest.failf "queued-abort program diverged:@.%a" Differ.pp_divergence d
+
+(* the specification itself: abort on a queued ARU dequeues the intent
+   and aborts — it does not raise, and the batch shrinks *)
+let test_model_queued_abort () =
+  let m = Model.create () in
+  let a1 = Model.begin_aru m in
+  let a2 = Model.begin_aru m in
+  Model.submit_commit m a1;
+  Model.submit_commit m a2;
+  Alcotest.(check bool) "a1 queued" true (Model.commit_pending m a1);
+  Model.abort_aru m a1;
+  Alcotest.(check bool) "a1 dequeued" false (Model.commit_pending m a1);
+  Alcotest.(check bool) "a1 no longer active" false (Model.aru_active m a1);
+  Alcotest.(check bool) "a2 still queued" true (Model.commit_pending m a2);
+  Alcotest.(check int) "flush commits only the survivor" 1
+    (Model.flush_commit_steps m ignore)
+
+let test_dump_forensics () =
+  let dir = Filename.temp_file "lld-differ-forensics" "" in
+  Sys.remove dir;
+  let p = Program.generate ~seed:31 ~clients:3 ~ops:20 in
+  let div, paths =
+    Differ.dump_forensics ~crash:false ~dir ~label:"case" group_cfg ~seed:31 p
+  in
+  (match div with
+  | None -> ()
+  | Some d ->
+    Alcotest.failf "clean program diverged under forensics re-run:@.%a"
+      Differ.pp_divergence d);
+  Alcotest.(check int) "three bundle files" 3 (List.length paths);
+  List.iter
+    (fun path ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s exists" (Filename.basename path))
+        true (Sys.file_exists path);
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      close_in ic;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s non-empty" (Filename.basename path))
+        true (len > 0))
+    paths;
+  List.iter Sys.remove paths;
+  Sys.rmdir dir
+
 let test_bit_reproducible () =
   let cfg = small Differ.default_config in
   let render () =
@@ -310,6 +390,12 @@ let () =
           Alcotest.test_case "file backend clean" `Slow test_file_backend_clean;
           Alcotest.test_case "group-commit fuzz clean" `Quick
             test_group_commit_fuzz_clean;
+          Alcotest.test_case "group-commit queued abort" `Quick
+            test_group_commit_queued_abort;
+          Alcotest.test_case "model queued abort dequeues" `Quick
+            test_model_queued_abort;
+          Alcotest.test_case "forensics bundle dump" `Quick
+            test_dump_forensics;
           Alcotest.test_case "group-commit pinned batch" `Quick
             test_group_commit_pinned_batch;
           Alcotest.test_case "bit-reproducible reports" `Quick

@@ -1,8 +1,10 @@
 module Clock = Lld_sim.Clock
 module Histogram = Lld_sim.Stats.Histogram
 module Trace = Lld_obs.Trace
+module Flight = Lld_obs.Flight
 module Metrics = Lld_obs.Metrics
 module Obs = Lld_obs.Obs
+module Errors = Lld_core.Errors
 
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -158,6 +160,195 @@ let test_metrics_registry () =
   Alcotest.(check bool) "gauge value" true (contains json "\"g\":42");
   Alcotest.(check bool) "histogram count" true (contains json "\"count\":2")
 
+(* ------------------------------------------------------------- flow *)
+
+let test_flow_chrome_export () =
+  let clock = Clock.create () in
+  let t = Trace.create ~clock () in
+  Trace.flow t Trace.Aru "commit" ~phase:Trace.Flow_start ~id:7
+    [ ("stage", Trace.S "submit") ];
+  Clock.charge clock Clock.Cpu 100;
+  Trace.flow t Trace.Aru "commit" ~phase:Trace.Flow_step ~id:7
+    [ ("stage", Trace.S "batch") ];
+  Clock.charge clock Clock.Cpu 100;
+  Trace.flow t Trace.Aru "commit" ~phase:Trace.Flow_end ~id:7
+    [ ("stage", Trace.S "wake") ];
+  Alcotest.(check int) "three links" 3 (Trace.count t);
+  (match Trace.events t with
+  | [ s; st; e ] ->
+    Alcotest.(check bool) "start" true (s.Trace.ev_flow = Some (Trace.Flow_start, 7));
+    Alcotest.(check bool) "step" true (st.Trace.ev_flow = Some (Trace.Flow_step, 7));
+    Alcotest.(check bool) "end" true (e.Trace.ev_flow = Some (Trace.Flow_end, 7))
+  | es -> Alcotest.failf "expected three events, got %d" (List.length es));
+  let s = Trace.to_chrome_string t in
+  Alcotest.(check bool) "flow start phase" true (contains s "\"ph\":\"s\"");
+  Alcotest.(check bool) "flow step phase" true (contains s "\"ph\":\"t\"");
+  Alcotest.(check bool) "flow end phase" true (contains s "\"ph\":\"f\"");
+  Alcotest.(check bool) "bound by id" true (contains s "\"id\":7");
+  Alcotest.(check bool) "end binds to enclosing slice" true
+    (contains s "\"ph\":\"f\",\"id\":7,\"bp\":\"e\"")
+
+(* --------------------------------------------------- flight recorder *)
+
+let test_flight_ring_wrap () =
+  Alcotest.(check bool) "disabled is off" false (Flight.enabled Flight.disabled);
+  Flight.record Flight.disabled "op" "noop" [];
+  Alcotest.(check int) "disabled records nothing" 0
+    (Flight.count Flight.disabled);
+  let clock = Clock.create () in
+  let fl = Flight.create ~capacity:4 ~clock () in
+  for i = 1 to 10 do
+    Clock.charge clock Clock.Cpu 1;
+    Flight.record fl "op" (Printf.sprintf "e%d" i) [ ("i", Trace.I i) ]
+  done;
+  Alcotest.(check int) "total count" 10 (Flight.count fl);
+  Alcotest.(check int) "dropped" 6 (Flight.dropped fl);
+  let names = List.map (fun e -> e.Flight.fl_name) (Flight.entries fl) in
+  Alcotest.(check (list string)) "last four, oldest first"
+    [ "e7"; "e8"; "e9"; "e10" ] names;
+  let ts = List.map (fun e -> e.Flight.fl_ns) (Flight.entries fl) in
+  Alcotest.(check (list int)) "virtual timestamps ascending" [ 7; 8; 9; 10 ] ts;
+  let lines =
+    List.filter
+      (fun l -> l <> "")
+      (String.split_on_char '\n' (Flight.to_jsonl_string fl))
+  in
+  Alcotest.(check int) "one JSONL line per held entry" 4 (List.length lines);
+  Flight.clear fl;
+  Alcotest.(check int) "clear empties the ring" 0
+    (List.length (Flight.entries fl))
+
+let test_flight_only_handle () =
+  let clock = Clock.create () in
+  let obs = Obs.flight_only ~clock () in
+  Alcotest.(check bool) "not active" false (Obs.active obs);
+  Alcotest.(check bool) "still recording" true (Obs.recording obs);
+  Obs.event obs ~flow:(Trace.Flow_start, 3) Trace.Aru "commit"
+    [ ("stage", Trace.S "submit") ];
+  Alcotest.(check int) "flight saw the event" 1 (Flight.count (Obs.flight obs));
+  Alcotest.(check int) "tracer stayed dark" 0 (Trace.count (Obs.trace obs));
+  (match Flight.entries (Obs.flight obs) with
+  | [ e ] ->
+    Alcotest.(check bool) "flow phase folded into args" true
+      (List.mem_assoc "flow" e.Flight.fl_args);
+    Alcotest.(check bool) "flow id folded into args" true
+      (List.mem_assoc "flow_id" e.Flight.fl_args)
+  | es -> Alcotest.failf "expected one entry, got %d" (List.length es));
+  let r =
+    Obs.timed obs Trace.Op "write" (fun () ->
+        Clock.charge clock Clock.Io 500;
+        17)
+  in
+  Alcotest.(check int) "timed passes through" 17 r;
+  Alcotest.(check int) "timed left a black-box record" 2
+    (Flight.count (Obs.flight obs));
+  Alcotest.(check int) "no histograms on the black box" 0
+    (List.length (Metrics.histograms (Obs.metrics obs)))
+
+let test_env_default () =
+  let clock = Clock.create () in
+  Unix.putenv "LLD_FLIGHT" "0";
+  let o = Obs.env_default ~clock Obs.null in
+  Alcotest.(check bool) "stays inert without LLD_FLIGHT" false
+    (Obs.recording o);
+  Unix.putenv "LLD_FLIGHT" "1";
+  let o = Obs.env_default ~clock Obs.null in
+  Alcotest.(check bool) "upgraded to the black box" true (Obs.recording o);
+  Alcotest.(check bool) "but not active" false (Obs.active o);
+  let live = Obs.create ~clock () in
+  Alcotest.(check bool) "recording handles pass through" true
+    (Obs.env_default ~clock live == live);
+  Unix.putenv "LLD_FLIGHT" "0"
+
+(* ------------------------------------------------------- panic hook *)
+
+let test_panic_hook () =
+  Errors.clear_panic_hooks ();
+  let seen = ref [] in
+  Errors.on_panic (fun e -> seen := Printexc.to_string e :: !seen);
+  Errors.on_panic (fun _ -> failwith "hook blows up (swallowed)");
+  (try Errors.corrupt "bad segment"
+   with Errors.Corrupt m -> Alcotest.(check string) "message" "bad segment" m);
+  Alcotest.(check int) "surviving hook fired exactly once" 1
+    (List.length !seen);
+  Errors.clear_panic_hooks ();
+  (try Errors.corrupt "again" with Errors.Corrupt _ -> ());
+  Alcotest.(check int) "cleared hooks stay silent" 1 (List.length !seen)
+
+(* ------------------------------------------------------ openmetrics *)
+
+let test_counter_replace_by_name () =
+  let m = Metrics.create () in
+  let v = ref 1 in
+  Metrics.register_counter m ~name:"c" ~help:"old" (fun () -> !v);
+  Metrics.register_counter m ~name:"c" ~help:"new" (fun () -> !v * 10);
+  v := 4;
+  (match Metrics.sample_counters m with
+  | [ ("c", 40, "new") ] -> ()
+  | [ (n, v, h) ] -> Alcotest.failf "got (%s, %d, %s)" n v h
+  | cs -> Alcotest.failf "expected one counter, got %d" (List.length cs));
+  let om = Metrics.to_openmetrics_string m in
+  Alcotest.(check bool) "counter family typed" true
+    (contains om "# TYPE lld_c counter");
+  Alcotest.(check bool) "_total suffix" true (contains om "lld_c_total 40")
+
+let test_histogram_bucket_boundaries () =
+  (* log2 buckets: bucket 0 holds the value 0; bucket i >= 1 holds
+     [2^(i-1) .. 2^i - 1], so an exact power of two opens a bucket. *)
+  Alcotest.(check int) "zero" 0 (Histogram.bucket_of 0);
+  Alcotest.(check int) "one" 1 (Histogram.bucket_of 1);
+  Alcotest.(check int) "1023 closes bucket 10" 10 (Histogram.bucket_of 1023);
+  Alcotest.(check int) "1024 opens bucket 11" 11 (Histogram.bucket_of 1024);
+  Alcotest.(check int) "bucket 11 lower bound" 1024 (Histogram.bucket_lo 11);
+  Alcotest.(check int) "bucket 10 upper bound" 1023 (Histogram.bucket_hi 10);
+  let h = Histogram.create () in
+  Histogram.add h 1023;
+  Histogram.add h 1024;
+  (match Histogram.nonzero_buckets h with
+  | [ (lo1, hi1, n1); (lo2, hi2, n2) ] ->
+    Alcotest.(check (list int)) "adjacent buckets split the boundary"
+      [ 512; 1023; 1; 1024; 2047; 1 ]
+      [ lo1; hi1; n1; lo2; hi2; n2 ]
+  | bs -> Alcotest.failf "expected two buckets, got %d" (List.length bs));
+  (* percentiles clamp to the observed range, never under-reporting *)
+  Alcotest.(check int) "p99 clamps to max" 1024 (Histogram.p99 h);
+  Alcotest.(check bool) "p50 within factor 2" true
+    (Histogram.p50 h >= 1023 && Histogram.p50 h <= 2046)
+
+let test_openmetrics_golden () =
+  let m = Metrics.create () in
+  let reads = ref 7 in
+  Metrics.register_counter m ~name:"reads" ~help:"total reads" (fun () ->
+      !reads);
+  Metrics.register_gauge m ~name:"free.segments" ~help:"free\\seg\ncount"
+    (fun () -> 3);
+  Metrics.observe m "op.read" 0;
+  Metrics.observe m "op.read" 7;
+  Metrics.observe m "op.read" 8;
+  let expected =
+    String.concat "\n"
+      [
+        "# TYPE lld_reads counter";
+        "# HELP lld_reads total reads";
+        "lld_reads_total 7";
+        "# TYPE lld_free_segments gauge";
+        "# HELP lld_free_segments free\\\\seg\\ncount";
+        "lld_free_segments 3";
+        "# TYPE lld_op_read histogram";
+        "# HELP lld_op_read latency histogram (virtual ns)";
+        "lld_op_read_bucket{le=\"0\"} 1";
+        "lld_op_read_bucket{le=\"7\"} 2";
+        "lld_op_read_bucket{le=\"15\"} 3";
+        "lld_op_read_bucket{le=\"+Inf\"} 3";
+        "lld_op_read_sum 15";
+        "lld_op_read_count 3";
+        "# EOF";
+        "";
+      ]
+  in
+  Alcotest.(check string) "golden exposition" expected
+    (Metrics.to_openmetrics_string m)
+
 let () =
   Alcotest.run "obs"
     [
@@ -177,7 +368,28 @@ let () =
             test_ring_overwrites_oldest;
           Alcotest.test_case "chrome + JSONL export shape" `Quick
             test_chrome_export_shape;
+          Alcotest.test_case "flow events bind s/t/f by id" `Quick
+            test_flow_chrome_export;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring wrap + dropped accounting" `Quick
+            test_flight_ring_wrap;
+          Alcotest.test_case "flight-only black box" `Quick
+            test_flight_only_handle;
+          Alcotest.test_case "LLD_FLIGHT=1 upgrades inert handles" `Quick
+            test_env_default;
+          Alcotest.test_case "panic hook fires and clears" `Quick
+            test_panic_hook;
         ] );
       ( "metrics",
-        [ Alcotest.test_case "registry" `Quick test_metrics_registry ] );
+        [
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "counter replace-by-name" `Quick
+            test_counter_replace_by_name;
+          Alcotest.test_case "bucket boundaries at powers of two" `Quick
+            test_histogram_bucket_boundaries;
+          Alcotest.test_case "OpenMetrics golden exposition" `Quick
+            test_openmetrics_golden;
+        ] );
     ]
