@@ -127,7 +127,7 @@ let run_micro () =
   rows
 
 (* The machine-readable bench trajectory: virtual-clock tables plus the
-   micro-kernel timings, one file per run (default BENCH_PR8.json,
+   micro-kernel timings, one file per run (default BENCH_PR9.json,
    overridable with BENCH_JSON=path).  Since PR 3 the tables include the
    "observability" section (gauges and latency histograms from the
    traced runs); since PR 4 also the "backend" section (wall-clock vs
@@ -135,9 +135,11 @@ let run_micro () =
    PR 6 also the "r1" section (restart cost vs log length at fixed
    dirty-set size — the O(dirty) recovery curve); since PR 7 also the
    "g1" section (group-commit throughput scaling with concurrent
-   clients). *)
+   clients); since PR 9 also the "z1" section (zero-copy data path:
+   copies per block write and the commit breakdown, bytes API vs
+   view API). *)
 let emit_json ~tables ~micro =
-  let path = Option.value ~default:"BENCH_PR8.json" (Sys.getenv_opt "BENCH_JSON") in
+  let path = Option.value ~default:"BENCH_PR9.json" (Sys.getenv_opt "BENCH_JSON") in
   let micro_json =
     Report.List
       (List.map

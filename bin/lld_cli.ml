@@ -149,11 +149,15 @@ let mkfs_cmd =
           --file) the same image.")
     Term.(const mkfs_run $ file $ segments_arg $ variant_arg $ files)
 
-let mount_run file variant =
+let mount_run file variant scrub =
   let geom, backend = open_image file in
   let clock = Clock.create () in
   let disk = Disk.create ~backend ~clock geom in
-  match Lld.recover ~config:(Setup.lld_config variant) disk with
+  let config =
+    let c = Setup.lld_config variant in
+    if scrub then { c with Config.scrub_on_mount = true } else c
+  in
+  match Lld.recover ~config disk with
   | exception Errors.Corrupt msg ->
     Printf.eprintf "mount failed: corrupt or unformatted image %s (%s)\n" file
       msg;
@@ -196,13 +200,67 @@ let mount_cmd =
       & opt (some string) None
       & info [ "file" ] ~docv:"PATH" ~doc:"Image file to mount (required).")
   in
+  let scrub =
+    Arg.(
+      value & flag
+      & info [ "scrub" ]
+          ~doc:
+            "Scrub the image as part of recovery: verify every checksum \
+             guarding live data and repair what redundancy allows before \
+             serving reads (also: LLD_SCRUB_ON_MOUNT=1).")
+  in
   Cmd.v
     (Cmd.info "mount"
        ~doc:
          "Mount a persistent image written by $(b,lld mkfs --file): recover \
           the logical disk, mount the file system, run fsck, and verify the \
           deterministic seed files.  Exits non-zero on any inconsistency.")
-    Term.(const mount_run $ file $ variant_arg)
+    Term.(const mount_run $ file $ variant_arg $ scrub)
+
+(* ------------------------------------------------------------- scrub *)
+
+let scrub_run file variant =
+  let geom, backend = open_image file in
+  let clock = Clock.create () in
+  let disk = Disk.create ~backend ~clock geom in
+  match Lld.recover ~config:(Setup.lld_config variant) disk with
+  | exception Errors.Corrupt msg ->
+    Printf.eprintf "scrub failed: corrupt or unformatted image %s (%s)\n" file
+      msg;
+    Disk.close disk;
+    exit 1
+  | exception Errors.Corruption c ->
+    Format.eprintf "scrub failed: %s: %a@." file Errors.pp_corruption c;
+    Disk.close disk;
+    exit 1
+  | lld, report ->
+    Format.printf "recovery: %a@." Recovery.pp_report report;
+    let r = Lld.scrub lld in
+    Format.printf "scrub: %a@." Lld.pp_scrub_report r;
+    Disk.barrier disk;
+    Disk.close disk;
+    if r.Lld.scrub_lost > 0 then begin
+      Printf.eprintf "%d block(s) unrepairable — restore from backup\n"
+        r.Lld.scrub_lost;
+      exit 1
+    end
+
+let scrub_cmd =
+  let file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "file" ] ~docv:"PATH" ~doc:"Image file to scrub (required).")
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Verify every checksum guarding live data on a persistent image — \
+          per-slot CRCs of sealed segments and the generational superblock — \
+          and repair what redundancy allows (cached copies, salvageable \
+          slots, the surviving superblock generation).  Unrepairable damage \
+          is reported and exits non-zero.")
+    Term.(const scrub_run $ file $ variant_arg)
 
 (* ------------------------------------------------------------- repro *)
 
@@ -433,7 +491,7 @@ let point_conv =
   Arg.conv (parse, Crashcheck.pp_point)
 
 let crashcheck workload budget granularity seed at broken_sweep trace_dir
-    differential during_recovery inner_budget =
+    differential during_recovery inner_budget corruption =
   let selected =
     match workload with
     | None -> Crashcheck.specs
@@ -459,6 +517,18 @@ let crashcheck workload budget granularity seed at broken_sweep trace_dir
         let d = Crashcheck.differential spec in
         Format.printf "%a@." Crashcheck.pp_differential d;
         if not (Crashcheck.differential_ok d) then failed := true)
+      selected;
+    if !failed then exit 1
+  end
+  else if corruption then begin
+    let failed = ref false in
+    List.iter
+      (fun (name, mk) ->
+        let spec = mk () in
+        Printf.printf "corruption %s: injecting rot, scrubbing...\n%!" name;
+        let r = Crashcheck.corruption_check spec in
+        Format.printf "%a@." Crashcheck.pp_corruption_result r;
+        if not (Crashcheck.corruption_ok r) then failed := true)
       selected;
     if !failed then exit 1
   end
@@ -636,6 +706,17 @@ let crashcheck_cmd =
             "With $(b,--during-recovery): sample at most N crash points \
              within each recovery's write sequence (default: exhaustive).")
   in
+  let corruption =
+    Arg.(
+      value & flag
+      & info [ "corruption" ]
+          ~doc:
+            "Instead of enumerating crash points, inject silent media rot \
+             into each workload's final image — a sealed segment's header, a \
+             generational-superblock slot, and a live data slot under a warm \
+             instance — then scrub and verify every oracle unit survives \
+             with zero data loss (including after a remount).")
+  in
   Cmd.v
     (Cmd.info "crashcheck"
        ~doc:
@@ -645,7 +726,7 @@ let crashcheck_cmd =
     Term.(
       const crashcheck $ workload $ budget $ granularity $ seed $ at
       $ broken_sweep $ trace_dir $ differential $ during_recovery
-      $ inner_budget)
+      $ inner_budget $ corruption)
 
 (* ------------------------------------------------ traced workloads *)
 
@@ -1174,7 +1255,7 @@ let () =
       [
         repro_cmd; smallfile_cmd; largefile_cmd; aru_bench_cmd; bench_cmd;
         crash_demo_cmd; torture_cmd; crashcheck_cmd; model_cmd; trace_cmd;
-        stats_cmd; info_cmd; mkfs_cmd; mount_cmd;
+        stats_cmd; info_cmd; mkfs_cmd; mount_cmd; scrub_cmd;
       ]
   in
   exit (Cmd.eval cmd)

@@ -1,4 +1,5 @@
-module Codec = Lld_util.Bytes_codec
+module Codec = Lld_util.Blk
+module Blk = Lld_util.Blk
 module Geometry = Lld_disk.Geometry
 module Disk = Lld_disk.Disk
 
@@ -121,7 +122,7 @@ let encode snap =
   W.contents w
 
 let decode buf =
-  let r = Codec.Reader.of_bytes buf in
+  let r = Codec.Reader.of_view buf in
   let module R = Codec.Reader in
   try
     let version = R.u32 r in
@@ -203,29 +204,29 @@ let chunk_capacity geom =
 let write disk ~region snap =
   let geom = Disk.geometry disk in
   let payload = encode snap in
-  let total_len = Bytes.length payload in
+  let total_len = Blk.length payload in
   let cap = chunk_capacity geom in
   let chunk_count = max 1 ((total_len + cap - 1) / cap) in
   if chunk_count > Disk_layout.region_segments geom then raise Errors.Disk_full;
   let first = Disk_layout.region_first geom ~region in
+  let image = Blk.create geom.Geometry.segment_bytes in
   for i = 0 to chunk_count - 1 do
     let off = i * cap in
     let len = min cap (total_len - off) in
-    let image = Bytes.make geom.Geometry.segment_bytes '\000' in
-    Codec.set_u32 image 0 chunk_magic;
-    Codec.set_u32 image 4 (snap.ckpt_id land 0xffffffff);
-    Codec.set_u32 image 8 (snap.ckpt_id lsr 32);
-    Codec.set_u32 image 12 i;
-    Codec.set_u32 image 16 chunk_count;
-    Codec.set_u32 image 20 len;
-    Codec.set_u32 image 24 total_len;
-    Bytes.blit payload off image chunk_header_bytes len;
-    let sum = Codec.hash64 ~pos:0 ~len:(chunk_header_bytes + len) image in
+    if i > 0 then Blk.fill image '\000';
+    Blk.set_u32 image 0 chunk_magic;
+    Blk.set_u32 image 4 (snap.ckpt_id land 0xffffffff);
+    Blk.set_u32 image 8 (snap.ckpt_id lsr 32);
+    Blk.set_u32 image 12 i;
+    Blk.set_u32 image 16 chunk_count;
+    Blk.set_u32 image 20 len;
+    Blk.set_u32 image 24 total_len;
+    Blk.blit payload off image chunk_header_bytes len;
+    (* hash64 trailer kept bit-identical to the pre-view format *)
+    let sum = Blk.hash64 ~pos:0 ~len:(chunk_header_bytes + len) image in
     let cksum_off = chunk_header_bytes + len in
-    Codec.set_u32 image cksum_off (Int64.to_int (Int64.logand sum 0xffffffffL));
-    Codec.set_u32 image (cksum_off + 4)
-      (Int64.to_int (Int64.logand (Int64.shift_right_logical sum 32) 0xffffffffL));
-    Disk.write disk ~offset:(Geometry.segment_offset geom (first + i)) image
+    Blk.set_u64 image cksum_off sum;
+    Disk.write_view disk ~offset:(Geometry.segment_offset geom (first + i)) image
   done;
   (* The checkpoint must be durable before the caller flips its current
      region / resumes logging: recovery trusts the highest complete
@@ -233,25 +234,22 @@ let write disk ~region snap =
   Disk.barrier disk
 
 let read_chunk geom image =
-  if Codec.get_u32 image 0 <> chunk_magic then None
+  if Blk.get_u32 image 0 <> chunk_magic then None
   else begin
-    let ckpt_id = Codec.get_u32 image 4 lor (Codec.get_u32 image 8 lsl 32) in
-    let index = Codec.get_u32 image 12 in
-    let count = Codec.get_u32 image 16 in
-    let len = Codec.get_u32 image 20 in
-    let total_len = Codec.get_u32 image 24 in
+    let ckpt_id = Blk.get_u32 image 4 lor (Blk.get_u32 image 8 lsl 32) in
+    let index = Blk.get_u32 image 12 in
+    let count = Blk.get_u32 image 16 in
+    let len = Blk.get_u32 image 20 in
+    let total_len = Blk.get_u32 image 24 in
     if len > chunk_capacity geom || count > Disk_layout.region_segments geom then
       None
     else begin
       let cksum_off = chunk_header_bytes + len in
-      let stored =
-        Int64.logor
-          (Int64.of_int (Codec.get_u32 image cksum_off))
-          (Int64.shift_left (Int64.of_int (Codec.get_u32 image (cksum_off + 4))) 32)
-      in
-      if not (Int64.equal stored (Codec.hash64 ~pos:0 ~len:cksum_off image)) then None
+      let stored = Blk.get_u64 image cksum_off in
+      if not (Int64.equal stored (Blk.hash64 ~pos:0 ~len:cksum_off image)) then
+        None
       else
-        Some (ckpt_id, index, count, total_len, Bytes.sub image chunk_header_bytes len)
+        Some (ckpt_id, index, count, total_len, Blk.sub image chunk_header_bytes len)
     end
   end
 
@@ -259,7 +257,7 @@ let read_region disk ~region =
   let geom = Disk.geometry disk in
   let first = Disk_layout.region_first geom ~region in
   let read_seg i =
-    Disk.read disk
+    Disk.read_view disk
       ~offset:(Geometry.segment_offset geom (first + i))
       ~length:geom.Geometry.segment_bytes
   in
@@ -278,9 +276,19 @@ let read_region disk ~region =
     (match gather 1 [ chunk0 ] with
     | None -> None
     | Some chunks ->
-      let payload = Bytes.concat Bytes.empty chunks in
-      if Bytes.length payload <> total_len then None
+      let combined = List.fold_left (fun n c -> n + Blk.length c) 0 chunks in
+      if combined <> total_len then None
       else begin
+        (* chunk payloads are views into their segment reads; stitch
+           them into one payload view for the decoder *)
+        let payload = Blk.create total_len in
+        let _ =
+          List.fold_left
+            (fun off c ->
+              Blk.blit c 0 payload off (Blk.length c);
+              off + Blk.length c)
+            0 chunks
+        in
         match decode payload with
         | snap -> Some snap
         | exception Errors.Corrupt _ -> None

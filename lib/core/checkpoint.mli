@@ -81,8 +81,8 @@ type snapshot = {
 val empty : snapshot
 (** The snapshot written by [mkfs]: [ckpt_id = 1], nothing allocated. *)
 
-val encode : snapshot -> bytes
-val decode : bytes -> snapshot
+val encode : snapshot -> Lld_util.Blk.t
+val decode : Lld_util.Blk.t -> snapshot
 (** Raises [Errors.Corrupt] on malformed input. *)
 
 val write : Lld_disk.Disk.t -> region:int -> snapshot -> unit

@@ -18,6 +18,7 @@ type t = {
   recovery_early_open : bool;
   group_commit_window : int;
   group_commit_batch : int;
+  scrub_on_mount : bool;
 }
 
 let env_int name default =
@@ -42,6 +43,7 @@ let default =
     recovery_early_open = false;
     group_commit_window = env_int "LLD_GROUP_COMMIT_WINDOW" 100_000;
     group_commit_batch = env_int "LLD_GROUP_COMMIT_BATCH" 32;
+    scrub_on_mount = env_int "LLD_SCRUB_ON_MOUNT" 0 <> 0;
   }
 
 let old_lld = { default with mode = Sequential }

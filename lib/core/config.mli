@@ -72,6 +72,13 @@ type t = {
   group_commit_batch : int;
       (** close a commit batch as soon as this many ARUs are queued,
           even inside the window *)
+  scrub_on_mount : bool;
+      (** run {!Lld.scrub} right after recovery: verify every sealed
+          segment's slot checksums and both superblock generations,
+          repairing what redundancy allows.  Defaults to [false]
+          (overridable with [LLD_SCRUB_ON_MOUNT=1]); [lld mount
+          --scrub] and the corruption crashcheck workload switch it
+          on. *)
 }
 
 val default : t

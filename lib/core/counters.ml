@@ -39,6 +39,8 @@ type t = {
   mutable cache_misses : int;
   mutable readaheads : int;
   mutable flushes : int;
+  mutable bytes_copied : int;
+  mutable copy_elisions : int;
 }
 
 (* Single source of truth for every field: name, getter, setter.  All
@@ -136,6 +138,10 @@ let fields : (string * (t -> int) * (t -> int -> unit)) list =
     ("cache_misses", (fun t -> t.cache_misses), fun t v -> t.cache_misses <- v);
     ("readaheads", (fun t -> t.readaheads), fun t v -> t.readaheads <- v);
     ("flushes", (fun t -> t.flushes), fun t v -> t.flushes <- v);
+    ("bytes_copied", (fun t -> t.bytes_copied), fun t v -> t.bytes_copied <- v);
+    ( "copy_elisions",
+      (fun t -> t.copy_elisions),
+      fun t v -> t.copy_elisions <- v );
   ]
 
 let create () =
@@ -180,6 +186,8 @@ let create () =
     cache_misses = 0;
     readaheads = 0;
     flushes = 0;
+    bytes_copied = 0;
+    copy_elisions = 0;
   }
 
 let reset t = List.iter (fun (_, _, set) -> set t 0) fields

@@ -71,6 +71,15 @@ type t = {
   mutable cache_misses : int;
   mutable readaheads : int;
   mutable flushes : int;
+  mutable bytes_copied : int;
+      (** block-data bytes physically duplicated on the data path: the
+          [bytes] compatibility wrappers' boundary conversions plus the
+          shadow-write copy into the arena.  The view API elides the
+          boundary copies; Z1 gates on this staying strictly lower per
+          operation *)
+  mutable copy_elisions : int;
+      (** data-path operations that handed out (or took in) a {!Lld_util.Blk.t}
+          view where the pre-view implementation performed a copy *)
 }
 
 val fields : (string * (t -> int) * (t -> int -> unit)) list

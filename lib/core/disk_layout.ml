@@ -1,5 +1,6 @@
 module Geometry = Lld_disk.Geometry
 
+let superblock_segment = 0
 let region_count = 2
 
 (* Worst-case checkpoint payload: every block allocated (31 B each) and
@@ -13,11 +14,13 @@ let region_segments geom =
   let usable = geom.Geometry.segment_bytes - 64 in
   ((worst + usable - 1) / usable) + 2
 
+(* Segment 0 is the generational superblock (two block-sized slots,
+   DESIGN.md §5.13); the checkpoint regions and the log follow it. *)
 let region_first geom ~region =
   if region < 0 || region >= region_count then invalid_arg "Disk_layout.region_first";
-  region * region_segments geom
+  1 + (region * region_segments geom)
 
-let log_first geom = region_count * region_segments geom
+let log_first geom = 1 + (region_count * region_segments geom)
 
 let log_count geom =
   let n = geom.Geometry.num_segments - log_first geom in

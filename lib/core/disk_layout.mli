@@ -1,10 +1,16 @@
-(** Partition layout: checkpoint regions and the segment log.
+(** Partition layout: superblock, checkpoint regions and the segment
+    log.
 
-    The partition starts with two checkpoint regions (written
-    alternately, so one valid checkpoint always survives a crash),
-    followed by the log segments.  Region size is derived from the
-    geometry alone so that the largest possible checkpoint fits; both
-    the writer and recovery compute the same layout. *)
+    The partition starts with the generational superblock segment
+    ({!Superblock}: two block-sized slots, epoch + checksum, highest
+    valid wins), then two checkpoint regions (written alternately, so
+    one valid checkpoint always survives a crash), followed by the log
+    segments.  Region size is derived from the geometry alone so that
+    the largest possible checkpoint fits; both the writer and recovery
+    compute the same layout. *)
+
+val superblock_segment : int
+(** Always 0. *)
 
 val region_count : int
 (** Always 2. *)

@@ -7,6 +7,28 @@ exception Disk_full
 exception Corrupt of string
 exception Commit_pending of Types.Aru_id.t
 
+(* Media corruption detected by the checksum layer (segment slot CRCs,
+   superblock generations) — distinct from [Corrupt], which means the
+   logical structure is wrong.  The notafs-style split: checksum
+   failures name what decayed and are the scrubber's work queue. *)
+type corruption =
+  | Invalid_checksum of { what : string; index : int }
+      (* [what] names the structure ("segment slot", "segment meta",
+         "superblock slot"), [index] which one *)
+  | All_generations_corrupted
+      (* both superblock generations failed their checksums on a disk
+         that otherwise holds valid checkpoints — mount refuses;
+         [lld scrub] can rebuild the slots from the surviving
+         checkpoint generation *)
+
+exception Corruption of corruption
+
+let pp_corruption ppf = function
+  | Invalid_checksum { what; index } ->
+    Format.fprintf ppf "checksum mismatch: %s %d" what index
+  | All_generations_corrupted ->
+    Format.fprintf ppf "all superblock generations are corrupted"
+
 let pp_exn ppf = function
   | Unallocated_block b ->
     Format.fprintf ppf "block %a is not allocated" Types.Block_id.pp b
@@ -22,6 +44,7 @@ let pp_exn ppf = function
   | Commit_pending a ->
     Format.fprintf ppf "ARU %a has a commit pending in the group-commit queue"
       Types.Aru_id.pp a
+  | Corruption c -> Format.fprintf ppf "media corruption: %a" pp_corruption c
   | e -> Format.fprintf ppf "%s" (Printexc.to_string e)
 
 (* ------------------------------------------------------------------ *)

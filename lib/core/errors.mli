@@ -25,6 +25,24 @@ exception Disk_full
 exception Corrupt of string
 (** Recovery found on-disk state it cannot interpret. *)
 
+(** Media corruption detected by the checksum layer — the notafs-style
+    typed family, distinct from {!Corrupt} (wrong logical structure).
+    Checksum failures name exactly what decayed; they are the work
+    queue of [lld scrub]. *)
+type corruption =
+  | Invalid_checksum of { what : string; index : int }
+      (** [what] names the structure (["segment slot"],
+          ["segment meta"], ["superblock slot"]), [index] which one. *)
+  | All_generations_corrupted
+      (** Both superblock generations failed their checksums on a disk
+          that otherwise holds valid checkpoints.  Mount refuses;
+          [lld scrub] rebuilds the slots from the surviving checkpoint
+          generation. *)
+
+exception Corruption of corruption
+
+val pp_corruption : Format.formatter -> corruption -> unit
+
 exception Commit_pending of Types.Aru_id.t
 (** The ARU sits in the group-commit queue ({!Lld.submit_commit}):
     ending or aborting it again is a client error until

@@ -3,6 +3,8 @@ module Cost = Lld_sim.Cost
 module Geometry = Lld_disk.Geometry
 module Disk = Lld_disk.Disk
 module Lru = Lld_util.Lru
+module Blk = Lld_util.Blk
+module Arena = Lld_util.Arena
 module Obs = Lld_obs.Obs
 module Tr = Lld_obs.Trace
 
@@ -26,7 +28,17 @@ type t = {
   seal_seq : int array; (* per disk segment: seq when last sealed *)
   victim_flag : bool array; (* per disk segment: picked in current batch *)
   live : Live_index.t; (* seg -> persistent block slots referenced *)
-  cache : bytes Lru.t;
+  cache : Blk.t Lru.t;
+  (* cached entries are views into immutable storage (sealed segment
+     images, fresh disk reads) — never into a buffer that can mutate *)
+  arena : Arena.t; (* block-sized slots backing shadow data versions *)
+  meta_cache : (int, Blk.t) Hashtbl.t;
+  (* per sealed segment: its trailing meta view (header + CRC table),
+     memoised so single-block reads can verify their slot CRC with one
+     small extra fetch per segment; dropped when the segment is freed *)
+  sb_slots : Superblock.slot option array;
+  (* in-memory mirror of the two superblock generations, the scrubber's
+     repair source for a rotted slot *)
   mutable last_read_gslot : int;
   mutable seq_read_run : int; (* consecutive sequential physical reads *)
   counters : Counters.t;
@@ -97,6 +109,34 @@ let dirty_list t l = Hashtbl.replace t.dirty_lists (Types.List_id.to_int l) ()
 let dirty_count t =
   Hashtbl.length t.dirty_blocks + Hashtbl.length t.dirty_lists
 
+(* Copy accounting for the zero-copy data path: [copied] tallies bytes
+   physically duplicated (compat-wrapper conversions, the shadow-write
+   arena copy), [elide] marks a spot where the pre-view implementation
+   copied and this one hands out an O(1) view instead. *)
+let copied t n = t.counters.Counters.bytes_copied <- t.counters.Counters.bytes_copied + n
+
+let elide t =
+  t.counters.Counters.copy_elisions <- t.counters.Counters.copy_elisions + 1
+
+(* Arena-backed ownership of a record's in-memory data version: the
+   record owns its slot until [drop_data] recycles it.  [set_data]
+   copies, because the caller's view stays the caller's. *)
+let set_data t (r : Record.block) v =
+  (match r.Record.data with
+  | Some old -> Arena.free t.arena old
+  | None -> ());
+  let slot = Arena.alloc t.arena in
+  Blk.blit v 0 slot 0 (Blk.length v);
+  copied t (Blk.length v);
+  r.Record.data <- Some slot
+
+let drop_data t (r : Record.block) =
+  match r.Record.data with
+  | Some old ->
+    Arena.free t.arena old;
+    r.Record.data <- None
+  | None -> ()
+
 (* Live-index maintenance: every persistent-anchor [phys] change goes
    through one of these, keeping [t.live] an exact reverse map. *)
 let live_count t seg = Live_index.live t.live seg
@@ -144,6 +184,7 @@ let current_seq t =
 
 let cache_invalidate_segment t idx =
   let base = idx * bps t in
+  Hashtbl.remove t.meta_cache idx;
   Lru.remove_range t.cache ~lo:base ~hi:(base + bps t - 1)
 
 let rec open_new t =
@@ -253,7 +294,7 @@ and seal t =
   | Some s ->
     let image = Segment.seal s in
     let idx = Segment.disk_index s in
-    Disk.write t.disk ~offset:(Geometry.segment_offset t.geom idx) image;
+    Disk.write_view t.disk ~offset:(Geometry.segment_offset t.geom idx) image;
     (* Paper §4 ordering: a sealed segment (and every commit record in
        it) must be durable before any later segment or checkpoint refers
        to it.  No-op in memory; fsync on a file backend. *)
@@ -262,9 +303,11 @@ and seal t =
       t.counters.Counters.segments_written + 1;
     t.sealed.(idx) <- true;
     t.seal_seq.(idx) <- Segment.seq s;
-    (* the sealed segment's blocks are the most recently used data *)
+    (* the sealed segment's blocks are the most recently used data; the
+       sealed image is immutable, so the cache aliases its slots *)
     let base = idx * bps t in
     for slot = 0 to Segment.slots_used s - 1 do
+      elide t;
       Lru.add t.cache (base + slot) (Segment.read_slot s ~slot)
     done;
     t.open_seg <- None;
@@ -396,6 +439,12 @@ and checkpoint_internal ?(extra_free = []) ?(force_full = false) t =
     }
   in
   Checkpoint.write t.disk ~region:target snap;
+  (* advance the generational superblock: epoch = ckpt_id, so parity
+     alternates and the previous generation's slot survives a torn
+     write of this one *)
+  let sb = { Superblock.epoch = t.ckpt_id; region = target } in
+  Superblock.write_slot t.disk sb;
+  t.sb_slots.(Superblock.slot_for ~epoch:t.ckpt_id) <- Some sb;
   if not delta then begin
     t.full_region <- target;
     t.full_ckpt_id <- t.ckpt_id;
@@ -536,31 +585,41 @@ and relocate_live_blocks t victim =
       [ ("segment", Tr.I victim); ("live", Tr.I (live_count t victim)) ]
   @@ fun () ->
   let c = cost t in
-  let bb = block_bytes t in
   let base = victim * bps t in
-  let seg_image = ref None in
+  let seg_parsed = ref None in
   let slot_data slot =
     match Lru.find t.cache (base + slot) with
     | Some data ->
       t.counters.Counters.clean_cache_hits <-
         t.counters.Counters.clean_cache_hits + 1;
-      Bytes.copy data
+      elide t;
+      data
     | None ->
-      let image =
-        match !seg_image with
-        | Some image -> image
+      let parsed =
+        match !seg_parsed with
+        | Some p -> p
         | None ->
           let image =
-            Disk.read t.disk
+            Disk.read_view t.disk
               ~offset:(Geometry.segment_offset t.geom victim)
               ~length:t.geom.Geometry.segment_bytes
           in
           t.counters.Counters.clean_disk_reads <-
             t.counters.Counters.clean_disk_reads + 1;
-          seg_image := Some image;
-          image
+          let p =
+            match Segment.parse t.geom image with
+            | Some p -> p
+            | None ->
+              raise
+                (Errors.Corruption
+                   (Errors.Invalid_checksum
+                      { what = "segment"; index = victim }))
+          in
+          seg_parsed := Some p;
+          p
       in
-      Bytes.sub image (slot * bb) bb
+      (* checksum-verified view into the batched read *)
+      Segment.parsed_slot t.geom parsed ~slot
   in
   List.iter
     (fun bi ->
@@ -868,6 +927,9 @@ and read_phys t (p : Record.phys) =
   let bb = block_bytes t in
   match t.open_seg with
   | Some s when Segment.disk_index s = p.Record.seg_index ->
+    (* view into the open buffer — the bytes wrapper copies, the view
+       API's contract is "valid until the next mutating operation" *)
+    elide t;
     Segment.read_slot s ~slot:p.Record.slot
   | Some _ | None -> (
     let gslot = (p.Record.seg_index * bps t) + p.Record.slot in
@@ -878,7 +940,8 @@ and read_phys t (p : Record.phys) =
         t.seq_read_run <- t.seq_read_run + 1
       else t.seq_read_run <- 0;
       t.last_read_gslot <- gslot;
-      Bytes.copy data
+      elide t;
+      data
     | None ->
       t.counters.Counters.cache_misses <- t.counters.Counters.cache_misses + 1;
       if gslot = t.last_read_gslot + 1 then
@@ -890,28 +953,74 @@ and read_phys t (p : Record.phys) =
       let sequential = t.seq_read_run >= 3 in
       if t.config.Config.readahead && sequential then begin
         (* fetch the whole segment in one request (paper §2: segments
-           are the unit of disk transfer) *)
+           are the unit of disk transfer); the image is a fresh buffer,
+           so the cache can alias its slots — but only the ones whose
+           CRC still matches, keeping the cache free of media rot *)
         let image =
-          Disk.read t.disk
+          Disk.read_view t.disk
             ~offset:(Geometry.segment_offset t.geom p.Record.seg_index)
             ~length:t.geom.Geometry.segment_bytes
         in
         t.counters.Counters.readaheads <- t.counters.Counters.readaheads + 1;
         let base = p.Record.seg_index * bps t in
-        for i = 0 to bps t - 1 do
-          Lru.add t.cache (base + i) (Bytes.sub image (i * bb) bb)
-        done;
-        Bytes.sub image (p.Record.slot * bb) bb
+        (match Segment.parse t.geom image with
+        | Some parsed ->
+          for i = 0 to parsed.Segment.p_slots_used - 1 do
+            if Segment.verify_slot t.geom parsed ~slot:i then begin
+              elide t;
+              Lru.add t.cache (base + i)
+                (Segment.unverified_slot t.geom parsed ~slot:i)
+            end
+          done;
+          if not (Segment.verify_slot t.geom parsed ~slot:p.Record.slot) then
+            raise
+              (Errors.Corruption
+                 (Errors.Invalid_checksum
+                    { what = "segment slot"; index = p.Record.slot }))
+        | None ->
+          raise
+            (Errors.Corruption
+               (Errors.Invalid_checksum
+                  { what = "segment"; index = p.Record.seg_index })));
+        Blk.sub image (p.Record.slot * bb) bb
       end
       else begin
+        let seg_off = Geometry.segment_offset t.geom p.Record.seg_index in
         let data =
-          Disk.read t.disk
-            ~offset:
-              (Geometry.segment_offset t.geom p.Record.seg_index
-              + (p.Record.slot * bb))
+          Disk.read_view t.disk
+            ~offset:(seg_off + (p.Record.slot * bb))
             ~length:bb
         in
-        Lru.add t.cache gslot (Bytes.copy data);
+        (* per-slot CRC check against the segment's trailing meta,
+           fetched once per segment and memoised *)
+        let tail =
+          match Hashtbl.find_opt t.meta_cache p.Record.seg_index with
+          | Some v -> v
+          | None ->
+            let tb = Segment.tail_bytes t.geom in
+            let v =
+              Disk.read_view t.disk
+                ~offset:(seg_off + t.geom.Geometry.segment_bytes - tb)
+                ~length:tb
+            in
+            Hashtbl.replace t.meta_cache p.Record.seg_index v;
+            v
+        in
+        (match Segment.tail_slot_crc t.geom ~tail ~slot:p.Record.slot with
+        | Some crc when crc = Blk.crc32c data -> ()
+        | Some _ ->
+          raise
+            (Errors.Corruption
+               (Errors.Invalid_checksum
+                  { what = "segment slot"; index = p.Record.slot }))
+        | None ->
+          raise
+            (Errors.Corruption
+               (Errors.Invalid_checksum
+                  { what = "segment"; index = p.Record.seg_index })));
+        (* the read is a fresh buffer; cache and caller share it *)
+        elide t;
+        Lru.add t.cache gslot data;
         data
       end)
 
@@ -1062,7 +1171,7 @@ let new_block t ?aru ~list ~pred () =
   c.Record.member_of <- None;
   c.Record.successor <- None;
   c.Record.phys <- None;
-  c.Record.data <- None;
+  drop_data t c;
   c.Record.stamp <- stamp;
   c.Record.alloc_owner <-
     (match who with `In a -> Some a.Aru.id | `Simple -> None);
@@ -1096,8 +1205,8 @@ let new_block t ?aru ~list ~pred () =
     if concurrent t then set_durable_block c seq);
   bid
 
-let write t ?aru block data =
-  if Bytes.length data <> block_bytes t then
+let write_view t ?aru block data =
+  if Blk.length data <> block_bytes t then
     invalid_arg "Lld.write: data must be exactly one block";
   dispatch t;
   t.counters.Counters.writes <- t.counters.Counters.writes + 1;
@@ -1108,7 +1217,9 @@ let write t ?aru block data =
     let peek = shadow_peek t a block in
     require_visible_block t who peek;
     let r = shadow_get t a block in
-    r.Record.data <- Some (Bytes.copy data);
+    (* the one unavoidable copy: the shadow version must outlive the
+       caller's buffer, so it moves into an arena slot *)
+    set_data t r data;
     cpu t (cost t).Cost.block_copy_ns;
     r.Record.stamp <- stamp
   | (Config.Concurrent | Config.Sequential), (`Simple | `In _) ->
@@ -1119,15 +1230,22 @@ let write t ?aru block data =
       | `In a -> (Summary.In_aru a.Aru.id, false)
       | `Simple -> (Summary.Simple, true)
     in
+    (* zero-copy into the open segment: [put_block] blits the caller's
+       view straight into the slot *)
+    elide t;
     let seq, phys = emit_write t ~allow_cross_scope ~stream ~block ~data ~stamp () in
     let r = committed_get t block in
     if not (concurrent t) then live_add t phys.Record.seg_index block
     else set_durable_block r seq;
     r.Record.phys <- Some phys;
-    r.Record.data <- None;
+    drop_data t r;
     r.Record.stamp <- stamp
 
-let read t ?aru block =
+let write t ?aru block data =
+  copied t (Bytes.length data);
+  write_view t ?aru block (Blk.of_bytes data)
+
+let read_view t ?aru block =
   dispatch t;
   t.counters.Counters.reads <- t.counters.Counters.reads + 1;
   cpu t (cost t).Cost.block_read_cpu_ns;
@@ -1135,11 +1253,18 @@ let read t ?aru block =
   let r = visible_block t who block in
   require_visible_block t who r;
   match r.Record.data with
-  | Some d -> Bytes.copy d
+  | Some d ->
+    elide t;
+    d
   | None -> (
     match r.Record.phys with
     | Some p -> read_phys t p
-    | None -> Bytes.make (block_bytes t) '\000')
+    | None -> Blk.create (block_bytes t))
+
+let read t ?aru block =
+  let v = read_view t ?aru block in
+  copied t (Blk.length v);
+  Blk.to_bytes v
 
 let release_block_id t ~deferred bid =
   match deferred with
@@ -1170,7 +1295,7 @@ let delete_block t ?aru block =
     r.Record.alloc <- false;
     r.Record.member_of <- None;
     r.Record.successor <- None;
-    r.Record.data <- None;
+    drop_data t r;
     r.Record.phys <- None;
     r.Record.stamp <- stamp;
     Link_log.add a.Aru.log (Link_log.Delete_block { block });
@@ -1201,7 +1326,7 @@ let delete_block t ?aru block =
     r.Record.member_of <- None;
     r.Record.successor <- None;
     r.Record.phys <- None;
-    r.Record.data <- None;
+    drop_data t r;
     r.Record.stamp <- stamp;
     r.Record.alloc_owner <- None;
     let seq = emit_entry t ~stream (Summary.Dealloc { block; stamp }) in
@@ -1239,7 +1364,7 @@ let delete_list t ?aru list =
               | Some _ -> live_remove t br.Record.id
               | None -> ());
            br.Record.phys <- None;
-           br.Record.data <- None;
+           drop_data t br;
            br.Record.alloc_owner <- None;
            release_block_id t ~deferred br.Record.id)
      with
@@ -1285,7 +1410,7 @@ let replay_log_op t (a : Aru.t) ctx op =
       r.Record.member_of <- None;
       r.Record.successor <- None;
       r.Record.phys <- None;
-      r.Record.data <- None;
+      drop_data t r;
       r.Record.alloc_owner <- None;
       let stamp = next_stamp t in
       r.Record.stamp <- stamp;
@@ -1296,7 +1421,7 @@ let replay_log_op t (a : Aru.t) ctx op =
     match
       Splice.delete_list ctx ~list ~dealloc:(fun br ->
           br.Record.phys <- None;
-          br.Record.data <- None;
+          drop_data t br;
           br.Record.alloc_owner <- None;
           Block_map.release_id t.blocks br.Record.id)
     with
@@ -1381,7 +1506,7 @@ let commit_merge t (a : Aru.t) aid =
       t.counters.Counters.record_transitions <-
         t.counters.Counters.record_transitions + 1;
       cpu t (cost t).Cost.record_transition_ns;
-      match r.Record.data with
+      (match r.Record.data with
       | Some d when r.Record.alloc ->
         let cnow = committed_peek t r.Record.id in
         (* the shadow version replaces the committed version only if
@@ -1395,13 +1520,16 @@ let commit_merge t (a : Aru.t) aid =
           ignore seq;
           let c = ctx.Splice.get_block r.Record.id in
           c.Record.phys <- Some phys;
-          c.Record.data <- None;
+          drop_data t c;
           c.Record.stamp <- r.Record.stamp
         end
         else
           t.counters.Counters.replay_skips <-
             t.counters.Counters.replay_skips + 1
       | Some _ | None -> ());
+      (* the shadow buffer was donated to the segment (or superseded):
+         its arena slot recycles either way *)
+      drop_data t r);
   Aru.iter_shadow_lists a (fun r ->
       let anchor = List_table.anchor t.lists r.Record.lid in
       Record.remove_alt_list ~anchor r;
@@ -1497,7 +1625,8 @@ let abort_aru t aid =
   in
   Aru.iter_shadow_blocks a (fun r ->
       let anchor = Block_map.anchor t.blocks r.Record.id in
-      Record.remove_alt_block ~anchor r);
+      Record.remove_alt_block ~anchor r;
+      drop_data t r);
   Aru.iter_shadow_lists a (fun r ->
       let anchor = List_table.anchor t.lists r.Record.lid in
       Record.remove_alt_list ~anchor r);
@@ -1684,10 +1813,20 @@ let write t ?aru block data =
       warm t;
       write t ?aru block data)
 
+let write_view t ?aru block data =
+  Obs.timed t.obs Tr.Op "write" (fun () ->
+      warm t;
+      write_view t ?aru block data)
+
 let read t ?aru block =
   Obs.timed t.obs Tr.Op "read" (fun () ->
       touch_block t block;
       read t ?aru block)
+
+let read_view t ?aru block =
+  Obs.timed t.obs Tr.Op "read" (fun () ->
+      touch_block t block;
+      read_view t ?aru block)
 
 let delete_block t ?aru block =
   Obs.timed t.obs Tr.Op "delete_block" (fun () ->
@@ -1733,6 +1872,14 @@ let block_allocated t ?aru block =
     let r = visible_block t who block in
     r.Record.alloc && owner_visible t who r.Record.alloc_owner
   end
+
+let block_phys t block =
+  touch_block t block;
+  if not (Block_map.in_range t.blocks block) then None
+  else
+    match (Block_map.anchor t.blocks block).Record.phys with
+    | Some p -> Some (p.Record.seg_index, p.Record.slot)
+    | None -> None
 
 let block_member t ?aru block =
   touch_block t block;
@@ -1787,6 +1934,171 @@ let checkpoint t =
 let clean t ~target_free =
   warm t;
   clean_internal t ~target_free
+
+(* ------------------------------------------------------------------ *)
+(* Scrub: walk the on-disk image, verify every checksum that protects
+   live data, and repair what redundancy allows (DESIGN.md §5.13).
+
+   Superblock: a slot that fails its CRC is rewritten from the
+   in-memory generation mirror (or synthesised from the checkpoint
+   counters — only the epoch matters for the mount gate; the region
+   byte is a hint, {!Checkpoint.read_best} stays authoritative).
+
+   Segments: only slots referenced by live persistent blocks are
+   checked — reused or torn segments legitimately fail their old CRCs
+   and carry no live data.  A bad slot is repaired by {e relocation}:
+   the pristine copy still held by the LRU cache (segment seals park
+   their blocks there) is rewritten through the ordinary log path, so
+   the repair is crash-safe like any other write.  When the cache has
+   no copy but only the segment's {e meta} region rotted (the image no
+   longer parses), the raw slot bytes are salvaged unverified.  A slot
+   whose own CRC fails with no cached copy is lost — reported, never
+   silently re-written.  Fully evacuated unparsable segments rejoin the
+   free queue behind a forced full checkpoint, exactly like cleaning
+   victims. *)
+
+type scrub_report = {
+  scrub_segments : int;
+  scrub_bad_slots : int;
+  scrub_repaired : int;
+  scrub_salvaged : int;
+  scrub_lost : int;
+  scrub_superblock_repaired : int;
+}
+
+let pp_scrub_report ppf r =
+  Format.fprintf ppf
+    "@[<v>segments scanned %d@,\
+     bad slots %d (%d repaired, %d salvaged, %d lost)@,\
+     superblock slots repaired %d@]"
+    r.scrub_segments r.scrub_bad_slots r.scrub_repaired r.scrub_salvaged
+    r.scrub_lost r.scrub_superblock_repaired
+
+let scrub t =
+  warm t;
+  flush t;
+  Obs.timed t.obs Tr.Checkpoint "scrub" @@ fun () ->
+  (* 1. the generational superblock *)
+  let sb_repaired = ref 0 in
+  for k = 0 to 1 do
+    match Superblock.read_slot t.disk k with
+    | Some s -> t.sb_slots.(k) <- Some s
+    | None ->
+      let replacement =
+        match t.sb_slots.(k) with
+        | Some _ as s -> s
+        | None ->
+          let epoch =
+            if t.ckpt_id mod 2 = k then t.ckpt_id else t.ckpt_id - 1
+          in
+          if epoch >= 1 then
+            Some { Superblock.epoch; region = t.full_region }
+          else None
+      in
+      (match replacement with
+      | Some s ->
+        Superblock.write_slot t.disk s;
+        t.sb_slots.(k) <- Some s;
+        incr sb_repaired
+      | None -> ())
+  done;
+  (* 2. live log segments *)
+  let segments = ref 0 in
+  let bad = ref 0 in
+  let repaired = ref 0 in
+  let salvaged = ref 0 in
+  let lost = ref 0 in
+  let unparsable = ref [] in
+  let bb = block_bytes t in
+  for idx = Disk_layout.log_first t.geom to t.geom.Geometry.num_segments - 1 do
+    if t.sealed.(idx) && live_count t idx > 0 then begin
+      incr segments;
+      let image =
+        Disk.read_view t.disk
+          ~offset:(Geometry.segment_offset t.geom idx)
+          ~length:t.geom.Geometry.segment_bytes
+      in
+      let parsed = Segment.parse t.geom image in
+      if parsed = None then unparsable := idx :: !unparsable;
+      let base = idx * bps t in
+      (* relocations below can seal and promote, mutating anchors
+         mid-loop: snapshot the live list, re-check each anchor *)
+      List.iter
+        (fun bi ->
+          let bid = Types.Block_id.of_int bi in
+          let anchor = Block_map.anchor t.blocks bid in
+          match anchor.Record.phys with
+          | Some p when p.Record.seg_index = idx ->
+            let slot = p.Record.slot in
+            let ok =
+              match parsed with
+              | Some pr -> Segment.verify_slot t.geom pr ~slot
+              | None -> false
+            in
+            if not ok then begin
+              incr bad;
+              let source =
+                match Lru.find t.cache (base + slot) with
+                | Some v -> Some (`Cache v)
+                | None ->
+                  if parsed = None then
+                    (* only the meta region is known bad; the slot
+                       bytes themselves may well be intact *)
+                    Some (`Salvage (Blk.sub image (slot * bb) bb))
+                  else None
+              in
+              match source with
+              | Some src ->
+                let data = match src with `Cache v | `Salvage v -> v in
+                let seq, phys =
+                  emit_write t ~allow_cross_scope:true
+                    ~stream:Summary.Simple ~block:bid ~data
+                    ~stamp:anchor.Record.stamp ()
+                in
+                (if concurrent t then begin
+                   let r = committed_get t bid in
+                   r.Record.phys <- Some phys;
+                   r.Record.stamp <- anchor.Record.stamp;
+                   set_durable_block r seq
+                 end
+                 else begin
+                   live_add t phys.Record.seg_index bid;
+                   anchor.Record.phys <- Some phys;
+                   dirty_block t bid
+                 end);
+                (match src with
+                | `Cache _ -> incr repaired
+                | `Salvage _ -> incr salvaged)
+              | None -> incr lost
+            end
+          | Some _ | None -> ())
+        (Live_index.blocks t.live idx)
+    end
+  done;
+  (* 3. make the repairs durable and retire evacuated carcasses *)
+  if !repaired + !salvaged > 0 || !unparsable <> [] then begin
+    flush t;
+    let to_free =
+      List.filter
+        (fun idx -> t.sealed.(idx) && live_count t idx = 0)
+        (List.rev !unparsable)
+    in
+    checkpoint_internal t ~extra_free:to_free ~force_full:true;
+    List.iter
+      (fun idx ->
+        t.sealed.(idx) <- false;
+        cache_invalidate_segment t idx;
+        Queue.push idx t.free_segs)
+      to_free
+  end;
+  {
+    scrub_segments = !segments;
+    scrub_bad_slots = !bad;
+    scrub_repaired = !repaired;
+    scrub_salvaged = !salvaged;
+    scrub_lost = !lost;
+    scrub_superblock_repaired = !sb_repaired;
+  }
 
 let orphan_blocks t =
   warm t;
@@ -1896,7 +2208,7 @@ let scavenge t =
         r.Record.member_of <- None;
         r.Record.successor <- None;
         r.Record.phys <- None;
-        r.Record.data <- None;
+        drop_data t r;
         r.Record.alloc_owner <- None;
         r.Record.stamp <- stamp;
         let seq =
@@ -2008,6 +2320,9 @@ let make ~config ~disk ~blocks ~lists ~next_seq ~stamp ~next_aru ~ckpt_id =
         Live_index.create ~num_segments:geom.Geometry.num_segments
           ~capacity:(Block_map.capacity blocks);
       cache = Lru.create ~capacity:(max 16 config.Config.cache_blocks);
+      arena = Arena.create ~slot_bytes:geom.Geometry.block_bytes ();
+      meta_cache = Hashtbl.create 32;
+      sb_slots = [| None; None |];
       last_read_gslot = min_int;
       seq_read_run = 0;
       counters = Counters.create ();
@@ -2039,7 +2354,7 @@ let create ?(config = Config.default) ?(obs = Obs.null) disk =
   let max_stale = ref 0 in
   for i = Disk_layout.log_first geom to geom.Geometry.num_segments - 1 do
     let image =
-      Disk.read disk
+      Disk.read_view disk
         ~offset:(Geometry.segment_offset geom i)
         ~length:geom.Geometry.segment_bytes
     in
@@ -2074,6 +2389,12 @@ let recover ?(config = Config.default) ?(obs = Obs.null) disk =
       ~parallel:config.Config.recovery_parallel disk
   in
   let blocks, lists = Recovery.tables prepared in
+  let mirror_superblock t =
+    let a, b = Superblock.read_slots disk in
+    t.sb_slots.(0) <- a;
+    t.sb_slots.(1) <- b;
+    if config.Config.scrub_on_mount then ignore (scrub t)
+  in
   if config.Config.recovery_early_open then begin
     (* open for reads immediately: blocks/lists recover on demand, the
        first mutating operation (or [complete_recovery]) finishes.  The
@@ -2085,6 +2406,7 @@ let recover ?(config = Config.default) ?(obs = Obs.null) disk =
     in
     t.warming <- Some prepared;
     set_obs t obs;
+    mirror_superblock t;
     (t, report)
   end
   else begin
@@ -2096,5 +2418,6 @@ let recover ?(config = Config.default) ?(obs = Obs.null) disk =
     in
     set_obs t obs;
     finalize_recovery t restored;
+    mirror_superblock t;
     (t, restored.Recovery.r_report)
   end

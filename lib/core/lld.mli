@@ -129,14 +129,34 @@ val new_block :
     allocation is committed immediately; the insertion belongs to the
     ARU's shadow state when [?aru] is given (paper §3.3). *)
 
+val write_view : t -> ?aru:Types.Aru_id.t -> Types.Block_id.t -> Lld_util.Blk.t -> unit
+(** Write one full block of data, zero-copy.  The committed path blits
+    the caller's view straight into the open segment's write buffer; the
+    shadow path (inside an ARU) copies it into the shadow arena — the
+    version must outlive the caller's buffer until commit.  Either way
+    the view is not retained: the caller may reuse its buffer as soon as
+    the call returns.  Raises [Invalid_argument] on a wrong size,
+    [Errors.Unallocated_block] when the block is not allocated in the
+    addressed state. *)
+
 val write : t -> ?aru:Types.Aru_id.t -> Types.Block_id.t -> bytes -> unit
-(** Write one full block of data.  Raises [Invalid_argument] on a wrong
-    size, [Errors.Unallocated_block] when the block is not allocated in
-    the addressed state. *)
+(** [bytes] compatibility wrapper over {!write_view}; counts one block
+    of [Counters.t.bytes_copied] for the boundary conversion. *)
+
+val read_view : t -> ?aru:Types.Aru_id.t -> Types.Block_id.t -> Lld_util.Blk.t
+(** Read a block according to the configured visibility (paper §3.3),
+    zero-copy: the result aliases the LRU cache, the open segment's
+    write buffer, or a shadow arena slot, and is valid only until the
+    next mutating operation on [t] (write, commit, flush, clean,
+    checkpoint, scrub).  Copy it ({!Lld_util.Blk.to_bytes} or
+    [Blk.blit]) to keep it.  Never returns a short view.  A block that
+    was never written reads as zeroes.  Raises
+    [Errors.Corruption (Invalid_checksum _)] when the on-disk copy fails
+    its CRC and no clean copy is cached — run {!scrub}. *)
 
 val read : t -> ?aru:Types.Aru_id.t -> Types.Block_id.t -> bytes
-(** Read a block according to the configured visibility (paper §3.3).
-    A block that was never written reads as zeroes. *)
+(** [bytes] compatibility wrapper over {!read_view}: a private copy,
+    valid forever; counts one block of [Counters.t.bytes_copied]. *)
 
 val delete_block : t -> ?aru:Types.Aru_id.t -> Types.Block_id.t -> unit
 (** Remove the block from its list (predecessor search!) and deallocate
@@ -158,6 +178,11 @@ val block_allocated : t -> ?aru:Types.Aru_id.t -> Types.Block_id.t -> bool
 
 val block_member :
   t -> ?aru:Types.Aru_id.t -> Types.Block_id.t -> Types.List_id.t option
+
+val block_phys : t -> Types.Block_id.t -> (int * int) option
+(** The committed anchor's on-disk location, [(segment, slot)] — [None]
+    while the latest version only lives in the open segment's buffer or
+    was never written.  Diagnostic (scrub tests, [lld info]). *)
 
 val list_blocks :
   t -> ?aru:Types.Aru_id.t -> Types.List_id.t -> Types.Block_id.t list
@@ -190,6 +215,32 @@ val checkpoint : t -> unit
 val clean : t -> target_free:int -> unit
 (** Run the segment cleaner until at least [target_free] segments are
     free.  Raises [Errors.Disk_full] when nothing can be reclaimed. *)
+
+type scrub_report = {
+  scrub_segments : int;  (** sealed segments holding live data scanned *)
+  scrub_bad_slots : int;  (** live block slots that failed their CRC *)
+  scrub_repaired : int;  (** rewritten from the pristine cached copy *)
+  scrub_salvaged : int;
+      (** slot CRC table itself was gone (unparsable segment meta) but
+          the raw slot bytes were recovered unverified *)
+  scrub_lost : int;  (** bad slot, no redundant copy — data loss *)
+  scrub_superblock_repaired : int;  (** superblock slots rewritten *)
+}
+
+val pp_scrub_report : Format.formatter -> scrub_report -> unit
+
+val scrub : t -> scrub_report
+(** Verify every checksum protecting live data and repair what
+    redundancy allows (DESIGN.md §5.13): both superblock generation
+    slots (a corrupt one is rewritten from the in-memory mirror, or
+    synthesised from the checkpoint counters), and the CRC of every
+    sealed-segment slot a live block points at.  Bad slots are relocated
+    through the ordinary log path from the LRU cache's pristine copy
+    when present; repairs conclude with a forced full checkpoint so the
+    healed image is durable before the report returns.  Runs at mount
+    when {!Config.t.scrub_on_mount} is set, or on demand ([lld scrub]).
+    Unrepairable damage is only {e reported} ([scrub_lost]) — reads of
+    those blocks keep raising [Errors.Corruption]. *)
 
 val scavenge : t -> int
 (** Free blocks left allocated by aborted ARUs (allocated, on no list,

@@ -15,7 +15,7 @@ type block = {
   mutable member_of : Types.List_id.t option;
   mutable successor : Types.Block_id.t option;
   mutable phys : phys option;
-  mutable data : bytes option;
+  mutable data : Lld_util.Blk.t option;
   mutable stamp : int;
   mutable alloc_owner : Types.Aru_id.t option;
   mutable durable_seq : int;

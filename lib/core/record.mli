@@ -31,9 +31,11 @@ type block = {
       (** the list this block is linked into, if any *)
   mutable successor : Types.Block_id.t option;
   mutable phys : phys option;  (** where this version's data lives on disk *)
-  mutable data : bytes option;
-      (** in-memory data for this version (shadow writes); [None] falls
-          through to [phys] *)
+  mutable data : Lld_util.Blk.t option;
+      (** in-memory data for this version (shadow writes), an
+          arena-allocated block view owned by this record until it is
+          dropped (see [Lld]'s data helpers); [None] falls through to
+          [phys] *)
   mutable stamp : int;  (** time of the last Write of this version *)
   mutable alloc_owner : Types.Aru_id.t option;
       (** the active ARU that allocated the block; other clients neither

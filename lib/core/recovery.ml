@@ -1,6 +1,7 @@
 module Geometry = Lld_disk.Geometry
 module Disk = Lld_disk.Disk
 module Fault = Lld_disk.Fault
+module Blk = Lld_util.Blk
 module Obs = Lld_obs.Obs
 module Tr = Lld_obs.Trace
 
@@ -8,6 +9,7 @@ type report = {
   checkpoint_id : int;
   checkpoint_region : int;  (* region of the generation restored *)
   full_region : int;  (* region of the full base that generation rests on *)
+  superblock_epoch : int;  (* newest valid superblock generation (0: none) *)
   covered_seq : int;
   segments_replayed : int;
   segments_skipped : int;
@@ -317,6 +319,7 @@ type pending = {
   p_groups : group array;
   p_partition : partition;
   p_group_of_root : (int, int) Hashtbl.t;  (* UF root -> index in p_groups *)
+  p_sb_epoch : int;
   p_next_seq : int;
   p_segments_replayed : int;
   p_invalid_segments : int;
@@ -421,12 +424,27 @@ let read_best_safe disk =
 
 let prepare ?(obs = Obs.null) ?(sweep = true) ?(parallel = true) disk =
   let geom = Disk.geometry disk in
+  (* Generational superblock gate: a formatted disk always carries at
+     least one valid slot.  Both slots invalid while a checkpoint still
+     parses (or vice versa) is media corruption of a formatted image —
+     a typed error, distinct from the unformatted-disk [Corrupt]. *)
+  let sb_epoch =
+    match Superblock.best disk with
+    | Some s -> s.Superblock.epoch
+    | None -> 0
+  in
   let best, blocks, lists =
     Obs.timed obs Tr.Recovery "checkpoint_restore" @@ fun () ->
     let best =
       match read_best_safe disk with
-      | None -> Errors.corrupt "no valid checkpoint: disk not formatted"
-      | Some b -> b
+      | None ->
+        if sb_epoch > 0 then
+          raise (Errors.Corruption Errors.All_generations_corrupted)
+        else Errors.corrupt "no valid checkpoint: disk not formatted"
+      | Some b ->
+        if sb_epoch = 0 then
+          raise (Errors.Corruption Errors.All_generations_corrupted)
+        else b
     in
     let blocks, lists = restore_checkpoint geom best.Checkpoint.best_snap in
     (best, blocks, lists)
@@ -446,7 +464,7 @@ let prepare ?(obs = Obs.null) ?(sweep = true) ?(parallel = true) disk =
   let read_segment i =
     incr disk_reads;
     match
-      Disk.read disk
+      Disk.read_view disk
         ~offset:(Geometry.segment_offset geom i)
         ~length:geom.Geometry.segment_bytes
     with
@@ -459,12 +477,15 @@ let prepare ?(obs = Obs.null) ?(sweep = true) ?(parallel = true) disk =
       match snap.Checkpoint.free_order with
       | _ :: _ as order ->
         (* Batched tail reads: physically contiguous runs of the
-           recorded order are fetched in one [Disk.read] each, with the
-           run length ramping up (1, 2, 4, 8) so a short tail — the
-           common O(dirty) restart — over-reads at most one segment
-           past the gap probe.  A media error on a batched read falls
-           back to per-segment reads of the same run (lazily, so the
-           invalid-segment accounting matches the unbatched scan). *)
+           recorded order are fetched in one [Disk.read_view] each, with
+           the run length ramping up (1, 2, 4, ... 64) so a short tail —
+           the common O(dirty) restart — over-reads at most one segment
+           past the gap probe, while a long tail amortises to one
+           request per 32 MB of log.  Per-segment images are O(1) views
+           into the batched read, not copies.  A media error on a
+           batched read falls back to per-segment reads of the same run
+           (lazily, so the invalid-segment accounting matches the
+           unbatched scan). *)
         let seg_bytes = geom.Geometry.segment_bytes in
         let order = Array.of_list order in
         let n = Array.length order in
@@ -484,7 +505,7 @@ let prepare ?(obs = Obs.null) ?(sweep = true) ?(parallel = true) disk =
             else begin
               incr disk_reads;
               match
-                Disk.read disk
+                Disk.read_view disk
                   ~offset:(Geometry.segment_offset geom first)
                   ~length:(!len * seg_bytes)
               with
@@ -496,7 +517,7 @@ let prepare ?(obs = Obs.null) ?(sweep = true) ?(parallel = true) disk =
             if !continue then begin
               let image =
                 match batched with
-                | Some img -> Some (Bytes.sub img (k * seg_bytes) seg_bytes)
+                | Some img -> Some (Blk.sub img (k * seg_bytes) seg_bytes)
                 | None when !len = 1 -> read_segment first
                 | None -> read_segment (first + k)
               in
@@ -513,7 +534,7 @@ let prepare ?(obs = Obs.null) ?(sweep = true) ?(parallel = true) disk =
             end
           done;
           pos := !pos + !len;
-          cap := min 8 (2 * !cap)
+          cap := min 64 (2 * !cap)
         done
       | [] ->
         let parsed = ref [] in
@@ -666,6 +687,7 @@ let prepare ?(obs = Obs.null) ?(sweep = true) ?(parallel = true) disk =
     p_groups = groups;
     p_partition = partition;
     p_group_of_root = group_of_root;
+    p_sb_epoch = sb_epoch;
     p_next_seq = max snap.Checkpoint.next_seq !expected;
     p_segments_replayed = !replayed;
     p_invalid_segments = !invalid;
@@ -681,6 +703,7 @@ let base_report p =
     checkpoint_id = p.p_snap.Checkpoint.ckpt_id;
     checkpoint_region = p.p_region;
     full_region = p.p_full_region;
+    superblock_epoch = p.p_sb_epoch;
     covered_seq = p.p_snap.Checkpoint.covered_seq;
     segments_replayed = p.p_segments_replayed;
     segments_skipped = p.p_snap.Checkpoint.covered_seq;

@@ -44,6 +44,12 @@ type report = {
   full_region : int;
       (** region of the full base that generation rests on; the next
           full checkpoint must target the {e other} region *)
+  superblock_epoch : int;
+      (** the newest valid superblock generation found at mount; a
+          single corrupted slot is tolerated (the survivor carries the
+          epoch and [lld scrub] rewrites the bad one), both slots
+          invalid on a disk whose checkpoints still parse raises
+          [Errors.Corruption All_generations_corrupted] *)
   covered_seq : int;  (** log position the checkpoint captured *)
   segments_replayed : int;
   segments_skipped : int;
@@ -89,8 +95,11 @@ val prepare :
 (** Phases 1–3 (restore, tail scan, partition).  This is the only part
     of recovery that reads the disk; its virtual-clock cost is identical
     whether the rest happens eagerly, lazily or in parallel.  Raises
-    [Errors.Corrupt] when neither checkpoint region yields a consistent
-    generation (the disk was never formatted).  [sweep] (default [true])
+    [Errors.Corrupt] when nothing on the disk parses (never formatted),
+    and [Errors.Corruption All_generations_corrupted] when the
+    superblock and the checkpoint regions contradict each other — a
+    formatted image whose generation pointers (or both checkpoint
+    generations) were destroyed.  [sweep] (default [true])
     enables the consistency sweep; see {!Config.t.recovery_sweep} for
     the test-only reason to disable it.  [obs] (default
     {!Lld_obs.Obs.null}) records the [recovery] phase spans —

@@ -1,10 +1,25 @@
-module Codec = Lld_util.Bytes_codec
+module Blk = Lld_util.Blk
 module Geometry = Lld_disk.Geometry
 
-(* Trailing header: magic u32, seq u64, summary_len u32, entry_count u32,
-   slots_used u32, checksum u64 (over everything before the checksum). *)
+(* On-disk segment format v3 (DESIGN.md §5.13).  Data slots grow from
+   the front; at the back sit, in order:
+
+     [summary entries][slot CRC table: u32 per slot][32 B header]
+
+   Trailing header: magic u32, seq u64, summary_len u32, entry_count
+   u32, slots_used u32, meta CRC32c u32 (over summary + CRC table +
+   header prefix, i.e. [summary_off, header+24)), 4 B zero pad.
+
+   v2 checksummed the whole image with one hash64 — every seal and
+   every parse paid a full-segment pass.  v3 checksums each data slot
+   separately (CRC32c), so parse touches only the meta region, torn
+   writes are still detected (the meta region sits at the end, so a
+   persisted prefix never carries a matching meta CRC for the new
+   content), and single-slot media rot is pinpointed — and repaired —
+   per block ([lld scrub]). *)
 let header_bytes = 32
-let magic = 0x4c4c4453 (* "LLDS" *)
+let magic = 0x4c4c5333 (* "LLS3" *)
+let slot_crc_bytes = 4
 
 type scope = Simple_scope | Aru_scope of Types.Aru_id.t
 
@@ -12,7 +27,7 @@ type t = {
   geom : Geometry.t;
   seq : int;
   disk_index : int;
-  image : bytes; (* data slots are blitted here as they arrive *)
+  image : Blk.t; (* data slots are blitted here as they arrive *)
   slot_of : (int, int * scope) Hashtbl.t; (* block id -> current slot *)
   mutable slots_used : int;
   mutable entries_rev : Summary.t list;
@@ -25,7 +40,7 @@ let create geom ~seq ~disk_index =
     geom;
     seq;
     disk_index;
-    image = Bytes.make geom.Geometry.segment_bytes '\000';
+    image = Blk.create geom.Geometry.segment_bytes;
     slot_of = Hashtbl.create 64;
     slots_used = 0;
     entries_rev = [];
@@ -40,8 +55,11 @@ let slots_used t = t.slots_used
 let summary_bytes t = t.summary_bytes
 let entry_count t = t.entry_count
 
+(* every slot costs its block plus one CRC-table entry *)
 let has_room t ~data_blocks ~entry_bytes =
-  let data = (t.slots_used + data_blocks) * t.geom.Geometry.block_bytes in
+  let data =
+    (t.slots_used + data_blocks) * (t.geom.Geometry.block_bytes + slot_crc_bytes)
+  in
   data + t.summary_bytes + entry_bytes + header_bytes
   <= t.geom.Geometry.segment_bytes
 
@@ -56,7 +74,7 @@ let scope_equal a b =
 
 let put_block t ~scope ~allow_cross_scope block data =
   let bb = t.geom.Geometry.block_bytes in
-  if Bytes.length data <> bb then
+  if Blk.length data <> bb then
     invalid_arg "Segment.put_block: data must be exactly one block";
   let key = Types.Block_id.to_int block in
   let reusable =
@@ -76,13 +94,15 @@ let put_block t ~scope ~allow_cross_scope block data =
       slot
   in
   Hashtbl.replace t.slot_of key (slot, scope);
-  Bytes.blit data 0 t.image (slot * bb) bb;
+  Blk.blit data 0 t.image (slot * bb) bb;
   slot
 
+(* A view into the open segment's buffer — valid until the next
+   [put_block] to the same slot or the segment is discarded. *)
 let read_slot t ~slot =
   if slot < 0 || slot >= t.slots_used then invalid_arg "Segment.read_slot";
   let bb = t.geom.Geometry.block_bytes in
-  Bytes.sub t.image (slot * bb) bb
+  Blk.sub t.image (slot * bb) bb
 
 let add_entry t entry =
   let size = Summary.encoded_size entry in
@@ -94,58 +114,152 @@ let add_entry t entry =
 
 let entries t = List.rev t.entries_rev
 
+let crc_table_off geom ~slots_used =
+  geom.Geometry.segment_bytes - header_bytes - (slots_used * slot_crc_bytes)
+
+let meta_off geom ~slots_used ~summary_len =
+  crc_table_off geom ~slots_used - summary_len
+
+(* One serialization pass straight into the image: the summary entries
+   are encoded through a fixed writer over the meta region, then the
+   slot CRCs and header are filled in place.  The returned view is the
+   open buffer itself — it is immutable from here on (the caller seals
+   exactly once and discards the builder). *)
 let seal t =
   let total = t.geom.Geometry.segment_bytes in
-  let w = Codec.Writer.create ~capacity:(t.summary_bytes + 16) () in
+  let bb = t.geom.Geometry.block_bytes in
+  let table_off = crc_table_off t.geom ~slots_used:t.slots_used in
+  let summary_off =
+    meta_off t.geom ~slots_used:t.slots_used ~summary_len:t.summary_bytes
+  in
+  let w = Blk.Writer.of_view (Blk.sub t.image summary_off t.summary_bytes) in
   List.iter (Summary.encode w) (entries t);
-  let summary = Codec.Writer.contents w in
-  let summary_len = Bytes.length summary in
-  assert (summary_len = t.summary_bytes);
-  let summary_off = total - header_bytes - summary_len in
-  Bytes.blit summary 0 t.image summary_off summary_len;
+  assert (Blk.Writer.length w = t.summary_bytes);
+  for slot = 0 to t.slots_used - 1 do
+    Blk.set_u32 t.image
+      (table_off + (slot * slot_crc_bytes))
+      (Blk.crc32c ~pos:(slot * bb) ~len:bb t.image)
+  done;
   let h = total - header_bytes in
-  Codec.set_u32 t.image h magic;
-  Codec.set_u32 t.image (h + 4) (t.seq land 0xffffffff);
-  Codec.set_u32 t.image (h + 8) (t.seq lsr 32);
-  Codec.set_u32 t.image (h + 12) summary_len;
-  Codec.set_u32 t.image (h + 16) t.entry_count;
-  Codec.set_u32 t.image (h + 20) t.slots_used;
-  let checksum = Codec.hash64 ~pos:0 ~len:(total - 8) t.image in
-  Codec.set_u32 t.image (h + 24) (Int64.to_int (Int64.logand checksum 0xffffffffL));
-  Codec.set_u32 t.image (h + 28)
-    (Int64.to_int (Int64.logand (Int64.shift_right_logical checksum 32) 0xffffffffL));
+  Blk.set_u32 t.image h magic;
+  Blk.set_u32 t.image (h + 4) (t.seq land 0xffffffff);
+  Blk.set_u32 t.image (h + 8) (t.seq lsr 32);
+  Blk.set_u32 t.image (h + 12) t.summary_bytes;
+  Blk.set_u32 t.image (h + 16) t.entry_count;
+  Blk.set_u32 t.image (h + 20) t.slots_used;
+  Blk.set_u32 t.image (h + 24)
+    (Blk.crc32c ~pos:summary_off ~len:(h + 24 - summary_off) t.image);
   t.image
 
-type parsed = { p_seq : int; p_entries : Summary.t list; p_image : bytes }
+type parsed = {
+  p_seq : int;
+  p_entries : Summary.t list;
+  p_slots_used : int;
+  p_image : Blk.t;
+}
 
 let parse geom image =
   let total = geom.Geometry.segment_bytes in
-  if Bytes.length image <> total then invalid_arg "Segment.parse: bad image size";
+  if Blk.length image <> total then invalid_arg "Segment.parse: bad image size";
   let h = total - header_bytes in
-  if Codec.get_u32 image h <> magic then None
+  if Blk.get_u32 image h <> magic then None
   else begin
-    let stored =
-      Int64.logor
-        (Int64.of_int (Codec.get_u32 image (h + 24)))
-        (Int64.shift_left (Int64.of_int (Codec.get_u32 image (h + 28))) 32)
-    in
-    if not (Int64.equal stored (Codec.hash64 ~pos:0 ~len:(total - 8) image)) then None
+    let summary_len = Blk.get_u32 image (h + 12) in
+    let entry_count = Blk.get_u32 image (h + 16) in
+    let slots_used = Blk.get_u32 image (h + 20) in
+    let max_meta = total - header_bytes in
+    if
+      slots_used < 0
+      || slots_used > total / geom.Geometry.block_bytes
+      || summary_len < 0
+      || (slots_used * slot_crc_bytes) + summary_len > max_meta
+    then None
     else begin
-      let seq = Codec.get_u32 image (h + 4) lor (Codec.get_u32 image (h + 8) lsl 32) in
-      let summary_len = Codec.get_u32 image (h + 12) in
-      let entry_count = Codec.get_u32 image (h + 16) in
-      let r = Codec.Reader.of_bytes ~pos:(h - summary_len) ~len:summary_len image in
-      let rec decode_all n acc =
-        if n = 0 then List.rev acc else decode_all (n - 1) (Summary.decode r :: acc)
-      in
-      match decode_all entry_count [] with
-      | entries -> Some { p_seq = seq; p_entries = entries; p_image = image }
-      | exception (Codec.Truncated | Errors.Corrupt _) -> None
+      let summary_off = meta_off geom ~slots_used ~summary_len in
+      if slots_used * geom.Geometry.block_bytes > summary_off then None
+      else if
+        Blk.get_u32 image (h + 24)
+        <> Blk.crc32c ~pos:summary_off ~len:(h + 24 - summary_off) image
+      then None
+      else begin
+        let seq =
+          Blk.get_u32 image (h + 4) lor (Blk.get_u32 image (h + 8) lsl 32)
+        in
+        let r = Blk.Reader.of_view ~pos:summary_off ~len:summary_len image in
+        let rec decode_all n acc =
+          if n = 0 then List.rev acc
+          else decode_all (n - 1) (Summary.decode r :: acc)
+        in
+        match decode_all entry_count [] with
+        | p_entries ->
+          Some { p_seq = seq; p_entries; p_slots_used = slots_used; p_image = image }
+        | exception (Blk.Truncated | Errors.Corrupt _) -> None
+      end
     end
   end
 
+let stored_slot_crc geom parsed ~slot =
+  Blk.get_u32 parsed.p_image
+    (crc_table_off geom ~slots_used:parsed.p_slots_used
+    + (slot * slot_crc_bytes))
+
+let verify_slot geom parsed ~slot =
+  if slot < 0 || slot >= parsed.p_slots_used then
+    invalid_arg "Segment.verify_slot";
+  let bb = geom.Geometry.block_bytes in
+  Blk.crc32c ~pos:(slot * bb) ~len:bb parsed.p_image
+  = stored_slot_crc geom parsed ~slot
+
+(* Checksum-verified zero-copy slot read: the per-slot CRC is checked
+   on every access, so rot between the seal and this read surfaces as a
+   typed [Errors.Corruption] instead of silently wrong data. *)
 let parsed_slot geom parsed ~slot =
   let bb = geom.Geometry.block_bytes in
-  if slot < 0 || (slot + 1) * bb > Bytes.length parsed.p_image then
+  if slot < 0 || slot >= parsed.p_slots_used then
     invalid_arg "Segment.parsed_slot";
-  Bytes.sub parsed.p_image (slot * bb) bb
+  if not (verify_slot geom parsed ~slot) then
+    raise (Errors.Corruption (Errors.Invalid_checksum { what = "segment slot"; index = slot }));
+  Blk.sub parsed.p_image (slot * bb) bb
+
+(* How many trailing bytes of a sealed image cover the header plus a
+   maximal CRC table — what a single-block read must fetch (once per
+   segment, then memoised) to verify slots without the whole image. *)
+let tail_bytes geom =
+  min geom.Geometry.segment_bytes
+    (max geom.Geometry.block_bytes
+       (header_bytes
+       + (geom.Geometry.segment_bytes / geom.Geometry.block_bytes
+         * slot_crc_bytes)))
+
+let tail_slot_crc geom ~tail ~slot =
+  let tlen = Blk.length tail in
+  if tlen < header_bytes then None
+  else begin
+    let h = tlen - header_bytes in
+    if Blk.get_u32 tail h <> magic then None
+    else begin
+      let slots_used = Blk.get_u32 tail (h + 20) in
+      let total = geom.Geometry.segment_bytes in
+      if
+        slots_used < 0
+        || slots_used > total / geom.Geometry.block_bytes
+        || slot < 0 || slot >= slots_used
+      then None
+      else begin
+        (* in-segment offset of the entry, rebased into the tail view *)
+        let off =
+          crc_table_off geom ~slots_used
+          + (slot * slot_crc_bytes) - (total - tlen)
+        in
+        if off < 0 then None else Some (Blk.get_u32 tail off)
+      end
+    end
+  end
+
+(* For salvage paths that must look at a slot even though its checksum
+   already failed. *)
+let unverified_slot geom parsed ~slot =
+  let bb = geom.Geometry.block_bytes in
+  if slot < 0 || slot >= parsed.p_slots_used then
+    invalid_arg "Segment.unverified_slot";
+  Blk.sub parsed.p_image (slot * bb) bb

@@ -1,4 +1,4 @@
-module Codec = Lld_util.Bytes_codec
+module Codec = Lld_util.Blk
 
 type stream = Simple | In_aru of Types.Aru_id.t
 type pred = Head | After of Types.Block_id.t

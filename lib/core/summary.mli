@@ -60,10 +60,10 @@ type t = { stream : stream; op : op }
 val encoded_size : t -> int
 (** Exact number of bytes {!encode} will append. *)
 
-val encode : Lld_util.Bytes_codec.Writer.t -> t -> unit
+val encode : Lld_util.Blk.Writer.t -> t -> unit
 
-val decode : Lld_util.Bytes_codec.Reader.t -> t
+val decode : Lld_util.Blk.Reader.t -> t
 (** Raises [Errors.Corrupt] on an unknown tag,
-    [Lld_util.Bytes_codec.Truncated] on short input. *)
+    [Lld_util.Blk.Truncated] on short input. *)
 
 val pp : Format.formatter -> t -> unit

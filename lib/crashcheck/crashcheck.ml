@@ -1,5 +1,6 @@
 module Clock = Lld_sim.Clock
 module Rng = Lld_sim.Rng
+module Blk = Lld_util.Blk
 module Geometry = Lld_disk.Geometry
 module Disk = Lld_disk.Disk
 module Fault = Lld_disk.Fault
@@ -271,7 +272,10 @@ let record_on backend spec =
   let base = Disk.snapshot disk in
   let writes = ref [] in
   Disk.set_observer disk
-    (Some (fun ~index:_ ~offset ~data -> writes := (offset, data) :: !writes));
+    (Some
+       (fun ~index:_ ~offset ~data ->
+         (* the observer's view aliases the writer's buffer: copy now *)
+         writes := (offset, Blk.to_bytes data) :: !writes));
   let oracle = Oracle.create () in
   spec.sc_run { cx_clock = clock; cx_disk = disk; cx_lld = lld; cx_fs = fs }
     oracle;
@@ -1003,7 +1007,9 @@ let check_during_recovery ?recover_config ~granularity ~inner_budget ~seed
   let disk = Disk.load ~clock spec.sc_geom (Bytes.copy base) in
   let rec_writes = ref [] in
   Disk.set_observer disk
-    (Some (fun ~index:_ ~offset ~data -> rec_writes := (offset, data) :: !rec_writes));
+    (Some
+       (fun ~index:_ ~offset ~data ->
+         rec_writes := (offset, Blk.to_bytes data) :: !rec_writes));
   match Lld.recover ~config disk with
   | exception e ->
     on_violation
@@ -1159,5 +1165,209 @@ let pp_recovery_result ppf r =
     (match r.rr_writes_file with
     | None -> ()
     | Some f -> Format.fprintf ppf "  pre-crash writes: %s@," f);
+    Format.fprintf ppf "@]"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Silent corruption: inject media rot into an intact final image and
+   demand the scrubber detects it, repairs everything redundancy
+   allows, and the oracle still verifies in full (DESIGN.md §5.13). *)
+
+module Superblock = Lld_core.Superblock
+
+type corruption_result = {
+  c_workload : string;
+  c_rounds : int;  (** corruption scenarios actually exercised *)
+  c_bad_slots : int;
+  c_repaired : int;
+  c_salvaged : int;
+  c_lost : int;
+  c_superblock_repaired : int;
+  c_problems : string list;
+}
+
+let corruption_ok r = r.c_problems = []
+
+(* The device image at the end of the recorded workload: base plus
+   every traced write, replayed in order. *)
+let final_image trace =
+  let image = Bytes.copy trace.tr_base in
+  Array.iter
+    (fun (offset, data) -> Bytes.blit data 0 image offset (Bytes.length data))
+    trace.tr_writes;
+  image
+
+let corruption_check ?backend spec =
+  let backend = default_backend spec.sc_geom backend in
+  let trace = record_on backend spec |> fun (t, _, _, _, _) -> t in
+  let geom = spec.sc_geom in
+  let config = spec.sc_config in
+  let problems = ref [] in
+  let rounds = ref 0 in
+  let bad = ref 0 and repaired = ref 0 and salvaged = ref 0 and lost = ref 0 in
+  let sb_repaired = ref 0 in
+  let add ctx ps = problems := !problems @ List.map (fun p -> ctx ^ ": " ^ p) ps in
+  let tally r =
+    bad := !bad + r.Lld.scrub_bad_slots;
+    repaired := !repaired + r.Lld.scrub_repaired;
+    salvaged := !salvaged + r.Lld.scrub_salvaged;
+    lost := !lost + r.Lld.scrub_lost;
+    sb_repaired := !sb_repaired + r.Lld.scrub_superblock_repaired
+  in
+  (* every round mounts its own pristine copy of the final image *)
+  let mount ctx image =
+    let disk = Disk.load ~clock:(Clock.create ()) geom image in
+    match Lld.recover ~config disk with
+    | lld, _report -> Some (disk, lld)
+    | exception e ->
+      add ctx [ "recovery raised: " ^ Printexc.to_string e ];
+      None
+  in
+  let verify ctx lld =
+    let ps, _ = verify_recovered trace lld in
+    add ctx ps
+  in
+  let remount_verify ctx disk =
+    match mount ctx (Disk.snapshot disk) with
+    | None -> ()
+    | Some (_disk2, lld2) -> verify (ctx ^ " (remount)") lld2
+  in
+  let rot disk ~offset ~length =
+    Fault.corrupt_sector (Disk.fault disk) ~offset ~length;
+    Disk.apply_corruption disk
+  in
+  (* some committed block with a persistent location, to aim rot at *)
+  let find_victim lld =
+    let limit =
+      geom.Geometry.segment_bytes / geom.Geometry.block_bytes
+      * geom.Geometry.num_segments
+    in
+    let rec go i =
+      if i >= limit then None
+      else
+        let b = Types.Block_id.of_int i in
+        match Lld.block_phys lld b with
+        | Some (seg, slot) -> Some (b, seg, slot)
+        | None -> go (i + 1)
+    in
+    go 0
+  in
+
+  (* Round 1 — segment meta rot on a cold mount.  The slot bytes are
+     intact, so scrub must recover every live block of the segment
+     (salvage, or relocation when recovery happened to warm the cache)
+     with zero loss. *)
+  (match mount "meta-rot" (final_image trace) with
+  | None -> ()
+  | Some (disk, lld) -> (
+    match find_victim lld with
+    | None -> add "meta-rot" [ "workload left no locatable committed block" ]
+    | Some (victim, seg, _slot) ->
+      incr rounds;
+      rot disk
+        ~offset:
+          (Geometry.segment_offset geom seg + geom.Geometry.segment_bytes - 32)
+        ~length:8;
+      let r = Lld.scrub lld in
+      tally r;
+      if r.Lld.scrub_bad_slots = 0 then
+        add "meta-rot" [ "scrub failed to detect the rotted segment header" ];
+      if r.Lld.scrub_lost > 0 then
+        add "meta-rot"
+          [
+            Printf.sprintf "%d block(s) lost although all slot data was intact"
+              r.Lld.scrub_lost;
+          ];
+      (match Lld.read lld victim with
+      | _ -> ()
+      | exception e ->
+        add "meta-rot"
+          [ "read after scrub still refuses: " ^ Printexc.to_string e ]);
+      verify "meta-rot" lld;
+      remount_verify "meta-rot" disk));
+
+  (* Round 2 — generational superblock rot.  Mount rewrites one slot
+     (the new checkpoint's parity); rot the other, older generation and
+     demand scrub rewrites it so both survive a remount. *)
+  (match mount "superblock-rot" (final_image trace) with
+  | None -> ()
+  | Some (disk, lld) -> (
+    match Superblock.read_slots disk with
+    | Some a, Some b ->
+      incr rounds;
+      let older = if a.Superblock.epoch < b.Superblock.epoch then 0 else 1 in
+      rot disk ~offset:(Superblock.slot_offset geom older) ~length:16;
+      let r = Lld.scrub lld in
+      tally r;
+      if r.Lld.scrub_superblock_repaired < 1 then
+        add "superblock-rot"
+          [ "scrub did not rewrite the rotted generation slot" ];
+      (match Superblock.read_slots disk with
+      | Some _, Some _ -> ()
+      | _ ->
+        add "superblock-rot"
+          [ "a generation slot is still invalid after scrub" ]);
+      verify "superblock-rot" lld;
+      remount_verify "superblock-rot" disk
+    | _ ->
+      add "superblock-rot"
+        [ "expected both generation slots valid after a mount" ]));
+
+  (* Round 3 — slot-data rot on a warm instance.  The block was read
+     (so the LRU cache holds a verified copy) before its on-disk slot
+     rots; scrub must relocate the cached copy, losing nothing. *)
+  (match mount "slot-rot" (final_image trace) with
+  | None -> ()
+  | Some (disk, lld) -> (
+    verify "slot-rot (pre-corruption)" lld;
+    match find_victim lld with
+    | None -> add "slot-rot" [ "workload left no locatable committed block" ]
+    | Some (victim, seg, slot) ->
+      incr rounds;
+      let before = Bytes.copy (Lld.read lld victim) in
+      rot disk
+        ~offset:
+          (Geometry.segment_offset geom seg
+          + (slot * geom.Geometry.block_bytes))
+        ~length:16;
+      let r = Lld.scrub lld in
+      tally r;
+      if r.Lld.scrub_repaired < 1 then
+        add "slot-rot" [ "scrub did not repair the rotted slot from cache" ];
+      if r.Lld.scrub_lost > 0 then
+        add "slot-rot"
+          [ Printf.sprintf "%d block(s) lost despite a cached copy" r.Lld.scrub_lost ];
+      (match Lld.read lld victim with
+      | after ->
+        if not (Bytes.equal before after) then
+          add "slot-rot" [ "repaired block's contents changed" ]
+      | exception e ->
+        add "slot-rot"
+          [ "read after repair raised: " ^ Printexc.to_string e ]);
+      verify "slot-rot" lld;
+      remount_verify "slot-rot" disk));
+
+  {
+    c_workload = spec.sc_name;
+    c_rounds = !rounds;
+    c_bad_slots = !bad;
+    c_repaired = !repaired;
+    c_salvaged = !salvaged;
+    c_lost = !lost;
+    c_superblock_repaired = !sb_repaired;
+    c_problems = !problems;
+  }
+
+let pp_corruption_result ppf r =
+  Format.fprintf ppf
+    "@[<v>workload %s, silent corruption: %d scenario(s)@,\
+     %d bad slot(s): %d repaired, %d salvaged, %d lost; %d superblock slot(s) \
+     rewritten@,"
+    r.c_workload r.c_rounds r.c_bad_slots r.c_repaired r.c_salvaged r.c_lost
+    r.c_superblock_repaired;
+  if r.c_problems = [] then Format.fprintf ppf "all damage healed@]"
+  else begin
+    Format.fprintf ppf "%d problem(s):@," (List.length r.c_problems);
+    List.iter (fun p -> Format.fprintf ppf "  %s@," p) r.c_problems;
     Format.fprintf ppf "@]"
   end

@@ -319,3 +319,33 @@ val run_during_recovery :
     unchanged, exercising the eager path). *)
 
 val pp_recovery_result : Format.formatter -> recovery_result -> unit
+
+(** {1 Silent corruption}
+
+    Crash points test atomicity against power loss; this check tests
+    the checksummed format against {e media rot}.  It records the
+    workload once, then runs three scenarios against independent mounts
+    of the final image: a rotted segment header on a cold mount (the
+    slot data is intact — scrub must salvage every live block), a
+    rotted generational-superblock slot (scrub rewrites it; both
+    generations survive a remount), and slot-data rot under a warm
+    instance (scrub relocates the cached pristine copy).  After each
+    scrub the full oracle is re-verified and the healed image is
+    remounted and verified again. *)
+
+type corruption_result = {
+  c_workload : string;
+  c_rounds : int;  (** corruption scenarios actually exercised *)
+  c_bad_slots : int;  (** live slots found failing their CRC *)
+  c_repaired : int;  (** relocated from a cached pristine copy *)
+  c_salvaged : int;  (** raw bytes rescued from a meta-rotted segment *)
+  c_lost : int;  (** honestly reported unrepairable *)
+  c_superblock_repaired : int;
+  c_problems : string list;  (** empty iff every scenario healed fully *)
+}
+
+val corruption_check :
+  ?backend:Lld_disk.Backend.t -> spec -> corruption_result
+
+val corruption_ok : corruption_result -> bool
+val pp_corruption_result : Format.formatter -> corruption_result -> unit

@@ -1,10 +1,12 @@
+module Blk = Lld_util.Blk
+
 type t = {
   label : string;
   size : int;
-  read : offset:int -> length:int -> bytes;
-  write : offset:int -> bytes -> unit;
-  snapshot : unit -> bytes;
-  restore : bytes -> unit;
+  read : offset:int -> length:int -> Blk.t;
+  write : offset:int -> Blk.t -> unit;
+  snapshot : unit -> Blk.t;
+  restore : Blk.t -> unit;
   barrier : unit -> unit;
   close : unit -> unit;
 }
@@ -12,22 +14,29 @@ type t = {
 (* ------------------------------------------------------------------ *)
 (* Mem                                                                 *)
 
-let of_bytes store =
-  let size = Bytes.length store in
+(* [read] hands out a fresh view, never an alias of the store: the
+   store mutates under later writes, and the whole point of the view
+   contract (DESIGN.md §5.13) is that the device boundary is the single
+   copy the data path pays. *)
+let of_view store =
+  let size = Blk.length store in
   {
     label = "mem";
     size;
-    read = (fun ~offset ~length -> Bytes.sub store offset length);
-    write = (fun ~offset data -> Bytes.blit data 0 store offset (Bytes.length data));
-    snapshot = (fun () -> Bytes.copy store);
-    restore = (fun image -> Bytes.blit image 0 store 0 size);
+    read = (fun ~offset ~length -> Blk.copy (Blk.sub store offset length));
+    write =
+      (fun ~offset data -> Blk.blit data 0 store offset (Blk.length data));
+    snapshot = (fun () -> Blk.copy store);
+    restore = (fun image -> Blk.blit image 0 store 0 size);
     barrier = (fun () -> ());
     close = (fun () -> ());
   }
 
+let of_bytes store = of_view (Blk.of_bytes store)
+
 let mem ~size =
   if size <= 0 then invalid_arg "Backend.mem: size must be positive";
-  of_bytes (Bytes.make size '\000')
+  of_view (Blk.create size)
 
 (* ------------------------------------------------------------------ *)
 (* File                                                                *)
@@ -42,26 +51,6 @@ let wrap_unix ~path op f =
     invalid_arg
       (Printf.sprintf "Backend.file: cannot %s %s: %s" op path
          (Unix.error_message e))
-
-let really_pread fd ~path ~offset buf =
-  ignore (Unix.lseek fd offset Unix.SEEK_SET);
-  let len = Bytes.length buf in
-  let pos = ref 0 in
-  while !pos < len do
-    let n = Unix.read fd buf !pos (len - !pos) in
-    if n = 0 then
-      invalid_arg
-        (Printf.sprintf "Backend.file: unexpected end of image %s" path);
-    pos := !pos + n
-  done
-
-let really_pwrite fd ~offset buf =
-  ignore (Unix.lseek fd offset Unix.SEEK_SET);
-  let len = Bytes.length buf in
-  let pos = ref 0 in
-  while !pos < len do
-    pos := !pos + Unix.write fd buf !pos (len - !pos)
-  done
 
 let file ?(create = false) ~size path =
   if size <= 0 then invalid_arg "Backend.file: size must be positive";
@@ -88,6 +77,16 @@ let file ?(create = false) ~size path =
   | exception e ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
     raise e);
+  (* The image is memory-mapped shared: [write] blits the caller's view
+     straight into the page cache — the same single boundary copy the
+     mem store pays — and [barrier]'s fsync makes the dirtied pages
+     durable.  No read/write syscalls on the data path. *)
+  let map =
+    wrap_unix ~path "map" (fun () ->
+        Blk.of_buffer
+          (Bigarray.array1_of_genarray
+             (Unix.map_file fd Bigarray.char Bigarray.c_layout true [| size |])))
+  in
   let closed = ref false in
   let live op =
     if !closed then
@@ -100,23 +99,19 @@ let file ?(create = false) ~size path =
     read =
       (fun ~offset ~length ->
         live "read";
-        let buf = Bytes.create length in
-        wrap_unix ~path "read" (fun () -> really_pread fd ~path ~offset buf);
-        buf);
+        Blk.copy (Blk.sub map offset length));
     write =
       (fun ~offset data ->
         live "write";
-        wrap_unix ~path "write" (fun () -> really_pwrite fd ~offset data));
+        Blk.blit data 0 map offset (Blk.length data));
     snapshot =
       (fun () ->
         live "snapshot";
-        let buf = Bytes.create size in
-        wrap_unix ~path "read" (fun () -> really_pread fd ~path ~offset:0 buf);
-        buf);
+        Blk.copy map);
     restore =
       (fun image ->
         live "restore";
-        wrap_unix ~path "write" (fun () -> really_pwrite fd ~offset:0 image));
+        Blk.blit image 0 map 0 size);
     barrier =
       (fun () ->
         live "barrier";

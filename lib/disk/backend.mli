@@ -7,19 +7,29 @@
     shims ({!Shim}) that {!Disk} stacks on top of {e any} backend, so
     every implementation exposes identical crash and cost semantics.
 
+    Since the zero-copy refactor (DESIGN.md §5.13) the data plane is
+    {!Lld_util.Blk.t} views: [write] blits the caller's view straight
+    into the store (the single boundary copy the data path pays), and
+    [read] hands back a {e fresh} view the caller owns outright — it
+    never aliases the store, so later writes cannot mutate it.
+
     Two stores are provided: {!mem}, the in-memory image the simulation
-    always used, and {!file}, a real on-disk image accessed through
-    [Unix] — giving the logical disk actual durability across process
-    runs ([lld mkfs --file] / [lld mount --file]) at identical
+    always used, and {!file}, a real on-disk image memory-mapped through
+    [Unix.map_file] — giving the logical disk actual durability across
+    process runs ([lld mkfs --file] / [lld mount --file]) at identical
     virtual-clock cost. *)
+
+module Blk = Lld_util.Blk
 
 type t = {
   label : string;  (** ["mem"] or ["file:<path>"] — for reports *)
   size : int;  (** total bytes; must match the device geometry *)
-  read : offset:int -> length:int -> bytes;
-  write : offset:int -> bytes -> unit;
-  snapshot : unit -> bytes;  (** copy of the whole image *)
-  restore : bytes -> unit;  (** overwrite the whole image (size checked
+  read : offset:int -> length:int -> Blk.t;
+      (** a fresh view of the range — owned by the caller, never an
+          alias of the store *)
+  write : offset:int -> Blk.t -> unit;
+  snapshot : unit -> Blk.t;  (** fresh copy of the whole image *)
+  restore : Blk.t -> unit;  (** overwrite the whole image (size checked
                                 by {!Disk.restore}) *)
   barrier : unit -> unit;
       (** make every preceding write durable ([fsync] on {!file}, no-op
@@ -30,17 +40,21 @@ type t = {
 val mem : size:int -> t
 (** A zero-filled in-memory store. *)
 
+val of_view : Blk.t -> t
+(** Wrap an existing view without copying — the caller hands over
+    ownership of the buffer. *)
+
 val of_bytes : bytes -> t
-(** Wrap an existing image without copying — the caller hands over
-    ownership (used by {!Disk.load} to reconstruct crash images). *)
+(** An in-memory store initialised from (a copy of) the image — used by
+    {!Disk.load} to reconstruct crash images from byte traces. *)
 
 val file : ?create:bool -> size:int -> string -> t
-(** An on-disk image at the given path.  With [create] (default false)
-    the file is created and extended to [size] (sparse); without it the
-    file must exist and be exactly [size] bytes.  Every failure — a
-    missing path, a short or oversized image, an unwritable or
-    non-regular file — raises [Invalid_argument] with a message naming
-    the image, never a raw [Unix.Unix_error]. *)
+(** An on-disk image at the given path, memory-mapped shared.  With
+    [create] (default false) the file is created and extended to [size]
+    (sparse); without it the file must exist and be exactly [size]
+    bytes.  Every failure — a missing path, a short or oversized image,
+    an unwritable or non-regular file — raises [Invalid_argument] with
+    a message naming the image, never a raw [Unix.Unix_error]. *)
 
 val temp_file : ?dir:string -> size:int -> unit -> t
 (** A {!file} backend on a fresh temporary image that is unlinked

@@ -1,3 +1,5 @@
+module Blk = Lld_util.Blk
+
 type counters = {
   writes : int;
   reads : int;
@@ -5,7 +7,7 @@ type counters = {
   bytes_read : int;
 }
 
-type observer = index:int -> offset:int -> data:bytes -> unit
+type observer = index:int -> offset:int -> data:Blk.t -> unit
 
 type t = {
   geom : Geometry.t;
@@ -77,7 +79,7 @@ let make ?(timing = Timing.hp_c3010) ?fault ~clock geom backend =
   in
   (* The canonical shim stack, assembled exactly once per device.  The
      tap sits right above the store: its probe sees exactly the bytes
-     that persisted (a torn write arrives already truncated) and feeds
+     that persisted (a torn write arrives already sliced) and feeds
      the counters and the crash-checker's write observer.  Timing sits
      above the tap, and the fault plan outermost, so a crashed device
      charges nothing and a torn write charges only its surviving
@@ -89,10 +91,10 @@ let make ?(timing = Timing.hp_c3010) ?fault ~clock geom backend =
         t.bytes_read <- t.bytes_read + length)
       ~on_write:(fun ~offset ~data ->
         t.writes <- t.writes + 1;
-        t.bytes_written <- t.bytes_written + Bytes.length data;
+        t.bytes_written <- t.bytes_written + Blk.length data;
         match t.observer with
         | None -> ()
-        | Some f -> f ~index:(t.writes - 1) ~offset ~data:(Bytes.copy data))
+        | Some f -> f ~index:(t.writes - 1) ~offset ~data)
       backend
   in
   t.stack <- Shim.fault fault (Shim.timing ~charge:(charge t) metered);
@@ -111,12 +113,38 @@ let load ?timing ?fault ~clock geom image =
     invalid_arg "Disk.load: image size does not match the geometry";
   make ?timing ?fault ~clock geom (Backend.of_bytes image)
 
-let snapshot t = t.stack.Backend.snapshot ()
+(* Queued [Fault.corrupt_sector] bit-rot is applied straight to the raw
+   store, below the shim stack: silent media decay charges nothing to
+   the virtual clock, counts no write, and wakes no observer — exactly
+   like real rot, it is only visible to whoever checks the checksums. *)
+let apply_corruption t =
+  List.iter
+    (fun (offset, length) ->
+      if offset < 0 || length < 0 || offset + length > t.backend.Backend.size
+      then invalid_arg "Disk: corruption outside the partition";
+      let v = t.backend.Backend.read ~offset ~length in
+      for i = 0 to length - 1 do
+        let mask = ((i * 131) + 7) land 0xff lor 1 in
+        Blk.set_u8 v i (Blk.get_u8 v i lxor mask)
+      done;
+      t.backend.Backend.write ~offset v)
+    (Fault.take_corruption t.fault)
 
-let restore t image =
-  if Bytes.length image <> t.stack.Backend.size then
+let maybe_corrupt t =
+  if Fault.corruption_pending t.fault then apply_corruption t
+
+let snapshot_view t =
+  maybe_corrupt t;
+  t.stack.Backend.snapshot ()
+
+let snapshot t = Blk.to_bytes (snapshot_view t)
+
+let restore_view t image =
+  if Blk.length image <> t.stack.Backend.size then
     invalid_arg "Disk.restore: image size does not match the partition";
   t.stack.Backend.restore image
+
+let restore t image = restore_view t (Blk.of_bytes image)
 
 let barrier t = t.stack.Backend.barrier ()
 let close t = t.stack.Backend.close ()
@@ -133,13 +161,18 @@ let check_range t ~offset ~length =
   if offset < 0 || length < 0 || offset + length > t.stack.Backend.size then
     invalid_arg "Disk: request outside the partition"
 
-let write t ~offset data =
-  check_range t ~offset ~length:(Bytes.length data);
+let write_view t ~offset data =
+  check_range t ~offset ~length:(Blk.length data);
+  maybe_corrupt t;
   t.stack.Backend.write ~offset data
 
-let read t ~offset ~length =
+let read_view t ~offset ~length =
   check_range t ~offset ~length;
+  maybe_corrupt t;
   t.stack.Backend.read ~offset ~length
+
+let write t ~offset data = write_view t ~offset (Blk.of_bytes data)
+let read t ~offset ~length = Blk.to_bytes (read_view t ~offset ~length)
 
 let counters t =
   {

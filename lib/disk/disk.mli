@@ -8,7 +8,13 @@
     charges mechanical latency from {!Timing} to the shared virtual
     {!Lld_sim.Clock} and passes through the {!Fault} plan identically on
     every backend, and crash and media-failure behaviour stays
-    deterministic. *)
+    deterministic.
+
+    The data plane is {!Lld_util.Blk.t} views ({!read_view} /
+    {!write_view}); the [bytes] entry points remain as converting
+    wrappers for clients that still live in copy-land. *)
+
+module Blk = Lld_util.Blk
 
 type t
 
@@ -31,25 +37,33 @@ val load :
   Geometry.t ->
   bytes ->
   t
-(** A partition whose initial contents are the given image.  The image
-    becomes the device's store without copying — callers hand over
-    ownership.  Raises [Invalid_argument] when the image size does not
-    match the geometry.  Used by the crash-consistency checker to
-    reconstruct the medium as of an arbitrary crash point. *)
+(** A partition whose initial contents are (a copy of) the given image.
+    Raises [Invalid_argument] when the image size does not match the
+    geometry.  Used by the crash-consistency checker to reconstruct the
+    medium as of an arbitrary crash point. *)
 
 val geometry : t -> Geometry.t
 val fault : t -> Fault.t
 val clock : t -> Lld_sim.Clock.t
 
-val write : t -> offset:int -> bytes -> unit
-(** Write the bytes at the byte offset.  Raises [Fault.Crashed] at a
-    scheduled crash point; on a torn write the scheduled prefix reaches
-    the medium before the exception. Raises [Invalid_argument] when the
+val write_view : t -> offset:int -> Blk.t -> unit
+(** Write the view's bytes at the byte offset — one blit into the
+    store, no intermediate copy.  Raises [Fault.Crashed] at a scheduled
+    crash point; on a torn write the scheduled prefix reaches the
+    medium before the exception.  Raises [Invalid_argument] when the
     range exceeds the partition. *)
 
+val read_view : t -> offset:int -> length:int -> Blk.t
+(** A fresh view of the range — owned by the caller, never an alias of
+    the store.  Raises [Fault.Media_error] when the range overlaps an
+    injected media failure; raises [Fault.Crashed] while the device is
+    crashed. *)
+
+val write : t -> offset:int -> bytes -> unit
+(** {!write_view} through a converting copy. *)
+
 val read : t -> offset:int -> length:int -> bytes
-(** Raises [Fault.Media_error] when the range overlaps an injected media
-    failure; raises [Fault.Crashed] while the device is crashed. *)
+(** {!read_view} through a converting copy. *)
 
 (** {2 Tracing and imaging}
 
@@ -57,15 +71,17 @@ val read : t -> offset:int -> length:int -> bytes
     observer sees every byte that reaches the medium, and whole-device
     images can be captured and restored to replay write prefixes. *)
 
-type observer = index:int -> offset:int -> data:bytes -> unit
+type observer = index:int -> offset:int -> data:Blk.t -> unit
 (** Called after the bytes land: [index] is the device-lifetime write
-    sequence number (0-based), [data] is a copy of exactly what reached
-    the medium — on a torn write only the persisted prefix. *)
+    sequence number (0-based), [data] is a view of exactly what reached
+    the medium — on a torn write only the persisted prefix.  The view
+    aliases the writer's buffer: copy it ({!Blk.to_bytes}) before
+    retaining it past the callback. *)
 
 val set_observer : t -> observer option -> unit
 (** Install (or remove) the single write observer.  The observer runs
-    inside {!write}, after the store is updated and before a torn write
-    raises {!Fault.Crashed}. *)
+    inside {!write_view}, after the store is updated and before a torn
+    write raises {!Fault.Crashed}. *)
 
 val set_obs : t -> Lld_obs.Obs.t -> unit
 (** Attach an observability handle (default {!Lld_obs.Obs.null}).  When
@@ -74,12 +90,28 @@ val set_obs : t -> Lld_obs.Obs.t -> unit
     breakdown from {!Timing.request_breakdown} as arguments, and feeds
     the ["disk.read"]/["disk.write"] latency histograms. *)
 
-val snapshot : t -> bytes
-(** Copy of the entire device image. *)
+val snapshot_view : t -> Blk.t
+(** Fresh copy of the entire device image. *)
 
-val restore : t -> bytes -> unit
+val snapshot : t -> bytes
+
+val restore_view : t -> Blk.t -> unit
 (** Overwrite the entire device image.  Raises [Invalid_argument] when
     the image size does not match the partition. *)
+
+val restore : t -> bytes -> unit
+
+(** {2 Media corruption}
+
+    {!Fault.corrupt_sector} queues silent bit-rot; the device drains the
+    queue onto the raw store below the shim stack before the next
+    request — no clock charge, no write counted, no observer callback.
+    Only the checksum layer ([lld scrub], segment CRCs, superblock
+    generations) can tell. *)
+
+val apply_corruption : t -> unit
+(** Drain any queued corruption now (also happens automatically before
+    the next read/write/snapshot). *)
 
 (** {2 Durability}
 

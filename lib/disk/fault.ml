@@ -11,9 +11,19 @@ type t = {
       (* writes remaining before the crash point; meaningful when crash <> None *)
   mutable crashed : bool;
   mutable bad : (int * int) list; (* (offset, length) *)
+  mutable pending_corruption : (int * int) list;
+      (* (offset, length) ranges queued by [corrupt_sector], oldest
+         first; {!Disk} drains them onto the raw store *)
 }
 
-let none () = { crash = None; writes_until_crash = 0; crashed = false; bad = [] }
+let none () =
+  {
+    crash = None;
+    writes_until_crash = 0;
+    crashed = false;
+    bad = [];
+    pending_corruption = [];
+  }
 
 let schedule_crash t crash =
   t.crash <- Some crash;
@@ -32,6 +42,17 @@ let mark_bad t ~offset ~length =
   t.bad <- (offset, length) :: t.bad
 
 let clear_bad t = t.bad <- []
+
+let corrupt_sector t ~offset ~length =
+  if length <= 0 then invalid_arg "Fault.corrupt_sector: non-positive length";
+  t.pending_corruption <- t.pending_corruption @ [ (offset, length) ]
+
+let take_corruption t =
+  let pending = t.pending_corruption in
+  t.pending_corruption <- [];
+  pending
+
+let corruption_pending t = t.pending_corruption <> []
 let crashed t = t.crashed
 
 let reset_after_recovery t =

@@ -40,6 +40,20 @@ val mark_bad : t -> offset:int -> length:int -> unit
 
 val clear_bad : t -> unit
 
+val corrupt_sector : t -> offset:int -> length:int -> unit
+(** Queue silent bit-rot over the byte range: unlike {!mark_bad} the
+    range stays readable, but its bytes come back flipped — the media
+    decayed without telling anyone.  {!Disk} drains the queue onto the
+    raw store (below the shim stack, so no clock charge and no write
+    counted) before the next request; detection is the checksum layer's
+    job ([lld scrub], segment CRCs, the superblock generations). *)
+
+val take_corruption : t -> (int * int) list
+(** Drain the queued [(offset, length)] corruption ranges, oldest
+    first (used by {!Disk}). *)
+
+val corruption_pending : t -> bool
+
 val crashed : t -> bool
 
 val reset_after_recovery : t -> unit

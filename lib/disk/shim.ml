@@ -1,3 +1,5 @@
+module Blk = Lld_util.Blk
+
 let tap ?on_read ?on_write (inner : Backend.t) =
   {
     inner with
@@ -21,7 +23,7 @@ let timing ~charge (inner : Backend.t) =
         inner.Backend.read ~offset ~length);
     write =
       (fun ~offset data ->
-        charge ~op:`Write ~offset ~length:(Bytes.length data);
+        charge ~op:`Write ~offset ~length:(Blk.length data);
         inner.Backend.write ~offset data);
   }
 
@@ -35,10 +37,11 @@ let fault plan (inner : Backend.t) =
         inner.Backend.read ~offset ~length);
     write =
       (fun ~offset data ->
-        match Fault.on_write plan ~length:(Bytes.length data) with
+        match Fault.on_write plan ~length:(Blk.length data) with
         | `Ok -> inner.Backend.write ~offset data
         | `Torn keep ->
-          (* the prefix reached the medium before power was lost *)
-          inner.Backend.write ~offset (Bytes.sub data 0 keep);
+          (* the prefix reached the medium before power was lost; the
+             slice is a view — no copy on the crash path either *)
+          inner.Backend.write ~offset (Blk.sub data 0 keep);
           raise Fault.Crashed);
   }

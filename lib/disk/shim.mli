@@ -15,12 +15,14 @@
 
 val tap :
   ?on_read:(offset:int -> length:int -> unit) ->
-  ?on_write:(offset:int -> data:bytes -> unit) ->
+  ?on_write:(offset:int -> data:Lld_util.Blk.t -> unit) ->
   Backend.t ->
   Backend.t
 (** Observe requests after the inner backend completed them: [on_write]
     sees exactly the bytes that reached the store (on a torn write, the
-    persisted prefix — the {!fault} shim above already truncated it). *)
+    persisted prefix — the {!fault} shim above already sliced it).  The
+    view is the writer's own buffer: copy it ({!Lld_util.Blk.to_bytes})
+    before retaining it past the callback. *)
 
 val timing :
   charge:(op:[ `Read | `Write ] -> offset:int -> length:int -> unit) ->

@@ -765,6 +765,112 @@ let print_group_commit_stages ppf rows =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* Z1: the zero-copy data path — bytes API vs Blk-view API             *)
+
+type z1_row = {
+  z1_api : string;  (** ["bytes"] or ["view"] *)
+  z1_commits : int;
+  z1_copied_per_op : float;  (** bytes_copied per block write *)
+  z1_elisions_per_op : float;  (** copy_elisions per block write *)
+  z1_write_p50_us : float;
+  z1_write_p99_us : float;
+  z1_commit_p50_us : float;
+  z1_commit_p99_us : float;
+}
+
+(* The same single-client ARU commit loop — [blocks_per_commit] block
+   writes per ARU over a fixed 16-block live set — driven once through
+   the [bytes] compatibility API and once through the [Blk]-view API.
+   On the virtual clock both runs follow the identical schedule, so the
+   delta isolates the data path: the view run's bytes_copied per write
+   must be strictly lower (each elided boundary copy is counted in
+   copy_elisions), while the op.write / op.end_aru percentiles give the
+   p99 commit breakdown the CI gate tracks across PRs. *)
+let zero_copy ?(blocks_per_commit = 4) scale =
+  let commits = max 20 (int_of_float (500. *. scale.arus)) in
+  let ops = commits * blocks_per_commit in
+  (* pin the group-commit knobs so the measurement ignores the
+     LLD_GROUP_COMMIT_* environment: window 0 = synchronous commits *)
+  let config =
+    {
+      Config.default with
+      Config.group_commit_window = 0;
+      Config.group_commit_batch = 32;
+    }
+  in
+  let run api =
+    let clock = Clock.create () in
+    let obs = Obs.create ~clock () in
+    let disk = Disk.create ~clock scale.geom in
+    let lld = Lld.create ~config ~obs disk in
+    let bb = Lld.block_bytes lld in
+    let list = Lld.new_list lld () in
+    let blocks =
+      Array.init 16 (fun _ -> Lld.new_block lld ~list ~pred:Summary.Head ())
+    in
+    let view = Lld_util.Blk.create bb in
+    Lld_util.Blk.fill view 'z';
+    let payload = Bytes.make bb 'z' in
+    let idx = ref 0 in
+    for _ = 1 to commits do
+      let aru = Lld.begin_aru lld in
+      for _ = 1 to blocks_per_commit do
+        let b = blocks.(!idx mod Array.length blocks) in
+        incr idx;
+        match api with
+        | `Bytes -> Lld.write lld ~aru b payload
+        | `View -> Lld.write_view lld ~aru b view
+      done;
+      Lld.end_aru lld aru
+    done;
+    Lld.flush lld;
+    let c = Lld.counters lld in
+    let m = Obs.metrics obs in
+    let pct key sel =
+      match Metrics.find_histogram m key with
+      | Some h when Histogram.count h > 0 -> float_of_int (sel h) /. 1e3
+      | _ -> 0.
+    in
+    {
+      z1_api = (match api with `Bytes -> "bytes" | `View -> "view");
+      z1_commits = commits;
+      z1_copied_per_op = float_of_int c.Counters.bytes_copied /. float_of_int ops;
+      z1_elisions_per_op =
+        float_of_int c.Counters.copy_elisions /. float_of_int ops;
+      z1_write_p50_us = pct "op.write" Histogram.p50;
+      z1_write_p99_us = pct "op.write" Histogram.p99;
+      z1_commit_p50_us = pct "op.end_aru" Histogram.p50;
+      z1_commit_p99_us = pct "op.end_aru" Histogram.p99;
+    }
+  in
+  [ run `Bytes; run `View ]
+
+let print_zero_copy ppf rows =
+  Report.table ppf
+    ~title:
+      "Z1: zero-copy data path — the identical ARU commit loop through the \
+       bytes API vs the Blk-view API (copies per block write, and the \
+       write/commit latency breakdown)"
+    ~header:
+      [
+        "api"; "commits"; "copied B/op"; "elisions/op"; "write p50 (us)";
+        "write p99"; "commit p50"; "commit p99";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.z1_api;
+           string_of_int r.z1_commits;
+           Report.f2 r.z1_copied_per_op;
+           Report.f2 r.z1_elisions_per_op;
+           Report.f2 r.z1_write_p50_us;
+           Report.f2 r.z1_write_p99_us;
+           Report.f2 r.z1_commit_p50_us;
+           Report.f2 r.z1_commit_p99_us;
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
 (* X4: concurrency                                                     *)
 
 type concurrency_result = {
@@ -1438,7 +1544,7 @@ let finite v = Float.is_finite v && v > 0.
    virtual clock is calibrated, not cycle-accurate) but the directional
    claims each table/figure exists to demonstrate.  A regression that
    silently zeroes a phase or inverts a trade-off fails the run. *)
-let checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~g2 ~w0 ~c1 ~ob ~o3 ~b1 =
+let checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~g2 ~z1 ~w0 ~c1 ~ob ~o3 ~b1 =
   let all_f5_phases =
     List.concat_map
       (fun r ->
@@ -1609,6 +1715,26 @@ let checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~g2 ~w0 ~c1 ~ob ~o3 ~b1 =
       ck_ok = g2_ok;
       ck_detail = g2_detail;
     };
+    (let bytes_row = List.find_opt (fun r -> r.z1_api = "bytes") z1 in
+     let view_row = List.find_opt (fun r -> r.z1_api = "view") z1 in
+     match (bytes_row, view_row) with
+     | Some b, Some v ->
+       {
+         ck_name = "Z1: view API copies strictly fewer bytes than bytes API";
+         ck_ok =
+           v.z1_copied_per_op < b.z1_copied_per_op
+           && v.z1_elisions_per_op > 0.;
+         ck_detail =
+           Printf.sprintf
+             "bytes %.0f B/op vs view %.0f B/op (%.2f elisions/op)"
+             b.z1_copied_per_op v.z1_copied_per_op v.z1_elisions_per_op;
+       }
+     | _ ->
+       {
+         ck_name = "Z1: view API copies strictly fewer bytes than bytes API";
+         ck_ok = false;
+         ck_detail = "missing Z1 rows";
+       });
     {
       ck_name = "W0: MinixLLD beats in-place Minix on write bandwidth";
       ck_ok = w0_ok;
@@ -1805,6 +1931,23 @@ let json_of_g2 rows =
            ])
        rows)
 
+let json_of_z1 rows =
+  Report.List
+    (List.map
+       (fun r ->
+         Report.Obj
+           [
+             ("api", Report.String r.z1_api);
+             ("commits", Report.Int r.z1_commits);
+             ("copied_bytes_per_op", Report.Float r.z1_copied_per_op);
+             ("elisions_per_op", Report.Float r.z1_elisions_per_op);
+             ("write_p50_us", Report.Float r.z1_write_p50_us);
+             ("write_p99_us", Report.Float r.z1_write_p99_us);
+             ("commit_p50_us", Report.Float r.z1_commit_p50_us);
+             ("commit_p99_us", Report.Float r.z1_commit_p99_us);
+           ])
+       rows)
+
 let json_of_flight_effect r =
   Report.Obj
     [
@@ -1943,6 +2086,8 @@ let run_all_json ppf scale =
   print_group_commit ppf g1;
   let g2 = group_commit_stages scale in
   print_group_commit_stages ppf g2;
+  let z1 = zero_copy scale in
+  print_zero_copy ppf z1;
   print_concurrency ppf (concurrency scale);
   print_mixed ppf (mixed_workload scale);
   print_implementations ppf (implementation_comparison scale);
@@ -1956,7 +2101,7 @@ let run_all_json ppf scale =
   print_flight_effect ppf o3;
   let b1 = backend_comparison scale in
   print_backend ppf b1;
-  let cks = checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~g2 ~w0 ~c1 ~ob ~o3 ~b1 in
+  let cks = checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~g2 ~z1 ~w0 ~c1 ~ob ~o3 ~b1 in
   print_checks ppf cks;
   Format.fprintf ppf "@.";
   let json =
@@ -1979,6 +2124,7 @@ let run_all_json ppf scale =
         ("r1", json_of_r1 r1);
         ("g1", json_of_g1 g1);
         ("g2", json_of_g2 g2);
+        ("z1", json_of_z1 z1);
         ("bandwidth", json_of_w0 w0);
         ("cleaning", json_of_c1 c1);
         ("observability", json_of_observability ob);

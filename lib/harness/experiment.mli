@@ -141,6 +141,27 @@ val print_group_commit : Format.formatter -> g1_row list -> unit
 
 (** {1 X4 — concurrency: interleaved vs serial ARU streams} *)
 
+(** {2 Z1: zero-copy data path}
+
+    The identical single-client ARU commit loop driven once through the
+    [bytes] compatibility API and once through the [Blk]-view API, on
+    the virtual clock.  The view run must copy strictly fewer bytes per
+    block write; the write/commit percentiles feed the CI bench gate. *)
+
+type z1_row = {
+  z1_api : string;  (** ["bytes"] or ["view"] *)
+  z1_commits : int;
+  z1_copied_per_op : float;  (** bytes_copied per block write *)
+  z1_elisions_per_op : float;  (** copy_elisions per block write *)
+  z1_write_p50_us : float;
+  z1_write_p99_us : float;
+  z1_commit_p50_us : float;
+  z1_commit_p99_us : float;
+}
+
+val zero_copy : ?blocks_per_commit:int -> scale -> z1_row list
+val print_zero_copy : Format.formatter -> z1_row list -> unit
+
 type concurrency_result = {
   x4_interleaved : Lld_workload.Concurrent.result;
   x4_serial : Lld_workload.Concurrent.result;

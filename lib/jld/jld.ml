@@ -1,4 +1,5 @@
 module Codec = Lld_util.Bytes_codec
+module Blk = Lld_util.Blk
 module Lru = Lld_util.Lru
 module Clock = Lld_sim.Clock
 module Cost = Lld_sim.Cost
@@ -167,9 +168,9 @@ let flush_chunk t =
   if t.pend_entries > 0 then begin
     let bb = block_bytes t in
     let entries = List.rev t.pend in
-    let w = Codec.Writer.create ~capacity:(t.pend_entry_bytes + 64) () in
+    let w = Blk.Writer.create ~capacity:(t.pend_entry_bytes + 64) () in
     List.iter (fun (e, _) -> Summary.encode w e) entries;
-    let encoded = Codec.Writer.contents w in
+    let encoded = Blk.to_bytes (Blk.Writer.contents w) in
     let blocks = pend_chunk_blocks t in
     if blocks > journal_remaining t then
       (* the reserve invariant should make this impossible *)
@@ -266,7 +267,7 @@ let write_tables t =
       free_order = [];
     }
   in
-  let payload = Lld_core.Checkpoint.encode snap in
+  let payload = Blk.to_bytes (Lld_core.Checkpoint.encode snap) in
   let header = 16 in
   let total = header + Bytes.length payload + 8 in
   let region_bytes = t.layout.table_blocks * bb in
@@ -307,7 +308,7 @@ let read_tables disk bb layout region =
       if not (Int64.equal stored (Codec.hash64 ~pos:0 ~len:sum_off image)) then
         None
       else
-        match Lld_core.Checkpoint.decode (Bytes.sub image 16 len) with
+        match Lld_core.Checkpoint.decode (Blk.of_bytes (Bytes.sub image 16 len)) with
         | snap -> Some (epoch, snap)
         | exception Errors.Corrupt _ -> None
     end
@@ -601,7 +602,7 @@ let write t ?aru block data =
   | `In a ->
     require_visible_block t who (shadow_peek t a block);
     let r = shadow_get t a block in
-    r.Record.data <- Some (Bytes.copy data);
+    r.Record.data <- Some (Blk.of_bytes (Bytes.copy data));
     cpu t t.config.cost.Cost.block_copy_ns;
     r.Record.stamp <- stamp
   | `Simple ->
@@ -616,7 +617,7 @@ let read t ?aru block =
   let r = visible_block t who block in
   require_visible_block t who r;
   match r.Record.data with
-  | Some d -> Bytes.copy d
+  | Some d -> Blk.to_bytes d
   | None -> (
     let key = Types.Block_id.to_int block in
     match Hashtbl.find_opt t.dirty key with
@@ -782,8 +783,8 @@ let end_aru t aid =
       match r.Record.data with
       | Some d when r.Record.alloc ->
         if anchor.Record.alloc && r.Record.stamp >= anchor.Record.stamp then
-          committed_write t ~stream:(Summary.In_aru aid) r.Record.id d
-            ~stamp:r.Record.stamp
+          committed_write t ~stream:(Summary.In_aru aid) r.Record.id
+            (Blk.to_bytes d) ~stamp:r.Record.stamp
         else
           t.counters.Counters.replay_skips <- t.counters.Counters.replay_skips + 1
       | Some _ | None -> ());
@@ -1061,7 +1062,10 @@ let replay_journal t =
           if not (Int64.equal stored (Codec.hash64 ~pos:0 ~len:sum_off image))
           then stop := true
           else begin
-            let r = Codec.Reader.of_bytes ~pos:chunk_header_bytes ~len:entries_len image in
+            let r =
+              Blk.Reader.of_view ~pos:chunk_header_bytes ~len:entries_len
+                (Blk.of_bytes image)
+            in
             let data_off = chunk_header_bytes + entries_len in
             let entries =
               List.init entry_count (fun _ -> Summary.decode r)

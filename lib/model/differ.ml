@@ -1,5 +1,6 @@
 module Rng = Lld_sim.Rng
 module Clock = Lld_sim.Clock
+module Blk = Lld_util.Blk
 module Geometry = Lld_disk.Geometry
 module Disk = Lld_disk.Disk
 module Backend = Lld_disk.Backend
@@ -285,7 +286,9 @@ let run_program_stats ?(crash = false) ?obs_for cfg ~seed (program : Program.t)
   let writes = ref [] in
   if crash then
     Disk.set_observer disk
-      (Some (fun ~index:_ ~offset ~data -> writes := (offset, data) :: !writes));
+      (Some
+         (fun ~index:_ ~offset ~data ->
+           writes := (offset, Blk.to_bytes data) :: !writes));
   let capacity = Lld.capacity lld in
   let block_bytes = Lld.block_bytes lld in
   let model =

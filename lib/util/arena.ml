@@ -1,0 +1,68 @@
+(* Fixed-size slot arena for the record mesh's block payloads
+   (DESIGN.md §5.13).
+
+   Shadow and committed data versions churn with every write and
+   commit; allocating each as a fresh 4 KB [Bytes] made the GC pay for
+   the hot path.  The arena carves slot views out of larger chunks and
+   recycles freed slots through a free list.  Slots are NOT zeroed on
+   [alloc] — every user writes the full slot (block writes are
+   whole-block by contract).
+
+   Ownership: a slot belongs to exactly one record-mesh version at a
+   time; [free] recycles it, so any view retained past the free (a
+   [read_view] of shadow data after its ARU aborts) observes the next
+   owner's bytes — the documented view lifetime ends at the next
+   mutating operation. *)
+
+type t = {
+  slot_bytes : int;
+  chunk_slots : int;
+  mutable head : Blk.t;  (* chunk currently being carved *)
+  mutable next_slot : int;  (* next unused slot index in [head] *)
+  mutable free : Blk.t list;  (* recycled slots *)
+  mutable chunks : int;
+  mutable live : int;  (* slots allocated and not freed *)
+  mutable recycled : int;  (* allocs served from the free list *)
+}
+
+let create ?(chunk_slots = 64) ~slot_bytes () =
+  if slot_bytes <= 0 then invalid_arg "Arena.create: slot_bytes";
+  if chunk_slots <= 0 then invalid_arg "Arena.create: chunk_slots";
+  {
+    slot_bytes;
+    chunk_slots;
+    head = Blk.create (slot_bytes * chunk_slots);
+    next_slot = 0;
+    free = [];
+    chunks = 1;
+    live = 0;
+    recycled = 0;
+  }
+
+let slot_bytes t = t.slot_bytes
+
+let alloc t =
+  t.live <- t.live + 1;
+  match t.free with
+  | slot :: rest ->
+    t.free <- rest;
+    t.recycled <- t.recycled + 1;
+    slot
+  | [] ->
+    if t.next_slot >= t.chunk_slots then begin
+      t.head <- Blk.create (t.slot_bytes * t.chunk_slots);
+      t.next_slot <- 0;
+      t.chunks <- t.chunks + 1
+    end;
+    let slot = Blk.sub t.head (t.next_slot * t.slot_bytes) t.slot_bytes in
+    t.next_slot <- t.next_slot + 1;
+    slot
+
+let free t slot =
+  if Blk.length slot <> t.slot_bytes then invalid_arg "Arena.free: wrong size";
+  t.live <- t.live - 1;
+  t.free <- slot :: t.free
+
+let live t = t.live
+let chunks t = t.chunks
+let recycled t = t.recycled

@@ -1,0 +1,132 @@
+(** Zero-copy block views over [Bigarray] buffers (DESIGN.md §5.13).
+
+    A [Blk.t] is an (buffer, offset, length) window.  [sub] and the
+    {!Reader} alias the underlying buffer in O(1); only {!copy},
+    {!to_bytes} and {!of_bytes} allocate and copy.
+
+    {b Ownership rules} (the view contract every producer documents):
+    a view handed out by a layer is valid until that layer's next
+    mutating operation, unless the producer promises immutability
+    (sealed segment images, snapshots).  Callers that retain a view
+    beyond that window must {!copy} it. *)
+
+type buf =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t
+
+exception Truncated
+(** Raised by {!Reader} on reads past the view's end. *)
+
+val create : int -> t
+(** A fresh zero-filled view owning its whole buffer. *)
+
+val of_buffer : buf -> t
+(** View of an entire existing buffer — aliases, does not copy. *)
+
+val length : t -> int
+
+val sub : t -> int -> int -> t
+(** [sub t pos len] — O(1) alias of the window, like [Bytes.sub] but
+    without the copy. *)
+
+val get : t -> int -> char
+val set : t -> int -> char -> unit
+val fill : t -> char -> unit
+
+val blit : t -> int -> t -> int -> int -> unit
+(** [blit src src_off dst dst_off len], in [Bytes.blit] argument
+    order. *)
+
+val blit_from_bytes : bytes -> int -> t -> int -> int -> unit
+val blit_to_bytes : t -> int -> bytes -> int -> int -> unit
+
+val of_bytes : bytes -> t
+(** Copying conversion (the explicit boundary copy). *)
+
+val of_string : string -> t
+val to_bytes : t -> bytes
+val to_string : t -> string
+
+val copy : t -> t
+(** A fresh view with its own buffer — the only way to detach from the
+    producer's lifetime. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** {1 Little-endian scalar accessors} *)
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u16 : t -> int -> int
+val set_u16 : t -> int -> int -> unit
+val get_u32 : t -> int -> int
+val set_u32 : t -> int -> int -> unit
+val get_u64 : t -> int -> int64
+val set_u64 : t -> int -> int64 -> unit
+
+(** {1 Checksums} *)
+
+val hash64 : ?pos:int -> ?len:int -> t -> int64
+(** FNV-1a, bit-identical to {!Bytes_codec.hash64} (checkpoint chunks
+    keep their trailer format across the view conversion). *)
+
+val crc32c : ?init:int -> ?pos:int -> ?len:int -> t -> int
+(** CRC32c (Castagnoli, reflected 0x82f63b78) of the window; the
+    per-slot and header checksum of segment format v3 and the
+    superblock.  [crc32c "123456789" = 0xe3069283]. *)
+
+val crc32c_bytes : ?init:int -> ?pos:int -> ?len:int -> bytes -> int
+
+(** {1 Codecs}
+
+    Mirror {!Bytes_codec.Writer}/{!Bytes_codec.Reader}, but the writer
+    can serialise straight into an existing view ({!Writer.of_view} —
+    the single-pass segment seal) and the reader's {!Reader.raw} hands
+    back an alias instead of a copy. *)
+
+module Writer : sig
+  type view = t
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Growable writer backed by its own buffer. *)
+
+  val of_view : view -> t
+  (** Fixed-capacity writer serialising directly into [view]; raises
+      [Invalid_argument] on overflow. *)
+
+  val length : t -> int
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val u64 : t -> int64 -> unit
+  val raw : t -> view -> unit
+  val raw_bytes : t -> bytes -> unit
+  val string : t -> string -> unit
+
+  val contents : t -> view
+  (** View of the written prefix (aliases the writer's buffer). *)
+end
+
+module Reader : sig
+  type view = t
+  type t
+
+  val of_view : ?pos:int -> ?len:int -> view -> t
+  val pos : t -> int
+  val remaining : t -> int
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val u64 : t -> int64
+
+  val raw : t -> int -> view
+  (** O(1) alias into the underlying view. *)
+
+  val raw_bytes : t -> int -> bytes
+  val string : t -> string
+end
+
+val pp : Format.formatter -> t -> unit

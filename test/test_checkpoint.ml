@@ -67,7 +67,7 @@ let test_encode_decode_populated () =
 let test_decode_rejects_garbage () =
   Alcotest.check_raises "truncated"
     (Errors.Corrupt "truncated checkpoint payload") (fun () ->
-      ignore (Checkpoint.decode (Bytes.make 3 'x')))
+      ignore (Checkpoint.decode (Lld_util.Blk.of_bytes (Bytes.make 3 'x'))))
 
 let test_region_write_read () =
   let disk = fresh_disk () in
@@ -203,9 +203,11 @@ let test_layout_properties () =
     (fun geom ->
       let r = Disk_layout.region_segments geom in
       Alcotest.(check bool) "regions positive" true (r > 0);
-      Alcotest.(check int) "region 1 after region 0" r
+      Alcotest.(check int) "region 0 after superblock" 1
+        (Disk_layout.region_first geom ~region:0);
+      Alcotest.(check int) "region 1 after region 0" (1 + r)
         (Disk_layout.region_first geom ~region:1);
-      Alcotest.(check int) "log after regions" (2 * r)
+      Alcotest.(check int) "log after regions" (1 + (2 * r))
         (Disk_layout.log_first geom);
       Alcotest.(check int) "partition fully used"
         geom.Geometry.num_segments

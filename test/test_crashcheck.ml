@@ -174,7 +174,9 @@ let commit_record_torn_scenario (seed, boundary_choice) =
   let base = Disk.snapshot disk in
   let writes = ref [] in
   Disk.set_observer disk
-    (Some (fun ~index:_ ~offset ~data -> writes := (offset, data) :: !writes));
+    (Some
+       (fun ~index:_ ~offset ~data ->
+         writes := (offset, Lld_util.Blk.to_bytes data) :: !writes));
   (* one ARU, a few blocks, commit; the final flush writes the segment
      holding the commit record *)
   let aru = Lld.begin_aru lld in
@@ -249,6 +251,31 @@ let commit_record_torn =
 
 (* Exhaustive sweep of every 512-byte boundary for one fixed scenario,
    so no boundary of the commit-record write goes untested. *)
+(* ------------------------------------------------------------------ *)
+(* Silent corruption: every injected-rot scenario heals with zero
+   oracle damage, on both a block workload and a file-system one. *)
+
+let test_corruption_churn () =
+  let r = Crashcheck.corruption_check (churn ()) in
+  Alcotest.(check bool)
+    (Format.asprintf "%a" Crashcheck.pp_corruption_result r)
+    true
+    (Crashcheck.corruption_ok r);
+  Alcotest.(check int) "all three scenarios ran" 3 r.Crashcheck.c_rounds;
+  Alcotest.(check bool) "rot was detected" true (r.Crashcheck.c_bad_slots > 0);
+  Alcotest.(check int) "nothing lost" 0 r.Crashcheck.c_lost;
+  Alcotest.(check bool) "superblock slot rewritten" true
+    (r.Crashcheck.c_superblock_repaired >= 1)
+
+let test_corruption_smallfile () =
+  let r = Crashcheck.corruption_check (files ()) in
+  Alcotest.(check bool)
+    (Format.asprintf "%a" Crashcheck.pp_corruption_result r)
+    true
+    (Crashcheck.corruption_ok r);
+  Alcotest.(check int) "all three scenarios ran" 3 r.Crashcheck.c_rounds;
+  Alcotest.(check int) "nothing lost" 0 r.Crashcheck.c_lost
+
 let test_commit_record_all_boundaries () =
   (* 32 KB segment => boundaries {1, 512, 1024, ..., len-1}: probe each
      via the choice index, which selects boundaries in order *)
@@ -282,6 +309,13 @@ let () =
         [
           Alcotest.test_case "broken sweep caught, minimal reproducer" `Quick
             test_catches_broken_sweep;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "aru-churn rot heals" `Quick
+            test_corruption_churn;
+          Alcotest.test_case "smallfile rot heals" `Quick
+            test_corruption_smallfile;
         ] );
       ( "torn-commit",
         [

@@ -2,6 +2,7 @@ open Helpers
 module Fault = Lld_disk.Fault
 module Rng = Lld_sim.Rng
 module Codec = Lld_util.Bytes_codec
+module Blk = Lld_util.Blk
 module Checkpoint = Lld_core.Checkpoint
 
 (* ------------------------------------------------------------------ *)
@@ -351,11 +352,11 @@ let entry_roundtrip =
   QCheck.Test.make ~name:"summary entry encode/decode roundtrip" ~count:500
     (QCheck.make gen_entry)
     (fun entry ->
-      let w = Codec.Writer.create () in
+      let w = Blk.Writer.create () in
       Summary.encode w entry;
-      let buf = Codec.Writer.contents w in
-      Bytes.length buf = Summary.encoded_size entry
-      && Summary.decode (Codec.Reader.of_bytes buf) = entry)
+      let buf = Blk.Writer.contents w in
+      Blk.length buf = Summary.encoded_size entry
+      && Summary.decode (Blk.Reader.of_view buf) = entry)
 
 let gen_snapshot =
   let open QCheck.Gen in
@@ -432,17 +433,17 @@ let segment_parse_total =
           (Lld_core.Segment.put_block s ~scope:Lld_core.Segment.Simple_scope
              ~allow_cross_scope:true
              (Types.Block_id.of_int i)
-             (Bytes.make 4096 'x'));
+             (Blk.of_bytes (Bytes.make 4096 'x')));
         Lld_core.Segment.add_entry s
           {
             Summary.stream = Summary.Simple;
             op = Summary.Write { block = Types.Block_id.of_int i; slot = i; stamp = i };
           }
       done;
-      let image = Bytes.copy (Lld_core.Segment.seal s) in
+      let image = Blk.of_bytes (Blk.to_bytes (Lld_core.Segment.seal s)) in
       for _ = 1 to flips do
-        let pos = Rng.int rng (Bytes.length image) in
-        Bytes.set image pos (Char.chr (Rng.int rng 256))
+        let pos = Rng.int rng (Blk.length image) in
+        Blk.set_u8 image pos (Rng.int rng 256)
       done;
       match Lld_core.Segment.parse geom image with
       | Some _ | None -> true)
@@ -455,9 +456,9 @@ let summary_decode_total =
       let rng = Rng.create ~seed in
       let len = 1 + Rng.int rng 64 in
       let buf = Bytes.init len (fun _ -> Char.chr (Rng.int rng 256)) in
-      match Summary.decode (Codec.Reader.of_bytes buf) with
+      match Summary.decode (Blk.Reader.of_view (Blk.of_bytes buf)) with
       | _ -> true
-      | exception (Errors.Corrupt _ | Codec.Truncated) -> true)
+      | exception (Errors.Corrupt _ | Blk.Truncated) -> true)
 
 let checkpoint_decode_total =
   QCheck.Test.make ~name:"Checkpoint.decode fails only with Corrupt" ~count:200
@@ -490,10 +491,10 @@ let checkpoint_decode_total =
           free_order = [ 5; 6 ];
         }
       in
-      let buf = Bytes.copy (Checkpoint.encode snap) in
+      let buf = Blk.of_bytes (Blk.to_bytes (Checkpoint.encode snap)) in
       for _ = 1 to 1 + Rng.int rng 8 do
-        let pos = Rng.int rng (Bytes.length buf) in
-        Bytes.set buf pos (Char.chr (Rng.int rng 256))
+        let pos = Rng.int rng (Blk.length buf) in
+        Blk.set_u8 buf pos (Rng.int rng 256)
       done;
       match Checkpoint.decode buf with
       | _ -> true

@@ -25,7 +25,7 @@ let test_alt_copies_meta_not_data () =
   anchor.Record.member_of <- Some (lid 9);
   anchor.Record.successor <- Some (bid 2);
   anchor.Record.stamp <- 55;
-  anchor.Record.data <- Some (Bytes.of_string "never copied");
+  anchor.Record.data <- Some (Lld_util.Blk.of_bytes (Bytes.of_string "never copied"));
   let alt = Record.alt_block Record.Committed ~from:anchor in
   Alcotest.(check bool) "alloc copied" true alt.Record.alloc;
   Alcotest.(check bool) "member copied" true (alt.Record.member_of = Some (lid 9));

@@ -1,4 +1,5 @@
 module Geometry = Lld_disk.Geometry
+module Blk = Lld_util.Blk
 module Types = Lld_core.Types
 module Summary = Lld_core.Summary
 module Segment = Lld_core.Segment
@@ -11,7 +12,10 @@ let entry ?(stream = Summary.Simple) op = { Summary.stream; op }
 let write_entry b slot stamp =
   entry (Summary.Write { block = bid b; slot; stamp })
 
-let data c = Bytes.make geom.Geometry.block_bytes c
+let data c = Blk.of_bytes (Bytes.make geom.Geometry.block_bytes c)
+
+(* first byte of a view, for content checks *)
+let first v = Char.chr (Blk.get_u8 v 0)
 
 let fresh () = Segment.create geom ~seq:7 ~disk_index:3
 
@@ -31,8 +35,8 @@ let test_put_block_and_read_slot () =
        ~allow_cross_scope:true (bid 11) (data 'b') in
   Alcotest.(check int) "first slot" 0 slot0;
   Alcotest.(check int) "second slot" 1 slot1;
-  Alcotest.(check char) "slot 0 content" 'a' (Bytes.get (Segment.read_slot s ~slot:0) 0);
-  Alcotest.(check char) "slot 1 content" 'b' (Bytes.get (Segment.read_slot s ~slot:1) 0)
+  Alcotest.(check char) "slot 0 content" 'a' (first (Segment.read_slot s ~slot:0));
+  Alcotest.(check char) "slot 1 content" 'b' (first (Segment.read_slot s ~slot:1))
 
 let put ?(scope = Segment.Simple_scope) ?(cross = true) s b d =
   Segment.put_block s ~scope ~allow_cross_scope:cross b d
@@ -46,9 +50,9 @@ let test_scope_blocks_reuse () =
   let slot1 = put ~scope:aru ~cross:false s (bid 10) (data 'b') in
   Alcotest.(check bool) "fresh slot taken" true (slot0 <> slot1);
   Alcotest.(check char) "old bytes intact" 'a'
-    (Bytes.get (Segment.read_slot s ~slot:slot0) 0);
+    (first (Segment.read_slot s ~slot:slot0));
   Alcotest.(check char) "new bytes in new slot" 'b'
-    (Bytes.get (Segment.read_slot s ~slot:slot1) 0);
+    (first (Segment.read_slot s ~slot:slot1));
   (* the same ARU writing again reuses its own slot *)
   let slot2 = put ~scope:aru ~cross:false s (bid 10) (data 'c') in
   Alcotest.(check int) "own slot reused" slot1 slot2;
@@ -67,7 +71,7 @@ let test_slot_reuse_on_rewrite () =
        ~allow_cross_scope:true (bid 10) (data 'z') in
   Alcotest.(check int) "same slot" slot0 slot0';
   Alcotest.(check int) "one slot used" 1 (Segment.slots_used s);
-  Alcotest.(check char) "rewritten" 'z' (Bytes.get (Segment.read_slot s ~slot:0) 0);
+  Alcotest.(check char) "rewritten" 'z' (first (Segment.read_slot s ~slot:0));
   Alcotest.(check (option int)) "slot_of_block" (Some 0)
     (Segment.slot_of_block s (bid 10))
 
@@ -136,25 +140,40 @@ let test_seal_parse_roundtrip () =
     Alcotest.(check int) "seq" 7 p.Segment.p_seq;
     Alcotest.(check int) "entries" 2 (List.length p.Segment.p_entries);
     Alcotest.(check char) "slot 0 via parsed image" 'p'
-      (Bytes.get (Segment.parsed_slot geom p ~slot:0) 0);
+      (first (Segment.parsed_slot geom p ~slot:0));
     Alcotest.(check char) "slot 1 via parsed image" 'q'
-      (Bytes.get (Segment.parsed_slot geom p ~slot:1) 0)
+      (first (Segment.parsed_slot geom p ~slot:1))
 
 let test_parse_rejects_garbage () =
   Alcotest.(check bool) "zeroed image" true
-    (Segment.parse geom (Bytes.make geom.Geometry.segment_bytes '\000') = None);
+    (Segment.parse geom (Blk.of_bytes (Bytes.make geom.Geometry.segment_bytes '\000')) = None);
   Alcotest.(check bool) "random-ish image" true
-    (Segment.parse geom (Bytes.make geom.Geometry.segment_bytes 'U') = None)
+    (Segment.parse geom (Blk.of_bytes (Bytes.make geom.Geometry.segment_bytes 'U')) = None)
 
 let test_parse_detects_corruption () =
   let s = fresh () in
   ignore (Segment.put_block s ~scope:Segment.Simple_scope
        ~allow_cross_scope:true (bid 1) (data 'p'));
   Segment.add_entry s (write_entry 1 0 11);
-  let image = Bytes.copy (Segment.seal s) in
-  (* flip one bit in the data area: the checksum must catch it *)
-  Bytes.set image 100 (Char.chr (Char.code (Bytes.get image 100) lxor 1));
-  Alcotest.(check bool) "bit flip detected" true (Segment.parse geom image = None)
+  let image = Blk.of_bytes (Blk.to_bytes (Segment.seal s)) in
+  (* flip one bit in the data area: the segment still parses (meta is
+     intact) but the slot's own CRC must catch it *)
+  Blk.set_u8 image 100 (Blk.get_u8 image 100 lxor 1);
+  (match Segment.parse geom image with
+  | None -> Alcotest.fail "meta intact: image must still parse"
+  | Some p ->
+    Alcotest.(check bool) "slot CRC catches data flip" false
+      (Segment.verify_slot geom p ~slot:0);
+    Alcotest.check_raises "parsed_slot raises Corruption"
+      (Lld_core.Errors.Corruption
+         (Lld_core.Errors.Invalid_checksum { what = "segment slot"; index = 0 }))
+      (fun () -> ignore (Segment.parsed_slot geom p ~slot:0)));
+  (* flip one bit in the meta region: parse itself must fail *)
+  let image2 = Blk.of_bytes (Blk.to_bytes (Segment.seal s)) in
+  let meta_pos = geom.Geometry.segment_bytes - 40 in
+  Blk.set_u8 image2 meta_pos (Blk.get_u8 image2 meta_pos lxor 1);
+  Alcotest.(check bool) "meta flip detected" true
+    (Segment.parse geom image2 = None)
 
 let test_parse_detects_torn_prefix () =
   let s = fresh () in
@@ -163,8 +182,8 @@ let test_parse_detects_torn_prefix () =
   Segment.add_entry s (write_entry 1 0 11);
   let image = Segment.seal s in
   (* only a prefix reached the medium; the tail is stale bytes *)
-  let torn = Bytes.make geom.Geometry.segment_bytes '\xAB' in
-  Bytes.blit image 0 torn 0 10_000;
+  let torn = Blk.of_bytes (Bytes.make geom.Geometry.segment_bytes '\xAB') in
+  Blk.blit image 0 torn 0 10_000;
   Alcotest.(check bool) "torn write detected" true (Segment.parse geom torn = None)
 
 let test_wrong_block_size_rejected () =
@@ -172,7 +191,7 @@ let test_wrong_block_size_rejected () =
   Alcotest.check_raises "short block"
     (Invalid_argument "Segment.put_block: data must be exactly one block")
     (fun () -> ignore (Segment.put_block s ~scope:Segment.Simple_scope
-       ~allow_cross_scope:true (bid 1) (Bytes.make 100 'x')))
+       ~allow_cross_scope:true (bid 1) (Blk.of_bytes (Bytes.make 100 'x'))))
 
 let () =
   Alcotest.run "lld_segment"

@@ -1,6 +1,8 @@
 module Codec = Lld_util.Bytes_codec
 module Lru = Lld_util.Lru
 module Vec = Lld_util.Vec
+module Blk = Lld_util.Blk
+module Arena = Lld_util.Arena
 
 let test_writer_reader_roundtrip () =
   let w = Codec.Writer.create () in
@@ -197,6 +199,200 @@ let lru_churn =
       List.iter (fun (k, v) -> Lru.add c k v) ops;
       Lru.length c <= cap)
 
+(* ------------------------------------------------------------- Blk *)
+
+let test_blk_sub_aliases () =
+  (* The load-bearing property of the zero-copy path: [sub] is a view,
+     not a copy.  Mutations through either window must be visible
+     through the other. *)
+  let t = Blk.of_string "abcdefgh" in
+  let v = Blk.sub t 2 4 in
+  Alcotest.(check string) "window" "cdef" (Blk.to_string v);
+  Blk.set v 0 'X';
+  Alcotest.(check string) "write through sub visible in parent" "abXdefgh"
+    (Blk.to_string t);
+  Blk.set t 3 'Y';
+  Alcotest.(check string) "write through parent visible in sub" "XYef"
+    (Blk.to_string v);
+  (* nested sub composes offsets *)
+  let vv = Blk.sub v 1 2 in
+  Alcotest.(check string) "nested sub" "Ye" (Blk.to_string vv)
+
+let test_blk_copy_detaches () =
+  let t = Blk.of_string "abcd" in
+  let c = Blk.copy (Blk.sub t 1 2) in
+  Blk.set t 1 'Z';
+  Alcotest.(check string) "copy unaffected by source mutation" "bc"
+    (Blk.to_string c);
+  Blk.set c 0 'Q';
+  Alcotest.(check string) "source unaffected by copy mutation" "aZcd"
+    (Blk.to_string t)
+
+let test_blk_blit_and_bounds () =
+  let a = Blk.of_string "0123456789" in
+  let b = Blk.create 10 in
+  Blk.blit a 2 b 5 3;
+  Alcotest.(check string) "blit" "\000\000\000\000\000234\000\000"
+    (Blk.to_string b);
+  Alcotest.check_raises "sub oob" (Invalid_argument "Blk.sub") (fun () ->
+      ignore (Blk.sub a 8 3));
+  Alcotest.check_raises "blit oob" (Invalid_argument "Blk.blit") (fun () ->
+      Blk.blit a 8 b 0 3);
+  (* bytes interop *)
+  let bytes = Bytes.of_string "xxxx" in
+  Blk.blit_to_bytes a 0 bytes 1 3;
+  Alcotest.(check string) "blit_to_bytes" "x012" (Bytes.to_string bytes);
+  Blk.blit_from_bytes (Bytes.of_string "AB") 0 b 0 2;
+  Alcotest.(check string) "blit_from_bytes" "AB" (Blk.to_string (Blk.sub b 0 2))
+
+let test_blk_scalars () =
+  let t = Blk.create 16 in
+  Blk.set_u16 t 0 0xfffe;
+  Blk.set_u32 t 2 0xdeadbeef;
+  Blk.set_u64 t 6 0x1122334455667788L;
+  Alcotest.(check int) "u16" 0xfffe (Blk.get_u16 t 0);
+  Alcotest.(check int) "u32" 0xdeadbeef (Blk.get_u32 t 2);
+  Alcotest.(check int64) "u64" 0x1122334455667788L (Blk.get_u64 t 6);
+  (* little-endian layout matches Bytes_codec's *)
+  let b = Bytes.make 4 '\000' in
+  Codec.set_u32 b 0 0xdeadbeef;
+  Alcotest.(check string) "LE layout" (Bytes.to_string b)
+    (Blk.to_string (Blk.sub t 2 4))
+
+let test_blk_hash64_matches_codec () =
+  (* checkpoint chunk trailers must keep their bits: Blk.hash64 must be
+     bit-identical to Bytes_codec.hash64 on every length (word loop +
+     byte tail) and on unaligned windows. *)
+  let data = Bytes.init 67 (fun i -> Char.chr ((i * 37 + 11) land 0xff)) in
+  for len = 0 to 24 do
+    Alcotest.(check int64)
+      (Printf.sprintf "hash64 len=%d" len)
+      (Codec.hash64 ~len data)
+      (Blk.hash64 ~len (Blk.of_bytes data))
+  done;
+  Alcotest.(check int64) "hash64 whole" (Codec.hash64 data)
+    (Blk.hash64 (Blk.of_bytes data));
+  Alcotest.(check int64) "hash64 window"
+    (Codec.hash64 ~pos:3 ~len:29 data)
+    (Blk.hash64 ~pos:3 ~len:29 (Blk.of_bytes data))
+
+let test_blk_crc32c_vector () =
+  (* The canonical Castagnoli check vector. *)
+  let v = Blk.of_string "123456789" in
+  Alcotest.(check int) "crc32c(123456789)" 0xe3069283 (Blk.crc32c v);
+  Alcotest.(check int) "crc32c_bytes agrees" 0xe3069283
+    (Blk.crc32c_bytes (Bytes.of_string "123456789"));
+  (* incremental == one-shot *)
+  let a = Blk.crc32c ~len:4 v in
+  Alcotest.(check int) "incremental" 0xe3069283
+    (Blk.crc32c ~init:a ~pos:4 ~len:5 v);
+  Alcotest.(check int) "empty" 0 (Blk.crc32c ~len:0 v);
+  (* sensitive to any flipped byte *)
+  let w = Blk.copy v in
+  Blk.set w 4 '\000';
+  Alcotest.(check bool) "sensitive" false (Blk.crc32c w = 0xe3069283)
+
+let test_blk_writer_reader_roundtrip () =
+  let w = Blk.Writer.create ~capacity:4 () in
+  Blk.Writer.u8 w 0xab;
+  Blk.Writer.u16 w 0xbeef;
+  Blk.Writer.u32 w 0x12345678;
+  Blk.Writer.u64 w 0x1122334455667788L;
+  Blk.Writer.string w "hello";
+  Blk.Writer.raw w (Blk.of_string "raw");
+  Blk.Writer.raw_bytes w (Bytes.of_string "rb");
+  let v = Blk.Writer.contents w in
+  let r = Blk.Reader.of_view v in
+  Alcotest.(check int) "u8" 0xab (Blk.Reader.u8 r);
+  Alcotest.(check int) "u16" 0xbeef (Blk.Reader.u16 r);
+  Alcotest.(check int) "u32" 0x12345678 (Blk.Reader.u32 r);
+  Alcotest.(check int64) "u64" 0x1122334455667788L (Blk.Reader.u64 r);
+  Alcotest.(check string) "string" "hello" (Blk.Reader.string r);
+  Alcotest.(check string) "raw" "raw" (Blk.to_string (Blk.Reader.raw r 3));
+  Alcotest.(check string) "raw_bytes" "rb"
+    (Bytes.to_string (Blk.Reader.raw_bytes r 2));
+  Alcotest.(check int) "exhausted" 0 (Blk.Reader.remaining r);
+  Alcotest.check_raises "past end" Blk.Truncated (fun () ->
+      ignore (Blk.Reader.u8 r))
+
+let test_blk_writer_wire_compat () =
+  (* Blk.Writer must emit exactly the bytes Bytes_codec.Writer does —
+     the codecs are swapped underneath Summary/Checkpoint without a
+     format change. *)
+  let bw = Codec.Writer.create () in
+  Codec.Writer.u8 bw 7;
+  Codec.Writer.u32 bw 0xcafe01;
+  Codec.Writer.u64 bw 0x0102030405060708L;
+  Codec.Writer.string bw "wire";
+  let vw = Blk.Writer.create () in
+  Blk.Writer.u8 vw 7;
+  Blk.Writer.u32 vw 0xcafe01;
+  Blk.Writer.u64 vw 0x0102030405060708L;
+  Blk.Writer.string vw "wire";
+  Alcotest.(check string) "identical bytes"
+    (Bytes.to_string (Codec.Writer.contents bw))
+    (Blk.to_string (Blk.Writer.contents vw))
+
+let test_blk_writer_of_view () =
+  let target = Blk.create 8 in
+  let w = Blk.Writer.of_view target in
+  Blk.Writer.u32 w 0x11223344;
+  (* writes land in the target, in place *)
+  Alcotest.(check int) "in place" 0x11223344 (Blk.get_u32 target 0);
+  Blk.Writer.u32 w 0x55667788;
+  Alcotest.check_raises "overflow" (Invalid_argument "Blk.Writer: view overflow")
+    (fun () -> Blk.Writer.u8 w 1);
+  Alcotest.(check int) "length" 8 (Blk.Writer.length w)
+
+let test_blk_reader_raw_aliases () =
+  (* Reader.raw is the zero-copy read: a window, not a copy. *)
+  let v = Blk.of_string "abcdef" in
+  let r = Blk.Reader.of_view v in
+  let raw = Blk.Reader.raw r 4 in
+  Blk.set v 1 'Z';
+  Alcotest.(check string) "alias sees mutation" "aZcd" (Blk.to_string raw)
+
+let test_arena_recycles () =
+  let a = Arena.create ~chunk_slots:2 ~slot_bytes:8 () in
+  let s1 = Arena.alloc a in
+  let s2 = Arena.alloc a in
+  Blk.fill s1 'x';
+  Alcotest.(check int) "live" 2 (Arena.live a);
+  Alcotest.(check int) "one chunk" 1 (Arena.chunks a);
+  let s3 = Arena.alloc a in
+  Alcotest.(check int) "second chunk" 2 (Arena.chunks a);
+  ignore s3;
+  Arena.free a s2;
+  let s4 = Arena.alloc a in
+  Alcotest.(check int) "recycled" 1 (Arena.recycled a);
+  (* the recycled slot is the same storage: aliasing is the contract *)
+  Blk.fill s4 'y';
+  Alcotest.(check string) "s2 storage reused" "yyyyyyyy" (Blk.to_string s2);
+  Alcotest.check_raises "wrong size" (Invalid_argument "Arena.free: wrong size")
+    (fun () -> Arena.free a (Blk.create 4))
+
+let blk_bytes_model =
+  QCheck.Test.make ~name:"blk mirrors bytes under blit/sub/set" ~count:300
+    QCheck.(
+      pair (small_list (triple (int_range 0 31) (int_range 0 31) small_int))
+        (int_range 0 31))
+    (fun (ops, _) ->
+      let b = Bytes.make 32 '\000' in
+      let v = Blk.create 32 in
+      List.iter
+        (fun (i, j, x) ->
+          let c = Char.chr (x land 0xff) in
+          Bytes.set b i c;
+          Blk.set v i c;
+          let len = min (32 - i) (32 - j) in
+          let len = min len ((i + j) mod 5) in
+          Bytes.blit b i b j len;
+          Blk.blit v i v j len)
+        ops;
+      Bytes.to_string b = Blk.to_string v
+      && Blk.equal v (Blk.of_bytes b)
+      && Blk.compare v (Blk.of_bytes b) = 0)
+
 let () =
   Alcotest.run "lld_util"
     [
@@ -230,5 +426,24 @@ let () =
           Alcotest.test_case "truncate" `Quick test_vec_truncate;
           Alcotest.test_case "bounds" `Quick test_vec_bounds;
           QCheck_alcotest.to_alcotest vec_model;
+        ] );
+      ( "blk",
+        [
+          Alcotest.test_case "sub aliases" `Quick test_blk_sub_aliases;
+          Alcotest.test_case "copy detaches" `Quick test_blk_copy_detaches;
+          Alcotest.test_case "blit and bounds" `Quick test_blk_blit_and_bounds;
+          Alcotest.test_case "scalar accessors" `Quick test_blk_scalars;
+          Alcotest.test_case "hash64 matches Bytes_codec" `Quick
+            test_blk_hash64_matches_codec;
+          Alcotest.test_case "crc32c check vector" `Quick test_blk_crc32c_vector;
+          Alcotest.test_case "writer/reader roundtrip" `Quick
+            test_blk_writer_reader_roundtrip;
+          Alcotest.test_case "writer wire-compatible with Bytes_codec" `Quick
+            test_blk_writer_wire_compat;
+          Alcotest.test_case "writer of_view" `Quick test_blk_writer_of_view;
+          Alcotest.test_case "reader raw aliases" `Quick
+            test_blk_reader_raw_aliases;
+          Alcotest.test_case "arena recycles slots" `Quick test_arena_recycles;
+          QCheck_alcotest.to_alcotest blk_bytes_model;
         ] );
     ]
