@@ -127,7 +127,7 @@ let run_micro () =
   rows
 
 (* The machine-readable bench trajectory: virtual-clock tables plus the
-   micro-kernel timings, one file per run (default BENCH_PR9.json,
+   micro-kernel timings, one file per run (default BENCH_PR10.json,
    overridable with BENCH_JSON=path).  Since PR 3 the tables include the
    "observability" section (gauges and latency histograms from the
    traced runs); since PR 4 also the "backend" section (wall-clock vs
@@ -137,9 +137,11 @@ let run_micro () =
    "g1" section (group-commit throughput scaling with concurrent
    clients); since PR 9 also the "z1" section (zero-copy data path:
    copies per block write and the commit breakdown, bytes API vs
-   view API). *)
+   view API); since PR 10 also the "s1" section (sharded LLD:
+   log-bandwidth scaling over 1/2/4 shards, cross-shard 2PC barrier
+   cost, and the single-shard bit-identity flag). *)
 let emit_json ~tables ~micro =
-  let path = Option.value ~default:"BENCH_PR9.json" (Sys.getenv_opt "BENCH_JSON") in
+  let path = Option.value ~default:"BENCH_PR10.json" (Sys.getenv_opt "BENCH_JSON") in
   let micro_json =
     Report.List
       (List.map

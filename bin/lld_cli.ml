@@ -490,8 +490,53 @@ let point_conv =
   in
   Arg.conv (parse, Crashcheck.pp_point)
 
-let crashcheck workload budget granularity seed at broken_sweep trace_dir
-    differential during_recovery inner_budget corruption =
+let crashcheck workload shards budget granularity seed at broken_sweep
+    trace_dir differential during_recovery inner_budget corruption =
+  if workload = Some "cross-shard" then begin
+    (* the sharded checker: S disks, one interleaved global write
+       trace, recovery through the facade's cross-shard decision scan *)
+    if differential || corruption || during_recovery || broken_sweep then begin
+      Printf.eprintf
+        "--workload cross-shard supports plain enumeration and --at only\n";
+      exit 2
+    end;
+    if shards < 2 then begin
+      Printf.eprintf "--shards must be at least 2 for cross-shard ARUs\n";
+      exit 2
+    end;
+    let spec = Crashcheck.cross_shard_spec ~shards () in
+    Printf.printf "recording cross-shard trace (%d shards)...\n%!" shards;
+    let trace = Crashcheck.record_sharded spec in
+    Printf.printf "cross-shard: %d disk writes, %d oracle units\n%!"
+      (Crashcheck.sharded_trace_writes trace)
+      (Crashcheck.sharded_trace_oracle_units trace);
+    match at with
+    | Some point ->
+      let problems =
+        try Crashcheck.check_sharded_point trace point
+        with Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2
+      in
+      if problems = [] then
+        Format.printf "crash %a: consistent@." Crashcheck.pp_point point
+      else begin
+        Format.printf "crash %a: %d violation(s)@." Crashcheck.pp_point point
+          (List.length problems);
+        List.iter (fun p -> Printf.printf "  %s\n" p) problems;
+        exit 1
+      end
+    | None ->
+      let progress ~checked ~selected =
+        if checked mod 200 = 0 || checked = selected then
+          Printf.printf "  cross-shard: %d/%d crash points checked\n%!" checked
+            selected
+      in
+      let r = Crashcheck.run_sharded ~granularity ?budget ~seed ~progress trace in
+      Format.printf "%a@." Crashcheck.pp_result r;
+      if not (Crashcheck.ok r) then exit 1
+  end
+  else
   let selected =
     match workload with
     | None -> Crashcheck.specs
@@ -624,7 +669,17 @@ let crashcheck_cmd =
       & info [ "workload" ] ~docv:"NAME"
           ~doc:
             "Workload to check: $(b,smallfile), $(b,aru-churn) or \
-             $(b,cleaning) (default: all).")
+             $(b,cleaning) (default: all), or $(b,cross-shard) — the \
+             sharded facade's two-phase-commit workload, enumerated over \
+             the interleaved multi-disk write trace (see $(b,--shards)).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 3
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "With $(b,--workload cross-shard): number of independent \
+             segment logs behind the facade (default 3).")
   in
   let budget =
     Arg.(
@@ -724,7 +779,7 @@ let crashcheck_cmd =
           writes), recover at each, and verify ARU atomicity, fsck \
           cleanliness, sweep completeness, and recovery idempotency.")
     Term.(
-      const crashcheck $ workload $ budget $ granularity $ seed $ at
+      const crashcheck $ workload $ shards $ budget $ granularity $ seed $ at
       $ broken_sweep $ trace_dir $ differential $ during_recovery
       $ inner_budget $ corruption)
 
@@ -1067,7 +1122,7 @@ let bench_cmd =
 (* model: differential fuzzing against the executable specification   *)
 
 let model_fuzz seed budget clients ops option backend crash_every crash_points
-    group_commit inject expect_divergence out_dir =
+    group_commit shards inject expect_divergence out_dir =
   let visibility =
     match option with
     | 1 -> Config.Any_shadow
@@ -1094,6 +1149,7 @@ let model_fuzz seed budget clients ops option backend crash_every crash_points
   if clients < 1 then fail_invalid "--clients must be at least 1";
   if ops < 1 then fail_invalid "--ops must be at least 1";
   if budget < 1 then fail_invalid "--budget must be at least 1";
+  if shards < 1 then fail_invalid "--shards must be at least 1";
   let cfg =
     {
       Differ.default_config with
@@ -1105,6 +1161,7 @@ let model_fuzz seed budget clients ops option backend crash_every crash_points
       crash_every;
       crash_points;
       group_commit;
+      shards;
     }
   in
   let progress ~case =
@@ -1210,6 +1267,18 @@ let model_cmd =
              lockstep when a batch is due, and the crash frontier includes \
              every per-ARU boundary inside a batched commit record.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Run both sides behind the sharded facade with $(docv) \
+             independent segment logs: operations route by placement, \
+             multi-shard ARUs commit via two-phase commit, and each crash \
+             point checks every shard's recovered projection against that \
+             shard's own frontier chain ($(b,1), the default, is the plain \
+             single-instance path).")
+  in
   let inject =
     Arg.(
       value
@@ -1244,7 +1313,7 @@ let model_cmd =
           crash frontier, and shrink any divergence to a minimal program.")
     Term.(
       const model_fuzz $ seed $ budget $ clients $ ops $ option $ backend
-      $ crash_every $ crash_points $ group_commit $ inject
+      $ crash_every $ crash_points $ group_commit $ shards $ inject
       $ expect_divergence $ out_dir)
 
 let () =

@@ -30,12 +30,14 @@ type snapshot = {
   next_seq : int;
   stamp : int;
   next_aru : int;
+  next_gid : int;
   blocks : block_entry list;
   lists : list_entry list;
   dead_blocks : int list;
   dead_lists : int list;
   pending : (int * pending_entry list) list;
   free_order : int list;
+  prepared : (int * int * int) list;
 }
 
 let empty =
@@ -46,15 +48,17 @@ let empty =
     next_seq = 1;
     stamp = 1;
     next_aru = 1;
+    next_gid = 1;
     blocks = [];
     lists = [];
     dead_blocks = [];
     dead_lists = [];
     pending = [];
     free_order = [];
+    prepared = [];
   }
 
-let payload_version = 2
+let payload_version = 3
 
 let opt w = function
   | None -> Codec.Writer.u32 w 0
@@ -77,6 +81,7 @@ let encode snap =
   W.u64 w (Int64.of_int snap.next_seq);
   W.u64 w (Int64.of_int snap.stamp);
   W.u64 w (Int64.of_int snap.next_aru);
+  W.u64 w (Int64.of_int snap.next_gid);
   W.u32 w (List.length snap.blocks);
   List.iter
     (fun b ->
@@ -119,6 +124,13 @@ let encode snap =
     snap.pending;
   W.u32 w (List.length snap.free_order);
   List.iter (W.u32 w) snap.free_order;
+  W.u32 w (List.length snap.prepared);
+  List.iter
+    (fun (aru, gid, coordinator) ->
+      W.u32 w aru;
+      W.u64 w (Int64.of_int gid);
+      W.u16 w coordinator)
+    snap.prepared;
   W.contents w
 
 let decode buf =
@@ -139,6 +151,7 @@ let decode buf =
     let next_seq = Int64.to_int (R.u64 r) in
     let stamp = Int64.to_int (R.u64 r) in
     let next_aru = Int64.to_int (R.u64 r) in
+    let next_gid = Int64.to_int (R.u64 r) in
     let nblocks = R.u32 r in
     let blocks =
       List.init nblocks (fun _ ->
@@ -184,9 +197,17 @@ let decode buf =
     in
     let nfree = R.u32 r in
     let free_order = List.init nfree (fun _ -> R.u32 r) in
+    let nprep = R.u32 r in
+    let prepared =
+      List.init nprep (fun _ ->
+          let aru = R.u32 r in
+          let gid = Int64.to_int (R.u64 r) in
+          let coordinator = R.u16 r in
+          (aru, gid, coordinator))
+    in
     {
-      ckpt_id; kind; covered_seq; next_seq; stamp; next_aru; blocks; lists;
-      dead_blocks; dead_lists; pending; free_order;
+      ckpt_id; kind; covered_seq; next_seq; stamp; next_aru; next_gid; blocks;
+      lists; dead_blocks; dead_lists; pending; free_order; prepared;
     }
   with Codec.Truncated -> raise (Errors.Corrupt "truncated checkpoint payload")
 

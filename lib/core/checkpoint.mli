@@ -64,6 +64,11 @@ type snapshot = {
   next_seq : int;
   stamp : int;
   next_aru : int;
+  next_gid : int;
+      (** next cross-shard transaction id this shard will hand out or
+          witness; persisting the watermark keeps gids globally unique
+          across incarnations, so a stale [Decide] record in a
+          not-yet-reused segment can never vouch for a new prepare *)
   blocks : block_entry list;  (** allocated blocks only (dirty only in a delta) *)
   lists : list_entry list;  (** existing lists only (dirty only in a delta) *)
   dead_blocks : int list;
@@ -76,6 +81,13 @@ type snapshot = {
       (** disk segment indices in the exact order the log will use them
           next; recovery reads only these (in order) to find the log
           tail instead of scanning the whole partition *)
+  prepared : (int * int * int) list;
+      (** [(aru, gid, coordinator)] for every ARU prepared under
+          two-phase commit and not yet decided: a checkpoint may land
+          between a shard's [Prepare] record and its (lazy) [Decide], so
+          prepared status must survive the covered segments' retirement.
+          The ARU's entries stay in [pending]; recovery resolves these
+          against the coordinator shard's decisions (DESIGN.md §5.14). *)
 }
 
 val empty : snapshot

@@ -41,6 +41,8 @@ type t = {
   mutable flushes : int;
   mutable bytes_copied : int;
   mutable copy_elisions : int;
+  mutable cross_shard_commits : int;
+  mutable prepare_barriers : int;
 }
 
 (* Single source of truth for every field: name, getter, setter.  All
@@ -142,6 +144,12 @@ let fields : (string * (t -> int) * (t -> int -> unit)) list =
     ( "copy_elisions",
       (fun t -> t.copy_elisions),
       fun t v -> t.copy_elisions <- v );
+    ( "cross_shard_commits",
+      (fun t -> t.cross_shard_commits),
+      fun t v -> t.cross_shard_commits <- v );
+    ( "prepare_barriers",
+      (fun t -> t.prepare_barriers),
+      fun t v -> t.prepare_barriers <- v );
   ]
 
 let create () =
@@ -188,6 +196,8 @@ let create () =
     flushes = 0;
     bytes_copied = 0;
     copy_elisions = 0;
+    cross_shard_commits = 0;
+    prepare_barriers = 0;
   }
 
 let reset t = List.iter (fun (_, _, set) -> set t 0) fields

@@ -80,6 +80,13 @@ type t = {
   mutable copy_elisions : int;
       (** data-path operations that handed out (or took in) a {!Lld_util.Blk.t}
           view where the pre-view implementation performed a copy *)
+  mutable cross_shard_commits : int;
+      (** two-phase commits this shard coordinated (the [Decide] record
+          it wrote was a transaction's single commit point) *)
+  mutable prepare_barriers : int;
+      (** participant prepare seals (segment write + barrier) issued for
+          cross-shard transactions; with [cross_shard_commits] this
+          checks the ≤ P+1 barriers-per-cross-shard-commit budget *)
 }
 
 val fields : (string * (t -> int) * (t -> int -> unit)) list

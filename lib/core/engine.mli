@@ -37,7 +37,13 @@
     ["commit"] flow at wake) and feeds the ["aru.commit.wake"] and
     per-client ["aru.commit.latency.c<i>"] stage histograms; it also
     maintains the [commit_wakeups] and [forced_flushes] operation
-    counters (always, traced or not). *)
+    counters (always, traced or not).
+
+    The loop is a functor, {!Make}, over any {!Ld_intf.S} that also
+    exposes the group-commit introspection hooks ({!ENGINE_LD}) — the
+    sharded front-end ({!Shard}) instantiates it to multiplex clients
+    over S logical disks through one facade.  The toplevel [run] is
+    [Make(Lld)]'s, for compatibility. *)
 
 type client = Op.result option -> Op.t option
 (** One request stream.  The closure owns its state (typically the ARU
@@ -52,6 +58,31 @@ type stats = {
   max_batch : int;  (** largest single drain *)
 }
 
+module type ENGINE_LD = sig
+  include Ld_intf.S
+
+  val config : t -> Config.t
+  (** The instance's configuration; the engine reads the group-commit
+      window and mode to decide whether to translate [End_aru]. *)
+
+  val commit_due : t -> bool
+  (** Whether a queued batch's size or window close condition holds. *)
+
+  val commit_pending : t -> Types.Aru_id.t -> bool
+  (** Whether the ARU's commit intent is still queued (so its client
+      must stay parked). *)
+
+  val pending_commits : t -> int
+  (** Queued commit intents (for the exit-time leftover drain). *)
+end
+(** What the engine needs from a logical disk: the LD interface plus
+    group-commit introspection. *)
+
+module Make (Ld : ENGINE_LD) : sig
+  val run : Ld.t -> client list -> stats
+end
+
 val run : Lld.t -> client list -> stats
 (** Run the clients to completion.  The commit queue is empty when
-    [run] returns — trailing intents are force-flushed. *)
+    [run] returns — trailing intents are force-flushed.  Equivalent to
+    [Make(Lld)]'s [run]. *)

@@ -8,6 +8,18 @@ module Arena = Lld_util.Arena
 module Obs = Lld_obs.Obs
 module Tr = Lld_obs.Trace
 
+(* An ARU sitting between its [Prepare] and [Decide] records under
+   two-phase commit: the merge already ran, but the collected records
+   must stay at durable_seq = max_int (never promoted) until the
+   transaction's decision stamps them. *)
+type prepared_commit = {
+  pc_gid : int;
+  pc_coordinator : int;
+  pc_seq : int; (* seq of the segment holding the Prepare + merge *)
+  pc_blocks : Record.block list ref;
+  pc_lists : Record.list_r list ref;
+}
+
 type t = {
   config : Config.t;
   disk : Disk.t;
@@ -19,6 +31,11 @@ type t = {
   mutable committed_lists : Record.list_r option;
   arus : (int, Aru.t) Hashtbl.t;
   mutable next_aru : int;
+  mutable next_gid : int;
+  (* cross-shard transaction-id watermark (persisted in checkpoints so
+     gids stay unique across incarnations) *)
+  prepared_commits : (int, prepared_commit) Hashtbl.t;
+  (* ARUs prepared under two-phase commit and not yet decided *)
   mutable seq_aru : Aru.t option; (* sequential mode's single open ARU *)
   mutable stamp : int;
   mutable open_seg : Segment.t option;
@@ -430,12 +447,19 @@ and checkpoint_internal ?(extra_free = []) ?(force_full = false) t =
       next_seq = t.next_seq;
       stamp = t.stamp;
       next_aru = t.next_aru;
+      next_gid = t.next_gid;
       blocks = List.rev !blocks;
       lists = List.rev !lists;
       dead_blocks = List.rev !dead_blocks;
       dead_lists = List.rev !dead_lists;
       pending;
       free_order;
+      prepared =
+        List.sort
+          (fun (a, _, _) (b, _, _) -> Int.compare a b)
+          (Hashtbl.fold
+             (fun aru pc acc -> (aru, pc.pc_gid, pc.pc_coordinator) :: acc)
+             t.prepared_commits []);
     }
   in
   Checkpoint.write t.disk ~region:target snap;
@@ -483,7 +507,21 @@ and clean_internal t ~target_free =
       let n_victims = ref 0 in
       let copies = ref 0 in
       let budget = max 0 ((Queue.length t.free_segs - 1) * bps t) in
-      let is_candidate idx = t.sealed.(idx) && not t.victim_flag.(idx) in
+      (* Segments at or past the oldest prepared transaction's position
+         are pinned: a prepared ARU's merge (data slots included) is
+         sealed but NOT yet in the live index — its records sit at
+         durable_seq = max_int until the decision — so the cleaner would
+         see the segment as dead and reuse it, destroying a slice the
+         coordinator may yet commit. *)
+      let prepared_floor =
+        Hashtbl.fold
+          (fun _ pc acc -> min acc pc.pc_seq)
+          t.prepared_commits max_int
+      in
+      let is_candidate idx =
+        t.sealed.(idx) && (not t.victim_flag.(idx))
+        && t.seal_seq.(idx) < prepared_floor
+      in
       (* Victim score, higher is better.  Greedy reproduces the paper's
          least-live choice; cost-benefit is the Sprite-LFS ratio
          (1-u)*age/(1+u), preferring cold segments whose free space is
@@ -1035,6 +1073,7 @@ let finalize_recovery t (restored : Recovery.restored) =
   t.next_seq <- restored.Recovery.r_next_seq;
   t.stamp <- restored.Recovery.r_stamp;
   t.next_aru <- restored.Recovery.r_next_aru;
+  t.next_gid <- restored.Recovery.r_next_gid;
   t.ckpt_id <- report.Recovery.checkpoint_id;
   (* rebuild segment liveness from the recovered block map; seal
      sequences are unknown after a crash, so they stay 0 — recovered
@@ -1133,6 +1172,23 @@ let new_list t ?aru () =
   (match who with
   | `In a -> a.Aru.owned_lists <- r :: a.Aru.owned_lists
   | `Simple -> ());
+  (* id reuse: as for blocks below, a stale shadow version of [lid]
+     held by the allocating ARU (from an in-ARU delete of the previous
+     incarnation) would shadow the fresh committed record and make the
+     list invisible to its own creator — reset it in place *)
+  (match who with
+  | `In a when concurrent t -> (
+    let anchor = List_table.anchor t.lists lid in
+    match fst (Record.find_list ~anchor (Record.Shadow a.Aru.id)) with
+    | None -> ()
+    | Some sr ->
+      sr.Record.exists <- true;
+      sr.Record.first <- None;
+      sr.Record.last <- None;
+      sr.Record.lstamp <- stamp;
+      sr.Record.l_owner <- owner;
+      sr.Record.l_durable_seq <- max_int)
+  | `In _ | `Simple -> ());
   let seq =
     emit_entry t ~stream:Summary.Simple
       (Summary.New_list { list = lid; stamp; owner })
@@ -1175,6 +1231,28 @@ let new_block t ?aru ~list ~pred () =
   c.Record.stamp <- stamp;
   c.Record.alloc_owner <-
     (match who with `In a -> Some a.Aru.id | `Simple -> None);
+  (* id reuse: the allocator only hands out ids that are free in the
+     committed state, so a shadow version of [bid] still held by the
+     allocating ARU (left by an in-ARU delete of the previous
+     incarnation, whose committed record was later scavenged) is
+     stale.  Reset it to mirror the fresh committed record — exactly
+     what a shadow fault-in would produce — or the validated insertion
+     below resolves the dead version and skips. *)
+  (match (t.config.Config.mode, who) with
+  | Config.Concurrent, `In a -> (
+    let anchor = Block_map.anchor t.blocks bid in
+    match fst (Record.find_block ~anchor (Record.Shadow a.Aru.id)) with
+    | None -> ()
+    | Some r ->
+      drop_data t r;
+      r.Record.alloc <- c.Record.alloc;
+      r.Record.member_of <- None;
+      r.Record.successor <- None;
+      r.Record.phys <- None;
+      r.Record.stamp <- c.Record.stamp;
+      r.Record.alloc_owner <- c.Record.alloc_owner;
+      r.Record.durable_seq <- max_int)
+  | (Config.Concurrent | Config.Sequential), (`Simple | `In _) -> ());
   let seq =
     emit_entry t ~stream:Summary.Simple (Summary.Alloc { block = bid; list; stamp })
   in
@@ -1479,7 +1557,7 @@ let commit_room t (a : Aru.t) ~extra_entry_bytes =
    commit record never promotes half-committed records; the caller
    stamps the collections once the (possibly batched) commit record
    has a segment. *)
-let commit_merge t (a : Aru.t) aid =
+let commit_merge ?(cross_scope = true) t (a : Aru.t) aid =
   let collected_b = ref [] in
   let collected_l = ref [] in
   let ctx = commit_ctx t collected_b collected_l in
@@ -1513,7 +1591,7 @@ let commit_merge t (a : Aru.t) aid =
            it is more recent (paper §3.1) *)
         if cnow.Record.alloc && r.Record.stamp >= cnow.Record.stamp then begin
           let seq, phys =
-            emit_write t ~charge_copy:false ~allow_cross_scope:true
+            emit_write t ~charge_copy:false ~allow_cross_scope:cross_scope
               ~stream:(Summary.In_aru aid) ~block:r.Record.id ~data:d
               ~stamp:r.Record.stamp ()
           in
@@ -1777,6 +1855,144 @@ let flush_commits t =
     !committed
 
 (* ------------------------------------------------------------------ *)
+(* Two-phase commit across shards (DESIGN.md §5.14).  The sharded
+   front-end commits a multi-shard ARU with one [prepare_commit] per
+   non-coordinator participant (merge + Prepare record + seal — the
+   prepare barrier), then one [decide_commit] on the coordinator (merge
+   + Decide record + seal — the transaction's single commit point), then
+   lazy [commit_prepared] on each participant (Decide record, no
+   barrier: durability rides on the next natural seal, and until then
+   recovery resolves the dangling prepare against the coordinator's
+   log).  Between prepare and decide the merged records stay at
+   durable_seq = max_int, so seals and auto-checkpoints never promote a
+   half-decided transaction; checkpoints carry the prepared marks and
+   the cleaner pins the prepare segments instead. *)
+
+let note_gid t gid = if gid >= t.next_gid then t.next_gid <- gid + 1
+
+let require_commit_ready t aid =
+  if not (concurrent t) then
+    invalid_arg "Lld: two-phase commit requires concurrent mode";
+  if Hashtbl.mem t.commit_set (Types.Aru_id.to_int aid) then
+    raise (Errors.Commit_pending aid);
+  if Hashtbl.mem t.prepared_commits (Types.Aru_id.to_int aid) then
+    raise (Errors.Commit_pending aid);
+  match Hashtbl.find_opt t.arus (Types.Aru_id.to_int aid) with
+  | Some a -> a
+  | None -> raise (Errors.Unknown_aru aid)
+
+let prepare_commit t aid ~gid ~coordinator =
+  dispatch t;
+  let a = require_commit_ready t aid in
+  cpu t (cost t).Cost.aru_commit_ns;
+  note_gid t gid;
+  if not (commit_room t a ~extra_entry_bytes:0) then seal t;
+  (* [cross_scope:false]: the commit-room argument for cross-scope slot
+     coalescing — "no sealed segment carries this ARU's slot overwrites
+     without its commit record" — does not hold for a prepare, whose
+     decision record lives on the COORDINATOR's log.  If this shard's
+     merge reused the slot of a committed version and the transaction
+     were then presumed aborted, the dropped In_aru entries would leave
+     the committed Write pointing at a slot now holding the aborted
+     data.  Fresh slots keep the committed versions intact under
+     abort. *)
+  let cb, cl = commit_merge ~cross_scope:false t a aid in
+  let prepare_seq =
+    Obs.timed t.obs Tr.Aru "commit.prepare"
+      ~args:[ ("aru", Tr.I (Types.Aru_id.to_int aid)); ("gid", Tr.I gid) ]
+      (fun () ->
+        emit_entry t ~stream:Summary.Simple
+          (Summary.Prepare { aru = aid; gid; coordinator }))
+  in
+  Hashtbl.replace t.prepared_commits (Types.Aru_id.to_int aid)
+    {
+      pc_gid = gid;
+      pc_coordinator = coordinator;
+      pc_seq = prepare_seq;
+      pc_blocks = cb;
+      pc_lists = cl;
+    };
+  (* the prepare barrier: this shard's slice (and the promise to honour
+     the coordinator's decision) is durable before anyone may decide *)
+  seal t;
+  t.counters.Counters.prepare_barriers <-
+    t.counters.Counters.prepare_barriers + 1
+
+let decide_commit t aid ~gid =
+  dispatch t;
+  let a = require_commit_ready t aid in
+  cpu t (cost t).Cost.aru_commit_ns;
+  note_gid t gid;
+  if not (commit_room t a ~extra_entry_bytes:0) then seal t;
+  let cb, cl = commit_merge t a aid in
+  let commit_seq =
+    Obs.timed t.obs Tr.Aru "commit.decide"
+      ~args:[ ("aru", Tr.I (Types.Aru_id.to_int aid)); ("gid", Tr.I gid) ]
+      (fun () ->
+        emit_entry t ~stream:Summary.Simple
+          (Summary.Decide { aru = aid; gid; committed = true }))
+  in
+  commit_finish t a aid ~commit_seq cb cl;
+  (* the decision barrier: once this seal returns, the transaction is
+     committed on every shard regardless of later crashes *)
+  seal t;
+  t.counters.Counters.cross_shard_commits <-
+    t.counters.Counters.cross_shard_commits + 1
+
+let commit_prepared t aid =
+  dispatch t;
+  let key = Types.Aru_id.to_int aid in
+  match Hashtbl.find_opt t.prepared_commits key with
+  | None -> raise (Errors.Unknown_aru aid)
+  | Some pc ->
+    let a =
+      match Hashtbl.find_opt t.arus key with
+      | Some a -> a
+      | None -> raise (Errors.Unknown_aru aid)
+    in
+    Hashtbl.remove t.prepared_commits key;
+    let commit_seq =
+      emit_entry t ~stream:Summary.Simple
+        (Summary.Decide { aru = aid; gid = pc.pc_gid; committed = true })
+    in
+    commit_finish t a aid ~commit_seq pc.pc_blocks pc.pc_lists
+
+let abort_prepared t aid =
+  let key = Types.Aru_id.to_int aid in
+  match Hashtbl.find_opt t.prepared_commits key with
+  | None -> raise (Errors.Unknown_aru aid)
+  | Some pc ->
+    Hashtbl.remove t.prepared_commits key;
+    ignore
+      (emit_entry t ~stream:Summary.Simple
+         (Summary.Decide { aru = aid; gid = pc.pc_gid; committed = false }));
+    (* the merge already cloned committed records; drop them so they are
+       never stamped durable, then abort the ARU like any other *)
+    List.iter
+      (fun (r : Record.block) ->
+        let anchor = Block_map.anchor t.blocks r.Record.id in
+        Record.remove_alt_block ~anchor r)
+      !(pc.pc_blocks);
+    List.iter
+      (fun (r : Record.list_r) ->
+        let anchor = List_table.anchor t.lists r.Record.lid in
+        Record.remove_alt_list ~anchor r)
+      !(pc.pc_lists);
+    Hashtbl.remove t.pending key;
+    (match Hashtbl.find_opt t.arus key with
+    | Some a ->
+      clear_owner_marks t a aid;
+      Hashtbl.remove t.arus key
+    | None -> ());
+    t.counters.Counters.arus_aborted <- t.counters.Counters.arus_aborted + 1
+
+let prepared_arus t =
+  List.sort Int.compare
+    (Hashtbl.fold (fun aru _ acc -> aru :: acc) t.prepared_commits [])
+
+let next_gid t = t.next_gid
+
+(* ------------------------------------------------------------------ *)
 (* Observability wrappers.  Each public LD operation is timed on the
    virtual clock into an ["op.<name>"] histogram and recorded as an
    [op] trace span.  With {!Obs.null} attached (the default) a wrapper
@@ -1797,6 +2013,19 @@ let submit_commit t aid =
 
 let flush_commits t =
   Obs.timed t.obs Tr.Op "flush_commits" (fun () -> flush_commits t)
+
+let prepare_commit t aid ~gid ~coordinator =
+  Obs.timed t.obs Tr.Op "prepare_commit" (fun () ->
+      prepare_commit t aid ~gid ~coordinator)
+
+let decide_commit t aid ~gid =
+  Obs.timed t.obs Tr.Op "decide_commit" (fun () -> decide_commit t aid ~gid)
+
+let commit_prepared t aid =
+  Obs.timed t.obs Tr.Op "commit_prepared" (fun () -> commit_prepared t aid)
+
+let abort_prepared t aid =
+  Obs.timed t.obs Tr.Op "abort_prepared" (fun () -> abort_prepared t aid)
 
 let new_list t ?aru () =
   Obs.timed t.obs Tr.Op "new_list" (fun () ->
@@ -2294,7 +2523,8 @@ let set_obs t obs =
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 
-let make ~config ~disk ~blocks ~lists ~next_seq ~stamp ~next_aru ~ckpt_id =
+let make ~config ~disk ~blocks ~lists ~next_seq ~stamp ~next_aru ~next_gid
+    ~ckpt_id =
   let geom = Disk.geometry disk in
   let t =
     {
@@ -2308,6 +2538,8 @@ let make ~config ~disk ~blocks ~lists ~next_seq ~stamp ~next_aru ~ckpt_id =
       committed_lists = None;
       arus = Hashtbl.create 16;
       next_aru;
+      next_gid;
+      prepared_commits = Hashtbl.create 4;
       seq_aru = None;
       stamp;
       open_seg = None;
@@ -2366,7 +2598,7 @@ let create ?(config = Config.default) ?(obs = Obs.null) disk =
   let lists = List_table.create ~max_lists:(Disk_layout.max_lists geom) in
   let t =
     make ~config ~disk ~blocks ~lists ~next_seq:(!max_stale + 1) ~stamp:1
-      ~next_aru:1 ~ckpt_id:0
+      ~next_aru:1 ~next_gid:1 ~ckpt_id:0
   in
   (* the free queue must be populated before the first checkpoint: its
      order is what recovery follows to find the log tail *)
@@ -2380,13 +2612,13 @@ let create ?(config = Config.default) ?(obs = Obs.null) disk =
   checkpoint_internal t ~force_full:true;
   t
 
-let recover ?(config = Config.default) ?(obs = Obs.null) disk =
+let recover ?(config = Config.default) ?(obs = Obs.null) ?decisions disk =
   let obs = Obs.env_default ~clock:(Disk.clock disk) obs in
   Lld_disk.Fault.reset_after_recovery (Disk.fault disk);
   Disk.set_obs disk obs;
   let prepared =
     Recovery.prepare ~obs ~sweep:config.Config.recovery_sweep
-      ~parallel:config.Config.recovery_parallel disk
+      ~parallel:config.Config.recovery_parallel ?decisions disk
   in
   let blocks, lists = Recovery.tables prepared in
   let mirror_superblock t =
@@ -2402,7 +2634,7 @@ let recover ?(config = Config.default) ?(obs = Obs.null) disk =
     let report = Recovery.preliminary_report prepared in
     let t =
       make ~config ~disk ~blocks ~lists ~next_seq:0 ~stamp:0 ~next_aru:1
-        ~ckpt_id:report.Recovery.checkpoint_id
+        ~next_gid:1 ~ckpt_id:report.Recovery.checkpoint_id
     in
     t.warming <- Some prepared;
     set_obs t obs;
@@ -2414,6 +2646,7 @@ let recover ?(config = Config.default) ?(obs = Obs.null) disk =
     let t =
       make ~config ~disk ~blocks ~lists ~next_seq:restored.Recovery.r_next_seq
         ~stamp:restored.Recovery.r_stamp ~next_aru:restored.Recovery.r_next_aru
+        ~next_gid:restored.Recovery.r_next_gid
         ~ckpt_id:restored.Recovery.r_report.Recovery.checkpoint_id
     in
     set_obs t obs;

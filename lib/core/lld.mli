@@ -28,7 +28,8 @@ val create : ?config:Config.t -> ?obs:Lld_obs.Obs.t -> Lld_disk.Disk.t -> t
     (default {!Lld_obs.Obs.null}) is attached as by {!set_obs}. *)
 
 val recover :
-  ?config:Config.t -> ?obs:Lld_obs.Obs.t -> Lld_disk.Disk.t ->
+  ?config:Config.t -> ?obs:Lld_obs.Obs.t ->
+  ?decisions:(int -> bool option) -> Lld_disk.Disk.t ->
   t * Recovery.report
 (** Mount after a crash (or clean shutdown): restores the most recent
     persistent state, discards uncommitted ARUs, runs the consistency
@@ -106,6 +107,52 @@ val commit_pending : t -> Types.Aru_id.t -> bool
 
 val pending_commits : t -> int
 (** Commit intents currently queued. *)
+
+(** {1 Two-phase commit across shards}
+
+    The sharded front-end ({!Shard}) commits an ARU that touched
+    several shards with one {!prepare_commit} per non-coordinator
+    participant, one {!decide_commit} on the coordinator — the
+    transaction's single commit point — and one lazy {!commit_prepared}
+    per participant afterwards.  [gid] is the cross-shard transaction
+    id (unique across incarnations, see {!next_gid}); [coordinator] is
+    the coordinator's shard index, recorded in the [Prepare] record so
+    recovery knows whose log to consult (DESIGN.md §5.14).  Concurrent
+    mode only. *)
+
+val prepare_commit :
+  t -> Types.Aru_id.t -> gid:int -> coordinator:int -> unit
+(** Phase 1 on a participant: merge the ARU into the committed state,
+    write the [Prepare] record and seal (the prepare barrier).  The
+    merged records stay un-promoted until the decision.  Raises
+    [Errors.Unknown_aru] if not active, [Errors.Commit_pending] if
+    queued or already prepared. *)
+
+val decide_commit : t -> Types.Aru_id.t -> gid:int -> unit
+(** The decision on the coordinator: merge its own slice, write the
+    [Decide] record (commit) and seal.  The coordinator needs no
+    prepare — its slice commits or dies with the decision record. *)
+
+val commit_prepared : t -> Types.Aru_id.t -> unit
+(** Phase 2 on a participant: write the lazy [Decide] record and stamp
+    the prepared merge durable.  No seal — durability rides on the next
+    natural barrier; until then recovery resolves the dangling prepare
+    against the coordinator's log.  Raises [Errors.Unknown_aru] when the
+    ARU is not prepared. *)
+
+val abort_prepared : t -> Types.Aru_id.t -> unit
+(** Abort a prepared ARU (coordinator refused or died before deciding,
+    observed while still mounted): writes a [Decide] abort record,
+    withdraws the merged records and aborts the ARU.  Raises
+    [Errors.Unknown_aru] when the ARU is not prepared. *)
+
+val prepared_arus : t -> int list
+(** ARU ids currently sitting between [Prepare] and [Decide],
+    ascending. *)
+
+val next_gid : t -> int
+(** The cross-shard transaction-id watermark (persisted in checkpoints,
+    restored past every gid seen in the log). *)
 
 val with_aru : t -> (Types.Aru_id.t -> 'a) -> 'a
 (** [with_aru t f] brackets [f] in an ARU: commits on normal return,

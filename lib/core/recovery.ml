@@ -24,6 +24,8 @@ type report = {
   blocks_scavenged : int;
   lists_scavenged : int;
   disk_reads : int;
+  prepares_committed : int;
+  prepares_aborted : int;
 }
 
 let pp_report ppf r =
@@ -33,12 +35,14 @@ let pp_report ppf r =
      replay: %d groups%s@,\
      entries applied %d (skipped %d)@,\
      ARUs: %d committed, %d discarded (%d entries)@,\
+     prepares: %d committed, %d aborted@,\
      blocks scavenged %d@]"
     r.checkpoint_id r.covered_seq r.segments_replayed r.segments_skipped
     r.invalid_segments r.disk_reads r.replay_groups
     (if r.parallel_replay then " (parallel)" else "")
     r.entries_applied r.replay_skips r.arus_committed r.arus_discarded
-    r.entries_discarded (r.blocks_scavenged + r.lists_scavenged)
+    r.entries_discarded r.prepares_committed r.prepares_aborted
+    (r.blocks_scavenged + r.lists_scavenged)
 
 type restored = {
   r_blocks : Block_map.t;
@@ -46,6 +50,7 @@ type restored = {
   r_next_seq : int;
   r_stamp : int;
   r_next_aru : int;
+  r_next_gid : int;
   r_report : report;
 }
 
@@ -60,11 +65,13 @@ type gstate = {
   g_lists : List_table.t;  (* shared; all anchors pre-created *)
   g_buffers : (int, Checkpoint.pending_entry list) Hashtbl.t; (* reverse order *)
   g_committed : (int, unit) Hashtbl.t;
+  g_prepared : (int, int * int) Hashtbl.t; (* aru -> (gid, coordinator) *)
   mutable g_applied : int;
   mutable g_skips : int;
   mutable g_ncommitted : int;
   mutable g_max_stamp : int;
   mutable g_max_aru : int;
+  mutable g_max_gid : int; (* 1 + highest 2PC transaction id seen *)
 }
 
 type group = {
@@ -83,6 +90,7 @@ let persistent_ctx st =
   }
 
 let note_stamp st stamp = if stamp > st.g_max_stamp then st.g_max_stamp <- stamp
+let note_gid st gid = if gid >= st.g_max_gid then st.g_max_gid <- gid + 1
 
 let count_outcome st = function
   | `Applied -> st.g_applied <- st.g_applied + 1
@@ -147,6 +155,21 @@ let rec apply_op st ~seg op =
     (* a batched commit record: one Commit per contained ARU, in list
        order — each ARU's buffered entries take effect independently *)
     List.iter (commit_aru st) arus
+  | Summary.Prepare { aru; gid; coordinator } ->
+    (* the ARU's buffered entries stay buffered: prepared is not
+       committed.  The mark survives so [finish] can consult the
+       coordinator's decision if no [Decide] follows in this log. *)
+    note_gid st gid;
+    Hashtbl.replace st.g_prepared (Types.Aru_id.to_int aru) (gid, coordinator);
+    st.g_applied <- st.g_applied + 1
+  | Summary.Decide { aru; gid; committed } ->
+    note_gid st gid;
+    Hashtbl.remove st.g_prepared (Types.Aru_id.to_int aru);
+    if committed then commit_aru st aru
+    else begin
+      Hashtbl.remove st.g_buffers (Types.Aru_id.to_int aru);
+      st.g_applied <- st.g_applied + 1
+    end
 
 and commit_aru st aru =
   let key = Types.Aru_id.to_int aru in
@@ -293,7 +316,9 @@ let op_nodes p = function
     | Some a -> [ node p (Naru (Types.Aru_id.to_int a)) ])
   | Summary.Delete_list { list } ->
     [ node p (Nlist (Types.List_id.to_int list)) ]
-  | Summary.Commit { aru } -> [ node p (Naru (Types.Aru_id.to_int aru)) ]
+  | Summary.Commit { aru } | Summary.Prepare { aru; _ } | Summary.Decide { aru; _ }
+    ->
+    [ node p (Naru (Types.Aru_id.to_int aru)) ]
   | Summary.Commit_group { arus } ->
     List.map (fun a -> node p (Naru (Types.Aru_id.to_int a))) arus
 
@@ -311,6 +336,9 @@ type pending = {
   p_obs : Obs.t;
   p_sweep : bool;
   p_parallel : bool;
+  p_decisions : int -> bool option;
+      (* cross-shard decision lookup for dangling prepares (gid ->
+         verdict); [None] everywhere for a standalone disk *)
   p_blocks : Block_map.t;
   p_lists : List_table.t;
   p_snap : Checkpoint.snapshot;  (* effective snapshot restored *)
@@ -422,7 +450,8 @@ let read_best_safe disk =
     ~region0:(read_region_safe disk ~region:0)
     ~region1:(read_region_safe disk ~region:1)
 
-let prepare ?(obs = Obs.null) ?(sweep = true) ?(parallel = true) disk =
+let prepare ?(obs = Obs.null) ?(sweep = true) ?(parallel = true)
+    ?(decisions = fun _ -> None) disk =
   let geom = Disk.geometry disk in
   (* Generational superblock gate: a formatted disk always carries at
      least one valid slot.  Both slots invalid while a checkpoint still
@@ -636,17 +665,25 @@ let prepare ?(obs = Obs.null) ?(sweep = true) ?(parallel = true) disk =
     List.iter
       (fun (aru, _) -> ignore (bucket_index (Uf.find p.uf (node p (Naru aru)))))
       snap.Checkpoint.pending;
+    (* same for prepared ARUs: a prepared transaction may have an empty
+       buffer (its merge emitted nothing) yet still needs resolution *)
+    List.iter
+      (fun (aru, _, _) ->
+        ignore (bucket_index (Uf.find p.uf (node p (Naru aru)))))
+      snap.Checkpoint.prepared;
     let mk_state () =
       {
         g_blocks = blocks;
         g_lists = lists;
         g_buffers = Hashtbl.create 4;
         g_committed = Hashtbl.create 4;
+        g_prepared = Hashtbl.create 4;
         g_applied = 0;
         g_skips = 0;
         g_ncommitted = 0;
         g_max_stamp = 0;
         g_max_aru = 0;
+        g_max_gid = 1;
       }
     in
     let groups =
@@ -664,6 +701,17 @@ let prepare ?(obs = Obs.null) ?(sweep = true) ?(parallel = true) disk =
         let g = groups.(Hashtbl.find group_of_root root) in
         Hashtbl.replace g.gr_state.g_buffers aru (List.rev pes))
       snap.Checkpoint.pending;
+    (* seed prepared marks carried across the checkpoint: the Prepare
+       record's segment may be covered (retired), so the mark would
+       otherwise not be replayed.  A later Decide in the tail clears or
+       commits it as usual. *)
+    List.iter
+      (fun (aru, gid, coordinator) ->
+        let root = Uf.find p.uf (node p (Naru aru)) in
+        let g = groups.(Hashtbl.find group_of_root root) in
+        Hashtbl.replace g.gr_state.g_prepared aru (gid, coordinator);
+        if gid >= g.gr_state.g_max_gid then g.gr_state.g_max_gid <- gid + 1)
+      snap.Checkpoint.prepared;
     (* every list named anywhere gets its anchor created now, on this
        thread: List_table.anchor allocates lazily and is not safe to
        call concurrently from domains *)
@@ -679,6 +727,7 @@ let prepare ?(obs = Obs.null) ?(sweep = true) ?(parallel = true) disk =
     p_obs = obs;
     p_sweep = sweep;
     p_parallel = parallel;
+    p_decisions = decisions;
     p_blocks = blocks;
     p_lists = lists;
     p_snap = snap;
@@ -718,6 +767,8 @@ let base_report p =
     blocks_scavenged = 0;
     lists_scavenged = 0;
     disk_reads = p.p_disk_reads;
+    prepares_committed = 0;
+    prepares_aborted = 0;
   }
 
 let preliminary_report = base_report
@@ -778,12 +829,38 @@ let finish p =
   | Some r -> r
   | None ->
     Obs.timed p.p_obs Tr.Recovery "apply" (fun () -> apply_remaining p);
+    (* resolve dangling prepares: an ARU whose Prepare record survives
+       with no Decide commits iff the coordinator shard logged a commit
+       decision for its transaction — otherwise presumed abort (the
+       buffered entries then fall through to the dangling-ARU discard
+       below).  Sorted by ARU id for deterministic tallies. *)
+    let resolved_commit = ref 0 and resolved_abort = ref 0 in
+    (Obs.timed p.p_obs Tr.Recovery "resolve_prepared" @@ fun () ->
+     let dangling = ref [] in
+     Array.iter
+       (fun g ->
+         Hashtbl.iter
+           (fun aru (gid, _coord) -> dangling := (aru, gid, g.gr_state) :: !dangling)
+           g.gr_state.g_prepared)
+       p.p_groups;
+     List.iter
+       (fun (aru, gid, st) ->
+         Hashtbl.remove st.g_prepared aru;
+         match p.p_decisions gid with
+         | Some true ->
+           commit_aru st (Types.Aru_id.of_int aru);
+           incr resolved_commit
+         | Some false | None -> incr resolved_abort)
+       (List.sort
+          (fun (a, _, _) (b, _, _) -> Int.compare a b)
+          !dangling));
     (* merge the per-group tallies, in group order (deterministic) *)
     let applied = ref 0
     and skips = ref 0
     and committed = ref 0
     and max_stamp = ref p.p_snap.Checkpoint.stamp
     and max_aru = ref p.p_snap.Checkpoint.next_aru
+    and max_gid = ref p.p_snap.Checkpoint.next_gid
     and discarded_arus = ref 0
     and discarded_entries = ref 0 in
     let merged_committed = Hashtbl.create 16 in
@@ -795,6 +872,7 @@ let finish p =
         committed := !committed + st.g_ncommitted;
         if st.g_max_stamp > !max_stamp then max_stamp := st.g_max_stamp;
         if st.g_max_aru > !max_aru then max_aru := st.g_max_aru;
+        if st.g_max_gid > !max_gid then max_gid := st.g_max_gid;
         Hashtbl.iter (fun k () -> Hashtbl.replace merged_committed k ()) st.g_committed;
         Hashtbl.iter
           (fun _ entries ->
@@ -837,6 +915,8 @@ let finish p =
         replay_skips = !skips;
         blocks_scavenged = p.p_blocks_scavenged;
         lists_scavenged = p.p_lists_scavenged;
+        prepares_committed = !resolved_commit;
+        prepares_aborted = !resolved_abort;
       }
     in
     let restored =
@@ -846,10 +926,49 @@ let finish p =
         r_next_seq = p.p_next_seq;
         r_stamp = !max_stamp + 1;
         r_next_aru = !max_aru;
+        r_next_gid = !max_gid;
         r_report = report;
       }
     in
     p.p_finished <- Some restored;
     restored
 
-let run ?obs ?sweep ?parallel disk = finish (prepare ?obs ?sweep ?parallel disk)
+let run ?obs ?sweep ?parallel ?decisions disk =
+  finish (prepare ?obs ?sweep ?parallel ?decisions disk)
+
+(* Raw decision scan used by the sharded front-end at mount: collect the
+   verdict of every [Decide] record still present in a shard's log,
+   regardless of checkpoint coverage.  Sound for resolving a peer's
+   dangling prepare because the coordinator's decision segment cannot
+   have been cleaned before every participant made its own (lazy)
+   [Decide] durable — once it has, the participant no longer consults
+   the coordinator.  Also returns the gid watermark so a remount never
+   reuses a transaction id that a stale record could vouch for. *)
+let scan_decisions disk =
+  let geom = Disk.geometry disk in
+  let decisions = Hashtbl.create 8 in
+  let max_gid = ref 1 in
+  let note gid = if gid >= !max_gid then max_gid := gid + 1 in
+  for i = Disk_layout.log_first geom to geom.Geometry.num_segments - 1 do
+    match
+      Disk.read_view disk
+        ~offset:(Geometry.segment_offset geom i)
+        ~length:geom.Geometry.segment_bytes
+    with
+    | exception Fault.Media_error _ -> ()
+    | image -> (
+      match Segment.parse geom image with
+      | None -> ()
+      | Some p ->
+        List.iter
+          (fun (e : Summary.t) ->
+            match e.Summary.op with
+            | Summary.Decide { gid; committed; _ } ->
+              note gid;
+              if committed || not (Hashtbl.mem decisions gid) then
+                Hashtbl.replace decisions gid committed
+            | Summary.Prepare { gid; _ } -> note gid
+            | _ -> ())
+          p.Segment.p_entries)
+  done;
+  (decisions, !max_gid)

@@ -72,6 +72,13 @@ type report = {
           runs of the checkpoint's free order are fetched in one batched
           read each, so this is at most — and for a contiguous tail far
           below — [segments_replayed + 1] *)
+  prepares_committed : int;
+      (** dangling two-phase-commit prepares resolved as committed via
+          the [decisions] lookup (a participant crash after the
+          coordinator's decision but before the lazy [Decide]) *)
+  prepares_aborted : int;
+      (** dangling prepares resolved as aborted — no reachable commit
+          decision, so presumed abort (DESIGN.md §5.14) *)
 }
 
 val pp_report : Format.formatter -> report -> unit
@@ -82,6 +89,9 @@ type restored = {
   r_next_seq : int;  (** sequence number for the next segment *)
   r_stamp : int;  (** operation timestamp to resume from *)
   r_next_aru : int;
+  r_next_gid : int;
+      (** cross-shard transaction-id watermark: max of the checkpoint's
+          [next_gid] and every gid seen in the replayed tail, plus one *)
   r_report : report;
 }
 
@@ -91,6 +101,7 @@ type pending
 
 val prepare :
   ?obs:Lld_obs.Obs.t -> ?sweep:bool -> ?parallel:bool ->
+  ?decisions:(int -> bool option) ->
   Lld_disk.Disk.t -> pending
 (** Phases 1–3 (restore, tail scan, partition).  This is the only part
     of recovery that reads the disk; its virtual-clock cost is identical
@@ -101,10 +112,15 @@ val prepare :
     formatted image whose generation pointers (or both checkpoint
     generations) were destroyed.  [sweep] (default [true])
     enables the consistency sweep; see {!Config.t.recovery_sweep} for
-    the test-only reason to disable it.  [obs] (default
-    {!Lld_obs.Obs.null}) records the [recovery] phase spans —
-    [checkpoint_restore], [replay], [partition], [apply], [sweep] — and
-    their latency histograms. *)
+    the test-only reason to disable it.  [decisions] resolves an ARU
+    left {e prepared} under two-phase commit with no [Decide] record in
+    this log: [Some true] commits it, anything else aborts it (presumed
+    abort).  The sharded front-end passes the union of every shard's
+    {!scan_decisions}; the default resolves nothing, which is correct
+    for a standalone disk.  [obs] (default {!Lld_obs.Obs.null}) records
+    the [recovery] phase spans — [checkpoint_restore], [replay],
+    [partition], [apply], [resolve_prepared], [sweep] — and their
+    latency histograms. *)
 
 val touch_block : pending -> Types.Block_id.t -> unit
 (** Recover one logical block on demand: apply the replay group that
@@ -138,5 +154,17 @@ val finish : pending -> restored
 
 val run :
   ?obs:Lld_obs.Obs.t -> ?sweep:bool -> ?parallel:bool ->
+  ?decisions:(int -> bool option) ->
   Lld_disk.Disk.t -> restored
 (** [finish (prepare disk)] — eager recovery. *)
+
+val scan_decisions : Lld_disk.Disk.t -> (int, bool) Hashtbl.t * int
+(** Raw scan of every parseable log segment for two-phase-commit
+    [Decide] records, regardless of checkpoint coverage: gid -> verdict,
+    plus the gid watermark (1 + highest gid seen in any [Prepare] or
+    [Decide]).  The sharded front-end runs this over {e all} shards at
+    mount and feeds the union to {!prepare}'s [decisions]; the watermark
+    keeps transaction ids unique across incarnations.  Media errors on
+    individual segments are tolerated (the segment contributes
+    nothing — a torn decision is indistinguishable from an unwritten
+    one, and presumed abort makes that safe). *)

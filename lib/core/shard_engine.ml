@@ -1,0 +1,1 @@
+include Engine.Make (Shard)

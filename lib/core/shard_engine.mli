@@ -1,0 +1,7 @@
+(** {!Engine} instantiated over the sharded facade: the same
+    deterministic N-client event loop, multiplexed over S shards
+    through {!Shard}.  Single-shard ARUs park in their shard's
+    group-commit queue; cross-shard ARUs commit synchronously at
+    submission and their clients wake at the next drain poll. *)
+
+val run : Shard.t -> Engine.client list -> Engine.stats

@@ -17,6 +17,8 @@ type op =
   | Dealloc of { block : Types.Block_id.t; stamp : int }
   | Commit of { aru : Types.Aru_id.t }
   | Commit_group of { arus : Types.Aru_id.t list }
+  | Prepare of { aru : Types.Aru_id.t; gid : int; coordinator : int }
+  | Decide of { aru : Types.Aru_id.t; gid : int; committed : bool }
 
 type t = { stream : stream; op : op }
 
@@ -37,6 +39,8 @@ let op_size = function
   | Dealloc _ -> 1 + 4 + 8
   | Commit _ -> 1 + 4
   | Commit_group { arus } -> 1 + 2 + (4 * List.length arus)
+  | Prepare _ -> 1 + 4 + 8 + 2
+  | Decide _ -> 1 + 4 + 8 + 1
 
 let encoded_size t = stream_size t.stream + op_size t.op
 
@@ -94,6 +98,16 @@ let encode w t =
     W.u8 w 9;
     W.u16 w (List.length arus);
     List.iter (fun a -> W.u32 w (Types.Aru_id.to_int a)) arus
+  | Prepare { aru; gid; coordinator } ->
+    W.u8 w 10;
+    W.u32 w (Types.Aru_id.to_int aru);
+    W.u64 w (Int64.of_int gid);
+    W.u16 w coordinator
+  | Decide { aru; gid; committed } ->
+    W.u8 w 11;
+    W.u32 w (Types.Aru_id.to_int aru);
+    W.u64 w (Int64.of_int gid);
+    W.u8 w (if committed then 1 else 0)
 
 let decode r =
   let module R = Codec.Reader in
@@ -145,6 +159,17 @@ let decode r =
       let n = R.u16 r in
       let arus = List.init n (fun _ -> Types.Aru_id.of_int (R.u32 r)) in
       Commit_group { arus }
+    | 10 ->
+      let aru = Types.Aru_id.of_int (R.u32 r) in
+      let gid = stamp () in
+      Prepare { aru; gid; coordinator = R.u16 r }
+    | 11 -> (
+      let aru = Types.Aru_id.of_int (R.u32 r) in
+      let gid = stamp () in
+      match R.u8 r with
+      | 0 -> Decide { aru; gid; committed = false }
+      | 1 -> Decide { aru; gid; committed = true }
+      | n -> raise (Errors.Corrupt (Printf.sprintf "decide verdict tag %d" n)))
     | n -> raise (Errors.Corrupt (Printf.sprintf "summary op tag %d" n))
   in
   { stream; op }
@@ -182,6 +207,12 @@ let pp_op ppf = function
          ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
          Types.Aru_id.pp)
       arus
+  | Prepare { aru; gid; coordinator } ->
+    Format.fprintf ppf "prepare %a gid %d coord s%d" Types.Aru_id.pp aru gid
+      coordinator
+  | Decide { aru; gid; committed } ->
+    Format.fprintf ppf "decide %a gid %d %s" Types.Aru_id.pp aru gid
+      (if committed then "commit" else "abort")
 
 let pp ppf t =
   match t.stream with

@@ -54,6 +54,20 @@ type op =
           all-or-nothing as a unit — every contained ARU either has its
           buffered [In_aru] entries applied or none do, and each ARU
           individually remains failure-atomic *)
+  | Prepare of { aru : Types.Aru_id.t; gid : int; coordinator : int }
+      (** two-phase-commit prepare record (DESIGN.md §5.14): this
+          shard's slice of cross-shard transaction [gid] is complete and
+          durable up to here, but takes effect only when a [Decide]
+          record with [committed = true] for [gid] exists — on this
+          shard, or on shard [coordinator].  A prepare with no
+          reachable decision resolves as aborted (presumed abort). *)
+  | Decide of { aru : Types.Aru_id.t; gid : int; committed : bool }
+      (** two-phase-commit decision record: transaction [gid]'s buffered
+          [In_aru] entries (terminated by the [Prepare] record) take
+          effect iff [committed].  Written eagerly on the coordinator
+          shard — the transaction's single commit point — and lazily on
+          participants to spare future recoveries the cross-shard
+          lookup. *)
 
 type t = { stream : stream; op : op }
 

@@ -6,6 +6,7 @@ module Disk = Lld_disk.Disk
 module Fault = Lld_disk.Fault
 module Config = Lld_core.Config
 module Lld = Lld_core.Lld
+module Shard = Lld_core.Shard
 module Types = Lld_core.Types
 module Layout = Lld_minixfs.Layout
 module Fs = Lld_minixfs.Fs
@@ -479,63 +480,103 @@ let enumerate ?granularity t = Raw.enumerate ?granularity (raw_of_trace t)
    idempotency check, so it must be a plain value. *)
 type status = Present | Empty | Absent | Violated
 
-let judge_blocks lld (u : Oracle.block_unit) =
-  let lists_exist = List.map (fun l -> Lld.list_exists lld l) u.Oracle.bu_lists in
-  let block_states =
-    List.map
-      (fun (b, data) ->
-        if not (Lld.block_allocated lld b) then `Absent
-        else if Bytes.equal (Lld.read lld b) data then `Match
-        else `Mismatch)
-      u.Oracle.bu_blocks
-  in
-  let all p l = List.for_all p l in
-  if all (( = ) `Match) block_states && all Fun.id lists_exist then
-    if u.Oracle.bu_must_not_commit then
+(* The block-unit judge is a functor over the LD signature so the flat
+   checker ({!Lld}) and the sharded checker ({!Lld_core.Shard}) apply
+   the identical all-or-nothing verdict — for a cross-shard ARU "all"
+   spans every participant shard, which is exactly the 2PC claim. *)
+module Judge (Ld : Lld_core.Ld_intf.S) = struct
+  let blocks ld (u : Oracle.block_unit) =
+    let lists_exist = List.map (fun l -> Ld.list_exists ld l) u.Oracle.bu_lists in
+    let block_states =
+      List.map
+        (fun (b, data) ->
+          if not (Ld.block_allocated ld b) then `Absent
+          else if Bytes.equal (Ld.read ld b) data then `Match
+          else `Mismatch)
+        u.Oracle.bu_blocks
+    in
+    (* Overwrite targets preexist the unit.  Committed ⇒ every target
+       holds the new version; not committed ⇒ every target holds the
+       old version (an aborted — or presumed-aborted — merge must not
+       have clobbered the committed version's log slot), or is gone
+       entirely because the crash point predates the target's own
+       durability.  Any other content is torn. *)
+    let over_states =
+      List.map
+        (fun (b, old_data, new_data) ->
+          if not (Ld.block_allocated ld b) then `Gone
+          else
+            let got = Ld.read ld b in
+            if Bytes.equal got new_data then `New
+            else if Bytes.equal got old_data then `Old
+            else `Bad)
+        u.Oracle.bu_overwrites
+    in
+    let all p l = List.for_all p l in
+    if
+      all (( = ) `Match) block_states
+      && all Fun.id lists_exist
+      && all (( = ) `New) over_states
+    then
+      if u.Oracle.bu_must_not_commit then
+        ( Violated,
+          [
+            Printf.sprintf
+              "unit %s: ARU without a commit record surfaced as committed"
+              u.Oracle.bu_label;
+          ] )
+      else begin
+        (* fully present: the blocks must also sit on the unit's list in
+           registration order *)
+        match u.Oracle.bu_lists with
+        | [ l ] ->
+          let expect = List.map fst u.Oracle.bu_blocks in
+          let got = Ld.list_blocks ld l in
+          if List.equal Types.Block_id.equal expect got then (Present, [])
+          else
+            ( Violated,
+              [
+                Printf.sprintf "unit %s: committed but list %d holds %s"
+                  u.Oracle.bu_label
+                  (Types.List_id.to_int l)
+                  (String.concat ","
+                     (List.map
+                        (fun b -> string_of_int (Types.Block_id.to_int b))
+                        got));
+              ] )
+        | _ -> (Present, [])
+      end
+    else if
+      all (( = ) `Absent) block_states
+      && all not lists_exist
+      && all (fun s -> s = `Old || s = `Gone) over_states
+    then (Absent, [])
+    else
       ( Violated,
         [
           Printf.sprintf
-            "unit %s: ARU without a commit record surfaced as committed"
-            u.Oracle.bu_label;
+            "unit %s: partially recovered (blocks: %s; lists: %s; \
+             overwrites: %s) — ARU not all-or-nothing"
+            u.Oracle.bu_label
+            (String.concat ","
+               (List.map
+                  (function
+                    | `Match -> "ok" | `Absent -> "gone" | `Mismatch -> "BAD")
+                  block_states))
+            (String.concat ","
+               (List.map (fun e -> if e then "ok" else "gone") lists_exist))
+            (String.concat ","
+               (List.map
+                  (function
+                    | `New -> "new" | `Old -> "old" | `Gone -> "GONE"
+                    | `Bad -> "BAD")
+                  over_states));
         ] )
-    else begin
-      (* fully present: the blocks must also sit on the unit's list in
-         registration order *)
-      match u.Oracle.bu_lists with
-      | [ l ] ->
-        let expect = List.map fst u.Oracle.bu_blocks in
-        let got = Lld.list_blocks lld l in
-        if List.equal Types.Block_id.equal expect got then (Present, [])
-        else
-          ( Violated,
-            [
-              Printf.sprintf "unit %s: committed but list %d holds %s"
-                u.Oracle.bu_label
-                (Types.List_id.to_int l)
-                (String.concat ","
-                   (List.map
-                      (fun b -> string_of_int (Types.Block_id.to_int b))
-                      got));
-            ] )
-      | _ -> (Present, [])
-    end
-  else if all (( = ) `Absent) block_states && all not lists_exist then
-    (Absent, [])
-  else
-    ( Violated,
-      [
-        Printf.sprintf
-          "unit %s: partially recovered (blocks: %s; lists: %s) — ARU not \
-           all-or-nothing"
-          u.Oracle.bu_label
-          (String.concat ","
-             (List.map
-                (function
-                  | `Match -> "ok" | `Absent -> "gone" | `Mismatch -> "BAD")
-                block_states))
-          (String.concat ","
-             (List.map (fun e -> if e then "ok" else "gone") lists_exist));
-      ] )
+end
+
+module Lld_judge = Judge (Lld)
+
+let judge_blocks = Lld_judge.blocks
 
 let judge_file fs (u : Oracle.file_unit) =
   let len = Bytes.length u.Oracle.fu_content in
@@ -1356,6 +1397,408 @@ let corruption_check ?backend spec =
     c_lost = !lost;
     c_superblock_repaired = !sb_repaired;
     c_problems = !problems;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sharded crash-point checking: cross-shard ARUs under two-phase
+   commit (DESIGN.md §5.14).  S disks, one virtual clock, one
+   interleaved global write trace — the facade is single-threaded, so
+   the order the per-disk observers fire in IS the global persistence
+   order, and a crash point is a prefix of that order: the shards'
+   media freeze together, exactly the whole-machine power-loss the 2PC
+   protocol must survive.  Prepare and Decide seals are ordinary traced
+   writes, so the enumeration lands complete AND torn crash points
+   between prepare and decision and inside each. *)
+
+module Shard_judge = Judge (Shard)
+
+type sharded_spec = {
+  ss_name : string;
+  ss_geom : Geometry.t;
+  ss_config : Config.t;
+  ss_shards : int;
+  ss_run : Shard.t -> Oracle.t -> unit;
+}
+
+type sharded_trace = {
+  st_spec : sharded_spec;
+  st_bases : bytes array;  (* per-shard image after format *)
+  st_writes : (int * int * bytes) array;
+      (* (shard, offset, data) in global write order *)
+  st_oracle : Oracle.t;
+}
+
+(* The cross-shard workload.  Per shard: an "anchor" unit (own list,
+   never touched again — keeps the strict list-order check alive) and a
+   "rail" unit whose committed list later cross-shard ARUs append to —
+   appending to a pre-placed rail pins each 2PC's participant set by
+   construction instead of leaning on list placement.  Then:
+   X0 spans rails 0,1 (committed, followed by a flush so its lazy
+   Decide is durable); X1 spans rails 1,2 (committed, NO flush — the
+   participant's Decide stays buffered, so crash points cover the
+   decided-but-unpropagated window the recovery decision scan must
+   close); X2 spans all three rails (P = 3: two prepares, one
+   decision); and U appends to rails 0 and 2, is flushed but never
+   committed — no crash image may surface it, even though every data
+   block is durable on two shards.  Every cross-shard ARU additionally
+   OVERWRITES one preexisting durably-committed target block per
+   participant shard: a crash between a participant's prepare and the
+   coordinator's decision presumed-aborts the transaction, and the
+   target must then read back its old committed bytes — the prepare
+   merge wrote the shadow data into the participant's log, so this is
+   what catches a merge that reuses the committed version's slot. *)
+let cross_shard_spec ?(shards = 3) () =
+  if shards < 2 then
+    invalid_arg "Crashcheck.cross_shard_spec: needs at least 2 shards";
+  {
+    ss_name = "cross-shard";
+    ss_geom = checker_geom;
+    ss_config = Config.default;
+    ss_shards = shards;
+    ss_run =
+      (fun t oracle ->
+        let block_bytes = Shard.block_bytes t in
+        let payload u s =
+          let b = Bytes.make block_bytes '\000' in
+          let tag = Printf.sprintf "xshard-%d-%d:" u s in
+          Bytes.blit_string tag 0 b 0 (String.length tag);
+          for i = String.length tag to block_bytes - 1 do
+            Bytes.set b i (Char.chr ((u * 173 + s * 31 + i) land 0xff))
+          done;
+          b
+        in
+        let unit_no = ref 0 in
+        (* one committed single-shard unit; returns its list and block *)
+        let seed () =
+          let u = !unit_no in
+          incr unit_no;
+          let a = Shard.begin_aru t in
+          let l = Shard.new_list t ~aru:a () in
+          let b = Shard.new_block t ~aru:a ~list:l ~pred:Summary.Head () in
+          let data = payload u 0 in
+          Shard.write t ~aru:a b data;
+          Shard.end_aru t a;
+          (u, l, b, data)
+        in
+        (* anchors: full list-order oracle units, never appended to *)
+        for _ = 1 to shards do
+          let u, l, b, data = seed () in
+          Oracle.add_blocks oracle
+            ~label:(Printf.sprintf "anchor-%d" u)
+            ~must_not_commit:false ~lists:[ l ]
+            [ (b, data) ]
+        done;
+        (* rails: one committed list per shard, indexed by actual shard *)
+        let rails = Array.make shards None in
+        for _ = 1 to shards do
+          let u, l, b, data = seed () in
+          let s = Shard.list_shard ~shards (Types.List_id.to_int l) in
+          if rails.(s) <> None then
+            failwith "cross-shard spec: rail placement did not spread";
+          rails.(s) <- Some (l, b);
+          Oracle.add_blocks oracle
+            ~label:(Printf.sprintf "rail-%d" u)
+            ~must_not_commit:false ~lists:[]
+            [ (b, data) ]
+        done;
+        let rails =
+          Array.map
+            (function
+              | Some r -> ref r
+              | None -> failwith "cross-shard spec: shard without a rail")
+            rails
+        in
+        (* targets: preexisting committed single-shard blocks the
+           cross-shard ARUs overwrite.  A presumed-aborted 2PC must
+           leave each target's committed version byte-intact: the
+           prepare merges the shadow data into the participant's log,
+           but the decision lives on the coordinator, so the merge may
+           never reuse a committed version's slot (the cross-scope
+           coalescing hazard).  Each round is seeded IMMEDIATELY before
+           its cross ARU — no flush in between — so the target's
+           committed slot still sits in the open segment the prepare
+           merge writes into, which is exactly when slot coalescing
+           could strike.  Targets are not their own oracle units (their
+           content legitimately changes when the overwriting ARU
+           commits); the overwrite triples carry the expectation, and
+           the judge accepts a target absent wholesale at crash points
+           predating its own durability. *)
+        let targets = Array.init shards (fun _ -> Queue.create ()) in
+        let seed_targets () =
+          let seen = Array.make shards false in
+          for _ = 1 to shards do
+            let _, _, b, data = seed () in
+            let s = Shard.block_shard ~shards (Types.Block_id.to_int b) in
+            if seen.(s) then
+              failwith "cross-shard spec: target placement did not spread";
+            seen.(s) <- true;
+            Queue.push (b, data) targets.(s)
+          done
+        in
+        let append a u s j =
+          let l, tail = !(rails.(s)) in
+          let b =
+            Shard.new_block t ~aru:a ~list:l ~pred:(Summary.After tail) ()
+          in
+          let data = payload u (j + 1) in
+          Shard.write t ~aru:a b data;
+          rails.(s) := (l, b);
+          (b, data)
+        in
+        let overwrite a u s j =
+          let b, old_data = Queue.pop targets.(s) in
+          let new_data = payload u (j + 1 + shards) in
+          Shard.write t ~aru:a b new_data;
+          (b, old_data, new_data)
+        in
+        let cross ~label ~must_not_commit shard_set =
+          (* fresh targets per cross ARU, seeded in the current open
+             segment; one round per repeat of a shard in the set (with
+             two shards, x12's set degenerates to [1; 1]) *)
+          Array.iter Queue.clear targets;
+          let need = Array.make shards 0 in
+          List.iter (fun s -> need.(s) <- need.(s) + 1) shard_set;
+          for _ = 1 to Array.fold_left max 1 need do
+            seed_targets ()
+          done;
+          let u = !unit_no in
+          incr unit_no;
+          let a = Shard.begin_aru t in
+          let blocks = List.mapi (fun j s -> append a u s j) shard_set in
+          let overwrites = List.mapi (fun j s -> overwrite a u s j) shard_set in
+          if not must_not_commit then Shard.end_aru t a;
+          Oracle.add_blocks oracle
+            ~label:(Printf.sprintf "%s-%d" label u)
+            ~must_not_commit ~overwrites ~lists:[] blocks
+        in
+        cross ~label:"x01" ~must_not_commit:false [ 0; 1 ];
+        Shard.flush t;
+        (* committed, but its participant Decide rides the NEXT barrier:
+           crash points from here cover the unpropagated-decision window *)
+        cross ~label:"x12" ~must_not_commit:false [ 1; shards - 1 ];
+        if shards >= 3 then
+          cross ~label:"xall" ~must_not_commit:false
+            (List.init shards Fun.id);
+        (* durable on two shards, never committed *)
+        cross ~label:"undecided" ~must_not_commit:true [ 0; shards - 1 ];
+        Shard.flush t);
+  }
+
+let record_sharded spec =
+  let clock = Clock.create () in
+  let disks =
+    Array.init spec.ss_shards (fun _ ->
+        Disk.create
+          ~backend:(default_backend spec.ss_geom None)
+          ~clock spec.ss_geom)
+  in
+  let t = Shard.create ~config:spec.ss_config disks in
+  Shard.flush t;
+  let bases = Array.map Disk.snapshot disks in
+  let writes = ref [] in
+  Array.iteri
+    (fun s disk ->
+      Disk.set_observer disk
+        (Some
+           (fun ~index:_ ~offset ~data ->
+             writes := (s, offset, Blk.to_bytes data) :: !writes)))
+    disks;
+  let oracle = Oracle.create () in
+  spec.ss_run t oracle;
+  Array.iter (fun disk -> Disk.set_observer disk None) disks;
+  Array.iter Disk.close disks;
+  {
+    st_spec = spec;
+    st_bases = bases;
+    st_writes = Array.of_list (List.rev !writes);
+    st_oracle = oracle;
+  }
+
+let sharded_trace_writes t = Array.length t.st_writes
+let sharded_trace_oracle_units t = Oracle.size t.st_oracle
+
+(* Enumeration and sampling reuse {!Raw} verbatim: a crash point only
+   cares about write count and lengths, not which shard a write went
+   to. *)
+let enumerate_sharded ?granularity t =
+  Raw.enumerate ?granularity
+    (Raw.v ~base:Bytes.empty
+       ~writes:(Array.map (fun (_, o, d) -> (o, d)) t.st_writes))
+
+let sharded_images_at t point =
+  let images = Array.map Bytes.copy t.st_bases in
+  for i = 0 to point.pt_index - 1 do
+    let s, offset, data = t.st_writes.(i) in
+    Bytes.blit data 0 images.(s) offset (Bytes.length data)
+  done;
+  (match point.pt_keep with
+  | None -> ()
+  | Some k ->
+    let s, offset, data = t.st_writes.(point.pt_index) in
+    Bytes.blit data 0 images.(s) offset (min k (Bytes.length data)));
+  images
+
+let verify_sharded_recovered trace t =
+  let problems = ref (Shard.recovery_invariant_errors t) in
+  let statuses =
+    List.map
+      (fun unit_ ->
+        match unit_ with
+        | Oracle.Blocks u ->
+          let status, ps = Shard_judge.blocks t u in
+          problems := !problems @ ps;
+          status
+        | Oracle.File u ->
+          problems :=
+            !problems
+            @ [
+                Printf.sprintf "file unit %s in a raw sharded trace"
+                  u.Oracle.fu_path;
+              ];
+          Violated)
+      (Oracle.units trace.st_oracle)
+  in
+  (!problems, statuses)
+
+(* Check fully materialised per-shard crash images (consumed).  The
+   idempotency leg re-mounts the post-recovery snapshots — recovery
+   ends in a checkpoint on every shard it changed, and a second
+   recovery from that state must reach the same verdicts. *)
+let check_sharded_images ?recover_config trace images =
+  let spec = trace.st_spec in
+  let config = Option.value recover_config ~default:spec.ss_config in
+  let mount images =
+    let clock = Clock.create () in
+    Array.map (fun image -> Disk.load ~clock spec.ss_geom image) images
+  in
+  let disks = mount images in
+  match Shard.recover ~config disks with
+  | exception e -> [ "sharded recovery raised: " ^ Printexc.to_string e ]
+  | t, _reports -> (
+    let problems, statuses = verify_sharded_recovered trace t in
+    let disks2 = mount (Array.map Disk.snapshot disks) in
+    match Shard.recover ~config disks2 with
+    | exception e ->
+      problems @ [ "recovery after recovery raised: " ^ Printexc.to_string e ]
+    | t2, _reports2 ->
+      let problems2, statuses2 = verify_sharded_recovered trace t2 in
+      let problems2 =
+        List.map (fun p -> "after re-recovery: " ^ p) problems2
+      in
+      let idem =
+        if statuses = statuses2 then []
+        else [ "sharded recovery is not idempotent: unit statuses changed" ]
+      in
+      problems @ problems2 @ idem)
+
+let check_sharded_point ?recover_config trace point =
+  let n = Array.length trace.st_writes in
+  if point.pt_index < 0 || point.pt_index > n then
+    invalid_arg "Crashcheck.check_sharded_point: write index outside the trace";
+  if point.pt_keep <> None && point.pt_index = n then
+    invalid_arg
+      "Crashcheck.check_sharded_point: torn variant of a write not in trace";
+  (match point.pt_keep with
+  | Some k when point.pt_index < n ->
+    let _, _, data = trace.st_writes.(point.pt_index) in
+    if k <= 0 || k >= Bytes.length data then
+      invalid_arg
+        (Printf.sprintf
+           "Crashcheck.check_sharded_point: keep bytes must be within (0, \
+            %d), the torn write's length"
+           (Bytes.length data))
+  | _ -> ());
+  check_sharded_images ?recover_config trace (sharded_images_at trace point)
+
+(* Rolling per-shard prefix images, as in [check_ordered]. *)
+let check_sharded_ordered ?recover_config ?progress trace points ~on_violation
+    =
+  let selected = List.length points in
+  let images = Array.map Bytes.copy trace.st_bases in
+  let applied = ref 0 in
+  let advance_to i =
+    while !applied < i do
+      let s, offset, data = trace.st_writes.(!applied) in
+      Bytes.blit data 0 images.(s) offset (Bytes.length data);
+      incr applied
+    done
+  in
+  let checked = ref 0 in
+  let torn = ref 0 in
+  List.iter
+    (fun p ->
+      advance_to p.pt_index;
+      let scratch = Array.map Bytes.copy images in
+      (match p.pt_keep with
+      | None -> ()
+      | Some k ->
+        incr torn;
+        let s, offset, data = trace.st_writes.(p.pt_index) in
+        Bytes.blit data 0 scratch.(s) offset (min k (Bytes.length data)));
+      let problems = check_sharded_images ?recover_config trace scratch in
+      incr checked;
+      (match progress with
+      | Some f -> f ~checked:!checked ~selected
+      | None -> ());
+      if problems <> [] then on_violation { v_point = p; v_problems = problems })
+    points;
+  (!checked, !torn)
+
+let run_sharded ?(granularity = 512) ?budget ?(seed = 1) ?recover_config
+    ?(shrink_limit = 4000) ?progress trace =
+  let all_points = enumerate_sharded ~granularity trace in
+  let total = List.length all_points in
+  let points =
+    match budget with
+    | None -> all_points
+    | Some b -> sample ~budget:b ~seed all_points
+  in
+  let violation_points = ref 0 in
+  let kept = ref [] in
+  let on_violation v =
+    incr violation_points;
+    if !violation_points <= max_kept_violations then kept := v :: !kept
+  in
+  let checked, torn =
+    check_sharded_ordered ?recover_config ?progress trace points ~on_violation
+  in
+  let violations = List.rev !kept in
+  let minimal =
+    match violations with
+    | [] -> None
+    | first :: _ ->
+      let found = ref None in
+      let scanned = ref 0 in
+      (try
+         ignore
+           (check_sharded_ordered ?recover_config trace
+              (List.filter
+                 (fun p ->
+                   incr scanned;
+                   !scanned <= shrink_limit
+                   && (p.pt_index, p.pt_keep)
+                      < (first.v_point.pt_index, first.v_point.pt_keep))
+                 all_points)
+              ~on_violation:(fun v ->
+                found := Some v;
+                raise Exit))
+       with Exit -> ());
+      (match !found with Some v -> Some v | None -> Some first)
+  in
+  {
+    r_workload = trace.st_spec.ss_name;
+    r_seed = seed;
+    r_writes = Array.length trace.st_writes;
+    r_oracle_units = Oracle.size trace.st_oracle;
+    r_points_total = total;
+    r_points_checked = checked;
+    r_torn_checked = torn;
+    r_violation_points = !violation_points;
+    r_violations = violations;
+    r_minimal = minimal;
+    r_trace_file = None;
+    r_writes_file = None;
+    r_forensics_files = [];
   }
 
 let pp_corruption_result ppf r =

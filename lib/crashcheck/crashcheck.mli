@@ -320,6 +320,81 @@ val run_during_recovery :
 
 val pp_recovery_result : Format.formatter -> recovery_result -> unit
 
+(** {1 Sharded crash points: cross-shard ARUs under two-phase commit}
+
+    The sharded front-end ({!Lld_core.Shard}) commits an ARU spanning P
+    shards with 2PC over the shards' summary records (DESIGN.md §5.14);
+    the atomicity claim is then {e cross-device}: after a whole-machine
+    crash, a multi-shard unit is visible on all its shards or none.
+    This checker records the S disks' writes as one interleaved global
+    trace — the facade is single-threaded, so observer firing order is
+    the global persistence order — and crash points are prefixes of
+    that order: all shards' media freeze together.  Prepare and Decide
+    seals are ordinary traced writes, so the enumeration covers
+    complete and torn crashes between a participant's prepare and the
+    coordinator's decision, inside either record's seal, and in the
+    decided-but-unpropagated window a lazy participant [Decide] leaves
+    open.  Each point recovers with {!Lld_core.Shard.recover} (the
+    cross-shard decision scan) and is judged by the same all-or-nothing
+    oracle as the flat checker, plus
+    {!Lld_core.Shard.recovery_invariant_errors} and the idempotent
+    re-recovery check. *)
+
+type sharded_spec = {
+  ss_name : string;
+  ss_geom : Lld_disk.Geometry.t;
+  ss_config : Lld_core.Config.t;
+  ss_shards : int;
+  ss_run : Lld_core.Shard.t -> Lld_workload.Oracle.t -> unit;
+      (** drive the workload and populate the oracle; must end with a
+          flush so the trace closes on a persistent state *)
+}
+
+val cross_shard_spec : ?shards:int -> unit -> sharded_spec
+(** The cross-shard traced workload (default 3 shards): per-shard
+    anchor and rail units, two committed two-shard ARUs (one with its
+    lazy participant [Decide] left buffered across later crash points),
+    one ARU spanning all shards, and one multi-shard ARU whose data is
+    flushed durable on two shards but never committed — no crash image
+    may surface it. *)
+
+type sharded_trace
+
+val record_sharded : sharded_spec -> sharded_trace
+(** Run the workload once on [ss_shards] fresh disks sharing one
+    virtual clock, recording every shard's base image and the
+    interleaved (shard, offset, data) write trace.  The per-shard
+    backend honours [LLD_BACKEND=file] exactly as {!record}. *)
+
+val sharded_trace_writes : sharded_trace -> int
+val sharded_trace_oracle_units : sharded_trace -> int
+
+val enumerate_sharded : ?granularity:int -> sharded_trace -> point list
+(** Crash points over the global interleaved write order, complete and
+    torn, in the same canonical order as {!enumerate}. *)
+
+val check_sharded_point :
+  ?recover_config:Lld_core.Config.t -> sharded_trace -> point -> string list
+(** Materialise every shard's image as of the crash point, recover the
+    whole array with {!Lld_core.Shard.recover}, verify all invariants
+    (including a second recovery for idempotence).  Returns the
+    violations ([[]] = consistent). *)
+
+val run_sharded :
+  ?granularity:int ->
+  ?budget:int ->
+  ?seed:int ->
+  ?recover_config:Lld_core.Config.t ->
+  ?shrink_limit:int ->
+  ?progress:(checked:int -> selected:int -> unit) ->
+  sharded_trace ->
+  result
+(** The sharded analogue of {!run}: exhaustive without [budget],
+    deterministically sampled with it, failing points shrunk to the
+    earliest failing point of the full enumeration.  The result reuses
+    {!result} / {!ok} / {!pp_result}; the forensic-dump fields are
+    [None] (per-shard bundles are a CLI affair). *)
+
 (** {1 Silent corruption}
 
     Crash points test atomicity against power loss; this check tests

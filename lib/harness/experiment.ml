@@ -3,6 +3,8 @@ module Config = Lld_core.Config
 module Counters = Lld_core.Counters
 module Summary = Lld_core.Summary
 module Lld = Lld_core.Lld
+module Shard = Lld_core.Shard
+module Shard_engine = Lld_core.Shard_engine
 module Recovery = Lld_core.Recovery
 module Fault = Lld_disk.Fault
 module Disk = Lld_disk.Disk
@@ -871,6 +873,287 @@ let print_zero_copy ppf rows =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* S1: sharded LLD — log-bandwidth scaling and cross-shard 2PC cost    *)
+
+type s1_row = {
+  s1_shards : int;
+  s1_commits : int;
+  s1_elapsed_ns : int;
+  s1_commits_per_sec : float;
+  s1_barriers : int;
+  s1_device_io_ns : int;
+      (* summed device time across spindles: exceeds elapsed wall time
+         exactly when the shards' segment writes overlapped *)
+}
+
+type s1_cross_row = {
+  s1_participants : int;
+  s1_cross_commits : int;
+  s1_cross_barriers : int;
+  s1_prepare_barriers : int;
+  s1_barriers_per_cross : float;
+}
+
+type s1_result = {
+  s1_rows : s1_row list;
+  s1_cross : s1_cross_row list;
+  s1_identical : bool;
+      (* S=1 facade leaves the same disk image as a plain Lld *)
+}
+
+let s1_geom = Geometry.v ~num_segments:200 ()
+
+(* Large single-shard ARUs (64 blocks each) from 8 concurrent clients:
+   every commit is half a segment of log payload, so throughput is
+   bound by sequential log bandwidth.  One shard serialises the
+   segment writes on one spindle; S shards stripe clients' lists
+   across S independent logs whose seals overlap (Clock.overlap in the
+   facade's drain), so commits/s scales with the spindle count even
+   though total device time does not shrink. *)
+let sharding ?(shards = [ 1; 2; 4 ]) ?(clients = 8) ?(blocks_per_aru = 64)
+    scale =
+  let iters = max 12 (min 24 (int_of_float (600. *. scale.arus))) in
+  let config =
+    {
+      Config.default with
+      Config.group_commit_window = 200_000;
+      Config.group_commit_batch = 32;
+    }
+  in
+  List.map
+    (fun s ->
+      let clock = Clock.create () in
+      let disks = Array.init s (fun _ -> Disk.create ~clock s1_geom) in
+      let t = Shard.create ~config disks in
+      let block_bytes = s1_geom.Geometry.block_bytes in
+      let client tag =
+        let aru = ref None in
+        let list = ref None in
+        let remaining = ref iters in
+        let blocks_left = ref 0 in
+        let state = ref `Setup in
+        fun (r : Lld_core.Op.result option) ->
+          match (!state, r) with
+          | `Setup, _ ->
+            state := `Begin;
+            Some (Lld_core.Op.New_list None)
+          | `Begin, _ ->
+            (match r with
+            | Some (Lld_core.Op.R_list l) -> list := Some l
+            | _ -> ());
+            if !remaining = 0 then None
+            else begin
+              state := `Block;
+              blocks_left := blocks_per_aru;
+              Some Lld_core.Op.Begin_aru
+            end
+          | `Block, Some (Lld_core.Op.R_aru a) ->
+            aru := Some a;
+            state := `Write;
+            Some
+              (Lld_core.Op.New_block
+                 { aru = !aru; list = Option.get !list; pred = Summary.Head })
+          | `Write, Some (Lld_core.Op.R_block b) ->
+            state := `Wrote;
+            Some
+              (Lld_core.Op.Write
+                 {
+                   aru = !aru;
+                   block = b;
+                   data = Bytes.make block_bytes (Char.chr (tag land 0xff));
+                 })
+          | `Wrote, Some Lld_core.Op.R_unit ->
+            decr blocks_left;
+            if !blocks_left > 0 then begin
+              state := `Write;
+              Some
+                (Lld_core.Op.New_block
+                   { aru = !aru; list = Option.get !list; pred = Summary.Head })
+            end
+            else begin
+              state := `Committed;
+              Some (Lld_core.Op.End_aru (Option.get !aru))
+            end
+          | `Committed, Some Lld_core.Op.R_unit ->
+            decr remaining;
+            if !remaining = 0 then None
+            else begin
+              state := `Block;
+              blocks_left := blocks_per_aru;
+              Some Lld_core.Op.Begin_aru
+            end
+          | _ -> None
+      in
+      let t0 = Clock.now_ns clock in
+      let io0 = Clock.total_ns clock Clock.Io in
+      let stats =
+        Shard_engine.run t (List.init clients (fun i -> client (i + 1)))
+      in
+      let elapsed = Clock.now_ns clock - t0 in
+      let c = Shard.total_counters t in
+      let commits = stats.Lld_core.Engine.commits in
+      Array.iter Disk.close disks;
+      {
+        s1_shards = s;
+        s1_commits = commits;
+        s1_elapsed_ns = elapsed;
+        s1_commits_per_sec =
+          (if elapsed = 0 then 0.
+           else float_of_int commits /. (float_of_int elapsed /. 1e9));
+        s1_barriers = c.Counters.commit_barriers;
+        s1_device_io_ns = Clock.total_ns clock Clock.Io - io0;
+      })
+    shards
+
+(* The price of a cross-shard commit: P-1 Prepare barriers plus the
+   coordinator's Decide — at most P+1 even counting a trailing
+   propagation flush.  Measured as the commit-barrier delta per 2PC
+   over a batch of P-participant ARUs on a 4-shard facade. *)
+let sharded_cross_cost ?(participants = [ 2; 3; 4 ]) ?(arus = 20) () =
+  let clock = Clock.create () in
+  let disks = Array.init 4 (fun _ -> Disk.create ~clock s1_geom) in
+  let t = Shard.create disks in
+  (* the first four lists stripe onto four distinct shards; order them
+     by home shard so [P] participants always include the lowest
+     shard as coordinator *)
+  let lists =
+    List.init 4 (fun _ -> Shard.new_list t ())
+    |> List.sort (fun a b ->
+           Int.compare
+             (Shard.list_shard ~shards:4 (Lld_core.Types.List_id.to_int a))
+             (Shard.list_shard ~shards:4 (Lld_core.Types.List_id.to_int b)))
+  in
+  let data = Bytes.make (s1_geom.Geometry.block_bytes) 's' in
+  let rows =
+    List.map
+      (fun p ->
+        let c0 = Shard.total_counters t in
+        let barriers0 = c0.Counters.commit_barriers in
+        let cross0 = c0.Counters.cross_shard_commits in
+        let prep0 = c0.Counters.prepare_barriers in
+        for _ = 1 to arus do
+          let aru = Shard.begin_aru t in
+          List.iteri
+            (fun i list ->
+              if i < p then begin
+                let b = Shard.new_block t ~aru ~list ~pred:Summary.Head () in
+                Shard.write t ~aru b data
+              end)
+            lists;
+          Shard.end_aru t aru
+        done;
+        let c1 = Shard.total_counters t in
+        let cross = c1.Counters.cross_shard_commits - cross0 in
+        let prepares = c1.Counters.prepare_barriers - prep0 in
+        (* each 2PC pays its prepare seals plus exactly one decide seal
+           (1:1 with cross_shard_commits); single-shard batch seals
+           would show up in commit_barriers, which must stay flat *)
+        let barriers =
+          prepares + cross + (c1.Counters.commit_barriers - barriers0)
+        in
+        {
+          s1_participants = p;
+          s1_cross_commits = cross;
+          s1_cross_barriers = barriers;
+          s1_prepare_barriers = prepares;
+          s1_barriers_per_cross =
+            (if cross = 0 then 0.
+             else float_of_int barriers /. float_of_int cross);
+        })
+      participants
+  in
+  Array.iter Disk.close disks;
+  rows
+
+(* The same deterministic op stream through a plain Lld and through a
+   one-shard facade: global ids are the identity at S=1 and every call
+   passes straight through, so the final disk images must be
+   byte-identical. *)
+let sharded_identity () =
+  let stream (type h) (module Ld : Lld_core.Ld_intf.S with type t = h) (t : h)
+      ~block_bytes =
+    let list = Ld.new_list t () in
+    for i = 1 to 8 do
+      let aru = Ld.begin_aru t in
+      let b = Ld.new_block t ~aru ~list ~pred:Summary.Head () in
+      Ld.write t ~aru b (Bytes.make block_bytes (Char.chr (i land 0xff)));
+      Ld.end_aru t aru
+    done
+  in
+  let plain =
+    let clock = Clock.create () in
+    let disk = Disk.create ~clock s1_geom in
+    let lld = Lld.create disk in
+    stream (module Lld) lld ~block_bytes:(Lld.block_bytes lld);
+    let image = Disk.snapshot disk in
+    Disk.close disk;
+    image
+  in
+  let sharded =
+    let clock = Clock.create () in
+    let disk = Disk.create ~clock s1_geom in
+    let t = Shard.create [| disk |] in
+    stream (module Shard) t ~block_bytes:(s1_geom.Geometry.block_bytes);
+    let image = Disk.snapshot disk in
+    Disk.close disk;
+    image
+  in
+  Bytes.equal plain sharded
+
+let sharded scale =
+  {
+    s1_rows = sharding scale;
+    s1_cross = sharded_cross_cost ();
+    s1_identical = sharded_identity ();
+  }
+
+let print_sharded ppf r =
+  Report.table ppf
+    ~title:
+      "S1: sharded LLD — 8 clients of 64-block ARUs over S independent \
+       segment logs (commits/s scales with spindles; device time does not \
+       shrink, it overlaps)"
+    ~header:
+      [
+        "shards"; "commits"; "elapsed (ms)"; "commits/s"; "barriers";
+        "device io (ms)";
+      ]
+    (List.map
+       (fun row ->
+         [
+           string_of_int row.s1_shards;
+           string_of_int row.s1_commits;
+           Report.f2 (float_of_int row.s1_elapsed_ns /. 1e6);
+           Report.f1 row.s1_commits_per_sec;
+           string_of_int row.s1_barriers;
+           Report.f2 (float_of_int row.s1_device_io_ns /. 1e6);
+         ])
+       r.s1_rows);
+  Report.table ppf
+    ~title:
+      "S1: cross-shard commit cost — barriers per P-participant 2PC on 4 \
+       shards (P-1 prepares + 1 decide; gate: <= P+1)"
+    ~header:
+      [
+        "participants"; "cross commits"; "barriers"; "prepare barriers";
+        "barriers/commit";
+      ]
+    (List.map
+       (fun row ->
+         [
+           string_of_int row.s1_participants;
+           string_of_int row.s1_cross_commits;
+           string_of_int row.s1_cross_barriers;
+           string_of_int row.s1_prepare_barriers;
+           Report.f2 row.s1_barriers_per_cross;
+         ])
+       r.s1_cross);
+  Report.table ppf
+    ~title:"S1: single-shard facade vs plain LLD (same op stream)"
+    ~header:[ "quantity"; "identical" ]
+    [ [ "final disk image"; (if r.s1_identical then "yes" else "NO") ] ]
+
+(* ------------------------------------------------------------------ *)
 (* X4: concurrency                                                     *)
 
 type concurrency_result = {
@@ -1544,7 +1827,7 @@ let finite v = Float.is_finite v && v > 0.
    virtual clock is calibrated, not cycle-accurate) but the directional
    claims each table/figure exists to demonstrate.  A regression that
    silently zeroes a phase or inverts a trade-off fails the run. *)
-let checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~g2 ~z1 ~w0 ~c1 ~ob ~o3 ~b1 =
+let checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~g2 ~z1 ~s1 ~w0 ~c1 ~ob ~o3 ~b1 =
   let all_f5_phases =
     List.concat_map
       (fun r ->
@@ -1650,6 +1933,31 @@ let checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~g2 ~z1 ~w0 ~c1 ~ob ~o3 ~b1 =
           sixteen.g2_queue_wait_p99_us )
     | _ -> (false, "1-, 8- or 16-client row missing")
   in
+  let s1_row n = List.find_opt (fun r -> r.s1_shards = n) s1.s1_rows in
+  let s1_scaling_ok, s1_scaling_detail =
+    match (s1_row 1, s1_row 4) with
+    | Some one, Some four ->
+      ( four.s1_commits_per_sec >= 2.0 *. one.s1_commits_per_sec,
+        Printf.sprintf "%.1f commits/s on 4 shards vs %.1f on 1 (%.2fx)"
+          four.s1_commits_per_sec one.s1_commits_per_sec
+          (four.s1_commits_per_sec /. one.s1_commits_per_sec) )
+    | _ -> (false, "1- or 4-shard row missing")
+  in
+  let s1_cross_ok, s1_cross_detail =
+    ( s1.s1_cross <> []
+      && List.for_all
+           (fun r ->
+             r.s1_cross_commits > 0
+             && r.s1_barriers_per_cross
+                <= float_of_int (r.s1_participants + 1))
+           s1.s1_cross,
+      String.concat "; "
+        (List.map
+           (fun r ->
+             Printf.sprintf "P=%d: %.2f barriers/commit" r.s1_participants
+               r.s1_barriers_per_cross)
+           s1.s1_cross) )
+  in
   let w0_ok, w0_detail =
     let frac label =
       List.find_opt (fun r -> r.w0_label = label) w0
@@ -1735,6 +2043,23 @@ let checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~g2 ~z1 ~w0 ~c1 ~ob ~o3 ~b1 =
          ck_ok = false;
          ck_detail = "missing Z1 rows";
        });
+    {
+      ck_name = "S1: sharded throughput scales (4 shards >= 2x 1 shard at 8 clients)";
+      ck_ok = s1_scaling_ok;
+      ck_detail = s1_scaling_detail;
+    };
+    {
+      ck_name = "S1: cross-shard commit costs at most P+1 barriers";
+      ck_ok = s1_cross_ok;
+      ck_detail = s1_cross_detail;
+    };
+    {
+      ck_name = "S1: single-shard facade bit-identical to plain LLD";
+      ck_ok = s1.s1_identical;
+      ck_detail =
+        (if s1.s1_identical then "disk images byte-equal"
+         else "disk images DIFFER");
+    };
     {
       ck_name = "W0: MinixLLD beats in-place Minix on write bandwidth";
       ck_ok = w0_ok;
@@ -1948,6 +2273,40 @@ let json_of_z1 rows =
            ])
        rows)
 
+let json_of_s1 r =
+  Report.Obj
+    [
+      ( "rows",
+        Report.List
+          (List.map
+             (fun row ->
+               Report.Obj
+                 [
+                   ("shards", Report.Int row.s1_shards);
+                   ("commits", Report.Int row.s1_commits);
+                   ("elapsed_ns", Report.Int row.s1_elapsed_ns);
+                   ("commits_per_sec", Report.Float row.s1_commits_per_sec);
+                   ("commit_barriers", Report.Int row.s1_barriers);
+                   ("device_io_ns", Report.Int row.s1_device_io_ns);
+                 ])
+             r.s1_rows) );
+      ( "cross",
+        Report.List
+          (List.map
+             (fun row ->
+               Report.Obj
+                 [
+                   ("participants", Report.Int row.s1_participants);
+                   ("cross_commits", Report.Int row.s1_cross_commits);
+                   ("commit_barriers", Report.Int row.s1_cross_barriers);
+                   ("prepare_barriers", Report.Int row.s1_prepare_barriers);
+                   ( "barriers_per_commit",
+                     Report.Float row.s1_barriers_per_cross );
+                 ])
+             r.s1_cross) );
+      ("single_shard_identical", Report.Bool r.s1_identical);
+    ]
+
 let json_of_flight_effect r =
   Report.Obj
     [
@@ -2088,6 +2447,8 @@ let run_all_json ppf scale =
   print_group_commit_stages ppf g2;
   let z1 = zero_copy scale in
   print_zero_copy ppf z1;
+  let s1 = sharded scale in
+  print_sharded ppf s1;
   print_concurrency ppf (concurrency scale);
   print_mixed ppf (mixed_workload scale);
   print_implementations ppf (implementation_comparison scale);
@@ -2101,7 +2462,7 @@ let run_all_json ppf scale =
   print_flight_effect ppf o3;
   let b1 = backend_comparison scale in
   print_backend ppf b1;
-  let cks = checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~g2 ~z1 ~w0 ~c1 ~ob ~o3 ~b1 in
+  let cks = checks ~f5 ~f6 ~l1 ~x3 ~r1 ~g1 ~g2 ~z1 ~s1 ~w0 ~c1 ~ob ~o3 ~b1 in
   print_checks ppf cks;
   Format.fprintf ppf "@.";
   let json =
@@ -2125,6 +2486,7 @@ let run_all_json ppf scale =
         ("g1", json_of_g1 g1);
         ("g2", json_of_g2 g2);
         ("z1", json_of_z1 z1);
+        ("s1", json_of_s1 s1);
         ("bandwidth", json_of_w0 w0);
         ("cleaning", json_of_c1 c1);
         ("observability", json_of_observability ob);

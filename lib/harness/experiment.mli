@@ -162,6 +162,58 @@ type z1_row = {
 val zero_copy : ?blocks_per_commit:int -> scale -> z1_row list
 val print_zero_copy : Format.formatter -> z1_row list -> unit
 
+(** {2 S1: sharded LLD — log-bandwidth scaling and cross-shard cost}
+
+    Three artifacts of the sharded facade ({!Lld_core.Shard}).  First,
+    8 clients of large (64-block) single-shard ARUs through the
+    {!Lld_core.Shard_engine} event loop on 1, 2 and 4 shards: every
+    commit is half a segment of payload, so throughput is bound by
+    sequential log bandwidth, and S independent spindles whose seals
+    overlap ({!Lld_sim.Clock.overlap}) must scale commits/s — 4 shards
+    ≥ 2× one shard is a reproduction check and CI gate.  Second, the
+    barrier cost of a P-participant cross-shard 2PC: P−1 prepares plus
+    the coordinator's decide, gated at ≤ P+1 barriers per commit.
+    Third, the S=1 pass-through: the same op stream through a
+    one-shard facade and a plain {!Lld_core.Lld} must leave
+    byte-identical disk images. *)
+
+type s1_row = {
+  s1_shards : int;
+  s1_commits : int;
+  s1_elapsed_ns : int;  (** virtual wall time of the run *)
+  s1_commits_per_sec : float;
+  s1_barriers : int;  (** seals paid across all shards *)
+  s1_device_io_ns : int;
+      (** summed device time: exceeds elapsed exactly when the shards'
+          segment writes overlapped *)
+}
+
+type s1_cross_row = {
+  s1_participants : int;  (** P: shards the ARU touched *)
+  s1_cross_commits : int;
+  s1_cross_barriers : int;
+      (** seals the batch paid: prepares + decides + any batch seals *)
+  s1_prepare_barriers : int;
+  s1_barriers_per_cross : float;  (** gate: ≤ P+1 *)
+}
+
+type s1_result = {
+  s1_rows : s1_row list;
+  s1_cross : s1_cross_row list;
+  s1_identical : bool;
+}
+
+val sharding :
+  ?shards:int list -> ?clients:int -> ?blocks_per_aru:int -> scale ->
+  s1_row list
+
+val sharded_cross_cost :
+  ?participants:int list -> ?arus:int -> unit -> s1_cross_row list
+
+val sharded_identity : unit -> bool
+val sharded : scale -> s1_result
+val print_sharded : Format.formatter -> s1_result -> unit
+
 type concurrency_result = {
   x4_interleaved : Lld_workload.Concurrent.result;
   x4_serial : Lld_workload.Concurrent.result;

@@ -259,12 +259,14 @@ let write_tables t =
       next_seq = 1;
       stamp = t.stamp;
       next_aru = t.next_aru;
+      next_gid = 1;
       blocks = List.rev !blocks;
       lists = List.rev !lists;
       dead_blocks = [];
       dead_lists = [];
       pending = [];
       free_order = [];
+      prepared = [];
     }
   in
   let payload = Blk.to_bytes (Lld_core.Checkpoint.encode snap) in
@@ -1014,6 +1016,10 @@ let replay_journal t =
       if stamp >= t.stamp then t.stamp <- stamp + 1
     | Summary.Commit { aru } -> commit_aru aru
     | Summary.Commit_group { arus } -> List.iter commit_aru arus
+    | Summary.Prepare _ | Summary.Decide _ ->
+      (* two-phase-commit records are an LLD sharding concept; the
+         journaled comparison disk never writes them *)
+      ()
   and commit_aru aru =
     let key = Types.Aru_id.to_int aru in
     Hashtbl.replace committed_arus key ();
@@ -1084,7 +1090,8 @@ let replay_journal t =
                   | Summary.Alloc _ | Summary.Link _ | Summary.Unlink _
                   | Summary.New_list _ | Summary.Delete_list _
                   | Summary.Dealloc _ | Summary.Commit _
-                  | Summary.Commit_group _ ->
+                  | Summary.Commit_group _ | Summary.Prepare _
+                  | Summary.Decide _ ->
                     None
                 in
                 match e.Summary.stream with

@@ -8,7 +8,9 @@ module Config = Lld_core.Config
 module Types = Lld_core.Types
 module Op = Lld_core.Op
 module Lld = Lld_core.Lld
+module Shard = Lld_core.Shard
 module Disk_layout = Lld_core.Disk_layout
+module Cc = Lld_crashcheck.Crashcheck
 module Raw = Lld_crashcheck.Crashcheck.Raw
 
 type backend = Mem | File
@@ -23,6 +25,7 @@ type config = {
   crash_points : int;
   granularity : int;
   group_commit : bool;
+  shards : int;
 }
 
 let default_config =
@@ -36,6 +39,7 @@ let default_config =
     crash_points = 12;
     granularity = 512;
     group_commit = false;
+    shards = 1;
   }
 
 type kind = Step_mismatch | Final_state_mismatch | Crash_mismatch
@@ -74,8 +78,14 @@ let ok r = r.rp_failure = None
    pressure and [Disk_full]. *)
 let differ_geom = Geometry.v ~segment_bytes:(32 * 1024) ~num_segments:192 ()
 
+(* The real side is always driven through the sharded facade: with one
+   shard it is a bit-identical passthrough to {!Lld} (identifiers,
+   results, errors, on-disk image — see test_shard), and with more the
+   same differ becomes the cross-shard 2PC checker for free: the flat
+   model stays the union oracle, only identifier placement is mirrored
+   (Model [?shards]). *)
 module Mops = Op.Make (Model)
-module Lops = Op.Make (Lld)
+module Sops = Op.Make (Shard)
 
 (* ------------------------------------------------------------------ *)
 (* Command resolution                                                  *)
@@ -215,14 +225,24 @@ let resolve model ~block_bytes ~capacity ~group clients ci (cmd : Program.cmd)
 (* The real instance's committed state, rendered in the same canonical
    form as {!Model.frontier_summary}.  Queried through simple (no-ARU)
    operations, so it is only meaningful when no ARU is active — after
-   quiescence or on a freshly recovered instance. *)
-let real_summary lld =
+   quiescence or on a freshly recovered instance.  [?shard] projects
+   onto one shard's lists (and hence blocks), matching
+   [Model.frontier_summary ?shard]. *)
+let real_summary ?shard sut =
   let buf = Buffer.create 256 in
-  let lists = Lld.lists lld in
+  let lists =
+    match shard with
+    | None -> Shard.lists sut
+    | Some s ->
+      let shards = Shard.shard_count sut in
+      List.filter
+        (fun l -> Shard.list_shard ~shards (Types.List_id.to_int l) = s)
+        (Shard.lists sut)
+  in
   let members =
     List.concat_map
       (fun l ->
-        let bs = Lld.list_blocks lld l in
+        let bs = Shard.list_blocks sut l in
         Buffer.add_string buf
           (Printf.sprintf "L%d[%s];" (Types.List_id.to_int l)
              (String.concat ","
@@ -238,7 +258,7 @@ let real_summary lld =
         (Printf.sprintf "B%d:L%d:%s;" b
            (Types.List_id.to_int l)
            (Digest.to_hex
-              (Digest.bytes (Lld.read lld (Types.Block_id.of_int b))))))
+              (Digest.bytes (Shard.read sut (Types.Block_id.of_int b))))))
     (List.sort compare members)
   |> ignore;
   (Buffer.contents buf, List.length members)
@@ -273,27 +293,39 @@ let run_program_stats ?(crash = false) ?obs_for cfg ~seed (program : Program.t)
     stats =
   let geom = differ_geom in
   let clock = Clock.create () in
-  let disk = Disk.create ~backend:(make_backend cfg (Geometry.total_bytes geom)) ~clock geom in
+  let disks =
+    Array.init cfg.shards (fun _ ->
+        Disk.create
+          ~backend:(make_backend cfg (Geometry.total_bytes geom))
+          ~clock geom)
+  in
   let config = lld_config cfg in
   let obs =
     match obs_for with
     | Some f -> f clock
     | None -> Lld_obs.Obs.null
   in
-  let lld = Lld.create ~config ~obs disk in
-  Lld.flush lld;
-  let base = if crash then Some (Disk.snapshot disk) else None in
+  let sut = Shard.create ~config ~obs disks in
+  Shard.flush sut;
+  let base = if crash then Some (Array.map Disk.snapshot disks) else None in
   let writes = ref [] in
   if crash then
-    Disk.set_observer disk
-      (Some
-         (fun ~index:_ ~offset ~data ->
-           writes := (offset, Blk.to_bytes data) :: !writes));
-  let capacity = Lld.capacity lld in
-  let block_bytes = Lld.block_bytes lld in
+    (* one interleaved global write trace: the facade is
+       single-threaded, so observer firing order IS the persistence
+       order, and a crash freezes all shards' media together *)
+    Array.iteri
+      (fun s disk ->
+        Disk.set_observer disk
+          (Some
+             (fun ~index:_ ~offset ~data ->
+               writes := (s, offset, Blk.to_bytes data) :: !writes)))
+      disks;
+  let capacity = Shard.capacity sut in
+  let block_bytes = Shard.block_bytes sut in
   let model =
     Model.create ~visibility:cfg.visibility ?mutation:cfg.mutation ~capacity
-      ~max_lists:(Disk_layout.max_lists geom) ~block_bytes ()
+      ~max_lists:(Disk_layout.max_lists geom) ~block_bytes ~shards:cfg.shards
+      ()
   in
   let clients =
     Array.init cfg.clients (fun _ ->
@@ -316,21 +348,37 @@ let run_program_stats ?(crash = false) ?obs_for cfg ~seed (program : Program.t)
     | None -> ());
     Hashtbl.replace owners id ci
   in
-  let frontiers = Hashtbl.create 64 in
+  (* One frontier chain per shard.  Each shard persists its own log, so
+     a crash keeps an independent durable prefix per shard: the flat
+     linear frontier is wrong for S > 1 (shard 0 may hold commits n and
+     n+3 while shard 1 lost n+1).  Recovery must land every shard's
+     projection somewhere on that shard's own chain; cross-shard
+     atomicity itself (an ARU all-in or all-out across its
+     participants) is [Shard.recover]'s contract, checked directly by
+     the sharded crashcheck oracle and, here, by the per-shard chains
+     whenever a later ARU pinned the participant's state.  For S = 1
+     the single projection is the flat summary — behavior unchanged. *)
+  let frontiers = Array.init cfg.shards (fun _ -> Hashtbl.create 64) in
   let note_frontier () =
-    Hashtbl.replace frontiers (Model.frontier_summary model) ()
+    Array.iteri
+      (fun s tbl ->
+        Hashtbl.replace tbl (Model.frontier_summary ~shard:s model) ())
+      frontiers
   in
   note_frontier ();
   let trail = ref [] in
   let finish div =
-    Disk.set_observer disk None;
-    Disk.close disk;
+    Array.iter
+      (fun disk ->
+        Disk.set_observer disk None;
+        Disk.close disk)
+      disks;
     div
   in
   (* one operation against both sides; [Some d] = stop with divergence *)
   let step ci op =
     let m_res = Mops.apply model op in
-    let r_res = Lops.apply lld op in
+    let r_res = Sops.apply sut op in
     stats.ex_ops <- stats.ex_ops + 1;
     let c = clients.(ci) in
     (match (op, m_res) with
@@ -372,7 +420,7 @@ let run_program_stats ?(crash = false) ?obs_for cfg ~seed (program : Program.t)
      state a torn batch can recover to is one of these notes. *)
   let flush_step () =
     let m_n = Model.flush_commit_steps model note_frontier in
-    let r_n = Lld.flush_commits lld in
+    let r_n = Shard.flush_commits sut in
     stats.ex_ops <- stats.ex_ops + 1;
     trail := Printf.sprintf "engine: flush_commits = %d" m_n :: !trail;
     if m_n = r_n then begin
@@ -395,7 +443,7 @@ let run_program_stats ?(crash = false) ?obs_for cfg ~seed (program : Program.t)
     match step ci op with
     | Some d -> Some d
     | None ->
-      if cfg.group_commit && Lld.commit_due lld then flush_step () else None
+      if cfg.group_commit && Shard.commit_due sut then flush_step () else None
   in
   let rec steps i =
     if i >= Array.length program then None
@@ -433,7 +481,7 @@ let run_program_stats ?(crash = false) ?obs_for cfg ~seed (program : Program.t)
   in
   let final_check () =
     let m_sum = Model.frontier_summary model in
-    let r_sum, members = real_summary lld in
+    let r_sum, members = real_summary sut in
     if m_sum <> r_sum then
       diverged Final_state_mismatch
         [
@@ -443,7 +491,7 @@ let run_program_stats ?(crash = false) ?obs_for cfg ~seed (program : Program.t)
         ]
         !trail
     else if
-      Lld.allocated_blocks lld <> members
+      Shard.allocated_blocks sut <> members
       || Model.allocated_blocks model <> members
     then
       diverged Final_state_mismatch
@@ -453,7 +501,7 @@ let run_program_stats ?(crash = false) ?obs_for cfg ~seed (program : Program.t)
              %d allocations, real holds %d"
             members
             (Model.allocated_blocks model)
-            (Lld.allocated_blocks lld);
+            (Shard.allocated_blocks sut);
         ]
         !trail
     else None
@@ -461,61 +509,94 @@ let run_program_stats ?(crash = false) ?obs_for cfg ~seed (program : Program.t)
   let crash_check () =
     match base with
     | None -> None
-    | Some base ->
-      Disk.set_observer disk None;
-      let raw = Raw.v ~base ~writes:(Array.of_list (List.rev !writes)) in
+    | Some bases ->
+      Array.iter (fun disk -> Disk.set_observer disk None) disks;
+      let writes = Array.of_list (List.rev !writes) in
+      (* enumeration and sampling only look at write count and lengths,
+         so the flat Raw machinery serves the interleaved trace as-is;
+         images are rebuilt per shard *)
+      let raw =
+        Raw.v ~base:Bytes.empty
+          ~writes:(Array.map (fun (_, o, d) -> (o, d)) writes)
+      in
       let points = Raw.enumerate ~granularity:cfg.granularity raw in
       let points = Raw.sample ~budget:cfg.crash_points ~seed points in
+      let images_at point =
+        let images = Array.map Bytes.copy bases in
+        for i = 0 to point.Cc.pt_index - 1 do
+          let s, offset, data = writes.(i) in
+          Bytes.blit data 0 images.(s) offset (Bytes.length data)
+        done;
+        (match point.Cc.pt_keep with
+        | None -> ()
+        | Some k ->
+          let s, offset, data = writes.(point.Cc.pt_index) in
+          Bytes.blit data 0 images.(s) offset (min k (Bytes.length data)));
+        images
+      in
       let rec each = function
         | [] -> None
         | point :: rest -> (
           stats.ex_crash_points <- stats.ex_crash_points + 1;
-          let image = Raw.image_at raw point in
-          let rdisk = Disk.load ~clock:(Clock.create ()) differ_geom image in
+          let rclock = Clock.create () in
+          let rdisks =
+            Array.map
+              (fun image -> Disk.load ~clock:rclock differ_geom image)
+              (images_at point)
+          in
           let verdict =
-            match Lld.recover ~config rdisk with
+            match Shard.recover ~config rdisks with
             | exception e ->
               diverged Crash_mismatch
                 [
-                  Format.asprintf "crash %a: recovery raised %s"
-                    Lld_crashcheck.Crashcheck.pp_point point
+                  Format.asprintf "crash %a: recovery raised %s" Cc.pp_point
+                    point
                     (Printexc.to_string e);
                 ]
                 !trail
-            | rlld, _report -> (
-              match Lld.recovery_invariant_errors rlld with
+            | rsut, _reports -> (
+              match Shard.recovery_invariant_errors rsut with
               | _ :: _ as errs ->
                 diverged Crash_mismatch
                   (Format.asprintf "crash %a: recovery invariants violated"
-                     Lld_crashcheck.Crashcheck.pp_point point
+                     Cc.pp_point point
                   :: errs)
                   !trail
               | [] ->
-                let r_sum, members = real_summary rlld in
-                if Lld.allocated_blocks rlld <> members then
+                let _, members = real_summary rsut in
+                if Shard.allocated_blocks rsut <> members then
                   diverged Crash_mismatch
                     [
                       Format.asprintf
                         "crash %a: recovered state holds %d allocations for \
                          %d list members"
-                        Lld_crashcheck.Crashcheck.pp_point point
-                        (Lld.allocated_blocks rlld) members;
+                        Cc.pp_point point
+                        (Shard.allocated_blocks rsut)
+                        members;
                     ]
                     !trail
-                else if not (Hashtbl.mem frontiers r_sum) then
-                  diverged Crash_mismatch
-                    [
-                      Format.asprintf
-                        "crash %a: recovered state is not on the model's \
-                         crash frontier (%d states)"
-                        Lld_crashcheck.Crashcheck.pp_point point
-                        (Hashtbl.length frontiers);
-                      "recovered: " ^ r_sum;
-                    ]
-                    !trail
-                else None)
+                else begin
+                  let rec on_chain s =
+                    if s >= cfg.shards then None
+                    else
+                      let p_sum, _ = real_summary ~shard:s rsut in
+                      if Hashtbl.mem frontiers.(s) p_sum then on_chain (s + 1)
+                      else
+                        diverged Crash_mismatch
+                          [
+                            Format.asprintf
+                              "crash %a: shard %d's recovered state is not \
+                               on its crash-frontier chain (%d states)"
+                              Cc.pp_point point s
+                              (Hashtbl.length frontiers.(s));
+                            "recovered: " ^ p_sum;
+                          ]
+                          !trail
+                  in
+                  on_chain 0
+                end)
           in
-          Disk.close rdisk;
+          Array.iter Disk.close rdisks;
           match verdict with None -> each rest | d -> d)
       in
       each points
@@ -672,7 +753,10 @@ let pp_report ppf r =
      point(s) over %d crash case(s)@,"
     (visibility_option r.rp_config.visibility)
     backend r.rp_config.clients r.rp_config.ops
-    ((if r.rp_config.group_commit then ", group commit" else "")
+    ((if r.rp_config.shards > 1 then
+        Printf.sprintf ", %d shards" r.rp_config.shards
+      else "")
+    ^ (if r.rp_config.group_commit then ", group commit" else "")
     ^
     match r.rp_config.mutation with
     | None -> ""

@@ -38,12 +38,26 @@ type config = {
           extending the crash frontier with every per-ARU boundary
           inside a batch — a torn batched commit record must recover
           to one of those states. *)
+  shards : int;
+      (** drive the real side as [shards] {!Lld_core.Shard} instances
+          behind the sharded facade (default 1 — a bit-identical
+          passthrough to the flat {!Lld_core.Lld}).  With more, the
+          same programs exercise cross-shard ARUs and their two-phase
+          commits: the flat model stays the union oracle (a committed
+          ARU's effects are atomic wherever its blocks live), only
+          identifier placement is mirrored (Model [?shards]).  Crash
+          cases record one interleaved global write trace over all
+          shard disks and recover the whole array per crash point with
+          {!Lld_core.Shard.recover} — an ARU decided on its
+          coordinator but not yet propagated to a participant counts
+          as committed, which is exactly the frontier state the
+          model's atomic commit already noted. *)
 }
 
 val default_config : config
 (** Own-shadow visibility, no mutation, in-memory backend, 2 clients,
     40 commands each, crash points on every 4th case (12 points,
-    512-byte granularity), no group commit. *)
+    512-byte granularity), no group commit, one shard. *)
 
 (** Why a case diverged. *)
 type kind =

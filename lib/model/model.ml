@@ -65,6 +65,19 @@ type aru = {
   mutable a_owned : int list; (* list ids allocated inside *)
 }
 
+(* Per-shard identifier allocators (one entry when unsharded).  The
+   committed map stays flat and global — sharding only changes WHICH
+   identifiers get handed out, mirroring {!Lld_core.Shard}'s placement:
+   blocks stripe round-robin by id within their list's shard, list ids
+   stripe shifted for their 1-based numbering, and each shard keeps its
+   own local watermark and LIFO free pool (local ids, globalised on
+   allocation). *)
+type shard_alloc = {
+  mutable sa_lfree : int list; (* local list ids *)
+  mutable sa_lwatermark : int;
+  mutable sa_lexisting : int;
+}
+
 type t = {
   t_visibility : Config.visibility;
   mutation : mutation option;
@@ -74,12 +87,11 @@ type t = {
   mutable next_aru : int;
   mutable stamp : int;
   (* identifier allocators, mirroring Block_map / List_table *)
-  held : (int, unit) Hashtbl.t; (* block ids currently allocated *)
-  mutable lfree : int list; (* list-id LIFO pool *)
-  mutable lwatermark : int;
-  mutable lexisting : int;
-  t_capacity : int;
-  t_max_lists : int;
+  held : (int, unit) Hashtbl.t; (* global block ids currently allocated *)
+  lalloc : shard_alloc array; (* per-shard list allocators *)
+  t_shards : int;
+  t_capacity : int; (* total, summed over shards *)
+  t_max_lists : int; (* per shard *)
   t_block_bytes : int;
   t_clock : Lld_sim.Clock.t;
   t_counters : Lld_core.Counters.t;
@@ -88,7 +100,10 @@ type t = {
 }
 
 let create ?(visibility = Config.Own_shadow) ?mutation ?(capacity = 4096)
-    ?(max_lists = 512) ?(block_bytes = 4096) () =
+    ?(max_lists = 512) ?(block_bytes = 4096) ?(shards = 1) () =
+  if shards < 1 then invalid_arg "Model.create: shards must be >= 1";
+  if capacity mod shards <> 0 then
+    invalid_arg "Model.create: capacity must divide evenly across shards";
   {
     t_visibility = visibility;
     mutation;
@@ -98,9 +113,10 @@ let create ?(visibility = Config.Own_shadow) ?mutation ?(capacity = 4096)
     next_aru = 1;
     stamp = 0;
     held = Hashtbl.create 64;
-    lfree = [];
-    lwatermark = 1;
-    lexisting = 0;
+    lalloc =
+      Array.init shards (fun _ ->
+          { sa_lfree = []; sa_lwatermark = 1; sa_lexisting = 0 });
+    t_shards = shards;
     t_capacity = capacity;
     t_max_lists = max_lists;
     t_block_bytes = block_bytes;
@@ -116,39 +132,63 @@ let next_stamp t =
   t.stamp
 
 (* ------------------------------------------------------------------ *)
-(* Identifier allocation (mirrors Block_map / List_table exactly)      *)
+(* Identifier allocation (mirrors Block_map / List_table per shard,
+   composed through Shard's placement maps)                            *)
 
-let alloc_block_id t =
-  let rec scan i =
-    if i >= t.t_capacity then None
-    else if Hashtbl.mem t.held i then scan (i + 1)
-    else Some i
+let list_shard t g = (g - 1) mod t.t_shards
+let list_global t ~shard local = ((local - 1) * t.t_shards) + shard + 1
+
+(* Lowest free LOCAL id within the shard — i.e. the lowest free global
+   id in the shard's residue class, exactly what the shard's own
+   Block_map would hand out. *)
+let alloc_block_id t ~shard =
+  let per_shard = t.t_capacity / t.t_shards in
+  let rec scan local =
+    if local >= per_shard then None
+    else
+      let g = (local * t.t_shards) + shard in
+      if Hashtbl.mem t.held g then scan (local + 1) else Some g
   in
   match scan 0 with
   | None -> None
-  | Some i ->
-    Hashtbl.replace t.held i ();
-    Some i
+  | Some g ->
+    Hashtbl.replace t.held g ();
+    Some g
 
 let release_block_id t i = Hashtbl.remove t.held i
 
+(* New lists go to the least-loaded shard (fewest existing lists, ties
+   to the lowest index) — Shard.pick_list_shard's rule, state-derivable
+   so it survives remounts identically. *)
+let pick_list_shard t =
+  let best = ref 0 in
+  for s = 1 to t.t_shards - 1 do
+    if t.lalloc.(s).sa_lexisting < t.lalloc.(!best).sa_lexisting then best := s
+  done;
+  !best
+
 let alloc_list_id t =
-  if t.lexisting >= t.t_max_lists then None
+  let shard = pick_list_shard t in
+  let a = t.lalloc.(shard) in
+  if a.sa_lexisting >= t.t_max_lists then None
   else begin
-    t.lexisting <- t.lexisting + 1;
-    match t.lfree with
-    | i :: rest ->
-      t.lfree <- rest;
-      Some i
+    a.sa_lexisting <- a.sa_lexisting + 1;
+    match a.sa_lfree with
+    | local :: rest ->
+      a.sa_lfree <- rest;
+      Some (list_global t ~shard local)
     | [] ->
-      let i = t.lwatermark in
-      t.lwatermark <- i + 1;
-      Some i
+      let local = a.sa_lwatermark in
+      a.sa_lwatermark <- local + 1;
+      Some (list_global t ~shard local)
   end
 
-let release_list_id t i =
-  t.lfree <- i :: t.lfree;
-  t.lexisting <- t.lexisting - 1
+let release_list_id t g =
+  let shard = list_shard t g in
+  let local = ((g - 1) / t.t_shards) + 1 in
+  let a = t.lalloc.(shard) in
+  a.sa_lfree <- local :: a.sa_lfree;
+  a.sa_lexisting <- a.sa_lexisting - 1
 
 (* ------------------------------------------------------------------ *)
 (* Committed records                                                   *)
@@ -389,8 +429,11 @@ let new_block t ?aru ~list ~pred () =
     let pv = view_block (Types.Block_id.to_int p) in
     require_visible_block t who (Types.Block_id.to_int p) pv;
     if pv.v_member <> Some li then raise (Errors.Block_not_on_list p));
+  (* the block lives on its list's shard: allocation routes by list *)
   let bid =
-    match alloc_block_id t with Some b -> b | None -> raise Errors.Disk_full
+    match alloc_block_id t ~shard:(list_shard t li) with
+    | Some b -> b
+    | None -> raise Errors.Disk_full
   in
   let stamp = next_stamp t in
   (* allocation always happens in the committed state (paper §3.3) *)
@@ -798,7 +841,19 @@ let content_digest t = function
       zero_digest := Some z;
       z)
 
-let frontier_summary t =
+let frontier_summary ?shard t =
+  (* [?shard] projects the rendering onto one shard of the sharded
+     facade's placement: only lists living there (and hence only their
+     member blocks — a block routes to its list's shard).  With S
+     independent logs a crash preserves an arbitrary per-shard prefix,
+     so the differ checks each shard's projection against its own
+     frontier chain rather than the flat linear one. *)
+  let keep_list l =
+    match shard with None -> true | Some s -> list_shard t l = s
+  in
+  let keep_block b =
+    match shard with None -> true | Some s -> b mod t.t_shards = s
+  in
   let buf = Buffer.create 256 in
   let lids =
     Hashtbl.fold
@@ -807,8 +862,11 @@ let frontier_summary t =
            is what recovery's sweep frees (a committed member can only
            appear after the owning ARU died, and then the list
            survives) *)
-        if r.c_exists && not (r.c_lowner <> None && r.c_blocks = []) then
-          l :: acc
+        if
+          keep_list l
+          && r.c_exists
+          && not (r.c_lowner <> None && r.c_blocks = [])
+        then l :: acc
         else acc)
       t.lists []
     |> List.sort Int.compare
@@ -823,7 +881,9 @@ let frontier_summary t =
   let bids =
     Hashtbl.fold
       (fun b (c : mblock) acc ->
-        if c.c_alloc && c.c_member <> None then (b, c) :: acc else acc)
+        if keep_block b && c.c_alloc && c.c_member <> None then
+          (b, c) :: acc
+        else acc)
       t.blocks []
     |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in

@@ -38,12 +38,26 @@ val create :
   ?capacity:int ->
   ?max_lists:int ->
   ?block_bytes:int ->
+  ?shards:int ->
   unit ->
   t
 (** Defaults: [Own_shadow] (the paper's option 3), no mutation,
     capacity/max_lists/block size matching {!Lld_disk.Geometry.small}
     would be arbitrary — pass the real instance's values when
-    differencing. *)
+    differencing.
+
+    [shards] (default 1) mirrors the {!Lld_core.Shard} facade's
+    identifier placement so the model stays an exact allocator oracle
+    for a sharded instance: blocks take the lowest free id {e within
+    their list's shard} (ids stripe round-robin, [g mod shards]), list
+    ids stripe shifted for 1-based numbering with a per-shard watermark
+    and LIFO free pool, and a new list goes to the least-loaded shard
+    (fewest existing lists, ties to the lowest index).  [capacity] is
+    the TOTAL over all shards (and must divide evenly); [max_lists] is
+    {e per shard}.  The semantic state — committed map, shadows,
+    visibility, commit replay — is untouched: a cross-shard ARU is
+    specified as atomic exactly like any other, which is precisely the
+    2PC transparency claim the differ tests. *)
 
 val visibility : t -> Lld_core.Config.visibility
 val aru_active : t -> Lld_core.Types.Aru_id.t -> bool
@@ -61,9 +75,16 @@ val flush_commit_steps : t -> (unit -> unit) -> int
     whole — see DESIGN.md §5.11).  [flush_commits t =
     flush_commit_steps t ignore]. *)
 
-val frontier_summary : t -> string
+val frontier_summary : ?shard:int -> t -> string
 (** Canonical rendering of the committed state as crash recovery would
     restore it at this instant: in-flight (and aborted) ARUs erased the
     way the consistency sweep erases them — allocated blocks on no list
     are dropped, owner-marked (necessarily empty) lists are dropped.
-    Two states are crash-equivalent iff their summaries are equal. *)
+    Two states are crash-equivalent iff their summaries are equal.
+
+    [?shard] projects the rendering onto one shard of the sharded
+    placement (only lists routed there, and their member blocks).  With
+    independent per-shard logs a crash keeps an arbitrary durable
+    prefix {e per shard}, so the sharded differ records a frontier
+    chain per shard and checks each recovered shard projection against
+    its own chain. *)

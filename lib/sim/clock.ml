@@ -14,6 +14,26 @@ let charge t cat ns =
 
 let total_ns t = function Cpu -> t.cpu | Io -> t.io
 
+let overlap t thunks =
+  match thunks with
+  | [] -> ()
+  | [ f ] -> f ()
+  | _ ->
+    let n0 = t.now in
+    let maxd = ref 0 in
+    let run f =
+      (* each device's timeline starts at the same instant *)
+      t.now <- n0;
+      match f () with
+      | () -> if t.now - n0 > !maxd then maxd := t.now - n0
+      | exception e ->
+        if t.now - n0 > !maxd then maxd := t.now - n0;
+        t.now <- n0 + !maxd;
+        raise e
+    in
+    List.iter run thunks;
+    t.now <- n0 + !maxd
+
 let reset t =
   t.now <- 0;
   t.cpu <- 0;

@@ -26,6 +26,24 @@ val charge : t -> category -> int -> unit
 val total_ns : t -> category -> int
 (** Cumulative nanoseconds charged to the category. *)
 
+val overlap : t -> (unit -> unit) list -> unit
+(** [overlap t thunks] runs the thunks in order but accounts their
+    charges as if they executed concurrently on independent devices:
+    every thunk's timeline starts at the same instant, and when all
+    have run the clock stands at [start + max] of the per-thunk
+    advances rather than their sum.  The category totals keep the full
+    sum — they count device time (like CPU-seconds), while {!now_ns}
+    counts wall time, so under overlap [cpu + io >= elapsed].
+
+    This is how the sharded facade models S independent spindles: the
+    per-shard group-commit drains (and the prepare barriers of a
+    cross-shard commit) are requests to different disks, which a real
+    array services in parallel.  Within a thunk, [now_ns] reads that
+    device's own timeline; the clock never moves backwards as observed
+    after [overlap] returns.  If a thunk raises, the clock is settled
+    to [start + max] over the thunks run so far (including the partial
+    one) and the exception propagates. *)
+
 val reset : t -> unit
 (** Zero the clock and all category totals. *)
 

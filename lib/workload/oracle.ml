@@ -2,6 +2,8 @@ type block_unit = {
   bu_label : string;
   bu_lists : Lld_core.Types.List_id.t list;
   bu_blocks : (Lld_core.Types.Block_id.t * bytes) list;
+  bu_overwrites :
+    (Lld_core.Types.Block_id.t * bytes * bytes) list;
   bu_must_not_commit : bool;
 }
 
@@ -20,13 +22,15 @@ let add t u =
   t.rev_units <- u :: t.rev_units;
   t.count <- t.count + 1
 
-let add_blocks t ~label ?(must_not_commit = false) ~lists blocks =
+let add_blocks t ~label ?(must_not_commit = false) ?(overwrites = []) ~lists
+    blocks =
   add t
     (Blocks
        {
          bu_label = label;
          bu_lists = lists;
          bu_blocks = blocks;
+         bu_overwrites = overwrites;
          bu_must_not_commit = must_not_commit;
        })
 

@@ -16,6 +16,13 @@ type block_unit = {
           ARUs, paper §3.3) *)
   bu_blocks : (Lld_core.Types.Block_id.t * bytes) list;
       (** blocks in list order with their expected committed contents *)
+  bu_overwrites : (Lld_core.Types.Block_id.t * bytes * bytes) list;
+      (** preexisting committed blocks the ARU overwrote, as
+          [(block, old, new)]: a recovered state must show [new] exactly
+          when the unit committed and [old] exactly when it did not —
+          an aborted (or presumed-aborted) ARU must leave the committed
+          version untouched, even though the overwrite shares a log
+          segment with it.  The block itself must survive either way. *)
   bu_must_not_commit : bool;
       (** the workload never wrote this unit's commit record (an ARU
           left open); any recovered state showing it committed is a
@@ -42,6 +49,7 @@ val add_blocks :
   t ->
   label:string ->
   ?must_not_commit:bool ->
+  ?overwrites:(Lld_core.Types.Block_id.t * bytes * bytes) list ->
   lists:Lld_core.Types.List_id.t list ->
   (Lld_core.Types.Block_id.t * bytes) list ->
   unit

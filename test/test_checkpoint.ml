@@ -5,7 +5,7 @@ module Fault = Lld_disk.Fault
 
 let snapshot ?(ckpt_id = 5) ?(kind = Checkpoint.Full) ?(covered_seq = 42)
     ?(blocks = []) ?(lists = []) ?(dead_blocks = []) ?(dead_lists = [])
-    ?(pending = []) ?(free_order = []) () =
+    ?(pending = []) ?(free_order = []) ?(prepared = []) () =
   {
     Checkpoint.ckpt_id;
     kind;
@@ -13,12 +13,14 @@ let snapshot ?(ckpt_id = 5) ?(kind = Checkpoint.Full) ?(covered_seq = 42)
     next_seq = covered_seq + 1;
     stamp = 1000;
     next_aru = 9;
+    next_gid = 1;
     blocks;
     lists;
     dead_blocks;
     dead_lists;
     pending;
     free_order;
+    prepared;
   }
 
 let block_entry i =

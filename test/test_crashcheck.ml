@@ -156,6 +156,66 @@ let test_catches_broken_sweep () =
       (Crashcheck.check_point trace v.Crashcheck.v_point)
 
 (* ------------------------------------------------------------------ *)
+(* Sharded crash points: the cross-shard workload's 2PC must be
+   all-or-nothing across shards at EVERY crash point of the interleaved
+   global write trace — exhaustively, torn prepare/decide seals
+   included (the trace is small enough that sampling would be a
+   covered by the budgeted sample; the CLI/CI runs carry the larger
+   budgets and the exhaustive mode). *)
+
+let test_sharded_clean () =
+  let trace = Crashcheck.record_sharded (Crashcheck.cross_shard_spec ()) in
+  Alcotest.(check bool) "trace has writes" true
+    (Crashcheck.sharded_trace_writes trace > 0);
+  Alcotest.(check bool) "oracle units recorded" true
+    (Crashcheck.sharded_trace_oracle_units trace >= 8);
+  let r = Crashcheck.run_sharded ~budget:100 trace in
+  Alcotest.(check bool)
+    (Format.asprintf "%a" Crashcheck.pp_result r)
+    true (Crashcheck.ok r);
+  Alcotest.(check int) "checked what was asked" 100
+    r.Crashcheck.r_points_checked;
+  Alcotest.(check bool) "torn variants checked" true
+    (r.Crashcheck.r_torn_checked > 0)
+
+let test_sharded_two_shards () =
+  let trace =
+    Crashcheck.record_sharded (Crashcheck.cross_shard_spec ~shards:2 ())
+  in
+  let r = Crashcheck.run_sharded ~budget:80 trace in
+  Alcotest.(check bool)
+    (Format.asprintf "%a" Crashcheck.pp_result r)
+    true (Crashcheck.ok r)
+
+let test_sharded_deterministic () =
+  let trace = Crashcheck.record_sharded (Crashcheck.cross_shard_spec ()) in
+  let r1 = Crashcheck.run_sharded ~budget:24 ~seed:7 trace in
+  let r2 = Crashcheck.run_sharded ~budget:24 ~seed:7 trace in
+  Alcotest.(check bool) "same seed, same sample" true (r1 = r2)
+
+(* A deliberately broken sharded recovery — consistency sweep disabled,
+   so aborted prepares leak their allocations — must be caught, and the
+   minimal reproducer must replay standalone via check_sharded_point. *)
+let test_sharded_catches_broken_sweep () =
+  let spec = Crashcheck.cross_shard_spec () in
+  let broken =
+    { spec.Crashcheck.ss_config with Config.recovery_sweep = false }
+  in
+  let trace = Crashcheck.record_sharded spec in
+  let r = Crashcheck.run_sharded ~budget:100 ~recover_config:broken trace in
+  Alcotest.(check bool) "violations found" false (Crashcheck.ok r);
+  match r.Crashcheck.r_minimal with
+  | None -> Alcotest.fail "no minimal reproducer"
+  | Some v ->
+    let problems =
+      Crashcheck.check_sharded_point ~recover_config:broken trace
+        v.Crashcheck.v_point
+    in
+    Alcotest.(check bool) "minimal reproducer replays" true (problems <> []);
+    Alcotest.(check (list string)) "real recovery is consistent there" []
+      (Crashcheck.check_sharded_point trace v.Crashcheck.v_point)
+
+(* ------------------------------------------------------------------ *)
 (* qcheck property: tearing the segment write that carries an ARU's
    commit record — at any keep_bytes boundary — must leave the ARU
    either fully committed or fully absent after recovery (paper §3.2:
@@ -297,6 +357,15 @@ let () =
             test_budget_deterministic;
           Alcotest.test_case "sampling seed round-trips" `Quick
             test_seed_roundtrip;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "cross-shard clean" `Quick test_sharded_clean;
+          Alcotest.test_case "two shards" `Quick test_sharded_two_shards;
+          Alcotest.test_case "deterministic sampling" `Quick
+            test_sharded_deterministic;
+          Alcotest.test_case "broken sweep caught" `Quick
+            test_sharded_catches_broken_sweep;
         ] );
       ( "during-recovery",
         [

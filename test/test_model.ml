@@ -150,6 +150,60 @@ let test_model_queued_abort () =
   Alcotest.(check int) "flush commits only the survivor" 1
     (Model.flush_commit_steps m ignore)
 
+(* ------------------------------------------------------------------ *)
+(* Sharded facade under the differ: every client operation routes
+   through [Shard] placement, multi-shard ARUs commit via two-phase
+   commit, and crash composition checks each shard's recovered
+   projection against that shard's own frontier chain. *)
+
+(* Pinned regression for the prepare-merge coalescing hazard: the ARU
+   overwrites a block committed earlier in the same open segment of a
+   non-coordinator shard and also touches other shards, so its commit
+   runs through prepare/decide.  Crash points between the participant's
+   Prepare seal and the coordinator's Decide must presume abort without
+   the aborted overwrite leaking into the committed version's slot
+   (prepare merges must not reuse cross-scope slots — the decision
+   lives on another shard's log). *)
+(* The exact fuzz invocation that first exposed the prepare-merge
+   coalescing leak.  Its minimal case: a committed block on shard 1
+   whose bytes sit in the still-open segment, then a cross-shard ARU
+   (fresh lists spread to other shards, so the coordinator — the
+   lowest participant — is NOT the block's shard) overwrites it.  A
+   crash after shard 1's Prepare seal but before the coordinator's
+   Decide presumes abort: the aborted overwrite must not reach the
+   block's committed slot, even though both share the open segment. *)
+let test_sharded_pinned_cross () =
+  let cfg =
+    {
+      Differ.default_config with
+      Differ.shards = 4;
+      Differ.group_commit = true;
+      Differ.clients = 3;
+      Differ.crash_every = 2;
+      Differ.crash_points = 8;
+    }
+  in
+  ignore (fuzz_clean ~seed:11 ~budget:40 cfg)
+
+let test_sharded_fuzz_clean () =
+  let cfg =
+    {
+      Differ.default_config with
+      Differ.shards = 3;
+      Differ.crash_every = 10;
+      Differ.crash_points = 4;
+    }
+  in
+  let r = fuzz_clean ~seed:107 ~budget:500 cfg in
+  Alcotest.(check bool) "crash points were composed" true
+    (r.Differ.rp_crash_points > 0)
+
+let test_sharded_group_commit_clean () =
+  (* concurrent clients over the sharded facade: cross-shard commits
+     drain synchronously at submit, single-shard commits batch *)
+  ignore
+    (fuzz_clean ~seed:108 ~budget:8 (small { group_cfg with Differ.shards = 2 }))
+
 let test_dump_forensics () =
   let dir = Filename.temp_file "lld-differ-forensics" "" in
   Sys.remove dir;
@@ -400,6 +454,11 @@ let () =
             test_group_commit_pinned_batch;
           Alcotest.test_case "bit-reproducible reports" `Quick
             test_bit_reproducible;
+          Alcotest.test_case "sharded pinned cross-shard commit" `Slow
+            test_sharded_pinned_cross;
+          Alcotest.test_case "sharded fuzz clean" `Slow test_sharded_fuzz_clean;
+          Alcotest.test_case "sharded group commit clean" `Quick
+            test_sharded_group_commit_clean;
         ] );
       ( "self-test",
         [

@@ -398,12 +398,14 @@ let gen_snapshot =
         next_seq = covered_seq + 1;
         stamp = 1 + covered_seq;
         next_aru = 1;
+        next_gid = 1;
         blocks;
         lists;
         dead_blocks = (if ckpt_id mod 3 = 0 then [ 1; 5; 9 ] else []);
         dead_lists = (if ckpt_id mod 3 = 0 then [ 2 ] else []);
         pending;
         free_order = [];
+        prepared = (if ckpt_id mod 4 = 0 then [ (7, 3, 1); (9, 4, 0) ] else []);
       })
     (pair (int_range 0 100_000) (int_range 0 100_000))
     (pair (small_list block_entry) (small_list list_entry))
@@ -475,6 +477,7 @@ let checkpoint_decode_total =
           next_seq = 10;
           stamp = 100;
           next_aru = 4;
+          next_gid = 2;
           blocks =
             List.init 10 (fun i ->
                 {
@@ -489,6 +492,7 @@ let checkpoint_decode_total =
           dead_lists = [];
           pending = [];
           free_order = [ 5; 6 ];
+          prepared = [];
         }
       in
       let buf = Blk.of_bytes (Blk.to_bytes (Checkpoint.encode snap)) in
@@ -616,6 +620,117 @@ let block_map_model =
   QCheck.Test.make ~name:"Block_map allocates like the naive free-set model"
     ~count:300 block_map_ops block_map_scenario
 
+(* ------------------------------------------------------------------ *)
+(* Sharded placement: the pure id-striping maps behind {!Shard} must be
+   total (every identifier routes to exactly one shard and back),
+   dense (the k-th global id landing on a shard is that shard's k-th
+   local id — what lets each shard run its own lowest-free allocator
+   unchanged), and balanced (round-robin striping keeps per-shard
+   counts within one of each other). *)
+
+module Shard = Lld_core.Shard
+
+let placement_total =
+  QCheck.Test.make ~name:"shard placement total: roundtrip and range"
+    ~count:500
+    QCheck.(pair (int_range 1 8) (int_range 0 10_000))
+    (fun (shards, g) ->
+      let bs = Shard.block_shard ~shards g in
+      let bl = Shard.block_local ~shards g in
+      let lg = g + 1 (* list ids are 1-based *) in
+      let ls = Shard.list_shard ~shards lg in
+      let ll = Shard.list_local ~shards lg in
+      0 <= bs && bs < shards && 0 <= bl
+      && Shard.block_global ~shards ~shard:bs bl = g
+      && 0 <= ls && ls < shards && 1 <= ll
+      && Shard.list_global ~shards ~shard:ls ll = lg)
+
+let placement_dense =
+  QCheck.Test.make
+    ~name:"shard placement dense: locals enumerate 0..k-1 per shard"
+    ~count:200
+    QCheck.(pair (int_range 1 8) (int_range 1 500))
+    (fun (shards, n) ->
+      (* walking globals in order, each shard must see its locals in
+         order 0,1,2,…  (lists: 1,2,3,…) with no gaps — the per-shard
+         lowest-free-id allocator depends on it *)
+      let next_b = Array.make shards 0 in
+      let next_l = Array.make shards 1 in
+      let ok = ref true in
+      for g = 0 to n - 1 do
+        let s = Shard.block_shard ~shards g in
+        if Shard.block_local ~shards g <> next_b.(s) then ok := false;
+        next_b.(s) <- next_b.(s) + 1
+      done;
+      for g = 1 to n do
+        let s = Shard.list_shard ~shards g in
+        if Shard.list_local ~shards g <> next_l.(s) then ok := false;
+        next_l.(s) <- next_l.(s) + 1
+      done;
+      !ok)
+
+let placement_balanced =
+  QCheck.Test.make ~name:"shard placement balanced: max/min <= 2"
+    ~count:200
+    QCheck.(pair (int_range 1 8) (int_range 1 2_000))
+    (fun (shards, n) ->
+      QCheck.assume (n >= shards);
+      let bc = Array.make shards 0 and lc = Array.make shards 0 in
+      for g = 0 to n - 1 do
+        bc.(Shard.block_shard ~shards g) <- bc.(Shard.block_shard ~shards g) + 1
+      done;
+      for g = 1 to n do
+        lc.(Shard.list_shard ~shards g) <- lc.(Shard.list_shard ~shards g) + 1
+      done;
+      let spread c =
+        let mx = Array.fold_left max 0 c
+        and mn = Array.fold_left min max_int c in
+        mn > 0 && mx <= 2 * mn
+      in
+      spread bc && spread lc)
+
+(* The 2PC protocol as a pure state machine: a cross-shard ARU spanning
+   P participants commits as [Shard] emits it — one Prepare seal per
+   non-coordinator participant in ascending order, then the single
+   Decide seal on the coordinator (the commit point), then lazy Decide
+   records.  Recovery resolves each participant from its durable
+   prefix: own Decide ⇒ committed; dangling Prepare ⇒ the union
+   decision oracle over every shard's log, presumed abort when absent;
+   nothing durable ⇒ no effects.  The property: at EVERY crash cut of
+   that event order the resolved outcome is all-or-nothing — no cut
+   exists where one participant applies the ARU and another drops
+   it. *)
+let two_pc_atomic =
+  QCheck.Test.make
+    ~name:"2PC resolution is all-or-nothing at every crash cut" ~count:500
+    QCheck.(pair (int_range 2 6) (int_range 0 10_000))
+    (fun (p, cut_seed) ->
+      let parts = List.init p Fun.id in
+      let coord = 0 (* Shard picks the lowest participant *) in
+      let events =
+        List.filter_map
+          (fun s -> if s <> coord then Some (s, `Prepare) else None)
+          parts
+        @ [ (coord, `Decide) ]
+        @ List.filter_map
+            (fun s -> if s <> coord then Some (s, `Decide) else None)
+            parts
+      in
+      let cut = cut_seed mod (List.length events + 1) in
+      let durable = List.filteri (fun i _ -> i < cut) events in
+      let oracle_commit = List.exists (fun (_, e) -> e = `Decide) durable in
+      let applies s =
+        let has e = List.mem (s, e) durable in
+        if has `Decide then true
+        else if has `Prepare then oracle_commit
+        else false
+      in
+      let outcomes = List.map applies parts in
+      (* all-or-nothing, and committed exactly when the coordinator's
+         decision survived the cut *)
+      (List.for_all Fun.id outcomes || List.for_all not outcomes)
+      && List.for_all Fun.id outcomes = oracle_commit)
+
 let () =
   Alcotest.run "lld_props"
     [
@@ -640,6 +755,13 @@ let () =
           QCheck_alcotest.to_alcotest segment_parse_total;
           QCheck_alcotest.to_alcotest summary_decode_total;
           QCheck_alcotest.to_alcotest checkpoint_decode_total;
+        ] );
+      ( "sharding",
+        [
+          QCheck_alcotest.to_alcotest placement_total;
+          QCheck_alcotest.to_alcotest placement_dense;
+          QCheck_alcotest.to_alcotest placement_balanced;
+          QCheck_alcotest.to_alcotest two_pc_atomic;
         ] );
       ( "cost-model",
         [ QCheck_alcotest.to_alcotest cost_independence ] );
